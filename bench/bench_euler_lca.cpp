@@ -1,0 +1,109 @@
+// E4 — ListConstruction and LCA machinery at scale (paper Lemma 2 and the
+// Bender–Farach-Colton technique it builds on, reference [8]).
+//
+// Google-benchmark microbenchmarks: Euler-list construction is O(|V|), the
+// sparse-table index answers LCA queries in O(1), and the binary-lifting
+// LCA in O(log |V|). The absolute numbers are machine-dependent; the shape
+// (linear build, flat O(1) query) is the claim.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/tree_aa.h"
+#include "trees/euler.h"
+#include "trees/generators.h"
+#include "trees/lca.h"
+#include "trees/paths.h"
+
+namespace {
+
+using namespace treeaa;
+
+LabeledTree benchmark_tree(std::size_t n) {
+  Rng rng(0xE0E0 + n);
+  return make_random_chainy_tree(n, rng, 0.5);
+}
+
+void BM_EulerListConstruction(benchmark::State& state) {
+  const auto tree = benchmark_tree(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    EulerList list(tree);
+    benchmark::DoNotOptimize(list.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_EulerListConstruction)->Range(1 << 10, 1 << 18);
+
+void BM_SparseLcaBuild(benchmark::State& state) {
+  const auto tree = benchmark_tree(static_cast<std::size_t>(state.range(0)));
+  const EulerList list(tree);
+  for (auto _ : state) {
+    SparseLcaIndex idx(tree, list);
+    benchmark::DoNotOptimize(idx.lca(0, 0));
+  }
+}
+BENCHMARK(BM_SparseLcaBuild)->Range(1 << 10, 1 << 17);
+
+void BM_SparseLcaQuery(benchmark::State& state) {
+  const auto tree = benchmark_tree(static_cast<std::size_t>(state.range(0)));
+  const EulerList list(tree);
+  const SparseLcaIndex idx(tree, list);
+  Rng rng(7);
+  std::vector<std::pair<VertexId, VertexId>> queries(1024);
+  for (auto& q : queries) {
+    q = {static_cast<VertexId>(rng.index(tree.n())),
+         static_cast<VertexId>(rng.index(tree.n()))};
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [u, v] = queries[i++ & 1023];
+    benchmark::DoNotOptimize(idx.lca(u, v));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SparseLcaQuery)->Range(1 << 10, 1 << 17);
+
+void BM_BinaryLiftingLcaQuery(benchmark::State& state) {
+  const auto tree = benchmark_tree(static_cast<std::size_t>(state.range(0)));
+  Rng rng(7);
+  std::vector<std::pair<VertexId, VertexId>> queries(1024);
+  for (auto& q : queries) {
+    q = {static_cast<VertexId>(rng.index(tree.n())),
+         static_cast<VertexId>(rng.index(tree.n()))};
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [u, v] = queries[i++ & 1023];
+    benchmark::DoNotOptimize(tree.lca(u, v));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BinaryLiftingLcaQuery)->Range(1 << 10, 1 << 17);
+
+void BM_ProjectionQuery(benchmark::State& state) {
+  const auto tree = benchmark_tree(static_cast<std::size_t>(state.range(0)));
+  const auto [a, b] = tree.diameter_endpoints();
+  const auto path = tree.path(a, b);
+  Rng rng(11);
+  std::size_t i = 0;
+  std::vector<VertexId> queries(1024);
+  for (auto& v : queries) v = static_cast<VertexId>(rng.index(tree.n()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        project_onto_path(tree, path, queries[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_ProjectionQuery)->Range(1 << 10, 1 << 17);
+
+void BM_TreeAARoundBudget(benchmark::State& state) {
+  // The full publicly-computable round budget (configs over both phases).
+  const auto tree = benchmark_tree(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::tree_aa_rounds(tree, 16, 5));
+  }
+}
+BENCHMARK(BM_TreeAARoundBudget)->Range(1 << 10, 1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

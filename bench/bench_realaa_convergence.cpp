@@ -1,0 +1,155 @@
+// E1 — RealAA convergence and round complexity (paper Theorem 3, Lemma 5,
+// and the Fekete lower bound it is measured against).
+//
+// Regenerates two tables:
+//
+//   Table E1a: rounds to 1-agreement as a function of the input spread D,
+//     compared with the Theorem 3 closed-form bound
+//     ceil(7 log2(D)/log2 log2(D)) and the exact Fekete lower bound
+//     R*(D) = min{R : K(R, D) <= 1}.
+//
+//   Table E1b: per-iteration honest range under (a) no adversary, (b) the
+//     optimal budget-split adversary, against the per-iteration theoretical
+//     envelope t_i/(n-2t) and the end-to-end bound t^R/(R^R (n-2t)^R)
+//     (Lemma 5). The measured trajectory should hug the envelope's shape.
+//
+// Expected shape (the paper's claims): measured rounds grow like
+// log D / log log D, sandwiched between the lower bound and Theorem 3's
+// bound; the adversarial range trajectory decays roughly like the Lemma 5
+// product rather than collapsing instantly.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bounds/fekete.h"
+#include "common/table.h"
+#include "harness/runner.h"
+#include "realaa/adversaries.h"
+#include "realaa/rounds.h"
+
+namespace {
+
+using namespace treeaa;
+
+realaa::Config config_for(std::size_t n, std::size_t t, double D) {
+  realaa::Config cfg;
+  cfg.n = n;
+  cfg.t = t;
+  cfg.eps = 1.0;
+  cfg.known_range = D;
+  return cfg;
+}
+
+void table_e1a() {
+  std::cout << "=== E1a: RealAA rounds vs spread D (n = 16, t = 5, eps = 1) "
+               "===\n";
+  const std::size_t n = 16, t = 5;
+  Table table({"D", "iterations", "rounds", "thm3_bound", "fekete_lower",
+               "final_range"});
+  for (double D : {10.0, 100.0, 1e3, 1e4, 1e5, 1e6}) {
+    const auto cfg = config_for(n, t, D);
+    const auto inputs = harness::spread_real_inputs(n, 0.0, D);
+    realaa::SplitAdversary::Options opts;
+    opts.config = cfg;
+    for (std::size_t i = 0; i < t; ++i) {
+      opts.corrupt.push_back(static_cast<PartyId>(n - 1 - i));
+    }
+    const auto run = harness::run_real_aa(
+        cfg, inputs, std::make_unique<realaa::SplitAdversary>(opts));
+    table.row({fmt_double(D), std::to_string(cfg.iterations()),
+               std::to_string(run.rounds),
+               std::to_string(realaa::theorem3_round_bound(D, 1.0)),
+               std::to_string(bounds::lower_bound_rounds(D, n, t)),
+               fmt_double(run.output_range())});
+  }
+  std::cout << render_for_output(table) << "\n";
+}
+
+void table_e1b() {
+  std::cout << "=== E1b: per-iteration honest range (n = 13, t = 4, D = 1e6) "
+               "===\n";
+  const std::size_t n = 13, t = 4;
+  const double D = 1e6;
+  const auto cfg = config_for(n, t, D);
+  const auto inputs = harness::spread_real_inputs(n, 0.0, D);
+  const std::size_t iters = cfg.iterations();
+
+  // Optimal split: t_i as balanced as possible.
+  realaa::SplitAdversary::Options opts;
+  opts.config = cfg;
+  for (std::size_t i = 0; i < t; ++i) {
+    opts.corrupt.push_back(static_cast<PartyId>(n - 1 - i));
+  }
+  std::vector<std::size_t> schedule(iters, t / iters);
+  for (std::size_t i = 0; i < t % iters; ++i) ++schedule[i];
+  opts.schedule = schedule;
+
+  const auto adversarial = harness::run_real_aa(
+      cfg, inputs, std::make_unique<realaa::SplitAdversary>(opts));
+  const auto honest_run = harness::run_real_aa(cfg, inputs);
+
+  auto range_at = [&](const harness::RealRun& run, std::size_t k) {
+    double lo = 1e300, hi = -1e300;
+    for (const auto& h : run.histories) {
+      if (h.empty()) continue;
+      lo = std::min(lo, h[k]);
+      hi = std::max(hi, h[k]);
+    }
+    return hi - lo;
+  };
+
+  Table table({"iter", "t_i", "range(no adv)", "range(split adv)",
+               "envelope t_i/(n-2t)"});
+  double envelope = D;
+  for (std::size_t k = 0; k <= iters; ++k) {
+    if (k > 0) {
+      const double t_k = static_cast<double>(schedule[k - 1]);
+      envelope *= std::max(t_k, 0.0) / static_cast<double>(n - 2 * t);
+    }
+    table.row({std::to_string(k),
+               k == 0 ? "-" : std::to_string(schedule[k - 1]),
+               fmt_double(range_at(honest_run, k)),
+               fmt_double(range_at(adversarial, k)), fmt_double(envelope)});
+  }
+  std::cout << render_for_output(table);
+  const double lemma5 =
+      D * std::exp(static_cast<double>(iters) *
+                   (std::log(static_cast<double>(t)) -
+                    std::log(static_cast<double>(iters)) -
+                    std::log(static_cast<double>(n - 2 * t))));
+  std::cout << "Lemma 5 end-to-end bound D*t^R/(R^R (n-2t)^R): "
+            << fmt_double(lemma5) << "\n\n";
+}
+
+void table_e1c() {
+  std::cout << "=== E1c: rounds across (n, t) at D = 1e4 ===\n";
+  Table table({"n", "t", "iterations", "rounds", "fekete_lower",
+               "final_range"});
+  for (std::size_t n : {4u, 7u, 13u, 25u, 40u, 64u}) {
+    const std::size_t t = (n - 1) / 3;
+    const double D = 1e4;
+    const auto cfg = config_for(n, t, D);
+    const auto inputs = harness::spread_real_inputs(n, 0.0, D);
+    realaa::SplitAdversary::Options opts;
+    opts.config = cfg;
+    for (std::size_t i = 0; i < t; ++i) {
+      opts.corrupt.push_back(static_cast<PartyId>(n - 1 - i));
+    }
+    const auto run = harness::run_real_aa(
+        cfg, inputs, std::make_unique<realaa::SplitAdversary>(opts));
+    table.row({std::to_string(n), std::to_string(t),
+               std::to_string(cfg.iterations()), std::to_string(run.rounds),
+               std::to_string(bounds::lower_bound_rounds(D, n, t)),
+               fmt_double(run.output_range())});
+  }
+  std::cout << render_for_output(table) << "\n";
+}
+
+}  // namespace
+
+int main() {
+  table_e1a();
+  table_e1b();
+  table_e1c();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Clock synchronization with the RealAA engine — the classic real-valued
+// application cited in the paper's introduction ([28]).
+//
+// Every node holds a local clock offset estimate (milliseconds). Running
+// RealAA(eps) directly gives all honest nodes offsets within eps of each
+// other, inside the range of honest estimates, tolerating t < n/3 nodes
+// that report arbitrary garbage. The example shows the round-optimal engine
+// standalone — the same component TreeAA uses as its building block — and
+// contrasts its round count against the classic DLPSW iteration.
+//
+//   $ ./clock_sync
+#include <iostream>
+
+#include "baselines/iterated_real_aa.h"
+#include "common/table.h"
+#include "harness/runner.h"
+#include "realaa/adversaries.h"
+
+int main() {
+  using namespace treeaa;
+
+  const std::size_t n = 10, t = 3;
+  const double spread_ms = 2000.0;  // clocks drifted up to 2 seconds apart
+  const double eps_ms = 0.5;        // target closeness: half a millisecond
+
+  Rng rng(99);
+  const auto offsets = harness::random_real_inputs(n, -spread_ms / 2,
+                                                   spread_ms / 2, rng);
+
+  realaa::Config cfg;
+  cfg.n = n;
+  cfg.t = t;
+  cfg.eps = eps_ms;
+  cfg.known_range = spread_ms;
+
+  // The faulty nodes mount the optimal budget-split equivocation attack.
+  realaa::SplitAdversary::Options attack;
+  attack.config = cfg;
+  attack.corrupt = {7, 8, 9};
+  const auto run = harness::run_real_aa(
+      cfg, offsets, std::make_unique<realaa::SplitAdversary>(attack));
+
+  std::cout << "synchronized in " << run.rounds << " rounds (vs "
+            << baselines::IteratedRealConfig{n, t, eps_ms, spread_ms}.rounds()
+            << " for the classic halving iteration)\n";
+  Table table({"node", "offset in (ms)", "offset out (ms)"});
+  for (PartyId p = 0; p < n; ++p) {
+    table.row({std::to_string(p), fmt_double(offsets[p], 6),
+               run.outputs[p].has_value() ? fmt_double(*run.outputs[p], 6)
+                                          : "(faulty)"});
+  }
+  std::cout << table.render();
+  std::cout << "honest spread after agreement: "
+            << fmt_double(run.output_range(), 4) << " ms (target "
+            << eps_ms << ")\n";
+  return run.output_range() <= eps_ms ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+// Configuration rollout over a version tree — a discrete-input-space
+// scenario in the spirit of the blockchain-oracle motivation ([5]) from the
+// paper's introduction.
+//
+// A fleet of replicas runs configurations that form a *version tree*: each
+// config was forked from its parent (hotfixes, experiments, regional
+// variants). The operators want the fleet to converge onto (nearly) one
+// version without a coordinator, and the convergence target must be a
+// version on the upgrade path between versions honest replicas actually
+// run — exactly tree-AA Validity. Two adjacent versions (a config and its
+// direct fork) are mutually compatible, so 1-Agreement suffices.
+//
+// Some replicas are compromised and try to drag the fleet toward an
+// abandoned experimental branch by voting for it; Validity makes that
+// impossible.
+//
+//   $ ./version_rollout
+#include <iostream>
+
+#include "core/api.h"
+#include "harness/runner.h"
+#include "sim/strategies.h"
+#include "trees/labeled_tree.h"
+
+int main() {
+  using namespace treeaa;
+
+  // The version tree. Labels sort by release name; "r1.0" is the root.
+  const auto versions = LabeledTree::from_edges({
+      {"r1.0", "r1.1"},
+      {"r1.1", "r1.2"},
+      {"r1.2", "r2.0"},
+      {"r2.0", "r2.1"},
+      {"r2.1", "r2.2"},
+      {"r1.2", "x-exp1"},     // abandoned experimental branch
+      {"x-exp1", "x-exp2"},
+      {"r2.0", "hotfix-a"},   // emergency fork off r2.0
+      {"r2.1", "hotfix-b"},
+  });
+
+  // 10 replicas; the honest ones run versions on the r2.x line.
+  const std::vector<std::string> running{
+      "r2.0", "r2.1", "r2.2", "hotfix-b", "r2.1", "r2.0", "r2.2",
+      // Compromised replicas claim the abandoned branch:
+      "x-exp2", "x-exp2", "x-exp1"};
+  std::vector<VertexId> inputs;
+  for (const auto& label : running) inputs.push_back(*versions.find(label));
+
+  const std::size_t t = 3;
+  // The compromised replicas run the protocol *honestly* with their hostile
+  // inputs — the attack is the input itself (a puppet adversary would be
+  // equivalent; here we let them participate so their votes count).
+  const auto result = core::run_tree_aa(versions, inputs, t);
+
+  std::cout << "fleet converged in " << result.rounds << " rounds:\n";
+  for (PartyId p = 0; p < inputs.size(); ++p) {
+    std::cout << "  replica " << p << ": " << running[p] << " -> "
+              << versions.label(*result.outputs[p]) << "\n";
+  }
+
+  // With ALL parties honest, outputs lie in the hull of all inputs. The
+  // interesting check: rerun with the experimenters actually corrupted
+  // (silent), and observe that the abandoned branch cannot be the outcome.
+  auto adversary =
+      std::make_unique<sim::SilentAdversary>(std::vector<PartyId>{7, 8, 9});
+  const auto guarded =
+      core::run_tree_aa(versions, inputs, t, {}, std::move(adversary));
+  std::vector<VertexId> honest_inputs(inputs.begin(), inputs.begin() + 7);
+  const auto check = core::check_agreement(versions, honest_inputs,
+                                           guarded.honest_outputs());
+  std::cout << "with replicas 7-9 Byzantine, the fleet lands on:";
+  for (const VertexId v : guarded.honest_outputs()) {
+    std::cout << " " << versions.label(v);
+  }
+  std::cout << "\n(all on the r2.x line: " << (check.valid ? "yes" : "NO")
+            << ", pairwise compatible: "
+            << (check.one_agreement ? "yes" : "NO") << ")\n";
+  return check.ok() ? 0 : 1;
+}

@@ -1,0 +1,144 @@
+#include "async/engine.h"
+
+#include <algorithm>
+
+namespace treeaa::async {
+
+std::size_t AsyncView::n() const { return engine_.n(); }
+std::size_t AsyncView::t() const { return engine_.t(); }
+bool AsyncView::is_corrupt(PartyId p) const { return engine_.is_corrupt(p); }
+std::vector<PartyId> AsyncView::corrupt() const { return engine_.corrupt(); }
+std::span<const Pending> AsyncView::pending() const {
+  return engine_.pending_;
+}
+
+void AsyncView::send(PartyId from, PartyId to, Bytes payload) {
+  TREEAA_REQUIRE_MSG(engine_.is_corrupt(from),
+                     "async adversary can only send from corrupt parties");
+  TREEAA_REQUIRE(to < engine_.n());
+  TREEAA_REQUIRE_MSG(engine_.started_,
+                     "async adversary must not send during init");
+  TREEAA_REQUIRE_MSG(payload.size() <= (1u << 24),
+                     "message exceeds 16 MiB cap");
+  engine_.pending_.push_back(
+      Pending{from, to, std::move(payload), engine_.seq_++});
+}
+
+AsyncEngine::AsyncEngine(std::size_t n, std::size_t t,
+                         std::vector<PartyId> corrupt,
+                         SchedulerKind scheduler, std::uint64_t seed)
+    : t_(t), scheduler_(scheduler), rng_(seed) {
+  TREEAA_REQUIRE(n >= 1 && t < n);
+  TREEAA_REQUIRE(corrupt.size() <= t);
+  processes_.resize(n);
+  corrupt_.assign(n, false);
+  for (const PartyId p : corrupt) {
+    TREEAA_REQUIRE(p < n);
+    corrupt_[p] = true;
+  }
+  adversary_ = std::make_unique<AsyncAdversary>();
+}
+
+void AsyncEngine::set_process(PartyId p, std::unique_ptr<AsyncProcess> proc) {
+  TREEAA_REQUIRE(p < n() && proc != nullptr && !started_);
+  processes_[p] = std::move(proc);
+}
+
+void AsyncEngine::set_adversary(std::unique_ptr<AsyncAdversary> adversary) {
+  TREEAA_REQUIRE(adversary != nullptr && !started_);
+  adversary_ = std::move(adversary);
+}
+
+std::vector<PartyId> AsyncEngine::corrupt() const {
+  std::vector<PartyId> out;
+  for (PartyId p = 0; p < n(); ++p) {
+    if (corrupt_[p]) out.push_back(p);
+  }
+  return out;
+}
+
+AsyncProcess& AsyncEngine::process(PartyId p) {
+  TREEAA_REQUIRE(p < n());
+  TREEAA_REQUIRE_MSG(processes_[p] != nullptr, "no process for " << p);
+  return *processes_[p];
+}
+
+void AsyncEngine::enqueue(PartyId from, Mailbox& box) {
+  for (auto& item : box.items()) {
+    pending_.push_back(
+        Pending{from, item.to, std::move(item.payload), seq_++});
+  }
+  box.items().clear();
+}
+
+std::size_t AsyncEngine::pick() {
+  switch (scheduler_) {
+    case SchedulerKind::kFifo: {
+      // Oldest message first (min seq).
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < pending_.size(); ++i) {
+        if (pending_[i].seq < pending_[best].seq) best = i;
+      }
+      return best;
+    }
+    case SchedulerKind::kLifo: {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < pending_.size(); ++i) {
+        if (pending_[i].seq > pending_[best].seq) best = i;
+      }
+      return best;
+    }
+    case SchedulerKind::kRandom:
+      return rng_.index(pending_.size());
+  }
+  TREEAA_CHECK_MSG(false, "unknown scheduler");
+  return 0;
+}
+
+void AsyncEngine::run(std::uint64_t max_deliveries) {
+  for (PartyId p = 0; p < n(); ++p) {
+    TREEAA_REQUIRE_MSG(processes_[p] != nullptr,
+                       "party " << p << " has no process");
+  }
+  if (!started_) {
+    AsyncView view(*this);
+    adversary_->init(view);
+    started_ = true;
+    for (PartyId p = 0; p < n(); ++p) {
+      if (corrupt_[p]) continue;
+      Mailbox box(p, n());
+      processes_[p]->on_start(box);
+      enqueue(p, box);
+    }
+  }
+
+  auto all_done = [&] {
+    for (PartyId p = 0; p < n(); ++p) {
+      if (!corrupt_[p] && !processes_[p]->done()) return false;
+    }
+    return true;
+  };
+
+  while (!all_done()) {
+    {
+      AsyncView view(*this);
+      adversary_->step(view);
+    }
+    TREEAA_CHECK_MSG(!pending_.empty(),
+                     "async system quiescent before all honest parties "
+                     "finished — liveness bug");
+    TREEAA_CHECK_MSG(deliveries_ < max_deliveries,
+                     "delivery cap exceeded — runaway execution");
+    const std::size_t i = pick();
+    Pending msg = std::move(pending_[i]);
+    pending_[i] = std::move(pending_.back());
+    pending_.pop_back();
+    ++deliveries_;
+    if (corrupt_[msg.to]) continue;  // corrupt parties have no process
+    Mailbox box(msg.to, n());
+    processes_[msg.to]->on_message(msg.from, msg.payload, box);
+    enqueue(msg.to, box);
+  }
+}
+
+}  // namespace treeaa::async

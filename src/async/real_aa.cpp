@@ -1,0 +1,37 @@
+#include "async/real_aa.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "realaa/real_aa.h"
+#include "realaa/wire.h"
+
+namespace treeaa::async {
+
+std::size_t AsyncRealConfig::iterations() const {
+  TREEAA_REQUIRE(known_range >= 0 && eps > 0);
+  const double delta = known_range / eps;
+  if (delta <= 1.0) return 0;
+  return static_cast<std::size_t>(std::ceil(std::log2(delta)));
+}
+
+Bytes RealValuePolicy::encode(const double& v) const {
+  return realaa::encode_value(v);
+}
+
+std::optional<double> RealValuePolicy::decode(const Bytes& b) const {
+  return realaa::decode_value(b);
+}
+
+double RealValuePolicy::update(std::vector<double> multiset,
+                               std::size_t t) const {
+  return realaa::trimmed_update(std::move(multiset), t,
+                                realaa::UpdateRule::kTrimmedMidpoint);
+}
+
+AsyncRealAAProcess::AsyncRealAAProcess(const AsyncRealConfig& config,
+                                       PartyId self, double input)
+    : WitnessAAProcess(RealValuePolicy(config.iterations()), config.n,
+                       config.t, self, input) {}
+
+}  // namespace treeaa::async

@@ -1,0 +1,54 @@
+// Asynchronous AA on real values — the classic t < n/3 protocol of
+// Abraham–Amit–Dolev (the paper's reference [1]), via the witness-technique
+// skeleton: values are reals, the update is the trimmed midpoint, and
+// ceil(log2(D/eps)) iterations halve the honest range per iteration.
+//
+// Included because the paper's round-complexity story starts here: in the
+// asynchronous model this halving rate roughly *matches* Fekete's
+// asynchronous lower bound, whereas synchrony admits the much faster
+// detect-and-deny protocol (realaa/real_aa.h) that TreeAA builds on.
+#pragma once
+
+#include <optional>
+
+#include "async/witness_aa.h"
+
+namespace treeaa::async {
+
+struct AsyncRealConfig {
+  std::size_t n = 0;
+  std::size_t t = 0;
+  double eps = 1.0;
+  /// Public upper bound on the spread of honest inputs.
+  double known_range = 0.0;
+
+  /// ceil(log2(D/eps)); 0 when D <= eps.
+  [[nodiscard]] std::size_t iterations() const;
+};
+
+/// The witness-skeleton policy for real-valued AA.
+class RealValuePolicy {
+ public:
+  explicit RealValuePolicy(std::size_t iterations)
+      : iterations_(iterations) {}
+
+  using Value = double;
+  [[nodiscard]] std::size_t iterations() const { return iterations_; }
+  [[nodiscard]] Bytes encode(const double& v) const;
+  /// Rejects non-finite values (same hardening as the sync engine).
+  [[nodiscard]] std::optional<double> decode(const Bytes& b) const;
+  /// Trimmed midpoint: drop the t lowest/highest, midpoint the rest.
+  [[nodiscard]] double update(std::vector<double> multiset,
+                              std::size_t t) const;
+
+ private:
+  std::size_t iterations_;
+};
+
+class AsyncRealAAProcess final : public WitnessAAProcess<RealValuePolicy> {
+ public:
+  AsyncRealAAProcess(const AsyncRealConfig& config, PartyId self,
+                     double input);
+};
+
+}  // namespace treeaa::async

@@ -1,0 +1,41 @@
+#include "async/tree_aa.h"
+
+#include <cmath>
+
+#include "baselines/iterated_tree_aa.h"
+#include "common/check.h"
+#include "trees/safe_area.h"
+
+namespace treeaa::async {
+
+std::size_t AsyncTreeConfig::iterations(const LabeledTree& tree) const {
+  const auto d = tree.diameter();
+  if (d <= 1) return 0;
+  return static_cast<std::size_t>(
+             std::ceil(std::log2(static_cast<double>(d)))) +
+         kSlackIterations;
+}
+
+Bytes TreeValuePolicy::encode(const VertexId& v) const {
+  return baselines::encode_vertex(v);
+}
+
+std::optional<VertexId> TreeValuePolicy::decode(const Bytes& b) const {
+  return baselines::decode_vertex(b, tree_->n());
+}
+
+VertexId TreeValuePolicy::update(std::vector<VertexId> multiset,
+                                 std::size_t t) const {
+  const auto area = safe_area(*tree_, multiset, t);
+  return subtree_midpoint(*tree_, area);
+}
+
+AsyncTreeAAProcess::AsyncTreeAAProcess(const LabeledTree& tree,
+                                       const AsyncTreeConfig& config,
+                                       PartyId self, VertexId input)
+    : WitnessAAProcess(TreeValuePolicy(tree, config.iterations(tree)),
+                       config.n, config.t, self, input) {
+  tree.require_vertex(input);
+}
+
+}  // namespace treeaa::async

@@ -1,0 +1,55 @@
+// Asynchronous AA on trees — the Nowak–Rybicki protocol the paper cites as
+// the (previous) state of the art (§1.2), in its native asynchronous model.
+//
+// An instantiation of the witness-technique skeleton (witness_aa.h): values
+// are vertices, the update is the safe-area diametral midpoint, and
+// ceil(log2 D(T)) + slack iterations halve the honest hull down to
+// 1-Agreement — the 2^-R convergence this paper's synchronous protocol
+// beats.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "async/witness_aa.h"
+#include "common/types.h"
+#include "trees/labeled_tree.h"
+
+namespace treeaa::async {
+
+struct AsyncTreeConfig {
+  std::size_t n = 0;
+  std::size_t t = 0;
+  static constexpr std::size_t kSlackIterations = 2;
+
+  /// ceil(log2 D(T)) + slack; 0 for trivial input spaces (D <= 1).
+  [[nodiscard]] std::size_t iterations(const LabeledTree& tree) const;
+};
+
+/// The witness-skeleton policy for tree-valued AA.
+class TreeValuePolicy {
+ public:
+  using Value = VertexId;
+
+  TreeValuePolicy(const LabeledTree& tree, std::size_t iterations)
+      : tree_(&tree), iterations_(iterations) {}
+
+  [[nodiscard]] std::size_t iterations() const { return iterations_; }
+  [[nodiscard]] Bytes encode(const VertexId& v) const;
+  [[nodiscard]] std::optional<VertexId> decode(const Bytes& b) const;
+  /// Safe-area diametral midpoint (see trees/safe_area.h).
+  [[nodiscard]] VertexId update(std::vector<VertexId> multiset,
+                                std::size_t t) const;
+
+ private:
+  const LabeledTree* tree_;
+  std::size_t iterations_;
+};
+
+class AsyncTreeAAProcess final : public WitnessAAProcess<TreeValuePolicy> {
+ public:
+  AsyncTreeAAProcess(const LabeledTree& tree, const AsyncTreeConfig& config,
+                     PartyId self, VertexId input);
+};
+
+}  // namespace treeaa::async

@@ -1,0 +1,63 @@
+#include "bounds/chain.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace treeaa::bounds {
+
+std::vector<std::vector<double>> fekete_chain_r1(std::size_t n,
+                                                 std::size_t t, double a,
+                                                 double b) {
+  TREEAA_REQUIRE(n >= 1 && t >= 1 && t < n);
+  TREEAA_REQUIRE(a <= b);
+  const std::size_t steps = (n + t - 1) / t;  // ceil(n / t)
+  std::vector<std::vector<double>> chain;
+  chain.reserve(steps + 1);
+  for (std::size_t k = 0; k <= steps; ++k) {
+    std::vector<double> view(n, a);
+    const std::size_t flipped = std::min(n, k * t);
+    std::fill(view.begin(),
+              view.begin() + static_cast<std::ptrdiff_t>(flipped), b);
+    chain.push_back(std::move(view));
+  }
+  return chain;
+}
+
+bool verify_chain_r1(const std::vector<std::vector<double>>& chain,
+                     std::size_t n, std::size_t t, double a, double b) {
+  if (chain.size() < 2) return false;
+  for (const auto& view : chain) {
+    if (view.size() != n) return false;
+  }
+  const bool ends_ok =
+      std::all_of(chain.front().begin(), chain.front().end(),
+                  [&](double v) { return v == a; }) &&
+      std::all_of(chain.back().begin(), chain.back().end(),
+                  [&](double v) { return v == b; });
+  if (!ends_ok) return false;
+  for (std::size_t k = 0; k + 1 < chain.size(); ++k) {
+    std::size_t diff = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (chain[k][i] != chain[k + 1][i]) ++diff;
+    }
+    if (diff > t) return false;
+  }
+  return true;
+}
+
+double max_adjacent_gap(const std::vector<std::vector<double>>& chain,
+                        const DecisionRule& f) {
+  TREEAA_REQUIRE(chain.size() >= 2);
+  double best = 0.0;
+  double prev = f(chain.front());
+  for (std::size_t k = 1; k < chain.size(); ++k) {
+    const double cur = f(chain[k]);
+    best = std::max(best, std::abs(cur - prev));
+    prev = cur;
+  }
+  return best;
+}
+
+}  // namespace treeaa::bounds

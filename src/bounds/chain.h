@@ -1,0 +1,49 @@
+// Fekete's indistinguishability chain (paper §3, proof sketch of
+// Theorem 1), made executable for one-round protocols.
+//
+// A one-round full-information protocol has every party send its input to
+// everyone; a party's *view* is the vector of n values it received (slot k
+// from sender k), and its output is f(view) for a deterministic decision
+// function f. Fekete's argument constructs a chain of views
+//
+//   w_0 = (a, a, ..., a)   ->   w_s = (b, b, ..., b)
+//
+// where adjacent views are *confusable*: some execution with at most t
+// Byzantine parties produces both views at two honest parties (for R = 1
+// that is exactly "the views differ in at most t coordinates" — the
+// differing senders are Byzantine and equivocated). Validity pins
+// f(w_0) = a and f(w_s) = b, so some adjacent pair satisfies
+// |f(w) - f(w')| >= (b - a)/s with s = ceil(n/t): no one-round rule — ours
+// included — can beat the chain. The tests drive this against the library's
+// own trimmed update rules; bench_lower_bound prints the resulting table.
+//
+// (For R > 1 the views become recursive message trees and the chain length
+// gains the R^R/t^R structure; this module implements the R = 1 base case,
+// which already exhibits the mechanism.)
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace treeaa::bounds {
+
+/// The chain of one-round views. views[k] has the first k*t slots equal to
+/// b and the rest equal to a. Requires n >= 1, 1 <= t < n, a <= b.
+[[nodiscard]] std::vector<std::vector<double>> fekete_chain_r1(
+    std::size_t n, std::size_t t, double a, double b);
+
+/// Verifies the confusability invariant: endpoints all-a / all-b and
+/// adjacent views differing in at most t coordinates.
+[[nodiscard]] bool verify_chain_r1(
+    const std::vector<std::vector<double>>& chain, std::size_t n,
+    std::size_t t, double a, double b);
+
+/// A deterministic one-round decision rule: view -> output.
+using DecisionRule = std::function<double(const std::vector<double>&)>;
+
+/// The largest |f(w_k) - f(w_{k+1})| over the chain — the output gap some
+/// execution of the protocol exhibits between two honest parties.
+[[nodiscard]] double max_adjacent_gap(
+    const std::vector<std::vector<double>>& chain, const DecisionRule& f);
+
+}  // namespace treeaa::bounds

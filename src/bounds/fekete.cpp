@@ -1,0 +1,58 @@
+#include "bounds/fekete.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace treeaa::bounds {
+
+double log_best_budget_product(std::size_t t, std::size_t R) {
+  TREEAA_REQUIRE(R >= 1);
+  if (t <= R) return 0.0;  // all parts 1 (product 1) is the best available
+  // Balanced partition of t into R parts: `hi_parts` parts of size q + 1 and
+  // the rest of size q. Moving a unit between parts differing by >= 2
+  // always increases the product, so balanced is optimal.
+  const std::size_t q = t / R;
+  const std::size_t hi_parts = t % R;
+  return static_cast<double>(hi_parts) * std::log(static_cast<double>(q + 1)) +
+         static_cast<double>(R - hi_parts) *
+             std::log(static_cast<double>(q));
+}
+
+double log_fekete_k(std::size_t R, double D, std::size_t n, std::size_t t) {
+  TREEAA_REQUIRE(R >= 1 && D > 0 && n >= 1);
+  return std::log(D) + log_best_budget_product(t, R) -
+         static_cast<double>(R) * std::log(static_cast<double>(n + t));
+}
+
+double log_fekete_k_simple(std::size_t R, double D, std::size_t n,
+                           std::size_t t) {
+  TREEAA_REQUIRE(R >= 1 && D > 0 && t >= 1);
+  const double rd = static_cast<double>(R);
+  return std::log(D) +
+         rd * (std::log(static_cast<double>(t)) - std::log(rd) -
+               std::log(static_cast<double>(n + t)));
+}
+
+std::size_t lower_bound_rounds(double D, std::size_t n, std::size_t t) {
+  TREEAA_REQUIRE(D >= 0 && n >= 1);
+  if (D <= 1.0) return 0;
+  // K(R, D) is strictly decreasing in R (each extra round divides by
+  // (n + t) and at best multiplies the budget product by a factor < n + t),
+  // so scan upward. R is O(log D), so this terminates quickly.
+  std::size_t r = 1;
+  while (log_fekete_k(r, D, n, t) > 0.0) ++r;
+  return r;
+}
+
+double theorem2_closed_form(double D, std::size_t n, std::size_t t) {
+  if (D < 4.0 || t == 0) return 0.0;
+  const double log_d = std::log2(D);
+  const double delta =
+      static_cast<double>(n + t) / static_cast<double>(t);
+  const double denom = std::log2(log_d) + std::log2(delta);
+  TREEAA_CHECK(denom > 0.0);
+  return log_d / denom;
+}
+
+}  // namespace treeaa::bounds

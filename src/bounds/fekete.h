@@ -1,0 +1,53 @@
+// Fekete's lower bound, adapted to trees (paper §3).
+//
+// Theorem 1 (Fekete, restated): any deterministic R-round protocol with
+// Validity and Termination has an execution in which two honest outputs are
+// at least K(R, D) apart, where
+//
+//   K(R, D) = D * sup{ t_1 * ... * t_R : t_i ∈ N, t_1 + ... + t_R <= t }
+//                 / (n + t)^R
+//           >= D * t^R / (R^R * (n + t)^R).
+//
+// Corollary 1 carries this to trees verbatim with D = D(T), and Theorem 2
+// turns it into an explicit round lower bound:
+// Omega(log D / (log log D + log((n+t)/t))).
+//
+// This module computes all three quantities exactly (in log space, so they
+// survive D = 10^18): the optimal corruption-budget partition, K(R, D), the
+// smallest R with K(R, D) <= 1 (no R-round protocol below it can achieve
+// 1-Agreement), and Theorem 2's closed form.
+#pragma once
+
+#include <cstddef>
+
+namespace treeaa::bounds {
+
+/// ln of the largest product t_1 * ... * t_R with t_i >= 1 integers summing
+/// to at most `t`. The optimum is the balanced partition (parts differing by
+/// at most 1); if t < R the budget cannot cover every round and the product
+/// degenerates to 1 (cheat in t rounds, ride along in the rest — matching
+/// the chain construction in Fekete's proof). Requires R >= 1.
+[[nodiscard]] double log_best_budget_product(std::size_t t, std::size_t R);
+
+/// ln K(R, D) with the exact optimal budget partition. Requires R >= 1,
+/// D > 0, n >= 1.
+[[nodiscard]] double log_fekete_k(std::size_t R, double D, std::size_t n,
+                                  std::size_t t);
+
+/// ln of the simplified bound D * t^R / (R^R * (n+t)^R) (the right-hand
+/// inequality of Theorem 1). Requires t >= 1.
+[[nodiscard]] double log_fekete_k_simple(std::size_t R, double D,
+                                         std::size_t n, std::size_t t);
+
+/// The smallest R with K(R, D) <= 1: every deterministic protocol achieving
+/// 1-Agreement on inputs D apart needs at least this many rounds (Theorem 2
+/// instantiated exactly rather than asymptotically). Returns 0 when D <= 1.
+[[nodiscard]] std::size_t lower_bound_rounds(double D, std::size_t n,
+                                             std::size_t t);
+
+/// Theorem 2's closed-form expression log2(D) / (log2 log2 D + log2((n+t)/t)),
+/// clamped to 0 when degenerate (D < 4 or t = 0).
+[[nodiscard]] double theorem2_closed_form(double D, std::size_t n,
+                                          std::size_t t);
+
+}  // namespace treeaa::bounds

@@ -1,0 +1,72 @@
+// Lightweight contract checking for the treeaa library.
+//
+// Two severities:
+//   * TREEAA_CHECK   — internal invariant; violation indicates a bug in this
+//                      library. Throws treeaa::InternalError.
+//   * TREEAA_REQUIRE — precondition on caller-supplied arguments. Throws
+//                      std::invalid_argument.
+//
+// Both are always on: protocol code in this repository is verification code,
+// and silent corruption is far worse than the cost of a branch.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace treeaa {
+
+/// Raised when an internal invariant of the library is violated.
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (kind[0] == 'T') throw InternalError(os.str());
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace detail
+}  // namespace treeaa
+
+#define TREEAA_CHECK(expr)                                                 \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::treeaa::detail::check_failed("TREEAA_CHECK", #expr, __FILE__,      \
+                                     __LINE__, "");                        \
+  } while (false)
+
+#define TREEAA_CHECK_MSG(expr, msg)                                        \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream os_;                                              \
+      os_ << msg;                                                          \
+      ::treeaa::detail::check_failed("TREEAA_CHECK", #expr, __FILE__,      \
+                                     __LINE__, os_.str());                 \
+    }                                                                      \
+  } while (false)
+
+#define TREEAA_REQUIRE(expr)                                               \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::treeaa::detail::check_failed("REQUIRE", #expr, __FILE__, __LINE__, \
+                                     "");                                  \
+  } while (false)
+
+#define TREEAA_REQUIRE_MSG(expr, msg)                                      \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream os_;                                              \
+      os_ << msg;                                                          \
+      ::treeaa::detail::check_failed("REQUIRE", #expr, __FILE__, __LINE__, \
+                                     os_.str());                           \
+    }                                                                      \
+  } while (false)

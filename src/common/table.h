@@ -1,0 +1,49 @@
+// Plain-text table rendering for experiment harnesses and benches.
+//
+// Every bench binary in this repository prints paper-style tables; this
+// helper keeps column alignment and numeric formatting consistent across all
+// of them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace treeaa {
+
+/// Column-aligned ASCII table. Usage:
+///   Table t({"n", "t", "rounds"});
+///   t.row({"16", "5", "21"});
+///   std::cout << t.render();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a data row; must have exactly as many cells as the header.
+  void row(std::vector<std::string> cells);
+
+  /// Renders the table, including a rule under the header.
+  [[nodiscard]] std::string render() const;
+
+  /// RFC-4180-ish CSV rendering (quotes cells containing commas/quotes).
+  [[nodiscard]] std::string render_csv() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant digits, trimming trailing
+/// zeros ("3.5", "1.2e-07", "12").
+[[nodiscard]] std::string fmt_double(double v, int digits = 4);
+
+/// Formats a ratio as e.g. "3.42x".
+[[nodiscard]] std::string fmt_ratio(double v);
+
+/// render() normally; render_csv() when the TREEAA_CSV environment variable
+/// is set — so every bench binary doubles as a machine-readable exporter
+/// (`TREEAA_CSV=1 ./bench_treeaa_rounds > rounds.csv`).
+[[nodiscard]] std::string render_for_output(const Table& table);
+
+}  // namespace treeaa

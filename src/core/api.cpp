@@ -1,0 +1,93 @@
+#include "core/api.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/check.h"
+#include "sim/engine.h"
+#include "trees/euler.h"
+#include "trees/paths.h"
+
+namespace treeaa::core {
+
+std::vector<VertexId> RunResult::honest_outputs() const {
+  std::vector<VertexId> out;
+  for (const auto& o : outputs) {
+    if (o.has_value()) out.push_back(*o);
+  }
+  return out;
+}
+
+RunResult run_tree_aa(const LabeledTree& tree,
+                      const std::vector<VertexId>& inputs, std::size_t t,
+                      TreeAAOptions opts,
+                      std::unique_ptr<sim::Adversary> adversary) {
+  const std::size_t n = inputs.size();
+  TREEAA_REQUIRE_MSG(n > 3 * t, "TreeAA requires n > 3t (n = " << n
+                                                               << ", t = " << t
+                                                               << ")");
+  for (const VertexId v : inputs) tree.require_vertex(v);
+
+  const EulerList euler(tree);
+  sim::Engine engine(n, std::max<std::size_t>(t, 1));
+  std::vector<TreeAAProcess*> procs(n);
+  for (PartyId p = 0; p < n; ++p) {
+    auto proc =
+        std::make_unique<TreeAAProcess>(tree, euler, n, t, p, inputs[p], opts);
+    procs[p] = proc.get();
+    engine.set_process(p, std::move(proc));
+  }
+  if (adversary != nullptr) engine.set_adversary(std::move(adversary));
+
+  const std::size_t rounds = tree_aa_rounds(tree, n, t, opts);
+  engine.run(static_cast<Round>(rounds));
+
+  RunResult result;
+  result.outputs.resize(n);
+  std::optional<VertexId> first_tip;
+  for (PartyId p = 0; p < n; ++p) {
+    if (engine.is_corrupt(p)) continue;
+    result.outputs[p] = procs[p]->output();
+    TREEAA_CHECK_MSG(result.outputs[p].has_value(),
+                     "honest party " << p << " failed to terminate");
+    const auto telemetry = procs[p]->telemetry();
+    if (telemetry.clamped) ++result.clamp_count;
+    result.max_detected_faulty =
+        std::max(result.max_detected_faulty, telemetry.detected_faulty);
+    if (procs[p]->path().has_value()) {
+      const VertexId tip = procs[p]->path()->back();
+      if (first_tip.has_value() && *first_tip != tip) {
+        result.path_split = true;
+      }
+      first_tip = first_tip.value_or(tip);
+    }
+  }
+  result.corrupt = engine.corrupt();
+  result.rounds = engine.rounds_elapsed();
+  result.traffic = engine.stats();
+  return result;
+}
+
+AgreementCheck check_agreement(const LabeledTree& tree,
+                               const std::vector<VertexId>& honest_inputs,
+                               const std::vector<VertexId>& honest_outputs) {
+  TREEAA_REQUIRE(!honest_inputs.empty() && !honest_outputs.empty());
+  AgreementCheck check;
+
+  std::vector<bool> hull(tree.n(), false);
+  for (const VertexId v : convex_hull(tree, honest_inputs)) hull[v] = true;
+  check.valid = std::all_of(honest_outputs.begin(), honest_outputs.end(),
+                            [&](VertexId v) { return hull[v]; });
+
+  check.max_pairwise_distance = 0;
+  for (const VertexId u : honest_outputs) {
+    for (const VertexId v : honest_outputs) {
+      check.max_pairwise_distance =
+          std::max(check.max_pairwise_distance, tree.distance(u, v));
+    }
+  }
+  check.one_agreement = check.max_pairwise_distance <= 1;
+  return check;
+}
+
+}  // namespace treeaa::core

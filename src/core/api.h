@@ -1,0 +1,69 @@
+// High-level convenience API: run a full TreeAA execution on the simulator
+// in one call, and check the AA guarantees of the honest outputs.
+//
+// This is the entry point most users (and all examples) want; the
+// process-level classes underneath remain available for embedding protocols
+// into custom simulations.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "core/tree_aa.h"
+#include "sim/adversary.h"
+#include "sim/stats.h"
+#include "trees/labeled_tree.h"
+
+namespace treeaa::core {
+
+struct RunResult {
+  /// Per-party outputs; disengaged for corrupt parties (their "output" is
+  /// meaningless) — honest parties always produce one (Termination).
+  std::vector<std::optional<VertexId>> outputs;
+  /// Parties the adversary corrupted during the run.
+  std::vector<PartyId> corrupt;
+  /// Synchronous rounds consumed.
+  Round rounds = 0;
+  sim::TrafficStats traffic;
+
+  // --- Execution telemetry (aggregated over honest parties) ---------------
+  /// Honest parties ended PathsFinder with more than one distinct path
+  /// (always a one-edge difference — Lemma 4).
+  bool path_split = false;
+  /// Honest parties whose Figure-5 clamp fired (closestInt(j) > k).
+  std::size_t clamp_count = 0;
+  /// Max number of Byzantine parties any honest party proved in phase 2.
+  std::size_t max_detected_faulty = 0;
+
+  /// Outputs of honest parties only.
+  [[nodiscard]] std::vector<VertexId> honest_outputs() const;
+};
+
+/// Runs TreeAA with `inputs.size()` parties holding the given input
+/// vertices, tolerating up to `t` corruptions, against `adversary`
+/// (nullptr = no adversary). Throws std::invalid_argument unless n > 3t and
+/// every input is a vertex of `tree`.
+[[nodiscard]] RunResult run_tree_aa(
+    const LabeledTree& tree, const std::vector<VertexId>& inputs,
+    std::size_t t, TreeAAOptions opts = {},
+    std::unique_ptr<sim::Adversary> adversary = nullptr);
+
+/// The verdict of check_agreement: both AA conditions on trees
+/// (Definition 2), evaluated against the honest inputs/outputs.
+struct AgreementCheck {
+  bool valid = false;          // all outputs in <honest inputs>
+  bool one_agreement = false;  // pairwise output distance <= 1
+  std::uint32_t max_pairwise_distance = 0;
+
+  [[nodiscard]] bool ok() const { return valid && one_agreement; }
+};
+
+/// Checks Validity and 1-Agreement of `honest_outputs` against
+/// `honest_inputs` on `tree`. Requires both sets non-empty.
+[[nodiscard]] AgreementCheck check_agreement(
+    const LabeledTree& tree, const std::vector<VertexId>& honest_inputs,
+    const std::vector<VertexId>& honest_outputs);
+
+}  // namespace treeaa::core

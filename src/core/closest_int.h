@@ -1,0 +1,24 @@
+// closestInt — the rounding rule of the paper's §4.
+//
+// "If z <= j < z + 1 for z ∈ Z, closestInt(j) := z if j - z < (z + 1) - j
+//  and closestInt(j) := z + 1 otherwise."
+//
+// So ties (j = z + 1/2) round *up*. The two facts the protocol relies on are
+// Remark 1 (closestInt maps [i_min, i_max] into [i_min, i_max] for integer
+// bounds) and Remark 2 (1-close reals map to 1-close integers); both are
+// unit-tested exhaustively.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace treeaa {
+
+[[nodiscard]] inline std::int64_t closest_int(double j) {
+  const double z = std::floor(j);
+  // j - z < (z + 1) - j  <=>  j - z < 0.5
+  const std::int64_t zi = static_cast<std::int64_t>(z);
+  return (j - z < 0.5) ? zi : zi + 1;
+}
+
+}  // namespace treeaa

@@ -1,0 +1,64 @@
+#include "core/path_aa.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/closest_int.h"
+#include "trees/paths.h"
+
+namespace treeaa::core {
+
+
+std::vector<VertexId> canonical_path_order(const LabeledTree& path_tree) {
+  if (path_tree.n() == 1) return {path_tree.root()};
+  // Endpoints are the degree-1 vertices; a path has exactly two.
+  std::vector<VertexId> endpoints;
+  for (VertexId v = 0; v < path_tree.n(); ++v) {
+    TREEAA_REQUIRE_MSG(path_tree.degree(v) <= 2,
+                       "input space is not a path (vertex "
+                           << path_tree.label(v) << " has degree "
+                           << path_tree.degree(v) << ")");
+    if (path_tree.degree(v) == 1) endpoints.push_back(v);
+  }
+  TREEAA_CHECK(endpoints.size() == 2);
+  // Vertex ids are assigned in label order, so the smaller id is the
+  // endpoint with the lexicographically lower label.
+  const VertexId start = std::min(endpoints[0], endpoints[1]);
+  const VertexId finish = std::max(endpoints[0], endpoints[1]);
+  auto order = path_tree.path(start, finish);
+  TREEAA_CHECK(order.size() == path_tree.n());
+  return order;
+}
+
+PathAAProcess::PathAAProcess(const LabeledTree& path_tree, std::size_t n,
+                             std::size_t t, PartyId self, VertexId input,
+                             PathAAOptions opts)
+    : tree_(path_tree),
+      order_(canonical_path_order(path_tree)),
+      real_(make_real_engine(
+          opts.engine_config(), n, t,
+          static_cast<double>(path_tree.diameter()), 1.0, self,
+          static_cast<double>(index_in_path(order_, input)))) {
+  tree_.require_vertex(input);
+  if (real_->output().has_value()) {
+    // 0-iteration configuration (D(P) <= 1): output the input directly.
+    output_ = input;
+  }
+}
+
+void PathAAProcess::on_round_begin(Round r, sim::Mailer& out) {
+  real_->on_round_begin(r, out);
+}
+
+void PathAAProcess::on_round_end(Round r,
+                                 std::span<const sim::Envelope> inbox) {
+  real_->on_round_end(r, inbox);
+  if (output_.has_value() || !real_->output().has_value()) return;
+  const std::int64_t idx = closest_int(*real_->output());
+  TREEAA_CHECK_MSG(idx >= 1 && idx <= static_cast<std::int64_t>(order_.size()),
+                   "RealAA output " << *real_->output()
+                                    << " outside the path index range");
+  output_ = order_[static_cast<std::size_t>(idx - 1)];
+}
+
+}  // namespace treeaa::core

@@ -1,0 +1,73 @@
+#include "core/paths_finder.h"
+
+#include "common/check.h"
+#include "core/closest_int.h"
+
+namespace treeaa::core {
+
+double paths_finder_range(const LabeledTree& tree) {
+  // Honest inputs are indices in [1, |L|], so their spread is at most
+  // |L| - 1 = 2|V(T)| - 2 < 2|V(T)| (the bound Lemma 4 uses).
+  return static_cast<double>(2 * tree.n() - 2);
+}
+
+realaa::Config paths_finder_config(const LabeledTree& tree, std::size_t n,
+                                   std::size_t t,
+                                   const PathsFinderOptions& opts) {
+  realaa::Config cfg;
+  cfg.n = n;
+  cfg.t = t;
+  cfg.eps = 1.0;
+  cfg.known_range = paths_finder_range(tree);
+  cfg.update = opts.update;
+  cfg.mode = opts.mode;
+  return cfg;
+}
+
+namespace {
+
+std::size_t chosen_index(const EulerList& euler, VertexId input,
+                         EulerIndexChoice choice) {
+  return choice == EulerIndexChoice::kMinOccurrence
+             ? euler.first_occurrence(input)
+             : euler.last_occurrence(input);
+}
+
+}  // namespace
+
+PathsFinderProcess::PathsFinderProcess(const LabeledTree& tree,
+                                       const EulerList& euler, std::size_t n,
+                                       std::size_t t, PartyId self,
+                                       VertexId input,
+                                       PathsFinderOptions opts)
+    : tree_(tree),
+      euler_(euler),
+      real_(make_real_engine(
+          opts.engine_config(), n, t, paths_finder_range(tree), 1.0, self,
+          static_cast<double>(
+              chosen_index(euler, input, opts.index_choice)))) {
+  tree_.require_vertex(input);
+  if (real_->output().has_value()) {
+    // 0-iteration configuration (single-vertex tree): the path is the root.
+    path_ = tree_.path(tree_.root(), input);
+  }
+}
+
+void PathsFinderProcess::on_round_begin(Round r, sim::Mailer& out) {
+  real_->on_round_begin(r, out);
+}
+
+void PathsFinderProcess::on_round_end(Round r,
+                                      std::span<const sim::Envelope> inbox) {
+  real_->on_round_end(r, inbox);
+  if (path_.has_value() || !real_->output().has_value()) return;
+  const std::int64_t idx = closest_int(*real_->output());
+  TREEAA_CHECK_MSG(
+      idx >= 1 && idx <= static_cast<std::int64_t>(euler_.size()),
+      "RealAA output " << *real_->output()
+                       << " outside the Euler list range");
+  const VertexId v = euler_.at(static_cast<std::size_t>(idx));
+  path_ = tree_.path(tree_.root(), v);
+}
+
+}  // namespace treeaa::core

@@ -1,0 +1,61 @@
+#include "core/real_engine.h"
+
+#include "baselines/iterated_real_aa.h"
+#include "common/check.h"
+
+namespace treeaa::core {
+
+const char* real_engine_name(RealEngineKind kind) {
+  switch (kind) {
+    case RealEngineKind::kGradecastBdh: return "gradecast-bdh";
+    case RealEngineKind::kClassicHalving: return "classic-halving";
+  }
+  return "?";
+}
+
+namespace {
+
+realaa::Config bdh_config(const RealEngineConfig& cfg, std::size_t n,
+                          std::size_t t, double known_range, double eps) {
+  realaa::Config out;
+  out.n = n;
+  out.t = t;
+  out.eps = eps;
+  out.known_range = known_range;
+  out.update = cfg.update;
+  out.mode = cfg.mode;
+  return out;
+}
+
+}  // namespace
+
+std::size_t real_engine_rounds(const RealEngineConfig& cfg, std::size_t n,
+                               std::size_t t, double known_range,
+                               double eps) {
+  switch (cfg.kind) {
+    case RealEngineKind::kGradecastBdh:
+      return bdh_config(cfg, n, t, known_range, eps).rounds();
+    case RealEngineKind::kClassicHalving:
+      return baselines::IteratedRealConfig{n, t, eps, known_range}.rounds();
+  }
+  TREEAA_CHECK_MSG(false, "unknown engine kind");
+  return 0;
+}
+
+std::unique_ptr<realaa::RealAgreement> make_real_engine(
+    const RealEngineConfig& cfg, std::size_t n, std::size_t t,
+    double known_range, double eps, PartyId self, double input) {
+  switch (cfg.kind) {
+    case RealEngineKind::kGradecastBdh:
+      return std::make_unique<realaa::RealAAProcess>(
+          bdh_config(cfg, n, t, known_range, eps), self, input);
+    case RealEngineKind::kClassicHalving:
+      return std::make_unique<baselines::IteratedRealAAProcess>(
+          baselines::IteratedRealConfig{n, t, eps, known_range}, self,
+          input);
+  }
+  TREEAA_CHECK_MSG(false, "unknown engine kind");
+  return nullptr;
+}
+
+}  // namespace treeaa::core

@@ -1,0 +1,48 @@
+// Factory for the pluggable real-valued engine underneath TreeAA (paper §7,
+// "A note on the t < n/2 case": the reduction works with *any* protocol
+// achieving AA on [1, 2|V(T)|]).
+//
+// Two engines ship:
+//   kGradecastBdh   — the round-optimal RealAA of [6] (default; Theorem 3);
+//   kClassicHalving — the DLPSW-style iterated protocol [12]: same AA
+//                     guarantees, Theta(log(D/eps)) iterations. Plugging it
+//                     in yields a correct but slower TreeAA — the executable
+//                     form of the paper's engine-independence remark,
+//                     measured in bench_ablation.
+// A signature-based Proxcensus engine (t < n/2) would extend this enum; the
+// RealAgreement interface is all TreeAA needs.
+#pragma once
+
+#include <memory>
+
+#include "realaa/engine.h"
+#include "realaa/real_aa.h"
+
+namespace treeaa::core {
+
+enum class RealEngineKind {
+  kGradecastBdh,
+  kClassicHalving,
+};
+
+[[nodiscard]] const char* real_engine_name(RealEngineKind kind);
+
+/// Engine parameters derivable from public information.
+struct RealEngineConfig {
+  RealEngineKind kind = RealEngineKind::kGradecastBdh;
+  realaa::UpdateRule update = realaa::UpdateRule::kTrimmedMean;
+  realaa::IterationMode mode = realaa::IterationMode::kPaperSufficient;
+};
+
+/// The fixed public round budget of an engine run with these parameters.
+/// Identical across parties (inputs do not enter).
+[[nodiscard]] std::size_t real_engine_rounds(const RealEngineConfig& cfg,
+                                             std::size_t n, std::size_t t,
+                                             double known_range, double eps);
+
+/// Builds one party's engine instance.
+[[nodiscard]] std::unique_ptr<realaa::RealAgreement> make_real_engine(
+    const RealEngineConfig& cfg, std::size_t n, std::size_t t,
+    double known_range, double eps, PartyId self, double input);
+
+}  // namespace treeaa::core

@@ -1,0 +1,144 @@
+#include "gradecast/gradecast.h"
+
+#include <map>
+
+#include "common/check.h"
+#include "gradecast/wire.h"
+
+namespace treeaa::gradecast {
+
+BatchGradecast::BatchGradecast(PartyId self, std::size_t n, std::size_t t,
+                               Bytes my_value, std::vector<bool> deny)
+    : self_(self),
+      n_(n),
+      t_(t),
+      my_value_(std::move(my_value)),
+      deny_(std::move(deny)) {
+  TREEAA_REQUIRE(self < n);
+  TREEAA_REQUIRE_MSG(n > 3 * t, "gradecast requires t < n/3");
+  if (deny_.empty()) deny_.assign(n, false);
+  TREEAA_REQUIRE(deny_.size() == n);
+  leader_values_.assign(n, std::nullopt);
+  my_supports_.assign(n, std::nullopt);
+}
+
+template <typename Decoded, typename DecodeFn>
+std::vector<std::optional<Decoded>> BatchGradecast::first_valid(
+    std::span<const sim::Envelope> inbox, DecodeFn&& decode) const {
+  std::vector<std::optional<Decoded>> out(n_);
+  for (const sim::Envelope& e : inbox) {
+    if (e.from >= n_ || out[e.from].has_value()) continue;
+    out[e.from] = decode(e.payload);
+  }
+  return out;
+}
+
+void BatchGradecast::on_step_begin(std::size_t step, sim::Mailer& out) {
+  TREEAA_REQUIRE_MSG(step == next_step_, "gradecast steps must run in order");
+  switch (step) {
+    case 0:
+      out.broadcast(encode_leader(my_value_));
+      break;
+    case 1: {
+      // Echo, per leader, the value received from that leader (⊥ slots for
+      // leaders we heard nothing valid from or that we deny).
+      std::vector<Slot> slots = leader_values_;
+      for (PartyId l = 0; l < n_; ++l) {
+        if (deny_[l]) slots[l] = std::nullopt;
+      }
+      out.broadcast(encode_slots(kTagEcho, slots));
+      break;
+    }
+    case 2:
+      out.broadcast(encode_slots(kTagSupport, my_supports_));
+      break;
+    default:
+      TREEAA_REQUIRE_MSG(false, "gradecast has exactly 3 steps");
+  }
+}
+
+void BatchGradecast::on_step_end(std::size_t step,
+                                 std::span<const sim::Envelope> inbox) {
+  TREEAA_REQUIRE_MSG(step == next_step_, "gradecast steps must run in order");
+  switch (step) {
+    case 0: {
+      auto decoded = first_valid<Bytes>(inbox, [](const Bytes& m) {
+        return decode_leader(m);
+      });
+      for (PartyId l = 0; l < n_; ++l) {
+        if (decoded[l].has_value()) leader_values_[l] = *decoded[l];
+      }
+      break;
+    }
+    case 1: {
+      auto echoes = first_valid<std::vector<Slot>>(
+          inbox, [this](const Bytes& m) {
+            return decode_slots(kTagEcho, m, n_);
+          });
+      // For each leader: support the (necessarily unique) value echoed by at
+      // least n - t parties. Uniqueness: two distinct values with >= n - t
+      // echoes each would need 2(n - t) <= n echoers, i.e. n <= 2t,
+      // contradicting t < n/3.
+      for (PartyId l = 0; l < n_; ++l) {
+        if (deny_[l]) continue;  // never support a denied leader
+        std::map<Bytes, std::size_t> count;
+        for (PartyId q = 0; q < n_; ++q) {
+          if (!echoes[q].has_value()) continue;
+          const Slot& slot = (*echoes[q])[l];
+          if (slot.has_value()) ++count[*slot];
+        }
+        for (const auto& [value, c] : count) {
+          if (c >= n_ - t_) {
+            my_supports_[l] = value;
+            break;
+          }
+        }
+      }
+      break;
+    }
+    case 2: {
+      auto supports = first_valid<std::vector<Slot>>(
+          inbox, [this](const Bytes& m) {
+            return decode_slots(kTagSupport, m, n_);
+          });
+      results_.assign(n_, GradedValue{});
+      for (PartyId l = 0; l < n_; ++l) {
+        std::map<Bytes, std::size_t> count;
+        for (PartyId q = 0; q < n_; ++q) {
+          if (!supports[q].has_value()) continue;
+          const Slot& slot = (*supports[q])[l];
+          if (slot.has_value()) ++count[*slot];
+        }
+        // The value with the most supporters; all honest supporters agree on
+        // one value (see step 1), so >= t + 1 supports pins a unique value.
+        const Bytes* best = nullptr;
+        std::size_t best_count = 0;
+        for (const auto& [value, c] : count) {
+          if (c > best_count) {
+            best = &value;
+            best_count = c;
+          }
+        }
+        GradedValue& r = results_[l];
+        if (best != nullptr && best_count >= n_ - t_) {
+          r.value = *best;
+          r.grade = 2;
+        } else if (best != nullptr && best_count >= t_ + 1) {
+          r.value = *best;
+          r.grade = 1;
+        }
+      }
+      break;
+    }
+    default:
+      TREEAA_REQUIRE_MSG(false, "gradecast has exactly 3 steps");
+  }
+  ++next_step_;
+}
+
+const std::vector<GradedValue>& BatchGradecast::results() const {
+  TREEAA_CHECK_MSG(finished(), "gradecast results read before step 3");
+  return results_;
+}
+
+}  // namespace treeaa::gradecast

@@ -1,0 +1,58 @@
+#include "gradecast/wire.h"
+
+namespace treeaa::gradecast {
+
+Bytes encode_leader(const Bytes& value) {
+  ByteWriter w;
+  w.u8(kTagLeader);
+  w.blob(value);
+  return std::move(w).take();
+}
+
+std::optional<Bytes> decode_leader(const Bytes& msg) {
+  try {
+    ByteReader r(msg);
+    if (r.u8() != kTagLeader) return std::nullopt;
+    Bytes value = r.blob();
+    r.expect_done();
+    return value;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+Bytes encode_slots(std::uint8_t tag, const std::vector<Slot>& slots) {
+  ByteWriter w;
+  w.u8(tag);
+  w.vec(slots, [](ByteWriter& wr, const Slot& s) {
+    if (s.has_value()) {
+      wr.u8(1);
+      wr.blob(*s);
+    } else {
+      wr.u8(0);
+    }
+  });
+  return std::move(w).take();
+}
+
+std::optional<std::vector<Slot>> decode_slots(std::uint8_t tag,
+                                              const Bytes& msg,
+                                              std::size_t n) {
+  try {
+    ByteReader r(msg);
+    if (r.u8() != tag) return std::nullopt;
+    auto slots = r.vec<Slot>(
+        [](ByteReader& rd) -> Slot {
+          if (rd.u8() == 0) return std::nullopt;
+          return rd.blob();
+        },
+        /*max_len=*/n);
+    r.expect_done();
+    if (slots.size() != n) return std::nullopt;
+    return slots;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace treeaa::gradecast

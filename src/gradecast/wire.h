@@ -1,0 +1,48 @@
+// Wire format of the gradecast sub-rounds.
+//
+// Exposed as a standalone header (rather than buried in gradecast.cpp) for
+// two reasons: protocol-aware Byzantine strategies must be able to craft
+// syntactically valid but semantically hostile gradecast traffic, and tests
+// must be able to assert on exact encodings.
+//
+// A gradecast batch runs n parallel instances (every party is the leader of
+// its own instance) over three sub-rounds:
+//   step 0  LEADER   — the leader's value, an opaque byte string;
+//   step 1  ECHO     — per leader, the value received from that leader (⊥ if
+//                      none / malformed);
+//   step 2  SUPPORT  — per leader, the value this party supports (⊥ if no
+//                      value gathered >= n - t echoes).
+//
+// Every message starts with a step tag byte; a message whose tag does not
+// match the current sub-round is discarded (defense in depth — the engine
+// already scopes delivery by round).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace treeaa::gradecast {
+
+inline constexpr std::uint8_t kTagLeader = 0x01;
+inline constexpr std::uint8_t kTagEcho = 0x02;
+inline constexpr std::uint8_t kTagSupport = 0x03;
+
+/// A per-leader slot in an echo/support vector: ⊥ or a value.
+using Slot = std::optional<Bytes>;
+
+[[nodiscard]] Bytes encode_leader(const Bytes& value);
+
+/// Decodes a LEADER message; nullopt if malformed.
+[[nodiscard]] std::optional<Bytes> decode_leader(const Bytes& msg);
+
+[[nodiscard]] Bytes encode_slots(std::uint8_t tag,
+                                 const std::vector<Slot>& slots);
+
+/// Decodes an ECHO/SUPPORT message with the given tag; the slot vector must
+/// have exactly `n` entries. nullopt if malformed.
+[[nodiscard]] std::optional<std::vector<Slot>> decode_slots(
+    std::uint8_t tag, const Bytes& msg, std::size_t n);
+
+}  // namespace treeaa::gradecast

@@ -1,0 +1,269 @@
+#include "harness/runner.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "sim/engine.h"
+#include "sim/strategies.h"
+
+namespace treeaa::harness {
+
+namespace {
+
+/// Shared engine-driving skeleton: installs one process per party, runs
+/// `rounds`, extracts results via `extract(p, process)`.
+template <typename Proc, typename MakeProc, typename Extract>
+void drive(std::size_t n, std::size_t t,
+           std::unique_ptr<sim::Adversary> adversary, std::size_t rounds,
+           MakeProc&& make_proc, Extract&& extract, std::vector<PartyId>* corrupt,
+           Round* rounds_out, sim::TrafficStats* traffic) {
+  sim::Engine engine(n, std::max<std::size_t>(t, 1));
+  std::vector<Proc*> procs(n);
+  for (PartyId p = 0; p < n; ++p) {
+    auto proc = make_proc(p);
+    procs[p] = proc.get();
+    engine.set_process(p, std::move(proc));
+  }
+  if (adversary != nullptr) engine.set_adversary(std::move(adversary));
+  engine.run(static_cast<Round>(rounds));
+  for (PartyId p = 0; p < n; ++p) {
+    if (!engine.is_corrupt(p)) extract(p, *procs[p]);
+  }
+  *corrupt = engine.corrupt();
+  *rounds_out = engine.rounds_elapsed();
+  *traffic = engine.stats();
+}
+
+}  // namespace
+
+std::vector<double> RealRun::honest_outputs() const {
+  std::vector<double> out;
+  for (const auto& o : outputs) {
+    if (o.has_value()) out.push_back(*o);
+  }
+  return out;
+}
+
+double RealRun::output_range() const {
+  const auto out = honest_outputs();
+  TREEAA_CHECK(!out.empty());
+  const auto [lo, hi] = std::minmax_element(out.begin(), out.end());
+  return *hi - *lo;
+}
+
+RealRun run_real_aa(const realaa::Config& config,
+                    const std::vector<double>& inputs,
+                    std::unique_ptr<sim::Adversary> adversary) {
+  TREEAA_REQUIRE(inputs.size() == config.n);
+  RealRun run;
+  run.outputs.resize(config.n);
+  run.histories.resize(config.n);
+  drive<realaa::RealAAProcess>(
+      config.n, config.t, std::move(adversary), config.rounds(),
+      [&](PartyId p) {
+        return std::make_unique<realaa::RealAAProcess>(config, p, inputs[p]);
+      },
+      [&](PartyId p, const realaa::RealAAProcess& proc) {
+        run.outputs[p] = proc.output();
+        run.histories[p] = proc.value_history();
+        TREEAA_CHECK_MSG(run.outputs[p].has_value(),
+                         "honest party " << p << " failed to terminate");
+      },
+      &run.corrupt, &run.rounds, &run.traffic);
+  return run;
+}
+
+RealRun run_iterated_real_aa(const baselines::IteratedRealConfig& config,
+                             const std::vector<double>& inputs,
+                             std::unique_ptr<sim::Adversary> adversary) {
+  TREEAA_REQUIRE(inputs.size() == config.n);
+  RealRun run;
+  run.outputs.resize(config.n);
+  run.histories.resize(config.n);
+  drive<baselines::IteratedRealAAProcess>(
+      config.n, config.t, std::move(adversary), config.rounds(),
+      [&](PartyId p) {
+        return std::make_unique<baselines::IteratedRealAAProcess>(config, p,
+                                                                  inputs[p]);
+      },
+      [&](PartyId p, const baselines::IteratedRealAAProcess& proc) {
+        run.outputs[p] = proc.output();
+        run.histories[p] = proc.value_history();
+        TREEAA_CHECK(run.outputs[p].has_value());
+      },
+      &run.corrupt, &run.rounds, &run.traffic);
+  return run;
+}
+
+std::vector<std::vector<VertexId>> PathsFinderRun::honest_paths() const {
+  std::vector<std::vector<VertexId>> out;
+  for (const auto& p : paths) {
+    if (p.has_value()) out.push_back(*p);
+  }
+  return out;
+}
+
+PathsFinderRun run_paths_finder(const LabeledTree& tree, std::size_t n,
+                                std::size_t t,
+                                const std::vector<VertexId>& inputs,
+                                std::unique_ptr<sim::Adversary> adversary,
+                                core::PathsFinderOptions opts) {
+  TREEAA_REQUIRE(inputs.size() == n);
+  const EulerList euler(tree);
+  PathsFinderRun run;
+  run.paths.resize(n);
+  const auto cfg = core::paths_finder_config(tree, n, t, opts);
+  drive<core::PathsFinderProcess>(
+      n, t, std::move(adversary), cfg.rounds(),
+      [&](PartyId p) {
+        return std::make_unique<core::PathsFinderProcess>(tree, euler, n, t,
+                                                          p, inputs[p], opts);
+      },
+      [&](PartyId p, const core::PathsFinderProcess& proc) {
+        run.paths[p] = proc.path();
+        TREEAA_CHECK(run.paths[p].has_value());
+      },
+      &run.corrupt, &run.rounds, &run.traffic);
+  return run;
+}
+
+std::vector<VertexId> VertexRun::honest_outputs() const {
+  std::vector<VertexId> out;
+  for (const auto& o : outputs) {
+    if (o.has_value()) out.push_back(*o);
+  }
+  return out;
+}
+
+VertexRun run_path_aa(const LabeledTree& path_tree, std::size_t n,
+                      std::size_t t, const std::vector<VertexId>& inputs,
+                      std::unique_ptr<sim::Adversary> adversary,
+                      core::PathAAOptions opts) {
+  TREEAA_REQUIRE(inputs.size() == n);
+  VertexRun run;
+  run.outputs.resize(n);
+  // All parties share the same (public) configuration, so any party's round
+  // count works; build one probe process to read it.
+  const std::size_t rounds =
+      core::PathAAProcess(path_tree, n, t, 0, inputs[0], opts).rounds();
+  drive<core::PathAAProcess>(
+      n, t, std::move(adversary), rounds,
+      [&](PartyId p) {
+        return std::make_unique<core::PathAAProcess>(path_tree, n, t, p,
+                                                     inputs[p], opts);
+      },
+      [&](PartyId p, const core::PathAAProcess& proc) {
+        run.outputs[p] = proc.output();
+        TREEAA_CHECK(run.outputs[p].has_value());
+      },
+      &run.corrupt, &run.rounds, &run.traffic);
+  return run;
+}
+
+VertexRun run_iterated_tree_aa(const LabeledTree& tree, std::size_t n,
+                               std::size_t t,
+                               const std::vector<VertexId>& inputs,
+                               std::unique_ptr<sim::Adversary> adversary) {
+  TREEAA_REQUIRE(inputs.size() == n);
+  baselines::IteratedTreeConfig cfg{n, t};
+  VertexRun run;
+  run.outputs.resize(n);
+  drive<baselines::IteratedTreeAAProcess>(
+      n, t, std::move(adversary), cfg.rounds(tree),
+      [&](PartyId p) {
+        return std::make_unique<baselines::IteratedTreeAAProcess>(
+            tree, cfg, p, inputs[p]);
+      },
+      [&](PartyId p, const baselines::IteratedTreeAAProcess& proc) {
+        run.outputs[p] = proc.output();
+        TREEAA_CHECK(run.outputs[p].has_value());
+      },
+      &run.corrupt, &run.rounds, &run.traffic);
+  return run;
+}
+
+std::vector<VertexId> AsyncVertexRun::honest_outputs() const {
+  std::vector<VertexId> out;
+  for (const auto& o : outputs) {
+    if (o.has_value()) out.push_back(*o);
+  }
+  return out;
+}
+
+AsyncVertexRun run_async_tree_aa(const LabeledTree& tree, std::size_t n,
+                                 std::size_t t,
+                                 const std::vector<VertexId>& inputs,
+                                 std::vector<PartyId> corrupt,
+                                 async::SchedulerKind scheduler,
+                                 std::uint64_t seed,
+                                 std::unique_ptr<async::AsyncAdversary> adversary) {
+  TREEAA_REQUIRE(inputs.size() == n);
+  async::AsyncEngine engine(n, std::max<std::size_t>(t, 1),
+                            std::move(corrupt), scheduler, seed);
+  const async::AsyncTreeConfig cfg{n, t};
+  std::vector<async::AsyncTreeAAProcess*> procs(n);
+  for (PartyId p = 0; p < n; ++p) {
+    auto proc = std::make_unique<async::AsyncTreeAAProcess>(tree, cfg, p,
+                                                            inputs[p]);
+    procs[p] = proc.get();
+    engine.set_process(p, std::move(proc));
+  }
+  if (adversary != nullptr) engine.set_adversary(std::move(adversary));
+  engine.run();
+
+  AsyncVertexRun run;
+  run.outputs.resize(n);
+  for (PartyId p = 0; p < n; ++p) {
+    if (engine.is_corrupt(p)) continue;
+    run.outputs[p] = procs[p]->output();
+    TREEAA_CHECK(run.outputs[p].has_value());
+  }
+  run.corrupt = engine.corrupt();
+  run.deliveries = engine.deliveries();
+  run.messages = engine.messages_sent();
+  return run;
+}
+
+std::vector<VertexId> random_vertex_inputs(const LabeledTree& tree,
+                                           std::size_t n, Rng& rng) {
+  std::vector<VertexId> inputs(n);
+  for (auto& v : inputs) v = static_cast<VertexId>(rng.index(tree.n()));
+  return inputs;
+}
+
+std::vector<VertexId> spread_vertex_inputs(const LabeledTree& tree,
+                                           std::size_t n) {
+  const auto [a, b] = tree.diameter_endpoints();
+  std::vector<VertexId> inputs(n);
+  for (std::size_t i = 0; i < n; ++i) inputs[i] = (i % 2 == 0) ? a : b;
+  return inputs;
+}
+
+std::vector<double> spread_real_inputs(std::size_t n, double lo, double hi) {
+  std::vector<double> inputs(n);
+  for (std::size_t i = 0; i < n; ++i) inputs[i] = (i % 2 == 0) ? lo : hi;
+  return inputs;
+}
+
+std::vector<double> random_real_inputs(std::size_t n, double lo, double hi,
+                                       Rng& rng) {
+  std::vector<double> inputs(n);
+  for (auto& v : inputs) v = lo + (hi - lo) * rng.unit();
+  return inputs;
+}
+
+std::unique_ptr<sim::Adversary> make_extreme_input_puppets(
+    const realaa::Config& config, const std::vector<PartyId>& victims,
+    double lo, double hi) {
+  std::vector<sim::PuppetAdversary::Puppet> puppets;
+  for (std::size_t i = 0; i < victims.size(); ++i) {
+    puppets.push_back(sim::PuppetAdversary::Puppet{
+        victims[i],
+        std::make_unique<realaa::RealAAProcess>(config, victims[i],
+                                                i % 2 == 0 ? lo : hi),
+        nullptr});
+  }
+  return std::make_unique<sim::PuppetAdversary>(std::move(puppets));
+}
+
+}  // namespace treeaa::harness

@@ -1,0 +1,135 @@
+// Experiment harness: one-call runners for every protocol in the library,
+// shared by the test suite, the benches, and the examples.
+//
+// Each runner wires up an Engine, installs per-party processes and an
+// optional adversary, runs the publicly known number of rounds, and returns
+// the honest results plus traffic statistics.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "async/engine.h"
+#include "async/tree_aa.h"
+#include "baselines/iterated_real_aa.h"
+#include "baselines/iterated_tree_aa.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "core/path_aa.h"
+#include "core/paths_finder.h"
+#include "realaa/real_aa.h"
+#include "sim/adversary.h"
+#include "sim/stats.h"
+#include "trees/euler.h"
+#include "trees/labeled_tree.h"
+
+namespace treeaa::harness {
+
+/// Result of a real-valued AA run (RealAA or the iterated baseline).
+struct RealRun {
+  /// Per-party output; disengaged for corrupt parties.
+  std::vector<std::optional<double>> outputs;
+  /// Per-party value history (input first); empty for corrupt parties.
+  std::vector<std::vector<double>> histories;
+  std::vector<PartyId> corrupt;
+  Round rounds = 0;
+  sim::TrafficStats traffic;
+
+  [[nodiscard]] std::vector<double> honest_outputs() const;
+  /// max - min over engaged outputs.
+  [[nodiscard]] double output_range() const;
+};
+
+[[nodiscard]] RealRun run_real_aa(
+    const realaa::Config& config, const std::vector<double>& inputs,
+    std::unique_ptr<sim::Adversary> adversary = nullptr);
+
+[[nodiscard]] RealRun run_iterated_real_aa(
+    const baselines::IteratedRealConfig& config,
+    const std::vector<double>& inputs,
+    std::unique_ptr<sim::Adversary> adversary = nullptr);
+
+/// Result of a PathsFinder run.
+struct PathsFinderRun {
+  std::vector<std::optional<std::vector<VertexId>>> paths;
+  std::vector<PartyId> corrupt;
+  Round rounds = 0;
+  sim::TrafficStats traffic;
+
+  [[nodiscard]] std::vector<std::vector<VertexId>> honest_paths() const;
+};
+
+[[nodiscard]] PathsFinderRun run_paths_finder(
+    const LabeledTree& tree, std::size_t n, std::size_t t,
+    const std::vector<VertexId>& inputs,
+    std::unique_ptr<sim::Adversary> adversary = nullptr,
+    core::PathsFinderOptions opts = {});
+
+/// Result of a vertex-valued AA run (the warm-up path protocol or the
+/// iterated tree baseline).
+struct VertexRun {
+  std::vector<std::optional<VertexId>> outputs;
+  std::vector<PartyId> corrupt;
+  Round rounds = 0;
+  sim::TrafficStats traffic;
+
+  [[nodiscard]] std::vector<VertexId> honest_outputs() const;
+};
+
+[[nodiscard]] VertexRun run_path_aa(
+    const LabeledTree& path_tree, std::size_t n, std::size_t t,
+    const std::vector<VertexId>& inputs,
+    std::unique_ptr<sim::Adversary> adversary = nullptr,
+    core::PathAAOptions opts = {});
+
+[[nodiscard]] VertexRun run_iterated_tree_aa(
+    const LabeledTree& tree, std::size_t n, std::size_t t,
+    const std::vector<VertexId>& inputs,
+    std::unique_ptr<sim::Adversary> adversary = nullptr);
+
+/// Result of an asynchronous tree-AA run (the NR baseline in its native
+/// model): no rounds, so complexity is reported in deliveries/messages.
+struct AsyncVertexRun {
+  std::vector<std::optional<VertexId>> outputs;
+  std::vector<PartyId> corrupt;
+  std::uint64_t deliveries = 0;
+  std::uint64_t messages = 0;
+
+  [[nodiscard]] std::vector<VertexId> honest_outputs() const;
+};
+
+[[nodiscard]] AsyncVertexRun run_async_tree_aa(
+    const LabeledTree& tree, std::size_t n, std::size_t t,
+    const std::vector<VertexId>& inputs, std::vector<PartyId> corrupt = {},
+    async::SchedulerKind scheduler = async::SchedulerKind::kRandom,
+    std::uint64_t seed = 1,
+    std::unique_ptr<async::AsyncAdversary> adversary = nullptr);
+
+// --- Input generators -------------------------------------------------------
+
+/// n vertices drawn uniformly at random.
+[[nodiscard]] std::vector<VertexId> random_vertex_inputs(
+    const LabeledTree& tree, std::size_t n, Rng& rng);
+
+/// n vertices alternating between the two endpoints of a diametral path —
+/// the worst-case spread for round-count experiments.
+[[nodiscard]] std::vector<VertexId> spread_vertex_inputs(
+    const LabeledTree& tree, std::size_t n);
+
+/// n reals alternating between lo and hi (worst-case spread on R).
+[[nodiscard]] std::vector<double> spread_real_inputs(std::size_t n, double lo,
+                                                     double hi);
+
+/// n reals uniform in [lo, hi].
+[[nodiscard]] std::vector<double> random_real_inputs(std::size_t n, double lo,
+                                                     double hi, Rng& rng);
+
+/// A PuppetAdversary whose corrupt parties run RealAA honestly but with
+/// inputs alternating between `lo` and `hi` — the classic validity attack
+/// (Byzantine parties with out-of-range inputs).
+[[nodiscard]] std::unique_ptr<sim::Adversary> make_extreme_input_puppets(
+    const realaa::Config& config, const std::vector<PartyId>& victims,
+    double lo, double hi);
+
+}  // namespace treeaa::harness

@@ -1,0 +1,37 @@
+// The real-valued agreement engine interface.
+//
+// The paper's §7 remark: the TreeAA reduction is independent of which AA
+// protocol runs underneath — "whenever protocol RealAA achieves AA on
+// [1, 2|V(T)|], our protocol TreeAA achieves AA on the input space tree T".
+// This interface is that independence made concrete: PathsFinder and the
+// projection phase drive any RealAgreement, and the repository ships two
+// (the round-optimal gradecast engine and the classic halving iteration,
+// compared in bench_ablation). A Proxcensus-style t < n/2 engine with
+// signatures would slot in the same way.
+//
+// Contract: the engine is a sim::Process driven with local rounds
+// 1..rounds(); rounds() is derivable from public information only (so every
+// party computes the same budget); after rounds() rounds output() is
+// engaged, satisfying Validity and eps-Agreement for the configured eps.
+#pragma once
+
+#include <optional>
+
+#include "sim/process.h"
+
+namespace treeaa::realaa {
+
+class RealAgreement : public sim::Process {
+ public:
+  /// Engaged once the engine's round budget has elapsed.
+  [[nodiscard]] virtual std::optional<double> output() const = 0;
+
+  /// The fixed public round budget of this instance.
+  [[nodiscard]] virtual std::size_t rounds() const = 0;
+
+  /// How many parties this instance has proven Byzantine so far (telemetry;
+  /// engines without a detection mechanism report 0).
+  [[nodiscard]] virtual std::size_t detected_faulty() const { return 0; }
+};
+
+}  // namespace treeaa::realaa

@@ -1,0 +1,52 @@
+// Iteration/round budgets for RealAA (paper Theorem 3 and Appendix A).
+//
+// RealAA runs a fixed, publicly computable number of iterations (3 rounds
+// each). Fixing the count up front — rather than terminating adaptively — is
+// what lets TreeAA compose two RealAA instances back to back with all honest
+// parties switching phase in the same round (paper §7, line 4).
+//
+// Two ways to pick the iteration count R for inputs D-close and target ε:
+//
+//   kPaperSufficient — the smallest R with R^R >= D/ε. This is precisely the
+//       sufficient condition used in the paper's proof of Theorem 3 (the
+//       range shrinks by at least 1/R per iteration once t < n/3, since the
+//       worst-case total factor is (t/((n-2t)·R))^R <= (1/R)^R). It depends
+//       only on D and ε, and satisfies 3R <= ceil(7·log2(D/ε)/log2log2(D/ε))
+//       — the Theorem 3 round bound — for all D/ε.
+//
+//   kTight — the smallest R with D·(t/((n-2t)·R))^R <= ε, using the actual
+//       (n, t). The paper's "improving the constants" future-work knob;
+//       compared against kPaperSufficient in bench_ablation.
+//
+// Both modes return 0 when D <= ε (already agreed) and are monotone in D/ε.
+#pragma once
+
+#include <cstddef>
+
+namespace treeaa::realaa {
+
+enum class IterationMode {
+  kPaperSufficient,
+  kTight,
+};
+
+/// Iterations for the paper-sufficient rule: smallest R >= 1 with
+/// R^R >= D/eps (0 if D <= eps). Requires D >= 0, eps > 0.
+[[nodiscard]] std::size_t iterations_paper_sufficient(double D, double eps);
+
+/// Iterations for the tight rule: smallest R >= 1 with
+/// D * (t / ((n - 2t) * R))^R <= eps (0 if D <= eps). Requires n > 3t.
+[[nodiscard]] std::size_t iterations_tight(double D, double eps,
+                                           std::size_t n, std::size_t t);
+
+[[nodiscard]] std::size_t iterations_for(IterationMode mode, double D,
+                                         double eps, std::size_t n,
+                                         std::size_t t);
+
+/// The closed-form round bound of Theorem 3:
+/// ceil(7 * log2(D/eps) / log2(log2(D/eps))). Only meaningful when
+/// log2(D/eps) > 2 (otherwise the denominator degenerates); below that this
+/// returns a small constant that still upper-bounds the protocol.
+[[nodiscard]] std::size_t theorem3_round_bound(double D, double eps);
+
+}  // namespace treeaa::realaa

@@ -1,0 +1,25 @@
+#include "realaa/wire.h"
+
+#include <cmath>
+
+namespace treeaa::realaa {
+
+Bytes encode_value(double v) {
+  ByteWriter w;
+  w.f64(v);
+  return std::move(w).take();
+}
+
+std::optional<double> decode_value(const Bytes& b) {
+  try {
+    ByteReader r(b);
+    const double v = r.f64();
+    r.expect_done();
+    if (!std::isfinite(v)) return std::nullopt;
+    return v;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace treeaa::realaa

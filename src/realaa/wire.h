@@ -1,0 +1,23 @@
+// Value encoding for RealAA.
+//
+// RealAA gradecasts real values; gradecast treats them as opaque byte
+// strings, so equality-of-bytes must coincide with equality-of-values. The
+// codec therefore uses the raw IEEE-754 bit pattern and rejects non-finite
+// values on decode: a Byzantine leader can gradecast perfectly consistent
+// garbage (which earns grade 2!), and a NaN reaching the trimming step would
+// poison the ordering. An undecodable grade-2 value exposes its leader as
+// Byzantine, exactly like a low grade does.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.h"
+
+namespace treeaa::realaa {
+
+[[nodiscard]] Bytes encode_value(double v);
+
+/// Decodes a value; nullopt if malformed or non-finite.
+[[nodiscard]] std::optional<double> decode_value(const Bytes& b);
+
+}  // namespace treeaa::realaa

@@ -1,0 +1,180 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+
+namespace treeaa::sim {
+
+// --- RoundView -------------------------------------------------------------
+
+std::size_t RoundView::n() const { return engine_.n(); }
+std::size_t RoundView::t() const { return engine_.t(); }
+
+const std::vector<PartyId>& RoundView::corrupt() const {
+  return engine_.corrupt_list_;
+}
+
+bool RoundView::is_corrupt(PartyId p) const { return engine_.is_corrupt(p); }
+
+std::size_t RoundView::corruption_budget_left() const {
+  return engine_.t() - engine_.corrupt_list_.size();
+}
+
+std::span<const Envelope> RoundView::queued() const { return engine_.queued_; }
+
+void RoundView::send(PartyId from, PartyId to, Bytes payload) {
+  TREEAA_REQUIRE_MSG(engine_.is_corrupt(from),
+                     "adversary can only send from corrupt parties (party "
+                         << from << " is honest)");
+  engine_.inject(from, to, std::move(payload));
+}
+
+void RoundView::broadcast(PartyId from, const Bytes& payload) {
+  for (PartyId to = 0; to < engine_.n(); ++to) {
+    send(from, to, payload);
+  }
+}
+
+std::vector<Envelope> RoundView::corrupt(PartyId p) {
+  return engine_.corrupt_party(p);
+}
+
+// --- Engine ----------------------------------------------------------------
+
+Engine::Engine(std::size_t n, std::size_t t) : t_(t) {
+  TREEAA_REQUIRE_MSG(n >= 1, "need at least one party");
+  TREEAA_REQUIRE_MSG(t < n, "t must be < n");
+  processes_.resize(n);
+  corrupt_.assign(n, false);
+  adversary_ = std::make_unique<NullAdversary>();
+}
+
+void Engine::set_process(PartyId p, std::unique_ptr<Process> process) {
+  TREEAA_REQUIRE(p < n());
+  TREEAA_REQUIRE_MSG(!started_, "cannot swap processes after run()");
+  TREEAA_REQUIRE(process != nullptr);
+  processes_[p] = std::move(process);
+}
+
+void Engine::set_adversary(std::unique_ptr<Adversary> adversary) {
+  TREEAA_REQUIRE_MSG(!started_, "cannot swap adversary after run()");
+  TREEAA_REQUIRE(adversary != nullptr);
+  adversary_ = std::move(adversary);
+}
+
+bool Engine::is_corrupt(PartyId p) const {
+  TREEAA_REQUIRE(p < n());
+  return corrupt_[p];
+}
+
+std::vector<PartyId> Engine::honest() const {
+  std::vector<PartyId> out;
+  for (PartyId p = 0; p < n(); ++p) {
+    if (!corrupt_[p]) out.push_back(p);
+  }
+  return out;
+}
+
+Process& Engine::process(PartyId p) {
+  TREEAA_REQUIRE(p < n());
+  TREEAA_REQUIRE_MSG(processes_[p] != nullptr, "no process for party " << p);
+  return *processes_[p];
+}
+
+std::vector<Envelope> Engine::corrupt_party(PartyId p) {
+  TREEAA_REQUIRE(p < n());
+  if (corrupt_[p]) return {};
+  TREEAA_REQUIRE_MSG(corrupt_list_.size() < t_,
+                     "corruption budget t = " << t_ << " exhausted");
+  corrupt_[p] = true;
+  corrupt_list_.push_back(p);
+  if (tracer_ != nullptr) tracer_->on_corrupt(p, started_ ? round_ + 1 : 0);
+  // Retract whatever the party queued this round: the adversary takes over
+  // its network interface from this instant. The retracted messages are
+  // handed back so the adversary can selectively re-deliver them.
+  std::vector<Envelope> retracted;
+  auto keep = queued_.begin();
+  for (auto it = queued_.begin(); it != queued_.end(); ++it) {
+    if (it->from == p) {
+      retracted.push_back(std::move(*it));
+    } else {
+      if (keep != it) *keep = std::move(*it);
+      ++keep;
+    }
+  }
+  queued_.erase(keep, queued_.end());
+  return retracted;
+}
+
+void Engine::inject(PartyId from, PartyId to, Bytes payload) {
+  TREEAA_REQUIRE(to < n());
+  // Guard against memory bombs from fuzzing adversaries.
+  TREEAA_REQUIRE_MSG(payload.size() <= (1u << 24),
+                     "message exceeds 16 MiB cap");
+  auto& rt = stats_.per_round.back();
+  rt.adversary_messages += 1;
+  rt.adversary_bytes += payload.size();
+  queued_.push_back(Envelope{from, to, round_ + 1, std::move(payload)});
+  if (tracer_ != nullptr) tracer_->on_queued(queued_.back(), true);
+}
+
+void Engine::run(Round rounds) {
+  for (PartyId p = 0; p < n(); ++p) {
+    TREEAA_REQUIRE_MSG(processes_[p] != nullptr,
+                       "party " << p << " has no process");
+  }
+  if (!started_) {
+    stats_.per_round.emplace_back();  // scratch entry for init-time injects
+    RoundView view(*this, 0);
+    adversary_->init(view);
+    TREEAA_CHECK_MSG(queued_.empty(),
+                     "adversary must not send during init (round 0)");
+    stats_.per_round.clear();
+    started_ = true;
+  }
+
+  for (Round i = 0; i < rounds; ++i) {
+    const Round r = round_ + 1;
+    stats_.per_round.emplace_back();
+    queued_.clear();
+    if (tracer_ != nullptr) tracer_->on_round_begin(r);
+
+    // 1. Honest send phase.
+    for (PartyId p = 0; p < n(); ++p) {
+      if (corrupt_[p]) continue;
+      const std::size_t before = queued_.size();
+      Mailer mailer(p, n(), queued_, r);
+      processes_[p]->on_round_begin(r, mailer);
+      auto& rt = stats_.per_round.back();
+      for (std::size_t k = before; k < queued_.size(); ++k) {
+        rt.honest_messages += 1;
+        rt.honest_bytes += queued_[k].payload.size();
+        if (tracer_ != nullptr) tracer_->on_queued(queued_[k], false);
+      }
+    }
+
+    // 2. Rushing adversary.
+    {
+      RoundView view(*this, r);
+      adversary_->act(view);
+    }
+
+    // 3. Delivery, sorted by sender (stable: same-sender order preserved).
+    if (tracer_ != nullptr) tracer_->on_deliver(r);
+    std::stable_sort(queued_.begin(), queued_.end(),
+                     [](const Envelope& a, const Envelope& b) {
+                       return a.from < b.from;
+                     });
+    std::vector<std::vector<Envelope>> inboxes(n());
+    for (Envelope& e : queued_) {
+      inboxes[e.to].push_back(std::move(e));
+    }
+    queued_.clear();
+    round_ = r;
+    for (PartyId p = 0; p < n(); ++p) {
+      if (corrupt_[p]) continue;
+      processes_[p]->on_round_end(r, inboxes[p]);
+    }
+  }
+}
+
+}  // namespace treeaa::sim

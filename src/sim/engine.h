@@ -1,0 +1,87 @@
+// The synchronous network engine.
+//
+// Implements the paper's model (§2) exactly: n parties, fully connected,
+// authenticated channels, lock-step rounds, up to t Byzantine corruptions
+// chosen by an adaptive rushing adversary. Being a discrete-event model
+// rather than a wall-clock one, round counts produced by the engine are the
+// paper's round-complexity measure with no measurement noise.
+//
+// Round r proceeds as:
+//   1. send phase   — every honest Process::on_round_begin(r) queues traffic;
+//   2. adversary    — Adversary::act sees all queued traffic (rushing), may
+//                     inject corrupt messages and adaptively corrupt;
+//   3. delivery     — every party's inbox (sorted by sender) is handed to
+//                     Process::on_round_end(r); corrupt parties receive
+//                     nothing (their behaviour is the adversary's).
+//
+// Everything is deterministic given the processes and the adversary, so any
+// execution reproduces exactly.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "sim/adversary.h"
+#include "sim/envelope.h"
+#include "sim/process.h"
+#include "sim/stats.h"
+#include "sim/trace.h"
+
+namespace treeaa::sim {
+
+class Engine {
+ public:
+  /// An engine for n parties of which at most t may ever be corrupt.
+  Engine(std::size_t n, std::size_t t);
+
+  /// Installs the honest protocol process for party p. Every party needs a
+  /// process before run() (corrupt-from-start parties included: adaptive
+  /// adversaries decide lazily whom to corrupt).
+  void set_process(PartyId p, std::unique_ptr<Process> process);
+
+  /// Installs the adversary. Defaults to NullAdversary.
+  void set_adversary(std::unique_ptr<Adversary> adversary);
+
+  /// Attaches an execution tracer (non-owning; must outlive the engine).
+  /// nullptr detaches.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+  /// Runs rounds current+1 .. current+rounds. May be called repeatedly to
+  /// run protocols in phases.
+  void run(Round rounds);
+
+  [[nodiscard]] std::size_t n() const { return processes_.size(); }
+  [[nodiscard]] std::size_t t() const { return t_; }
+  [[nodiscard]] Round rounds_elapsed() const { return round_; }
+
+  [[nodiscard]] bool is_corrupt(PartyId p) const;
+  [[nodiscard]] const std::vector<PartyId>& corrupt() const {
+    return corrupt_list_;
+  }
+  [[nodiscard]] std::vector<PartyId> honest() const;
+
+  [[nodiscard]] const TrafficStats& stats() const { return stats_; }
+
+  /// The process installed for p (for result extraction by harnesses).
+  [[nodiscard]] Process& process(PartyId p);
+
+ private:
+  friend class RoundView;
+
+  std::vector<Envelope> corrupt_party(PartyId p);
+  void inject(PartyId from, PartyId to, Bytes payload);
+
+  std::size_t t_;
+  Round round_ = 0;
+  bool started_ = false;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<bool> corrupt_;
+  std::vector<PartyId> corrupt_list_;
+  std::unique_ptr<Adversary> adversary_;
+  Tracer* tracer_ = nullptr;
+  std::vector<Envelope> queued_;  // messages queued for the current round
+  TrafficStats stats_;
+};
+
+}  // namespace treeaa::sim

@@ -1,0 +1,22 @@
+// A message in flight on the synchronous network.
+//
+// Channels are authenticated (paper §2): the `from` field is set by the
+// engine, never by the sender, so a Byzantine party cannot forge another
+// party's identity. Payloads are opaque bytes; whatever structure they have
+// is the receiving protocol's business (and Byzantine payloads may have no
+// valid structure at all).
+#pragma once
+
+#include "common/bytes.h"
+#include "common/types.h"
+
+namespace treeaa::sim {
+
+struct Envelope {
+  PartyId from = kNoParty;
+  PartyId to = kNoParty;
+  Round round = 0;  // the round in which the message was sent = delivered
+  Bytes payload;
+};
+
+}  // namespace treeaa::sim

@@ -1,0 +1,44 @@
+#include "sim/trace.h"
+
+#include <sstream>
+
+namespace treeaa::sim {
+
+void RecordingTracer::on_round_begin(Round r) {
+  lines_.push_back("round " + std::to_string(r));
+}
+
+void RecordingTracer::on_queued(const Envelope& e, bool adversarial) {
+  ++messages_;
+  std::ostringstream os;
+  os << (adversarial ? "  byz  " : "  send ") << e.from << " -> " << e.to
+     << " (" << e.payload.size() << "B)";
+  if (payloads_) {
+    os << " ";
+    static constexpr char kHex[] = "0123456789abcdef";
+    for (const std::uint8_t b : e.payload) {
+      os << kHex[b >> 4] << kHex[b & 0xF];
+    }
+  }
+  lines_.push_back(os.str());
+}
+
+void RecordingTracer::on_corrupt(PartyId p, Round r) {
+  lines_.push_back("  corrupt " + std::to_string(p) + " @round " +
+                   std::to_string(r));
+}
+
+void RecordingTracer::on_deliver(Round r) {
+  lines_.push_back("deliver " + std::to_string(r));
+}
+
+std::string RecordingTracer::text() const {
+  std::string out;
+  for (const auto& line : lines_) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace treeaa::sim

@@ -1,0 +1,66 @@
+// Execution tracing for the synchronous engine.
+//
+// A Tracer observes every event of a run: round boundaries, each queued
+// message (honest or adversarial), corruptions, and deliveries. The engine
+// is deterministic, so a recorded transcript is a complete, replayable
+// description of an execution — the determinism tests compare transcripts
+// byte for byte, and `treeaa_cli run --trace` prints them for debugging.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/envelope.h"
+
+namespace treeaa::sim {
+
+class Tracer {
+ public:
+  virtual ~Tracer() = default;
+
+  virtual void on_round_begin(Round r) { (void)r; }
+  /// A message was queued for delivery this round. `adversarial` marks
+  /// injections by the adversary (including replayed retractions).
+  virtual void on_queued(const Envelope& e, bool adversarial) {
+    (void)e;
+    (void)adversarial;
+  }
+  /// `p` was corrupted during round r (r == 0: at init).
+  virtual void on_corrupt(PartyId p, Round r) {
+    (void)p;
+    (void)r;
+  }
+  /// All inboxes for round r are final and about to be delivered.
+  virtual void on_deliver(Round r) { (void)r; }
+};
+
+/// Records a compact textual transcript of the run.
+class RecordingTracer final : public Tracer {
+ public:
+  /// With `payloads`, message bytes are hex-dumped (big transcripts);
+  /// without, only (from, to, size) per message.
+  explicit RecordingTracer(bool payloads = false) : payloads_(payloads) {}
+
+  void on_round_begin(Round r) override;
+  void on_queued(const Envelope& e, bool adversarial) override;
+  void on_corrupt(PartyId p, Round r) override;
+  void on_deliver(Round r) override;
+
+  /// One line per event, in order.
+  [[nodiscard]] const std::vector<std::string>& lines() const {
+    return lines_;
+  }
+  [[nodiscard]] std::string text() const;
+
+  /// Messages recorded so far.
+  [[nodiscard]] std::size_t message_count() const { return messages_; }
+
+ private:
+  bool payloads_;
+  std::vector<std::string> lines_;
+  std::size_t messages_ = 0;
+};
+
+}  // namespace treeaa::sim

@@ -1,0 +1,61 @@
+#include "trees/euler.h"
+
+#include "common/check.h"
+
+namespace treeaa {
+
+EulerList::EulerList(const LabeledTree& tree) {
+  const std::size_t n = tree.n();
+  list_.reserve(2 * n - 1);
+  occurrences_.assign(n, {});
+
+  // Iterative DFS; `next_child[v]` is the index of the next unvisited child.
+  // A vertex is recorded on entry and again after each child returns.
+  std::vector<std::size_t> next_child(n, 0);
+  std::vector<VertexId> stack;
+  stack.push_back(tree.root());
+  list_.push_back(tree.root());
+  occurrences_[tree.root()].push_back(list_.size());
+
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    const auto kids = tree.children(v);
+    if (next_child[v] < kids.size()) {
+      const VertexId c = kids[next_child[v]++];
+      stack.push_back(c);
+      list_.push_back(c);
+      occurrences_[c].push_back(list_.size());
+    } else {
+      stack.pop_back();
+      if (!stack.empty()) {
+        const VertexId p = stack.back();
+        list_.push_back(p);
+        occurrences_[p].push_back(list_.size());
+      }
+    }
+  }
+
+  TREEAA_CHECK(list_.size() == 2 * n - 1);
+}
+
+VertexId EulerList::at(std::size_t i) const {
+  TREEAA_REQUIRE_MSG(i >= 1 && i <= list_.size(),
+                     "list index " << i << " out of [1, " << list_.size()
+                                   << "]");
+  return list_[i - 1];
+}
+
+std::span<const std::size_t> EulerList::occurrences(VertexId v) const {
+  TREEAA_REQUIRE(v < occurrences_.size());
+  return occurrences_[v];
+}
+
+std::size_t EulerList::first_occurrence(VertexId v) const {
+  return occurrences(v).front();
+}
+
+std::size_t EulerList::last_occurrence(VertexId v) const {
+  return occurrences(v).back();
+}
+
+}  // namespace treeaa

@@ -1,0 +1,218 @@
+#include "trees/generators.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace treeaa {
+
+namespace {
+
+/// Zero-padded label "v<idx>" wide enough for `count` vertices.
+std::string label_for(std::size_t idx, std::size_t count) {
+  std::size_t width = 1;
+  for (std::size_t c = count - 1; c >= 10; c /= 10) ++width;
+  std::string digits = std::to_string(idx);
+  std::string label = "v";
+  label.append(width > digits.size() ? width - digits.size() : 0, '0');
+  label += digits;
+  return label;
+}
+
+/// Builds a LabeledTree from parent pointers (vertex 0 is the root;
+/// parent[i] < i for i >= 1), with optional label shuffling.
+LabeledTree from_parents(const std::vector<std::size_t>& parent,
+                         const std::vector<std::string>& labels) {
+  const std::size_t n = parent.size();
+  TREEAA_CHECK(labels.size() == n);
+  if (n == 1) return LabeledTree::single(labels[0]);
+  std::vector<std::pair<std::string, std::string>> edges;
+  edges.reserve(n - 1);
+  for (std::size_t i = 1; i < n; ++i) {
+    edges.emplace_back(labels[parent[i]], labels[i]);
+  }
+  return LabeledTree::from_edges(edges);
+}
+
+std::vector<std::string> sequential_labels(std::size_t n) {
+  std::vector<std::string> labels;
+  labels.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) labels.push_back(label_for(i, n));
+  return labels;
+}
+
+}  // namespace
+
+LabeledTree make_path(std::size_t n) {
+  TREEAA_REQUIRE(n >= 1);
+  std::vector<std::size_t> parent(n, 0);
+  for (std::size_t i = 1; i < n; ++i) parent[i] = i - 1;
+  return from_parents(parent, sequential_labels(n));
+}
+
+LabeledTree make_star(std::size_t n) {
+  TREEAA_REQUIRE(n >= 2);
+  std::vector<std::size_t> parent(n, 0);
+  return from_parents(parent, sequential_labels(n));
+}
+
+LabeledTree make_kary(std::size_t k, std::size_t depth) {
+  TREEAA_REQUIRE(k >= 1);
+  std::vector<std::size_t> parent{0};
+  std::size_t level_start = 0;
+  std::size_t level_size = 1;
+  for (std::size_t d = 0; d < depth; ++d) {
+    const std::size_t next_start = parent.size();
+    for (std::size_t p = level_start; p < level_start + level_size; ++p) {
+      for (std::size_t c = 0; c < k; ++c) parent.push_back(p);
+    }
+    level_start = next_start;
+    level_size = parent.size() - next_start;
+  }
+  return from_parents(parent, sequential_labels(parent.size()));
+}
+
+LabeledTree make_caterpillar(std::size_t spine, std::size_t legs) {
+  TREEAA_REQUIRE(spine >= 1);
+  std::vector<std::size_t> parent;
+  parent.reserve(spine * (1 + legs));
+  std::vector<std::size_t> spine_ids;
+  parent.push_back(0);
+  spine_ids.push_back(0);
+  for (std::size_t i = 1; i < spine; ++i) {
+    parent.push_back(spine_ids.back());
+    spine_ids.push_back(parent.size() - 1);
+  }
+  for (const std::size_t s : spine_ids) {
+    for (std::size_t l = 0; l < legs; ++l) parent.push_back(s);
+  }
+  return from_parents(parent, sequential_labels(parent.size()));
+}
+
+LabeledTree make_spider(std::size_t legs, std::size_t leg_len) {
+  TREEAA_REQUIRE(legs >= 1 && leg_len >= 1);
+  std::vector<std::size_t> parent{0};
+  for (std::size_t l = 0; l < legs; ++l) {
+    std::size_t prev = 0;
+    for (std::size_t i = 0; i < leg_len; ++i) {
+      parent.push_back(prev);
+      prev = parent.size() - 1;
+    }
+  }
+  return from_parents(parent, sequential_labels(parent.size()));
+}
+
+LabeledTree make_broom(std::size_t handle, std::size_t bristles) {
+  TREEAA_REQUIRE(handle >= 1);
+  std::vector<std::size_t> parent{0};
+  for (std::size_t i = 1; i < handle; ++i) parent.push_back(i - 1);
+  for (std::size_t b = 0; b < bristles; ++b) parent.push_back(handle - 1);
+  return from_parents(parent, sequential_labels(parent.size()));
+}
+
+LabeledTree make_random_tree(std::size_t n, Rng& rng, bool shuffle_labels) {
+  TREEAA_REQUIRE(n >= 1);
+  std::vector<std::string> labels = sequential_labels(n);
+  if (shuffle_labels) rng.shuffle(labels);
+  if (n == 1) return LabeledTree::single(labels[0]);
+  if (n == 2) return LabeledTree::from_edges({{labels[0], labels[1]}});
+
+  // Decode a uniformly random Prüfer sequence of length n - 2.
+  std::vector<std::size_t> pruefer(n - 2);
+  for (auto& x : pruefer) x = rng.index(n);
+  std::vector<std::size_t> deg(n, 1);
+  for (const std::size_t x : pruefer) ++deg[x];
+
+  std::vector<std::pair<std::string, std::string>> edges;
+  edges.reserve(n - 1);
+  // `ptr` scans for the smallest leaf; `leaf` is the current smallest leaf.
+  std::size_t ptr = 0;
+  while (deg[ptr] != 1) ++ptr;
+  std::size_t leaf = ptr;
+  for (const std::size_t v : pruefer) {
+    edges.emplace_back(labels[leaf], labels[v]);
+    if (--deg[v] == 1 && v < ptr) {
+      leaf = v;
+    } else {
+      ++ptr;
+      while (deg[ptr] != 1) ++ptr;
+      leaf = ptr;
+    }
+  }
+  // The final edge joins the last leaf with vertex n - 1.
+  edges.emplace_back(labels[leaf], labels[n - 1]);
+  return LabeledTree::from_edges(edges);
+}
+
+LabeledTree make_random_chainy_tree(std::size_t n, Rng& rng,
+                                    double chain_bias) {
+  TREEAA_REQUIRE(n >= 1);
+  TREEAA_REQUIRE(chain_bias >= 0.0 && chain_bias <= 1.0);
+  std::vector<std::size_t> parent(n, 0);
+  for (std::size_t i = 1; i < n; ++i) {
+    parent[i] = rng.chance(chain_bias) ? i - 1 : rng.index(i);
+  }
+  std::vector<std::string> labels = sequential_labels(n);
+  rng.shuffle(labels);
+  return from_parents(parent, labels);
+}
+
+LabeledTree make_figure3_tree() {
+  return LabeledTree::from_edges({{"v1", "v2"},
+                                  {"v2", "v3"},
+                                  {"v3", "v6"},
+                                  {"v3", "v7"},
+                                  {"v2", "v4"},
+                                  {"v4", "v8"},
+                                  {"v2", "v5"}});
+}
+
+const char* tree_family_name(TreeFamily f) {
+  switch (f) {
+    case TreeFamily::kPath: return "path";
+    case TreeFamily::kStar: return "star";
+    case TreeFamily::kBinary: return "binary";
+    case TreeFamily::kCaterpillar: return "caterpillar";
+    case TreeFamily::kSpider: return "spider";
+    case TreeFamily::kRandom: return "random";
+  }
+  return "?";
+}
+
+LabeledTree make_family_tree(TreeFamily family, std::size_t target_n,
+                             Rng& rng) {
+  TREEAA_REQUIRE(target_n >= 2);
+  switch (family) {
+    case TreeFamily::kPath:
+      return make_path(target_n);
+    case TreeFamily::kStar:
+      return make_star(target_n);
+    case TreeFamily::kBinary: {
+      std::size_t depth = 1;
+      while (((std::size_t{2} << (depth + 1)) - 1) <= target_n) ++depth;
+      return make_kary(2, depth);
+    }
+    case TreeFamily::kCaterpillar: {
+      const std::size_t spine = std::max<std::size_t>(1, target_n / 3);
+      return make_caterpillar(spine, 2);
+    }
+    case TreeFamily::kSpider: {
+      const std::size_t leg = std::max<std::size_t>(1, (target_n - 1) / 4);
+      return make_spider(4, leg);
+    }
+    case TreeFamily::kRandom:
+      return make_random_tree(target_n, rng);
+  }
+  TREEAA_CHECK_MSG(false, "unknown tree family");
+  return make_path(2);  // unreachable
+}
+
+std::vector<TreeFamily> all_tree_families() {
+  return {TreeFamily::kPath,        TreeFamily::kStar,
+          TreeFamily::kBinary,      TreeFamily::kCaterpillar,
+          TreeFamily::kSpider,      TreeFamily::kRandom};
+}
+
+}  // namespace treeaa

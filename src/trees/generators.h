@@ -1,0 +1,83 @@
+// Input-space tree generators used by tests, examples and benches.
+//
+// Labels are zero-padded decimal strings ("v0000013"), so lexicographic
+// label order coincides with numeric order and the protocol's root choice
+// (lowest label) is always the generator's vertex 0. The padding width is
+// fixed per tree and derived from the vertex count.
+//
+// `random_tree` additionally supports shuffled labels, which decouples label
+// order from structural position — important for exercising PathsFinder with
+// roots that are not structurally special.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "trees/labeled_tree.h"
+
+namespace treeaa {
+
+/// Path (v0 - v1 - ... - v{n-1}). Requires n >= 1. D(T) = n - 1.
+[[nodiscard]] LabeledTree make_path(std::size_t n);
+
+/// Star: center v0 with n - 1 leaves. Requires n >= 2. D(T) = 2.
+[[nodiscard]] LabeledTree make_star(std::size_t n);
+
+/// Complete k-ary tree of the given depth (depth 0 = single vertex).
+/// Requires k >= 1.
+[[nodiscard]] LabeledTree make_kary(std::size_t k, std::size_t depth);
+
+/// Caterpillar: a spine path of `spine` vertices, each with `legs` pendant
+/// leaves. Requires spine >= 1.
+[[nodiscard]] LabeledTree make_caterpillar(std::size_t spine,
+                                           std::size_t legs);
+
+/// Spider: `legs` paths of length `leg_len` glued at a center. Requires
+/// legs >= 1, leg_len >= 1. D(T) = 2 * leg_len (for legs >= 2).
+[[nodiscard]] LabeledTree make_spider(std::size_t legs, std::size_t leg_len);
+
+/// Broom: a handle path of `handle` vertices with `bristles` leaves attached
+/// to its far end. Requires handle >= 1.
+[[nodiscard]] LabeledTree make_broom(std::size_t handle,
+                                     std::size_t bristles);
+
+/// Uniform random labeled tree on n vertices via a random Prüfer sequence.
+/// If `shuffle_labels`, structural positions get uniformly permuted labels.
+/// Requires n >= 1.
+[[nodiscard]] LabeledTree make_random_tree(std::size_t n, Rng& rng,
+                                           bool shuffle_labels = true);
+
+/// Random tree biased toward long paths: each new vertex attaches to the
+/// previous vertex with probability `chain_bias`, otherwise to a uniformly
+/// random existing vertex. chain_bias = 1 yields a path, 0 a uniform
+/// attachment tree. Requires n >= 1 and chain_bias in [0, 1].
+[[nodiscard]] LabeledTree make_random_chainy_tree(std::size_t n, Rng& rng,
+                                                  double chain_bias);
+
+/// The 8-vertex tree of the paper's Figure 3 (root v1; Euler list
+/// [v1 v2 v3 v6 v3 v7 v3 v2 v4 v8 v4 v2 v5 v2 v1]).
+[[nodiscard]] LabeledTree make_figure3_tree();
+
+/// The named tree families swept by benches and property tests.
+enum class TreeFamily {
+  kPath,
+  kStar,
+  kBinary,      // complete 2-ary
+  kCaterpillar, // spine n/3, 2 legs each
+  kSpider,      // 4 legs
+  kRandom,      // uniform Prüfer
+};
+
+[[nodiscard]] const char* tree_family_name(TreeFamily f);
+
+/// Builds a member of `family` with roughly `target_n` vertices (exact for
+/// path/star/random; rounded for the structured families).
+[[nodiscard]] LabeledTree make_family_tree(TreeFamily family,
+                                           std::size_t target_n, Rng& rng);
+
+/// All families, for parameterized sweeps.
+[[nodiscard]] std::vector<TreeFamily> all_tree_families();
+
+}  // namespace treeaa

@@ -1,0 +1,228 @@
+#include "trees/labeled_tree.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "common/check.h"
+
+namespace treeaa {
+
+LabeledTree LabeledTree::single(std::string label) {
+  LabeledTree t;
+  t.by_label_.emplace(label, 0);
+  t.labels_.push_back(std::move(label));
+  t.adj_.emplace_back();
+  t.build_rooted_view();
+  t.build_lca_index();
+  t.compute_diameter();
+  return t;
+}
+
+LabeledTree LabeledTree::from_edges(
+    const std::vector<std::pair<std::string, std::string>>& edges) {
+  TREEAA_REQUIRE_MSG(!edges.empty(),
+                     "from_edges needs >= 1 edge; use single() for |V| = 1");
+
+  // Collect and sort labels so that ids are assigned in lexicographic order.
+  std::vector<std::string> labels;
+  for (const auto& [a, b] : edges) {
+    TREEAA_REQUIRE_MSG(a != b, "self-loop on label '" << a << "'");
+    labels.push_back(a);
+    labels.push_back(b);
+  }
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+
+  TREEAA_REQUIRE_MSG(labels.size() == edges.size() + 1,
+                     "edge list is not a tree: " << labels.size()
+                                                 << " vertices, "
+                                                 << edges.size() << " edges");
+
+  LabeledTree t;
+  t.labels_ = std::move(labels);
+  t.by_label_.reserve(t.labels_.size());
+  for (VertexId v = 0; v < t.labels_.size(); ++v) {
+    t.by_label_.emplace(t.labels_[v], v);
+  }
+  t.adj_.assign(t.n(), {});
+  for (const auto& [a, b] : edges) {
+    const VertexId u = t.by_label_.at(a);
+    const VertexId v = t.by_label_.at(b);
+    t.adj_[u].push_back(v);
+    t.adj_[v].push_back(u);
+  }
+  for (auto& nbrs : t.adj_) {
+    std::sort(nbrs.begin(), nbrs.end());
+    TREEAA_REQUIRE_MSG(
+        std::adjacent_find(nbrs.begin(), nbrs.end()) == nbrs.end(),
+        "duplicate edge in input");
+  }
+
+  t.build_rooted_view();  // also verifies connectivity
+  t.build_lca_index();
+  t.compute_diameter();
+  return t;
+}
+
+void LabeledTree::build_rooted_view() {
+  const std::size_t n = this->n();
+  parent_.assign(n, kNoVertex);
+  depth_.assign(n, 0);
+  children_.assign(n, {});
+
+  // Iterative BFS from the root; adjacency is sorted, so children end up
+  // sorted by id as well.
+  std::vector<bool> seen(n, false);
+  std::deque<VertexId> queue{root()};
+  seen[root()] = true;
+  std::size_t visited = 0;
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    ++visited;
+    for (const VertexId w : adj_[v]) {
+      if (seen[w]) continue;
+      seen[w] = true;
+      parent_[w] = v;
+      depth_[w] = depth_[v] + 1;
+      children_[v].push_back(w);
+      queue.push_back(w);
+    }
+  }
+  TREEAA_REQUIRE_MSG(visited == n, "edge list is not connected");
+}
+
+void LabeledTree::build_lca_index() {
+  const std::size_t n = this->n();
+  std::uint32_t max_depth = 0;
+  for (const std::uint32_t d : depth_) max_depth = std::max(max_depth, d);
+  std::size_t levels = 1;
+  while ((1ull << levels) <= max_depth) ++levels;
+
+  up_.assign(levels, std::vector<VertexId>(n));
+  for (VertexId v = 0; v < n; ++v) {
+    up_[0][v] = parent_[v] == kNoVertex ? v : parent_[v];
+  }
+  for (std::size_t k = 1; k < levels; ++k) {
+    for (VertexId v = 0; v < n; ++v) {
+      up_[k][v] = up_[k - 1][up_[k - 1][v]];
+    }
+  }
+}
+
+void LabeledTree::compute_diameter() {
+  // Two-sweep BFS: farthest vertex from any vertex is a diameter endpoint.
+  const auto [a, unused] = farthest_from(root());
+  (void)unused;
+  const auto [b, dist] = farthest_from(a);
+  diameter_ = dist;
+  diameter_ends_ = {std::min(a, b), std::max(a, b)};
+}
+
+std::pair<VertexId, std::uint32_t> LabeledTree::farthest_from(
+    VertexId src) const {
+  std::vector<std::uint32_t> dist(n(), ~0u);
+  std::deque<VertexId> queue{src};
+  dist[src] = 0;
+  VertexId best = src;
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    if (dist[v] > dist[best] || (dist[v] == dist[best] && v < best)) best = v;
+    for (const VertexId w : adj_[v]) {
+      if (dist[w] != ~0u) continue;
+      dist[w] = dist[v] + 1;
+      queue.push_back(w);
+    }
+  }
+  return {best, dist[best]};
+}
+
+const std::string& LabeledTree::label(VertexId v) const {
+  require_vertex(v);
+  return labels_[v];
+}
+
+std::optional<VertexId> LabeledTree::find(std::string_view label) const {
+  const auto it = by_label_.find(std::string(label));
+  if (it == by_label_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::span<const VertexId> LabeledTree::neighbors(VertexId v) const {
+  require_vertex(v);
+  return adj_[v];
+}
+
+VertexId LabeledTree::parent(VertexId v) const {
+  require_vertex(v);
+  return parent_[v];
+}
+
+std::uint32_t LabeledTree::depth(VertexId v) const {
+  require_vertex(v);
+  return depth_[v];
+}
+
+std::span<const VertexId> LabeledTree::children(VertexId v) const {
+  require_vertex(v);
+  return children_[v];
+}
+
+VertexId LabeledTree::lca(VertexId u, VertexId v) const {
+  require_vertex(u);
+  require_vertex(v);
+  if (depth_[u] < depth_[v]) std::swap(u, v);
+  // Lift u to v's depth.
+  std::uint32_t diff = depth_[u] - depth_[v];
+  for (std::size_t k = 0; diff != 0; ++k, diff >>= 1) {
+    if (diff & 1u) u = up_[k][u];
+  }
+  if (u == v) return u;
+  for (std::size_t k = up_.size(); k-- > 0;) {
+    if (up_[k][u] != up_[k][v]) {
+      u = up_[k][u];
+      v = up_[k][v];
+    }
+  }
+  return parent_[u];
+}
+
+bool LabeledTree::is_ancestor(VertexId a, VertexId d) const {
+  return lca(a, d) == a;
+}
+
+std::uint32_t LabeledTree::distance(VertexId u, VertexId v) const {
+  const VertexId w = lca(u, v);
+  return depth_[u] + depth_[v] - 2 * depth_[w];
+}
+
+std::vector<VertexId> LabeledTree::path(VertexId u, VertexId v) const {
+  const VertexId w = lca(u, v);
+  std::vector<VertexId> up_part;
+  for (VertexId x = u; x != w; x = parent_[x]) up_part.push_back(x);
+  up_part.push_back(w);
+  std::vector<VertexId> down_part;
+  for (VertexId x = v; x != w; x = parent_[x]) down_part.push_back(x);
+  up_part.insert(up_part.end(), down_part.rbegin(), down_part.rend());
+  return up_part;
+}
+
+VertexId LabeledTree::median(VertexId a, VertexId b, VertexId c) const {
+  // The median is the deepest of the three pairwise LCAs.
+  const VertexId x = lca(a, b);
+  const VertexId y = lca(a, c);
+  const VertexId z = lca(b, c);
+  VertexId m = x;
+  if (depth_[y] > depth_[m]) m = y;
+  if (depth_[z] > depth_[m]) m = z;
+  return m;
+}
+
+void LabeledTree::require_vertex(VertexId v) const {
+  TREEAA_REQUIRE_MSG(v < n(), "vertex id " << v << " out of range (n = "
+                                           << n() << ")");
+}
+
+}  // namespace treeaa

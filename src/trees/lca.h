@@ -1,0 +1,44 @@
+// Sparse-table RMQ LCA over the Euler tour (Bender & Farach-Colton, the
+// technique the paper cites as [8] and that ListConstruction is based on).
+//
+// LabeledTree already answers LCA queries via binary lifting; this second,
+// independent implementation exists because Lemma 2 property 4 is exactly
+// the RMQ-over-Euler-tour correspondence, and having two algorithms lets the
+// test suite cross-validate them on random trees. It is also the faster
+// structure for query-heavy workloads (O(1) per query after O(n log n)
+// preprocessing) and is exercised by bench_euler_lca.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "trees/euler.h"
+#include "trees/labeled_tree.h"
+
+namespace treeaa {
+
+class SparseLcaIndex {
+ public:
+  /// Builds the index from a tree and its Euler list. The EulerList must
+  /// have been built from the same tree.
+  SparseLcaIndex(const LabeledTree& tree, const EulerList& euler);
+
+  /// Lowest common ancestor of u and v, O(1).
+  [[nodiscard]] VertexId lca(VertexId u, VertexId v) const;
+
+  /// d(u, v) computed through this index, O(1).
+  [[nodiscard]] std::uint32_t distance(VertexId u, VertexId v) const;
+
+ private:
+  /// Position (0-based) of the minimum-depth entry in tour positions [a, b].
+  [[nodiscard]] std::size_t argmin(std::size_t a, std::size_t b) const;
+
+  std::vector<VertexId> tour_;          // Euler tour vertices, 0-based
+  std::vector<std::uint32_t> depth_;    // depth of tour_[k]
+  std::vector<std::size_t> first_pos_;  // first tour position of each vertex
+  std::vector<std::vector<std::uint32_t>> table_;  // sparse table of argmins
+  std::vector<std::uint32_t> vertex_depth_;
+};
+
+}  // namespace treeaa

@@ -1,0 +1,32 @@
+// Structural tree metrics: centers, centroids, eccentricities.
+//
+// Used by the CLI's `info` command and by tests reasoning about safe areas
+// (the weighted centroid argument is what guarantees safe_area(m, t) is
+// non-empty for |m| >= 2t + 1) and about the diametral-midpoint update
+// (whose fixpoints are exactly the centers).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "trees/labeled_tree.h"
+
+namespace treeaa {
+
+/// Eccentricity of v: max distance from v to any vertex. O(n) BFS.
+[[nodiscard]] std::uint32_t eccentricity(const LabeledTree& tree, VertexId v);
+
+/// The center: vertices of minimum eccentricity. A tree has one or two
+/// (adjacent) centers; returned sorted. O(n).
+[[nodiscard]] std::vector<VertexId> tree_center(const LabeledTree& tree);
+
+/// The centroid: vertices minimizing the largest component of T - v. A tree
+/// has one or two (adjacent) centroids; returned sorted. O(n).
+[[nodiscard]] std::vector<VertexId> tree_centroid(const LabeledTree& tree);
+
+/// histogram[d] = number of vertices with degree d.
+[[nodiscard]] std::vector<std::size_t> degree_histogram(
+    const LabeledTree& tree);
+
+}  // namespace treeaa

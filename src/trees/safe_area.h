@@ -1,0 +1,50 @@
+// Safe areas on trees — the core of the iteration-based baseline protocol
+// (Nowak & Rybicki [33], described in the paper's §1/§1.2).
+//
+// Given the multiset M of vertices a party received in an iteration (one per
+// sender, repeats allowed) of which up to t may come from Byzantine parties,
+// the *safe area* is the intersection of the convex hulls of all
+// (|M| - t)-subsets of M: every vertex in it is guaranteed to lie in the
+// convex hull of the values distributed by honest parties, no matter which t
+// elements were Byzantine.
+//
+// On a tree the safe area has a closed-form characterization: a vertex v is
+// safe iff every connected component of T - v contains at most |M| - t - 1
+// elements of M. (If some component held >= |M| - t elements, an
+// (|M| - t)-subset inside that component would have a hull avoiding v;
+// conversely, any (|M| - t)-subset either touches v itself or meets two
+// different components, and in both cases its hull contains v.)
+//
+// The brute-force intersection is also provided; tests cross-validate the
+// two on random inputs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "trees/labeled_tree.h"
+
+namespace treeaa {
+
+/// Safe area of the multiset `m` against up to `t` corruptions, via the
+/// closed form above. O(|m| log n + n). Requires |m| >= 2t + 1 (below that
+/// the intersection can be empty and the baseline protocol is unusable).
+/// The result is sorted and is always non-empty and connected.
+[[nodiscard]] std::vector<VertexId> safe_area(const LabeledTree& tree,
+                                              std::span<const VertexId> m,
+                                              std::size_t t);
+
+/// Safe area by definition: intersects the hulls of all (|m| - t)-subsets.
+/// Exponential; only usable for small |m|, used to validate `safe_area`.
+[[nodiscard]] std::vector<VertexId> safe_area_bruteforce(
+    const LabeledTree& tree, std::span<const VertexId> m, std::size_t t);
+
+/// The midpoint of a diametral path of the connected vertex set `area`
+/// (which must induce a subtree): the baseline's iteration update. All ties
+/// are broken by smallest vertex id, so every party computes the identical
+/// deterministic function of (tree, area). Requires `area` non-empty.
+[[nodiscard]] VertexId subtree_midpoint(const LabeledTree& tree,
+                                        std::span<const VertexId> area);
+
+}  // namespace treeaa

@@ -1,0 +1,120 @@
+#include "trees/serialization.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace treeaa {
+
+namespace {
+
+/// Splits a line into whitespace-separated tokens.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+/// DOT requires quoting for arbitrary labels; escape quotes/backslashes.
+std::string dot_quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+std::string tree_to_text(const LabeledTree& tree) {
+  std::ostringstream os;
+  os << "# treeaa tree: " << tree.n() << " vertices, diameter "
+     << tree.diameter() << "\n";
+  if (tree.n() == 1) {
+    os << "vertex " << tree.label(tree.root()) << "\n";
+    return os.str();
+  }
+  // Parent-order edges: deterministic and reconstruction-friendly.
+  for (VertexId v = 0; v < tree.n(); ++v) {
+    for (const VertexId c : tree.children(v)) {
+      os << "edge " << tree.label(v) << " " << tree.label(c) << "\n";
+    }
+  }
+  return os.str();
+}
+
+LabeledTree tree_from_text(std::string_view text) {
+  std::vector<std::pair<std::string, std::string>> edges;
+  std::vector<std::string> isolated;
+  std::istringstream is{std::string(text)};
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    if (tokens[0] == "vertex") {
+      TREEAA_REQUIRE_MSG(tokens.size() == 2,
+                         "line " << line_no << ": vertex needs one label");
+      isolated.push_back(tokens[1]);
+    } else if (tokens[0] == "edge") {
+      TREEAA_REQUIRE_MSG(tokens.size() == 3,
+                         "line " << line_no << ": edge needs two labels");
+      edges.emplace_back(tokens[1], tokens[2]);
+    } else {
+      TREEAA_REQUIRE_MSG(false, "line " << line_no << ": unknown directive '"
+                                        << tokens[0] << "'");
+    }
+  }
+
+  if (edges.empty()) {
+    TREEAA_REQUIRE_MSG(isolated.size() == 1,
+                       "tree text must contain edges or exactly one vertex");
+    return LabeledTree::single(isolated[0]);
+  }
+  // Isolated vertices alongside edges would make the graph disconnected;
+  // allow them only if they also appear in an edge (harmless redundancy).
+  for (const auto& label : isolated) {
+    const bool mentioned =
+        std::any_of(edges.begin(), edges.end(), [&](const auto& e) {
+          return e.first == label || e.second == label;
+        });
+    TREEAA_REQUIRE_MSG(mentioned, "isolated vertex '"
+                                      << label
+                                      << "' would disconnect the tree");
+  }
+  return LabeledTree::from_edges(edges);
+}
+
+std::string tree_to_dot(const LabeledTree& tree,
+                        const std::vector<VertexId>& highlight) {
+  std::vector<bool> mark(tree.n(), false);
+  for (const VertexId v : highlight) {
+    tree.require_vertex(v);
+    mark[v] = true;
+  }
+  std::ostringstream os;
+  os << "graph treeaa {\n  node [shape=circle];\n";
+  for (VertexId v = 0; v < tree.n(); ++v) {
+    os << "  " << dot_quote(tree.label(v));
+    if (mark[v]) os << " [style=filled fillcolor=lightblue]";
+    os << ";\n";
+  }
+  for (VertexId v = 0; v < tree.n(); ++v) {
+    for (const VertexId c : tree.children(v)) {
+      os << "  " << dot_quote(tree.label(v)) << " -- "
+         << dot_quote(tree.label(c)) << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace treeaa

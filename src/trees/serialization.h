@@ -1,0 +1,37 @@
+// Text and Graphviz serialization of labeled trees.
+//
+// The text format is line-oriented and human-editable — the input space of
+// an AA deployment is configuration, and configuration should be diffable:
+//
+//   # comments and blank lines are ignored
+//   vertex <label>          # declares an isolated vertex (only useful for
+//                           # the single-vertex tree)
+//   edge <label> <label>
+//
+// Labels are whitespace-free tokens. The parser enforces exactly the same
+// validity rules as LabeledTree::from_edges (tree-ness, no self-loops or
+// duplicates) and reports line numbers on errors.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "trees/labeled_tree.h"
+
+namespace treeaa {
+
+/// Serializes `tree` to the text format (canonical: edges in parent order).
+[[nodiscard]] std::string tree_to_text(const LabeledTree& tree);
+
+/// Parses the text format. Throws std::invalid_argument with a line number
+/// on malformed input.
+[[nodiscard]] LabeledTree tree_from_text(std::string_view text);
+
+/// Graphviz DOT export. `highlight` vertices are filled (used to render
+/// inputs/outputs of an execution).
+[[nodiscard]] std::string tree_to_dot(
+    const LabeledTree& tree, const std::vector<VertexId>& highlight = {});
+
+}  // namespace treeaa

@@ -1,0 +1,138 @@
+// Asynchronous engine semantics: eventual delivery under every scheduler,
+// quiescence detection, determinism, adversary injection rules.
+#include "async/engine.h"
+
+#include <gtest/gtest.h>
+
+namespace treeaa::async {
+namespace {
+
+/// Sends `sends` pings to the next party; done after receiving `want`.
+class PingPong final : public AsyncProcess {
+ public:
+  PingPong(int sends, int want) : sends_(sends), want_(want) {}
+  void on_start(Mailbox& out) override {
+    for (int i = 0; i < sends_; ++i) {
+      out.send((out.self() + 1) % static_cast<PartyId>(out.n()),
+               Bytes{static_cast<std::uint8_t>(i)});
+    }
+  }
+  void on_message(PartyId, const Bytes&, Mailbox&) override { ++got_; }
+  [[nodiscard]] bool done() const override { return got_ >= want_; }
+  int sends_;
+  int want_;
+  int got_ = 0;
+};
+
+AsyncEngine make_engine(std::size_t n, SchedulerKind sched,
+                        std::uint64_t seed = 1,
+                        std::vector<PartyId> corrupt = {}) {
+  AsyncEngine e(n, 1, std::move(corrupt), sched, seed);
+  for (PartyId p = 0; p < n; ++p) {
+    e.set_process(p, std::make_unique<PingPong>(5, 5));
+  }
+  return e;
+}
+
+TEST(AsyncEngine, DeliversUnderEveryScheduler) {
+  for (const auto sched :
+       {SchedulerKind::kFifo, SchedulerKind::kLifo, SchedulerKind::kRandom}) {
+    AsyncEngine e = make_engine(4, sched);
+    e.run();
+    EXPECT_EQ(e.deliveries(), 20u);  // 4 parties x 5 pings
+  }
+}
+
+TEST(AsyncEngine, QuiescenceBeforeCompletionThrows) {
+  // Party 0 waits for 6 messages but only 5 are ever sent to it.
+  AsyncEngine e(2, 1, {}, SchedulerKind::kFifo, 1);
+  e.set_process(0, std::make_unique<PingPong>(5, 6));
+  e.set_process(1, std::make_unique<PingPong>(5, 5));
+  EXPECT_THROW(e.run(), InternalError);
+}
+
+TEST(AsyncEngine, DeliveryCapThrows) {
+  /// Two parties bounce a message forever.
+  class Bouncer final : public AsyncProcess {
+   public:
+    void on_start(Mailbox& out) override {
+      if (out.self() == 0) out.send(1, Bytes{1});
+    }
+    void on_message(PartyId from, const Bytes& b, Mailbox& out) override {
+      out.send(from, b);
+    }
+    [[nodiscard]] bool done() const override { return false; }
+  };
+  AsyncEngine e(2, 1, {}, SchedulerKind::kFifo, 1);
+  e.set_process(0, std::make_unique<Bouncer>());
+  e.set_process(1, std::make_unique<Bouncer>());
+  EXPECT_THROW(e.run(/*max_deliveries=*/100), InternalError);
+}
+
+TEST(AsyncEngine, CorruptPartiesNeverRun) {
+  AsyncEngine e(4, 1, {2}, SchedulerKind::kRandom, 7);
+  for (PartyId p = 0; p < 4; ++p) {
+    // Honest parties only need pings from their predecessor; party 3's
+    // predecessor is corrupt party 2, so expect nothing there.
+    e.set_process(p, std::make_unique<PingPong>(5, p == 3 ? 0 : 5));
+  }
+  e.run();
+  EXPECT_TRUE(e.is_corrupt(2));
+  EXPECT_EQ(e.corrupt(), std::vector<PartyId>{2});
+  auto& silent = dynamic_cast<PingPong&>(e.process(3));
+  EXPECT_EQ(silent.got_, 0);
+}
+
+TEST(AsyncEngine, AdversaryInjectsOnlyFromCorrupt) {
+  class Injector final : public AsyncAdversary {
+   public:
+    void step(AsyncView& view) override {
+      if (!sent_) {
+        sent_ = true;
+        view.send(2, 0, Bytes{99});
+      }
+    }
+    bool sent_ = false;
+  };
+  class ForgedInjector final : public AsyncAdversary {
+   public:
+    void step(AsyncView& view) override { view.send(1, 0, Bytes{1}); }
+  };
+
+  // Party 0's only honest source would be corrupt party 2, so it relies
+  // entirely on the adversary's single injection; party 1 hears party 0.
+  AsyncEngine good(3, 1, {2}, SchedulerKind::kFifo, 1);
+  good.set_process(0, std::make_unique<PingPong>(5, 1));
+  good.set_process(1, std::make_unique<PingPong>(5, 5));
+  good.set_process(2, std::make_unique<PingPong>(0, 0));
+  good.set_adversary(std::make_unique<Injector>());
+  good.run();
+
+  AsyncEngine bad(3, 1, {2}, SchedulerKind::kFifo, 1);
+  for (PartyId p = 0; p < 3; ++p) {
+    bad.set_process(p, std::make_unique<PingPong>(5, 5));
+  }
+  bad.set_adversary(std::make_unique<ForgedInjector>());
+  EXPECT_THROW(bad.run(), std::invalid_argument);
+}
+
+TEST(AsyncEngine, RandomSchedulerIsSeedDeterministic) {
+  auto trace = [](std::uint64_t seed) {
+    AsyncEngine e = make_engine(5, SchedulerKind::kRandom, seed);
+    e.run();
+    return e.deliveries();
+  };
+  EXPECT_EQ(trace(3), trace(3));
+}
+
+TEST(AsyncEngine, RejectsBadConfigs) {
+  EXPECT_THROW(AsyncEngine(3, 3, {}, SchedulerKind::kFifo, 1),
+               std::invalid_argument);
+  EXPECT_THROW(AsyncEngine(3, 1, {0, 1}, SchedulerKind::kFifo, 1),
+               std::invalid_argument);  // |corrupt| > t
+  EXPECT_THROW(AsyncEngine(3, 1, {7}, SchedulerKind::kFifo, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace treeaa::async

@@ -1,0 +1,151 @@
+// Asynchronous AA on real values ([1]-style, witness skeleton).
+#include "async/real_aa.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "sim/strategies.h"
+
+namespace treeaa::async {
+namespace {
+
+struct RunOutput {
+  std::vector<std::optional<double>> outputs;
+  std::uint64_t deliveries = 0;
+};
+
+RunOutput run(const AsyncRealConfig& cfg, const std::vector<double>& inputs,
+              std::vector<PartyId> corrupt, SchedulerKind sched,
+              std::uint64_t seed,
+              std::unique_ptr<AsyncAdversary> adversary = nullptr) {
+  AsyncEngine engine(cfg.n, std::max<std::size_t>(cfg.t, 1),
+                     std::move(corrupt), sched, seed);
+  std::vector<AsyncRealAAProcess*> procs(cfg.n);
+  for (PartyId p = 0; p < cfg.n; ++p) {
+    auto proc = std::make_unique<AsyncRealAAProcess>(cfg, p, inputs[p]);
+    procs[p] = proc.get();
+    engine.set_process(p, std::move(proc));
+  }
+  if (adversary != nullptr) engine.set_adversary(std::move(adversary));
+  engine.run();
+  RunOutput out;
+  out.outputs.resize(cfg.n);
+  for (PartyId p = 0; p < cfg.n; ++p) {
+    if (!engine.is_corrupt(p)) out.outputs[p] = procs[p]->output();
+  }
+  out.deliveries = engine.deliveries();
+  return out;
+}
+
+void expect_aa(const RunOutput& out, const std::vector<double>& inputs,
+               const std::vector<PartyId>& corrupt, double eps) {
+  double lo = 1e300, hi = -1e300;
+  for (PartyId p = 0; p < inputs.size(); ++p) {
+    if (std::find(corrupt.begin(), corrupt.end(), p) != corrupt.end()) {
+      continue;
+    }
+    lo = std::min(lo, inputs[p]);
+    hi = std::max(hi, inputs[p]);
+  }
+  double out_lo = 1e300, out_hi = -1e300;
+  for (const auto& o : out.outputs) {
+    if (!o.has_value()) continue;
+    EXPECT_GE(*o, lo - 1e-12);
+    EXPECT_LE(*o, hi + 1e-12);
+    out_lo = std::min(out_lo, *o);
+    out_hi = std::max(out_hi, *o);
+  }
+  EXPECT_LE(out_hi - out_lo, eps + 1e-12);
+}
+
+TEST(AsyncRealAA, IterationCount) {
+  EXPECT_EQ((AsyncRealConfig{4, 1, 1.0, 1024.0}).iterations(), 10u);
+  EXPECT_EQ((AsyncRealConfig{4, 1, 1.0, 0.5}).iterations(), 0u);
+  EXPECT_EQ((AsyncRealConfig{4, 1, 2.0, 1024.0}).iterations(), 9u);
+}
+
+TEST(AsyncRealAA, TrivialConfigOutputsInput) {
+  const AsyncRealConfig cfg{4, 1, 1.0, 0.5};
+  const std::vector<double> inputs{0.1, 0.2, 0.3, 0.4};
+  const auto out = run(cfg, inputs, {}, SchedulerKind::kFifo, 1);
+  EXPECT_EQ(out.deliveries, 0u);
+  for (PartyId p = 0; p < 4; ++p) EXPECT_EQ(*out.outputs[p], inputs[p]);
+}
+
+TEST(AsyncRealAA, ConvergesUnderEveryScheduler) {
+  const AsyncRealConfig cfg{7, 2, 1.0, 1000.0};
+  std::vector<double> inputs{0, 1000, 300, 700, 0, 1000, 500};
+  for (const auto sched :
+       {SchedulerKind::kFifo, SchedulerKind::kLifo, SchedulerKind::kRandom}) {
+    const auto out = run(cfg, inputs, {}, sched, 5);
+    expect_aa(out, inputs, {}, cfg.eps);
+  }
+}
+
+TEST(AsyncRealAA, ToleratesSilentByzantineAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    const std::size_t n = 10, t = 3;
+    const AsyncRealConfig cfg{n, t, 1.0, 512.0};
+    std::vector<double> inputs(n);
+    for (auto& v : inputs) v = rng.unit() * 512.0;
+    const auto corrupt = sim::random_parties(n, t, rng);
+    const auto out =
+        run(cfg, inputs, corrupt, SchedulerKind::kRandom, seed);
+    expect_aa(out, inputs, corrupt, cfg.eps);
+  }
+}
+
+/// Byzantine parties RBC non-finite garbage and spam reports claiming
+/// everything.
+class GarbageAdversary final : public AsyncAdversary {
+ public:
+  void step(AsyncView& view) override {
+    if (fired_) return;
+    fired_ = true;
+    for (const PartyId c : view.corrupt()) {
+      ByteWriter w;
+      w.u8(kRbcInit);
+      w.varint(0);
+      ByteWriter inner;
+      inner.f64(std::numeric_limits<double>::quiet_NaN());
+      w.blob(inner.bytes());
+      const Bytes msg = std::move(w).take();
+      for (PartyId p = 0; p < view.n(); ++p) view.send(c, p, msg);
+    }
+  }
+  bool fired_ = false;
+};
+
+TEST(AsyncRealAA, NonFiniteInjectionsAreRejected) {
+  const std::size_t n = 7, t = 2;
+  const AsyncRealConfig cfg{n, t, 1.0, 100.0};
+  const std::vector<double> inputs{0, 100, 50, 25, 75, 0, 0};
+  const auto out = run(cfg, inputs, {5, 6}, SchedulerKind::kRandom, 3,
+                       std::make_unique<GarbageAdversary>());
+  expect_aa(out, inputs, {5, 6}, cfg.eps);
+}
+
+TEST(AsyncRealAA, HalvesRangePerIterationInHonestRuns) {
+  // With no Byzantine parties the witness sets cover everything and the
+  // trimmed midpoint contracts the range by at least half per iteration —
+  // check the final range against the 2^-R envelope.
+  const std::size_t n = 4, t = 1;
+  const AsyncRealConfig cfg{n, t, 1.0, 256.0};
+  const std::vector<double> inputs{0, 256, 0, 256};
+  const auto out = run(cfg, inputs, {}, SchedulerKind::kRandom, 9);
+  double lo = 1e300, hi = -1e300;
+  for (const auto& o : out.outputs) {
+    lo = std::min(lo, *o);
+    hi = std::max(hi, *o);
+  }
+  EXPECT_LE(hi - lo, 256.0 * std::pow(0.5, static_cast<double>(
+                                               cfg.iterations())) +
+                         1e-9);
+}
+
+}  // namespace
+}  // namespace treeaa::async

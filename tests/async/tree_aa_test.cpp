@@ -1,0 +1,173 @@
+// The asynchronous NR-style tree-AA baseline: Termination (liveness under
+// hostile schedulers), Validity and 1-Agreement across families, corruption
+// sets, and Byzantine strategies.
+#include "async/tree_aa.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/iterated_tree_aa.h"
+#include "core/api.h"
+#include "harness/runner.h"
+#include "sim/strategies.h"
+#include "trees/generators.h"
+
+namespace treeaa::async {
+namespace {
+
+std::vector<VertexId> honest_inputs_of(
+    const harness::AsyncVertexRun& run,
+    const std::vector<VertexId>& inputs) {
+  std::vector<VertexId> honest;
+  for (PartyId p = 0; p < inputs.size(); ++p) {
+    if (std::find(run.corrupt.begin(), run.corrupt.end(), p) ==
+        run.corrupt.end()) {
+      honest.push_back(inputs[p]);
+    }
+  }
+  return honest;
+}
+
+TEST(AsyncTreeAA, TrivialTreeNeedsNoMessages) {
+  const auto tree = make_path(2);
+  const std::vector<VertexId> inputs{0, 1, 0, 1};
+  const auto run = harness::run_async_tree_aa(tree, 4, 1, inputs);
+  EXPECT_EQ(run.deliveries, 0u);
+  EXPECT_TRUE(core::check_agreement(tree, inputs, run.honest_outputs()).ok());
+}
+
+TEST(AsyncTreeAA, HonestRunsConvergeUnderEveryScheduler) {
+  Rng rng(2024);
+  const auto tree = make_random_tree(40, rng);
+  const std::size_t n = 7, t = 2;
+  const auto inputs = harness::random_vertex_inputs(tree, n, rng);
+  for (const auto sched :
+       {SchedulerKind::kFifo, SchedulerKind::kLifo, SchedulerKind::kRandom}) {
+    const auto run =
+        harness::run_async_tree_aa(tree, n, t, inputs, {}, sched, 3);
+    const auto check =
+        core::check_agreement(tree, inputs, run.honest_outputs());
+    EXPECT_TRUE(check.ok()) << "scheduler "
+                            << static_cast<int>(sched) << " max d "
+                            << check.max_pairwise_distance;
+  }
+}
+
+TEST(AsyncTreeAA, ToleratesSilentByzantine) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    const auto tree = make_random_tree(10 + rng.index(60), rng);
+    const std::size_t n = 10, t = 3;
+    const auto inputs = harness::random_vertex_inputs(tree, n, rng);
+    const auto corrupt = sim::random_parties(n, t, rng);
+    const auto run = harness::run_async_tree_aa(
+        tree, n, t, inputs, corrupt, SchedulerKind::kRandom, seed);
+    const auto honest = honest_inputs_of(run, inputs);
+    const auto check =
+        core::check_agreement(tree, honest, run.honest_outputs());
+    EXPECT_TRUE(check.valid) << "seed " << seed;
+    EXPECT_TRUE(check.one_agreement)
+        << "seed " << seed << " max d " << check.max_pairwise_distance;
+  }
+}
+
+/// Byzantine parties participate "honestly" in RBC but with hostile inputs
+/// (vertices far from the honest hull), injected by replaying the protocol
+/// logic through the adversary.
+class HostileInputAdversary final : public AsyncAdversary {
+ public:
+  HostileInputAdversary(const LabeledTree& tree, AsyncTreeConfig cfg,
+                        std::vector<VertexId> hostile_inputs)
+      : tree_(tree), cfg_(cfg), hostile_(std::move(hostile_inputs)) {}
+
+  void step(AsyncView& view) override {
+    if (started_) return;
+    started_ = true;
+    // Broadcast a well-formed INIT for iteration 0 from every corrupt
+    // party with its hostile vertex. (Later iterations are left silent —
+    // honest parties proceed without them.)
+    std::size_t i = 0;
+    for (const PartyId c : view.corrupt()) {
+      ByteWriter w;
+      w.u8(kRbcInit);
+      w.varint(0);
+      w.blob(baselines::encode_vertex(hostile_[i++ % hostile_.size()]));
+      const Bytes msg = std::move(w).take();
+      for (PartyId p = 0; p < view.n(); ++p) view.send(c, p, msg);
+    }
+  }
+
+ private:
+  const LabeledTree& tree_;
+  AsyncTreeConfig cfg_;
+  std::vector<VertexId> hostile_;
+  bool started_ = false;
+};
+
+TEST(AsyncTreeAA, HostileInputsCannotDragOutputsOutsideHonestHull) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed * 31);
+    // A spider: honest parties cluster on one leg, hostile inputs point at
+    // the tips of other legs.
+    const auto tree = make_spider(4, 10);
+    const std::size_t n = 7, t = 2;
+    std::vector<VertexId> inputs(n);
+    for (auto& v : inputs) v = static_cast<VertexId>(1 + rng.index(8));
+    const std::vector<PartyId> corrupt{5, 6};
+    auto adversary = std::make_unique<HostileInputAdversary>(
+        tree, AsyncTreeConfig{n, t},
+        std::vector<VertexId>{static_cast<VertexId>(tree.n() - 1),
+                              static_cast<VertexId>(tree.n() - 11)});
+    const auto run = harness::run_async_tree_aa(
+        tree, n, t, inputs, corrupt, SchedulerKind::kRandom, seed,
+        std::move(adversary));
+    std::vector<VertexId> honest(inputs.begin(), inputs.begin() + 5);
+    const auto check =
+        core::check_agreement(tree, honest, run.honest_outputs());
+    EXPECT_TRUE(check.valid) << "seed " << seed;
+    EXPECT_TRUE(check.one_agreement) << "seed " << seed;
+  }
+}
+
+struct SweepParam {
+  TreeFamily family;
+  std::uint64_t seed;
+};
+
+class AsyncTreeAASweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(AsyncTreeAASweep, AAHoldsAcrossFamiliesAndSchedulers) {
+  const auto [family, seed] = GetParam();
+  Rng rng(seed);
+  const auto tree = make_family_tree(family, 8 + rng.index(60), rng);
+  const std::size_t n = 4 + rng.index(9);
+  const std::size_t t = (n - 1) / 3;
+  const auto inputs = harness::random_vertex_inputs(tree, n, rng);
+  const auto corrupt = sim::random_parties(n, t, rng);
+  const auto sched = seed % 2 == 0 ? SchedulerKind::kRandom
+                                   : SchedulerKind::kLifo;
+  const auto run = harness::run_async_tree_aa(tree, n, t, inputs, corrupt,
+                                              sched, seed);
+  const auto honest = honest_inputs_of(run, inputs);
+  const auto check = core::check_agreement(tree, honest, run.honest_outputs());
+  EXPECT_TRUE(check.valid);
+  EXPECT_TRUE(check.one_agreement)
+      << tree_family_name(family) << " seed " << seed << " max d "
+      << check.max_pairwise_distance;
+}
+
+std::vector<SweepParam> sweep_params() {
+  std::vector<SweepParam> params;
+  std::uint64_t seed = 9000;
+  for (const TreeFamily f : all_tree_families()) {
+    for (int i = 0; i < 4; ++i) params.push_back({f, seed++});
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, AsyncTreeAASweep,
+                         ::testing::ValuesIn(sweep_params()));
+
+}  // namespace
+}  // namespace treeaa::async

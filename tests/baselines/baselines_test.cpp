@@ -1,0 +1,173 @@
+// Baseline protocols: the DLPSW-style iterated AA on R and the NR-style
+// iterated AA on trees. Same AA guarantees, more rounds — the comparison
+// TreeAA is measured against.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/iterated_real_aa.h"
+#include "baselines/iterated_tree_aa.h"
+#include "core/api.h"
+#include "harness/runner.h"
+#include "sim/strategies.h"
+#include "trees/generators.h"
+
+namespace treeaa::baselines {
+namespace {
+
+TEST(IteratedRealAA, IterationCountIsLogarithmic) {
+  IteratedRealConfig cfg{4, 1, 1.0, 1024.0};
+  EXPECT_EQ(cfg.iterations(), 10u);
+  EXPECT_EQ(cfg.rounds(), 30u);
+  cfg.known_range = 0.5;
+  EXPECT_EQ(cfg.iterations(), 0u);
+}
+
+TEST(IteratedRealAA, HonestRunAchievesEpsAgreement) {
+  IteratedRealConfig cfg{7, 2, 1.0, 500.0};
+  const auto inputs = harness::spread_real_inputs(7, 0.0, 500.0);
+  const auto run = harness::run_iterated_real_aa(cfg, inputs);
+  EXPECT_EQ(run.rounds, cfg.rounds());
+  EXPECT_LE(run.output_range(), cfg.eps);
+  for (const double v : run.honest_outputs()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 500.0);
+  }
+}
+
+TEST(IteratedRealAA, HalvesRangePerIterationInHonestRuns) {
+  IteratedRealConfig cfg{4, 1, 1.0, 256.0};
+  const std::vector<double> inputs{0.0, 256.0, 0.0, 256.0};
+  const auto run = harness::run_iterated_real_aa(cfg, inputs);
+  for (std::size_t k = 1; k <= cfg.iterations(); ++k) {
+    double lo = 1e18, hi = -1e18;
+    for (const auto& h : run.histories) {
+      if (h.empty()) continue;
+      lo = std::min(lo, h[k]);
+      hi = std::max(hi, h[k]);
+    }
+    const double prev_range = 256.0 * std::pow(0.5, static_cast<double>(k - 1));
+    EXPECT_LE(hi - lo, prev_range / 2 + 1e-9) << "iteration " << k;
+  }
+}
+
+TEST(IteratedRealAA, ToleratesByzantine) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    IteratedRealConfig cfg{10, 3, 1.0, 1000.0};
+    Rng rng(seed);
+    const auto inputs = harness::random_real_inputs(10, 0.0, 1000.0, rng);
+    auto victims = sim::random_parties(10, 3, rng);
+    std::unique_ptr<sim::Adversary> adv;
+    if (seed % 2 == 0) {
+      adv = std::make_unique<sim::FuzzAdversary>(victims, seed, 20, 40);
+    } else {
+      adv = std::make_unique<sim::SilentAdversary>(victims);
+    }
+    const auto run =
+        harness::run_iterated_real_aa(cfg, inputs, std::move(adv));
+    EXPECT_LE(run.output_range(), cfg.eps) << "seed " << seed;
+    // Validity against honest inputs.
+    double lo = 1e18, hi = -1e18;
+    for (PartyId p = 0; p < 10; ++p) {
+      if (std::find(victims.begin(), victims.end(), p) != victims.end()) {
+        continue;
+      }
+      lo = std::min(lo, inputs[p]);
+      hi = std::max(hi, inputs[p]);
+    }
+    for (const double v : run.honest_outputs()) {
+      EXPECT_GE(v, lo - 1e-12);
+      EXPECT_LE(v, hi + 1e-12);
+    }
+  }
+}
+
+TEST(IteratedRealAA, NeedsMoreRoundsThanRealAAForLargeRanges) {
+  // The headline gap: ceil(log2 D) iterations vs RealAA's log/loglog.
+  realaa::Config fast;
+  fast.n = 7;
+  fast.t = 2;
+  fast.eps = 1.0;
+  fast.known_range = 1e6;
+  IteratedRealConfig slow{7, 2, 1.0, 1e6};
+  EXPECT_GT(slow.rounds(), fast.rounds());
+}
+
+// --- Iterated tree AA --------------------------------------------------------
+
+TEST(IteratedTreeAA, VertexCodecRejectsOutOfRange) {
+  EXPECT_EQ(*decode_vertex(encode_vertex(5), 10), 5u);
+  EXPECT_FALSE(decode_vertex(encode_vertex(10), 10).has_value());
+  EXPECT_FALSE(decode_vertex(Bytes{}, 10).has_value());
+  Bytes trailing = encode_vertex(1);
+  trailing.push_back(7);
+  EXPECT_FALSE(decode_vertex(trailing, 10).has_value());
+}
+
+TEST(IteratedTreeAA, TrivialTreeTerminatesImmediately) {
+  const auto tree = make_path(2);
+  const std::vector<VertexId> inputs{0, 1, 0, 1};
+  const auto run = harness::run_iterated_tree_aa(tree, 4, 1, inputs);
+  EXPECT_EQ(run.rounds, 0u);
+  const auto check =
+      core::check_agreement(tree, inputs, run.honest_outputs());
+  EXPECT_TRUE(check.ok());
+}
+
+TEST(IteratedTreeAA, HonestRunsAchieveTreeAA) {
+  Rng rng(404);
+  for (const TreeFamily family : all_tree_families()) {
+    const auto tree = make_family_tree(family, 40, rng);
+    const std::size_t n = 7, t = 2;
+    const auto inputs = harness::random_vertex_inputs(tree, n, rng);
+    const auto run = harness::run_iterated_tree_aa(tree, n, t, inputs);
+    const auto check =
+        core::check_agreement(tree, inputs, run.honest_outputs());
+    EXPECT_TRUE(check.valid) << tree_family_name(family);
+    EXPECT_TRUE(check.one_agreement)
+        << tree_family_name(family) << " max distance "
+        << check.max_pairwise_distance;
+  }
+}
+
+TEST(IteratedTreeAA, ToleratesByzantineAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    const auto tree = make_random_tree(10 + rng.index(50), rng);
+    const std::size_t n = 10, t = 3;
+    const auto inputs = harness::random_vertex_inputs(tree, n, rng);
+    auto victims = sim::random_parties(n, t, rng);
+    std::unique_ptr<sim::Adversary> adv;
+    if (seed % 2 == 0) {
+      adv = std::make_unique<sim::FuzzAdversary>(victims, seed, 24, 32);
+    } else {
+      adv = std::make_unique<sim::SilentAdversary>(victims);
+    }
+    const auto run =
+        harness::run_iterated_tree_aa(tree, n, t, inputs, std::move(adv));
+    std::vector<VertexId> honest_inputs;
+    for (PartyId p = 0; p < n; ++p) {
+      if (std::find(victims.begin(), victims.end(), p) == victims.end()) {
+        honest_inputs.push_back(inputs[p]);
+      }
+    }
+    const auto check =
+        core::check_agreement(tree, honest_inputs, run.honest_outputs());
+    EXPECT_TRUE(check.valid) << "seed " << seed;
+    EXPECT_TRUE(check.one_agreement)
+        << "seed " << seed << " max d " << check.max_pairwise_distance;
+  }
+}
+
+TEST(IteratedTreeAA, RoundsGrowWithDiameterNotSize) {
+  IteratedTreeConfig cfg{7, 2};
+  const auto long_path = make_path(1024);
+  const auto big_star = make_star(1024);
+  EXPECT_GT(cfg.rounds(long_path), cfg.rounds(big_star));
+  EXPECT_EQ(cfg.iterations(big_star),
+            1 + IteratedTreeConfig::kSlackIterations);  // log2(2) = 1
+}
+
+}  // namespace
+}  // namespace treeaa::baselines

@@ -1,0 +1,84 @@
+// The executable Fekete chain (one-round case of Theorem 1).
+#include "bounds/chain.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bounds/fekete.h"
+#include "realaa/real_aa.h"
+
+namespace treeaa::bounds {
+namespace {
+
+realaa::UpdateRule kMean = realaa::UpdateRule::kTrimmedMean;
+
+DecisionRule trimmed_rule(std::size_t t, realaa::UpdateRule rule) {
+  return [t, rule](const std::vector<double>& view) {
+    return realaa::trimmed_update(view, t, rule);
+  };
+}
+
+TEST(FeketeChain, ConstructionIsValid) {
+  for (std::size_t n : {4u, 7u, 10u, 16u}) {
+    for (std::size_t t = 1; 3 * t < n; ++t) {
+      const auto chain = fekete_chain_r1(n, t, 0.0, 100.0);
+      EXPECT_TRUE(verify_chain_r1(chain, n, t, 0.0, 100.0))
+          << "n=" << n << " t=" << t;
+      EXPECT_EQ(chain.size(), (n + t - 1) / t + 1);
+    }
+  }
+}
+
+TEST(FeketeChain, VerifyRejectsBrokenChains) {
+  auto chain = fekete_chain_r1(6, 2, 0.0, 1.0);
+  EXPECT_TRUE(verify_chain_r1(chain, 6, 2, 0.0, 1.0));
+  // Wrong endpoint.
+  auto bad_end = chain;
+  bad_end.back()[0] = 0.5;
+  EXPECT_FALSE(verify_chain_r1(bad_end, 6, 2, 0.0, 1.0));
+  // Too-large step: claim only t = 1 was allowed.
+  EXPECT_FALSE(verify_chain_r1(chain, 6, 1, 0.0, 1.0));
+  // Wrong width.
+  EXPECT_FALSE(verify_chain_r1(chain, 7, 2, 0.0, 1.0));
+}
+
+TEST(FeketeChain, TrimmedRulesCannotBeatTheChainBound) {
+  // The pigeonhole gap (b-a)/s must appear for ANY decision rule; check the
+  // library's own rules against it and against K(1, D).
+  const double D = 1000.0;
+  for (std::size_t n : {4u, 7u, 13u, 25u}) {
+    const std::size_t t = (n - 1) / 3;
+    if (t == 0) continue;
+    const auto chain = fekete_chain_r1(n, t, 0.0, D);
+    const double s = static_cast<double>(chain.size() - 1);
+    for (const auto rule :
+         {realaa::UpdateRule::kTrimmedMean,
+          realaa::UpdateRule::kTrimmedMidpoint}) {
+      const double gap = max_adjacent_gap(chain, trimmed_rule(t, rule));
+      EXPECT_GE(gap + 1e-9, D / s) << "n=" << n << " rule "
+                                   << static_cast<int>(rule);
+      // And therefore at least the exact one-round Fekete bound
+      // K(1, D) = D * t/(n + t), which is weaker than D/ceil(n/t).
+      EXPECT_GE(gap + 1e-9, std::exp(log_fekete_k(1, D, n, t)));
+    }
+  }
+}
+
+TEST(FeketeChain, ValidityPinsTheEndpoints) {
+  // f(all-a) = a and f(all-b) = b for the trimmed rules — the property the
+  // chain argument leans on.
+  const auto chain = fekete_chain_r1(10, 3, -5.0, 7.0);
+  const auto f = trimmed_rule(3, kMean);
+  EXPECT_EQ(f(chain.front()), -5.0);
+  EXPECT_EQ(f(chain.back()), 7.0);
+}
+
+TEST(FeketeChain, RejectsDegenerateParameters) {
+  EXPECT_THROW((void)fekete_chain_r1(4, 0, 0, 1), std::invalid_argument);
+  EXPECT_THROW((void)fekete_chain_r1(4, 4, 0, 1), std::invalid_argument);
+  EXPECT_THROW((void)fekete_chain_r1(4, 1, 2, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace treeaa::bounds

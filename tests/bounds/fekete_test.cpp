@@ -1,0 +1,155 @@
+// Fekete's bound calculators (Theorems 1 and 2).
+#include "bounds/fekete.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "realaa/rounds.h"
+
+namespace treeaa::bounds {
+namespace {
+
+TEST(BudgetProduct, BalancedPartitionIsOptimal) {
+  // t = 6, R = 3: balanced {2,2,2} -> product 8.
+  EXPECT_NEAR(log_best_budget_product(6, 3), std::log(8.0), 1e-12);
+  // t = 7, R = 3: {3,2,2} -> 12.
+  EXPECT_NEAR(log_best_budget_product(7, 3), std::log(12.0), 1e-12);
+  // t = 4, R = 3: {2,1,1} -> 2.
+  EXPECT_NEAR(log_best_budget_product(4, 3), std::log(2.0), 1e-12);
+}
+
+TEST(BudgetProduct, ExhaustiveSearchAgreesOnSmallInstances) {
+  // Brute-force over all compositions of at most t into R parts >= 1.
+  for (std::size_t t = 1; t <= 10; ++t) {
+    for (std::size_t R = 1; R <= 4; ++R) {
+      double best = 1.0;  // empty/degenerate product
+      // Enumerate R-tuples with entries in [1, t].
+      std::vector<std::size_t> parts(R, 1);
+      while (true) {
+        std::size_t sum = 0;
+        double prod = 1;
+        for (const std::size_t p : parts) {
+          sum += p;
+          prod *= static_cast<double>(p);
+        }
+        if (sum <= t) best = std::max(best, prod);
+        // Increment the tuple.
+        std::size_t i = 0;
+        while (i < R && parts[i] == t) parts[i++] = 1;
+        if (i == R) break;
+        ++parts[i];
+      }
+      EXPECT_NEAR(log_best_budget_product(t, R), std::log(best), 1e-9)
+          << "t=" << t << " R=" << R;
+    }
+  }
+}
+
+TEST(BudgetProduct, DegenerateBudget) {
+  EXPECT_EQ(log_best_budget_product(0, 3), 0.0);  // product 1
+  EXPECT_EQ(log_best_budget_product(2, 5), 0.0);
+  EXPECT_THROW((void)log_best_budget_product(3, 0), std::invalid_argument);
+}
+
+TEST(FeketeK, ExactMatchesSimplifiedWhenBudgetDividesEvenly) {
+  // With R | t the balanced integer partition is exactly (t/R)^R, so the
+  // exact and simplified forms coincide.
+  for (const auto& [t, R] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {4, 2}, {6, 3}, {8, 4}, {9, 3}, {12, 4}}) {
+    const std::size_t n = 3 * t + 1;
+    for (double D : {10.0, 1e4, 1e9}) {
+      EXPECT_NEAR(log_fekete_k(R, D, n, t), log_fekete_k_simple(R, D, n, t),
+                  1e-9)
+          << "t=" << t << " R=" << R << " D=" << D;
+    }
+  }
+}
+
+TEST(FeketeK, ExactDominatesFlooredSimplified) {
+  // The continuous t^R/R^R can exceed the integer optimum (t=3, R=2 gives
+  // {2,1} -> 2 < 2.25), but the floor-based form max(floor(t/R),1)^R never
+  // does.
+  for (std::size_t n : {4u, 10u, 31u}) {
+    const std::size_t t = (n - 1) / 3;
+    for (std::size_t R = 1; R <= 12; ++R) {
+      for (double D : {10.0, 1e4, 1e9}) {
+        const double q = std::max<double>(
+            1.0, std::floor(static_cast<double>(t) / static_cast<double>(R)));
+        const double floored =
+            std::log(D) + static_cast<double>(R) *
+                              (std::log(q) -
+                               std::log(static_cast<double>(n + t)));
+        EXPECT_GE(log_fekete_k(R, D, n, t) + 1e-9, floored)
+            << "n=" << n << " R=" << R << " D=" << D;
+      }
+    }
+  }
+}
+
+TEST(FeketeK, DecreasesInRounds) {
+  for (std::size_t R = 1; R < 20; ++R) {
+    EXPECT_GT(log_fekete_k(R, 1e12, 10, 3), log_fekete_k(R + 1, 1e12, 10, 3));
+  }
+}
+
+TEST(LowerBoundRounds, TrivialAndSmallCases) {
+  EXPECT_EQ(lower_bound_rounds(1.0, 10, 3), 0u);
+  EXPECT_EQ(lower_bound_rounds(0.0, 10, 3), 0u);
+  EXPECT_GE(lower_bound_rounds(2.0, 10, 3), 1u);
+}
+
+TEST(LowerBoundRounds, GrowsWithDiameter) {
+  std::size_t prev = 0;
+  for (double D = 2; D < 1e15; D *= 10) {
+    const std::size_t r = lower_bound_rounds(D, 10, 3);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+  EXPECT_GE(prev, 5u);
+}
+
+TEST(LowerBoundRounds, ShrinksWithMoreParties) {
+  // More parties per corruption -> weaker bound (log((n+t)/t) grows).
+  const double D = 1e9;
+  EXPECT_GE(lower_bound_rounds(D, 10, 3), lower_bound_rounds(D, 1000, 3));
+}
+
+TEST(LowerBoundRounds, DefinitionIsExact) {
+  // R* is the smallest R with K(R, D) <= 1.
+  for (double D : {50.0, 1e5, 1e10}) {
+    const std::size_t r = lower_bound_rounds(D, 13, 4);
+    EXPECT_LE(log_fekete_k(r, D, 13, 4), 0.0);
+    if (r > 1) {
+      EXPECT_GT(log_fekete_k(r - 1, D, 13, 4), 0.0);
+    }
+  }
+}
+
+TEST(Theorem2ClosedForm, MatchesAsymptoticShape) {
+  EXPECT_EQ(theorem2_closed_form(2.0, 10, 3), 0.0);  // guarded
+  EXPECT_EQ(theorem2_closed_form(1e6, 10, 0), 0.0);  // t = 0
+  const double r1 = theorem2_closed_form(1e3, 10, 3);
+  const double r2 = theorem2_closed_form(1e9, 10, 3);
+  EXPECT_GT(r2, r1);
+  EXPECT_GT(r1, 0.0);
+}
+
+TEST(Theorem2, UpperAndLowerBoundsAreConsistent) {
+  // The protocol's round count (Theorem 3 bound, for the reduction's
+  // D <= 2|V|) must exceed the lower bound for every configuration — i.e.
+  // the theory is internally consistent in this implementation.
+  for (double D : {10.0, 1e3, 1e6, 1e12}) {
+    for (std::size_t n : {4u, 16u, 64u}) {
+      const std::size_t t = (n - 1) / 3;
+      const std::size_t lower = lower_bound_rounds(D, n, t);
+      const std::size_t upper =
+          3 * realaa::iterations_paper_sufficient(D, 1.0);
+      EXPECT_LE(lower, std::max<std::size_t>(upper, 1))
+          << "D=" << D << " n=" << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace treeaa::bounds

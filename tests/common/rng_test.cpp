@@ -1,0 +1,124 @@
+// Determinism and distribution sanity for the seeded Rng.
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace treeaa {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, UniformSingletonRange) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform(5, 5), 5u);
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformRejectsInvertedRange) {
+  Rng rng(7);
+  EXPECT_THROW((void)rng.uniform(3, 2), std::invalid_argument);
+}
+
+TEST(Rng, UnitInHalfOpenInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, IndexRequiresNonEmpty) {
+  Rng rng(3);
+  EXPECT_THROW((void)rng.index(0), std::invalid_argument);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);
+}
+
+TEST(Rng, ShuffleSingleAndEmptyAreNoops) {
+  Rng rng(5);
+  std::vector<int> empty;
+  rng.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  rng.shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(Rng, PickReturnsElement) {
+  Rng rng(9);
+  const std::vector<int> v{10, 20, 30};
+  for (int i = 0; i < 100; ++i) {
+    const int x = rng.pick(v);
+    EXPECT_TRUE(x == 10 || x == 20 || x == 30);
+  }
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng a(1);
+  Rng child1 = a.fork(1);
+  Rng child2 = a.fork(1);  // same tag, but parent advanced — different seed
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child1.next() == child2.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, SplitMix64IsStable) {
+  // Pin the constants so accidental edits to the mixer show up.
+  EXPECT_EQ(splitmix64(0), 0xE220A8397B1DCDAFull);
+  EXPECT_EQ(splitmix64(1), 0x910A2DEC89025CC1ull);
+}
+
+}  // namespace
+}  // namespace treeaa

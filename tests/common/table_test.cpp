@@ -1,0 +1,71 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace treeaa {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "n"});
+  t.row({"alpha", "1"});
+  t.row({"b", "22222"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name   n"), std::string::npos);
+  EXPECT_NE(out.find("alpha  1"), std::string::npos);
+  EXPECT_NE(out.find("b      22222"), std::string::npos);
+}
+
+TEST(Table, RowArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, CountsRows) {
+  Table t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.row({"1"});
+  t.row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvEscapesHostileCells) {
+  Table t({"name", "value"});
+  t.row({"plain", "1"});
+  t.row({"with,comma", "with\"quote"});
+  const std::string csv = t.render_csv();
+  EXPECT_NE(csv.find("name,value\n"), std::string::npos);
+  EXPECT_NE(csv.find("plain,1\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"with,comma\",\"with\"\"quote\"\n"),
+            std::string::npos);
+}
+
+TEST(Table, RenderForOutputRespectsEnv) {
+  Table t({"a"});
+  t.row({"1"});
+  unsetenv("TREEAA_CSV");
+  EXPECT_EQ(render_for_output(t), t.render());
+  setenv("TREEAA_CSV", "1", 1);
+  EXPECT_EQ(render_for_output(t), t.render_csv());
+  unsetenv("TREEAA_CSV");
+}
+
+TEST(FmtDouble, FormatsCompactly) {
+  EXPECT_EQ(fmt_double(12.0), "12");
+  EXPECT_EQ(fmt_double(3.5), "3.5");
+  EXPECT_EQ(fmt_double(0.000012345, 3), "1.23e-05");
+  EXPECT_EQ(fmt_double(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(fmt_double(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(fmt_double(std::nan("")), "nan");
+}
+
+TEST(FmtRatio, AppendsX) { EXPECT_EQ(fmt_ratio(2.0), "2x"); }
+
+}  // namespace
+}  // namespace treeaa

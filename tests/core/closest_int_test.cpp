@@ -1,0 +1,60 @@
+// closestInt: the exact rounding rule of §4, plus Remarks 1 and 2.
+#include "core/closest_int.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace treeaa {
+namespace {
+
+TEST(ClosestInt, BasicRounding) {
+  EXPECT_EQ(closest_int(3.0), 3);
+  EXPECT_EQ(closest_int(3.4), 3);
+  EXPECT_EQ(closest_int(3.6), 4);
+  EXPECT_EQ(closest_int(-2.4), -2);
+  EXPECT_EQ(closest_int(-2.6), -3);
+  EXPECT_EQ(closest_int(0.0), 0);
+}
+
+TEST(ClosestInt, TiesRoundUpPerPaperDefinition) {
+  // j - z < (z+1) - j fails at j = z + 0.5, so ties go to z + 1.
+  EXPECT_EQ(closest_int(3.5), 4);
+  EXPECT_EQ(closest_int(0.5), 1);
+  EXPECT_EQ(closest_int(-0.5), 0);
+  EXPECT_EQ(closest_int(-3.5), -3);
+}
+
+TEST(ClosestInt, Remark1StaysWithinIntegerBounds) {
+  // If j in [i_min, i_max] (integers), closestInt(j) in [i_min, i_max].
+  Rng rng(1);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::int64_t lo = static_cast<std::int64_t>(rng.uniform(0, 100)) - 50;
+    const std::int64_t hi = lo + static_cast<std::int64_t>(rng.uniform(0, 60));
+    const double j = static_cast<double>(lo) +
+                     rng.unit() * static_cast<double>(hi - lo);
+    const std::int64_t r = closest_int(j);
+    EXPECT_GE(r, lo) << j;
+    EXPECT_LE(r, hi) << j;
+  }
+  // Endpoints exactly.
+  EXPECT_EQ(closest_int(7.0), 7);
+  EXPECT_EQ(closest_int(-7.0), -7);
+}
+
+TEST(ClosestInt, Remark2OneCloseRealsMapToOneCloseInts) {
+  Rng rng(2);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const double j = rng.unit() * 200 - 100;
+    const double jp = j + rng.unit();  // |j - jp| <= 1
+    const std::int64_t a = closest_int(j);
+    const std::int64_t b = closest_int(jp);
+    EXPECT_LE(std::abs(a - b), 1) << j << " vs " << jp;
+  }
+  // The adversarial boundary case from the proof of Remark 2.
+  EXPECT_LE(std::abs(closest_int(2.4999999) - closest_int(3.4999999)), 1);
+  EXPECT_LE(std::abs(closest_int(2.5) - closest_int(3.5)), 1);
+}
+
+}  // namespace
+}  // namespace treeaa

@@ -1,0 +1,118 @@
+// The §4 warm-up protocol: AA on labeled paths.
+#include "core/path_aa.h"
+
+#include <gtest/gtest.h>
+
+#include "core/api.h"
+#include "harness/runner.h"
+#include "sim/strategies.h"
+#include "trees/generators.h"
+
+namespace treeaa::core {
+namespace {
+
+TEST(CanonicalPathOrder, OrientsFromLowerLabel) {
+  const auto t = make_path(5);  // labels v0..v4
+  const auto order = canonical_path_order(t);
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(t.label(order.front()), "v0");
+  EXPECT_EQ(t.label(order.back()), "v4");
+}
+
+TEST(CanonicalPathOrder, SingleVertex) {
+  const auto t = LabeledTree::single("x");
+  EXPECT_EQ(canonical_path_order(t), std::vector<VertexId>{0});
+}
+
+TEST(CanonicalPathOrder, RejectsNonPath) {
+  const auto star = make_star(4);
+  EXPECT_THROW((void)canonical_path_order(star), std::invalid_argument);
+}
+
+TEST(PathAA, HonestRunSatisfiesAA) {
+  const auto path = make_path(100);
+  const std::size_t n = 7, t = 2;
+  const auto inputs = harness::spread_vertex_inputs(path, n);
+  const auto run = harness::run_path_aa(path, n, t, inputs);
+  const auto check = check_agreement(path, inputs, run.honest_outputs());
+  EXPECT_TRUE(check.ok()) << "max distance " << check.max_pairwise_distance;
+}
+
+TEST(PathAA, TrivialPathsTerminateWithoutRounds) {
+  const auto p2 = make_path(2);
+  const std::vector<VertexId> inputs{0, 1, 1, 0};
+  const auto run = harness::run_path_aa(p2, 4, 1, inputs);
+  EXPECT_EQ(run.rounds, 0u);
+  for (PartyId p = 0; p < 4; ++p) EXPECT_EQ(*run.outputs[p], inputs[p]);
+}
+
+TEST(PathAA, RoundsMatchRealAAOfDiameter) {
+  const auto path = make_path(1000);
+  realaa::Config expect_cfg;
+  expect_cfg.n = 7;
+  expect_cfg.t = 2;
+  expect_cfg.eps = 1.0;
+  expect_cfg.known_range = 999.0;
+  const PathAAProcess probe(path, 7, 2, 0, 0);
+  EXPECT_EQ(probe.rounds(), expect_cfg.rounds());
+}
+
+TEST(PathAA, ClassicEngineAlsoSatisfiesAA) {
+  const auto path = make_path(200);
+  PathAAOptions opts;
+  opts.engine = RealEngineKind::kClassicHalving;
+  const std::size_t n = 7, t = 2;
+  const auto inputs = harness::spread_vertex_inputs(path, n);
+  auto adv =
+      std::make_unique<sim::SilentAdversary>(std::vector<PartyId>{0, 3});
+  const auto run = harness::run_path_aa(path, n, t, inputs, std::move(adv),
+                                        opts);
+  std::vector<VertexId> honest_inputs;
+  for (PartyId p = 0; p < n; ++p) {
+    if (p != 0 && p != 3) honest_inputs.push_back(inputs[p]);
+  }
+  EXPECT_TRUE(
+      check_agreement(path, honest_inputs, run.honest_outputs()).ok());
+  // The classic engine pays log2(D) iterations instead of log/loglog.
+  const PathAAProcess fast_probe(path, n, t, 0, 0);
+  EXPECT_GT(run.rounds, fast_probe.rounds());
+}
+
+class PathAASweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PathAASweep, AAHoldsUnderAdversaries) {
+  Rng rng(GetParam());
+  const std::size_t len = 2 + rng.index(300);
+  const auto path = make_path(len);
+  const std::size_t n = 4 + rng.index(10);
+  const std::size_t t = (n - 1) / 3;
+  const auto inputs = harness::random_vertex_inputs(path, n, rng);
+
+  std::unique_ptr<sim::Adversary> adv;
+  const auto victims = sim::random_parties(n, t, rng);
+  if (GetParam() % 2 == 0) {
+    adv = std::make_unique<sim::FuzzAdversary>(victims, GetParam(), 12, 32);
+  } else {
+    adv = std::make_unique<sim::SilentAdversary>(victims);
+  }
+  auto run = harness::run_path_aa(path, n, t, inputs, std::move(adv));
+
+  std::vector<VertexId> honest_inputs;
+  for (PartyId p = 0; p < n; ++p) {
+    if (std::find(run.corrupt.begin(), run.corrupt.end(), p) ==
+        run.corrupt.end()) {
+      honest_inputs.push_back(inputs[p]);
+    }
+  }
+  const auto check =
+      check_agreement(path, honest_inputs, run.honest_outputs());
+  EXPECT_TRUE(check.valid) << "seed " << GetParam();
+  EXPECT_TRUE(check.one_agreement)
+      << "seed " << GetParam() << " max d " << check.max_pairwise_distance;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PathAASweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace treeaa::core

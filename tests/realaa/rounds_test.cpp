@@ -1,0 +1,109 @@
+// Iteration/round budget formulas (Theorem 3).
+#include "realaa/rounds.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace treeaa::realaa {
+namespace {
+
+TEST(Rounds, PaperSufficientBasics) {
+  EXPECT_EQ(iterations_paper_sufficient(0.0, 1.0), 0u);
+  EXPECT_EQ(iterations_paper_sufficient(1.0, 1.0), 0u);
+  EXPECT_EQ(iterations_paper_sufficient(1.0, 2.0), 0u);   // D < eps
+  EXPECT_EQ(iterations_paper_sufficient(2.0, 1.0), 2u);   // 1^1 < 2 <= 2^2
+  EXPECT_EQ(iterations_paper_sufficient(4.0, 1.0), 2u);   // 2^2 = 4
+  EXPECT_EQ(iterations_paper_sufficient(5.0, 1.0), 3u);
+  EXPECT_EQ(iterations_paper_sufficient(27.0, 1.0), 3u);  // 3^3 = 27
+  EXPECT_EQ(iterations_paper_sufficient(28.0, 1.0), 4u);
+}
+
+TEST(Rounds, PaperSufficientSatisfiesRpowR) {
+  for (double delta : {1.5, 3.0, 10.0, 100.0, 1e4, 1e8, 1e15}) {
+    const std::size_t r = iterations_paper_sufficient(delta, 1.0);
+    ASSERT_GE(r, 1u);
+    const double rd = static_cast<double>(r);
+    EXPECT_GE(rd * std::log(rd) + 1e-9, std::log(delta)) << delta;
+    if (r > 1) {
+      const double prev = rd - 1;
+      EXPECT_LT(prev * std::log(prev), std::log(delta)) << delta;
+    }
+  }
+}
+
+TEST(Rounds, PaperSufficientScalesWithEps) {
+  // Only the ratio D/eps matters.
+  EXPECT_EQ(iterations_paper_sufficient(100.0, 1.0),
+            iterations_paper_sufficient(1000.0, 10.0));
+}
+
+TEST(Rounds, PaperSufficientIsMonotoneInDelta) {
+  std::size_t prev = 0;
+  for (double d = 1.0; d < 1e12; d *= 3) {
+    const std::size_t r = iterations_paper_sufficient(d, 1.0);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+}
+
+TEST(Rounds, Theorem3BoundDominatesProtocolRounds) {
+  // 3 * iterations (the protocol's actual rounds) must stay below the
+  // ceil(7 log2(delta)/log2 log2(delta)) bound of Theorem 3.
+  for (double delta = 2.0; delta < 1e15; delta *= 1.7) {
+    const std::size_t rounds = 3 * iterations_paper_sufficient(delta, 1.0);
+    EXPECT_LE(rounds, theorem3_round_bound(delta, 1.0)) << "delta " << delta;
+  }
+}
+
+TEST(Rounds, Theorem3BoundEdgeCases) {
+  EXPECT_EQ(theorem3_round_bound(1.0, 1.0), 0u);
+  EXPECT_EQ(theorem3_round_bound(0.5, 1.0), 0u);
+  EXPECT_GT(theorem3_round_bound(2.0, 1.0), 0u);
+  EXPECT_THROW((void)theorem3_round_bound(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Rounds, TightNeverExceedsPaperSufficient) {
+  for (double delta : {2.0, 10.0, 1e3, 1e6, 1e9}) {
+    for (std::size_t n : {4u, 10u, 31u, 100u}) {
+      const std::size_t t = (n - 1) / 3;
+      EXPECT_LE(iterations_tight(delta, 1.0, n, t),
+                iterations_paper_sufficient(delta, 1.0))
+          << "delta=" << delta << " n=" << n;
+    }
+  }
+}
+
+TEST(Rounds, TightGuaranteeHolds) {
+  for (double delta : {2.0, 100.0, 1e6}) {
+    for (std::size_t n : {4u, 16u}) {
+      const std::size_t t = (n - 1) / 3;
+      const std::size_t r = iterations_tight(delta, 1.0, n, t);
+      ASSERT_GE(r, 1u);
+      const double rd = static_cast<double>(r);
+      const double factor =
+          static_cast<double>(t) / (static_cast<double>(n - 2 * t) * rd);
+      EXPECT_LE(delta * std::pow(factor, rd), 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(Rounds, TightWithZeroFaultsIsOneIteration) {
+  EXPECT_EQ(iterations_tight(100.0, 1.0, 4, 0), 1u);
+  EXPECT_EQ(iterations_tight(0.5, 1.0, 4, 0), 0u);
+}
+
+TEST(Rounds, TightRejectsBadResilience) {
+  EXPECT_THROW((void)iterations_tight(10.0, 1.0, 3, 1),
+               std::invalid_argument);
+}
+
+TEST(Rounds, DispatchMatches) {
+  EXPECT_EQ(iterations_for(IterationMode::kPaperSufficient, 50, 1, 7, 2),
+            iterations_paper_sufficient(50, 1));
+  EXPECT_EQ(iterations_for(IterationMode::kTight, 50, 1, 7, 2),
+            iterations_tight(50, 1, 7, 2));
+}
+
+}  // namespace
+}  // namespace treeaa::realaa

@@ -1,0 +1,138 @@
+// Tree generators: shape, size, determinism, and label-order properties.
+#include "trees/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace treeaa {
+namespace {
+
+TEST(Generators, PathShape) {
+  const auto t = make_path(6);
+  EXPECT_EQ(t.n(), 6u);
+  EXPECT_EQ(t.diameter(), 5u);
+  std::size_t leaves = 0;
+  for (VertexId v = 0; v < t.n(); ++v) {
+    EXPECT_LE(t.degree(v), 2u);
+    if (t.degree(v) == 1) ++leaves;
+  }
+  EXPECT_EQ(leaves, 2u);
+}
+
+TEST(Generators, PathOfOneAndTwo) {
+  EXPECT_EQ(make_path(1).n(), 1u);
+  const auto two = make_path(2);
+  EXPECT_EQ(two.n(), 2u);
+  EXPECT_EQ(two.diameter(), 1u);
+}
+
+TEST(Generators, StarShape) {
+  const auto t = make_star(7);
+  EXPECT_EQ(t.n(), 7u);
+  EXPECT_EQ(t.diameter(), 2u);
+  EXPECT_EQ(t.degree(t.root()), 6u);
+}
+
+TEST(Generators, KaryCountAndDepth) {
+  const auto t = make_kary(2, 3);
+  EXPECT_EQ(t.n(), 15u);  // 1 + 2 + 4 + 8
+  std::uint32_t max_depth = 0;
+  for (VertexId v = 0; v < t.n(); ++v) {
+    max_depth = std::max(max_depth, t.depth(v));
+  }
+  EXPECT_EQ(max_depth, 3u);
+  const auto t3 = make_kary(3, 2);
+  EXPECT_EQ(t3.n(), 13u);  // 1 + 3 + 9
+  EXPECT_EQ(make_kary(2, 0).n(), 1u);
+}
+
+TEST(Generators, CaterpillarShape) {
+  const auto t = make_caterpillar(4, 2);
+  EXPECT_EQ(t.n(), 12u);
+  EXPECT_EQ(t.diameter(), 5u);  // leg + 3 spine edges + leg
+}
+
+TEST(Generators, SpiderShape) {
+  const auto t = make_spider(3, 4);
+  EXPECT_EQ(t.n(), 13u);
+  EXPECT_EQ(t.diameter(), 8u);
+  EXPECT_EQ(t.degree(t.root()), 3u);
+}
+
+TEST(Generators, BroomShape) {
+  const auto t = make_broom(5, 3);
+  EXPECT_EQ(t.n(), 8u);
+  EXPECT_EQ(t.diameter(), 5u);
+}
+
+TEST(Generators, RandomTreeIsValidAndSized) {
+  Rng rng(99);
+  for (std::size_t n : {1u, 2u, 3u, 10u, 57u, 200u}) {
+    const auto t = make_random_tree(n, rng);
+    EXPECT_EQ(t.n(), n);
+  }
+}
+
+TEST(Generators, RandomTreeDeterministicPerSeed) {
+  Rng a(123), b(123);
+  const auto ta = make_random_tree(40, a);
+  const auto tb = make_random_tree(40, b);
+  ASSERT_EQ(ta.n(), tb.n());
+  for (VertexId v = 0; v < ta.n(); ++v) {
+    EXPECT_EQ(ta.parent(v), tb.parent(v));
+    EXPECT_EQ(ta.label(v), tb.label(v));
+  }
+}
+
+TEST(Generators, RandomTreesVaryAcrossSeeds) {
+  Rng a(1), b(2);
+  const auto ta = make_random_tree(40, a);
+  const auto tb = make_random_tree(40, b);
+  bool differ = false;
+  for (VertexId v = 0; v < ta.n() && !differ; ++v) {
+    differ = ta.parent(v) != tb.parent(v);
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Generators, ChainyTreeExtremes) {
+  Rng rng(5);
+  const auto path_like = make_random_chainy_tree(30, rng, 1.0);
+  EXPECT_EQ(path_like.diameter(), 29u);
+  const auto t0 = make_random_chainy_tree(30, rng, 0.0);
+  EXPECT_EQ(t0.n(), 30u);
+}
+
+TEST(Generators, LabelsAreZeroPaddedAndOrdered) {
+  const auto t = make_path(12);
+  // Widths chosen so lexicographic = numeric: "v00" < "v01" < ... < "v11".
+  EXPECT_EQ(t.label(0), "v00");
+  EXPECT_EQ(t.label(11), "v11");
+}
+
+TEST(Generators, FamilySweepProducesReasonableSizes) {
+  Rng rng(7);
+  for (const TreeFamily f : all_tree_families()) {
+    const auto t = make_family_tree(f, 64, rng);
+    EXPECT_GE(t.n(), 2u) << tree_family_name(f);
+    EXPECT_LE(t.n(), 200u) << tree_family_name(f);
+  }
+}
+
+TEST(Generators, FamilyNamesAreDistinct) {
+  std::set<std::string> names;
+  for (const TreeFamily f : all_tree_families()) {
+    names.insert(tree_family_name(f));
+  }
+  EXPECT_EQ(names.size(), all_tree_families().size());
+}
+
+TEST(Generators, Figure3TreeMatchesPaper) {
+  const auto t = make_figure3_tree();
+  EXPECT_EQ(t.n(), 8u);
+  EXPECT_EQ(t.label(t.root()), "v1");
+}
+
+}  // namespace
+}  // namespace treeaa

@@ -1,0 +1,65 @@
+// SparseLcaIndex (RMQ over the Euler tour) cross-validated against the
+// binary-lifting LCA inside LabeledTree.
+#include "trees/lca.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "trees/generators.h"
+
+namespace treeaa {
+namespace {
+
+TEST(SparseLca, SingleVertex) {
+  const auto t = LabeledTree::single("a");
+  const EulerList L(t);
+  const SparseLcaIndex idx(t, L);
+  EXPECT_EQ(idx.lca(0, 0), 0u);
+  EXPECT_EQ(idx.distance(0, 0), 0u);
+}
+
+TEST(SparseLca, Figure3SpotChecks) {
+  const auto t = make_figure3_tree();
+  const EulerList L(t);
+  const SparseLcaIndex idx(t, L);
+  const VertexId v2 = *t.find("v2");
+  const VertexId v6 = *t.find("v6");
+  const VertexId v8 = *t.find("v8");
+  EXPECT_EQ(idx.lca(v6, v8), v2);
+  EXPECT_EQ(idx.distance(v6, v8), 4u);
+}
+
+class SparseLcaRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SparseLcaRandom, AgreesWithBinaryLifting) {
+  Rng rng(GetParam());
+  for (int tree_trial = 0; tree_trial < 5; ++tree_trial) {
+    const auto t = make_random_tree(1 + rng.index(120), rng);
+    const EulerList L(t);
+    const SparseLcaIndex idx(t, L);
+    for (int q = 0; q < 200; ++q) {
+      const auto u = static_cast<VertexId>(rng.index(t.n()));
+      const auto v = static_cast<VertexId>(rng.index(t.n()));
+      EXPECT_EQ(idx.lca(u, v), t.lca(u, v)) << "u=" << u << " v=" << v;
+      EXPECT_EQ(idx.distance(u, v), t.distance(u, v));
+    }
+  }
+}
+
+TEST_P(SparseLcaRandom, ExhaustiveOnSmallTrees) {
+  Rng rng(GetParam() ^ 0xBEEF);
+  const auto t = make_random_tree(2 + rng.index(16), rng);
+  const EulerList L(t);
+  const SparseLcaIndex idx(t, L);
+  for (VertexId u = 0; u < t.n(); ++u) {
+    for (VertexId v = 0; v < t.n(); ++v) {
+      EXPECT_EQ(idx.lca(u, v), t.lca(u, v));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseLcaRandom,
+                         ::testing::Values(3, 14, 15, 92, 65, 35));
+
+}  // namespace
+}  // namespace treeaa

@@ -1,0 +1,119 @@
+// Tree metrics vs brute force on random trees.
+#include "trees/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "trees/generators.h"
+
+namespace treeaa {
+namespace {
+
+TEST(Metrics, EccentricityBasics) {
+  const auto path = make_path(5);
+  EXPECT_EQ(eccentricity(path, 0), 4u);
+  EXPECT_EQ(eccentricity(path, 2), 2u);
+  EXPECT_EQ(eccentricity(LabeledTree::single("x"), 0), 0u);
+}
+
+TEST(Metrics, CenterOfPaths) {
+  EXPECT_EQ(tree_center(make_path(5)), (std::vector<VertexId>{2}));
+  EXPECT_EQ(tree_center(make_path(4)), (std::vector<VertexId>{1, 2}));
+  EXPECT_EQ(tree_center(make_path(1)), (std::vector<VertexId>{0}));
+}
+
+TEST(Metrics, CenterOfStarIsHub) {
+  EXPECT_EQ(tree_center(make_star(9)), (std::vector<VertexId>{0}));
+}
+
+TEST(Metrics, CentroidOfStarIsHub) {
+  EXPECT_EQ(tree_centroid(make_star(9)), (std::vector<VertexId>{0}));
+}
+
+TEST(Metrics, CentroidOfEvenPathIsPair) {
+  EXPECT_EQ(tree_centroid(make_path(4)), (std::vector<VertexId>{1, 2}));
+  EXPECT_EQ(tree_centroid(make_path(5)), (std::vector<VertexId>{2}));
+}
+
+TEST(Metrics, DegreeHistogram) {
+  const auto star = make_star(6);
+  const auto h = degree_histogram(star);
+  ASSERT_EQ(h.size(), 6u);  // max degree 5
+  EXPECT_EQ(h[1], 5u);
+  EXPECT_EQ(h[5], 1u);
+  EXPECT_EQ(h[0], 0u);
+}
+
+class MetricsRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MetricsRandom, CenterMinimizesEccentricity) {
+  Rng rng(GetParam());
+  const auto t = make_random_tree(2 + rng.index(50), rng);
+  std::uint32_t best = ~0u;
+  for (VertexId v = 0; v < t.n(); ++v) {
+    best = std::min(best, eccentricity(t, v));
+  }
+  const auto centers = tree_center(t);
+  ASSERT_FALSE(centers.empty());
+  ASSERT_LE(centers.size(), 2u);
+  for (const VertexId c : centers) {
+    EXPECT_EQ(eccentricity(t, c), best);
+  }
+  // Conversely every min-eccentricity vertex is reported.
+  std::vector<VertexId> expected;
+  for (VertexId v = 0; v < t.n(); ++v) {
+    if (eccentricity(t, v) == best) expected.push_back(v);
+  }
+  EXPECT_EQ(centers, expected);
+}
+
+TEST_P(MetricsRandom, CentroidMinimizesWorstComponent) {
+  Rng rng(GetParam() ^ 0x33);
+  const auto t = make_random_tree(2 + rng.index(40), rng);
+  // Brute force: worst component of T - v by BFS over T without v.
+  auto worst_component = [&](VertexId v) {
+    std::vector<bool> seen(t.n(), false);
+    seen[v] = true;
+    std::size_t worst = 0;
+    for (VertexId s = 0; s < t.n(); ++s) {
+      if (seen[s]) continue;
+      std::size_t size = 0;
+      std::vector<VertexId> stack{s};
+      seen[s] = true;
+      while (!stack.empty()) {
+        const VertexId x = stack.back();
+        stack.pop_back();
+        ++size;
+        for (const VertexId w : t.neighbors(x)) {
+          if (!seen[w]) {
+            seen[w] = true;
+            stack.push_back(w);
+          }
+        }
+      }
+      worst = std::max(worst, size);
+    }
+    return worst;
+  };
+  std::size_t best = ~std::size_t{0};
+  std::vector<VertexId> expected;
+  for (VertexId v = 0; v < t.n(); ++v) {
+    const std::size_t w = worst_component(v);
+    if (w < best) {
+      best = w;
+      expected.clear();
+    }
+    if (w == best) expected.push_back(v);
+  }
+  EXPECT_EQ(tree_centroid(t), expected);
+  // The centroid bound: worst component <= n / 2.
+  EXPECT_LE(best, t.n() / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsRandom,
+                         ::testing::Values(5, 25, 45, 65, 85));
+
+}  // namespace
+}  // namespace treeaa

@@ -1,0 +1,101 @@
+// Text and DOT serialization: round trips, error reporting, DOT shape.
+#include "trees/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "trees/generators.h"
+
+namespace treeaa {
+namespace {
+
+TEST(TreeText, RoundTripFigure3) {
+  const auto tree = make_figure3_tree();
+  const auto text = tree_to_text(tree);
+  const auto back = tree_from_text(text);
+  ASSERT_EQ(back.n(), tree.n());
+  for (VertexId v = 0; v < tree.n(); ++v) {
+    EXPECT_EQ(back.label(v), tree.label(v));
+    EXPECT_EQ(back.parent(v), tree.parent(v));
+  }
+}
+
+TEST(TreeText, RoundTripRandomTrees) {
+  Rng rng(777);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto tree = make_random_tree(1 + rng.index(60), rng);
+    const auto back = tree_from_text(tree_to_text(tree));
+    ASSERT_EQ(back.n(), tree.n());
+    for (VertexId v = 0; v < tree.n(); ++v) {
+      EXPECT_EQ(back.label(v), tree.label(v));
+      EXPECT_EQ(back.parent(v), tree.parent(v));
+    }
+  }
+}
+
+TEST(TreeText, SingleVertex) {
+  const auto tree = LabeledTree::single("solo");
+  const auto back = tree_from_text(tree_to_text(tree));
+  EXPECT_EQ(back.n(), 1u);
+  EXPECT_EQ(back.label(0), "solo");
+}
+
+TEST(TreeText, ParsesCommentsAndBlankLines) {
+  const auto tree = tree_from_text(
+      "# a comment\n"
+      "\n"
+      "edge a b   # trailing comment\n"
+      "edge b c\n");
+  EXPECT_EQ(tree.n(), 3u);
+  EXPECT_EQ(tree.diameter(), 2u);
+}
+
+TEST(TreeText, RedundantVertexDirectiveIsAccepted) {
+  const auto tree = tree_from_text("vertex a\nedge a b\n");
+  EXPECT_EQ(tree.n(), 2u);
+}
+
+TEST(TreeText, ErrorsCarryLineNumbers) {
+  try {
+    (void)tree_from_text("edge a b\nedge a\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(TreeText, RejectsGarbage) {
+  EXPECT_THROW((void)tree_from_text("frobnicate x y\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)tree_from_text(""), std::invalid_argument);
+  EXPECT_THROW((void)tree_from_text("vertex a\nvertex b\n"),
+               std::invalid_argument);  // disconnected
+  EXPECT_THROW((void)tree_from_text("edge a b\nvertex z\n"),
+               std::invalid_argument);  // isolated extra vertex
+  EXPECT_THROW((void)tree_from_text("edge a b\nedge c d\n"),
+               std::invalid_argument);  // two components
+}
+
+TEST(TreeDot, ContainsAllVerticesAndEdges) {
+  const auto tree = make_path(3);
+  const auto dot = tree_to_dot(tree, {1});
+  EXPECT_NE(dot.find("\"v0\" -- \"v1\""), std::string::npos);
+  EXPECT_NE(dot.find("\"v1\" -- \"v2\""), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=lightblue"), std::string::npos);
+  EXPECT_EQ(dot.find("shape=circle") != std::string::npos, true);
+}
+
+TEST(TreeDot, QuotesHostileLabels) {
+  const auto tree = LabeledTree::from_edges({{"a\"b", "c\\d"}});
+  const auto dot = tree_to_dot(tree);
+  EXPECT_NE(dot.find("\"a\\\"b\""), std::string::npos);
+  EXPECT_NE(dot.find("\"c\\\\d\""), std::string::npos);
+}
+
+TEST(TreeDot, RejectsBogusHighlight) {
+  const auto tree = make_path(3);
+  EXPECT_THROW((void)tree_to_dot(tree, {9}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace treeaa

@@ -1,0 +1,344 @@
+// treeaa_cli — command-line front end for the library.
+//
+//   treeaa_cli gen <family> <n> [seed]         generate a tree (text format)
+//   treeaa_cli info <file|->                   tree statistics
+//   treeaa_cli dot <file|-> [label...]         Graphviz export (highlights)
+//   treeaa_cli bounds <D> <n> <t>              round bounds for a diameter
+//   treeaa_cli run <file|-> --t <t> --inputs <l1,l2,...>
+//              [--adversary none|silent|fuzz|split] [--engine bdh|classic]
+//              [--seed <s>] [--quiet]
+//
+// `-` reads the tree from stdin, so commands compose:
+//   treeaa_cli gen spider 40 | treeaa_cli run - --t 2 --inputs v00,v11,...
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bounds/fekete.h"
+#include "common/table.h"
+#include "core/api.h"
+#include "harness/runner.h"
+#include "realaa/adversaries.h"
+#include "realaa/rounds.h"
+#include "sim/strategies.h"
+#include "trees/generators.h"
+#include "trees/metrics.h"
+#include "trees/serialization.h"
+
+namespace {
+
+using namespace treeaa;
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      "usage:\n"
+      "  treeaa_cli gen <path|star|binary|caterpillar|spider|random> <n> "
+      "[seed]\n"
+      "  treeaa_cli info <file|->\n"
+      "  treeaa_cli dot <file|-> [label...]\n"
+      "  treeaa_cli bounds <D> <n> <t>\n"
+      "  treeaa_cli run <file|-> --t <t> --inputs <l1,l2,...>\n"
+      "             [--adversary none|silent|fuzz|split] [--engine "
+      "bdh|classic] [--seed <s>] [--quiet]\n"
+      "  treeaa_cli run-async <file|-> --t <t> --inputs <l1,l2,...>\n"
+      "             [--scheduler fifo|lifo|random] [--silent <k>] "
+      "[--seed <s>] [--quiet]\n";
+  std::exit(2);
+}
+
+std::string read_all(const std::string& path) {
+  if (path == "-") {
+    std::ostringstream os;
+    os << std::cin.rdbuf();
+    return os.str();
+  }
+  std::ifstream in(path);
+  if (!in) usage("cannot open '" + path + "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream is(s);
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+int cmd_gen(const std::vector<std::string>& args) {
+  if (args.size() < 2 || args.size() > 3) usage("gen needs <family> <n>");
+  const std::size_t n = std::stoul(args[1]);
+  const std::uint64_t seed = args.size() == 3 ? std::stoull(args[2]) : 1;
+  Rng rng(seed);
+  for (const TreeFamily f : all_tree_families()) {
+    if (args[0] == tree_family_name(f)) {
+      std::cout << tree_to_text(make_family_tree(f, n, rng));
+      return 0;
+    }
+  }
+  usage("unknown family '" + args[0] + "'");
+}
+
+int cmd_info(const std::vector<std::string>& args) {
+  if (args.size() != 1) usage("info needs <file|->");
+  const auto tree = tree_from_text(read_all(args[0]));
+  const auto [a, b] = tree.diameter_endpoints();
+  std::cout << "vertices:  " << tree.n() << "\n"
+            << "diameter:  " << tree.diameter() << " (" << tree.label(a)
+            << " .. " << tree.label(b) << ")\n"
+            << "root:      " << tree.label(tree.root())
+            << " (lowest label)\n"
+            << "euler len: " << 2 * tree.n() - 1 << "\n";
+  std::cout << "center:   ";
+  for (const VertexId c : tree_center(tree)) {
+    std::cout << " " << tree.label(c);
+  }
+  std::cout << "\ncentroid: ";
+  for (const VertexId c : tree_centroid(tree)) {
+    std::cout << " " << tree.label(c);
+  }
+  std::cout << "\n";
+  Table rounds({"n", "t", "TreeAA rounds", "lower bound"});
+  for (std::size_t n : {4u, 7u, 16u, 31u}) {
+    const std::size_t t = (n - 1) / 3;
+    rounds.row({std::to_string(n), std::to_string(t),
+                std::to_string(core::tree_aa_rounds(tree, n, t)),
+                std::to_string(bounds::lower_bound_rounds(
+                    static_cast<double>(tree.diameter()), n, t))});
+  }
+  std::cout << rounds.render();
+  return 0;
+}
+
+int cmd_dot(const std::vector<std::string>& args) {
+  if (args.empty()) usage("dot needs <file|->");
+  const auto tree = tree_from_text(read_all(args[0]));
+  std::vector<VertexId> highlight;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const auto v = tree.find(args[i]);
+    if (!v.has_value()) usage("no vertex labeled '" + args[i] + "'");
+    highlight.push_back(*v);
+  }
+  std::cout << tree_to_dot(tree, highlight);
+  return 0;
+}
+
+int cmd_bounds(const std::vector<std::string>& args) {
+  if (args.size() != 3) usage("bounds needs <D> <n> <t>");
+  const double d = std::stod(args[0]);
+  const std::size_t n = std::stoul(args[1]);
+  const std::size_t t = std::stoul(args[2]);
+  std::cout << "Fekete/Theorem-2 lower bound: "
+            << bounds::lower_bound_rounds(d, n, t) << " rounds\n"
+            << "Theorem-2 closed form:        "
+            << fmt_double(bounds::theorem2_closed_form(d, n, t)) << "\n"
+            << "Theorem-3 RealAA bound:       "
+            << realaa::theorem3_round_bound(d, 1.0) << " rounds\n";
+  return 0;
+}
+
+int cmd_run(const std::vector<std::string>& args) {
+  if (args.empty()) usage("run needs <file|->");
+  const auto tree = tree_from_text(read_all(args[0]));
+
+  std::size_t t = 0;
+  std::vector<std::string> input_labels;
+  std::string adversary = "none";
+  std::string engine = "bdh";
+  std::uint64_t seed = 1;
+  bool quiet = false;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) usage("missing value after " + args[i]);
+      return args[++i];
+    };
+    if (args[i] == "--t") {
+      t = std::stoul(next());
+    } else if (args[i] == "--inputs") {
+      input_labels = split_csv(next());
+    } else if (args[i] == "--adversary") {
+      adversary = next();
+    } else if (args[i] == "--engine") {
+      engine = next();
+    } else if (args[i] == "--seed") {
+      seed = std::stoull(next());
+    } else if (args[i] == "--quiet") {
+      quiet = true;
+    } else {
+      usage("unknown option '" + args[i] + "'");
+    }
+  }
+  if (input_labels.empty()) usage("--inputs is required");
+  const std::size_t n = input_labels.size();
+  if (n <= 3 * t) usage("need n > 3t");
+
+  std::vector<VertexId> inputs;
+  for (const auto& label : input_labels) {
+    const auto v = tree.find(label);
+    if (!v.has_value()) usage("no vertex labeled '" + label + "'");
+    inputs.push_back(*v);
+  }
+
+  core::TreeAAOptions opts;
+  if (engine == "classic") {
+    opts.engine = core::RealEngineKind::kClassicHalving;
+  } else if (engine != "bdh") {
+    usage("unknown engine '" + engine + "'");
+  }
+
+  Rng rng(seed);
+  std::unique_ptr<sim::Adversary> adv;
+  const auto victims = sim::random_parties(n, t, rng);
+  if (adversary == "silent") {
+    adv = std::make_unique<sim::SilentAdversary>(victims);
+  } else if (adversary == "fuzz") {
+    adv = std::make_unique<sim::FuzzAdversary>(victims, seed, 16, 48);
+  } else if (adversary == "split") {
+    realaa::SplitAdversary::Options sopts;
+    sopts.config = core::paths_finder_config(tree, n, t, {});
+    sopts.corrupt = victims;
+    adv = std::make_unique<realaa::SplitAdversary>(std::move(sopts));
+  } else if (adversary != "none") {
+    usage("unknown adversary '" + adversary + "'");
+  }
+
+  const auto result = core::run_tree_aa(tree, inputs, t, opts, std::move(adv));
+
+  std::vector<VertexId> honest_inputs;
+  for (PartyId p = 0; p < n; ++p) {
+    if (result.outputs[p].has_value()) honest_inputs.push_back(inputs[p]);
+  }
+  const auto check =
+      core::check_agreement(tree, honest_inputs, result.honest_outputs());
+
+  if (!quiet) {
+    Table table({"party", "input", "output"});
+    for (PartyId p = 0; p < n; ++p) {
+      table.row({std::to_string(p), input_labels[p],
+                 result.outputs[p].has_value()
+                     ? tree.label(*result.outputs[p])
+                     : "(corrupt)"});
+    }
+    std::cout << table.render();
+  }
+  std::cout << "rounds: " << result.rounds
+            << "  messages: " << result.traffic.total_messages()
+            << "  bytes: " << result.traffic.total_bytes() << "\n"
+            << "path split: " << (result.path_split ? "yes" : "no")
+            << "  clamps: " << result.clamp_count
+            << "  byzantine proven: " << result.max_detected_faulty << "\n"
+            << "validity: " << (check.valid ? "ok" : "VIOLATED")
+            << "  1-agreement: "
+            << (check.one_agreement ? "ok" : "VIOLATED") << "\n";
+  return check.ok() ? 0 : 1;
+}
+
+int cmd_run_async(const std::vector<std::string>& args) {
+  if (args.empty()) usage("run-async needs <file|->");
+  const auto tree = tree_from_text(read_all(args[0]));
+
+  std::size_t t = 0;
+  std::size_t silent = 0;
+  std::vector<std::string> input_labels;
+  std::string scheduler = "random";
+  std::uint64_t seed = 1;
+  bool quiet = false;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) usage("missing value after " + args[i]);
+      return args[++i];
+    };
+    if (args[i] == "--t") {
+      t = std::stoul(next());
+    } else if (args[i] == "--inputs") {
+      input_labels = split_csv(next());
+    } else if (args[i] == "--scheduler") {
+      scheduler = next();
+    } else if (args[i] == "--silent") {
+      silent = std::stoul(next());
+    } else if (args[i] == "--seed") {
+      seed = std::stoull(next());
+    } else if (args[i] == "--quiet") {
+      quiet = true;
+    } else {
+      usage("unknown option '" + args[i] + "'");
+    }
+  }
+  if (input_labels.empty()) usage("--inputs is required");
+  const std::size_t n = input_labels.size();
+  if (n <= 3 * t) usage("need n > 3t");
+  if (silent > t) usage("--silent must be <= t");
+
+  std::vector<VertexId> inputs;
+  for (const auto& label : input_labels) {
+    const auto v = tree.find(label);
+    if (!v.has_value()) usage("no vertex labeled '" + label + "'");
+    inputs.push_back(*v);
+  }
+
+  async::SchedulerKind sched;
+  if (scheduler == "fifo") {
+    sched = async::SchedulerKind::kFifo;
+  } else if (scheduler == "lifo") {
+    sched = async::SchedulerKind::kLifo;
+  } else if (scheduler == "random") {
+    sched = async::SchedulerKind::kRandom;
+  } else {
+    usage("unknown scheduler '" + scheduler + "'");
+  }
+
+  Rng rng(seed);
+  const auto corrupt = sim::random_parties(n, silent, rng);
+  const auto run = harness::run_async_tree_aa(tree, n, t, inputs, corrupt,
+                                              sched, seed);
+
+  std::vector<VertexId> honest_inputs;
+  for (PartyId p = 0; p < n; ++p) {
+    if (run.outputs[p].has_value()) honest_inputs.push_back(inputs[p]);
+  }
+  const auto check =
+      core::check_agreement(tree, honest_inputs, run.honest_outputs());
+  if (!quiet) {
+    Table table({"party", "input", "output"});
+    for (PartyId p = 0; p < n; ++p) {
+      table.row({std::to_string(p), input_labels[p],
+                 run.outputs[p].has_value() ? tree.label(*run.outputs[p])
+                                            : "(corrupt)"});
+    }
+    std::cout << table.render();
+  }
+  std::cout << "deliveries: " << run.deliveries
+            << "  messages: " << run.messages << "\n"
+            << "validity: " << (check.valid ? "ok" : "VIOLATED")
+            << "  1-agreement: "
+            << (check.one_agreement ? "ok" : "VIOLATED") << "\n";
+  return check.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) usage();
+  const std::string cmd = args[0];
+  args.erase(args.begin());
+  try {
+    if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "info") return cmd_info(args);
+    if (cmd == "dot") return cmd_dot(args);
+    if (cmd == "bounds") return cmd_bounds(args);
+    if (cmd == "run") return cmd_run(args);
+    if (cmd == "run-async") return cmd_run_async(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  usage("unknown command '" + cmd + "'");
+}
