@@ -11,6 +11,7 @@
 #include "common/table.h"
 #include "core/api.h"
 #include "harness/runner.h"
+#include "metrics_output.h"
 #include "sim/strategies.h"
 #include "trees/generators.h"
 
@@ -18,7 +19,7 @@ namespace {
 
 using namespace treeaa;
 
-void realaa_table() {
+void realaa_table(bench::BenchReporter& reporter) {
   std::cout << "=== E6a: RealAA traffic vs n (D = 1e4, eps = 1, honest run) "
                "===\n";
   Table table({"n", "t", "rounds", "messages", "msg/(R n^2)", "bytes",
@@ -31,7 +32,8 @@ void realaa_table() {
     cfg.eps = 1.0;
     cfg.known_range = 1e4;
     const auto inputs = harness::spread_real_inputs(n, 0.0, 1e4);
-    const auto run = harness::run_real_aa(cfg, inputs);
+    const auto run = harness::run_real_aa(
+        cfg, inputs, nullptr, reporter.next_run("e6a n=" + std::to_string(n)));
     const double R = static_cast<double>(run.rounds) / 3.0;
     const double n2 = static_cast<double>(n) * static_cast<double>(n);
     const auto msgs = run.traffic.honest_messages();
@@ -48,7 +50,7 @@ void realaa_table() {
                "Theta(R n^3) bytes)\n\n";
 }
 
-void treeaa_table() {
+void treeaa_table(bench::BenchReporter& reporter) {
   std::cout << "=== E6b: full TreeAA traffic (1000-vertex random tree) ===\n";
   Table table({"n", "t", "rounds", "messages", "bytes", "bytes/party/round"});
   Rng rng(66);
@@ -56,7 +58,9 @@ void treeaa_table() {
   for (std::size_t n : {4u, 8u, 16u, 32u}) {
     const std::size_t t = (n - 1) / 3;
     const auto inputs = harness::spread_vertex_inputs(tree, n);
-    const auto run = core::run_tree_aa(tree, inputs, t);
+    const auto run =
+        core::run_tree_aa(tree, inputs, t, {}, nullptr,
+                          reporter.next_run("e6b n=" + std::to_string(n)));
     const auto bytes = run.traffic.honest_bytes();
     table.row({std::to_string(n), std::to_string(t),
                std::to_string(run.rounds),
@@ -69,7 +73,7 @@ void treeaa_table() {
   std::cout << render_for_output(table) << "\n";
 }
 
-void adversarial_traffic_table() {
+void adversarial_traffic_table(bench::BenchReporter& reporter) {
   std::cout << "=== E6c: adversarial traffic is accounted separately ===\n";
   Table table({"adversary", "honest msgs", "adversary msgs"});
   realaa::Config cfg;
@@ -79,27 +83,28 @@ void adversarial_traffic_table() {
   cfg.known_range = 1e3;
   const auto inputs = harness::spread_real_inputs(10, 0.0, 1e3);
   {
-    const auto run = harness::run_real_aa(cfg, inputs);
+    const auto run = harness::run_real_aa(cfg, inputs, nullptr,
+                                          reporter.next_run("e6c none"));
     table.row({"none", std::to_string(run.traffic.honest_messages()),
-               std::to_string(run.traffic.total_messages() -
-                              run.traffic.honest_messages())});
+               std::to_string(run.traffic.adversary_messages())});
   }
   {
     auto adv = std::make_unique<sim::FuzzAdversary>(
         std::vector<PartyId>{8, 9}, 3, 50, 64);
-    const auto run = harness::run_real_aa(cfg, inputs, std::move(adv));
+    const auto run = harness::run_real_aa(cfg, inputs, std::move(adv),
+                                          reporter.next_run("e6c fuzz"));
     table.row({"fuzz", std::to_string(run.traffic.honest_messages()),
-               std::to_string(run.traffic.total_messages() -
-                              run.traffic.honest_messages())});
+               std::to_string(run.traffic.adversary_messages())});
   }
   std::cout << render_for_output(table);
 }
 
 }  // namespace
 
-int main() {
-  realaa_table();
-  treeaa_table();
-  adversarial_traffic_table();
-  return 0;
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter("message_complexity", argc, argv);
+  realaa_table(reporter);
+  treeaa_table(reporter);
+  adversarial_traffic_table(reporter);
+  return reporter.flush() ? 0 : 1;
 }

@@ -24,6 +24,7 @@
 #include "bounds/fekete.h"
 #include "common/table.h"
 #include "harness/runner.h"
+#include "metrics_output.h"
 #include "realaa/adversaries.h"
 #include "realaa/rounds.h"
 
@@ -40,7 +41,7 @@ realaa::Config config_for(std::size_t n, std::size_t t, double D) {
   return cfg;
 }
 
-void table_e1a() {
+void table_e1a(bench::BenchReporter& reporter) {
   std::cout << "=== E1a: RealAA rounds vs spread D (n = 16, t = 5, eps = 1) "
                "===\n";
   const std::size_t n = 16, t = 5;
@@ -55,7 +56,8 @@ void table_e1a() {
       opts.corrupt.push_back(static_cast<PartyId>(n - 1 - i));
     }
     const auto run = harness::run_real_aa(
-        cfg, inputs, std::make_unique<realaa::SplitAdversary>(opts));
+        cfg, inputs, std::make_unique<realaa::SplitAdversary>(opts),
+        reporter.next_run("e1a D=" + fmt_double(D)));
     table.row({fmt_double(D), std::to_string(cfg.iterations()),
                std::to_string(run.rounds),
                std::to_string(realaa::theorem3_round_bound(D, 1.0)),
@@ -65,7 +67,7 @@ void table_e1a() {
   std::cout << render_for_output(table) << "\n";
 }
 
-void table_e1b() {
+void table_e1b(bench::BenchReporter& reporter) {
   std::cout << "=== E1b: per-iteration honest range (n = 13, t = 4, D = 1e6) "
                "===\n";
   const std::size_t n = 13, t = 4;
@@ -85,8 +87,10 @@ void table_e1b() {
   opts.schedule = schedule;
 
   const auto adversarial = harness::run_real_aa(
-      cfg, inputs, std::make_unique<realaa::SplitAdversary>(opts));
-  const auto honest_run = harness::run_real_aa(cfg, inputs);
+      cfg, inputs, std::make_unique<realaa::SplitAdversary>(opts),
+      reporter.next_run("e1b split"));
+  const auto honest_run = harness::run_real_aa(cfg, inputs, nullptr,
+                                               reporter.next_run("e1b honest"));
 
   auto range_at = [&](const harness::RealRun& run, std::size_t k) {
     double lo = 1e300, hi = -1e300;
@@ -121,7 +125,7 @@ void table_e1b() {
             << fmt_double(lemma5) << "\n\n";
 }
 
-void table_e1c() {
+void table_e1c(bench::BenchReporter& reporter) {
   std::cout << "=== E1c: rounds across (n, t) at D = 1e4 ===\n";
   Table table({"n", "t", "iterations", "rounds", "fekete_lower",
                "final_range"});
@@ -136,7 +140,8 @@ void table_e1c() {
       opts.corrupt.push_back(static_cast<PartyId>(n - 1 - i));
     }
     const auto run = harness::run_real_aa(
-        cfg, inputs, std::make_unique<realaa::SplitAdversary>(opts));
+        cfg, inputs, std::make_unique<realaa::SplitAdversary>(opts),
+        reporter.next_run("e1c n=" + std::to_string(n)));
     table.row({std::to_string(n), std::to_string(t),
                std::to_string(cfg.iterations()), std::to_string(run.rounds),
                std::to_string(bounds::lower_bound_rounds(D, n, t)),
@@ -147,9 +152,10 @@ void table_e1c() {
 
 }  // namespace
 
-int main() {
-  table_e1a();
-  table_e1b();
-  table_e1c();
-  return 0;
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter("realaa_convergence", argc, argv);
+  table_e1a(reporter);
+  table_e1b(reporter);
+  table_e1c(reporter);
+  return reporter.flush() ? 0 : 1;
 }

@@ -18,6 +18,7 @@
 #include "common/table.h"
 #include "core/api.h"
 #include "harness/runner.h"
+#include "metrics_output.h"
 #include "realaa/rounds.h"
 #include "trees/generators.h"
 
@@ -25,7 +26,7 @@ namespace {
 
 using namespace treeaa;
 
-void scaling_table() {
+void scaling_table(bench::BenchReporter& reporter) {
   std::cout << "=== E2a: TreeAA measured rounds vs |V| (n = 7, t = 2) ===\n";
   Table table({"family", "|V|", "D(T)", "rounds(TreeAA)", "thm4_envelope",
                "rounds(NR baseline)"});
@@ -35,7 +36,10 @@ void scaling_table() {
     for (std::size_t size : {10u, 100u, 1000u, 10000u}) {
       const auto tree = make_family_tree(family, size, rng);
       const auto inputs = harness::spread_vertex_inputs(tree, n);
-      const auto run = core::run_tree_aa(tree, inputs, t);
+      const auto run = core::run_tree_aa(
+          tree, inputs, t, {}, nullptr,
+          reporter.next_run(std::string("e2a ") + tree_family_name(family) +
+                            " |V|=" + std::to_string(size)));
       const auto check = core::check_agreement(
           tree, inputs, run.honest_outputs());
       const std::size_t envelope =
@@ -73,14 +77,16 @@ void growth_table() {
             << "(the last column flattening out is the Theorem 4 shape)\n\n";
 }
 
-void resilience_table() {
+void resilience_table(bench::BenchReporter& reporter) {
   std::cout << "=== E2c: rounds vs resilience on a 1000-vertex path ===\n";
   const auto tree = make_path(1000);
   Table table({"n", "t", "rounds(TreeAA)", "1-agreement"});
   for (std::size_t n : {4u, 7u, 13u, 22u, 31u}) {
     const std::size_t t = (n - 1) / 3;
     const auto inputs = harness::spread_vertex_inputs(tree, n);
-    const auto run = core::run_tree_aa(tree, inputs, t);
+    const auto run =
+        core::run_tree_aa(tree, inputs, t, {}, nullptr,
+                          reporter.next_run("e2c n=" + std::to_string(n)));
     const auto check =
         core::check_agreement(tree, inputs, run.honest_outputs());
     table.row({std::to_string(n), std::to_string(t),
@@ -93,9 +99,10 @@ void resilience_table() {
 
 }  // namespace
 
-int main() {
-  scaling_table();
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter("treeaa_rounds", argc, argv);
+  scaling_table(reporter);
   growth_table();
-  resilience_table();
-  return 0;
+  resilience_table(reporter);
+  return reporter.flush() ? 0 : 1;
 }

@@ -1,0 +1,98 @@
+// Shared machine-readable output for the bench binaries.
+//
+// Every experiment binary keeps printing its human tables; a BenchReporter
+// additionally collects one obs::RunReport per protocol run and writes them
+// as a single "treeaa.bench_report/1" JSON document when output is
+// requested — with `--metrics <file|->` on the bench command line or the
+// TREEAA_METRICS environment variable (the CI smoke uses the latter).
+// Without either the reporter is inert: next_run() returns nullptr and the
+// runs take the zero-overhead unprobed path.
+#pragma once
+
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "obs/json.h"
+#include "obs/report.h"
+
+namespace treeaa::bench {
+
+class BenchReporter {
+ public:
+  BenchReporter(std::string bench_name, int argc, char** argv)
+      : name_(std::move(bench_name)) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string_view(argv[i]) == "--metrics") path_ = argv[i + 1];
+    }
+    if (path_.empty()) {
+      if (const char* env = std::getenv("TREEAA_METRICS")) path_ = env;
+    }
+  }
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  /// Hooks for the next protocol run, labeled for the "runs" array; null
+  /// when reporting is disabled. The pointer stays valid until flush().
+  [[nodiscard]] obs::Hooks* next_run(std::string label) {
+    if (!enabled()) return nullptr;
+    Entry& e = runs_.emplace_back();
+    e.label = std::move(label);
+    e.hooks.report = &e.report;
+    return &e.hooks;
+  }
+
+  /// Writes the collected document. Returns false (after a stderr note)
+  /// when the output file cannot be opened.
+  bool flush() const {
+    if (!enabled()) return true;
+    std::string out;
+    obs::JsonWriter w(out);
+    w.begin_object();
+    w.key("schema");
+    w.value(std::string_view("treeaa.bench_report/1"));
+    w.key("bench");
+    w.value(std::string_view(name_));
+    w.key("runs");
+    w.begin_array();
+    for (const Entry& e : runs_) {
+      w.begin_object();
+      w.key("label");
+      w.value(std::string_view(e.label));
+      w.key("report");
+      e.report.write_json(w, /*include_timings=*/true);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    out += '\n';
+    if (path_ == "-") {
+      std::cout << out;
+      return true;
+    }
+    std::ofstream file(path_);
+    if (!file) {
+      std::cerr << "cannot write metrics to '" << path_ << "'\n";
+      return false;
+    }
+    file << out;
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string label;
+    obs::RunReport report;
+    obs::Hooks hooks;
+  };
+
+  std::string name_;
+  std::string path_;
+  std::deque<Entry> runs_;  // deque: next_run() hands out stable pointers
+};
+
+}  // namespace treeaa::bench

@@ -50,6 +50,7 @@ class IteratedRealAAProcess final : public realaa::RealAgreement {
     return 3 * iterations_;
   }
   [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] double current_value() const override { return value_; }
   [[nodiscard]] const std::vector<double>& value_history() const {
     return history_;
   }

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "common/check.h"
+#include "obs/probe.h"
 #include "sim/engine.h"
 #include "trees/euler.h"
 #include "trees/paths.h"
@@ -18,10 +19,42 @@ std::vector<VertexId> RunResult::honest_outputs() const {
   return out;
 }
 
+namespace {
+
+/// Merges the honest parties' current TreeAA state into the sample of the
+/// round that just ended: hull size and tree diameter of the estimate set,
+/// plus the max proven-Byzantine count.
+void snapshot_tree_aa(const LabeledTree& tree, const sim::Engine& engine,
+                      const std::vector<TreeAAProcess*>& procs,
+                      obs::RoundSample& s) {
+  std::vector<VertexId> estimates;
+  estimates.reserve(procs.size());
+  std::uint64_t detected = 0;
+  for (PartyId p = 0; p < procs.size(); ++p) {
+    if (engine.is_corrupt(p)) continue;
+    estimates.push_back(procs[p]->current_estimate());
+    detected = std::max(detected, static_cast<std::uint64_t>(
+                                      procs[p]->current_detected_faulty()));
+  }
+  if (estimates.empty()) return;
+  std::uint32_t diameter = 0;
+  for (const VertexId u : estimates) {
+    for (const VertexId v : estimates) {
+      diameter = std::max(diameter, tree.distance(u, v));
+    }
+  }
+  s.value_diameter = static_cast<double>(diameter);
+  s.hull_size = convex_hull(tree, estimates).size();
+  s.detected_faulty = detected;
+}
+
+}  // namespace
+
 RunResult run_tree_aa(const LabeledTree& tree,
                       const std::vector<VertexId>& inputs, std::size_t t,
                       TreeAAOptions opts,
-                      std::unique_ptr<sim::Adversary> adversary) {
+                      std::unique_ptr<sim::Adversary> adversary,
+                      const obs::Hooks* hooks) {
   const std::size_t n = inputs.size();
   TREEAA_REQUIRE_MSG(n > 3 * t, "TreeAA requires n > 3t (n = " << n
                                                                << ", t = " << t
@@ -40,7 +73,42 @@ RunResult run_tree_aa(const LabeledTree& tree,
   if (adversary != nullptr) engine.set_adversary(std::move(adversary));
 
   const std::size_t rounds = tree_aa_rounds(tree, n, t, opts);
-  engine.run(static_cast<Round>(rounds));
+  obs::RunReport* report = hooks != nullptr ? hooks->report : nullptr;
+  if (hooks != nullptr && hooks->active()) {
+    if (report != nullptr) {
+      report->protocol = "tree_aa";
+      report->add_param("tree_n", static_cast<std::uint64_t>(tree.n()));
+      report->add_param("tree_diameter",
+                        static_cast<std::uint64_t>(tree.diameter()));
+      report->add_param("engine", real_engine_name(opts.engine));
+      report->add_param(
+          "phase1_rounds",
+          static_cast<std::uint64_t>(
+              procs.empty() ? 0 : procs[0]->telemetry().phase1_rounds));
+    }
+    obs::ProbeTracer probe(hooks->tracer);
+    engine.set_tracer(&probe);
+    obs::Histogram* round_sink =
+        report == nullptr ? nullptr
+                          : &report->timing.histogram(
+                                "round_wall_ns", obs::ScopeTimer::wall_bounds());
+    obs::ScopeTimer run_timer(
+        report == nullptr ? nullptr
+                          : &report->timing.histogram(
+                                "run_wall_ns", obs::ScopeTimer::wall_bounds()));
+    for (std::size_t r = 0; r < rounds; ++r) {
+      obs::ScopeTimer round_timer(round_sink);
+      engine.run(static_cast<Round>(1));
+      if (report != nullptr && probe.current() != nullptr) {
+        snapshot_tree_aa(tree, engine, procs, *probe.current());
+      }
+    }
+    run_timer.stop();
+    engine.set_tracer(nullptr);
+    if (report != nullptr) report->per_round = probe.take();
+  } else {
+    engine.run(static_cast<Round>(rounds));
+  }
 
   RunResult result;
   result.outputs.resize(n);
@@ -60,11 +128,25 @@ RunResult run_tree_aa(const LabeledTree& tree,
         result.path_split = true;
       }
       first_tip = first_tip.value_or(tip);
+      if (report != nullptr) {
+        report->metrics.histogram("path_length")
+            .observe(static_cast<double>(procs[p]->path()->size()));
+      }
     }
   }
   result.corrupt = engine.corrupt();
   result.rounds = engine.rounds_elapsed();
   result.traffic = engine.stats();
+  if (report != nullptr) {
+    report->set_totals(n, t, result.rounds, result.corrupt, result.traffic);
+    report->metrics.counter("clamp_count").inc(result.clamp_count);
+    report->add_outcome("path_split", result.path_split);
+    report->add_outcome("clamp_count",
+                        static_cast<std::uint64_t>(result.clamp_count));
+    report->add_outcome(
+        "max_detected_faulty",
+        static_cast<std::uint64_t>(result.max_detected_faulty));
+  }
   return result;
 }
 

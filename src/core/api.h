@@ -12,6 +12,7 @@
 
 #include "common/types.h"
 #include "core/tree_aa.h"
+#include "obs/report.h"
 #include "sim/adversary.h"
 #include "sim/stats.h"
 #include "trees/labeled_tree.h"
@@ -45,10 +46,18 @@ struct RunResult {
 /// vertices, tolerating up to `t` corruptions, against `adversary`
 /// (nullptr = no adversary). Throws std::invalid_argument unless n > 3t and
 /// every input is a vertex of `tree`.
+///
+/// `hooks` (optional) attaches observability sinks: with a report sink the
+/// run is driven round by round and the report receives the per-round
+/// convergence series (honest hull size and diameter, detections, traffic)
+/// plus totals and wall-clock timing; a tracer sink receives the full event
+/// stream. Null (the default) is the plain fast path — one engine.run(),
+/// zero probe overhead.
 [[nodiscard]] RunResult run_tree_aa(
     const LabeledTree& tree, const std::vector<VertexId>& inputs,
     std::size_t t, TreeAAOptions opts = {},
-    std::unique_ptr<sim::Adversary> adversary = nullptr);
+    std::unique_ptr<sim::Adversary> adversary = nullptr,
+    const obs::Hooks* hooks = nullptr);
 
 /// The verdict of check_agreement: both AA conditions on trees
 /// (Definition 2), evaluated against the honest inputs/outputs.

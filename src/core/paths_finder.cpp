@@ -1,5 +1,8 @@
 #include "core/paths_finder.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/check.h"
 #include "core/closest_int.h"
 
@@ -51,6 +54,15 @@ PathsFinderProcess::PathsFinderProcess(const LabeledTree& tree,
     // 0-iteration configuration (single-vertex tree): the path is the root.
     path_ = tree_.path(tree_.root(), input);
   }
+}
+
+VertexId PathsFinderProcess::current_vertex() const {
+  const double j = current_index();
+  if (std::isnan(j)) return tree_.root();
+  const std::int64_t idx =
+      std::clamp<std::int64_t>(closest_int(j), 1,
+                               static_cast<std::int64_t>(euler_.size()));
+  return euler_.at(static_cast<std::size_t>(idx));
 }
 
 void PathsFinderProcess::on_round_begin(Round r, sim::Mailer& out) {

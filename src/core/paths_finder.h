@@ -88,6 +88,19 @@ class PathsFinderProcess final : public sim::Process {
     return path_;
   }
 
+  // --- Probe accessors (telemetry only; the protocol never reads them) ----
+
+  /// The inner engine's current Euler-index estimate.
+  [[nodiscard]] double current_index() const {
+    return real_->current_value();
+  }
+  /// current_index() resolved to a vertex (clamped into the Euler list).
+  [[nodiscard]] VertexId current_vertex() const;
+  /// Byzantine parties the inner engine has proven so far.
+  [[nodiscard]] std::size_t detected_faulty() const {
+    return real_->detected_faulty();
+  }
+
  private:
   const LabeledTree& tree_;
   const EulerList& euler_;

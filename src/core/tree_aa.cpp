@@ -1,5 +1,8 @@
 #include "core/tree_aa.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/check.h"
 #include "core/closest_int.h"
 #include "trees/paths.h"
@@ -113,6 +116,25 @@ void TreeAAProcess::finish(double j) {
   const auto& path = *finder_.path();
   clamped_ = closest_int(j) > static_cast<std::int64_t>(path.size());
   output_ = resolve_output_vertex(path, j);
+}
+
+VertexId TreeAAProcess::current_estimate() const {
+  if (output_.has_value()) return *output_;
+  if (projector_ != nullptr && finder_.path().has_value()) {
+    const auto& path = *finder_.path();
+    const double j = projector_->current_value();
+    if (!std::isnan(j)) {
+      const std::int64_t idx = std::clamp<std::int64_t>(
+          closest_int(j), 1, static_cast<std::int64_t>(path.size()));
+      return path[static_cast<std::size_t>(idx - 1)];
+    }
+  }
+  return finder_.current_vertex();
+}
+
+std::size_t TreeAAProcess::current_detected_faulty() const {
+  return projector_ != nullptr ? projector_->detected_faulty()
+                               : finder_.detected_faulty();
 }
 
 TreeAAProcess::Telemetry TreeAAProcess::telemetry() const {

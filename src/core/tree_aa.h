@@ -97,6 +97,17 @@ class TreeAAProcess final : public sim::Process {
 
   [[nodiscard]] Telemetry telemetry() const;
 
+  // --- Probe accessors (telemetry only; the protocol never reads them) ----
+
+  /// This party's current output estimate: the input at round 0, the
+  /// Euler-list resolution of the phase-1 index mid-phase-1, the path
+  /// resolution of the phase-2 index mid-phase-2, the output at the end.
+  /// The per-round convergence probes compute honest hull sizes and
+  /// diameters from these.
+  [[nodiscard]] VertexId current_estimate() const;
+  /// Byzantine parties proven so far by whichever inner engine is active.
+  [[nodiscard]] std::size_t current_detected_faulty() const;
+
  private:
   void start_phase2();
   void finish(double j);

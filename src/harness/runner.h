@@ -17,6 +17,7 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "core/path_aa.h"
+#include "obs/report.h"
 #include "core/paths_finder.h"
 #include "realaa/real_aa.h"
 #include "sim/adversary.h"
@@ -25,6 +26,14 @@
 #include "trees/labeled_tree.h"
 
 namespace treeaa::harness {
+
+// Every synchronous runner takes an optional trailing `hooks` pointer
+// (obs::Hooks). With a report sink attached the engine is driven round by
+// round and the report receives the protocol's per-round series (value
+// diameters, detections, gradecast grade distributions where the protocol
+// exposes them), traffic totals, and wall-clock timing; a tracer sink
+// receives the full event stream. A null/inactive hooks keeps the exact
+// pre-observability path: one engine.run(), no tracer, no clock reads.
 
 /// Result of a real-valued AA run (RealAA or the iterated baseline).
 struct RealRun {
@@ -43,12 +52,14 @@ struct RealRun {
 
 [[nodiscard]] RealRun run_real_aa(
     const realaa::Config& config, const std::vector<double>& inputs,
-    std::unique_ptr<sim::Adversary> adversary = nullptr);
+    std::unique_ptr<sim::Adversary> adversary = nullptr,
+    const obs::Hooks* hooks = nullptr);
 
 [[nodiscard]] RealRun run_iterated_real_aa(
     const baselines::IteratedRealConfig& config,
     const std::vector<double>& inputs,
-    std::unique_ptr<sim::Adversary> adversary = nullptr);
+    std::unique_ptr<sim::Adversary> adversary = nullptr,
+    const obs::Hooks* hooks = nullptr);
 
 /// Result of a PathsFinder run.
 struct PathsFinderRun {
@@ -64,7 +75,7 @@ struct PathsFinderRun {
     const LabeledTree& tree, std::size_t n, std::size_t t,
     const std::vector<VertexId>& inputs,
     std::unique_ptr<sim::Adversary> adversary = nullptr,
-    core::PathsFinderOptions opts = {});
+    core::PathsFinderOptions opts = {}, const obs::Hooks* hooks = nullptr);
 
 /// Result of a vertex-valued AA run (the warm-up path protocol or the
 /// iterated tree baseline).
@@ -81,12 +92,13 @@ struct VertexRun {
     const LabeledTree& path_tree, std::size_t n, std::size_t t,
     const std::vector<VertexId>& inputs,
     std::unique_ptr<sim::Adversary> adversary = nullptr,
-    core::PathAAOptions opts = {});
+    core::PathAAOptions opts = {}, const obs::Hooks* hooks = nullptr);
 
 [[nodiscard]] VertexRun run_iterated_tree_aa(
     const LabeledTree& tree, std::size_t n, std::size_t t,
     const std::vector<VertexId>& inputs,
-    std::unique_ptr<sim::Adversary> adversary = nullptr);
+    std::unique_ptr<sim::Adversary> adversary = nullptr,
+    const obs::Hooks* hooks = nullptr);
 
 /// Result of an asynchronous tree-AA run (the NR baseline in its native
 /// model): no rounds, so complexity is reported in deliveries/messages.
@@ -99,12 +111,15 @@ struct AsyncVertexRun {
   [[nodiscard]] std::vector<VertexId> honest_outputs() const;
 };
 
+/// The asynchronous runner has no rounds, so a report sink receives totals
+/// and outcome facts (deliveries, messages) but no per-round series.
 [[nodiscard]] AsyncVertexRun run_async_tree_aa(
     const LabeledTree& tree, std::size_t n, std::size_t t,
     const std::vector<VertexId>& inputs, std::vector<PartyId> corrupt = {},
     async::SchedulerKind scheduler = async::SchedulerKind::kRandom,
     std::uint64_t seed = 1,
-    std::unique_ptr<async::AsyncAdversary> adversary = nullptr);
+    std::unique_ptr<async::AsyncAdversary> adversary = nullptr,
+    const obs::Hooks* hooks = nullptr);
 
 // --- Input generators -------------------------------------------------------
 

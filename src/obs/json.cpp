@@ -1,0 +1,233 @@
+#include "obs/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace treeaa::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  TREEAA_CHECK(res.ec == std::errc());
+  return std::string(buf, res.ptr);
+}
+
+void JsonWriter::elem() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!comma_.empty()) {
+    if (comma_.back()) out_ += ',';
+    comma_.back() = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  elem();
+  out_ += '{';
+  comma_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  TREEAA_CHECK(!comma_.empty());
+  out_ += '}';
+  comma_.pop_back();
+}
+
+void JsonWriter::begin_array() {
+  elem();
+  out_ += '[';
+  comma_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  TREEAA_CHECK(!comma_.empty());
+  out_ += ']';
+  comma_.pop_back();
+}
+
+void JsonWriter::key(std::string_view k) {
+  TREEAA_CHECK_MSG(!comma_.empty(), "key() outside an object");
+  if (comma_.back()) out_ += ',';
+  comma_.back() = true;
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\":";
+  after_key_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  elem();
+  out_ += '"';
+  out_ += json_escape(s);
+  out_ += '"';
+}
+
+void JsonWriter::value(double v) {
+  elem();
+  out_ += json_number(v);
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  elem();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(std::int64_t v) {
+  elem();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(bool v) {
+  elem();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  elem();
+  out_ += "null";
+}
+
+void JsonWriter::raw(std::string_view fragment) {
+  elem();
+  out_ += fragment;
+}
+
+namespace {
+
+void skip_ws(std::string_view s, std::size_t& i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                          s[i] == '\r')) {
+    ++i;
+  }
+}
+
+/// Parses a JSON string starting at the opening quote; returns the
+/// unescaped content and advances past the closing quote.
+std::optional<std::string> parse_string(std::string_view s, std::size_t& i) {
+  if (i >= s.size() || s[i] != '"') return std::nullopt;
+  ++i;
+  std::string out;
+  while (i < s.size() && s[i] != '"') {
+    if (s[i] == '\\') {
+      if (i + 1 >= s.size()) return std::nullopt;
+      switch (s[i + 1]) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (i + 5 >= s.size()) return std::nullopt;
+          unsigned code = 0;
+          const auto* first = s.data() + i + 2;
+          const auto res = std::from_chars(first, first + 4, code, 16);
+          if (res.ec != std::errc() || res.ptr != first + 4) {
+            return std::nullopt;
+          }
+          // The trace format only escapes ASCII control characters.
+          if (code > 0x7F) return std::nullopt;
+          out += static_cast<char>(code);
+          i += 4;
+          break;
+        }
+        default: return std::nullopt;
+      }
+      i += 2;
+    } else {
+      out += s[i];
+      ++i;
+    }
+  }
+  if (i >= s.size()) return std::nullopt;
+  ++i;  // closing quote
+  return out;
+}
+
+}  // namespace
+
+std::optional<std::vector<std::pair<std::string, std::string>>>
+parse_flat_json_object(std::string_view s) {
+  std::size_t i = 0;
+  skip_ws(s, i);
+  if (i >= s.size() || s[i] != '{') return std::nullopt;
+  ++i;
+  std::vector<std::pair<std::string, std::string>> out;
+  skip_ws(s, i);
+  if (i < s.size() && s[i] == '}') {
+    ++i;
+    skip_ws(s, i);
+    return i == s.size() ? std::optional(out) : std::nullopt;
+  }
+  while (true) {
+    skip_ws(s, i);
+    auto k = parse_string(s, i);
+    if (!k.has_value()) return std::nullopt;
+    skip_ws(s, i);
+    if (i >= s.size() || s[i] != ':') return std::nullopt;
+    ++i;
+    skip_ws(s, i);
+    if (i >= s.size()) return std::nullopt;
+    std::string v;
+    if (s[i] == '"') {
+      auto sv = parse_string(s, i);
+      if (!sv.has_value()) return std::nullopt;
+      v = std::move(*sv);
+    } else if (s[i] == '{' || s[i] == '[') {
+      return std::nullopt;  // flat objects only
+    } else {
+      const std::size_t start = i;
+      while (i < s.size() && s[i] != ',' && s[i] != '}' && s[i] != ' ' &&
+             s[i] != '\t' && s[i] != '\n' && s[i] != '\r') {
+        ++i;
+      }
+      v = std::string(s.substr(start, i - start));
+      if (v.empty()) return std::nullopt;
+    }
+    out.emplace_back(std::move(*k), std::move(v));
+    skip_ws(s, i);
+    if (i >= s.size()) return std::nullopt;
+    if (s[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (s[i] == '}') {
+      ++i;
+      skip_ws(s, i);
+      return i == s.size() ? std::optional(out) : std::nullopt;
+    }
+    return std::nullopt;
+  }
+}
+
+}  // namespace treeaa::obs

@@ -1,0 +1,199 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/check.h"
+
+namespace treeaa::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  TREEAA_REQUIRE_MSG(!bounds_.empty(), "histogram needs at least one bucket");
+  TREEAA_REQUIRE_MSG(
+      std::is_sorted(bounds_.begin(), bounds_.end()) &&
+          std::adjacent_find(bounds_.begin(), bounds_.end()) == bounds_.end(),
+      "histogram bounds must be strictly increasing");
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += x;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double Histogram::bucket_bound(std::size_t i) const {
+  TREEAA_REQUIRE(i < counts_.size());
+  return i < bounds_.size() ? bounds_[i]
+                            : std::numeric_limits<double>::infinity();
+}
+
+double Histogram::percentile(double q) const {
+  TREEAA_REQUIRE_MSG(q >= 0.0 && q <= 100.0, "percentile q out of [0, 100]");
+  if (count_ == 0) return 0.0;
+  const double target = q / 100.0 * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts_[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    // Interpolate inside bucket i. The bucket spans (lo, hi]; the overflow
+    // bucket and the first bucket have no finite natural edge, so clamp to
+    // the observed extrema, which always bracket every observation.
+    const double lo = i == 0 ? min_ : bounds_[i - 1];
+    const double hi = i < bounds_.size() ? bounds_[i] : max_;
+    const double fraction =
+        (target - before) / static_cast<double>(counts_[i]);
+    const double v = lo + fraction * (hi - lo);
+    return std::clamp(v, min_, max_);
+  }
+  return max_;
+}
+
+std::vector<double> Histogram::exponential_bounds(double start, double factor,
+                                                  std::size_t count) {
+  TREEAA_REQUIRE(start > 0.0 && factor > 1.0 && count > 0);
+  std::vector<double> out;
+  out.reserve(count);
+  double v = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(v);
+    v *= factor;
+  }
+  return out;
+}
+
+std::vector<double> Histogram::default_bounds() {
+  std::vector<double> out;
+  for (double decade = 1.0; decade <= 1e9; decade *= 10.0) {
+    out.push_back(decade);
+    out.push_back(2.0 * decade);
+    out.push_back(5.0 * decade);
+  }
+  return out;
+}
+
+void Histogram::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("count");
+  w.value(count_);
+  w.key("sum");
+  w.value(sum_);
+  w.key("min");
+  count_ == 0 ? w.null() : w.value(min_);
+  w.key("max");
+  count_ == 0 ? w.null() : w.value(max_);
+  w.key("p50");
+  w.value(percentile(50.0));
+  w.key("p90");
+  w.value(percentile(90.0));
+  w.key("p99");
+  w.value(percentile(99.0));
+  w.key("buckets");
+  w.begin_array();
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;  // sparse: empty buckets carry no info
+    w.begin_object();
+    w.key("le");
+    i < bounds_.size() ? w.value(bounds_[i]) : w.null();
+    w.key("count");
+    w.value(counts_[i]);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string(name), Counter{}).first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.emplace(std::string(name), Gauge{}).first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> upper_bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_
+      .emplace(std::string(name),
+               Histogram(upper_bounds.empty() ? Histogram::default_bounds()
+                                              : std::move(upper_bounds)))
+      .first->second;
+}
+
+void Registry::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, c] : counters_) {
+    w.key(name);
+    w.value(c.value());
+  }
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, g] : gauges_) {
+    w.key(name);
+    w.value(g.value());
+  }
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name);
+    h.write_json(w);
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string Registry::to_json() const {
+  std::string out;
+  JsonWriter w(out);
+  write_json(w);
+  return out;
+}
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+ScopeTimer::ScopeTimer(Histogram* sink) : sink_(sink) {
+  if (sink_ != nullptr) start_ns_ = now_ns();
+}
+
+ScopeTimer::~ScopeTimer() {
+  if (sink_ != nullptr) stop();
+}
+
+double ScopeTimer::stop() {
+  if (sink_ == nullptr) return 0.0;
+  const double elapsed = static_cast<double>(now_ns() - start_ns_);
+  sink_->observe(elapsed);
+  sink_ = nullptr;
+  return elapsed;
+}
+
+std::vector<double> ScopeTimer::wall_bounds() {
+  return Histogram::exponential_bounds(1e3, 10.0, 8);  // 1µs .. 10s
+}
+
+}  // namespace treeaa::obs

@@ -1,0 +1,142 @@
+// Lightweight, dependency-free metrics: counters, gauges, fixed-bucket
+// histograms with percentile extraction, a named registry, and RAII
+// wall-clock probes.
+//
+// Design constraints, in order:
+//   * zero overhead when detached — every probe site takes a nullable sink,
+//     and a null sink skips all work including the clock read;
+//   * deterministic export — Registry stores entries in name order and
+//     serializes via obs/json.h, so two identical runs produce byte-equal
+//     snapshots (wall-clock histograms are the documented exception and are
+//     kept in a separate section of RunReport);
+//   * no allocation on the hot path — observe()/inc() touch preallocated
+//     arrays only; name lookup happens once, at registration time.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace treeaa::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) { value_ += by; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations in
+/// (bounds[i-1], bounds[i]]; one implicit overflow bucket counts
+/// observations above the last bound. Exact count/sum/min/max are tracked
+/// alongside, and percentiles are estimated by linear interpolation inside
+/// the owning bucket (clamped to the observed [min, max]).
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> upper_bounds = default_bounds());
+
+  void observe(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return min_; }  // +inf when empty
+  [[nodiscard]] double max() const { return max_; }  // -inf when empty
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// Bucket count including the overflow bucket.
+  [[nodiscard]] std::size_t buckets() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const {
+    return counts_[i];
+  }
+  /// Inclusive upper bound of bucket i; +inf for the overflow bucket.
+  [[nodiscard]] double bucket_bound(std::size_t i) const;
+
+  /// Estimated q-th percentile, q in [0, 100]. 0 when empty.
+  [[nodiscard]] double percentile(double q) const;
+
+  /// {start, start*factor, ...} — `count` exponentially spaced bounds.
+  [[nodiscard]] static std::vector<double> exponential_bounds(double start,
+                                                              double factor,
+                                                              std::size_t count);
+  /// 1-2-5 decade series from 1 to 1e9 — a sane default for dimensionless
+  /// protocol quantities (path lengths, set sizes, message counts).
+  [[nodiscard]] static std::vector<double> default_bounds();
+
+  void write_json(JsonWriter& w) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 (overflow last)
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Named registry of metrics. Lookup is by exact name; the first
+/// registration of a histogram fixes its buckets. References returned stay
+/// valid for the registry's lifetime (node-based storage).
+class Registry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name,
+                       std::vector<double> upper_bounds = {});
+
+  [[nodiscard]] bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}} with every
+  /// section present and keys in lexicographic order.
+  void write_json(JsonWriter& w) const;
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+/// RAII wall-clock probe: records the elapsed time in nanoseconds into a
+/// histogram on destruction. A null sink disarms the probe entirely — no
+/// clock is read, so detached instrumentation costs one branch.
+class ScopeTimer {
+ public:
+  explicit ScopeTimer(Histogram* sink);
+  ~ScopeTimer();
+
+  ScopeTimer(const ScopeTimer&) = delete;
+  ScopeTimer& operator=(const ScopeTimer&) = delete;
+
+  /// Records now and disarms; returns the elapsed nanoseconds.
+  double stop();
+
+  /// Nanosecond bounds from 1µs to 10s — the default for *_wall_ns sinks.
+  [[nodiscard]] static std::vector<double> wall_bounds();
+
+ private:
+  Histogram* sink_;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace treeaa::obs

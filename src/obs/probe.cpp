@@ -1,0 +1,113 @@
+#include "obs/probe.h"
+
+namespace treeaa::obs {
+
+void ProbeTracer::on_round_begin(Round r) {
+  RoundSample s;
+  s.round = r;
+  s.corrupt_total = static_cast<std::uint32_t>(corruptions_);
+  samples_.push_back(s);
+  if (downstream_ != nullptr) downstream_->on_round_begin(r);
+}
+
+void ProbeTracer::on_queued(const sim::Envelope& e, bool adversarial) {
+  if (!samples_.empty()) {
+    RoundSample& s = samples_.back();
+    if (adversarial) {
+      s.adversary_messages += 1;
+      s.adversary_bytes += e.payload.size();
+    } else {
+      s.honest_messages += 1;
+      s.honest_bytes += e.payload.size();
+    }
+  }
+  if (downstream_ != nullptr) downstream_->on_queued(e, adversarial);
+}
+
+void ProbeTracer::on_corrupt(PartyId p, Round r) {
+  ++corruptions_;
+  if (!samples_.empty()) {
+    samples_.back().corrupt_total = static_cast<std::uint32_t>(corruptions_);
+  }
+  if (downstream_ != nullptr) downstream_->on_corrupt(p, r);
+}
+
+void ProbeTracer::on_deliver(Round r) {
+  if (downstream_ != nullptr) downstream_->on_deliver(r);
+}
+
+namespace {
+
+void append_event_head(std::string& line, const char* ev, Round r) {
+  line += "{\"ev\":\"";
+  line += ev;
+  line += "\",\"round\":";
+  line += std::to_string(r);
+}
+
+}  // namespace
+
+void JsonlTracer::on_round_begin(Round r) {
+  round_ = r;
+  std::string line;
+  append_event_head(line, "round", r);
+  line += '}';
+  lines_.push_back(std::move(line));
+}
+
+void JsonlTracer::on_queued(const sim::Envelope& e, bool adversarial) {
+  ++messages_;
+  std::string line;
+  line.reserve(64 + (payloads_ ? 2 * e.payload.size() : 0));
+  append_event_head(line, adversarial ? "byz" : "send", round_);
+  line += ",\"from\":";
+  line += std::to_string(e.from);
+  line += ",\"to\":";
+  line += std::to_string(e.to);
+  line += ",\"bytes\":";
+  line += std::to_string(e.payload.size());
+  if (payloads_) {
+    line += ",\"payload\":\"";
+    static constexpr char kHex[] = "0123456789abcdef";
+    for (const std::uint8_t b : e.payload) {
+      line += kHex[b >> 4];
+      line += kHex[b & 0xF];
+    }
+    line += '"';
+  }
+  line += '}';
+  lines_.push_back(std::move(line));
+}
+
+void JsonlTracer::on_corrupt(PartyId p, Round r) {
+  std::string line;
+  append_event_head(line, "corrupt", r);
+  line += ",\"party\":";
+  line += std::to_string(p);
+  line += '}';
+  lines_.push_back(std::move(line));
+}
+
+void JsonlTracer::on_deliver(Round r) {
+  std::string line;
+  append_event_head(line, "deliver", r);
+  line += '}';
+  lines_.push_back(std::move(line));
+}
+
+std::string JsonlTracer::text() const {
+  std::string out;
+  for (const auto& line : lines_) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+void JsonlTracer::clear() {
+  lines_.clear();
+  messages_ = 0;
+  round_ = 0;
+}
+
+}  // namespace treeaa::obs

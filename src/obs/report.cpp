@@ -1,0 +1,180 @@
+#include "obs/report.h"
+
+namespace treeaa::obs {
+
+namespace {
+
+constexpr const char* kSchema = "treeaa.run_report/1";
+
+void add_kv(std::vector<std::pair<std::string, std::string>>& dst,
+            std::string key, std::string rendered) {
+  dst.emplace_back(std::move(key), std::move(rendered));
+}
+
+}  // namespace
+
+void RunReport::add_param(std::string key, std::string_view v) {
+  add_kv(params, std::move(key), "\"" + json_escape(v) + "\"");
+}
+void RunReport::add_param(std::string key, double v) {
+  add_kv(params, std::move(key), json_number(v));
+}
+void RunReport::add_param(std::string key, std::uint64_t v) {
+  add_kv(params, std::move(key), std::to_string(v));
+}
+void RunReport::add_param(std::string key, bool v) {
+  add_kv(params, std::move(key), v ? "true" : "false");
+}
+void RunReport::add_outcome(std::string key, std::string_view v) {
+  add_kv(outcome, std::move(key), "\"" + json_escape(v) + "\"");
+}
+void RunReport::add_outcome(std::string key, double v) {
+  add_kv(outcome, std::move(key), json_number(v));
+}
+void RunReport::add_outcome(std::string key, std::uint64_t v) {
+  add_kv(outcome, std::move(key), std::to_string(v));
+}
+void RunReport::add_outcome(std::string key, bool v) {
+  add_kv(outcome, std::move(key), v ? "true" : "false");
+}
+
+void RunReport::set_totals(std::size_t n_parties, std::size_t t_max,
+                           Round rounds_run,
+                           std::vector<PartyId> corrupt_parties,
+                           const sim::TrafficStats& traffic) {
+  n = n_parties;
+  t = t_max;
+  rounds = rounds_run;
+  corrupt = std::move(corrupt_parties);
+  honest_messages = traffic.honest_messages();
+  honest_bytes = traffic.honest_bytes();
+  adversary_messages = traffic.adversary_messages();
+  adversary_bytes = traffic.adversary_bytes();
+}
+
+void RunReport::write_json(JsonWriter& w, bool include_timings) const {
+  w.begin_object();
+  w.key("schema");
+  w.value(kSchema);
+  w.key("protocol");
+  w.value(protocol);
+  w.key("n");
+  w.value(static_cast<std::uint64_t>(n));
+  w.key("t");
+  w.value(static_cast<std::uint64_t>(t));
+  w.key("rounds");
+  w.value(static_cast<std::uint64_t>(rounds));
+
+  w.key("params");
+  w.begin_object();
+  for (const auto& [k, v] : params) {
+    w.key(k);
+    w.raw(v);
+  }
+  w.end_object();
+
+  w.key("corrupt");
+  w.begin_array();
+  for (const PartyId p : corrupt) w.value(static_cast<std::uint64_t>(p));
+  w.end_array();
+
+  w.key("traffic");
+  w.begin_object();
+  w.key("honest_messages");
+  w.value(honest_messages);
+  w.key("honest_bytes");
+  w.value(honest_bytes);
+  w.key("adversary_messages");
+  w.value(adversary_messages);
+  w.key("adversary_bytes");
+  w.value(adversary_bytes);
+  w.end_object();
+
+  w.key("per_round");
+  w.begin_array();
+  for (const RoundSample& s : per_round) {
+    w.begin_object();
+    w.key("round");
+    w.value(static_cast<std::uint64_t>(s.round));
+    w.key("honest_messages");
+    w.value(s.honest_messages);
+    w.key("honest_bytes");
+    w.value(s.honest_bytes);
+    w.key("adversary_messages");
+    w.value(s.adversary_messages);
+    w.key("adversary_bytes");
+    w.value(s.adversary_bytes);
+    w.key("corrupt");
+    w.value(static_cast<std::uint64_t>(s.corrupt_total));
+    if (s.value_diameter.has_value()) {
+      w.key("value_diameter");
+      w.value(*s.value_diameter);
+    }
+    if (s.hull_size.has_value()) {
+      w.key("hull_size");
+      w.value(*s.hull_size);
+    }
+    if (s.detected_faulty.has_value()) {
+      w.key("detected_faulty");
+      w.value(*s.detected_faulty);
+    }
+    if (s.grades.has_value()) {
+      w.key("grades");
+      w.begin_array();
+      for (const std::uint64_t g : *s.grades) w.value(g);
+      w.end_array();
+    }
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("detections");
+  w.begin_array();
+  for (const DetectionEvent& d : detections) {
+    w.begin_object();
+    w.key("round");
+    w.value(static_cast<std::uint64_t>(d.round));
+    w.key("detector");
+    w.value(static_cast<std::uint64_t>(d.detector));
+    w.key("leader");
+    w.value(static_cast<std::uint64_t>(d.leader));
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("outcome");
+  w.begin_object();
+  for (const auto& [k, v] : outcome) {
+    w.key(k);
+    w.raw(v);
+  }
+  w.end_object();
+
+  w.key("metrics");
+  metrics.write_json(w);
+
+  // Always present so consumers can rely on the key; wall-clock content is
+  // the one non-reproducible part of a report and is opt-in.
+  w.key("timing");
+  w.begin_object();
+  w.key("rounds");
+  w.value(static_cast<std::uint64_t>(rounds));
+  w.key("wall");
+  if (include_timings) {
+    timing.write_json(w);
+  } else {
+    w.null();
+  }
+  w.end_object();
+
+  w.end_object();
+}
+
+std::string RunReport::to_json(bool include_timings) const {
+  std::string out;
+  JsonWriter w(out);
+  write_json(w, include_timings);
+  return out;
+}
+
+}  // namespace treeaa::obs

@@ -15,6 +15,7 @@
 // engaged, satisfying Validity and eps-Agreement for the configured eps.
 #pragma once
 
+#include <limits>
 #include <optional>
 
 #include "sim/process.h"
@@ -32,6 +33,16 @@ class RealAgreement : public sim::Process {
   /// How many parties this instance has proven Byzantine so far (telemetry;
   /// engines without a detection mechanism report 0).
   [[nodiscard]] virtual std::size_t detected_faulty() const { return 0; }
+
+  /// The engine's current estimate, mid-run: the input before the first
+  /// completed iteration, the output once finished. Telemetry only — the
+  /// per-round convergence probes read it; nothing in any protocol may.
+  /// Engines without a meaningful scalar state report NaN.
+  [[nodiscard]] virtual double current_value() const {
+    return output().has_value()
+               ? *output()
+               : std::numeric_limits<double>::quiet_NaN();
+  }
 };
 
 }  // namespace treeaa::realaa

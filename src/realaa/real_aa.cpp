@@ -64,10 +64,19 @@ void RealAAProcess::on_round_end(Round, std::span<const sim::Envelope> inbox) {
 
 void RealAAProcess::finish_iteration() {
   const auto& results = batch_->results();
+  // The iteration ending now, 1-based (element 0 of history_ is the input).
+  const std::size_t iteration = history_.size();
+  IterationStats stats;
   std::vector<double> w;
   w.reserve(config_.n);
   for (PartyId l = 0; l < config_.n; ++l) {
     const gradecast::GradedValue& gv = results[l];
+    switch (gv.grade) {
+      case 0: ++stats.grade0; break;
+      case 1: ++stats.grade1; break;
+      default: ++stats.grade2; break;
+    }
+    const bool known_faulty = faulty_[l];
     if (gv.grade <= 1) {
       // An honest leader always earns grade 2; grade <= 1 is proof of
       // Byzantine behaviour. Refuse to assist this leader's gradecasts
@@ -75,24 +84,31 @@ void RealAAProcess::finish_iteration() {
       // is stuck at grade 0 — each Byzantine party cheats at most once).
       faulty_[l] = true;
     }
-    if (gv.grade < 1) continue;
-    const auto value = decode_value(*gv.value);
-    if (!value.has_value()) {
-      // Consistent garbage still exposes its sender: honest leaders encode
-      // finite reals. Graded consistency (G3) makes this exclusion uniform
-      // across honest parties.
-      faulty_[l] = true;
-      continue;
+    if (gv.grade >= 1) {
+      const auto value = decode_value(*gv.value);
+      if (!value.has_value()) {
+        // Consistent garbage still exposes its sender: honest leaders
+        // encode finite reals. Graded consistency (G3) makes this
+        // exclusion uniform across honest parties.
+        faulty_[l] = true;
+      } else {
+        // Grade >= 1 values are used even from leaders already in the
+        // fault set: by G2/G3 every honest party with grade >= 1 holds
+        // this same value, so inclusion is as consistent as possible.
+        w.push_back(*value);
+      }
     }
-    // Grade >= 1 values are used even from leaders already in the fault
-    // set: by G2/G3 every honest party with grade >= 1 holds this same
-    // value, so inclusion is as consistent as possible.
-    w.push_back(*value);
+    if (faulty_[l] && !known_faulty) {
+      detections_.push_back(Detection{iteration, l});
+    }
   }
   // All honest leaders are present in w (they earn grade 2 everywhere and
   // are never marked faulty), so |w| >= n - t > 2t.
   TREEAA_CHECK(w.size() > 2 * config_.t);
+  stats.used = w.size();
   value_ = trimmed_update(std::move(w), config_.t, config_.update);
+  stats.value_after = value_;
+  iteration_stats_.push_back(stats);
   history_.push_back(value_);
   if (history_.size() == iterations_ + 1) output_ = value_;
   batch_.reset();

@@ -101,6 +101,7 @@ class RealAAProcess final : public RealAgreement {
 
   /// Current value (the input before iteration 1; the output at the end).
   [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] double current_value() const override { return value_; }
 
   /// Value held after each completed iteration (element 0 = the input);
   /// consumed by the convergence benches.
@@ -119,6 +120,31 @@ class RealAAProcess final : public RealAgreement {
 
   [[nodiscard]] const Config& config() const { return config_; }
 
+  // --- Per-iteration observability ----------------------------------------
+  // Tiny, always-on records consumed by the obs probes (and ignored
+  // otherwise): the protocol itself never reads them.
+
+  /// Facts about one completed iteration, from this party's view.
+  struct IterationStats {
+    std::uint64_t grade0 = 0;  // leaders finishing at grade 0
+    std::uint64_t grade1 = 0;
+    std::uint64_t grade2 = 0;
+    std::uint64_t used = 0;    // |W| fed into the trimmed update
+    double value_after = 0.0;  // value held after the update
+  };
+  [[nodiscard]] const std::vector<IterationStats>& iteration_stats() const {
+    return iteration_stats_;
+  }
+
+  /// A leader newly proven Byzantine. `iteration` is 1-based.
+  struct Detection {
+    std::size_t iteration = 0;
+    PartyId leader = kNoParty;
+  };
+  [[nodiscard]] const std::vector<Detection>& detections() const {
+    return detections_;
+  }
+
  private:
   void finish_iteration();
 
@@ -131,6 +157,8 @@ class RealAAProcess final : public RealAgreement {
   std::size_t local_round_ = 0;  // rounds driven so far
   std::optional<gradecast::BatchGradecast> batch_;
   std::optional<double> output_;
+  std::vector<IterationStats> iteration_stats_;
+  std::vector<Detection> detections_;
 };
 
 /// The trimmed update shared with the baselines: sorts `w`, drops the t

@@ -40,6 +40,16 @@ struct TrafficStats {
     for (const auto& r : per_round) s += r.honest_bytes;
     return s;
   }
+  [[nodiscard]] std::uint64_t adversary_messages() const {
+    std::uint64_t s = 0;
+    for (const auto& r : per_round) s += r.adversary_messages;
+    return s;
+  }
+  [[nodiscard]] std::uint64_t adversary_bytes() const {
+    std::uint64_t s = 0;
+    for (const auto& r : per_round) s += r.adversary_bytes;
+    return s;
+  }
   [[nodiscard]] std::uint64_t total_bytes() const {
     std::uint64_t s = 0;
     for (const auto& r : per_round) s += r.honest_bytes + r.adversary_bytes;

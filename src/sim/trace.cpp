@@ -1,7 +1,5 @@
 #include "sim/trace.h"
 
-#include <sstream>
-
 namespace treeaa::sim {
 
 void RecordingTracer::on_round_begin(Round r) {
@@ -10,17 +8,24 @@ void RecordingTracer::on_round_begin(Round r) {
 
 void RecordingTracer::on_queued(const Envelope& e, bool adversarial) {
   ++messages_;
-  std::ostringstream os;
-  os << (adversarial ? "  byz  " : "  send ") << e.from << " -> " << e.to
-     << " (" << e.payload.size() << "B)";
+  std::string line;
+  line.reserve(32 + (payloads_ ? 2 * e.payload.size() + 1 : 0));
+  line += adversarial ? "  byz  " : "  send ";
+  line += std::to_string(e.from);
+  line += " -> ";
+  line += std::to_string(e.to);
+  line += " (";
+  line += std::to_string(e.payload.size());
+  line += "B)";
   if (payloads_) {
-    os << " ";
+    line += ' ';
     static constexpr char kHex[] = "0123456789abcdef";
     for (const std::uint8_t b : e.payload) {
-      os << kHex[b >> 4] << kHex[b & 0xF];
+      line += kHex[b >> 4];
+      line += kHex[b & 0xF];
     }
   }
-  lines_.push_back(os.str());
+  lines_.push_back(std::move(line));
 }
 
 void RecordingTracer::on_corrupt(PartyId p, Round r) {

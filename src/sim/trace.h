@@ -41,7 +41,9 @@ class RecordingTracer final : public Tracer {
  public:
   /// With `payloads`, message bytes are hex-dumped (big transcripts);
   /// without, only (from, to, size) per message.
-  explicit RecordingTracer(bool payloads = false) : payloads_(payloads) {}
+  explicit RecordingTracer(bool payloads = false) : payloads_(payloads) {
+    lines_.reserve(kInitialCapacity);
+  }
 
   void on_round_begin(Round r) override;
   void on_queued(const Envelope& e, bool adversarial) override;
@@ -57,7 +59,16 @@ class RecordingTracer final : public Tracer {
   /// Messages recorded so far.
   [[nodiscard]] std::size_t message_count() const { return messages_; }
 
+  /// Forgets the recorded transcript (capacity retained), so one tracer can
+  /// be reused across phased Engine::run() calls or successive runs.
+  void clear() {
+    lines_.clear();
+    messages_ = 0;
+  }
+
  private:
+  static constexpr std::size_t kInitialCapacity = 256;
+
   bool payloads_;
   std::vector<std::string> lines_;
   std::size_t messages_ = 0;

@@ -1,0 +1,108 @@
+// JSON emission: escaping, deterministic number formatting, the streaming
+// writer's comma placement, and the flat-object reader that round-trips
+// JSONL trace lines.
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace treeaa::obs {
+namespace {
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonNumber, ShortestRoundTripForm) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(1.5), "1.5");
+  EXPECT_EQ(json_number(0.1), "0.1");
+  EXPECT_EQ(json_number(-3.0), "-3");
+  EXPECT_EQ(json_number(1e100), "1e+100");
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull) {
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonWriter, ObjectsArraysAndCommas) {
+  std::string out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("n");
+  w.value(std::uint64_t{16});
+  w.key("name");
+  w.value("tree aa");
+  w.key("ok");
+  w.value(true);
+  w.key("list");
+  w.begin_array();
+  w.value(1.5);
+  w.null();
+  w.begin_object();
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(out, "{\"n\":16,\"name\":\"tree aa\",\"ok\":true,"
+                 "\"list\":[1.5,null,{}]}");
+}
+
+TEST(JsonWriter, RawFragmentsPlaceCommasLikeValues) {
+  std::string out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("a");
+  w.raw("[1,2]");
+  w.key("b");
+  w.raw("\"x\"");
+  w.end_object();
+  EXPECT_EQ(out, "{\"a\":[1,2],\"b\":\"x\"}");
+}
+
+TEST(ParseFlatJsonObject, RoundTripsWriterOutput) {
+  std::string out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("ev");
+  w.value("send");
+  w.key("round");
+  w.value(std::uint64_t{3});
+  w.key("ok");
+  w.value(false);
+  w.key("x");
+  w.null();
+  w.end_object();
+
+  const auto parsed = parse_flat_json_object(out);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 4u);
+  EXPECT_EQ((*parsed)[0], (std::pair<std::string, std::string>{"ev", "send"}));
+  EXPECT_EQ((*parsed)[1].second, "3");
+  EXPECT_EQ((*parsed)[2].second, "false");
+  EXPECT_EQ((*parsed)[3].second, "null");
+}
+
+TEST(ParseFlatJsonObject, UnescapesStrings) {
+  const auto parsed = parse_flat_json_object("{\"k\":\"a\\\"b\\n\"}");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ((*parsed)[0].second, "a\"b\n");
+}
+
+TEST(ParseFlatJsonObject, RejectsNestingAndGarbage) {
+  EXPECT_FALSE(parse_flat_json_object("{\"k\":{}}").has_value());
+  EXPECT_FALSE(parse_flat_json_object("{\"k\":[1]}").has_value());
+  EXPECT_FALSE(parse_flat_json_object("not json").has_value());
+  EXPECT_FALSE(parse_flat_json_object("{\"k\":1,}").has_value());
+  EXPECT_FALSE(parse_flat_json_object("{\"k\":1} extra").has_value());
+}
+
+}  // namespace
+}  // namespace treeaa::obs

@@ -1,0 +1,121 @@
+// Metrics core: histogram bucket/percentile math, registry determinism,
+// and the RAII wall-clock probe (including its detached zero-work mode).
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace treeaa::obs {
+namespace {
+
+TEST(Histogram, CountsSumAndExtremes) {
+  Histogram h({1.0, 2.0, 5.0});
+  h.observe(0.5);
+  h.observe(1.0);   // boundary lands in the <=1 bucket
+  h.observe(3.0);
+  h.observe(100.0); // overflow bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 104.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 104.5 / 4.0);
+  ASSERT_EQ(h.buckets(), 4u);
+  EXPECT_EQ(h.bucket_count(0), 2u);  // 0.5, 1.0
+  EXPECT_EQ(h.bucket_count(1), 0u);
+  EXPECT_EQ(h.bucket_count(2), 1u);  // 3.0
+  EXPECT_EQ(h.bucket_count(3), 1u);  // 100.0
+  EXPECT_TRUE(std::isinf(h.bucket_bound(3)));
+}
+
+TEST(Histogram, PercentilesInterpolateWithinBuckets) {
+  // 100 observations uniform over (0, 100]: one per unit bucket.
+  Histogram h(Histogram::exponential_bounds(1.0, 2.0, 7));  // 1..64
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  // Percentiles are estimates, but must be monotone and clamped to the
+  // observed range.
+  const double p50 = h.percentile(50.0);
+  const double p90 = h.percentile(90.0);
+  const double p99 = h.percentile(99.0);
+  EXPECT_LE(h.percentile(0.0), p50);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, h.percentile(100.0));
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(h.percentile(100.0), 100.0);
+  // p50: target 50 of 100; buckets hold 1,1,2,4,8,16,32 up to 64, so the
+  // 50th observation sits in the (32, 64] bucket: 32 + (50-32)/32 * 32 = 50.
+  EXPECT_DOUBLE_EQ(p50, 50.0);
+}
+
+TEST(Histogram, EmptyAndSingleObservation) {
+  Histogram h({1.0, 10.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  h.observe(4.0);
+  // Every percentile of a single observation is that observation (clamping).
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 4.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 4.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 4.0);
+}
+
+TEST(Histogram, ExponentialBounds) {
+  const auto b = Histogram::exponential_bounds(1e3, 10.0, 4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b[0], 1e3);
+  EXPECT_DOUBLE_EQ(b[3], 1e6);
+}
+
+TEST(Registry, EntriesSerializeInNameOrder) {
+  Registry reg;
+  reg.counter("zeta").inc(3);
+  reg.counter("alpha").inc();
+  reg.gauge("mid").set(2.5);
+  const std::string json = reg.to_json();
+  EXPECT_EQ(json,
+            "{\"counters\":{\"alpha\":1,\"zeta\":3},"
+            "\"gauges\":{\"mid\":2.5},\"histograms\":{}}");
+}
+
+TEST(Registry, LookupsAreStableAndIdempotent) {
+  Registry reg;
+  Counter& a = reg.counter("hits");
+  reg.counter("other").inc();
+  Counter& b = reg.counter("hits");
+  EXPECT_EQ(&a, &b);
+  a.inc(2);
+  EXPECT_EQ(reg.counter("hits").value(), 2u);
+  // First registration fixes histogram buckets; later bounds are ignored.
+  Histogram& h1 = reg.histogram("lat", {1.0, 2.0});
+  Histogram& h2 = reg.histogram("lat", {5.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h1.buckets(), 3u);
+}
+
+TEST(ScopeTimer, RecordsElapsedIntoSink) {
+  Histogram h(ScopeTimer::wall_bounds());
+  {
+    ScopeTimer timer(&h);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.min(), 0.0);
+}
+
+TEST(ScopeTimer, StopIsExplicitAndIdempotent) {
+  Histogram h(ScopeTimer::wall_bounds());
+  ScopeTimer timer(&h);
+  const double first = timer.stop();
+  EXPECT_GE(first, 0.0);
+  EXPECT_DOUBLE_EQ(timer.stop(), 0.0);  // disarmed
+  EXPECT_EQ(h.count(), 1u);             // destructor must not double-record
+}
+
+TEST(ScopeTimer, NullSinkDoesNothing) {
+  ScopeTimer timer(nullptr);
+  EXPECT_DOUBLE_EQ(timer.stop(), 0.0);
+}
+
+}  // namespace
+}  // namespace treeaa::obs

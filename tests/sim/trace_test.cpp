@@ -72,6 +72,38 @@ TEST(Trace, TranscriptsAreDeterministic) {
   EXPECT_NE(transcript(9), transcript(10));
 }
 
+TEST(Trace, ClearMakesTracerReusable) {
+  RecordingTracer tracer(true);
+  auto transcript = [&tracer] {
+    Engine e = make_engine(3);
+    e.set_tracer(&tracer);
+    e.run(2);
+    return tracer.text();
+  };
+  const std::string first = transcript();
+  EXPECT_EQ(tracer.message_count(), 6u);
+  tracer.clear();
+  EXPECT_TRUE(tracer.lines().empty());
+  EXPECT_EQ(tracer.message_count(), 0u);
+  // A cleared tracer records the identical run identically.
+  EXPECT_EQ(transcript(), first);
+}
+
+TEST(TrafficStats, AdversaryAccessorsSplitTheTotals) {
+  Engine e = make_engine(4);
+  e.set_adversary(std::make_unique<FuzzAdversary>(std::vector<PartyId>{3},
+                                                  /*seed=*/1, 2, 4));
+  e.run(3);
+  const TrafficStats& stats = e.stats();
+  EXPECT_EQ(stats.adversary_messages(), 2u * 3u);  // 2 injections x 3 rounds
+  EXPECT_GT(stats.adversary_bytes(), 0u);
+  EXPECT_EQ(stats.honest_messages() + stats.adversary_messages(),
+            stats.total_messages());
+  EXPECT_EQ(stats.honest_bytes() + stats.adversary_bytes(),
+            stats.total_bytes());
+  EXPECT_EQ(stats.honest_messages(), 3u * 3u);  // 3 honest parties x 3 rounds
+}
+
 TEST(ReplayAdversary, ReplaysOnlyStaleHonestPayloads) {
   Engine e = make_engine(4);
   e.set_adversary(std::make_unique<ReplayAdversary>(

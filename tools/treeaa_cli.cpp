@@ -6,10 +6,21 @@
 //   treeaa_cli bounds <D> <n> <t>              round bounds for a diameter
 //   treeaa_cli run <file|-> --t <t> --inputs <l1,l2,...>
 //              [--adversary none|silent|fuzz|split] [--engine bdh|classic]
-//              [--seed <s>] [--quiet]
+//              [--seed <s>] [--quiet] [--metrics <file|->] [--report json]
+//              [--trace <file|->] [--trace-format text|jsonl] [--timings]
 //
 // `-` reads the tree from stdin, so commands compose:
 //   treeaa_cli gen spider 40 | treeaa_cli run - --t 2 --inputs v00,v11,...
+//
+// Observability (docs/OBSERVABILITY.md): --metrics writes the machine-
+// readable run report ("treeaa.run_report/1") to a file, --report json
+// replaces the human summary with the same JSON on stdout, --trace records
+// the engine transcript (text or JSONL, "treeaa.trace/1"). Reports are
+// byte-reproducible across identical runs unless --timings adds the
+// wall-clock section. --quiet only suppresses the human table; it never
+// affects --metrics/--trace. When JSON or a trace targets stdout
+// (--metrics -, --trace -, --report json) the human table and summary are
+// suppressed entirely so stdout stays machine-parseable.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -20,9 +31,12 @@
 #include "common/table.h"
 #include "core/api.h"
 #include "harness/runner.h"
+#include "obs/probe.h"
+#include "obs/report.h"
 #include "realaa/adversaries.h"
 #include "realaa/rounds.h"
 #include "sim/strategies.h"
+#include "sim/trace.h"
 #include "trees/generators.h"
 #include "trees/metrics.h"
 #include "trees/serialization.h"
@@ -43,9 +57,12 @@ using namespace treeaa;
       "  treeaa_cli run <file|-> --t <t> --inputs <l1,l2,...>\n"
       "             [--adversary none|silent|fuzz|split] [--engine "
       "bdh|classic] [--seed <s>] [--quiet]\n"
+      "             [--metrics <file|->] [--report json] "
+      "[--trace <file|->] [--trace-format text|jsonl] [--timings]\n"
       "  treeaa_cli run-async <file|-> --t <t> --inputs <l1,l2,...>\n"
       "             [--scheduler fifo|lifo|random] [--silent <k>] "
-      "[--seed <s>] [--quiet]\n";
+      "[--seed <s>] [--quiet]\n"
+      "             [--metrics <file|->] [--report json] [--timings]\n";
   std::exit(2);
 }
 
@@ -60,6 +77,16 @@ std::string read_all(const std::string& path) {
   std::ostringstream os;
   os << in.rdbuf();
   return os.str();
+}
+
+void write_output(const std::string& path, const std::string& content) {
+  if (path == "-") {
+    std::cout << content;
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) usage("cannot write '" + path + "'");
+  out << content;
 }
 
 std::vector<std::string> split_csv(const std::string& s) {
@@ -154,6 +181,11 @@ int cmd_run(const std::vector<std::string>& args) {
   std::string engine = "bdh";
   std::uint64_t seed = 1;
   bool quiet = false;
+  std::string metrics_path;
+  std::string report_mode;
+  std::string trace_path;
+  std::string trace_format = "text";
+  bool timings = false;
   for (std::size_t i = 1; i < args.size(); ++i) {
     auto next = [&]() -> const std::string& {
       if (i + 1 >= args.size()) usage("missing value after " + args[i]);
@@ -171,6 +203,20 @@ int cmd_run(const std::vector<std::string>& args) {
       seed = std::stoull(next());
     } else if (args[i] == "--quiet") {
       quiet = true;
+    } else if (args[i] == "--metrics") {
+      metrics_path = next();
+    } else if (args[i] == "--report") {
+      report_mode = next();
+      if (report_mode != "json") usage("--report only supports 'json'");
+    } else if (args[i] == "--trace") {
+      trace_path = next();
+    } else if (args[i] == "--trace-format") {
+      trace_format = next();
+      if (trace_format != "text" && trace_format != "jsonl") {
+        usage("--trace-format must be text or jsonl");
+      }
+    } else if (args[i] == "--timings") {
+      timings = true;
     } else {
       usage("unknown option '" + args[i] + "'");
     }
@@ -209,7 +255,24 @@ int cmd_run(const std::vector<std::string>& args) {
     usage("unknown adversary '" + adversary + "'");
   }
 
-  const auto result = core::run_tree_aa(tree, inputs, t, opts, std::move(adv));
+  obs::RunReport report;
+  sim::RecordingTracer text_tracer;
+  obs::JsonlTracer jsonl_tracer;
+  obs::Hooks hooks;
+  if (!metrics_path.empty() || report_mode == "json") hooks.report = &report;
+  if (!trace_path.empty()) {
+    hooks.tracer = trace_format == "jsonl"
+                       ? static_cast<sim::Tracer*>(&jsonl_tracer)
+                       : static_cast<sim::Tracer*>(&text_tracer);
+  }
+  if (hooks.report != nullptr) {
+    report.add_param("adversary", adversary);
+    report.add_param("seed", seed);
+  }
+
+  const auto result =
+      core::run_tree_aa(tree, inputs, t, opts, std::move(adv),
+                        hooks.active() ? &hooks : nullptr);
 
   std::vector<VertexId> honest_inputs;
   for (PartyId p = 0; p < n; ++p) {
@@ -218,25 +281,45 @@ int cmd_run(const std::vector<std::string>& args) {
   const auto check =
       core::check_agreement(tree, honest_inputs, result.honest_outputs());
 
-  if (!quiet) {
-    Table table({"party", "input", "output"});
-    for (PartyId p = 0; p < n; ++p) {
-      table.row({std::to_string(p), input_labels[p],
-                 result.outputs[p].has_value()
-                     ? tree.label(*result.outputs[p])
-                     : "(corrupt)"});
-    }
-    std::cout << table.render();
+  if (hooks.report != nullptr) {
+    report.add_outcome("validity", check.valid);
+    report.add_outcome("one_agreement", check.one_agreement);
+    report.add_outcome("max_pairwise_distance",
+                       static_cast<std::uint64_t>(check.max_pairwise_distance));
+    const std::string json = report.to_json(timings) + "\n";
+    if (!metrics_path.empty()) write_output(metrics_path, json);
+    if (report_mode == "json" && metrics_path != "-") std::cout << json;
   }
-  std::cout << "rounds: " << result.rounds
-            << "  messages: " << result.traffic.total_messages()
-            << "  bytes: " << result.traffic.total_bytes() << "\n"
-            << "path split: " << (result.path_split ? "yes" : "no")
-            << "  clamps: " << result.clamp_count
-            << "  byzantine proven: " << result.max_detected_faulty << "\n"
-            << "validity: " << (check.valid ? "ok" : "VIOLATED")
-            << "  1-agreement: "
-            << (check.one_agreement ? "ok" : "VIOLATED") << "\n";
+  if (!trace_path.empty()) {
+    write_output(trace_path, trace_format == "jsonl" ? jsonl_tracer.text()
+                                                     : text_tracer.text());
+  }
+
+  // Keep stdout machine-clean: the human table and summary are skipped
+  // whenever JSON or a trace is being streamed to stdout.
+  if (report_mode != "json" && metrics_path != "-" && trace_path != "-") {
+    if (!quiet) {
+      Table table({"party", "input", "output"});
+      for (PartyId p = 0; p < n; ++p) {
+        table.row({std::to_string(p), input_labels[p],
+                   result.outputs[p].has_value()
+                       ? tree.label(*result.outputs[p])
+                       : "(corrupt)"});
+      }
+      std::cout << table.render();
+    }
+    std::cout << "rounds: " << result.rounds
+              << "  messages: " << result.traffic.total_messages()
+              << "  bytes: " << result.traffic.total_bytes()
+              << "  adversarial: " << result.traffic.adversary_messages()
+              << " msgs / " << result.traffic.adversary_bytes() << " bytes\n"
+              << "path split: " << (result.path_split ? "yes" : "no")
+              << "  clamps: " << result.clamp_count
+              << "  byzantine proven: " << result.max_detected_faulty << "\n"
+              << "validity: " << (check.valid ? "ok" : "VIOLATED")
+              << "  1-agreement: "
+              << (check.one_agreement ? "ok" : "VIOLATED") << "\n";
+  }
   return check.ok() ? 0 : 1;
 }
 
@@ -250,6 +333,9 @@ int cmd_run_async(const std::vector<std::string>& args) {
   std::string scheduler = "random";
   std::uint64_t seed = 1;
   bool quiet = false;
+  std::string metrics_path;
+  std::string report_mode;
+  bool timings = false;
   for (std::size_t i = 1; i < args.size(); ++i) {
     auto next = [&]() -> const std::string& {
       if (i + 1 >= args.size()) usage("missing value after " + args[i]);
@@ -267,6 +353,13 @@ int cmd_run_async(const std::vector<std::string>& args) {
       seed = std::stoull(next());
     } else if (args[i] == "--quiet") {
       quiet = true;
+    } else if (args[i] == "--metrics") {
+      metrics_path = next();
+    } else if (args[i] == "--report") {
+      report_mode = next();
+      if (report_mode != "json") usage("--report only supports 'json'");
+    } else if (args[i] == "--timings") {
+      timings = true;
     } else {
       usage("unknown option '" + args[i] + "'");
     }
@@ -296,8 +389,15 @@ int cmd_run_async(const std::vector<std::string>& args) {
 
   Rng rng(seed);
   const auto corrupt = sim::random_parties(n, silent, rng);
-  const auto run = harness::run_async_tree_aa(tree, n, t, inputs, corrupt,
-                                              sched, seed);
+
+  obs::RunReport report;
+  obs::Hooks hooks;
+  if (!metrics_path.empty() || report_mode == "json") hooks.report = &report;
+  if (hooks.report != nullptr) report.add_param("scheduler", scheduler);
+
+  const auto run =
+      harness::run_async_tree_aa(tree, n, t, inputs, corrupt, sched, seed,
+                                 nullptr, hooks.active() ? &hooks : nullptr);
 
   std::vector<VertexId> honest_inputs;
   for (PartyId p = 0; p < n; ++p) {
@@ -305,20 +405,31 @@ int cmd_run_async(const std::vector<std::string>& args) {
   }
   const auto check =
       core::check_agreement(tree, honest_inputs, run.honest_outputs());
-  if (!quiet) {
-    Table table({"party", "input", "output"});
-    for (PartyId p = 0; p < n; ++p) {
-      table.row({std::to_string(p), input_labels[p],
-                 run.outputs[p].has_value() ? tree.label(*run.outputs[p])
-                                            : "(corrupt)"});
-    }
-    std::cout << table.render();
+
+  if (hooks.report != nullptr) {
+    report.add_outcome("validity", check.valid);
+    report.add_outcome("one_agreement", check.one_agreement);
+    const std::string json = report.to_json(timings) + "\n";
+    if (!metrics_path.empty()) write_output(metrics_path, json);
+    if (report_mode == "json" && metrics_path != "-") std::cout << json;
   }
-  std::cout << "deliveries: " << run.deliveries
-            << "  messages: " << run.messages << "\n"
-            << "validity: " << (check.valid ? "ok" : "VIOLATED")
-            << "  1-agreement: "
-            << (check.one_agreement ? "ok" : "VIOLATED") << "\n";
+
+  if (report_mode != "json" && metrics_path != "-") {
+    if (!quiet) {
+      Table table({"party", "input", "output"});
+      for (PartyId p = 0; p < n; ++p) {
+        table.row({std::to_string(p), input_labels[p],
+                   run.outputs[p].has_value() ? tree.label(*run.outputs[p])
+                                              : "(corrupt)"});
+      }
+      std::cout << table.render();
+    }
+    std::cout << "deliveries: " << run.deliveries
+              << "  messages: " << run.messages << "\n"
+              << "validity: " << (check.valid ? "ok" : "VIOLATED")
+              << "  1-agreement: "
+              << (check.one_agreement ? "ok" : "VIOLATED") << "\n";
+  }
   return check.ok() ? 0 : 1;
 }
 
