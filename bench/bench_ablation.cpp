@@ -19,6 +19,8 @@
 
 #include "common/table.h"
 #include "core/api.h"
+#include "exp/spec.h"
+#include "exp/sweep.h"
 #include "harness/runner.h"
 #include "realaa/adversaries.h"
 #include "realaa/wire.h"
@@ -60,22 +62,37 @@ harness::RealRun attack_run(const realaa::Config& cfg,
 void table_update_rule() {
   // A non-zero final range needs an inconsistency in *every* iteration
   // (any clean iteration collapses the range to 0), so the configurations
-  // below keep t >= R and schedule one equivocator per iteration.
+  // below keep t >= R and schedule one equivocator per iteration. Phrased
+  // as a sweep (src/exp/): one scenario per (n, D) point — the points are
+  // chosen pairs, not a cross product — with the update rule as the swept
+  // axis and the split1 adversary reproducing attack_run's schedule.
   std::cout << "=== E8a: trimmed mean vs trimmed midpoint (one equivocator "
                "per iteration, t >= R) ===\n";
   Table table({"n", "t", "D", "iters", "range(mean)", "range(midpoint)"});
-  for (const auto& [n, D] : std::vector<std::pair<std::size_t, double>>{
-           {13, 100.0}, {25, 1e4}, {25, 1e6}, {31, 1e6}}) {
-    const std::size_t t = (n - 1) / 3;
-    const auto mean_cfg = config_for(n, t, D, realaa::UpdateRule::kTrimmedMean);
-    const auto mid_cfg =
-        config_for(n, t, D, realaa::UpdateRule::kTrimmedMidpoint);
-    const auto mean_run = attack_run(mean_cfg, true);
-    const auto mid_run = attack_run(mid_cfg, true);
-    table.row({std::to_string(n), std::to_string(t), fmt_double(D),
-               std::to_string(mean_cfg.iterations()),
-               fmt_double(mean_run.output_range()),
-               fmt_double(mid_run.output_range())});
+  const std::vector<std::pair<std::size_t, double>> points = {
+      {13, 100.0}, {25, 1e4}, {25, 1e6}, {31, 1e6}};
+
+  exp::SweepSpec spec;
+  spec.name = "bench-e8a";
+  for (const auto& [n, D] : points) {
+    exp::Scenario s;
+    s.protocols = {exp::Protocol::kRealAA};
+    s.ranges = {D};
+    s.updates = {realaa::UpdateRule::kTrimmedMean,
+                 realaa::UpdateRule::kTrimmedMidpoint};
+    s.n_values = {n};
+    s.adversaries = {exp::AdversaryKind::kSplit1};
+    spec.scenarios.push_back(s);
+  }
+
+  const auto result = exp::run_sweep(spec);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& mean = result.cells[2 * i];      // update is the inner axis
+    const auto& midpoint = result.cells[2 * i + 1];
+    table.row({std::to_string(points[i].first),
+               std::to_string(mean.cell.t), fmt_double(points[i].second),
+               std::to_string(mean.round_budget / 3),
+               fmt_double(mean.spread), fmt_double(midpoint.spread)});
   }
   std::cout << render_for_output(table)
             << "(both rules stay within eps = 1; the constants differ)\n\n";
@@ -233,27 +250,41 @@ void table_naive() {
 
 void table_engine_swap() {
   // The paper's §7 remark, executable: TreeAA composed over the classic
-  // halving engine remains a correct AA protocol — just slower. The rows
-  // measure full simulated runs of both stacks.
+  // halving engine remains a correct AA protocol — just slower. Phrased as
+  // a sweep with the engine as the swept axis; tree_seed makes both engines
+  // run on the identical chainy tree per size.
   std::cout << "=== E8d: TreeAA over swapped real-valued engines ===\n";
   Table table({"|V|", "D(T)", "rounds(BDH engine)", "rounds(classic engine)",
                "both satisfy AA?"});
-  Rng rng(88);
-  const std::size_t n = 7, t = 2;
-  for (std::size_t size : {50u, 500u, 5000u}) {
-    const auto tree = make_random_chainy_tree(size, rng, 0.9);
-    const auto inputs = harness::spread_vertex_inputs(tree, n);
-    core::TreeAAOptions fast;
-    core::TreeAAOptions slow;
-    slow.engine = core::RealEngineKind::kClassicHalving;
-    const auto fast_run = core::run_tree_aa(tree, inputs, t, fast);
-    const auto slow_run = core::run_tree_aa(tree, inputs, t, slow);
-    const bool ok =
-        core::check_agreement(tree, inputs, fast_run.honest_outputs()).ok() &&
-        core::check_agreement(tree, inputs, slow_run.honest_outputs()).ok();
-    table.row({std::to_string(tree.n()), std::to_string(tree.diameter()),
-               std::to_string(fast_run.rounds),
-               std::to_string(slow_run.rounds), ok ? "yes" : "NO"});
+  const std::vector<std::size_t> sizes = {50, 500, 5000};
+
+  exp::SweepSpec spec;
+  spec.name = "bench-e8d";
+  spec.seed = 88;
+  exp::Scenario s;
+  s.protocols = {exp::Protocol::kTreeAA};
+  s.engines = {core::RealEngineKind::kGradecastBdh,
+               core::RealEngineKind::kClassicHalving};
+  exp::TreeSpec tree;
+  tree.families = {"chainy"};
+  tree.sizes = sizes;
+  tree.tree_seed = 88;
+  tree.chain_bias = 0.9;
+  s.tree = tree;
+  s.n_values = {7};
+  s.t_values = {2};
+  spec.scenarios.push_back(s);
+
+  const auto result = exp::run_sweep(spec);
+  // Engine is outside the size axis: BDH cells first, then classic.
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const auto& fast = result.cells[i];
+    const auto& slow = result.cells[sizes.size() + i];
+    const bool ok = fast.aa_ok() && slow.aa_ok();
+    table.row({std::to_string(fast.tree_n),
+               std::to_string(fast.tree_diameter),
+               std::to_string(fast.rounds), std::to_string(slow.rounds),
+               ok ? "yes" : "NO"});
   }
   std::cout << render_for_output(table)
             << "(the reduction is engine-independent — §7's remark)\n";

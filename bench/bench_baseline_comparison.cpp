@@ -14,6 +14,8 @@
 #include "baselines/iterated_tree_aa.h"
 #include "common/table.h"
 #include "core/api.h"
+#include "exp/spec.h"
+#include "exp/sweep.h"
 #include "harness/runner.h"
 #include "realaa/rounds.h"
 #include "trees/generators.h"
@@ -22,25 +24,35 @@ namespace {
 
 using namespace treeaa;
 
+// E7a and E7b are phrased as sweep scenarios and executed on the exp engine
+// (src/exp/); the tables below just pair up rows of the flat cell list,
+// whose order is the documented axis order of exp::expand. The same grids
+// are regenerable without rebuilding via examples/sweeps/ + treeaa_sweep.
+
 void real_engines_table() {
   std::cout << "=== E7a: RealAA vs classic iterated AA on R (n = 13, t = 4) "
                "===\n";
   Table table({"D", "RealAA rounds", "DLPSW rounds", "speedup"});
-  const std::size_t n = 13, t = 4;
-  for (double D : {16.0, 256.0, 4096.0, 65536.0, 1e6, 1e9}) {
-    realaa::Config fast;
-    fast.n = n;
-    fast.t = t;
-    fast.eps = 1.0;
-    fast.known_range = D;
-    baselines::IteratedRealConfig slow{n, t, 1.0, D};
-    const auto inputs = harness::spread_real_inputs(n, 0.0, D);
-    const auto fast_run = harness::run_real_aa(fast, inputs);
-    const auto slow_run = harness::run_iterated_real_aa(slow, inputs);
-    table.row({fmt_double(D), std::to_string(fast_run.rounds),
-               std::to_string(slow_run.rounds),
-               fmt_ratio(static_cast<double>(slow_run.rounds) /
-                         static_cast<double>(fast_run.rounds))});
+  const std::vector<double> ranges = {16.0, 256.0, 4096.0, 65536.0, 1e6, 1e9};
+
+  exp::SweepSpec spec;
+  spec.name = "bench-e7a";
+  exp::Scenario s;
+  s.protocols = {exp::Protocol::kRealAA, exp::Protocol::kIteratedRealAA};
+  s.ranges = ranges;
+  s.n_values = {13};
+  s.t_values = {4};
+  spec.scenarios.push_back(s);
+
+  const auto result = exp::run_sweep(spec);
+  // Protocol is the outermost axis: RealAA cells first, then the baseline's.
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    const auto& fast = result.cells[i];
+    const auto& slow = result.cells[ranges.size() + i];
+    table.row({fmt_double(ranges[i]), std::to_string(fast.rounds),
+               std::to_string(slow.rounds),
+               fmt_ratio(static_cast<double>(slow.rounds) /
+                         static_cast<double>(fast.rounds))});
   }
   std::cout << render_for_output(table) << "\n";
 }
@@ -49,25 +61,35 @@ void tree_protocols_table() {
   std::cout << "=== E7b: TreeAA vs NR-style baseline across tree families "
                "(n = 7, t = 2, measured) ===\n";
   Table table({"family", "|V|", "D(T)", "TreeAA", "NR baseline", "winner"});
-  Rng rng(7);
-  const std::size_t n = 7, t = 2;
-  for (const TreeFamily family : all_tree_families()) {
-    for (std::size_t size : {50u, 500u, 5000u}) {
-      const auto tree = make_family_tree(family, size, rng);
-      const auto inputs = harness::spread_vertex_inputs(tree, n);
-      const auto fast = core::run_tree_aa(tree, inputs, t);
-      const auto slow = harness::run_iterated_tree_aa(tree, n, t, inputs);
-      const auto ok_fast =
-          core::check_agreement(tree, inputs, fast.honest_outputs()).ok();
-      std::vector<VertexId> slow_outputs = slow.honest_outputs();
-      const auto ok_slow =
-          core::check_agreement(tree, inputs, slow_outputs).ok();
+  const std::vector<std::size_t> sizes = {50, 500, 5000};
+
+  exp::SweepSpec spec;
+  spec.name = "bench-e7b";
+  exp::Scenario s;
+  s.protocols = {exp::Protocol::kTreeAA, exp::Protocol::kIteratedTreeAA};
+  exp::TreeSpec tree;
+  for (const TreeFamily f : all_tree_families()) {
+    tree.families.push_back(tree_family_name(f));
+  }
+  tree.sizes = sizes;
+  tree.tree_seed = 7;  // both protocols must see the same tree instance
+  s.tree = tree;
+  s.n_values = {7};
+  s.t_values = {2};
+  spec.scenarios.push_back(s);
+
+  const auto result = exp::run_sweep(spec);
+  const std::size_t block = tree.families.size() * sizes.size();
+  for (std::size_t f = 0; f < tree.families.size(); ++f) {
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const auto& fast = result.cells[f * sizes.size() + i];
+      const auto& slow = result.cells[block + f * sizes.size() + i];
       std::string winner = fast.rounds < slow.rounds ? "TreeAA"
                            : fast.rounds > slow.rounds ? "baseline"
                                                        : "tie";
-      if (!ok_fast || !ok_slow) winner += " (AA VIOLATION!)";
-      table.row({tree_family_name(family), std::to_string(tree.n()),
-                 std::to_string(tree.diameter()),
+      if (!fast.aa_ok() || !slow.aa_ok()) winner += " (AA VIOLATION!)";
+      table.row({tree.families[f], std::to_string(fast.tree_n),
+                 std::to_string(fast.tree_diameter),
                  std::to_string(fast.rounds), std::to_string(slow.rounds),
                  winner});
     }

@@ -9,30 +9,22 @@
 // runs take the zero-overhead unprobed path.
 #pragma once
 
-#include <cstdlib>
 #include <deque>
-#include <fstream>
-#include <iostream>
 #include <string>
 #include <string_view>
 #include <utility>
 
 #include "obs/json.h"
 #include "obs/report.h"
+#include "obs/sink.h"
 
 namespace treeaa::bench {
 
 class BenchReporter {
  public:
   BenchReporter(std::string bench_name, int argc, char** argv)
-      : name_(std::move(bench_name)) {
-    for (int i = 1; i + 1 < argc; ++i) {
-      if (std::string_view(argv[i]) == "--metrics") path_ = argv[i + 1];
-    }
-    if (path_.empty()) {
-      if (const char* env = std::getenv("TREEAA_METRICS")) path_ = env;
-    }
-  }
+      : name_(std::move(bench_name)),
+        path_(obs::metrics_sink_from_args(argc, argv)) {}
 
   [[nodiscard]] bool enabled() const { return !path_.empty(); }
 
@@ -70,17 +62,7 @@ class BenchReporter {
     w.end_array();
     w.end_object();
     out += '\n';
-    if (path_ == "-") {
-      std::cout << out;
-      return true;
-    }
-    std::ofstream file(path_);
-    if (!file) {
-      std::cerr << "cannot write metrics to '" << path_ << "'\n";
-      return false;
-    }
-    file << out;
-    return true;
+    return obs::write_sink(path_, out);
   }
 
  private:

@@ -1,0 +1,278 @@
+#include "exp/report.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace treeaa::exp {
+
+namespace {
+
+const char* engine_name(core::RealEngineKind e) {
+  return e == core::RealEngineKind::kGradecastBdh ? "bdh" : "classic";
+}
+
+const char* update_name(realaa::UpdateRule u) {
+  return u == realaa::UpdateRule::kTrimmedMean ? "trimmed_mean"
+                                               : "trimmed_midpoint";
+}
+
+const char* mode_name(realaa::IterationMode m) {
+  return m == realaa::IterationMode::kPaperSufficient ? "paper" : "tight";
+}
+
+bool has_engine_axis(const Cell& c) { return c.protocol == Protocol::kTreeAA; }
+
+bool has_update_axis(const Cell& c) {
+  return c.protocol == Protocol::kTreeAA || c.protocol == Protocol::kRealAA;
+}
+
+/// The axes shared by rows and groups, in fixed key order. Axes that do not
+/// apply to the cell's protocol are omitted (they were collapsed at
+/// expansion and carry no information).
+void write_axes(obs::JsonWriter& w, const Cell& c) {
+  w.key("scenario");
+  w.value(static_cast<std::uint64_t>(c.scenario));
+  w.key("protocol");
+  w.value(protocol_name(c.protocol));
+  if (is_vertex_protocol(c.protocol)) {
+    w.key("family");
+    w.value(c.family);
+    w.key("tree_size");
+    w.value(static_cast<std::uint64_t>(c.tree_size));
+  } else {
+    w.key("known_range");
+    w.value(c.known_range);
+    w.key("eps");
+    w.value(c.eps);
+  }
+  if (has_engine_axis(c)) {
+    w.key("engine");
+    w.value(engine_name(c.engine));
+  }
+  if (has_update_axis(c)) {
+    w.key("update");
+    w.value(update_name(c.update));
+    w.key("iteration_mode");
+    w.value(mode_name(c.mode));
+  }
+  w.key("n");
+  w.value(static_cast<std::uint64_t>(c.n));
+  w.key("t");
+  w.value(static_cast<std::uint64_t>(c.t));
+  w.key("adversary");
+  w.value(adversary_name(c.adversary));
+  w.key("inputs");
+  w.value(input_kind_name(c.inputs));
+}
+
+/// Group identity: every axis except `repeat`, rendered unambiguously.
+std::string group_key(const Cell& c) {
+  std::string key;
+  obs::JsonWriter w(key);
+  w.begin_object();
+  write_axes(w, c);
+  w.end_object();
+  return key;
+}
+
+void write_row(obs::JsonWriter& w, const CellResult& r,
+               const ReportOptions& opts) {
+  w.begin_object();
+  w.key("index");
+  w.value(static_cast<std::uint64_t>(r.cell.index));
+  write_axes(w, r.cell);
+  w.key("repeat");
+  w.value(static_cast<std::uint64_t>(r.cell.repeat));
+  w.key("ok");
+  w.value(r.ok);
+  if (!r.ok) {
+    w.key("error");
+    w.value(r.error);
+    w.end_object();
+    return;
+  }
+  if (is_vertex_protocol(r.cell.protocol)) {
+    w.key("tree_n");
+    w.value(static_cast<std::uint64_t>(r.tree_n));
+    w.key("tree_diameter");
+    w.value(static_cast<std::uint64_t>(r.tree_diameter));
+  }
+  w.key("corrupt");
+  w.value(static_cast<std::uint64_t>(r.corrupt));
+  w.key("rounds");
+  w.value(r.rounds);
+  w.key("round_budget");
+  w.value(r.round_budget);
+  w.key("lower_bound");
+  w.value(r.lower_bound);
+  w.key("spread");
+  w.value(r.spread);
+  w.key("validity");
+  w.value(r.validity);
+  w.key("agreement");
+  w.value(r.agreement);
+  w.key("aa_ok");
+  w.value(r.aa_ok());
+  w.key("honest_messages");
+  w.value(r.honest_messages);
+  w.key("honest_bytes");
+  w.value(r.honest_bytes);
+  w.key("adversary_messages");
+  w.value(r.adversary_messages);
+  w.key("adversary_bytes");
+  w.value(r.adversary_bytes);
+  if (opts.include_cell_reports) {
+    w.key("report");
+    w.raw(r.report.to_json(/*include_timings=*/false));
+  }
+  w.end_object();
+}
+
+/// Rows of one group folded over the repeat axis.
+struct GroupStats {
+  const Cell* first = nullptr;  // representative cell (axes)
+  std::size_t cells = 0;
+  std::size_t failures = 0;
+  std::size_t aa_violations = 0;
+  std::uint64_t rounds_max = 0;
+  std::uint64_t round_budget_max = 0;
+  std::uint64_t lower_bound_max = 0;
+  double spread_max = 0.0;
+  std::uint64_t honest_messages = 0;
+  std::uint64_t honest_bytes = 0;
+  std::uint64_t adversary_messages = 0;
+  std::uint64_t adversary_bytes = 0;
+
+  void fold(const CellResult& r) {
+    if (first == nullptr) first = &r.cell;
+    ++cells;
+    if (!r.ok) {
+      ++failures;
+      return;
+    }
+    if (!r.aa_ok()) ++aa_violations;
+    rounds_max = std::max(rounds_max, r.rounds);
+    round_budget_max = std::max(round_budget_max, r.round_budget);
+    lower_bound_max = std::max(lower_bound_max, r.lower_bound);
+    spread_max = std::max(spread_max, r.spread);
+    honest_messages += r.honest_messages;
+    honest_bytes += r.honest_bytes;
+    adversary_messages += r.adversary_messages;
+    adversary_bytes += r.adversary_bytes;
+  }
+};
+
+void write_group(obs::JsonWriter& w, const GroupStats& g) {
+  w.begin_object();
+  write_axes(w, *g.first);
+  w.key("cells");
+  w.value(static_cast<std::uint64_t>(g.cells));
+  w.key("failures");
+  w.value(static_cast<std::uint64_t>(g.failures));
+  w.key("aa_violations");
+  w.value(static_cast<std::uint64_t>(g.aa_violations));
+  w.key("rounds_max");
+  w.value(g.rounds_max);
+  w.key("round_budget_max");
+  w.value(g.round_budget_max);
+  w.key("lower_bound_max");
+  w.value(g.lower_bound_max);
+  w.key("spread_max");
+  w.value(g.spread_max);
+  w.key("honest_messages");
+  w.value(g.honest_messages);
+  w.key("honest_bytes");
+  w.value(g.honest_bytes);
+  w.key("adversary_messages");
+  w.value(g.adversary_messages);
+  w.key("adversary_bytes");
+  w.value(g.adversary_bytes);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string sweep_report_json(const SweepSpec& spec, const SweepResult& result,
+                              const ReportOptions& opts) {
+  // Fold groups in first-occurrence order (= cell order).
+  std::vector<GroupStats> groups;
+  std::map<std::string, std::size_t> group_index;
+  for (const CellResult& r : result.cells) {
+    const std::string key = group_key(r.cell);
+    auto [it, inserted] = group_index.try_emplace(key, groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].fold(r);
+  }
+
+  GroupStats total;
+  for (const CellResult& r : result.cells) total.fold(r);
+
+  std::string out;
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.key("schema");
+  w.value(kSweepReportSchema);
+  w.key("name");
+  w.value(spec.name);
+  w.key("seed");
+  w.value(spec.seed);
+  w.key("repeats");
+  w.value(static_cast<std::uint64_t>(spec.repeats));
+  w.key("scenarios");
+  w.value(static_cast<std::uint64_t>(spec.scenarios.size()));
+  w.key("cells");
+  w.value(static_cast<std::uint64_t>(result.cells.size()));
+
+  w.key("rows");
+  w.begin_array();
+  for (const CellResult& r : result.cells) write_row(w, r, opts);
+  w.end_array();
+
+  w.key("groups");
+  w.begin_array();
+  for (const GroupStats& g : groups) write_group(w, g);
+  w.end_array();
+
+  w.key("summary");
+  w.begin_object();
+  w.key("cells");
+  w.value(static_cast<std::uint64_t>(total.cells));
+  w.key("failures");
+  w.value(static_cast<std::uint64_t>(total.failures));
+  w.key("aa_violations");
+  w.value(static_cast<std::uint64_t>(total.aa_violations));
+  w.key("rounds_max");
+  w.value(total.rounds_max);
+  w.key("honest_messages");
+  w.value(total.honest_messages);
+  w.key("honest_bytes");
+  w.value(total.honest_bytes);
+  w.key("adversary_messages");
+  w.value(total.adversary_messages);
+  w.key("adversary_bytes");
+  w.value(total.adversary_bytes);
+  w.end_object();
+
+  if (opts.include_timings) {
+    w.key("timing");
+    w.begin_object();
+    w.key("wall_ms");
+    w.value(result.timings.wall_ms);
+    w.key("threads");
+    w.value(static_cast<std::uint64_t>(result.timings.threads));
+    w.key("cells");
+    w.value(static_cast<std::uint64_t>(result.timings.cells));
+    w.end_object();
+  }
+
+  w.end_object();
+  out += '\n';
+  return out;
+}
+
+}  // namespace treeaa::exp

@@ -1,0 +1,42 @@
+// Sweep report serialization: the `treeaa.sweep_report/1` schema.
+//
+// Folds a SweepResult into one machine-readable JSON document (format
+// documented in docs/SWEEPS.md):
+//
+//   * `rows`    — one object per cell, in cell-index order, with the cell's
+//                 axes, the AA verdict, round accounting against the
+//                 theorem bounds, and traffic totals;
+//   * `groups`  — rows folded over the repeat axis (grouped by every other
+//                 axis, in first-cell order): counts, max rounds vs budget
+//                 vs Fekete lower bound, max spread vs ε, traffic sums;
+//   * `summary` — whole-sweep totals and violation counts.
+//
+// Serialization is deterministic: fixed key order, std::to_chars numbers,
+// rows in cell order, groups in first-occurrence order. The wall-clock
+// `timing` section is the one non-reproducible part and is opt-in, exactly
+// like RunReport's timing registry.
+#pragma once
+
+#include <string>
+
+#include "exp/sweep.h"
+
+namespace treeaa::exp {
+
+inline constexpr const char* kSweepReportSchema = "treeaa.sweep_report/1";
+
+struct ReportOptions {
+  /// Include the wall-clock `timing` section (non-reproducible).
+  bool include_timings = false;
+  /// Embed each cell's full obs::RunReport under rows[*].report. Only
+  /// meaningful when the sweep ran with SweepOptions::collect_reports.
+  bool include_cell_reports = false;
+};
+
+/// Renders `result` (from run_sweep over expand(spec)) as a
+/// `treeaa.sweep_report/1` document.
+[[nodiscard]] std::string sweep_report_json(const SweepSpec& spec,
+                                            const SweepResult& result,
+                                            const ReportOptions& opts = {});
+
+}  // namespace treeaa::exp

@@ -1,0 +1,59 @@
+#include "exp/scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace treeaa::exp {
+
+std::size_t resolve_threads(std::size_t count, const ScheduleOptions& opts) {
+  std::size_t threads = opts.threads;
+  if (threads == 0) {
+    threads = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  }
+  if (count > 0) threads = std::min(threads, count);
+  return std::max<std::size_t>(threads, 1);
+}
+
+void parallel_for(std::size_t count, const ScheduleOptions& opts,
+                  const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  const std::size_t threads = resolve_threads(count, opts);
+  std::size_t chunk = opts.chunk;
+  if (chunk == 0) chunk = std::max<std::size_t>(count / (threads * 8), 1);
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&]() {
+    while (true) {
+      const std::size_t start = next.fetch_add(chunk);
+      if (start >= count) return;
+      const std::size_t end = std::min(start + chunk, count);
+      for (std::size_t i = start; i < end; ++i) {
+        try {
+          fn(i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  if (threads == 1 || count <= chunk) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t w = 0; w < threads; ++w) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace treeaa::exp

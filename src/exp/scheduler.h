@@ -1,0 +1,39 @@
+// Deterministic parallel execution of an indexed work list.
+//
+// The sweep engine's concurrency primitive: a fixed-size pool of
+// std::thread workers pulling fixed-size chunks of indices from a shared
+// atomic cursor. Determinism comes from the *work*, not the schedule —
+// every unit writes only to its own index's slot and derives any randomness
+// from its index — so the scheduler makes no ordering promises at all and
+// still the overall result is byte-identical for any thread count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace treeaa::exp {
+
+struct ScheduleOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency(). With 1 (or a
+  /// single-chunk work list) everything runs inline on the caller's thread.
+  std::size_t threads = 1;
+  /// Indices claimed per queue pop; 0 = automatic (aims at ~8 chunks per
+  /// worker to amortize the atomic without starving the tail).
+  std::size_t chunk = 0;
+};
+
+/// The thread count `opts` resolves to for `count` work items (>= 1, and
+/// never more than `count` for count > 0).
+[[nodiscard]] std::size_t resolve_threads(std::size_t count,
+                                          const ScheduleOptions& opts);
+
+/// Runs fn(i) once for every i in [0, count). fn is called concurrently
+/// from up to resolve_threads(...) threads in unspecified order; it must be
+/// thread-safe across distinct indices. Exceptions escaping fn are
+/// captured; the first one (by thread discovery, not by index) is rethrown
+/// on the caller's thread after all workers have joined — callers that need
+/// deterministic error *placement* must catch inside fn.
+void parallel_for(std::size_t count, const ScheduleOptions& opts,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace treeaa::exp

@@ -1,0 +1,296 @@
+#include "exp/sweep.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "baselines/iterated_real_aa.h"
+#include "baselines/iterated_tree_aa.h"
+#include "bounds/fekete.h"
+#include "common/rng.h"
+#include "core/api.h"
+#include "core/paths_finder.h"
+#include "harness/runner.h"
+#include "realaa/adversaries.h"
+#include "sim/strategies.h"
+#include "trees/generators.h"
+
+namespace treeaa::exp {
+
+namespace {
+
+// Fixed fork tags for the cell's sub-streams. The set of forks taken is a
+// pure function of the cell's axes, so every stream below depends only on
+// (spec.seed, cell.index) — never on scheduling.
+constexpr std::uint64_t kTreeTag = 1;
+constexpr std::uint64_t kInputTag = 2;
+constexpr std::uint64_t kAdversaryTag = 3;
+
+LabeledTree build_tree(const Cell& cell, Rng& cell_rng) {
+  // With a scenario tree_seed the tree is a function of (tree_seed, size)
+  // alone — shared by every cell of the scenario regardless of protocol,
+  // adversary or repeat — which is what head-to-head comparisons need.
+  Rng tree_rng = cell.tree_seed.has_value()
+                     ? Rng(*cell.tree_seed).fork(cell.tree_size)
+                     : cell_rng.fork(kTreeTag);
+  if (cell.family == "chainy") {
+    return make_random_chainy_tree(cell.tree_size, tree_rng, cell.chain_bias);
+  }
+  for (const TreeFamily f : all_tree_families()) {
+    if (cell.family == tree_family_name(f)) {
+      return make_family_tree(f, cell.tree_size, tree_rng);
+    }
+  }
+  throw std::invalid_argument("unknown tree family '" + cell.family + "'");
+}
+
+std::vector<PartyId> last_parties(std::size_t n, std::size_t k) {
+  std::vector<PartyId> out;
+  for (std::size_t i = 0; i < k; ++i) {
+    out.push_back(static_cast<PartyId>(n - 1 - i));
+  }
+  return out;
+}
+
+/// The adversary for a vertex-protocol cell. The split attack targets the
+/// inner RealAA of PathsFinder (phase 1), so its Config comes from
+/// core::paths_finder_config and its victims are the last t parties — the
+/// lower-bound argument's static corruption set (matching bench usage).
+std::unique_ptr<sim::Adversary> make_vertex_adversary(const Cell& cell,
+                                                      const LabeledTree& tree,
+                                                      Rng& adv_rng) {
+  switch (cell.adversary) {
+    case AdversaryKind::kNone:
+      return nullptr;
+    case AdversaryKind::kSilent:
+      return std::make_unique<sim::SilentAdversary>(
+          sim::random_parties(cell.n, cell.t, adv_rng));
+    case AdversaryKind::kFuzz: {
+      auto victims = sim::random_parties(cell.n, cell.t, adv_rng);
+      return std::make_unique<sim::FuzzAdversary>(std::move(victims),
+                                                  adv_rng.next(), 16, 48);
+    }
+    case AdversaryKind::kSplit: {
+      core::PathsFinderOptions pf;
+      pf.update = cell.update;
+      pf.mode = cell.mode;
+      pf.engine = cell.engine;
+      realaa::SplitAdversary::Options opts;
+      opts.config = core::paths_finder_config(tree, cell.n, cell.t, pf);
+      opts.corrupt = last_parties(cell.n, cell.t);
+      return std::make_unique<realaa::SplitAdversary>(std::move(opts));
+    }
+    case AdversaryKind::kSplit1:
+      break;  // real_aa only; expand() rejects it for vertex protocols
+  }
+  throw std::invalid_argument("adversary does not apply to vertex protocol");
+}
+
+std::unique_ptr<sim::Adversary> make_real_adversary(
+    const Cell& cell, const realaa::Config& cfg, Rng& adv_rng) {
+  switch (cell.adversary) {
+    case AdversaryKind::kNone:
+      return nullptr;
+    case AdversaryKind::kSilent:
+      return std::make_unique<sim::SilentAdversary>(
+          sim::random_parties(cell.n, cell.t, adv_rng));
+    case AdversaryKind::kFuzz: {
+      auto victims = sim::random_parties(cell.n, cell.t, adv_rng);
+      return std::make_unique<sim::FuzzAdversary>(std::move(victims),
+                                                  adv_rng.next(), 16, 48);
+    }
+    case AdversaryKind::kSplit:
+    case AdversaryKind::kSplit1: {
+      realaa::SplitAdversary::Options opts;
+      opts.config = cfg;
+      opts.corrupt = last_parties(cell.n, cell.t);
+      if (cell.adversary == AdversaryKind::kSplit1) {
+        opts.schedule.assign(cfg.iterations(), 1);
+      }
+      return std::make_unique<realaa::SplitAdversary>(std::move(opts));
+    }
+  }
+  throw std::invalid_argument("unknown adversary");
+}
+
+void fill_traffic(CellResult& result, const sim::TrafficStats& traffic) {
+  result.honest_messages = traffic.honest_messages();
+  result.honest_bytes = traffic.honest_bytes();
+  result.adversary_messages = traffic.adversary_messages();
+  result.adversary_bytes = traffic.adversary_bytes();
+}
+
+void run_vertex_cell(const SweepSpec& spec, const Cell& cell,
+                     CellResult& result, Rng& cell_rng,
+                     const obs::Hooks* hooks) {
+  (void)spec;
+  const LabeledTree tree = build_tree(cell, cell_rng);
+  result.tree_n = tree.n();
+  result.tree_diameter = tree.diameter();
+  result.lower_bound =
+      bounds::lower_bound_rounds(tree.diameter(), cell.n, cell.t);
+
+  Rng input_rng = cell_rng.fork(kInputTag);
+  const std::vector<VertexId> inputs =
+      cell.inputs == InputKind::kSpread
+          ? harness::spread_vertex_inputs(tree, cell.n)
+          : harness::random_vertex_inputs(tree, cell.n, input_rng);
+
+  Rng adv_rng = cell_rng.fork(kAdversaryTag);
+  auto adversary = make_vertex_adversary(cell, tree, adv_rng);
+
+  std::vector<std::optional<VertexId>> outputs;
+  if (cell.protocol == Protocol::kTreeAA) {
+    core::TreeAAOptions opts;
+    opts.update = cell.update;
+    opts.mode = cell.mode;
+    opts.engine = cell.engine;
+    result.round_budget = core::tree_aa_rounds(tree, cell.n, cell.t, opts);
+    auto run = core::run_tree_aa(tree, inputs, cell.t, opts,
+                                 std::move(adversary), hooks);
+    result.rounds = run.rounds;
+    result.corrupt = run.corrupt.size();
+    fill_traffic(result, run.traffic);
+    outputs = std::move(run.outputs);
+  } else {
+    const baselines::IteratedTreeConfig cfg{cell.n, cell.t};
+    result.round_budget = cfg.rounds(tree);
+    auto run = harness::run_iterated_tree_aa(tree, cell.n, cell.t, inputs,
+                                             std::move(adversary), hooks);
+    result.rounds = run.rounds;
+    result.corrupt = run.corrupt.size();
+    fill_traffic(result, run.traffic);
+    outputs = std::move(run.outputs);
+  }
+
+  std::vector<VertexId> honest_inputs;
+  std::vector<VertexId> honest_outputs;
+  for (PartyId p = 0; p < cell.n; ++p) {
+    if (outputs[p].has_value()) {
+      honest_inputs.push_back(inputs[p]);
+      honest_outputs.push_back(*outputs[p]);
+    }
+  }
+  const auto check = core::check_agreement(tree, honest_inputs, honest_outputs);
+  result.validity = check.valid;
+  result.agreement = check.one_agreement;
+  result.spread = static_cast<double>(check.max_pairwise_distance);
+}
+
+void run_real_cell(const SweepSpec& spec, const Cell& cell,
+                   CellResult& result, Rng& cell_rng, const obs::Hooks* hooks) {
+  (void)spec;
+  // Scale-invariant Fekete bound: spread D with target eps is the same
+  // instance as spread D/eps with target 1.
+  result.lower_bound = bounds::lower_bound_rounds(
+      cell.known_range / cell.eps, cell.n, cell.t);
+
+  Rng input_rng = cell_rng.fork(kInputTag);
+  const std::vector<double> inputs =
+      cell.inputs == InputKind::kSpread
+          ? harness::spread_real_inputs(cell.n, 0.0, cell.known_range)
+          : harness::random_real_inputs(cell.n, 0.0, cell.known_range,
+                                        input_rng);
+
+  realaa::Config cfg;
+  cfg.n = cell.n;
+  cfg.t = cell.t;
+  cfg.eps = cell.eps;
+  cfg.known_range = cell.known_range;
+  cfg.update = cell.update;
+  cfg.mode = cell.mode;
+
+  Rng adv_rng = cell_rng.fork(kAdversaryTag);
+  auto adversary = make_real_adversary(cell, cfg, adv_rng);
+
+  harness::RealRun run;
+  if (cell.protocol == Protocol::kRealAA) {
+    result.round_budget = cfg.rounds();
+    run = harness::run_real_aa(cfg, inputs, std::move(adversary), hooks);
+  } else {
+    const baselines::IteratedRealConfig slow{cell.n, cell.t, cell.eps,
+                                             cell.known_range};
+    result.round_budget = slow.rounds();
+    run = harness::run_iterated_real_aa(slow, inputs, std::move(adversary),
+                                        hooks);
+  }
+  result.rounds = run.rounds;
+  result.corrupt = run.corrupt.size();
+  fill_traffic(result, run.traffic);
+
+  double in_lo = 0.0, in_hi = 0.0, out_lo = 0.0, out_hi = 0.0;
+  bool first = true;
+  for (PartyId p = 0; p < cell.n; ++p) {
+    if (!run.outputs[p].has_value()) continue;
+    if (first) {
+      in_lo = in_hi = inputs[p];
+      out_lo = out_hi = *run.outputs[p];
+      first = false;
+    } else {
+      in_lo = std::min(in_lo, inputs[p]);
+      in_hi = std::max(in_hi, inputs[p]);
+      out_lo = std::min(out_lo, *run.outputs[p]);
+      out_hi = std::max(out_hi, *run.outputs[p]);
+    }
+  }
+  result.validity = !first && out_lo >= in_lo && out_hi <= in_hi;
+  result.spread = out_hi - out_lo;
+  result.agreement = result.spread <= cell.eps;
+}
+
+}  // namespace
+
+CellResult run_cell(const SweepSpec& spec, const Cell& cell,
+                    bool collect_report) {
+  CellResult result;
+  result.cell = cell;
+
+  obs::Hooks hooks;
+  if (collect_report) hooks.report = &result.report;
+  const obs::Hooks* hooks_ptr = collect_report ? &hooks : nullptr;
+
+  try {
+    Rng parent(spec.seed);
+    Rng cell_rng = parent.fork(cell.index);
+    if (is_vertex_protocol(cell.protocol)) {
+      run_vertex_cell(spec, cell, result, cell_rng, hooks_ptr);
+    } else {
+      run_real_cell(spec, cell, result, cell_rng, hooks_ptr);
+    }
+    result.ok = true;
+  } catch (const std::exception& e) {
+    result.ok = false;
+    result.error = e.what();
+  }
+  return result;
+}
+
+SweepResult run_sweep(const SweepSpec& spec, const std::vector<Cell>& cells,
+                      const SweepOptions& opts) {
+  SweepResult result;
+  result.cells.resize(cells.size());
+
+  ScheduleOptions sched;
+  sched.threads = opts.threads;
+  sched.chunk = opts.chunk;
+
+  const auto start = std::chrono::steady_clock::now();
+  parallel_for(cells.size(), sched, [&](std::size_t i) {
+    result.cells[i] = run_cell(spec, cells[i], opts.collect_reports);
+  });
+  const auto end = std::chrono::steady_clock::now();
+
+  result.timings.wall_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  result.timings.threads = resolve_threads(cells.size(), sched);
+  result.timings.cells = cells.size();
+  return result;
+}
+
+SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& opts) {
+  return run_sweep(spec, expand(spec), opts);
+}
+
+}  // namespace treeaa::exp

@@ -11,10 +11,19 @@ void add_kv(std::vector<std::pair<std::string, std::string>>& dst,
   dst.emplace_back(std::move(key), std::move(rendered));
 }
 
+std::string quoted(std::string_view v) {
+  std::string out;
+  out.reserve(v.size() + 2);
+  out += '"';
+  out += json_escape(v);
+  out += '"';
+  return out;
+}
+
 }  // namespace
 
 void RunReport::add_param(std::string key, std::string_view v) {
-  add_kv(params, std::move(key), "\"" + json_escape(v) + "\"");
+  add_kv(params, std::move(key), quoted(v));
 }
 void RunReport::add_param(std::string key, double v) {
   add_kv(params, std::move(key), json_number(v));
@@ -26,7 +35,7 @@ void RunReport::add_param(std::string key, bool v) {
   add_kv(params, std::move(key), v ? "true" : "false");
 }
 void RunReport::add_outcome(std::string key, std::string_view v) {
-  add_kv(outcome, std::move(key), "\"" + json_escape(v) + "\"");
+  add_kv(outcome, std::move(key), quoted(v));
 }
 void RunReport::add_outcome(std::string key, double v) {
   add_kv(outcome, std::move(key), json_number(v));

@@ -1,0 +1,40 @@
+#include "obs/sink.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string_view>
+#include <utility>
+
+namespace treeaa::obs {
+
+std::string resolve_metrics_path(std::string explicit_path) {
+  if (!explicit_path.empty()) return explicit_path;
+  if (const char* env = std::getenv("TREEAA_METRICS")) return env;
+  return {};
+}
+
+std::string metrics_sink_from_args(int argc, char** argv) {
+  std::string path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string_view(argv[i]) == "--metrics") path = argv[i + 1];
+  }
+  return resolve_metrics_path(std::move(path));
+}
+
+bool write_sink(const std::string& path, const std::string& content) {
+  if (path.empty()) return true;
+  if (path == "-") {
+    std::cout << content;
+    return true;
+  }
+  std::ofstream file(path);
+  if (!file) {
+    std::cerr << "cannot write metrics to '" << path << "'\n";
+    return false;
+  }
+  file << content;
+  return true;
+}
+
+}  // namespace treeaa::obs

@@ -1,0 +1,27 @@
+// Shared resolution and writing of machine-readable output sinks.
+//
+// Every binary that emits a metrics/report document accepts the same
+// contract: an explicit `--metrics <file|->` (or `--out`) destination, with
+// the TREEAA_METRICS environment variable as fallback when no flag is
+// given, `-` meaning stdout, and empty meaning "disabled". The benches,
+// treeaa_cli and treeaa_sweep all used to reimplement this; they now share
+// these helpers.
+#pragma once
+
+#include <string>
+
+namespace treeaa::obs {
+
+/// `explicit_path` if non-empty, otherwise the TREEAA_METRICS environment
+/// variable, otherwise "" (disabled).
+[[nodiscard]] std::string resolve_metrics_path(std::string explicit_path);
+
+/// The value following the last `--metrics` in argv (resolved through
+/// resolve_metrics_path). The bench binaries' command-line contract.
+[[nodiscard]] std::string metrics_sink_from_args(int argc, char** argv);
+
+/// Writes `content` to `path`: "-" = stdout, "" = no-op (disabled sink).
+/// Returns false (after a stderr note) when the file cannot be opened.
+bool write_sink(const std::string& path, const std::string& content);
+
+}  // namespace treeaa::obs

@@ -114,6 +114,59 @@ TEST(Rng, ChanceExtremes) {
   }
 }
 
+TEST(Rng, ForkStreamsAreStable) {
+  // The sweep engine derives every cell's randomness as
+  // Rng(sweep_seed).fork(cell_index), and sweep reports are promised to be
+  // byte-reproducible across machines and thread counts — so the fork
+  // streams themselves are pinned here. If this test breaks, every
+  // committed sweep report and golden experiment table breaks with it.
+  const std::uint64_t tag0[8] = {
+      0xFBB4FE5A7A90E027ull, 0x6F73523243E23060ull, 0xDBF0506473468AE9ull,
+      0x6EF98C3818A8E647ull, 0xE4F73A09A2FB2B38ull, 0xA6902E0879415611ull,
+      0x7C74D59F91D3499Dull, 0x5D58218C807BA99Aull};
+  const std::uint64_t tag1[8] = {
+      0x3782695004C45E7Cull, 0xAEBC2034A6FD9F27ull, 0xC6090729722022A6ull,
+      0x6F5823F3AE4A4367ull, 0x2984618D41DB81A4ull, 0x597F6B7A4A63C19Bull,
+      0xB180B8A51AF00D6Full, 0xE13B83C65BA21C17ull};
+  const std::uint64_t tag42[8] = {
+      0x89BF7F028281920Eull, 0xDC5631ABFC04E482ull, 0xC8A366995904CDD8ull,
+      0xBEC880049EB8F0B8ull, 0x34A2C5B5A8B708CDull, 0xB6FE773497CFDB81ull,
+      0x60D4BD14A916B5D4ull, 0x67D2697DF7E54803ull};
+  const struct {
+    std::uint64_t tag;
+    const std::uint64_t* expected;
+  } cases[] = {{0, tag0}, {1, tag1}, {42, tag42}};
+  for (const auto& c : cases) {
+    Rng parent(1);  // fresh parent per fork: the sweep engine's derivation
+    Rng child = parent.fork(c.tag);
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(child.next(), c.expected[i]);
+  }
+}
+
+TEST(Rng, ForkTagsDecorrelatePairwise) {
+  // Streams forked from the same parent seed under different tags (the
+  // per-cell streams of one sweep) must not collide or correlate.
+  constexpr std::size_t kStreams = 16;
+  constexpr std::size_t kDraws = 64;
+  std::vector<std::vector<std::uint64_t>> streams;
+  for (std::size_t tag = 0; tag < kStreams; ++tag) {
+    Rng parent(99);
+    Rng child = parent.fork(tag);
+    std::vector<std::uint64_t> draws;
+    for (std::size_t i = 0; i < kDraws; ++i) draws.push_back(child.next());
+    streams.push_back(std::move(draws));
+  }
+  for (std::size_t a = 0; a < kStreams; ++a) {
+    for (std::size_t b = a + 1; b < kStreams; ++b) {
+      int equal = 0;
+      for (std::size_t i = 0; i < kDraws; ++i) {
+        if (streams[a][i] == streams[b][i]) ++equal;
+      }
+      EXPECT_LT(equal, 3) << "streams " << a << " and " << b;
+    }
+  }
+}
+
 TEST(Rng, SplitMix64IsStable) {
   // Pin the constants so accidental edits to the mixer show up.
   EXPECT_EQ(splitmix64(0), 0xE220A8397B1DCDAFull);

@@ -1,0 +1,78 @@
+// The chunked atomic work queue: full coverage of the index space at every
+// thread count, and exception propagation to the caller.
+#include "exp/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace treeaa::exp {
+namespace {
+
+TEST(Scheduler, ResolveThreadsClampsToWork) {
+  EXPECT_EQ(resolve_threads(100, {.threads = 4}), 4u);
+  EXPECT_EQ(resolve_threads(2, {.threads = 8}), 2u);
+  EXPECT_EQ(resolve_threads(0, {.threads = 8}), 8u);  // clamp needs work
+  EXPECT_GE(resolve_threads(100, {.threads = 0}), 1u);  // hardware default
+}
+
+void expect_each_index_once(std::size_t count, const ScheduleOptions& opts) {
+  std::vector<std::atomic<int>> hits(count);
+  parallel_for(count, opts,
+               [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i << " with "
+                                 << opts.threads << " threads";
+  }
+}
+
+TEST(Scheduler, CoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 3u, 8u}) {
+    expect_each_index_once(97, {.threads = threads});
+    expect_each_index_once(97, {.threads = threads, .chunk = 1});
+    expect_each_index_once(97, {.threads = threads, .chunk = 64});
+  }
+  expect_each_index_once(0, {.threads = 4});
+  expect_each_index_once(1, {.threads = 4});
+}
+
+TEST(Scheduler, SlotWritesComposeDeterministically) {
+  // The sweep engine's usage pattern: each unit writes its own slot; the
+  // assembled vector must not depend on the thread count.
+  auto run = [](std::size_t threads) {
+    std::vector<std::size_t> out(257);
+    parallel_for(out.size(), {.threads = threads},
+                 [&](std::size_t i) { out[i] = i * i + 7; });
+    return out;
+  };
+  const auto base = run(1);
+  EXPECT_EQ(run(2), base);
+  EXPECT_EQ(run(8), base);
+}
+
+TEST(Scheduler, RethrowsWorkerException) {
+  for (const std::size_t threads : {1u, 4u}) {
+    EXPECT_THROW(
+        parallel_for(64, {.threads = threads},
+                     [](std::size_t i) {
+                       if (i == 13) throw std::runtime_error("unit 13 failed");
+                     }),
+        std::runtime_error);
+  }
+}
+
+TEST(Scheduler, KeepsRunningAfterException) {
+  // An exception must not wedge the pool: after the rethrow the scheduler is
+  // reusable (threads joined, cursor reset).
+  ASSERT_THROW(parallel_for(8, {.threads = 4},
+                            [](std::size_t) {
+                              throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+  expect_each_index_once(32, {.threads = 4});
+}
+
+}  // namespace
+}  // namespace treeaa::exp

@@ -1,0 +1,176 @@
+// Spec parsing, validation, and the documented grid-expansion order.
+#include "exp/spec.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace treeaa::exp {
+namespace {
+
+constexpr const char* kVertexSpec = R"({
+  "name": "vertex",
+  "seed": 7,
+  "scenarios": [
+    {"protocols": ["tree_aa", "iterated_tree_aa"],
+     "tree": {"families": ["path", "star"], "sizes": [10, 20]},
+     "n": [7],
+     "adversaries": ["none", "silent"]}
+  ]
+})";
+
+TEST(SweepSpec, ParsesVertexSpec) {
+  const SweepSpec spec = spec_from_json(kVertexSpec);
+  EXPECT_EQ(spec.name, "vertex");
+  EXPECT_EQ(spec.seed, 7u);
+  EXPECT_EQ(spec.repeats, 1u);
+  ASSERT_EQ(spec.scenarios.size(), 1u);
+  const Scenario& s = spec.scenarios[0];
+  ASSERT_TRUE(s.tree.has_value());
+  EXPECT_EQ(s.tree->families.size(), 2u);
+  EXPECT_TRUE(s.t_values.empty());  // default: t = (n - 1) / 3
+}
+
+TEST(SweepSpec, ExpandFollowsDocumentedAxisOrder) {
+  // protocols -> families -> sizes -> adversaries (inner); indices are
+  // assigned in that nesting order.
+  const SweepSpec spec = spec_from_json(kVertexSpec);
+  const std::vector<Cell> cells = expand(spec);
+  ASSERT_EQ(cells.size(), 2u * 2u * 2u * 2u);  // protocols*families*sizes*advs
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, i);
+  }
+  // Innermost axis (adversary) flips fastest.
+  EXPECT_EQ(cells[0].adversary, AdversaryKind::kNone);
+  EXPECT_EQ(cells[1].adversary, AdversaryKind::kSilent);
+  EXPECT_EQ(cells[0].tree_size, 10u);
+  EXPECT_EQ(cells[2].tree_size, 20u);
+  // Then sizes, then families, then protocol (outermost).
+  EXPECT_EQ(cells[0].family, "path");
+  EXPECT_EQ(cells[4].family, "star");
+  EXPECT_EQ(cells[0].protocol, Protocol::kTreeAA);
+  EXPECT_EQ(cells[8].protocol, Protocol::kIteratedTreeAA);
+  // Default t = (n - 1) / 3 = 2 for n = 7.
+  EXPECT_EQ(cells[0].n, 7u);
+  EXPECT_EQ(cells[0].t, 2u);
+}
+
+TEST(SweepSpec, InapplicableAxesCollapse) {
+  // Two engines multiply tree_aa cells but not the iterated baseline's.
+  const SweepSpec spec = spec_from_json(R"({
+    "name": "collapse",
+    "scenarios": [
+      {"protocols": ["tree_aa", "iterated_tree_aa"],
+       "tree": {"families": ["path"], "sizes": [10]},
+       "engine": ["bdh", "classic"],
+       "n": [7]}
+    ]
+  })");
+  const std::vector<Cell> cells = expand(spec);
+  ASSERT_EQ(cells.size(), 3u);  // tree_aa x {bdh, classic} + iterated x 1
+  EXPECT_EQ(cells[0].engine, core::RealEngineKind::kGradecastBdh);
+  EXPECT_EQ(cells[1].engine, core::RealEngineKind::kClassicHalving);
+  EXPECT_EQ(cells[2].protocol, Protocol::kIteratedTreeAA);
+}
+
+TEST(SweepSpec, RepeatsAreTheInnermostAxis) {
+  const SweepSpec spec = spec_from_json(R"({
+    "name": "repeats", "repeats": 3,
+    "scenarios": [
+      {"protocols": ["real_aa"], "range": [100, 1000], "n": [7]}
+    ]
+  })");
+  const std::vector<Cell> cells = expand(spec);
+  ASSERT_EQ(cells.size(), 6u);
+  EXPECT_EQ(cells[0].repeat, 0u);
+  EXPECT_EQ(cells[2].repeat, 2u);
+  EXPECT_DOUBLE_EQ(cells[2].known_range, 100.0);
+  EXPECT_DOUBLE_EQ(cells[3].known_range, 1000.0);
+}
+
+TEST(SweepSpec, ExplicitTGrid) {
+  const SweepSpec spec = spec_from_json(R"({
+    "name": "ts",
+    "scenarios": [
+      {"protocols": ["real_aa"], "range": [100], "n": [10], "t": [1, 2, 3]}
+    ]
+  })");
+  const std::vector<Cell> cells = expand(spec);
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0].t, 1u);
+  EXPECT_EQ(cells[2].t, 3u);
+}
+
+void expect_rejected(const std::string& text, const std::string& needle) {
+  try {
+    (void)spec_from_json(text);
+    FAIL() << "expected rejection mentioning '" << needle << "'";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+TEST(SweepSpec, RejectsInvalidDocuments) {
+  expect_rejected("{", "malformed JSON");
+  expect_rejected(R"({"scenarios": []})", "name");
+  expect_rejected(R"({"name": "x"})", "scenarios");
+  expect_rejected(R"({"name": "x", "bogus": 1, "scenarios": [
+    {"protocols": ["real_aa"], "range": [100], "n": [7]}]})",
+                  "unknown key 'bogus'");
+}
+
+TEST(SweepSpec, RejectsInvalidScenarios) {
+  // Unknown protocol name.
+  expect_rejected(R"({"name": "x", "scenarios": [
+    {"protocols": ["tree_agreement"], "range": [100], "n": [7]}]})",
+                  "unknown protocol");
+  // Mixed tree-valued and real-valued protocols in one scenario.
+  expect_rejected(R"({"name": "x", "scenarios": [
+    {"protocols": ["tree_aa", "real_aa"],
+     "tree": {"families": ["path"], "sizes": [10]}, "n": [7]}]})",
+                  "all tree-valued or all real-valued");
+  // Tree protocols require a tree axis; real ones a range axis.
+  expect_rejected(R"({"name": "x", "scenarios": [
+    {"protocols": ["tree_aa"], "n": [7]}]})",
+                  "tree is required");
+  expect_rejected(R"({"name": "x", "scenarios": [
+    {"protocols": ["real_aa"], "n": [7]}]})",
+                  "range is required");
+  // Unknown tree family.
+  expect_rejected(R"({"name": "x", "scenarios": [
+    {"protocols": ["tree_aa"],
+     "tree": {"families": ["moebius"], "sizes": [10]}, "n": [7]}]})",
+                  "unknown tree family");
+}
+
+TEST(SweepSpec, RejectsInvalidGrids) {
+  // n <= 3t is caught at parse time (spec_from_json expands eagerly).
+  expect_rejected(R"({"name": "x", "scenarios": [
+    {"protocols": ["real_aa"], "range": [100], "n": [7], "t": [3]}]})",
+                  "n > 3t");
+  // split1 targets RealAA's iteration schedule only.
+  expect_rejected(R"({"name": "x", "scenarios": [
+    {"protocols": ["iterated_real_aa"], "range": [100], "n": [7],
+     "adversaries": ["split1"]}]})",
+                  "does not apply");
+  // split needs a gradecast distribution mechanism.
+  expect_rejected(R"({"name": "x", "scenarios": [
+    {"protocols": ["iterated_tree_aa"],
+     "tree": {"families": ["path"], "sizes": [10]}, "n": [7],
+     "adversaries": ["split"]}]})",
+                  "does not apply");
+}
+
+TEST(SweepSpec, NameTables) {
+  EXPECT_STREQ(protocol_name(Protocol::kTreeAA), "tree_aa");
+  EXPECT_STREQ(protocol_name(Protocol::kIteratedRealAA), "iterated_real_aa");
+  EXPECT_STREQ(adversary_name(AdversaryKind::kSplit1), "split1");
+  EXPECT_STREQ(input_kind_name(InputKind::kRandom), "random");
+  EXPECT_TRUE(is_vertex_protocol(Protocol::kIteratedTreeAA));
+  EXPECT_FALSE(is_vertex_protocol(Protocol::kRealAA));
+}
+
+}  // namespace
+}  // namespace treeaa::exp

@@ -13,7 +13,9 @@
 //   treeaa_cli gen spider 40 | treeaa_cli run - --t 2 --inputs v00,v11,...
 //
 // Observability (docs/OBSERVABILITY.md): --metrics writes the machine-
-// readable run report ("treeaa.run_report/1") to a file, --report json
+// readable run report ("treeaa.run_report/1") to a file (falling back to
+// the TREEAA_METRICS environment variable when the flag is absent — the
+// same contract as the bench binaries), --report json
 // replaces the human summary with the same JSON on stdout, --trace records
 // the engine transcript (text or JSONL, "treeaa.trace/1"). Reports are
 // byte-reproducible across identical runs unless --timings adds the
@@ -25,6 +27,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bounds/fekete.h"
@@ -33,6 +36,7 @@
 #include "harness/runner.h"
 #include "obs/probe.h"
 #include "obs/report.h"
+#include "obs/sink.h"
 #include "realaa/adversaries.h"
 #include "realaa/rounds.h"
 #include "sim/strategies.h"
@@ -222,6 +226,7 @@ int cmd_run(const std::vector<std::string>& args) {
     }
   }
   if (input_labels.empty()) usage("--inputs is required");
+  metrics_path = obs::resolve_metrics_path(std::move(metrics_path));
   const std::size_t n = input_labels.size();
   if (n <= 3 * t) usage("need n > 3t");
 
@@ -287,7 +292,7 @@ int cmd_run(const std::vector<std::string>& args) {
     report.add_outcome("max_pairwise_distance",
                        static_cast<std::uint64_t>(check.max_pairwise_distance));
     const std::string json = report.to_json(timings) + "\n";
-    if (!metrics_path.empty()) write_output(metrics_path, json);
+    if (!obs::write_sink(metrics_path, json)) return 2;
     if (report_mode == "json" && metrics_path != "-") std::cout << json;
   }
   if (!trace_path.empty()) {
@@ -365,6 +370,7 @@ int cmd_run_async(const std::vector<std::string>& args) {
     }
   }
   if (input_labels.empty()) usage("--inputs is required");
+  metrics_path = obs::resolve_metrics_path(std::move(metrics_path));
   const std::size_t n = input_labels.size();
   if (n <= 3 * t) usage("need n > 3t");
   if (silent > t) usage("--silent must be <= t");
@@ -410,7 +416,7 @@ int cmd_run_async(const std::vector<std::string>& args) {
     report.add_outcome("validity", check.valid);
     report.add_outcome("one_agreement", check.one_agreement);
     const std::string json = report.to_json(timings) + "\n";
-    if (!metrics_path.empty()) write_output(metrics_path, json);
+    if (!obs::write_sink(metrics_path, json)) return 2;
     if (report_mode == "json" && metrics_path != "-") std::cout << json;
   }
 

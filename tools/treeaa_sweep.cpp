@@ -1,0 +1,139 @@
+// treeaa_sweep — run a declarative experiment sweep (docs/SWEEPS.md).
+//
+//   treeaa_sweep --spec <file|-> [--threads N] [--out <file|->]
+//                [--chunk N] [--full] [--timings] [--seed S] [--quiet]
+//                [--expand-only]
+//
+// Reads a sweep spec (JSON), expands it into its flat cell grid, executes
+// every cell on a fixed pool of worker threads, and writes the aggregated
+// "treeaa.sweep_report/1" document to --out (default: the TREEAA_METRICS
+// environment variable, else stdout). The report is byte-identical for any
+// --threads value — determinism comes from per-cell RNG streams forked from
+// the sweep seed by cell index, never from scheduling — unless --timings
+// adds the wall-clock section.
+//
+//   --threads 0     use all hardware threads
+//   --full          run with per-cell run reports and embed them in rows
+//   --seed S        override the spec's seed
+//   --expand-only   print the cell count and exit without running
+//   --quiet         suppress the human summary on stderr
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/report.h"
+#include "exp/spec.h"
+#include "exp/sweep.h"
+#include "obs/sink.h"
+
+namespace {
+
+using namespace treeaa;
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr << "usage:\n"
+               "  treeaa_sweep --spec <file|-> [--threads N] [--out <file|->]\n"
+               "               [--chunk N] [--full] [--timings] [--seed S]\n"
+               "               [--quiet] [--expand-only]\n";
+  std::exit(2);
+}
+
+std::string read_all(const std::string& path) {
+  if (path == "-") {
+    std::ostringstream os;
+    os << std::cin.rdbuf();
+    return os.str();
+  }
+  std::ifstream in(path);
+  if (!in) usage("cannot open '" + path + "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+
+  std::string spec_path;
+  std::string out_path;
+  exp::SweepOptions sweep_opts;
+  exp::ReportOptions report_opts;
+  std::optional<std::uint64_t> seed_override;
+  bool quiet = false;
+  bool expand_only = false;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) usage("missing value after " + args[i]);
+      return args[++i];
+    };
+    if (args[i] == "--spec") {
+      spec_path = next();
+    } else if (args[i] == "--out") {
+      out_path = next();
+    } else if (args[i] == "--threads") {
+      sweep_opts.threads = std::stoul(next());
+    } else if (args[i] == "--chunk") {
+      sweep_opts.chunk = std::stoul(next());
+    } else if (args[i] == "--full") {
+      sweep_opts.collect_reports = true;
+      report_opts.include_cell_reports = true;
+    } else if (args[i] == "--timings") {
+      report_opts.include_timings = true;
+    } else if (args[i] == "--seed") {
+      seed_override = std::stoull(next());
+    } else if (args[i] == "--quiet") {
+      quiet = true;
+    } else if (args[i] == "--expand-only") {
+      expand_only = true;
+    } else {
+      usage("unknown option '" + args[i] + "'");
+    }
+  }
+  if (spec_path.empty()) usage("--spec is required");
+  out_path = obs::resolve_metrics_path(std::move(out_path));
+  if (out_path.empty()) out_path.push_back('-');
+
+  try {
+    exp::SweepSpec spec = exp::spec_from_json(read_all(spec_path));
+    if (seed_override.has_value()) spec.seed = *seed_override;
+    const std::vector<exp::Cell> cells = exp::expand(spec);
+    if (expand_only) {
+      std::cout << cells.size() << "\n";
+      return 0;
+    }
+
+    const exp::SweepResult result = exp::run_sweep(spec, cells, sweep_opts);
+    const std::string json =
+        exp::sweep_report_json(spec, result, report_opts);
+    if (!obs::write_sink(out_path, json)) return 2;
+
+    std::size_t failures = 0;
+    std::size_t aa_violations = 0;
+    for (const exp::CellResult& r : result.cells) {
+      if (!r.ok) {
+        ++failures;
+      } else if (!r.aa_ok()) {
+        ++aa_violations;
+      }
+    }
+    if (!quiet) {
+      std::cerr << "sweep '" << spec.name << "': " << result.cells.size()
+                << " cells on " << result.timings.threads << " thread(s) in "
+                << result.timings.wall_ms << " ms; " << failures
+                << " failures, " << aa_violations << " AA violations\n";
+    }
+    return failures == 0 && aa_violations == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
