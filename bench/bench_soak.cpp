@@ -6,9 +6,19 @@
 // split at either phase). The claim under test is binary: the counts in the
 // violation columns are zero. This is the evaluation a systems venue would
 // ask for that the brief announcement could not include.
+//
+// Seeding is sweep-style: every (family, trial) cell draws its Rng as
+// Rng(kSoakSeed).fork(cell), so a cell's execution is independent of how
+// many cells ran before it — shrinking the sweep with --runs N keeps the
+// surviving cells bit-identical. `--metrics <file|->` (or TREEAA_METRICS)
+// additionally emits one obs::RunReport per synchronous TreeAA run as a
+// "treeaa.bench_report/1" document via the shared BenchReporter.
+#include <cstdlib>
 #include <iostream>
 #include <memory>
+#include <string>
 
+#include "metrics_output.h"
 #include "common/table.h"
 #include "core/api.h"
 #include "harness/runner.h"
@@ -56,28 +66,47 @@ std::unique_ptr<sim::Adversary> random_adversary(
   }
 }
 
+constexpr std::uint64_t kSoakSeed = 424242;
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter("soak", argc, argv);
+  std::size_t runs_per_family = 250;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--runs") {
+      runs_per_family = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+  if (runs_per_family == 0) {
+    std::cerr << "--runs must be positive\n";
+    return 2;
+  }
+
   std::cout << "=== E9: randomized adversarial soak (TreeAA) ===\n";
   Table table({"family", "runs", "validity violations",
                "1-agreement violations", "termination failures",
                "max rounds"});
-  const std::size_t runs_per_family = 250;
-  std::uint64_t seed = 424242;
+  std::uint64_t block = 0;
   for (const TreeFamily family : all_tree_families()) {
     std::size_t validity = 0, agreement = 0, termination = 0;
     Round max_rounds = 0;
+    ++block;
     for (std::size_t trial = 0; trial < runs_per_family; ++trial) {
-      Rng rng(seed++);
+      // Each cell's stream depends only on (kSoakSeed, block, trial), never
+      // on the number or outcome of earlier cells — so --runs shrinks the
+      // sweep without perturbing the surviving cells.
+      Rng rng = Rng(kSoakSeed).fork((block << 32) | trial);
       const auto tree = make_family_tree(family, 5 + rng.index(150), rng);
       const std::size_t n = 4 + rng.index(15);
       const std::size_t t = (n - 1) / 3;
       const auto inputs = harness::random_vertex_inputs(tree, n, rng);
-      auto adversary = random_adversary(tree, n, t, rng, seed);
+      auto adversary = random_adversary(tree, n, t, rng, rng.next());
       try {
-        const auto run =
-            core::run_tree_aa(tree, inputs, t, {}, std::move(adversary));
+        const auto run = core::run_tree_aa(
+            tree, inputs, t, {}, std::move(adversary),
+            reporter.next_run(std::string("e9 ") + tree_family_name(family) +
+                              " trial=" + std::to_string(trial)));
         max_rounds = std::max(max_rounds, run.rounds);
         std::vector<VertexId> honest_inputs;
         for (PartyId p = 0; p < n; ++p) {
@@ -108,17 +137,18 @@ int main() {
                            async::SchedulerKind::kLifo,
                            async::SchedulerKind::kFifo}) {
     std::size_t validity = 0, agreement = 0, liveness = 0;
-    const std::size_t runs = 80;
+    const std::size_t runs = std::max<std::size_t>(1, runs_per_family / 3);
+    ++block;
     for (std::size_t trial = 0; trial < runs; ++trial) {
-      Rng rng(seed++);
+      Rng rng = Rng(kSoakSeed).fork((block << 32) | trial);
       const auto tree = make_random_tree(4 + rng.index(60), rng);
       const std::size_t n = 4 + rng.index(9);
       const std::size_t t = (n - 1) / 3;
       const auto inputs = harness::random_vertex_inputs(tree, n, rng);
       const auto corrupt = sim::random_parties(n, t, rng);
       try {
-        const auto run = harness::run_async_tree_aa(tree, n, t, inputs,
-                                                    corrupt, sched, seed);
+        const auto run = harness::run_async_tree_aa(
+            tree, n, t, inputs, corrupt, sched, rng.next());
         std::vector<VertexId> honest_inputs;
         for (PartyId p = 0; p < n; ++p) {
           if (run.outputs[p].has_value()) honest_inputs.push_back(inputs[p]);
@@ -140,5 +170,5 @@ int main() {
   std::cout << render_for_output(async_table)
             << "(liveness failures would mean the witness machinery "
                "deadlocked -- must be 0)\n";
-  return 0;
+  return reporter.flush() ? 0 : 1;
 }

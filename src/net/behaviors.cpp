@@ -1,0 +1,42 @@
+#include "net/behaviors.h"
+
+namespace treeaa::net {
+
+void SilentBehavior::on_round_begin(Round r, sim::Mailer& out) {
+  (void)r;
+  (void)out;
+}
+
+void SilentBehavior::on_round_end(Round r,
+                                  std::span<const sim::Envelope> inbox) {
+  (void)r;
+  (void)inbox;
+}
+
+FuzzBehavior::FuzzBehavior(PartyId self, std::size_t n, std::uint64_t seed,
+                           std::size_t messages_per_round,
+                           std::size_t max_payload)
+    : n_(n),
+      rng_(splitmix64(seed ^ splitmix64(self))),
+      messages_per_round_(messages_per_round),
+      max_payload_(max_payload) {}
+
+void FuzzBehavior::on_round_begin(Round r, sim::Mailer& out) {
+  (void)r;
+  for (std::size_t i = 0; i < messages_per_round_; ++i) {
+    const PartyId to = static_cast<PartyId>(rng_.index(n_));
+    Bytes payload(rng_.index(max_payload_ + 1));
+    for (auto& byte : payload) {
+      byte = static_cast<std::uint8_t>(rng_.next() & 0xFF);
+    }
+    out.send(to, std::move(payload));
+  }
+}
+
+void FuzzBehavior::on_round_end(Round r,
+                                std::span<const sim::Envelope> inbox) {
+  (void)r;
+  (void)inbox;
+}
+
+}  // namespace treeaa::net

@@ -1,0 +1,50 @@
+// Byzantine behaviors for the socket deployment.
+//
+// On the socket mesh a corrupt party is not a special engine construct — it
+// is an ordinary party thread running a hostile Process. The same Process
+// classes are run by sim::PuppetAdversary in the cross-check reference
+// execution, which is what makes the two worlds byte-comparable.
+//
+// Both behaviors are strictly send-only: what they transmit depends only on
+// (self, seed, round), never on their inbox. This is a requirement, not a
+// style choice — PuppetAdversary hands its puppets the pre-fault round
+// traffic while the socket runtime delivers post-fault frames, so an
+// inbox-dependent behavior would diverge between the worlds.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "sim/process.h"
+
+namespace treeaa::net {
+
+/// Sends nothing, ever: crash-from-start. On the mesh the party thread
+/// still emits round barriers, so honest peers do not time out on it — it
+/// is Byzantine-silent, not network-dead (use FaultPlan crashes for that).
+class SilentBehavior final : public sim::Process {
+ public:
+  void on_round_begin(Round r, sim::Mailer& out) override;
+  void on_round_end(Round r, std::span<const sim::Envelope> inbox) override;
+};
+
+/// Floods random recipients with random byte strings every round — the
+/// socket-world counterpart of sim::FuzzAdversary, exercising every
+/// protocol parser's garbage handling end to end through real framing.
+class FuzzBehavior final : public sim::Process {
+ public:
+  FuzzBehavior(PartyId self, std::size_t n, std::uint64_t seed,
+               std::size_t messages_per_round = 8,
+               std::size_t max_payload = 48);
+
+  void on_round_begin(Round r, sim::Mailer& out) override;
+  void on_round_end(Round r, std::span<const sim::Envelope> inbox) override;
+
+ private:
+  std::size_t n_;
+  Rng rng_;
+  std::size_t messages_per_round_;
+  std::size_t max_payload_;
+};
+
+}  // namespace treeaa::net

@@ -1,0 +1,88 @@
+// End-to-end TreeAA deployment on the socket mesh, with a same-seed
+// discrete-engine cross-check.
+//
+// run_tree_aa_net is the socket-world counterpart of core::run_tree_aa: it
+// places one TreeAAProcess per honest party (and a Byzantine behavior per
+// victim) on the NetRunner, executes the protocol's fixed round budget over
+// real framed I/O under the configured fault plan, and then — unless
+// disabled — replays the identical configuration on sim::Engine with
+// PuppetAdversary running the same behavior instances and FaultLinkLayer
+// replaying the same per-link fault decisions. The honest outputs of the
+// two worlds must match vertex for vertex; `sim_match` records whether they
+// did. This is the subsystem's strongest correctness statement: the socket
+// transport, synchronizer and fault pipeline realize exactly the abstract
+// synchronous network the protocol stack was proved against.
+//
+// Byzantine victims are drawn like treeaa_cli draws them: t parties chosen
+// by sim::random_parties from Rng(seed). Crash-plan parties stay
+// protocol-honest (they compute and output) but omit all sends from their
+// crash round; they are reported separately and excluded from the
+// agreement check, since a send-omitting party counts against the fault
+// budget, not the honest set.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/api.h"
+#include "net/fault.h"
+#include "net/report.h"
+#include "trees/labeled_tree.h"
+
+namespace treeaa::net {
+
+enum class AdversaryKind { kNone, kSilent, kFuzz };
+
+[[nodiscard]] const char* adversary_name(AdversaryKind kind);
+/// "none" | "silent" | "fuzz"; nullopt otherwise.
+[[nodiscard]] std::optional<AdversaryKind> parse_adversary(
+    std::string_view name);
+
+struct DeployConfig {
+  core::TreeAAOptions protocol;
+  AdversaryKind adversary = AdversaryKind::kNone;
+  /// How many parties the adversary actually corrupts (at most t; defaults
+  /// to t). Corrupting fewer than t leaves fault-budget slack that can
+  /// absorb link faults on honest links: the protocol's guarantees cover
+  /// any mix of Byzantine parties and per-collection message losses that
+  /// stays within t, which is exactly what a lossy deployment needs.
+  std::optional<std::size_t> corrupt_count;
+  FaultPlan faults;
+  std::uint64_t seed = 1;
+  int round_timeout_ms = 5000;
+  /// Replay on sim::Engine and compare honest outputs.
+  bool crosscheck = true;
+};
+
+struct DeployResult {
+  /// Per-party net-world outputs; disengaged for Byzantine victims.
+  std::vector<std::optional<VertexId>> outputs;
+  /// Reference outputs from the sim::Engine replay (empty when the
+  /// cross-check is disabled).
+  std::vector<std::optional<VertexId>> sim_outputs;
+  std::vector<PartyId> corrupt;  // Byzantine victims
+  std::vector<PartyId> crashed;  // crash-plan parties
+  Round rounds = 0;
+  /// Every non-victim output matched the reference run (true when the
+  /// cross-check was disabled).
+  bool sim_match = true;
+  /// Validity and 1-Agreement over the honest (non-victim, non-crashed)
+  /// outputs.
+  core::AgreementCheck check;
+  NetReport report;
+
+  [[nodiscard]] bool ok() const { return check.ok() && sim_match; }
+};
+
+/// Runs TreeAA over the socket mesh with `inputs.size()` parties tolerating
+/// up to `t` corruptions. Throws std::invalid_argument unless n > 3t, every
+/// input is a vertex of `tree`, and every crash in the plan names a party
+/// in [0, n).
+[[nodiscard]] DeployResult run_tree_aa_net(const LabeledTree& tree,
+                                           const std::vector<VertexId>& inputs,
+                                           std::size_t t,
+                                           const DeployConfig& cfg);
+
+}  // namespace treeaa::net

@@ -1,0 +1,241 @@
+#include "net/fault.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/check.h"
+#include "obs/json.h"
+
+namespace treeaa::net {
+
+namespace {
+
+double parse_probability(const std::string& key, const std::string& value) {
+  std::size_t used = 0;
+  double p = 0.0;
+  try {
+    p = std::stod(value, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("fault plan: bad value for '" + key + "'");
+  }
+  if (used != value.size() || !(p >= 0.0) || !(p <= 1.0)) {
+    throw std::invalid_argument("fault plan: '" + key +
+                                "' must be a probability in [0, 1]");
+  }
+  return p;
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  std::size_t used = 0;
+  std::uint64_t v = 0;
+  try {
+    v = std::stoull(value, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("fault plan: bad value for '" + key + "'");
+  }
+  if (used != value.size()) {
+    throw std::invalid_argument("fault plan: bad value for '" + key + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  if (spec.empty() || spec == "none") return plan;
+  std::istringstream is(spec);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("fault plan: expected key=value, got '" +
+                                  item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "drop") {
+      plan.drop = parse_probability(key, value);
+    } else if (key == "delay") {
+      plan.delay = parse_probability(key, value);
+    } else if (key == "dup" || key == "duplicate") {
+      plan.duplicate = parse_probability(key, value);
+    } else if (key == "corrupt") {
+      plan.corrupt = parse_probability(key, value);
+    } else if (key == "reorder") {
+      plan.reorder = parse_probability(key, value);
+    } else if (key == "delay-rounds") {
+      const std::uint64_t v = parse_u64(key, value);
+      if (v == 0 || v > 1000) {
+        throw std::invalid_argument("fault plan: delay-rounds must be 1..1000");
+      }
+      plan.delay_rounds_max = static_cast<Round>(v);
+    } else if (key == "crash") {
+      const auto at = value.find('@');
+      if (at == std::string::npos) {
+        throw std::invalid_argument("fault plan: crash needs <party>@<round>");
+      }
+      Crash crash;
+      crash.party =
+          static_cast<PartyId>(parse_u64(key, value.substr(0, at)));
+      const std::uint64_t round = parse_u64(key, value.substr(at + 1));
+      if (round == 0) {
+        throw std::invalid_argument("fault plan: crash round must be >= 1");
+      }
+      crash.round = static_cast<Round>(round);
+      plan.crashes.push_back(crash);
+    } else {
+      throw std::invalid_argument("fault plan: unknown key '" + key + "'");
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  if (!any()) return "none";
+  std::string out;
+  const auto add = [&out](const std::string& part) {
+    if (!out.empty()) out += ',';
+    out += part;
+  };
+  if (drop > 0) add("drop=" + obs::json_number(drop));
+  if (delay > 0) {
+    add("delay=" + obs::json_number(delay));
+    add("delay-rounds=" + std::to_string(delay_rounds_max));
+  }
+  if (duplicate > 0) add("dup=" + obs::json_number(duplicate));
+  if (corrupt > 0) add("corrupt=" + obs::json_number(corrupt));
+  if (reorder > 0) add("reorder=" + obs::json_number(reorder));
+  std::vector<Crash> sorted = crashes;
+  std::sort(sorted.begin(), sorted.end(), [](const Crash& a, const Crash& b) {
+    return a.party != b.party ? a.party < b.party : a.round < b.round;
+  });
+  for (const Crash& c : sorted) {
+    add("crash=" + std::to_string(c.party) + "@" + std::to_string(c.round));
+  }
+  return out;
+}
+
+bool FaultPlan::any() const {
+  return drop > 0 || delay > 0 || duplicate > 0 || corrupt > 0 ||
+         reorder > 0 || !crashes.empty();
+}
+
+std::optional<Round> FaultPlan::crash_round(PartyId p) const {
+  std::optional<Round> best;
+  for (const Crash& c : crashes) {
+    if (c.party == p && (!best.has_value() || c.round < *best)) {
+      best = c.round;
+    }
+  }
+  return best;
+}
+
+// --- LinkFaults --------------------------------------------------------------
+
+std::uint64_t LinkFaults::link_seed(std::uint64_t seed, PartyId from,
+                                    PartyId to) {
+  return splitmix64(seed ^ splitmix64((static_cast<std::uint64_t>(from) << 32) |
+                                      static_cast<std::uint64_t>(to)));
+}
+
+LinkFaults::LinkFaults(const FaultPlan& plan, PartyId from, PartyId to,
+                       std::uint64_t seed)
+    : plan_(plan), from_(from), rng_(link_seed(seed, from, to)) {}
+
+std::vector<FaultedFrame> LinkFaults::transmit(Round r,
+                                               std::vector<Bytes> payloads) {
+  std::vector<FaultedFrame> out;
+  const auto crash = plan_.crash_round(from_);
+  if (crash.has_value() && r >= *crash) {
+    stats_.suppressed += payloads.size();
+    return out;
+  }
+  out.reserve(payloads.size());
+  for (Bytes& payload : payloads) {
+    if (plan_.drop > 0 && rng_.chance(plan_.drop)) {
+      ++stats_.dropped;
+      continue;
+    }
+    Round due = r;
+    if (plan_.delay > 0 && rng_.chance(plan_.delay)) {
+      due = r + 1 +
+            static_cast<Round>(rng_.index(plan_.delay_rounds_max));
+      ++stats_.delayed;
+    }
+    std::size_t copies = 1;
+    if (plan_.duplicate > 0 && rng_.chance(plan_.duplicate)) {
+      copies = 2;
+      ++stats_.duplicated;
+    }
+    for (std::size_t c = 0; c < copies; ++c) {
+      Bytes body = c + 1 == copies ? std::move(payload) : payload;
+      if (plan_.corrupt > 0 && rng_.chance(plan_.corrupt) && !body.empty()) {
+        const std::size_t flips = 1 + rng_.index(3);
+        for (std::size_t f = 0; f < flips; ++f) {
+          body[rng_.index(body.size())] ^=
+              static_cast<std::uint8_t>(1u << rng_.index(8));
+        }
+        ++stats_.corrupted;
+      }
+      out.push_back(FaultedFrame{std::move(body), due});
+    }
+  }
+  if (plan_.reorder > 0 && out.size() > 1 && rng_.chance(plan_.reorder)) {
+    rng_.shuffle(out);
+  }
+  return out;
+}
+
+// --- FaultLinkLayer ----------------------------------------------------------
+
+FaultLinkLayer::FaultLinkLayer(FaultPlan plan, std::size_t n,
+                               std::uint64_t seed)
+    : plan_(std::move(plan)), n_(n), seed_(seed) {
+  links_.resize(n * n);
+}
+
+LinkFaults& FaultLinkLayer::link(PartyId from, PartyId to) {
+  auto& slot = links_[static_cast<std::size_t>(from) * n_ + to];
+  if (slot == nullptr) {
+    slot = std::make_unique<LinkFaults>(plan_, from, to, seed_);
+  }
+  return *slot;
+}
+
+std::vector<sim::Envelope> FaultLinkLayer::deliver(
+    Round r, std::vector<sim::Envelope> queued) {
+  // Group per directed link, preserving send order. The self-link is
+  // reliable and passes through.
+  std::vector<sim::Envelope> delivered;
+  delivered.reserve(queued.size());
+  std::vector<std::vector<Bytes>> per_link(n_ * n_);
+  std::vector<std::pair<PartyId, PartyId>> touched;
+  for (sim::Envelope& e : queued) {
+    TREEAA_REQUIRE(e.from < n_ && e.to < n_);
+    if (e.from == e.to) {
+      delivered.push_back(std::move(e));
+      continue;
+    }
+    auto& bucket = per_link[static_cast<std::size_t>(e.from) * n_ + e.to];
+    if (bucket.empty()) touched.emplace_back(e.from, e.to);
+    bucket.push_back(std::move(e.payload));
+  }
+  std::sort(touched.begin(), touched.end());
+  for (const auto& [from, to] : touched) {
+    auto outs = link(from, to).transmit(
+        r, std::move(per_link[static_cast<std::size_t>(from) * n_ + to]));
+    for (FaultedFrame& f : outs) {
+      // A delayed frame arrives behind the link's round barrier on the
+      // wire and is discarded as stale there; mirror that by dropping it.
+      if (f.send_round != r) continue;
+      delivered.push_back(sim::Envelope{from, to, r, std::move(f.payload)});
+    }
+  }
+  return delivered;
+}
+
+}  // namespace treeaa::net

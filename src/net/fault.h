@@ -1,0 +1,129 @@
+// Deterministic link-level fault injection.
+//
+// A FaultPlan describes how the data plane misbehaves: per-frame drop,
+// delay, duplication and payload bit-corruption probabilities, per-round
+// link reordering, and per-party crash rounds (send omission — the party
+// keeps computing and receiving but nothing it sends, data or barrier,
+// reaches the wire). All decisions are drawn from per-directed-link Rng
+// streams seeded from (run seed, from, to) alone, so they are independent
+// of thread scheduling: the same plan and seed produce the same faults on
+// the socket mesh and on the discrete engine.
+//
+// That sharing is the point. LinkFaults::transmit is the single decision
+// procedure; the socket runtime (net/runtime.*) feeds it each link's
+// outgoing payloads per round, and FaultLinkLayer adapts the very same
+// procedure to sim::Engine delivery so a same-seed reference run
+// reproduces the faulted execution exactly (delayed frames are dropped
+// there outright: on the wire they arrive behind the link's barrier for
+// their round and are discarded as stale, so the protocols never see them
+// in either world).
+//
+// Faults apply to data frames only. The self-link (a party delivering to
+// itself) and the synchronizer's barrier frames are reliable; a party that
+// should lose barriers too is modelled by `crash`.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/link.h"
+
+namespace treeaa::net {
+
+struct FaultPlan {
+  // Per-frame probabilities, each in [0, 1].
+  double drop = 0.0;
+  double delay = 0.0;      // hold the frame 1..delay_rounds_max rounds
+  double duplicate = 0.0;  // transmit a second copy
+  double corrupt = 0.0;    // flip 1..3 payload bits
+  // Per-(link, round) probability of shuffling the round's frames.
+  double reorder = 0.0;
+  Round delay_rounds_max = 2;
+
+  struct Crash {
+    PartyId party = kNoParty;
+    Round round = 0;  // sends are suppressed from this round on
+  };
+  std::vector<Crash> crashes;
+
+  /// Parses a comma-separated spec: "drop=0.1,delay=0.05,dup=0.02,
+  /// corrupt=0.02,reorder=0.1,delay-rounds=3,crash=2@5" (crash may repeat).
+  /// Throws std::invalid_argument on malformed input.
+  [[nodiscard]] static FaultPlan parse(const std::string& spec);
+
+  /// Canonical spec string (parse(describe()) round-trips); "none" when the
+  /// plan is empty.
+  [[nodiscard]] std::string describe() const;
+
+  [[nodiscard]] bool any() const;
+  /// The round from which `p` is crashed, if any.
+  [[nodiscard]] std::optional<Round> crash_round(PartyId p) const;
+};
+
+struct LinkFaultStats {
+  std::uint64_t dropped = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t suppressed = 0;  // crash omissions
+};
+
+/// A data frame after fault decisions: transmit in `send_round` (> the
+/// tagged round when delayed) with the possibly corrupted payload.
+struct FaultedFrame {
+  Bytes payload;
+  Round send_round = 0;
+};
+
+/// The per-directed-link fault decision stream.
+class LinkFaults {
+ public:
+  LinkFaults(const FaultPlan& plan, PartyId from, PartyId to,
+             std::uint64_t seed);
+
+  /// Transforms the link's round-r outgoing payloads (in send order) into
+  /// the frames put on the wire. Must be called with exactly the payloads
+  /// the sender queued, in order, for every round in sequence — the Rng
+  /// stream advances per frame.
+  [[nodiscard]] std::vector<FaultedFrame> transmit(Round r,
+                                                   std::vector<Bytes> payloads);
+
+  [[nodiscard]] const LinkFaultStats& stats() const { return stats_; }
+
+  /// The deterministic per-link seed (exposed for tests).
+  [[nodiscard]] static std::uint64_t link_seed(std::uint64_t seed,
+                                               PartyId from, PartyId to);
+
+ private:
+  const FaultPlan& plan_;
+  PartyId from_;
+  Rng rng_;
+  LinkFaultStats stats_;
+};
+
+/// The same fault decisions applied to sim::Engine delivery: the reference
+/// world of tools/treeaa_net's cross-check. Delayed frames are dropped (see
+/// the header comment); the self-link passes through untouched.
+class FaultLinkLayer final : public sim::LinkLayer {
+ public:
+  FaultLinkLayer(FaultPlan plan, std::size_t n, std::uint64_t seed);
+
+  std::vector<sim::Envelope> deliver(Round r,
+                                     std::vector<sim::Envelope> queued) override;
+
+ private:
+  LinkFaults& link(PartyId from, PartyId to);
+
+  FaultPlan plan_;
+  std::size_t n_;
+  std::uint64_t seed_;
+  std::vector<std::unique_ptr<LinkFaults>> links_;  // n*n, lazily created
+};
+
+}  // namespace treeaa::net

@@ -1,0 +1,75 @@
+#include "net/frame.h"
+
+#include <limits>
+
+namespace treeaa::net {
+
+Bytes encode_frame_body(const Frame& frame) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(frame.kind));
+  w.varint(frame.round);
+  if (frame.kind == FrameKind::kData) w.blob(frame.payload);
+  return std::move(w).take();
+}
+
+std::optional<Frame> decode_frame_body(const Bytes& body) {
+  try {
+    ByteReader r(body);
+    Frame frame;
+    const std::uint8_t kind = r.u8();
+    if (kind != static_cast<std::uint8_t>(FrameKind::kData) &&
+        kind != static_cast<std::uint8_t>(FrameKind::kBarrier)) {
+      return std::nullopt;
+    }
+    frame.kind = static_cast<FrameKind>(kind);
+    const std::uint64_t round = r.varint();
+    if (round > std::numeric_limits<Round>::max()) return std::nullopt;
+    frame.round = static_cast<Round>(round);
+    if (frame.kind == FrameKind::kData) frame.payload = r.blob();
+    r.expect_done();
+    return frame;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+void append_wire_frame(Bytes& out, const Frame& frame) {
+  const Bytes body = encode_frame_body(frame);
+  const auto len = static_cast<std::uint32_t>(body.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  }
+  out.insert(out.end(), body.begin(), body.end());
+}
+
+void FrameReader::feed(const std::uint8_t* data, std::size_t len) {
+  if (poisoned_) return;
+  // Compact the consumed prefix before it dominates the buffer.
+  if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+std::optional<Bytes> FrameReader::next_body() {
+  if (poisoned_) return std::nullopt;
+  if (buf_.size() - pos_ < 4) return std::nullopt;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(buf_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+  }
+  if (len > kMaxFrameBody) {
+    poisoned_ = true;
+    return std::nullopt;
+  }
+  if (buf_.size() - pos_ - 4 < len) return std::nullopt;
+  const auto begin =
+      buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 4);
+  Bytes body(begin, begin + static_cast<std::ptrdiff_t>(len));
+  pos_ += 4 + len;
+  return body;
+}
+
+}  // namespace treeaa::net

@@ -1,0 +1,80 @@
+// Length-prefixed framing of the byte-stream transport.
+//
+// A connection between two parties is a reliable FIFO byte stream
+// (socketpair); frames impose message boundaries on it. On the wire each
+// frame is
+//
+//   [u32 little-endian body length][body]
+//
+// and the body reuses the library's wire primitives (common/bytes.h):
+//
+//   [u8 kind][varint round][blob payload]     kind = kData
+//   [u8 kind][varint round]                   kind = kBarrier
+//
+// kData carries one protocol message sent in the tagged round; kBarrier is
+// the round synchronizer's control frame "I have sent everything for round
+// r on this link". The round tag realizes the same defense in depth as the
+// protocols' own step tags: a receiver discards any data frame whose round
+// is at or below the link's barrier cursor (late delivery under the fault
+// plan's delay action) instead of trusting arrival timing.
+//
+// FrameReader reassembles frames from arbitrarily fragmented reads. A body
+// length above kMaxFrameBody poisons the stream permanently: the framing
+// can no longer be trusted (this never happens on an honest link — the
+// fault plan corrupts payloads only, never the framing header — but a
+// transport must fail closed, not allocate unbounded memory).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+#include "common/types.h"
+
+namespace treeaa::net {
+
+enum class FrameKind : std::uint8_t { kData = 0x01, kBarrier = 0x02 };
+
+struct Frame {
+  FrameKind kind = FrameKind::kData;
+  Round round = 0;
+  Bytes payload;  // empty for kBarrier
+};
+
+/// The engine's 16 MiB payload cap plus framing slack.
+inline constexpr std::size_t kMaxFrameBody = (1u << 24) + 16;
+
+/// Encodes the frame body (without the length prefix).
+[[nodiscard]] Bytes encode_frame_body(const Frame& frame);
+
+/// Decodes a frame body; nullopt if malformed (unknown kind, truncation,
+/// trailing bytes, a payload on a barrier).
+[[nodiscard]] std::optional<Frame> decode_frame_body(const Bytes& body);
+
+/// Appends the full wire form (u32 LE length + body) of `frame` to `out`.
+void append_wire_frame(Bytes& out, const Frame& frame);
+
+/// Incremental reassembly of wire frames from a byte stream.
+class FrameReader {
+ public:
+  /// Feeds raw bytes received from the stream.
+  void feed(const std::uint8_t* data, std::size_t len);
+
+  /// The next complete frame body, if one is buffered. Returns nullopt when
+  /// more bytes are needed or the stream is poisoned.
+  [[nodiscard]] std::optional<Bytes> next_body();
+
+  /// True once a length prefix exceeded kMaxFrameBody; the stream can never
+  /// be re-synchronized after that.
+  [[nodiscard]] bool poisoned() const { return poisoned_; }
+
+  /// Bytes buffered but not yet consumed (for tests).
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  Bytes buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_
+  bool poisoned_ = false;
+};
+
+}  // namespace treeaa::net

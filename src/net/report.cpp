@@ -1,0 +1,122 @@
+#include "net/report.h"
+
+#include "obs/json.h"
+
+namespace treeaa::net {
+
+namespace {
+
+void write_link_stats(obs::JsonWriter& w, const LinkStats& s) {
+  w.key("frames_sent");
+  w.value(s.frames_sent);
+  w.key("bytes_sent");
+  w.value(s.bytes_sent);
+  w.key("frames_received");
+  w.value(s.frames_received);
+  w.key("bytes_received");
+  w.value(s.bytes_received);
+  w.key("dropped");
+  w.value(s.dropped);
+  w.key("delayed");
+  w.value(s.delayed);
+  w.key("duplicated");
+  w.value(s.duplicated);
+  w.key("corrupted");
+  w.value(s.corrupted);
+  w.key("suppressed");
+  w.value(s.suppressed);
+  w.key("stale_discarded");
+  w.value(s.stale_discarded);
+  w.key("decode_errors");
+  w.value(s.decode_errors);
+}
+
+void write_parties(obs::JsonWriter& w, const std::vector<PartyId>& parties) {
+  w.begin_array();
+  for (const PartyId p : parties) w.value(std::uint64_t{p});
+  w.end_array();
+}
+
+}  // namespace
+
+std::string NetReport::to_json() const {
+  std::string out;
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.key("schema");
+  w.value("treeaa.net_report/1");
+  w.key("protocol");
+  w.value("tree_aa");
+  w.key("n");
+  w.value(static_cast<std::uint64_t>(n));
+  w.key("t");
+  w.value(static_cast<std::uint64_t>(t));
+  w.key("rounds");
+  w.value(std::uint64_t{rounds});
+  w.key("seed");
+  w.value(seed);
+  w.key("engine");
+  w.value(engine);
+  w.key("adversary");
+  w.value(adversary);
+  w.key("fault_plan");
+  w.value(fault_plan);
+  w.key("round_timeout_ms");
+  w.value(static_cast<std::int64_t>(round_timeout_ms));
+  w.key("corrupt");
+  write_parties(w, corrupt);
+  w.key("crashed");
+  write_parties(w, crashed);
+  w.key("links");
+  w.begin_array();
+  for (const NetLinkEntry& link : links) {
+    w.begin_object();
+    w.key("from");
+    w.value(std::uint64_t{link.from});
+    w.key("to");
+    w.value(std::uint64_t{link.to});
+    write_link_stats(w, link.stats);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("parties");
+  w.begin_array();
+  for (const NetPartyEntry& party : parties) {
+    w.begin_object();
+    w.key("party");
+    w.value(std::uint64_t{party.party});
+    w.key("timeouts");
+    w.value(party.stats.timeouts);
+    w.key("rounds_completed");
+    w.value(std::uint64_t{party.stats.rounds_completed});
+    w.key("output");
+    if (party.output.has_value()) {
+      w.value(std::uint64_t{*party.output});
+    } else {
+      w.null();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("totals");
+  w.begin_object();
+  write_link_stats(w, totals);
+  w.key("timeouts");
+  w.value(timeouts_total);
+  w.end_object();
+  w.key("outcome");
+  w.begin_object();
+  w.key("valid");
+  w.value(valid);
+  w.key("one_agreement");
+  w.value(one_agreement);
+  w.key("max_pairwise_distance");
+  w.value(std::uint64_t{max_pairwise_distance});
+  w.key("sim_reference_match");
+  w.value(sim_reference_match);
+  w.end_object();
+  w.end_object();
+  return out;
+}
+
+}  // namespace treeaa::net

@@ -1,0 +1,68 @@
+// The machine-readable record of a socket deployment: schema
+// "treeaa.net_report/1" (documented in docs/NET.md and
+// docs/OBSERVABILITY.md).
+//
+// Every field is deterministic given (tree, inputs, t, config): link
+// counters come from the seeded fault decision streams and the lock-step
+// synchronizer, never from wall-clock observations, so two same-seed runs
+// serialize byte-identically — the property the multi-thread determinism
+// tests pin down. There is deliberately no timing section.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "net/runtime.h"
+
+namespace treeaa::net {
+
+struct NetLinkEntry {
+  PartyId from = kNoParty;
+  PartyId to = kNoParty;
+  LinkStats stats;
+};
+
+struct NetPartyEntry {
+  PartyId party = kNoParty;
+  PartyStats stats;
+  /// Output vertex; disengaged for Byzantine parties.
+  std::optional<VertexId> output;
+};
+
+struct NetReport {
+  std::size_t n = 0;
+  std::size_t t = 0;
+  Round rounds = 0;
+  std::uint64_t seed = 0;
+  std::string engine;      // real-engine name, e.g. "gradecast-bdh"
+  std::string adversary;   // "none" | "silent" | "fuzz"
+  std::string fault_plan;  // FaultPlan::describe()
+  int round_timeout_ms = 0;
+
+  std::vector<PartyId> corrupt;  // Byzantine victims
+  std::vector<PartyId> crashed;  // fault-plan crashed (protocol-honest)
+
+  /// Directed links on which the fault plan or the defensive decode paths
+  /// actually fired, in (from, to) order. Clean links are summarized by
+  /// `totals` only.
+  std::vector<NetLinkEntry> links;
+  std::vector<NetPartyEntry> parties;  // all parties, in id order
+  LinkStats totals;
+  std::uint64_t timeouts_total = 0;
+
+  // Outcome of the honest outputs (crashed parties excluded — a party
+  // omitting sends is faulty, so the guarantees are not owed to it).
+  bool valid = false;
+  bool one_agreement = false;
+  std::uint32_t max_pairwise_distance = 0;
+  /// Honest outputs matched the same-seed sim::Engine reference run (true
+  /// when the cross-check was disabled).
+  bool sim_reference_match = false;
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+}  // namespace treeaa::net

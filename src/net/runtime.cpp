@@ -1,0 +1,414 @@
+#include "net/runtime.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <exception>
+#include <map>
+#include <system_error>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "sim/envelope.h"
+
+namespace treeaa::net {
+
+void LinkStats::add(const LinkStats& other) {
+  frames_sent += other.frames_sent;
+  bytes_sent += other.bytes_sent;
+  frames_received += other.frames_received;
+  bytes_received += other.bytes_received;
+  dropped += other.dropped;
+  delayed += other.delayed;
+  duplicated += other.duplicated;
+  corrupted += other.corrupted;
+  suppressed += other.suppressed;
+  stale_discarded += other.stale_discarded;
+  decode_errors += other.decode_errors;
+}
+
+namespace {
+
+/// One party's view of its connection to one peer. Used only by the owning
+/// party's thread.
+struct PeerLink {
+  Socket* sock = nullptr;
+  std::unique_ptr<LinkFaults> faults;  // self -> peer decision stream
+  FrameReader reader;
+
+  // Outgoing: an unbounded in-memory buffer drained via POLLOUT. Because
+  // every party keeps reading all its links every round, kernel buffers
+  // never stay full and this always flushes — the in-memory stage only
+  // exists so a momentarily full kernel buffer cannot deadlock two parties
+  // writing to each other.
+  Bytes sendbuf;
+  std::size_t sent = 0;
+  // Fault-delayed outgoing data frames, keyed by the round in which they
+  // go on the wire (their Frame::round keeps the original tag).
+  std::map<Round, std::vector<Frame>> holdback;
+
+  // Incoming.
+  Round barrier_cursor = 0;  // highest barrier round seen on this link
+  bool dead = false;         // missed a round deadline; never waited again
+  std::map<Round, std::vector<Bytes>> pending;  // data frames by round tag
+
+  LinkStats tx;  // sender side of link self -> peer
+  LinkStats rx;  // receiver side of link peer -> self
+};
+
+}  // namespace
+
+struct NetRunner::Party {
+  PartyId self = kNoParty;
+  std::size_t n = 0;
+  const NetOptions* options = nullptr;
+  std::unique_ptr<sim::Process> process;
+  std::vector<PeerLink> links;  // size n; slot `self` unused
+  PartyStats stats;
+  std::thread thread;
+  std::exception_ptr error;
+
+  void run_rounds(Round rounds);
+
+ private:
+  void append_frame(PeerLink& link, const Frame& frame);
+  void flush(PeerLink& link);
+  void read_link(PeerLink& link);
+  void poll_round(Round r);
+
+  /// The fault plan is public configuration, so a barrier that the plan
+  /// says will never be sent must not be waited for: otherwise every peer
+  /// of a plan-crashed party burns the full round deadline while the
+  /// crashed party races ahead, and the resulting skew lets a deadline
+  /// spuriously evict *live* peers — a timing race. Skipping plan-crashed
+  /// senders keeps the mesh in lockstep and the counters deterministic;
+  /// the timeout path still guards against unplanned stalls.
+  [[nodiscard]] bool barrier_expected(PartyId q, Round r) const {
+    const auto crash = options->faults.crash_round(q);
+    return !crash.has_value() || r < *crash;
+  }
+};
+
+void NetRunner::Party::append_frame(PeerLink& link, const Frame& frame) {
+  const std::size_t before = link.sendbuf.size();
+  append_wire_frame(link.sendbuf, frame);
+  link.tx.bytes_sent += link.sendbuf.size() - before;
+  if (frame.kind == FrameKind::kData) ++link.tx.frames_sent;
+}
+
+void NetRunner::Party::flush(PeerLink& link) {
+  while (link.sent < link.sendbuf.size()) {
+    const std::size_t written = link.sock->write_some(
+        link.sendbuf.data() + link.sent, link.sendbuf.size() - link.sent);
+    if (written == 0) return;  // kernel buffer full; wait for POLLOUT
+    link.sent += written;
+  }
+  link.sendbuf.clear();
+  link.sent = 0;
+}
+
+void NetRunner::Party::read_link(PeerLink& link) {
+  std::uint8_t buf[64 * 1024];
+  while (true) {
+    const Socket::ReadResult res = link.sock->read_some(buf, sizeof(buf));
+    if (res.n > 0) {
+      link.rx.bytes_received += res.n;
+      link.reader.feed(buf, res.n);
+    }
+    if (res.n < sizeof(buf)) break;  // drained (or peer closed)
+  }
+  while (auto body = link.reader.next_body()) {
+    ++link.rx.frames_received;
+    auto frame = decode_frame_body(*body);
+    if (!frame.has_value()) {
+      ++link.rx.decode_errors;
+      continue;
+    }
+    if (frame->kind == FrameKind::kBarrier) {
+      link.barrier_cursor = std::max(link.barrier_cursor, frame->round);
+    } else if (frame->round <= link.barrier_cursor) {
+      // Behind the link's barrier: a fault-delayed frame surfacing late.
+      ++link.rx.stale_discarded;
+    } else {
+      link.pending[frame->round].push_back(std::move(frame->payload));
+    }
+  }
+  if (link.reader.poisoned() && !link.dead) {
+    // Framing can no longer be trusted; stop waiting on this link.
+    ++link.rx.decode_errors;
+    link.dead = true;
+  }
+}
+
+void NetRunner::Party::poll_round(Round r) {
+  using Clock = std::chrono::steady_clock;
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(options->round_timeout_ms);
+  std::vector<pollfd> fds;
+  std::vector<PartyId> fd_peers;
+  while (true) {
+    bool all_flushed = true;
+    bool barriers_ok = true;
+    for (PartyId q = 0; q < n; ++q) {
+      if (q == self) continue;
+      PeerLink& link = links[q];
+      flush(link);
+      if (!link.sendbuf.empty()) all_flushed = false;
+      if (!link.dead && link.barrier_cursor < r && barrier_expected(q, r)) {
+        barriers_ok = false;
+      }
+    }
+    if (all_flushed && barriers_ok) return;
+
+    const auto now = Clock::now();
+    if (now >= deadline) {
+      for (PartyId q = 0; q < n; ++q) {
+        if (q == self) continue;
+        PeerLink& link = links[q];
+        if (!link.dead && link.barrier_cursor < r && barrier_expected(q, r)) {
+          link.dead = true;
+          ++stats.timeouts;
+        }
+      }
+      return;  // any unflushed bytes stay buffered for the next round
+    }
+
+    fds.clear();
+    fd_peers.clear();
+    for (PartyId q = 0; q < n; ++q) {
+      if (q == self) continue;
+      PeerLink& link = links[q];
+      short events = POLLIN;
+      if (!link.sendbuf.empty()) events |= POLLOUT;
+      fds.push_back(pollfd{link.sock->fd(), events, 0});
+      fd_peers.push_back(q);
+    }
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - now);
+    const int wait_ms = static_cast<int>(
+        std::clamp<std::int64_t>(remaining.count() + 1, 1, 60'000));
+    const int rc = ::poll(fds.data(), fds.size(), wait_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw std::system_error(errno, std::generic_category(), "poll");
+    }
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      PeerLink& link = links[fd_peers[i]];
+      if ((fds[i].revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+        read_link(link);
+      }
+      if ((fds[i].revents & POLLOUT) != 0) flush(link);
+    }
+  }
+}
+
+void NetRunner::Party::run_rounds(Round rounds) {
+  const auto crash = options->faults.crash_round(self);
+  std::vector<sim::Envelope> outbox;
+  for (Round r = 1; r <= rounds; ++r) {
+    // 1. Fault-delayed frames now due go on the wire first, still carrying
+    //    their original round tag (the receiver discards them as stale —
+    //    see the class comment in runtime.h).
+    for (PartyId q = 0; q < n; ++q) {
+      if (q == self) continue;
+      PeerLink& link = links[q];
+      while (!link.holdback.empty() && link.holdback.begin()->first <= r) {
+        for (const Frame& frame : link.holdback.begin()->second) {
+          append_frame(link, frame);
+        }
+        link.holdback.erase(link.holdback.begin());
+      }
+    }
+
+    // 2. The protocol's send phase, through the ordinary Mailer.
+    outbox.clear();
+    sim::Mailer mailer(self, n, outbox, r);
+    process->on_round_begin(r, mailer);
+
+    // 3. Partition per destination (send order preserved), apply the fault
+    //    plan per link, frame the survivors, and close the round with a
+    //    barrier. The self-link is memory: reliable even when crashed,
+    //    matching FaultLinkLayer.
+    std::vector<Bytes> selfbox;
+    std::vector<std::vector<Bytes>> per_dest(n);
+    for (sim::Envelope& e : outbox) {
+      if (e.to == self) {
+        selfbox.push_back(std::move(e.payload));
+      } else {
+        per_dest[e.to].push_back(std::move(e.payload));
+      }
+    }
+    const bool crashed = crash.has_value() && r >= *crash;
+    for (PartyId q = 0; q < n; ++q) {
+      if (q == self) continue;
+      PeerLink& link = links[q];
+      auto outs = link.faults->transmit(r, std::move(per_dest[q]));
+      for (FaultedFrame& f : outs) {
+        Frame frame{FrameKind::kData, r, std::move(f.payload)};
+        if (f.send_round == r) {
+          append_frame(link, frame);
+        } else {
+          link.holdback[f.send_round].push_back(std::move(frame));
+        }
+      }
+      if (!crashed) {
+        append_frame(link, Frame{FrameKind::kBarrier, r, {}});
+      }
+    }
+
+    // 4. Drain sends and wait for every live peer's barrier (or the
+    //    deadline).
+    poll_round(r);
+
+    // 5. Deliver the round's inbox sorted by sender, same-sender frames in
+    //    arrival order — the engine's delivery order exactly.
+    std::vector<sim::Envelope> inbox;
+    for (PartyId q = 0; q < n; ++q) {
+      if (q == self) {
+        for (Bytes& payload : selfbox) {
+          inbox.push_back(sim::Envelope{self, self, r, std::move(payload)});
+        }
+        continue;
+      }
+      PeerLink& link = links[q];
+      while (!link.pending.empty() && link.pending.begin()->first <= r) {
+        auto node = link.pending.extract(link.pending.begin());
+        if (node.key() == r) {
+          for (Bytes& payload : node.mapped()) {
+            inbox.push_back(sim::Envelope{q, self, r, std::move(payload)});
+          }
+        } else {
+          link.rx.stale_discarded += node.mapped().size();
+        }
+      }
+    }
+    process->on_round_end(r, inbox);
+    stats.rounds_completed = r;
+  }
+}
+
+// --- NetRunner ---------------------------------------------------------------
+
+NetRunner::NetRunner(std::size_t n, NetOptions options)
+    : n_(n), options_(std::move(options)) {
+  TREEAA_REQUIRE_MSG(n >= 1, "NetRunner needs at least one party");
+  parties_.reserve(n);
+  for (PartyId p = 0; p < n; ++p) {
+    auto party = std::make_unique<Party>();
+    party->self = p;
+    party->n = n;
+    party->options = &options_;
+    party->links.resize(n);
+    parties_.push_back(std::move(party));
+  }
+}
+
+NetRunner::~NetRunner() = default;
+
+void NetRunner::set_process(PartyId p, std::unique_ptr<sim::Process> process) {
+  TREEAA_REQUIRE(p < n_);
+  parties_[p]->process = std::move(process);
+}
+
+sim::Process& NetRunner::process(PartyId p) {
+  TREEAA_REQUIRE(p < n_ && parties_[p]->process != nullptr);
+  return *parties_[p]->process;
+}
+
+void NetRunner::run(Round rounds) {
+  TREEAA_REQUIRE_MSG(!ran_, "NetRunner::run may only be called once");
+  ran_ = true;
+  for (PartyId p = 0; p < n_; ++p) {
+    TREEAA_REQUIRE_MSG(parties_[p]->process != nullptr,
+                       "party " << p << " has no process");
+  }
+  Mesh mesh(n_);
+  for (PartyId p = 0; p < n_; ++p) {
+    Party& party = *parties_[p];
+    for (PartyId q = 0; q < n_; ++q) {
+      if (q == p) continue;
+      party.links[q].sock = &mesh.endpoint(p, q);
+      party.links[q].faults =
+          std::make_unique<LinkFaults>(options_.faults, p, q, options_.seed);
+    }
+  }
+  for (PartyId p = 0; p < n_; ++p) {
+    Party* party = parties_[p].get();
+    party->thread = std::thread([party, rounds] {
+      try {
+        party->run_rounds(rounds);
+      } catch (...) {
+        party->error = std::current_exception();
+      }
+    });
+  }
+  std::exception_ptr first_error;
+  for (PartyId p = 0; p < n_; ++p) {
+    parties_[p]->thread.join();
+    if (parties_[p]->error != nullptr && first_error == nullptr) {
+      first_error = parties_[p]->error;
+    }
+  }
+  // Fold the fault decision streams' own counters into the sender side.
+  for (PartyId p = 0; p < n_; ++p) {
+    for (PartyId q = 0; q < n_; ++q) {
+      if (q == p) continue;
+      PeerLink& link = parties_[p]->links[q];
+      const LinkFaultStats& fs = link.faults->stats();
+      link.tx.dropped += fs.dropped;
+      link.tx.delayed += fs.delayed;
+      link.tx.duplicated += fs.duplicated;
+      link.tx.corrupted += fs.corrupted;
+      link.tx.suppressed += fs.suppressed;
+    }
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+LinkStats NetRunner::link_stats(PartyId from, PartyId to) const {
+  TREEAA_REQUIRE(from < n_ && to < n_ && from != to);
+  LinkStats stats = parties_[from]->links[to].tx;
+  stats.add(parties_[to]->links[from].rx);
+  return stats;
+}
+
+const PartyStats& NetRunner::party_stats(PartyId p) const {
+  TREEAA_REQUIRE(p < n_);
+  return parties_[p]->stats;
+}
+
+LinkStats NetRunner::totals() const {
+  LinkStats total;
+  for (PartyId p = 0; p < n_; ++p) {
+    for (PartyId q = 0; q < n_; ++q) {
+      if (q == p) continue;
+      total.add(link_stats(p, q));
+    }
+  }
+  return total;
+}
+
+void NetRunner::fill_registry(obs::Registry& registry) const {
+  const LinkStats total = totals();
+  registry.counter("net_frames_sent").inc(total.frames_sent);
+  registry.counter("net_bytes_sent").inc(total.bytes_sent);
+  registry.counter("net_frames_received").inc(total.frames_received);
+  registry.counter("net_bytes_received").inc(total.bytes_received);
+  registry.counter("net_dropped").inc(total.dropped);
+  registry.counter("net_delayed").inc(total.delayed);
+  registry.counter("net_duplicated").inc(total.duplicated);
+  registry.counter("net_corrupted").inc(total.corrupted);
+  registry.counter("net_suppressed").inc(total.suppressed);
+  registry.counter("net_stale_discarded").inc(total.stale_discarded);
+  registry.counter("net_decode_errors").inc(total.decode_errors);
+  std::uint64_t timeouts = 0;
+  for (PartyId p = 0; p < n_; ++p) timeouts += parties_[p]->stats.timeouts;
+  registry.counter("net_timeouts").inc(timeouts);
+}
+
+}  // namespace treeaa::net

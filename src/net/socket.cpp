@@ -1,0 +1,83 @@
+#include "net/socket.h"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <system_error>
+
+#include "common/check.h"
+
+namespace treeaa::net {
+
+Socket::~Socket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+std::size_t Socket::write_some(const std::uint8_t* data, std::size_t len) {
+  while (true) {
+    const ssize_t n = ::send(fd_, data, len, MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    throw std::system_error(errno, std::generic_category(), "socket write");
+  }
+}
+
+Socket::ReadResult Socket::read_some(std::uint8_t* data, std::size_t len) {
+  while (true) {
+    const ssize_t n = ::recv(fd_, data, len, 0);
+    if (n > 0) return ReadResult{static_cast<std::size_t>(n), false};
+    if (n == 0) return ReadResult{0, true};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return ReadResult{0, false};
+    throw std::system_error(errno, std::generic_category(), "socket read");
+  }
+}
+
+std::pair<Socket, Socket> make_socket_pair() {
+  int fds[2] = {-1, -1};
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    throw std::system_error(errno, std::generic_category(), "socketpair");
+  }
+  for (const int fd : fds) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+      const int err = errno;
+      ::close(fds[0]);
+      ::close(fds[1]);
+      throw std::system_error(err, std::generic_category(), "fcntl");
+    }
+  }
+  return {Socket(fds[0]), Socket(fds[1])};
+}
+
+Mesh::Mesh(std::size_t n) : n_(n) {
+  TREEAA_REQUIRE_MSG(n >= 1, "mesh needs at least one party");
+  pairs_.resize(n * n);  // only a < b slots are populated
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      pairs_[a * n + b] = make_socket_pair();
+    }
+  }
+}
+
+Socket& Mesh::endpoint(PartyId self, PartyId peer) {
+  TREEAA_REQUIRE(self < n_ && peer < n_ && self != peer);
+  const std::size_t a = std::min(self, peer);
+  const std::size_t b = std::max(self, peer);
+  auto& pair = pairs_[a * n_ + b];
+  return self == a ? pair.first : pair.second;
+}
+
+}  // namespace treeaa::net

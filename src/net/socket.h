@@ -1,0 +1,76 @@
+// Minimal RAII sockets and the loopback connection mesh.
+//
+// Parties talk over AF_UNIX stream socketpairs: reliable, FIFO, and
+// byte-stream semantics identical to loopback TCP but with no port
+// allocation or accept/connect races — the right substrate for a
+// deterministic in-process deployment. Every socket is non-blocking; the
+// party runtimes multiplex them with poll(2).
+//
+// A Mesh owns one socketpair per unordered party pair and hands each party
+// its endpoint. Endpoints are used exclusively by their owning party's
+// thread; the Mesh itself is immutable after construction, so no
+// synchronization is needed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace treeaa::net {
+
+/// Move-only owner of a file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+
+  /// Writes up to `len` bytes; returns the number written (0 when the
+  /// kernel buffer is full). Throws std::system_error on a real error.
+  std::size_t write_some(const std::uint8_t* data, std::size_t len);
+
+  struct ReadResult {
+    std::size_t n = 0;    // bytes read (0: nothing available or closed)
+    bool closed = false;  // peer closed its end
+  };
+
+  /// Reads up to `len` bytes without blocking.
+  ReadResult read_some(std::uint8_t* data, std::size_t len);
+
+ private:
+  int fd_ = -1;
+};
+
+/// A non-blocking AF_UNIX stream socketpair.
+[[nodiscard]] std::pair<Socket, Socket> make_socket_pair();
+
+/// The full loopback mesh for n parties.
+class Mesh {
+ public:
+  explicit Mesh(std::size_t n);
+
+  [[nodiscard]] std::size_t n() const { return n_; }
+
+  /// Party `self`'s endpoint of the (self, peer) connection. Requires
+  /// self != peer. The returned socket must only be used by `self`'s
+  /// thread.
+  [[nodiscard]] Socket& endpoint(PartyId self, PartyId peer);
+
+ private:
+  std::size_t n_;
+  // Entry (a, b) with a < b holds the pair; first belongs to a, second to b.
+  std::vector<std::pair<Socket, Socket>> pairs_;
+};
+
+}  // namespace treeaa::net

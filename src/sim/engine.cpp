@@ -159,6 +159,11 @@ void Engine::run(Round rounds) {
     }
 
     // 3. Delivery, sorted by sender (stable: same-sender order preserved).
+    // An attached link layer filters the round's traffic first (drops,
+    // duplicates, corruption, per-link reordering).
+    if (link_layer_ != nullptr) {
+      queued_ = link_layer_->deliver(r, std::move(queued_));
+    }
     if (tracer_ != nullptr) tracer_->on_deliver(r);
     std::stable_sort(queued_.begin(), queued_.end(),
                      [](const Envelope& a, const Envelope& b) {

@@ -24,6 +24,7 @@
 #include "common/check.h"
 #include "sim/adversary.h"
 #include "sim/envelope.h"
+#include "sim/link.h"
 #include "sim/process.h"
 #include "sim/stats.h"
 #include "sim/trace.h"
@@ -46,6 +47,11 @@ class Engine {
   /// Attaches an execution tracer (non-owning; must outlive the engine).
   /// nullptr detaches.
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+  /// Attaches a lossy link layer applied to all traffic at delivery time
+  /// (non-owning; must outlive the engine). nullptr (the default) keeps the
+  /// paper's perfect channels.
+  void set_link_layer(LinkLayer* link_layer) { link_layer_ = link_layer; }
 
   /// Runs rounds current+1 .. current+rounds. May be called repeatedly to
   /// run protocols in phases.
@@ -80,6 +86,7 @@ class Engine {
   std::vector<PartyId> corrupt_list_;
   std::unique_ptr<Adversary> adversary_;
   Tracer* tracer_ = nullptr;
+  LinkLayer* link_layer_ = nullptr;
   std::vector<Envelope> queued_;  // messages queued for the current round
   TrafficStats stats_;
 };

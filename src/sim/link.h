@@ -1,0 +1,36 @@
+// The lossy-link extension point of the synchronous engine.
+//
+// The paper's model (§2) has perfect channels, and the engine keeps that
+// default. A LinkLayer models the data plane of a real deployment instead:
+// at delivery time it may drop, duplicate, corrupt and reorder the round's
+// queued messages. src/net uses this to run a *same-seed reference
+// execution* of its fault-injecting socket transport on the discrete
+// engine: both apply the identical deterministic per-link fault decisions,
+// so honest outputs must match byte for byte (tools/treeaa_net asserts
+// exactly that).
+//
+// Contract: deliver() receives every envelope queued for round r (honest
+// traffic first, in party order, then adversarial injections in send
+// order) and returns the set actually handed to the inboxes. Within one
+// (from, to) pair the input order is the sender's send order; only the
+// relative order within such a pair is observable by receivers (the engine
+// sorts inboxes by sender afterwards).
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "sim/envelope.h"
+
+namespace treeaa::sim {
+
+class LinkLayer {
+ public:
+  virtual ~LinkLayer() = default;
+
+  /// Transforms round r's queued traffic into the delivered traffic.
+  virtual std::vector<Envelope> deliver(Round r,
+                                        std::vector<Envelope> queued) = 0;
+};
+
+}  // namespace treeaa::sim

@@ -1,0 +1,114 @@
+// Adversarial decoding: the gradecast codecs against truncated, oversized
+// and random-garbage byte strings. Byzantine parties inject arbitrary
+// bytes, so a decoder that throws, over-reads or crashes on any input is a
+// protocol bug — malformed must always mean nullopt.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "gradecast/wire.h"
+
+namespace treeaa::gradecast {
+namespace {
+
+TEST(GradecastWireFuzz, LeaderRoundTripSurvivesTruncation) {
+  const Bytes value{10, 20, 30, 40, 50};
+  const Bytes msg = encode_leader(value);
+  ASSERT_EQ(decode_leader(msg), value);
+  // Every strict prefix is malformed, never a crash or a partial value.
+  for (std::size_t len = 0; len < msg.size(); ++len) {
+    const Bytes prefix(msg.begin(), msg.begin() + static_cast<long>(len));
+    EXPECT_EQ(decode_leader(prefix), std::nullopt) << "prefix length " << len;
+  }
+}
+
+TEST(GradecastWireFuzz, LeaderRejectsTrailingAndOversizedLength) {
+  Bytes msg = encode_leader(Bytes{1, 2, 3});
+  msg.push_back(0);  // trailing byte
+  EXPECT_EQ(decode_leader(msg), std::nullopt);
+
+  // A length prefix promising more bytes than the buffer holds.
+  ByteWriter w;
+  w.u8(kTagLeader);
+  w.varint(1'000'000);
+  w.u8(7);
+  EXPECT_EQ(decode_leader(std::move(w).take()), std::nullopt);
+
+  EXPECT_EQ(decode_leader(Bytes{}), std::nullopt);
+  EXPECT_EQ(decode_leader(Bytes{kTagEcho, 0}), std::nullopt);  // wrong tag
+}
+
+TEST(GradecastWireFuzz, SlotsRoundTripSurvivesTruncation) {
+  const std::size_t n = 4;
+  const std::vector<Slot> slots{Bytes{1, 2}, std::nullopt, Bytes{},
+                                Bytes{9, 9, 9}};
+  const Bytes msg = encode_slots(kTagEcho, slots);
+  ASSERT_EQ(decode_slots(kTagEcho, msg, n), slots);
+  for (std::size_t len = 0; len < msg.size(); ++len) {
+    const Bytes prefix(msg.begin(), msg.begin() + static_cast<long>(len));
+    EXPECT_EQ(decode_slots(kTagEcho, prefix, n), std::nullopt)
+        << "prefix length " << len;
+  }
+}
+
+TEST(GradecastWireFuzz, SlotsRejectWrongArityAndTag) {
+  const std::vector<Slot> slots{Bytes{1}, std::nullopt, Bytes{2}};
+  const Bytes msg = encode_slots(kTagSupport, slots);
+  EXPECT_EQ(decode_slots(kTagEcho, msg, 3), std::nullopt);     // wrong tag
+  EXPECT_EQ(decode_slots(kTagSupport, msg, 4), std::nullopt);  // too few
+  EXPECT_EQ(decode_slots(kTagSupport, msg, 2), std::nullopt);  // too many
+
+  // A slot-count prefix far above n must be rejected before any attempt to
+  // allocate or read that many slots.
+  ByteWriter w;
+  w.u8(kTagEcho);
+  w.varint(1u << 30);
+  EXPECT_EQ(decode_slots(kTagEcho, std::move(w).take(), 4), std::nullopt);
+}
+
+TEST(GradecastWireFuzz, RandomGarbageNeverDecodesLeaderDangerously) {
+  Rng rng(0xC0DEC);
+  for (int iter = 0; iter < 2000; ++iter) {
+    Bytes msg(rng.index(64), 0);
+    for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next() & 0xFF);
+    // Must not throw; a successful decode must re-encode to the same bytes
+    // (the codec admits exactly its own canonical encodings).
+    const auto value = decode_leader(msg);
+    if (value.has_value()) {
+      EXPECT_EQ(encode_leader(*value), msg);
+    }
+  }
+}
+
+TEST(GradecastWireFuzz, RandomGarbageNeverDecodesSlotsDangerously) {
+  Rng rng(0x51075);
+  const std::size_t n = 5;
+  for (int iter = 0; iter < 2000; ++iter) {
+    Bytes msg(rng.index(96), 0);
+    for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next() & 0xFF);
+    const auto slots = decode_slots(kTagEcho, msg, n);
+    if (slots.has_value()) {
+      ASSERT_EQ(slots->size(), n);
+      EXPECT_EQ(encode_slots(kTagEcho, *slots), msg);
+    }
+  }
+}
+
+TEST(GradecastWireFuzz, BitFlipsNeverCrashTheDecoder) {
+  // The net fault plan's corrupt action flips payload bits; every single-bit
+  // variant of a valid message must decode cleanly or fail cleanly.
+  const Bytes msg =
+      encode_slots(kTagEcho, {Bytes{1, 2, 3}, std::nullopt, Bytes{4}});
+  for (std::size_t byte = 0; byte < msg.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes flipped = msg;
+      flipped[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      (void)decode_slots(kTagEcho, flipped, 3);
+      (void)decode_leader(flipped);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace treeaa::gradecast

@@ -1,0 +1,219 @@
+// Fault-plan parsing and the deterministic per-link decision streams.
+#include "net/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace treeaa::net {
+namespace {
+
+std::vector<Bytes> payloads(std::size_t count, std::size_t size = 4) {
+  std::vector<Bytes> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(Bytes(size, static_cast<std::uint8_t>(i)));
+  }
+  return out;
+}
+
+TEST(FaultPlan, ParsesEveryKey) {
+  const auto plan = FaultPlan::parse(
+      "drop=0.1,delay=0.2,dup=0.3,corrupt=0.4,reorder=0.5,delay-rounds=3,"
+      "crash=2@5,crash=0@1");
+  EXPECT_DOUBLE_EQ(plan.drop, 0.1);
+  EXPECT_DOUBLE_EQ(plan.delay, 0.2);
+  EXPECT_DOUBLE_EQ(plan.duplicate, 0.3);
+  EXPECT_DOUBLE_EQ(plan.corrupt, 0.4);
+  EXPECT_DOUBLE_EQ(plan.reorder, 0.5);
+  EXPECT_EQ(plan.delay_rounds_max, 3u);
+  ASSERT_EQ(plan.crashes.size(), 2u);
+  EXPECT_EQ(plan.crash_round(2), std::optional<Round>(5));
+  EXPECT_EQ(plan.crash_round(0), std::optional<Round>(1));
+  EXPECT_EQ(plan.crash_round(1), std::nullopt);
+  EXPECT_TRUE(plan.any());
+}
+
+TEST(FaultPlan, EmptySpecIsNoFaults) {
+  const auto plan = FaultPlan::parse("");
+  EXPECT_FALSE(plan.any());
+  EXPECT_EQ(plan.describe(), "none");
+}
+
+TEST(FaultPlan, DescribeRoundTrips) {
+  // delay-rounds only appears in the canonical form when delay is active.
+  const auto plan = FaultPlan::parse(
+      "drop=0.25,dup=0.5,delay=0.1,delay-rounds=4,crash=1@7");
+  const auto reparsed = FaultPlan::parse(plan.describe());
+  EXPECT_DOUBLE_EQ(reparsed.drop, plan.drop);
+  EXPECT_DOUBLE_EQ(reparsed.duplicate, plan.duplicate);
+  EXPECT_EQ(reparsed.delay_rounds_max, plan.delay_rounds_max);
+  EXPECT_EQ(reparsed.crash_round(1), std::optional<Round>(7));
+  EXPECT_EQ(reparsed.describe(), plan.describe());
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW(FaultPlan::parse("bogus=1"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("drop"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("drop=1.5"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("drop=-0.1"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("drop=abc"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("crash=2"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("crash=x@1"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("delay-rounds=0"), std::invalid_argument);
+}
+
+TEST(LinkFaults, LinkSeedIsDirectionSensitive) {
+  EXPECT_EQ(LinkFaults::link_seed(7, 1, 2), LinkFaults::link_seed(7, 1, 2));
+  EXPECT_NE(LinkFaults::link_seed(7, 1, 2), LinkFaults::link_seed(7, 2, 1));
+  EXPECT_NE(LinkFaults::link_seed(7, 1, 2), LinkFaults::link_seed(8, 1, 2));
+}
+
+TEST(LinkFaults, CleanPlanPassesEverythingThrough) {
+  const FaultPlan plan;  // LinkFaults holds the plan by reference
+  LinkFaults link(plan, 0, 1, 42);
+  const auto out = link.transmit(1, payloads(3));
+  ASSERT_EQ(out.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(out[i].send_round, 1u);
+    EXPECT_EQ(out[i].payload, Bytes(4, static_cast<std::uint8_t>(i)));
+  }
+  EXPECT_EQ(link.stats().dropped, 0u);
+}
+
+TEST(LinkFaults, SameSeedSameDecisions) {
+  const auto plan = FaultPlan::parse(
+      "drop=0.3,delay=0.2,dup=0.2,corrupt=0.2,reorder=0.5");
+  LinkFaults a(plan, 0, 1, 99);
+  LinkFaults b(plan, 0, 1, 99);
+  for (Round r = 1; r <= 20; ++r) {
+    const auto out_a = a.transmit(r, payloads(5, 16));
+    const auto out_b = b.transmit(r, payloads(5, 16));
+    ASSERT_EQ(out_a.size(), out_b.size());
+    for (std::size_t i = 0; i < out_a.size(); ++i) {
+      EXPECT_EQ(out_a[i].payload, out_b[i].payload);
+      EXPECT_EQ(out_a[i].send_round, out_b[i].send_round);
+    }
+  }
+  EXPECT_EQ(a.stats().dropped, b.stats().dropped);
+  EXPECT_EQ(a.stats().corrupted, b.stats().corrupted);
+}
+
+TEST(LinkFaults, DropAlwaysDropsEverything) {
+  const auto plan = FaultPlan::parse("drop=1");
+  LinkFaults link(plan, 0, 1, 7);
+  const auto out = link.transmit(1, payloads(10));
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(link.stats().dropped, 10u);
+}
+
+TEST(LinkFaults, DelayDefersWithinBound) {
+  const auto plan = FaultPlan::parse("delay=1,delay-rounds=3");
+  LinkFaults link(plan, 0, 1, 7);
+  const auto out = link.transmit(5, payloads(10));
+  ASSERT_EQ(out.size(), 10u);
+  for (const auto& f : out) {
+    EXPECT_GT(f.send_round, 5u);
+    EXPECT_LE(f.send_round, 8u);
+  }
+  EXPECT_EQ(link.stats().delayed, 10u);
+}
+
+TEST(LinkFaults, DuplicateEmitsTwoCopies) {
+  const auto plan = FaultPlan::parse("dup=1");
+  LinkFaults link(plan, 0, 1, 7);
+  const auto out = link.transmit(1, payloads(4));
+  ASSERT_EQ(out.size(), 8u);
+  EXPECT_EQ(link.stats().duplicated, 4u);
+}
+
+TEST(LinkFaults, CorruptFlipsBitsButKeepsSize) {
+  const auto plan = FaultPlan::parse("corrupt=1");
+  LinkFaults link(plan, 0, 1, 7);
+  const Bytes original(8, 0x55);
+  const auto out = link.transmit(1, {original});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].payload.size(), original.size());
+  EXPECT_NE(out[0].payload, original);
+  EXPECT_EQ(link.stats().corrupted, 1u);
+}
+
+TEST(LinkFaults, CrashSuppressesFromItsRoundOn) {
+  const auto plan = FaultPlan::parse("crash=0@3");
+  LinkFaults link(plan, 0, 1, 7);
+  EXPECT_EQ(link.transmit(1, payloads(2)).size(), 2u);
+  EXPECT_EQ(link.transmit(2, payloads(2)).size(), 2u);
+  EXPECT_TRUE(link.transmit(3, payloads(2)).empty());
+  EXPECT_TRUE(link.transmit(4, payloads(2)).empty());
+  EXPECT_EQ(link.stats().suppressed, 4u);
+}
+
+TEST(LinkFaults, CrashSuppressionDrawsNoRandomness) {
+  // A crashed round must not advance the Rng stream: the sim reference
+  // world and the socket world agree on every post-crash decision only if
+  // suppression is draw-free. Compare a crash-at-1 stream against a fresh
+  // stream fed the same post-crash rounds.
+  const auto lossy = FaultPlan::parse("drop=0.5,dup=0.5,corrupt=0.5");
+  auto crashing = FaultPlan::parse("drop=0.5,dup=0.5,corrupt=0.5,crash=0@1");
+  LinkFaults with_crash(crashing, 0, 1, 13);
+  EXPECT_TRUE(with_crash.transmit(1, payloads(6)).empty());
+  EXPECT_EQ(with_crash.stats().suppressed, 6u);
+
+  // Un-crash the plan in place (LinkFaults holds it by reference): the
+  // stream must now behave as if nothing had ever been drawn.
+  crashing.crashes.clear();
+  LinkFaults fresh(lossy, 0, 1, 13);
+  const auto out_a = with_crash.transmit(7, payloads(6, 12));
+  const auto out_b = fresh.transmit(7, payloads(6, 12));
+  ASSERT_EQ(out_a.size(), out_b.size());
+  for (std::size_t i = 0; i < out_a.size(); ++i) {
+    EXPECT_EQ(out_a[i].payload, out_b[i].payload);
+    EXPECT_EQ(out_a[i].send_round, out_b[i].send_round);
+  }
+}
+
+TEST(FaultLinkLayer, MirrorsLinkFaultDecisions) {
+  // The engine-side adapter must reproduce LinkFaults::transmit per link:
+  // same drops, same corruptions; delayed frames are dropped outright.
+  const auto plan = FaultPlan::parse("drop=0.4,corrupt=0.3,delay=0.2");
+  const std::uint64_t seed = 21;
+  const std::size_t n = 3;
+
+  FaultLinkLayer layer(plan, n, seed);
+  const auto payload_for = [](PartyId from, PartyId to) {
+    return Bytes{static_cast<std::uint8_t>(from),
+                 static_cast<std::uint8_t>(to), 7, 7};
+  };
+  std::vector<sim::Envelope> queued;
+  for (PartyId from = 0; from < n; ++from) {
+    for (PartyId to = 0; to < n; ++to) {
+      queued.push_back(sim::Envelope{from, to, 1, payload_for(from, to)});
+    }
+  }
+  const auto delivered = layer.deliver(1, queued);
+
+  for (PartyId from = 0; from < n; ++from) {
+    for (PartyId to = 0; to < n; ++to) {
+      const Bytes sent = payload_for(from, to);
+      std::vector<Bytes> got;
+      for (const auto& e : delivered) {
+        if (e.from == from && e.to == to) got.push_back(e.payload);
+      }
+      if (from == to) {
+        // Self-link is reliable memory in both worlds.
+        ASSERT_EQ(got.size(), 1u);
+        EXPECT_EQ(got[0], sent);
+        continue;
+      }
+      LinkFaults reference(plan, from, to, seed);
+      const auto expect = reference.transmit(1, {sent});
+      std::vector<Bytes> surviving;
+      for (const auto& f : expect) {
+        if (f.send_round == 1) surviving.push_back(f.payload);
+      }
+      EXPECT_EQ(got, surviving) << "link " << from << "->" << to;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace treeaa::net

@@ -1,0 +1,131 @@
+// Wire framing: body round-trips, malformed-body rejection, and the
+// incremental FrameReader including its fail-closed poisoning.
+#include "net/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace treeaa::net {
+namespace {
+
+Bytes wire(const Frame& frame) {
+  Bytes out;
+  append_wire_frame(out, frame);
+  return out;
+}
+
+TEST(FrameCodec, DataRoundTrips) {
+  const Frame frame{FrameKind::kData, 17, Bytes{1, 2, 3, 0xFF}};
+  const auto decoded = decode_frame_body(encode_frame_body(frame));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->kind, FrameKind::kData);
+  EXPECT_EQ(decoded->round, 17u);
+  EXPECT_EQ(decoded->payload, frame.payload);
+}
+
+TEST(FrameCodec, EmptyPayloadAndLargeRoundRoundTrip) {
+  const Frame frame{FrameKind::kData, 0xFFFFFFFFu, Bytes{}};
+  const auto decoded = decode_frame_body(encode_frame_body(frame));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->round, 0xFFFFFFFFu);
+  EXPECT_TRUE(decoded->payload.empty());
+}
+
+TEST(FrameCodec, BarrierRoundTrips) {
+  const Frame frame{FrameKind::kBarrier, 5, Bytes{}};
+  const auto decoded = decode_frame_body(encode_frame_body(frame));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->kind, FrameKind::kBarrier);
+  EXPECT_EQ(decoded->round, 5u);
+}
+
+TEST(FrameCodec, RejectsMalformedBodies) {
+  EXPECT_FALSE(decode_frame_body(Bytes{}).has_value());       // empty
+  EXPECT_FALSE(decode_frame_body(Bytes{0x07, 1}).has_value());  // bad kind
+  // Truncated: data frame cut inside the payload blob.
+  Bytes body = encode_frame_body(Frame{FrameKind::kData, 3, Bytes{9, 9, 9}});
+  body.pop_back();
+  EXPECT_FALSE(decode_frame_body(body).has_value());
+  // Trailing garbage after a well-formed frame.
+  body = encode_frame_body(Frame{FrameKind::kBarrier, 3, {}});
+  body.push_back(0);
+  EXPECT_FALSE(decode_frame_body(body).has_value());
+}
+
+TEST(FrameCodec, RejectsBarrierWithPayload) {
+  // A barrier body is [kind][round] only; hand-build one with extra bytes.
+  Bytes body = encode_frame_body(Frame{FrameKind::kBarrier, 1, {}});
+  body.push_back(0x42);
+  EXPECT_FALSE(decode_frame_body(body).has_value());
+}
+
+TEST(FrameReader, ReassemblesByteAtATime) {
+  const Frame frame{FrameKind::kData, 9, Bytes{10, 20, 30}};
+  const Bytes stream = wire(frame);
+  FrameReader reader;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_FALSE(reader.next_body().has_value());
+    reader.feed(&stream[i], 1);
+  }
+  const auto body = reader.next_body();
+  ASSERT_TRUE(body.has_value());
+  const auto decoded = decode_frame_body(*body);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->payload, frame.payload);
+  EXPECT_FALSE(reader.next_body().has_value());
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FrameReader, SplitsConcatenatedFrames) {
+  Bytes stream;
+  for (Round r = 1; r <= 4; ++r) {
+    append_wire_frame(
+        stream,
+        Frame{FrameKind::kData, r, Bytes{static_cast<std::uint8_t>(r)}});
+  }
+  FrameReader reader;
+  reader.feed(stream.data(), stream.size());
+  for (Round r = 1; r <= 4; ++r) {
+    const auto body = reader.next_body();
+    ASSERT_TRUE(body.has_value());
+    const auto decoded = decode_frame_body(*body);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->round, r);
+  }
+  EXPECT_FALSE(reader.next_body().has_value());
+}
+
+TEST(FrameReader, OversizedLengthPrefixPoisonsPermanently) {
+  const std::uint32_t huge = kMaxFrameBody + 1;
+  Bytes stream(4);
+  std::memcpy(stream.data(), &huge, 4);
+  FrameReader reader;
+  reader.feed(stream.data(), stream.size());
+  EXPECT_FALSE(reader.next_body().has_value());
+  EXPECT_TRUE(reader.poisoned());
+  // Feeding a perfectly valid frame afterwards cannot resurrect the stream.
+  const Bytes good = wire(Frame{FrameKind::kBarrier, 1, {}});
+  reader.feed(good.data(), good.size());
+  EXPECT_FALSE(reader.next_body().has_value());
+  EXPECT_TRUE(reader.poisoned());
+}
+
+TEST(FrameReader, MaxBodySizeIsNotPoisonous) {
+  // Exactly kMaxFrameBody must still be accepted — the cap covers the
+  // engine's largest legal payload plus framing slack.
+  const Bytes body(kMaxFrameBody, 0xAB);
+  const auto len = static_cast<std::uint32_t>(body.size());
+  Bytes prefix(4);
+  std::memcpy(prefix.data(), &len, 4);
+  FrameReader reader;
+  reader.feed(prefix.data(), prefix.size());
+  reader.feed(body.data(), body.size());
+  EXPECT_FALSE(reader.poisoned());
+  const auto got = reader.next_body();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->size(), kMaxFrameBody);
+}
+
+}  // namespace
+}  // namespace treeaa::net

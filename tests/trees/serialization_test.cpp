@@ -20,16 +20,62 @@ TEST(TreeText, RoundTripFigure3) {
   }
 }
 
+/// Full structural equality, not just spot checks: labels, parents, degrees
+/// and derived metrics must all survive the text round trip.
+void expect_same_tree(const LabeledTree& tree, const LabeledTree& back) {
+  ASSERT_EQ(back.n(), tree.n());
+  for (VertexId v = 0; v < tree.n(); ++v) {
+    EXPECT_EQ(back.label(v), tree.label(v));
+    EXPECT_EQ(back.parent(v), tree.parent(v));
+    EXPECT_EQ(back.degree(v), tree.degree(v));
+  }
+  EXPECT_EQ(back.diameter(), tree.diameter());
+}
+
 TEST(TreeText, RoundTripRandomTrees) {
   Rng rng(777);
   for (int trial = 0; trial < 10; ++trial) {
     const auto tree = make_random_tree(1 + rng.index(60), rng);
-    const auto back = tree_from_text(tree_to_text(tree));
-    ASSERT_EQ(back.n(), tree.n());
-    for (VertexId v = 0; v < tree.n(); ++v) {
-      EXPECT_EQ(back.label(v), tree.label(v));
-      EXPECT_EQ(back.parent(v), tree.parent(v));
-    }
+    expect_same_tree(tree, tree_from_text(tree_to_text(tree)));
+  }
+}
+
+TEST(TreeText, RoundTripPropertyAcrossGeneratorFamilies) {
+  // Property: for every generator family and size, parse(serialize(T)) is
+  // structurally identical to T and the canonical text is a fixed point of
+  // the round trip (diffable configuration needs a stable canonical form).
+  Rng rng(0x7EE5);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = 1 + rng.index(80);
+    LabeledTree tree = [&]() -> LabeledTree {
+      switch (rng.index(6)) {
+        case 0: return make_path(n);
+        case 1: return make_star(n + 1);
+        case 2: return make_kary(1 + rng.index(4), 1 + rng.index(3));
+        case 3: return make_caterpillar(1 + rng.index(12), rng.index(5));
+        case 4: return make_spider(1 + rng.index(6), 1 + rng.index(8));
+        default:
+          return make_random_chainy_tree(n, rng, rng.unit());
+      }
+    }();
+    const auto text = tree_to_text(tree);
+    const auto back = tree_from_text(text);
+    expect_same_tree(tree, back);
+    EXPECT_EQ(tree_to_text(back), text) << "canonical form not a fixed point";
+  }
+}
+
+TEST(TreeText, RoundTripShuffledLabelRandomTrees) {
+  // Shuffled labels decouple label order from structural position, so this
+  // exercises parsing where the root is not the generator's vertex 0.
+  Rng rng(424242);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto tree =
+        make_random_tree(1 + rng.index(100), rng, /*shuffle_labels=*/true);
+    const auto text = tree_to_text(tree);
+    const auto back = tree_from_text(text);
+    expect_same_tree(tree, back);
+    EXPECT_EQ(tree_to_text(back), text);
   }
 }
 

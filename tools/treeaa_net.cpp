@@ -1,0 +1,196 @@
+// treeaa_net — run TreeAA end to end over the real socket transport.
+//
+//   treeaa_net <file|-> --t <t> --inputs <l1,l2,...>
+//              [--adversary none|silent|fuzz] [--faults <spec>]
+//              [--seed <s>] [--timeout-ms <m>] [--engine bdh|classic]
+//              [--report <file|->] [--no-crosscheck] [--quiet]
+//
+// Every party runs on its own thread behind the loopback mesh
+// (docs/NET.md); `--faults` injects deterministic link faults, e.g.
+// "drop=0.1,delay=0.05,dup=0.02,corrupt=0.02,crash=3@4". After the run the
+// honest outputs are checked for Validity and 1-Agreement AND — unless
+// --no-crosscheck — compared vertex for vertex against a same-seed
+// sim::Engine reference execution. The exit status is 0 only when both
+// hold; `--report` writes the machine-readable "treeaa.net_report/1"
+// document (the TREEAA_METRICS environment variable is the usual fallback
+// destination; reports are byte-reproducible across identical runs).
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/table.h"
+#include "net/deploy.h"
+#include "obs/sink.h"
+#include "trees/serialization.h"
+
+namespace {
+
+using namespace treeaa;
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      "usage:\n"
+      "  treeaa_net <file|-> --t <t> --inputs <l1,l2,...>\n"
+      "             [--adversary none|silent|fuzz] [--corrupt <k<=t>]\n"
+      "             [--faults <spec>]\n"
+      "             [--seed <s>] [--timeout-ms <m>] [--engine bdh|classic]\n"
+      "             [--report <file|->] [--no-crosscheck] [--quiet]\n"
+      "\n"
+      "fault spec keys: drop, delay, dup, corrupt, reorder (probabilities),\n"
+      "delay-rounds=<k>, crash=<party>@<round> (repeatable)\n";
+  std::exit(2);
+}
+
+std::string read_all(const std::string& path) {
+  if (path == "-") {
+    std::ostringstream os;
+    os << std::cin.rdbuf();
+    return os.str();
+  }
+  std::ifstream in(path);
+  if (!in) usage("cannot open '" + path + "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream is(s);
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+int run(const std::vector<std::string>& args) {
+  if (args.empty()) usage("need <file|->");
+  const auto tree = tree_from_text(read_all(args[0]));
+
+  std::size_t t = 0;
+  std::vector<std::string> input_labels;
+  std::string adversary = "none";
+  std::string faults_spec;
+  std::string engine = "bdh";
+  std::string report_path;
+  net::DeployConfig cfg;
+  bool quiet = false;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) usage("missing value after " + args[i]);
+      return args[++i];
+    };
+    if (args[i] == "--t") {
+      t = std::stoul(next());
+    } else if (args[i] == "--inputs") {
+      input_labels = split_csv(next());
+    } else if (args[i] == "--adversary") {
+      adversary = next();
+    } else if (args[i] == "--corrupt") {
+      cfg.corrupt_count = std::stoul(next());
+    } else if (args[i] == "--faults") {
+      faults_spec = next();
+    } else if (args[i] == "--seed") {
+      cfg.seed = std::stoull(next());
+    } else if (args[i] == "--timeout-ms") {
+      cfg.round_timeout_ms = std::stoi(next());
+      if (cfg.round_timeout_ms <= 0) usage("--timeout-ms must be positive");
+    } else if (args[i] == "--engine") {
+      engine = next();
+    } else if (args[i] == "--report") {
+      report_path = next();
+    } else if (args[i] == "--no-crosscheck") {
+      cfg.crosscheck = false;
+    } else if (args[i] == "--quiet") {
+      quiet = true;
+    } else {
+      usage("unknown option '" + args[i] + "'");
+    }
+  }
+  if (input_labels.empty()) usage("--inputs is required");
+  report_path = obs::resolve_metrics_path(std::move(report_path));
+  const std::size_t n = input_labels.size();
+  if (n <= 3 * t) usage("need n > 3t");
+
+  std::vector<VertexId> inputs;
+  for (const auto& label : input_labels) {
+    const auto v = tree.find(label);
+    if (!v.has_value()) usage("no vertex labeled '" + label + "'");
+    inputs.push_back(*v);
+  }
+
+  const auto kind = net::parse_adversary(adversary);
+  if (!kind.has_value()) usage("unknown adversary '" + adversary + "'");
+  cfg.adversary = *kind;
+  if (engine == "classic") {
+    cfg.protocol.engine = core::RealEngineKind::kClassicHalving;
+  } else if (engine != "bdh") {
+    usage("unknown engine '" + engine + "'");
+  }
+  try {
+    cfg.faults = net::FaultPlan::parse(faults_spec);
+  } catch (const std::invalid_argument& e) {
+    usage(e.what());
+  }
+
+  const auto result = net::run_tree_aa_net(tree, inputs, t, cfg);
+
+  if (!report_path.empty()) {
+    if (!obs::write_sink(report_path, result.report.to_json() + "\n")) {
+      return 2;
+    }
+  }
+  if (report_path != "-") {
+    if (!quiet) {
+      Table table({"party", "input", "output", "role"});
+      for (PartyId p = 0; p < n; ++p) {
+        const bool corrupt = std::find(result.corrupt.begin(),
+                                       result.corrupt.end(),
+                                       p) != result.corrupt.end();
+        const bool crashed = std::find(result.crashed.begin(),
+                                       result.crashed.end(),
+                                       p) != result.crashed.end();
+        table.row({std::to_string(p), input_labels[p],
+                   result.outputs[p].has_value()
+                       ? tree.label(*result.outputs[p])
+                       : "(corrupt)",
+                   corrupt ? "byzantine" : crashed ? "crashed" : "honest"});
+      }
+      std::cout << table.render();
+    }
+    const auto& totals = result.report.totals;
+    std::cout << "rounds: " << result.rounds << "  frames: "
+              << totals.frames_sent << "  bytes: " << totals.bytes_sent
+              << "  dropped: " << totals.dropped
+              << "  corrupted: " << totals.corrupted
+              << "  stale: " << totals.stale_discarded
+              << "  timeouts: " << result.report.timeouts_total << "\n"
+              << "validity: " << (result.check.valid ? "ok" : "VIOLATED")
+              << "  1-agreement: "
+              << (result.check.one_agreement ? "ok" : "VIOLATED")
+              << "  sim cross-check: "
+              << (cfg.crosscheck
+                      ? (result.sim_match ? "match" : "MISMATCH")
+                      : "skipped")
+              << "\n";
+  }
+  return result.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    return run(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
