@@ -137,7 +137,7 @@ void async_baseline_table() {
     const auto tree = make_random_chainy_tree(size, rng, 0.8);
     const auto inputs = harness::spread_vertex_inputs(tree, n);
     const auto run = harness::run_async_tree_aa(
-        tree, n, t, inputs, {5, 6}, async::SchedulerKind::kRandom, size);
+        tree, n, t, inputs, {{5, 6}, async::SchedulerKind::kRandom, size});
     std::vector<VertexId> honest(inputs.begin(), inputs.begin() + 5);
     const bool ok =
         core::check_agreement(tree, honest, run.honest_outputs()).ok();

@@ -11,7 +11,7 @@
 #include "common/table.h"
 #include "core/api.h"
 #include "harness/runner.h"
-#include "metrics_output.h"
+#include "obs/bench_report.h"
 #include "sim/strategies.h"
 #include "trees/generators.h"
 
@@ -19,7 +19,7 @@ namespace {
 
 using namespace treeaa;
 
-void realaa_table(bench::BenchReporter& reporter) {
+void realaa_table(obs::BenchReporter& reporter) {
   std::cout << "=== E6a: RealAA traffic vs n (D = 1e4, eps = 1, honest run) "
                "===\n";
   Table table({"n", "t", "rounds", "messages", "msg/(R n^2)", "bytes",
@@ -50,7 +50,7 @@ void realaa_table(bench::BenchReporter& reporter) {
                "Theta(R n^3) bytes)\n\n";
 }
 
-void treeaa_table(bench::BenchReporter& reporter) {
+void treeaa_table(obs::BenchReporter& reporter) {
   std::cout << "=== E6b: full TreeAA traffic (1000-vertex random tree) ===\n";
   Table table({"n", "t", "rounds", "messages", "bytes", "bytes/party/round"});
   Rng rng(66);
@@ -73,7 +73,7 @@ void treeaa_table(bench::BenchReporter& reporter) {
   std::cout << render_for_output(table) << "\n";
 }
 
-void adversarial_traffic_table(bench::BenchReporter& reporter) {
+void adversarial_traffic_table(obs::BenchReporter& reporter) {
   std::cout << "=== E6c: adversarial traffic is accounted separately ===\n";
   Table table({"adversary", "honest msgs", "adversary msgs"});
   realaa::Config cfg;
@@ -102,7 +102,7 @@ void adversarial_traffic_table(bench::BenchReporter& reporter) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::BenchReporter reporter("message_complexity", argc, argv);
+  obs::BenchReporter reporter("message_complexity", argc, argv);
   realaa_table(reporter);
   treeaa_table(reporter);
   adversarial_traffic_table(reporter);

@@ -24,7 +24,7 @@
 #include "bounds/fekete.h"
 #include "common/table.h"
 #include "harness/runner.h"
-#include "metrics_output.h"
+#include "obs/bench_report.h"
 #include "realaa/adversaries.h"
 #include "realaa/rounds.h"
 
@@ -41,7 +41,7 @@ realaa::Config config_for(std::size_t n, std::size_t t, double D) {
   return cfg;
 }
 
-void table_e1a(bench::BenchReporter& reporter) {
+void table_e1a(obs::BenchReporter& reporter) {
   std::cout << "=== E1a: RealAA rounds vs spread D (n = 16, t = 5, eps = 1) "
                "===\n";
   const std::size_t n = 16, t = 5;
@@ -67,7 +67,7 @@ void table_e1a(bench::BenchReporter& reporter) {
   std::cout << render_for_output(table) << "\n";
 }
 
-void table_e1b(bench::BenchReporter& reporter) {
+void table_e1b(obs::BenchReporter& reporter) {
   std::cout << "=== E1b: per-iteration honest range (n = 13, t = 4, D = 1e6) "
                "===\n";
   const std::size_t n = 13, t = 4;
@@ -125,7 +125,7 @@ void table_e1b(bench::BenchReporter& reporter) {
             << fmt_double(lemma5) << "\n\n";
 }
 
-void table_e1c(bench::BenchReporter& reporter) {
+void table_e1c(obs::BenchReporter& reporter) {
   std::cout << "=== E1c: rounds across (n, t) at D = 1e4 ===\n";
   Table table({"n", "t", "iterations", "rounds", "fekete_lower",
                "final_range"});
@@ -153,7 +153,7 @@ void table_e1c(bench::BenchReporter& reporter) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::BenchReporter reporter("realaa_convergence", argc, argv);
+  obs::BenchReporter reporter("realaa_convergence", argc, argv);
   table_e1a(reporter);
   table_e1b(reporter);
   table_e1c(reporter);

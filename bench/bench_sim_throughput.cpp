@@ -1,11 +1,42 @@
 // E10 (engineering) — simulator throughput: wall-clock cost of full
 // protocol executions. Not a paper claim; included so users can size
 // experiments (how big an n / |V| sweep fits in a CI run).
+//
+// Two modes:
+//
+//   bench_sim_throughput [gbench flags]
+//     The historical google-benchmark sweep over n / |V|.
+//
+//   bench_sim_throughput --pinned [--out <file|->]
+//                        [--check-against <baseline.json>]
+//                        [--max-regression <pct>] [--reps-scale <x>]
+//     The perf-regression suite: three pinned scenarios (one per hot
+//     subsystem — gradecast codec+counting, RealAA iteration loop, TreeAA
+//     end-to-end on a 1000-vertex tree) run a fixed number of repetitions
+//     and report messages/second as a "treeaa.perf_report/1" JSON document
+//     (--out, falling back to TREEAA_METRICS, "-" = stdout). With
+//     --check-against the measured throughput is gated against a
+//     checked-in baseline (bench/perf_baseline.json): any scenario more
+//     than --max-regression percent (default 25) below its baseline fails
+//     the run with exit code 1. docs/PERF.md describes the schema and how
+//     to refresh the baseline.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "core/api.h"
+#include "exp/json_value.h"
 #include "gradecast/gradecast.h"
 #include "harness/runner.h"
+#include "obs/json.h"
+#include "obs/sink.h"
 #include "sim/engine.h"
 #include "trees/generators.h"
 
@@ -13,30 +44,41 @@ namespace {
 
 using namespace treeaa;
 
+// --- Shared gradecast host ---------------------------------------------------
+
+/// Hosts a single BatchGradecast per party (every party leads with a
+/// one-byte value).
+class GradecastHost final : public sim::Process {
+ public:
+  GradecastHost(PartyId self, std::size_t n, std::size_t t)
+      : batch_(self, n, t, Bytes{static_cast<std::uint8_t>(self)}) {}
+  void on_round_begin(Round r, sim::Mailer& out) override {
+    batch_.on_step_begin(r - 1, out);
+  }
+  void on_round_end(Round r, std::span<const sim::Envelope> inbox) override {
+    batch_.on_step_end(r - 1, inbox);
+  }
+
+ private:
+  gradecast::BatchGradecast batch_;
+};
+
+std::uint64_t gradecast_once(std::size_t n, std::size_t t) {
+  sim::Engine engine(n, std::max<std::size_t>(t, 1));
+  for (PartyId p = 0; p < n; ++p) {
+    engine.set_process(p, std::make_unique<GradecastHost>(p, n, t));
+  }
+  engine.run(gradecast::kRounds);
+  return engine.stats().total_messages();
+}
+
+// --- google-benchmark sweep (the historical mode) ----------------------------
+
 void BM_GradecastBatch(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const std::size_t t = (n - 1) / 3;
   for (auto _ : state) {
-    sim::Engine engine(n, std::max<std::size_t>(t, 1));
-    // Host a single batch per party.
-    class Host final : public sim::Process {
-     public:
-      Host(PartyId self, std::size_t n_, std::size_t t_)
-          : batch_(self, n_, t_, Bytes{static_cast<std::uint8_t>(self)}) {}
-      void on_round_begin(Round r, sim::Mailer& out) override {
-        batch_.on_step_begin(r - 1, out);
-      }
-      void on_round_end(Round r,
-                        std::span<const sim::Envelope> inbox) override {
-        batch_.on_step_end(r - 1, inbox);
-      }
-      gradecast::BatchGradecast batch_;
-    };
-    for (PartyId p = 0; p < n; ++p) {
-      engine.set_process(p, std::make_unique<Host>(p, n, t));
-    }
-    engine.run(gradecast::kRounds);
-    benchmark::DoNotOptimize(engine.stats().total_messages());
+    benchmark::DoNotOptimize(gradecast_once(n, t));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n * n));
@@ -82,12 +124,235 @@ void BM_AsyncTreeAAFullRun(benchmark::State& state) {
   std::uint64_t seed = 1;
   for (auto _ : state) {
     const auto run = harness::run_async_tree_aa(
-        tree, n, t, inputs, {}, async::SchedulerKind::kRandom, seed++);
+        tree, n, t, inputs, {{}, async::SchedulerKind::kRandom, seed++});
     benchmark::DoNotOptimize(run.deliveries);
   }
 }
 BENCHMARK(BM_AsyncTreeAAFullRun)->Arg(100)->Arg(1000);
 
+// --- Pinned perf-regression suite --------------------------------------------
+
+struct PinnedResult {
+  std::string name;
+  std::size_t reps = 0;
+  std::uint64_t messages = 0;   // total over all reps
+  std::uint64_t wall_ns = 0;    // total over all reps
+  double messages_per_sec = 0.0;
+};
+
+/// One fixed scenario: run() executes one full protocol execution and
+/// returns the number of simulator messages it moved.
+template <typename Run>
+PinnedResult run_pinned_scenario(const std::string& name, std::size_t reps,
+                                 double reps_scale, Run&& run) {
+  const auto scaled = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(reps) * reps_scale));
+  // A few unmeasured executions to fault in code and warm the allocator,
+  // mirroring google-benchmark's warmup.
+  for (std::size_t i = 0; i < 3; ++i) (void)run();
+  PinnedResult result;
+  result.name = name;
+  result.reps = scaled;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < scaled; ++i) result.messages += run();
+  const auto end = std::chrono::steady_clock::now();
+  result.wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+          .count());
+  result.messages_per_sec = result.wall_ns == 0
+                                ? 0.0
+                                : static_cast<double>(result.messages) * 1e9 /
+                                      static_cast<double>(result.wall_ns);
+  return result;
+}
+
+/// The pinned scenarios. Fixed inputs and seeds: the message counts are
+/// deterministic, only the wall clock varies between runs.
+std::vector<PinnedResult> run_pinned_suite(double reps_scale) {
+  std::vector<PinnedResult> results;
+
+  // Gradecast batch, n=32: the codec + counting hot path.
+  results.push_back(run_pinned_scenario(
+      "gradecast_n32", 60, reps_scale, [] { return gradecast_once(32, 10); }));
+
+  // RealAA full run, n=16: the iteration loop over gradecast.
+  {
+    realaa::Config cfg;
+    cfg.n = 16;
+    cfg.t = 5;
+    cfg.eps = 1.0;
+    cfg.known_range = 1e4;
+    const auto inputs = harness::spread_real_inputs(16, 0.0, 1e4);
+    results.push_back(run_pinned_scenario("realaa_n16", 40, reps_scale, [&] {
+      const auto run = harness::run_real_aa(cfg, inputs);
+      return run.traffic.total_messages();
+    }));
+  }
+
+  // TreeAA end-to-end on a 1000-vertex random tree: tree queries +
+  // PathsFinder + projection.
+  {
+    Rng rng(0xBEEF + 1000);
+    const auto tree = make_random_tree(1000, rng);
+    const auto inputs = harness::spread_vertex_inputs(tree, 7);
+    results.push_back(run_pinned_scenario("tree_aa_1000", 120, reps_scale, [&] {
+      const auto run = core::run_tree_aa(tree, inputs, 2);
+      return run.traffic.total_messages();
+    }));
+  }
+
+  return results;
+}
+
+std::string perf_report_json(const std::vector<PinnedResult>& results) {
+  std::string out;
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.key("schema");
+  w.value(std::string_view("treeaa.perf_report/1"));
+  w.key("bench");
+  w.value(std::string_view("sim_throughput_pinned"));
+  w.key("scenarios");
+  w.begin_array();
+  for (const PinnedResult& r : results) {
+    w.begin_object();
+    w.key("name");
+    w.value(std::string_view(r.name));
+    w.key("reps");
+    w.value(static_cast<std::uint64_t>(r.reps));
+    w.key("messages");
+    w.value(r.messages);
+    w.key("wall_ns");
+    w.value(r.wall_ns);
+    w.key("messages_per_sec");
+    w.value(r.messages_per_sec);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out += '\n';
+  return out;
+}
+
+/// Gates `results` against a perf_report/1 baseline document. Returns the
+/// number of scenarios regressing more than `max_regression_pct`; unknown
+/// or missing scenarios are reported but never fail the gate (so adding a
+/// scenario does not require a lockstep baseline update).
+int check_against_baseline(const std::vector<PinnedResult>& results,
+                           const std::string& baseline_path,
+                           double max_regression_pct) {
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::cerr << "perf gate: cannot open baseline '" << baseline_path << "'\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto doc = exp::JsonValue::parse(buffer.str());
+  if (!doc.has_value() || !doc->is_object()) {
+    std::cerr << "perf gate: malformed baseline '" << baseline_path << "'\n";
+    return 1;
+  }
+  const exp::JsonValue* scenarios = doc->find("scenarios");
+  if (scenarios == nullptr || !scenarios->is_array()) {
+    std::cerr << "perf gate: baseline has no scenarios array\n";
+    return 1;
+  }
+
+  int regressions = 0;
+  for (const PinnedResult& r : results) {
+    double baseline = 0.0;
+    for (const exp::JsonValue& s : scenarios->items()) {
+      const exp::JsonValue* name = s.find("name");
+      const exp::JsonValue* rate = s.find("messages_per_sec");
+      if (name != nullptr && name->is_string() && name->as_string() == r.name &&
+          rate != nullptr && rate->is_number()) {
+        baseline = rate->as_number();
+      }
+    }
+    if (baseline <= 0.0) {
+      std::cerr << "perf gate: no baseline for '" << r.name << "' (skipped)\n";
+      continue;
+    }
+    const double floor = baseline * (1.0 - max_regression_pct / 100.0);
+    const double delta_pct =
+        (r.messages_per_sec / baseline - 1.0) * 100.0;
+    std::cout << "perf gate: " << r.name << " " << std::fixed
+              << static_cast<std::uint64_t>(r.messages_per_sec)
+              << " msgs/s vs baseline "
+              << static_cast<std::uint64_t>(baseline) << " ("
+              << (delta_pct >= 0 ? "+" : "") << delta_pct << "%)\n";
+    if (r.messages_per_sec < floor) {
+      std::cerr << "perf gate: FAIL " << r.name << " regressed more than "
+                << max_regression_pct << "% (floor "
+                << static_cast<std::uint64_t>(floor) << " msgs/s)\n";
+      ++regressions;
+    }
+  }
+  return regressions;
+}
+
+int run_pinned_mode(int argc, char** argv) {
+  std::string out_path;
+  std::string baseline_path;
+  double max_regression_pct = 25.0;
+  double reps_scale = 1.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value after " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--pinned") {
+      continue;
+    } else if (arg == "--out" || arg == "--metrics") {
+      out_path = next();
+    } else if (arg == "--check-against") {
+      baseline_path = next();
+    } else if (arg == "--max-regression") {
+      max_regression_pct = std::stod(next());
+    } else if (arg == "--reps-scale") {
+      reps_scale = std::stod(next());
+    } else {
+      std::cerr << "unknown --pinned option '" << arg << "'\n";
+      return 2;
+    }
+  }
+  out_path = obs::resolve_metrics_path(std::move(out_path));
+
+  const auto results = run_pinned_suite(reps_scale);
+  for (const PinnedResult& r : results) {
+    std::cout << r.name << ": " << r.messages << " msgs in " << r.reps
+              << " reps, "
+              << static_cast<std::uint64_t>(r.messages_per_sec)
+              << " msgs/s\n";
+  }
+  if (!out_path.empty() && !obs::write_sink(out_path, perf_report_json(results))) {
+    return 2;
+  }
+  if (!baseline_path.empty()) {
+    return check_against_baseline(results, baseline_path, max_regression_pct) >
+                   0
+               ? 1
+               : 0;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--pinned") {
+      return run_pinned_mode(argc, argv);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -18,7 +18,7 @@
 #include <memory>
 #include <string>
 
-#include "metrics_output.h"
+#include "obs/bench_report.h"
 #include "common/table.h"
 #include "core/api.h"
 #include "harness/runner.h"
@@ -71,7 +71,7 @@ constexpr std::uint64_t kSoakSeed = 424242;
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::BenchReporter reporter("soak", argc, argv);
+  obs::BenchReporter reporter("soak", argc, argv);
   std::size_t runs_per_family = 250;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::string(argv[i]) == "--runs") {
@@ -148,7 +148,7 @@ int main(int argc, char** argv) {
       const auto corrupt = sim::random_parties(n, t, rng);
       try {
         const auto run = harness::run_async_tree_aa(
-            tree, n, t, inputs, corrupt, sched, rng.next());
+            tree, n, t, inputs, {corrupt, sched, rng.next()});
         std::vector<VertexId> honest_inputs;
         for (PartyId p = 0; p < n; ++p) {
           if (run.outputs[p].has_value()) honest_inputs.push_back(inputs[p]);

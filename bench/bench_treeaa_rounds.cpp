@@ -18,7 +18,7 @@
 #include "common/table.h"
 #include "core/api.h"
 #include "harness/runner.h"
-#include "metrics_output.h"
+#include "obs/bench_report.h"
 #include "realaa/rounds.h"
 #include "trees/generators.h"
 
@@ -26,7 +26,7 @@ namespace {
 
 using namespace treeaa;
 
-void scaling_table(bench::BenchReporter& reporter) {
+void scaling_table(obs::BenchReporter& reporter) {
   std::cout << "=== E2a: TreeAA measured rounds vs |V| (n = 7, t = 2) ===\n";
   Table table({"family", "|V|", "D(T)", "rounds(TreeAA)", "thm4_envelope",
                "rounds(NR baseline)"});
@@ -77,7 +77,7 @@ void growth_table() {
             << "(the last column flattening out is the Theorem 4 shape)\n\n";
 }
 
-void resilience_table(bench::BenchReporter& reporter) {
+void resilience_table(obs::BenchReporter& reporter) {
   std::cout << "=== E2c: rounds vs resilience on a 1000-vertex path ===\n";
   const auto tree = make_path(1000);
   Table table({"n", "t", "rounds(TreeAA)", "1-agreement"});
@@ -100,7 +100,7 @@ void resilience_table(bench::BenchReporter& reporter) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::BenchReporter reporter("treeaa_rounds", argc, argv);
+  obs::BenchReporter reporter("treeaa_rounds", argc, argv);
   scaling_table(reporter);
   growth_table();
   resilience_table(reporter);

@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   const std::vector<PartyId> offline{7, 8, 9};  // silent Byzantine
 
   const auto run = harness::run_async_tree_aa(
-      map, n, t, positions, offline, async::SchedulerKind::kLifo, seed);
+      map, n, t, positions, {offline, async::SchedulerKind::kLifo, seed});
 
   std::cout << "meetup settled after " << run.deliveries
             << " message deliveries (" << run.messages

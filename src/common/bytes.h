@@ -157,6 +157,19 @@ class ByteReader {
     return b;
   }
 
+  /// Like blob(), but returns a view into the underlying buffer instead of
+  /// copying. The view is valid only while the buffer the reader was
+  /// constructed over stays alive — decode hot paths use it to defer (or
+  /// skip) the copy, retaining owned Bytes only for state kept across
+  /// rounds.
+  std::span<const std::uint8_t> blob_view() {
+    const std::uint64_t len = varint();
+    need(len, "blob body");
+    const auto view = data_.subspan(pos_, static_cast<std::size_t>(len));
+    pos_ += static_cast<std::size_t>(len);
+    return view;
+  }
+
   /// Reads a length-prefixed vector; `max_len` guards against hostile length
   /// prefixes allocating unbounded memory.
   template <typename T, typename Fn>

@@ -23,8 +23,9 @@ namespace {
 
 /// Merges the honest parties' current TreeAA state into the sample of the
 /// round that just ended: hull size and tree diameter of the estimate set,
-/// plus the max proven-Byzantine count.
-void snapshot_tree_aa(const LabeledTree& tree, const sim::Engine& engine,
+/// plus the max proven-Byzantine count. Distances go through the run's
+/// TreeIndex (O(1) per pair); the values are identical to tree.distance.
+void snapshot_tree_aa(const perf::TreeIndex& index, const sim::Engine& engine,
                       const std::vector<TreeAAProcess*>& procs,
                       obs::RoundSample& s) {
   std::vector<VertexId> estimates;
@@ -40,11 +41,11 @@ void snapshot_tree_aa(const LabeledTree& tree, const sim::Engine& engine,
   std::uint32_t diameter = 0;
   for (const VertexId u : estimates) {
     for (const VertexId v : estimates) {
-      diameter = std::max(diameter, tree.distance(u, v));
+      diameter = std::max(diameter, index.distance(u, v));
     }
   }
   s.value_diameter = static_cast<double>(diameter);
-  s.hull_size = convex_hull(tree, estimates).size();
+  s.hull_size = convex_hull(index.tree(), estimates).size();
   s.detected_faulty = detected;
 }
 
@@ -61,12 +62,14 @@ RunResult run_tree_aa(const LabeledTree& tree,
                                                                << ")");
   for (const VertexId v : inputs) tree.require_vertex(v);
 
-  const EulerList euler(tree);
+  // One shared index serves every party's LCA/projection queries and the
+  // per-round probes; it subsumes the Euler list the processes used to get.
+  const perf::TreeIndex index(tree);
   sim::Engine engine(n, std::max<std::size_t>(t, 1));
   std::vector<TreeAAProcess*> procs(n);
   for (PartyId p = 0; p < n; ++p) {
     auto proc =
-        std::make_unique<TreeAAProcess>(tree, euler, n, t, p, inputs[p], opts);
+        std::make_unique<TreeAAProcess>(index, n, t, p, inputs[p], opts);
     procs[p] = proc.get();
     engine.set_process(p, std::move(proc));
   }
@@ -100,7 +103,7 @@ RunResult run_tree_aa(const LabeledTree& tree,
       obs::ScopeTimer round_timer(round_sink);
       engine.run(static_cast<Round>(1));
       if (report != nullptr && probe.current() != nullptr) {
-        snapshot_tree_aa(tree, engine, procs, *probe.current());
+        snapshot_tree_aa(index, engine, procs, *probe.current());
       }
     }
     run_timer.stop();
@@ -153,21 +156,22 @@ RunResult run_tree_aa(const LabeledTree& tree,
 AgreementCheck check_agreement(const LabeledTree& tree,
                                const std::vector<VertexId>& honest_inputs,
                                const std::vector<VertexId>& honest_outputs) {
+  return check_agreement(perf::TreeIndex(tree), honest_inputs,
+                         honest_outputs);
+}
+
+AgreementCheck check_agreement(const perf::TreeIndex& index,
+                               const std::vector<VertexId>& honest_inputs,
+                               const std::vector<VertexId>& honest_outputs) {
   TREEAA_REQUIRE(!honest_inputs.empty() && !honest_outputs.empty());
   AgreementCheck check;
 
-  std::vector<bool> hull(tree.n(), false);
-  for (const VertexId v : convex_hull(tree, honest_inputs)) hull[v] = true;
-  check.valid = std::all_of(honest_outputs.begin(), honest_outputs.end(),
-                            [&](VertexId v) { return hull[v]; });
+  check.valid = std::all_of(
+      honest_outputs.begin(), honest_outputs.end(),
+      [&](VertexId v) { return index.in_hull(honest_inputs, v); });
 
-  check.max_pairwise_distance = 0;
-  for (const VertexId u : honest_outputs) {
-    for (const VertexId v : honest_outputs) {
-      check.max_pairwise_distance =
-          std::max(check.max_pairwise_distance, tree.distance(u, v));
-    }
-  }
+  check.max_pairwise_distance =
+      index.max_pairwise_distance(honest_outputs, honest_outputs);
   check.one_agreement = check.max_pairwise_distance <= 1;
   return check;
 }

@@ -13,6 +13,7 @@
 #include "common/types.h"
 #include "core/tree_aa.h"
 #include "obs/report.h"
+#include "perf/tree_index.h"
 #include "sim/adversary.h"
 #include "sim/stats.h"
 #include "trees/labeled_tree.h"
@@ -70,9 +71,17 @@ struct AgreementCheck {
 };
 
 /// Checks Validity and 1-Agreement of `honest_outputs` against
-/// `honest_inputs` on `tree`. Requires both sets non-empty.
+/// `honest_inputs` on `tree`. Requires both sets non-empty. Builds a
+/// transient TreeIndex; callers that already hold one should use the
+/// overload below.
 [[nodiscard]] AgreementCheck check_agreement(
     const LabeledTree& tree, const std::vector<VertexId>& honest_inputs,
+    const std::vector<VertexId>& honest_outputs);
+
+/// Same check through a prebuilt TreeIndex: hull membership and pairwise
+/// distances are O(1) queries instead of per-pair tree walks.
+[[nodiscard]] AgreementCheck check_agreement(
+    const perf::TreeIndex& index, const std::vector<VertexId>& honest_inputs,
     const std::vector<VertexId>& honest_outputs);
 
 }  // namespace treeaa::core

@@ -56,6 +56,15 @@ PathsFinderProcess::PathsFinderProcess(const LabeledTree& tree,
   }
 }
 
+PathsFinderProcess::PathsFinderProcess(const perf::TreeIndex& index,
+                                       std::size_t n, std::size_t t,
+                                       PartyId self, VertexId input,
+                                       PathsFinderOptions opts)
+    : PathsFinderProcess(index.tree(), index.euler(), n, t, self, input,
+                         opts) {
+  index_ = &index;
+}
+
 VertexId PathsFinderProcess::current_vertex() const {
   const double j = current_index();
   if (std::isnan(j)) return tree_.root();
@@ -79,7 +88,8 @@ void PathsFinderProcess::on_round_end(Round r,
       "RealAA output " << *real_->output()
                        << " outside the Euler list range");
   const VertexId v = euler_.at(static_cast<std::size_t>(idx));
-  path_ = tree_.path(tree_.root(), v);
+  path_ = index_ != nullptr ? index_->root_path(v)
+                            : tree_.path(tree_.root(), v);
 }
 
 }  // namespace treeaa::core

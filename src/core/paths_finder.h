@@ -25,6 +25,7 @@
 
 #include "common/types.h"
 #include "core/real_engine.h"
+#include "perf/tree_index.h"
 #include "realaa/real_aa.h"
 #include "sim/process.h"
 #include "trees/euler.h"
@@ -76,6 +77,14 @@ class PathsFinderProcess final : public sim::Process {
                      std::size_t n, std::size_t t, PartyId self,
                      VertexId input, PathsFinderOptions opts = {});
 
+  /// Same protocol, backed by a shared TreeIndex: path materialisation uses
+  /// the index's O(1)-per-vertex root_path instead of a parent walk per
+  /// query. `index` must outlive the process. Results are identical to the
+  /// (tree, euler) constructor.
+  PathsFinderProcess(const perf::TreeIndex& index, std::size_t n,
+                     std::size_t t, PartyId self, VertexId input,
+                     PathsFinderOptions opts = {});
+
   void on_round_begin(Round r, sim::Mailer& out) override;
   void on_round_end(Round r, std::span<const sim::Envelope> inbox) override;
 
@@ -104,6 +113,8 @@ class PathsFinderProcess final : public sim::Process {
  private:
   const LabeledTree& tree_;
   const EulerList& euler_;
+  const perf::TreeIndex* index_ = nullptr;  // fast path when constructed
+                                            // from a TreeIndex
   std::unique_ptr<realaa::RealAgreement> real_;
   std::optional<std::vector<VertexId>> path_;
 };

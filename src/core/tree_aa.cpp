@@ -63,6 +63,24 @@ TreeAAProcess::TreeAAProcess(const LabeledTree& tree, const EulerList& euler,
   }
 }
 
+TreeAAProcess::TreeAAProcess(const perf::TreeIndex& index, std::size_t n,
+                             std::size_t t, PartyId self, VertexId input,
+                             TreeAAOptions opts)
+    : tree_(index.tree()),
+      index_(&index),
+      n_(n),
+      t_(t),
+      self_(self),
+      input_(input),
+      opts_(opts),
+      finder_(index, n, t, self, input, finder_options(opts)),
+      rounds_phase1_(finder_.rounds()),
+      rounds_total_(tree_aa_rounds(index.tree(), n, t, opts)) {
+  if (rounds_total_ == 0) {
+    output_ = input_;
+  }
+}
+
 void TreeAAProcess::on_round_begin(Round, sim::Mailer& out) {
   if (output_.has_value()) return;
   const Round r = local_round_ + 1;
@@ -92,8 +110,16 @@ void TreeAAProcess::start_phase2() {
   TREEAA_CHECK_MSG(finder_.path().has_value(),
                    "PathsFinder must be complete at the phase boundary");
   const auto& path = *finder_.path();
-  const VertexId proj = project_onto_path(tree_, path, input_);
-  const std::size_t i = index_in_path(path, proj);
+  // With a TreeIndex the projection is one O(1) median query, and the
+  // 1-based position of a vertex on a root-anchored path is depth + 1 — no
+  // path scan. Both agree exactly with the naive walks.
+  const VertexId proj =
+      index_ != nullptr
+          ? index_->project_onto_path(path.front(), path.back(), input_)
+          : project_onto_path(tree_, path, input_);
+  const std::size_t i = index_ != nullptr
+                            ? index_->index_on_root_path(proj)
+                            : index_in_path(path, proj);
   projector_ = make_real_engine(opts_.engine_config(), n_, t_,
                                 projection_range(tree_), 1.0, self_,
                                 static_cast<double>(i));

@@ -26,6 +26,7 @@
 
 #include "common/types.h"
 #include "core/paths_finder.h"
+#include "perf/tree_index.h"
 #include "realaa/real_aa.h"
 #include "sim/process.h"
 #include "trees/euler.h"
@@ -73,6 +74,14 @@ class TreeAAProcess final : public sim::Process {
                 std::size_t n, std::size_t t, PartyId self, VertexId input,
                 TreeAAOptions opts = {});
 
+  /// Same protocol, backed by a shared TreeIndex: the phase boundary's
+  /// projection and path-index computations become O(1) LCA queries and
+  /// PathsFinder materialises its path through the index. `index` must
+  /// outlive the process. Results are identical to the (tree, euler)
+  /// constructor.
+  TreeAAProcess(const perf::TreeIndex& index, std::size_t n, std::size_t t,
+                PartyId self, VertexId input, TreeAAOptions opts = {});
+
   void on_round_begin(Round r, sim::Mailer& out) override;
   void on_round_end(Round r, std::span<const sim::Envelope> inbox) override;
 
@@ -113,6 +122,8 @@ class TreeAAProcess final : public sim::Process {
   void finish(double j);
 
   const LabeledTree& tree_;
+  const perf::TreeIndex* index_ = nullptr;  // fast path when constructed
+                                            // from a TreeIndex
   std::size_t n_;
   std::size_t t_;
   PartyId self_;

@@ -15,22 +15,17 @@ namespace {
   throw std::invalid_argument("sweep spec: " + message);
 }
 
-const char* const kProtocolNames[] = {"tree_aa", "iterated_tree_aa",
-                                      "real_aa", "iterated_real_aa"};
-const char* const kAdversaryNames[] = {"none", "silent", "fuzz", "split",
-                                       "split1"};
-
 Protocol protocol_from_name(const std::string& name) {
-  for (std::size_t i = 0; i < std::size(kProtocolNames); ++i) {
-    if (name == kProtocolNames[i]) return static_cast<Protocol>(i);
-  }
+  const auto p = harness::protocol_from_name(name);
+  // Registry names outside the sweep grid (path_aa, paths_finder, ...) were
+  // never valid in a spec; keep rejecting them with the historical message.
+  if (p.has_value() && harness::is_sweep_protocol(*p)) return *p;
   fail("unknown protocol '" + name + "'");
 }
 
 AdversaryKind adversary_from_name(const std::string& name) {
-  for (std::size_t i = 0; i < std::size(kAdversaryNames); ++i) {
-    if (name == kAdversaryNames[i]) return static_cast<AdversaryKind>(i);
-  }
+  const auto a = harness::adversary_from_name(name);
+  if (a.has_value()) return *a;
   fail("unknown adversary '" + name + "'");
 }
 
@@ -256,37 +251,7 @@ Scenario parse_scenario(const JsonValue& v, std::size_t index) {
   return s;
 }
 
-/// Does this adversary make sense against this protocol? The split attack
-/// targets the gradecast distribution mechanism, so it applies to the BDH
-/// protocols only; the per-iteration variant additionally needs RealAA's
-/// fixed iteration schedule.
-bool adversary_applies(Protocol p, AdversaryKind a) {
-  switch (a) {
-    case AdversaryKind::kNone:
-    case AdversaryKind::kSilent:
-    case AdversaryKind::kFuzz:
-      return true;
-    case AdversaryKind::kSplit:
-      return p == Protocol::kTreeAA || p == Protocol::kRealAA;
-    case AdversaryKind::kSplit1:
-      return p == Protocol::kRealAA;
-  }
-  return false;
-}
-
 }  // namespace
-
-const char* protocol_name(Protocol p) {
-  return kProtocolNames[static_cast<std::size_t>(p)];
-}
-
-bool is_vertex_protocol(Protocol p) {
-  return p == Protocol::kTreeAA || p == Protocol::kIteratedTreeAA;
-}
-
-const char* adversary_name(AdversaryKind a) {
-  return kAdversaryNames[static_cast<std::size_t>(a)];
-}
 
 const char* input_kind_name(InputKind k) {
   return k == InputKind::kSpread ? "spread" : "random";

@@ -30,30 +30,22 @@
 #include <vector>
 
 #include "core/tree_aa.h"
+#include "harness/registry.h"
 #include "realaa/real_aa.h"
 
 namespace treeaa::exp {
 
-enum class Protocol {
-  kTreeAA,           // core::run_tree_aa (the paper's main protocol)
-  kIteratedTreeAA,   // harness::run_iterated_tree_aa (NR-style baseline)
-  kRealAA,           // harness::run_real_aa (BDH engine on R)
-  kIteratedRealAA,   // harness::run_iterated_real_aa (DLPSW baseline)
-};
-
-[[nodiscard]] const char* protocol_name(Protocol p);
-/// Vertex-valued protocols take a tree; real-valued ones take a range.
-[[nodiscard]] bool is_vertex_protocol(Protocol p);
-
-enum class AdversaryKind {
-  kNone,
-  kSilent,   // sim::SilentAdversary, victims drawn from the cell RNG
-  kFuzz,     // sim::FuzzAdversary, victims + payloads from the cell RNG
-  kSplit,    // realaa::SplitAdversary, optimal budget split, last-t victims
-  kSplit1,   // SplitAdversary with one fresh equivocator per iteration
-};
-
-[[nodiscard]] const char* adversary_name(AdversaryKind a);
+// The sweep engine's protocol and adversary vocabulary IS the harness
+// registry's: the aliases below keep the historical exp:: spellings while
+// the names, predicates, and dispatch all live in one table
+// (harness/registry.h). The parser accepts only the sweep-grid subset
+// (is_sweep_protocol); the enumerator values of that subset are unchanged,
+// so cell indices, RNG forks, and reports are byte-identical.
+using Protocol = harness::ProtocolKind;
+using AdversaryKind = harness::AdversaryKind;
+using harness::adversary_name;
+using harness::is_vertex_protocol;
+using harness::protocol_name;
 
 enum class InputKind { kSpread, kRandom };
 

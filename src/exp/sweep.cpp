@@ -13,7 +13,6 @@
 #include "core/api.h"
 #include "core/paths_finder.h"
 #include "harness/runner.h"
-#include "realaa/adversaries.h"
 #include "sim/strategies.h"
 #include "trees/generators.h"
 
@@ -54,65 +53,54 @@ std::vector<PartyId> last_parties(std::size_t n, std::size_t k) {
   return out;
 }
 
-/// The adversary for a vertex-protocol cell. The split attack targets the
-/// inner RealAA of PathsFinder (phase 1), so its Config comes from
-/// core::paths_finder_config and its victims are the last t parties — the
-/// lower-bound argument's static corruption set (matching bench usage).
+/// Draws the randomness of a silent/fuzz plan in the exact historical
+/// order: victims first, then (fuzz only) the payload seed.
+void draw_plan_randomness(harness::AdversaryPlan& plan, std::size_t n,
+                          std::size_t t, Rng& adv_rng) {
+  if (plan.kind == AdversaryKind::kSilent ||
+      plan.kind == AdversaryKind::kFuzz) {
+    plan.victims = sim::random_parties(n, t, adv_rng);
+  }
+  if (plan.kind == AdversaryKind::kFuzz) plan.fuzz_seed = adv_rng.next();
+}
+
+/// The adversary for a vertex-protocol cell, built through the registry.
+/// The split attack targets the inner RealAA of PathsFinder (phase 1), so
+/// its Config comes from core::paths_finder_config and its victims are the
+/// last t parties — the lower-bound argument's static corruption set
+/// (matching bench usage).
 std::unique_ptr<sim::Adversary> make_vertex_adversary(const Cell& cell,
                                                       const LabeledTree& tree,
                                                       Rng& adv_rng) {
-  switch (cell.adversary) {
-    case AdversaryKind::kNone:
-      return nullptr;
-    case AdversaryKind::kSilent:
-      return std::make_unique<sim::SilentAdversary>(
-          sim::random_parties(cell.n, cell.t, adv_rng));
-    case AdversaryKind::kFuzz: {
-      auto victims = sim::random_parties(cell.n, cell.t, adv_rng);
-      return std::make_unique<sim::FuzzAdversary>(std::move(victims),
-                                                  adv_rng.next(), 16, 48);
-    }
-    case AdversaryKind::kSplit: {
-      core::PathsFinderOptions pf;
-      pf.update = cell.update;
-      pf.mode = cell.mode;
-      pf.engine = cell.engine;
-      realaa::SplitAdversary::Options opts;
-      opts.config = core::paths_finder_config(tree, cell.n, cell.t, pf);
-      opts.corrupt = last_parties(cell.n, cell.t);
-      return std::make_unique<realaa::SplitAdversary>(std::move(opts));
-    }
-    case AdversaryKind::kSplit1:
-      break;  // real_aa only; expand() rejects it for vertex protocols
+  if (!harness::adversary_applies(cell.protocol, cell.adversary) ||
+      !is_vertex_protocol(cell.protocol)) {
+    throw std::invalid_argument("adversary does not apply to vertex protocol");
   }
-  throw std::invalid_argument("adversary does not apply to vertex protocol");
+  harness::AdversaryPlan plan;
+  plan.kind = cell.adversary;
+  draw_plan_randomness(plan, cell.n, cell.t, adv_rng);
+  if (cell.adversary == AdversaryKind::kSplit) {
+    core::PathsFinderOptions pf;
+    pf.update = cell.update;
+    pf.mode = cell.mode;
+    pf.engine = cell.engine;
+    plan.split_config = core::paths_finder_config(tree, cell.n, cell.t, pf);
+    plan.victims = last_parties(cell.n, cell.t);
+  }
+  return harness::make_adversary(plan);
 }
 
 std::unique_ptr<sim::Adversary> make_real_adversary(
     const Cell& cell, const realaa::Config& cfg, Rng& adv_rng) {
-  switch (cell.adversary) {
-    case AdversaryKind::kNone:
-      return nullptr;
-    case AdversaryKind::kSilent:
-      return std::make_unique<sim::SilentAdversary>(
-          sim::random_parties(cell.n, cell.t, adv_rng));
-    case AdversaryKind::kFuzz: {
-      auto victims = sim::random_parties(cell.n, cell.t, adv_rng);
-      return std::make_unique<sim::FuzzAdversary>(std::move(victims),
-                                                  adv_rng.next(), 16, 48);
-    }
-    case AdversaryKind::kSplit:
-    case AdversaryKind::kSplit1: {
-      realaa::SplitAdversary::Options opts;
-      opts.config = cfg;
-      opts.corrupt = last_parties(cell.n, cell.t);
-      if (cell.adversary == AdversaryKind::kSplit1) {
-        opts.schedule.assign(cfg.iterations(), 1);
-      }
-      return std::make_unique<realaa::SplitAdversary>(std::move(opts));
-    }
+  harness::AdversaryPlan plan;
+  plan.kind = cell.adversary;
+  draw_plan_randomness(plan, cell.n, cell.t, adv_rng);
+  if (cell.adversary == AdversaryKind::kSplit ||
+      cell.adversary == AdversaryKind::kSplit1) {
+    plan.split_config = cfg;
+    plan.victims = last_parties(cell.n, cell.t);
   }
-  throw std::invalid_argument("unknown adversary");
+  return harness::make_adversary(plan);
 }
 
 void fill_traffic(CellResult& result, const sim::TrafficStats& traffic) {

@@ -1,11 +1,23 @@
 #include "gradecast/gradecast.h"
 
-#include <map>
+#include <algorithm>
 
 #include "common/check.h"
 #include "gradecast/wire.h"
 
 namespace treeaa::gradecast {
+
+namespace {
+
+bool view_less(ByteView a, ByteView b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+bool view_eq(ByteView a, ByteView b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+}  // namespace
 
 BatchGradecast::BatchGradecast(PartyId self, std::size_t n, std::size_t t,
                                Bytes my_value, std::vector<bool> deny)
@@ -22,15 +34,28 @@ BatchGradecast::BatchGradecast(PartyId self, std::size_t n, std::size_t t,
   my_supports_.assign(n, std::nullopt);
 }
 
-template <typename Decoded, typename DecodeFn>
-std::vector<std::optional<Decoded>> BatchGradecast::first_valid(
-    std::span<const sim::Envelope> inbox, DecodeFn&& decode) const {
-  std::vector<std::optional<Decoded>> out(n_);
+void BatchGradecast::decode_slot_round(std::uint8_t tag,
+                                       std::span<const sim::Envelope> inbox) {
+  slot_matrix_.assign(n_ * n_, std::nullopt);
+  sender_valid_.assign(n_, false);
   for (const sim::Envelope& e : inbox) {
-    if (e.from >= n_ || out[e.from].has_value()) continue;
-    out[e.from] = decode(e.payload);
+    if (e.from >= n_ || sender_valid_[e.from]) continue;
+    const std::span<SlotView> row(
+        slot_matrix_.data() + static_cast<std::size_t>(e.from) * n_, n_);
+    sender_valid_[e.from] = decode_slots_view(tag, e.payload, row);
   }
-  return out;
+}
+
+void BatchGradecast::gather_sorted_slots(PartyId l) {
+  runs_.clear();
+  for (PartyId q = 0; q < n_; ++q) {
+    if (!sender_valid_[q]) continue;
+    const SlotView& slot = slot_matrix_[static_cast<std::size_t>(q) * n_ + l];
+    if (slot.has_value()) runs_.push_back(*slot);
+  }
+  // Lexicographic ascending — run-length counting over this order visits
+  // values exactly as the previous std::map<Bytes, count> iteration did.
+  std::sort(runs_.begin(), runs_.end(), view_less);
 }
 
 void BatchGradecast::on_step_begin(std::size_t step, sim::Mailer& out) {
@@ -62,69 +87,68 @@ void BatchGradecast::on_step_end(std::size_t step,
   TREEAA_REQUIRE_MSG(step == next_step_, "gradecast steps must run in order");
   switch (step) {
     case 0: {
-      auto decoded = first_valid<Bytes>(inbox, [](const Bytes& m) {
-        return decode_leader(m);
-      });
-      for (PartyId l = 0; l < n_; ++l) {
-        if (decoded[l].has_value()) leader_values_[l] = *decoded[l];
+      // Per sender, keep the first message that decodes as a LEADER value;
+      // malformed attempts do not shadow a later valid one.
+      sender_valid_.assign(n_, false);
+      for (const sim::Envelope& e : inbox) {
+        if (e.from >= n_ || sender_valid_[e.from]) continue;
+        const auto value = decode_leader_view(e.payload);
+        if (value.has_value()) {
+          sender_valid_[e.from] = true;
+          leader_values_[e.from] = Bytes(value->begin(), value->end());
+        }
       }
       break;
     }
     case 1: {
-      auto echoes = first_valid<std::vector<Slot>>(
-          inbox, [this](const Bytes& m) {
-            return decode_slots(kTagEcho, m, n_);
-          });
+      decode_slot_round(kTagEcho, inbox);
       // For each leader: support the (necessarily unique) value echoed by at
       // least n - t parties. Uniqueness: two distinct values with >= n - t
       // echoes each would need 2(n - t) <= n echoers, i.e. n <= 2t,
       // contradicting t < n/3.
       for (PartyId l = 0; l < n_; ++l) {
         if (deny_[l]) continue;  // never support a denied leader
-        std::map<Bytes, std::size_t> count;
-        for (PartyId q = 0; q < n_; ++q) {
-          if (!echoes[q].has_value()) continue;
-          const Slot& slot = (*echoes[q])[l];
-          if (slot.has_value()) ++count[*slot];
-        }
-        for (const auto& [value, c] : count) {
-          if (c >= n_ - t_) {
-            my_supports_[l] = value;
+        gather_sorted_slots(l);
+        for (std::size_t i = 0; i < runs_.size();) {
+          std::size_t j = i + 1;
+          while (j < runs_.size() && view_eq(runs_[i], runs_[j])) ++j;
+          if (j - i >= n_ - t_) {
+            my_supports_[l] = Bytes(runs_[i].begin(), runs_[i].end());
             break;
           }
+          i = j;
         }
       }
       break;
     }
     case 2: {
-      auto supports = first_valid<std::vector<Slot>>(
-          inbox, [this](const Bytes& m) {
-            return decode_slots(kTagSupport, m, n_);
-          });
+      decode_slot_round(kTagSupport, inbox);
       results_.assign(n_, GradedValue{});
       for (PartyId l = 0; l < n_; ++l) {
-        std::map<Bytes, std::size_t> count;
-        for (PartyId q = 0; q < n_; ++q) {
-          if (!supports[q].has_value()) continue;
-          const Slot& slot = (*supports[q])[l];
-          if (slot.has_value()) ++count[*slot];
-        }
+        gather_sorted_slots(l);
         // The value with the most supporters; all honest supporters agree on
         // one value (see step 1), so >= t + 1 supports pins a unique value.
-        const Bytes* best = nullptr;
+        // Ties break to the lexicographically smallest value (the ascending
+        // scan only replaces on a strictly greater count).
+        ByteView best{};
+        bool have_best = false;
         std::size_t best_count = 0;
-        for (const auto& [value, c] : count) {
-          if (c > best_count) {
-            best = &value;
-            best_count = c;
+        for (std::size_t i = 0; i < runs_.size();) {
+          std::size_t j = i + 1;
+          while (j < runs_.size() && view_eq(runs_[i], runs_[j])) ++j;
+          if (j - i > best_count) {
+            best = runs_[i];
+            best_count = j - i;
+            have_best = true;
           }
+          i = j;
         }
         GradedValue& r = results_[l];
-        if (best != nullptr && best_count >= n_ - t_) {
-          r.value = *best;
+        if (have_best && best_count >= n_ - t_) {
+          r.value = Bytes(best.begin(), best.end());
           r.grade = 2;
-        } else if (best != nullptr && best_count >= t_ + 1) {
-          r.value = *best;
+        } else if (have_best && best_count >= t_ + 1) {
+          r.value = Bytes(best.begin(), best.end());
           r.grade = 1;
         }
       }

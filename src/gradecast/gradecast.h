@@ -31,6 +31,7 @@
 
 #include "common/bytes.h"
 #include "common/types.h"
+#include "gradecast/wire.h"
 #include "sim/process.h"
 
 namespace treeaa::gradecast {
@@ -67,11 +68,16 @@ class BatchGradecast {
   [[nodiscard]] const std::vector<GradedValue>& results() const;
 
  private:
-  /// The first syntactically valid message with the right tag from each
-  /// sender; extra or malformed messages from a sender are ignored.
-  template <typename Decoded, typename DecodeFn>
-  std::vector<std::optional<Decoded>> first_valid(
-      std::span<const sim::Envelope> inbox, DecodeFn&& decode) const;
+  /// Decodes the round's echo/support traffic into the flat n x n view
+  /// matrix. Per sender, the first syntactically valid message with the
+  /// right tag wins (malformed attempts are skipped, later messages from
+  /// the same sender are still tried); extra valid messages are ignored.
+  void decode_slot_round(std::uint8_t tag,
+                         std::span<const sim::Envelope> inbox);
+
+  /// The slots sent for leader `l` by every sender whose message decoded,
+  /// sorted lexicographically into `runs_` for run-length counting.
+  void gather_sorted_slots(PartyId l);
 
   PartyId self_;
   std::size_t n_;
@@ -84,6 +90,14 @@ class BatchGradecast {
   std::vector<std::optional<Bytes>> leader_values_;   // per leader (step 0)
   std::vector<std::optional<Bytes>> my_supports_;     // per leader (step 1)
   std::vector<GradedValue> results_;                  // per leader (step 2)
+
+  // Per-step decode scratch. The views alias inbox payloads and are only
+  // used inside the on_step_end call that produced them; keeping the
+  // buffers as members avoids re-allocating the n x n matrix every step.
+  std::vector<SlotView> slot_matrix_;   // sender q's slot for leader l at
+                                        // [q * n + l]
+  std::vector<bool> sender_valid_;      // sender q's message decoded
+  std::vector<ByteView> runs_;          // per-leader sorted slot values
 };
 
 }  // namespace treeaa::gradecast

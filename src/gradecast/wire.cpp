@@ -9,11 +9,17 @@ Bytes encode_leader(const Bytes& value) {
   return std::move(w).take();
 }
 
-std::optional<Bytes> decode_leader(const Bytes& msg) {
+std::optional<Bytes> decode_leader(ByteView msg) {
+  const auto view = decode_leader_view(msg);
+  if (!view.has_value()) return std::nullopt;
+  return Bytes(view->begin(), view->end());
+}
+
+std::optional<ByteView> decode_leader_view(ByteView msg) {
   try {
     ByteReader r(msg);
     if (r.u8() != kTagLeader) return std::nullopt;
-    Bytes value = r.blob();
+    const ByteView value = r.blob_view();
     r.expect_done();
     return value;
   } catch (const DecodeError&) {
@@ -35,8 +41,7 @@ Bytes encode_slots(std::uint8_t tag, const std::vector<Slot>& slots) {
   return std::move(w).take();
 }
 
-std::optional<std::vector<Slot>> decode_slots(std::uint8_t tag,
-                                              const Bytes& msg,
+std::optional<std::vector<Slot>> decode_slots(std::uint8_t tag, ByteView msg,
                                               std::size_t n) {
   try {
     ByteReader r(msg);
@@ -52,6 +57,26 @@ std::optional<std::vector<Slot>> decode_slots(std::uint8_t tag,
     return slots;
   } catch (const DecodeError&) {
     return std::nullopt;
+  }
+}
+
+bool decode_slots_view(std::uint8_t tag, ByteView msg,
+                       std::span<SlotView> out) {
+  try {
+    ByteReader r(msg);
+    if (r.u8() != tag) return false;
+    if (r.varint() != out.size()) return false;
+    for (SlotView& slot : out) {
+      if (r.u8() == 0) {
+        slot = std::nullopt;
+      } else {
+        slot = r.blob_view();
+      }
+    }
+    r.expect_done();
+    return true;
+  } catch (const DecodeError&) {
+    return false;
   }
 }
 

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/bytes.h"
@@ -29,13 +30,24 @@ inline constexpr std::uint8_t kTagLeader = 0x01;
 inline constexpr std::uint8_t kTagEcho = 0x02;
 inline constexpr std::uint8_t kTagSupport = 0x03;
 
+/// A non-owning view into a received message's payload. Valid only while
+/// the payload buffer is alive — i.e. within the on_round_end call that
+/// delivered it.
+using ByteView = std::span<const std::uint8_t>;
+
 /// A per-leader slot in an echo/support vector: ⊥ or a value.
 using Slot = std::optional<Bytes>;
+
+/// A per-leader slot decoded as a view (no copy).
+using SlotView = std::optional<ByteView>;
 
 [[nodiscard]] Bytes encode_leader(const Bytes& value);
 
 /// Decodes a LEADER message; nullopt if malformed.
-[[nodiscard]] std::optional<Bytes> decode_leader(const Bytes& msg);
+[[nodiscard]] std::optional<Bytes> decode_leader(ByteView msg);
+
+/// Zero-copy variant of decode_leader: the returned view aliases `msg`.
+[[nodiscard]] std::optional<ByteView> decode_leader_view(ByteView msg);
 
 [[nodiscard]] Bytes encode_slots(std::uint8_t tag,
                                  const std::vector<Slot>& slots);
@@ -43,6 +55,13 @@ using Slot = std::optional<Bytes>;
 /// Decodes an ECHO/SUPPORT message with the given tag; the slot vector must
 /// have exactly `n` entries. nullopt if malformed.
 [[nodiscard]] std::optional<std::vector<Slot>> decode_slots(
-    std::uint8_t tag, const Bytes& msg, std::size_t n);
+    std::uint8_t tag, ByteView msg, std::size_t n);
+
+/// Zero-copy variant of decode_slots: writes `out.size()` slot views (each
+/// aliasing `msg`) and returns true, or returns false if `msg` is malformed
+/// or its slot count differs from `out.size()`. Accepts and rejects exactly
+/// the same messages as decode_slots.
+[[nodiscard]] bool decode_slots_view(std::uint8_t tag, ByteView msg,
+                                     std::span<SlotView> out);
 
 }  // namespace treeaa::gradecast

@@ -1,0 +1,599 @@
+#include "harness/registry.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "async/tree_aa.h"
+#include "baselines/iterated_real_aa.h"
+#include "baselines/iterated_tree_aa.h"
+#include "common/check.h"
+#include "core/api.h"
+#include "core/path_aa.h"
+#include "obs/probe.h"
+#include "perf/tree_index.h"
+#include "realaa/adversaries.h"
+#include "sim/engine.h"
+#include "sim/strategies.h"
+
+namespace treeaa::harness {
+
+namespace {
+
+/// Default snapshot: engine-level fields only (the ProbeTracer already
+/// filled traffic and corruption counts).
+struct NoSnapshot {
+  template <typename Proc>
+  void operator()(const sim::Engine&, const std::vector<Proc*>&,
+                  obs::RoundSample&) const {}
+};
+
+/// max - min over the honest parties' current scalar estimates; disengaged
+/// when no honest party reports a finite value (e.g. before round 1 of an
+/// engine without scalar state).
+template <typename Proc, typename Value>
+std::optional<double> honest_spread(const sim::Engine& engine,
+                                    const std::vector<Proc*>& procs,
+                                    Value&& value_of) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (PartyId p = 0; p < procs.size(); ++p) {
+    if (engine.is_corrupt(p)) continue;
+    const double v = value_of(*procs[p]);
+    if (!std::isfinite(v)) continue;
+    any = true;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (!any) return std::nullopt;
+  return hi - lo;
+}
+
+template <typename Proc>
+std::uint64_t honest_max_detected(const sim::Engine& engine,
+                                  const std::vector<Proc*>& procs) {
+  std::uint64_t detected = 0;
+  for (PartyId p = 0; p < procs.size(); ++p) {
+    if (engine.is_corrupt(p)) continue;
+    detected = std::max(
+        detected, static_cast<std::uint64_t>(procs[p]->detected_faulty()));
+  }
+  return detected;
+}
+
+/// Shared engine-driving skeleton: installs one process per party, runs
+/// `rounds`, extracts results via `extract(p, process)`. With an active
+/// `hooks` the engine is instead driven one round at a time behind a
+/// ProbeTracer, and `snapshot(engine, procs, sample)` merges protocol-level
+/// observations into the sample of the round that just ended.
+template <typename Proc, typename MakeProc, typename Extract,
+          typename Snapshot = NoSnapshot>
+void drive(std::size_t n, std::size_t t,
+           std::unique_ptr<sim::Adversary> adversary, std::size_t rounds,
+           MakeProc&& make_proc, Extract&& extract, std::vector<PartyId>* corrupt,
+           Round* rounds_out, sim::TrafficStats* traffic,
+           const obs::Hooks* hooks = nullptr, Snapshot&& snapshot = {}) {
+  sim::Engine engine(n, std::max<std::size_t>(t, 1));
+  std::vector<Proc*> procs(n);
+  for (PartyId p = 0; p < n; ++p) {
+    auto proc = make_proc(p);
+    procs[p] = proc.get();
+    engine.set_process(p, std::move(proc));
+  }
+  if (adversary != nullptr) engine.set_adversary(std::move(adversary));
+
+  if (hooks != nullptr && hooks->active()) {
+    obs::RunReport* report = hooks->report;
+    obs::ProbeTracer probe(hooks->tracer);
+    engine.set_tracer(&probe);
+    obs::Histogram* round_sink =
+        report == nullptr ? nullptr
+                          : &report->timing.histogram(
+                                "round_wall_ns", obs::ScopeTimer::wall_bounds());
+    obs::ScopeTimer run_timer(
+        report == nullptr ? nullptr
+                          : &report->timing.histogram(
+                                "run_wall_ns", obs::ScopeTimer::wall_bounds()));
+    for (std::size_t r = 0; r < rounds; ++r) {
+      obs::ScopeTimer round_timer(round_sink);
+      engine.run(static_cast<Round>(1));
+      if (report != nullptr && probe.current() != nullptr) {
+        snapshot(engine, procs, *probe.current());
+      }
+    }
+    run_timer.stop();
+    engine.set_tracer(nullptr);
+    if (report != nullptr) report->per_round = probe.take();
+  } else {
+    engine.run(static_cast<Round>(rounds));
+  }
+
+  for (PartyId p = 0; p < n; ++p) {
+    if (!engine.is_corrupt(p)) extract(p, *procs[p]);
+  }
+  *corrupt = engine.corrupt();
+  *rounds_out = engine.rounds_elapsed();
+  *traffic = engine.stats();
+  if (hooks != nullptr && hooks->report != nullptr) {
+    hooks->report->set_totals(n, t, engine.rounds_elapsed(), engine.corrupt(),
+                              engine.stats());
+  }
+}
+
+const char* update_rule_name(realaa::UpdateRule rule) {
+  return rule == realaa::UpdateRule::kTrimmedMean ? "trimmed_mean"
+                                                  : "trimmed_midpoint";
+}
+
+realaa::Config real_config(const RunSpec& spec) {
+  realaa::Config cfg;
+  cfg.n = spec.n;
+  cfg.t = spec.t;
+  cfg.eps = spec.eps;
+  cfg.known_range = spec.known_range;
+  cfg.update = spec.update;
+  cfg.mode = spec.mode;
+  return cfg;
+}
+
+RunOutcome run_tree_aa_impl(RunSpec& spec) {
+  TREEAA_REQUIRE(spec.tree != nullptr);
+  core::TreeAAOptions opts{spec.update, spec.mode, spec.engine};
+  const auto run =
+      core::run_tree_aa(*spec.tree, spec.vertex_inputs, spec.t, opts,
+                        std::move(spec.adversary), spec.hooks);
+  RunOutcome out;
+  out.vertex_outputs = run.outputs;
+  out.corrupt = run.corrupt;
+  out.rounds = run.rounds;
+  out.traffic = run.traffic;
+  return out;
+}
+
+RunOutcome run_iterated_tree_aa_impl(RunSpec& spec) {
+  TREEAA_REQUIRE(spec.tree != nullptr);
+  const LabeledTree& tree = *spec.tree;
+  const std::size_t n = spec.n;
+  const std::size_t t = spec.t;
+  TREEAA_REQUIRE(spec.vertex_inputs.size() == n);
+  baselines::IteratedTreeConfig cfg{n, t};
+  const obs::Hooks* hooks = spec.hooks;
+  obs::RunReport* report = hooks != nullptr ? hooks->report : nullptr;
+  if (report != nullptr) {
+    report->protocol = "iterated_tree_aa";
+    report->add_param("tree_n", static_cast<std::uint64_t>(tree.n()));
+  }
+  RunOutcome run;
+  run.vertex_outputs.resize(n);
+  drive<baselines::IteratedTreeAAProcess>(
+      n, t, std::move(spec.adversary), cfg.rounds(tree),
+      [&](PartyId p) {
+        return std::make_unique<baselines::IteratedTreeAAProcess>(
+            tree, cfg, p, spec.vertex_inputs[p]);
+      },
+      [&](PartyId p, const baselines::IteratedTreeAAProcess& proc) {
+        run.vertex_outputs[p] = proc.output();
+        TREEAA_CHECK(run.vertex_outputs[p].has_value());
+      },
+      &run.corrupt, &run.rounds, &run.traffic, hooks);
+  return run;
+}
+
+RunOutcome run_real_aa_impl(RunSpec& spec) {
+  const realaa::Config config = real_config(spec);
+  const std::vector<double>& inputs = spec.real_inputs;
+  TREEAA_REQUIRE(inputs.size() == config.n);
+  const obs::Hooks* hooks = spec.hooks;
+  obs::RunReport* report = hooks != nullptr ? hooks->report : nullptr;
+  if (report != nullptr) {
+    report->protocol = "real_aa";
+    report->add_param("eps", config.eps);
+    report->add_param("known_range", config.known_range);
+    report->add_param("iterations",
+                      static_cast<std::uint64_t>(config.iterations()));
+    report->add_param("update", update_rule_name(config.update));
+  }
+  RunOutcome run;
+  run.real_outputs.resize(config.n);
+  run.real_histories.resize(config.n);
+  drive<realaa::RealAAProcess>(
+      config.n, config.t, std::move(spec.adversary), config.rounds(),
+      [&](PartyId p) {
+        return std::make_unique<realaa::RealAAProcess>(config, p, inputs[p]);
+      },
+      [&](PartyId p, const realaa::RealAAProcess& proc) {
+        run.real_outputs[p] = proc.output();
+        run.real_histories[p] = proc.value_history();
+        TREEAA_CHECK_MSG(run.real_outputs[p].has_value(),
+                         "honest party " << p << " failed to terminate");
+        if (report != nullptr) {
+          for (const auto& d : proc.detections()) {
+            report->detections.push_back(obs::DetectionEvent{
+                static_cast<Round>(3 * d.iteration), p, d.leader});
+          }
+        }
+      },
+      &run.corrupt, &run.rounds, &run.traffic, hooks,
+      [&](const sim::Engine& engine,
+          const std::vector<realaa::RealAAProcess*>& procs,
+          obs::RoundSample& s) {
+        s.value_diameter = honest_spread(
+            engine, procs,
+            [](const realaa::RealAAProcess& pr) { return pr.current_value(); });
+        s.detected_faulty = honest_max_detected(engine, procs);
+        // Iteration-end rounds (every third) carry the grade distribution of
+        // the iteration that just finished, summed over honest parties.
+        if (s.round == 0 || s.round % 3 != 0) return;
+        const std::size_t iteration = s.round / 3;
+        std::array<std::uint64_t, 3> grades{0, 0, 0};
+        bool any = false;
+        for (PartyId p = 0; p < procs.size(); ++p) {
+          if (engine.is_corrupt(p)) continue;
+          const auto& stats = procs[p]->iteration_stats();
+          if (iteration > stats.size()) continue;
+          const auto& it = stats[iteration - 1];
+          grades[0] += it.grade0;
+          grades[1] += it.grade1;
+          grades[2] += it.grade2;
+          any = true;
+        }
+        if (any) s.grades = grades;
+      });
+  if (report != nullptr) {
+    const auto out = run.honest_real_outputs();
+    TREEAA_CHECK(!out.empty());
+    const auto [lo, hi] = std::minmax_element(out.begin(), out.end());
+    report->add_outcome("output_range", *hi - *lo);
+    report->add_outcome("detections",
+                        static_cast<std::uint64_t>(report->detections.size()));
+  }
+  return run;
+}
+
+RunOutcome run_iterated_real_aa_impl(RunSpec& spec) {
+  baselines::IteratedRealConfig config;
+  config.n = spec.n;
+  config.t = spec.t;
+  config.eps = spec.eps;
+  config.known_range = spec.known_range;
+  const std::vector<double>& inputs = spec.real_inputs;
+  TREEAA_REQUIRE(inputs.size() == config.n);
+  const obs::Hooks* hooks = spec.hooks;
+  obs::RunReport* report = hooks != nullptr ? hooks->report : nullptr;
+  if (report != nullptr) {
+    report->protocol = "iterated_real_aa";
+    report->add_param("eps", config.eps);
+    report->add_param("known_range", config.known_range);
+    report->add_param("iterations",
+                      static_cast<std::uint64_t>(config.iterations()));
+  }
+  RunOutcome run;
+  run.real_outputs.resize(config.n);
+  run.real_histories.resize(config.n);
+  drive<baselines::IteratedRealAAProcess>(
+      config.n, config.t, std::move(spec.adversary), config.rounds(),
+      [&](PartyId p) {
+        return std::make_unique<baselines::IteratedRealAAProcess>(config, p,
+                                                                  inputs[p]);
+      },
+      [&](PartyId p, const baselines::IteratedRealAAProcess& proc) {
+        run.real_outputs[p] = proc.output();
+        run.real_histories[p] = proc.value_history();
+        TREEAA_CHECK(run.real_outputs[p].has_value());
+      },
+      &run.corrupt, &run.rounds, &run.traffic, hooks,
+      [&](const sim::Engine& engine,
+          const std::vector<baselines::IteratedRealAAProcess*>& procs,
+          obs::RoundSample& s) {
+        s.value_diameter =
+            honest_spread(engine, procs,
+                          [](const baselines::IteratedRealAAProcess& pr) {
+                            return pr.current_value();
+                          });
+      });
+  if (report != nullptr) {
+    const auto out = run.honest_real_outputs();
+    TREEAA_CHECK(!out.empty());
+    const auto [lo, hi] = std::minmax_element(out.begin(), out.end());
+    report->add_outcome("output_range", *hi - *lo);
+  }
+  return run;
+}
+
+RunOutcome run_path_aa_impl(RunSpec& spec) {
+  TREEAA_REQUIRE(spec.tree != nullptr);
+  const LabeledTree& path_tree = *spec.tree;
+  const std::size_t n = spec.n;
+  const std::size_t t = spec.t;
+  TREEAA_REQUIRE(spec.vertex_inputs.size() == n);
+  core::PathAAOptions opts{spec.update, spec.mode, spec.engine};
+  const obs::Hooks* hooks = spec.hooks;
+  obs::RunReport* report = hooks != nullptr ? hooks->report : nullptr;
+  if (report != nullptr) {
+    report->protocol = "path_aa";
+    report->add_param("tree_n", static_cast<std::uint64_t>(path_tree.n()));
+  }
+  RunOutcome run;
+  run.vertex_outputs.resize(n);
+  // All parties share the same (public) configuration, so any party's round
+  // count works; build one probe process to read it.
+  const std::size_t rounds =
+      core::PathAAProcess(path_tree, n, t, 0, spec.vertex_inputs[0], opts)
+          .rounds();
+  drive<core::PathAAProcess>(
+      n, t, std::move(spec.adversary), rounds,
+      [&](PartyId p) {
+        return std::make_unique<core::PathAAProcess>(
+            path_tree, n, t, p, spec.vertex_inputs[p], opts);
+      },
+      [&](PartyId p, const core::PathAAProcess& proc) {
+        run.vertex_outputs[p] = proc.output();
+        TREEAA_CHECK(run.vertex_outputs[p].has_value());
+      },
+      &run.corrupt, &run.rounds, &run.traffic, hooks);
+  return run;
+}
+
+RunOutcome run_paths_finder_impl(RunSpec& spec) {
+  TREEAA_REQUIRE(spec.tree != nullptr);
+  const LabeledTree& tree = *spec.tree;
+  const std::size_t n = spec.n;
+  const std::size_t t = spec.t;
+  TREEAA_REQUIRE(spec.vertex_inputs.size() == n);
+  core::PathsFinderOptions opts{spec.update, spec.mode, spec.engine,
+                                spec.index_choice};
+  // One shared index serves every party's Euler positions and materialises
+  // output paths without per-call tree walks.
+  const perf::TreeIndex index(tree);
+  RunOutcome run;
+  run.paths.resize(n);
+  const auto cfg = core::paths_finder_config(tree, n, t, opts);
+  const obs::Hooks* hooks = spec.hooks;
+  obs::RunReport* report = hooks != nullptr ? hooks->report : nullptr;
+  if (report != nullptr) {
+    report->protocol = "paths_finder";
+    report->add_param("tree_n", static_cast<std::uint64_t>(tree.n()));
+    report->add_param("euler_range", core::paths_finder_range(tree));
+    report->add_param("engine", core::real_engine_name(opts.engine));
+    report->add_param("update", update_rule_name(opts.update));
+  }
+  drive<core::PathsFinderProcess>(
+      n, t, std::move(spec.adversary), cfg.rounds(),
+      [&](PartyId p) {
+        return std::make_unique<core::PathsFinderProcess>(
+            index, n, t, p, spec.vertex_inputs[p], opts);
+      },
+      [&](PartyId p, const core::PathsFinderProcess& proc) {
+        run.paths[p] = proc.path();
+        TREEAA_CHECK(run.paths[p].has_value());
+        if (report != nullptr) {
+          report->metrics.histogram("path_length")
+              .observe(static_cast<double>(run.paths[p]->size()));
+        }
+      },
+      &run.corrupt, &run.rounds, &run.traffic, hooks,
+      [&](const sim::Engine& engine,
+          const std::vector<core::PathsFinderProcess*>& procs,
+          obs::RoundSample& s) {
+        s.value_diameter = honest_spread(
+            engine, procs,
+            [](const core::PathsFinderProcess& pr) {
+              return pr.current_index();
+            });
+        s.detected_faulty = honest_max_detected(engine, procs);
+      });
+  if (report != nullptr) {
+    const auto& hist = report->metrics.histogram("path_length");
+    report->add_outcome("path_length_min", hist.min());
+    report->add_outcome("path_length_max", hist.max());
+    report->add_outcome("path_length_spread", hist.max() - hist.min());
+  }
+  return run;
+}
+
+RunOutcome run_async_tree_aa_impl(RunSpec& spec) {
+  TREEAA_REQUIRE(spec.tree != nullptr);
+  const LabeledTree& tree = *spec.tree;
+  const std::size_t n = spec.n;
+  const std::size_t t = spec.t;
+  TREEAA_REQUIRE(spec.vertex_inputs.size() == n);
+  async::AsyncEngine engine(n, std::max<std::size_t>(t, 1),
+                            std::move(spec.async_opts.corrupt),
+                            spec.async_opts.scheduler, spec.async_opts.seed);
+  const async::AsyncTreeConfig cfg{n, t};
+  std::vector<async::AsyncTreeAAProcess*> procs(n);
+  for (PartyId p = 0; p < n; ++p) {
+    auto proc = std::make_unique<async::AsyncTreeAAProcess>(
+        tree, cfg, p, spec.vertex_inputs[p]);
+    procs[p] = proc.get();
+    engine.set_process(p, std::move(proc));
+  }
+  if (spec.async_adversary != nullptr) {
+    engine.set_adversary(std::move(spec.async_adversary));
+  }
+
+  const obs::Hooks* hooks = spec.hooks;
+  obs::RunReport* report = hooks != nullptr ? hooks->report : nullptr;
+  {
+    obs::ScopeTimer run_timer(
+        report == nullptr ? nullptr
+                          : &report->timing.histogram(
+                                "run_wall_ns", obs::ScopeTimer::wall_bounds()));
+    engine.run();
+  }
+
+  RunOutcome run;
+  run.vertex_outputs.resize(n);
+  for (PartyId p = 0; p < n; ++p) {
+    if (engine.is_corrupt(p)) continue;
+    run.vertex_outputs[p] = procs[p]->output();
+    TREEAA_CHECK(run.vertex_outputs[p].has_value());
+  }
+  run.corrupt = engine.corrupt();
+  run.deliveries = engine.deliveries();
+  run.messages = engine.messages_sent();
+  if (report != nullptr) {
+    report->protocol = "async_tree_aa";
+    report->add_param("tree_n", static_cast<std::uint64_t>(tree.n()));
+    report->add_param("seed", spec.async_opts.seed);
+    report->n = n;
+    report->t = t;
+    report->rounds = 0;  // no synchronous rounds in the async model
+    report->corrupt = engine.corrupt();
+    report->honest_messages = run.messages;
+    report->add_outcome("messages", run.messages);
+    report->add_outcome("deliveries", run.deliveries);
+  }
+  return run;
+}
+
+/// One row of the dispatch table.
+struct ProtocolEntry {
+  ProtocolKind kind;
+  const char* name;
+  bool vertex;  // vertex-valued (tree + vertex inputs) vs real-valued
+  bool sweep;   // available on the sweep grid
+  RunOutcome (*run)(RunSpec&);
+};
+
+/// THE protocol-dispatch table: rows in enum order (indexable by kind).
+constexpr std::size_t kProtocolCount = 7;
+const std::array<ProtocolEntry, kProtocolCount> kTable = {{
+    {ProtocolKind::kTreeAA, "tree_aa", true, true, run_tree_aa_impl},
+    {ProtocolKind::kIteratedTreeAA, "iterated_tree_aa", true, true,
+     run_iterated_tree_aa_impl},
+    {ProtocolKind::kRealAA, "real_aa", false, true, run_real_aa_impl},
+    {ProtocolKind::kIteratedRealAA, "iterated_real_aa", false, true,
+     run_iterated_real_aa_impl},
+    {ProtocolKind::kPathAA, "path_aa", true, false, run_path_aa_impl},
+    {ProtocolKind::kPathsFinder, "paths_finder", true, false,
+     run_paths_finder_impl},
+    {ProtocolKind::kAsyncTreeAA, "async_tree_aa", true, false,
+     run_async_tree_aa_impl},
+}};
+
+const ProtocolEntry& entry(ProtocolKind p) {
+  const auto i = static_cast<std::size_t>(p);
+  TREEAA_REQUIRE(i < kTable.size());
+  return kTable[i];
+}
+
+constexpr std::array<ProtocolKind, kProtocolCount> kProtocolKinds = {
+    ProtocolKind::kTreeAA,        ProtocolKind::kIteratedTreeAA,
+    ProtocolKind::kRealAA,        ProtocolKind::kIteratedRealAA,
+    ProtocolKind::kPathAA,        ProtocolKind::kPathsFinder,
+    ProtocolKind::kAsyncTreeAA,
+};
+
+constexpr std::array<const char*, 5> kAdversaryNames = {
+    "none", "silent", "fuzz", "split", "split1"};
+
+constexpr std::array<AdversaryKind, 5> kAdversaryKinds = {
+    AdversaryKind::kNone, AdversaryKind::kSilent, AdversaryKind::kFuzz,
+    AdversaryKind::kSplit, AdversaryKind::kSplit1};
+
+constexpr std::array<const char*, 3> kSchedulerNames = {"fifo", "lifo",
+                                                        "random"};
+
+}  // namespace
+
+const char* protocol_name(ProtocolKind p) { return entry(p).name; }
+
+std::optional<ProtocolKind> protocol_from_name(std::string_view name) {
+  for (const auto& e : kTable) {
+    if (name == e.name) return e.kind;
+  }
+  return std::nullopt;
+}
+
+const char* adversary_name(AdversaryKind a) {
+  return kAdversaryNames[static_cast<std::size_t>(a)];
+}
+
+std::optional<AdversaryKind> adversary_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kAdversaryNames.size(); ++i) {
+    if (name == kAdversaryNames[i]) return kAdversaryKinds[i];
+  }
+  return std::nullopt;
+}
+
+const char* scheduler_name(async::SchedulerKind s) {
+  return kSchedulerNames[static_cast<std::size_t>(s)];
+}
+
+std::optional<async::SchedulerKind> scheduler_from_name(
+    std::string_view name) {
+  if (name == "fifo") return async::SchedulerKind::kFifo;
+  if (name == "lifo") return async::SchedulerKind::kLifo;
+  if (name == "random") return async::SchedulerKind::kRandom;
+  return std::nullopt;
+}
+
+std::span<const ProtocolKind> all_protocols() { return kProtocolKinds; }
+
+std::span<const AdversaryKind> all_adversaries() { return kAdversaryKinds; }
+
+bool is_vertex_protocol(ProtocolKind p) { return entry(p).vertex; }
+
+bool is_sweep_protocol(ProtocolKind p) { return entry(p).sweep; }
+
+bool adversary_applies(ProtocolKind p, AdversaryKind a) {
+  switch (a) {
+    case AdversaryKind::kNone:
+    case AdversaryKind::kSilent:
+    case AdversaryKind::kFuzz:
+      return true;
+    case AdversaryKind::kSplit:
+      // The split attack targets a gradecast-distributed RealAA instance:
+      // RealAA itself, or the one inside TreeAA's PathsFinder.
+      return p == ProtocolKind::kTreeAA || p == ProtocolKind::kRealAA;
+    case AdversaryKind::kSplit1:
+      return p == ProtocolKind::kRealAA;
+  }
+  return false;
+}
+
+std::unique_ptr<sim::Adversary> make_adversary(const AdversaryPlan& plan) {
+  switch (plan.kind) {
+    case AdversaryKind::kNone:
+      return nullptr;
+    case AdversaryKind::kSilent:
+      return std::make_unique<sim::SilentAdversary>(plan.victims);
+    case AdversaryKind::kFuzz:
+      return std::make_unique<sim::FuzzAdversary>(
+          plan.victims, plan.fuzz_seed, plan.fuzz_min, plan.fuzz_max);
+    case AdversaryKind::kSplit:
+    case AdversaryKind::kSplit1: {
+      realaa::SplitAdversary::Options opts;
+      opts.config = plan.split_config;
+      opts.corrupt = plan.victims;
+      if (plan.kind == AdversaryKind::kSplit1) {
+        opts.schedule.assign(plan.split_config.iterations(), 1);
+      }
+      return std::make_unique<realaa::SplitAdversary>(std::move(opts));
+    }
+  }
+  return nullptr;
+}
+
+std::vector<VertexId> RunOutcome::honest_vertex_outputs() const {
+  std::vector<VertexId> out;
+  for (const auto& o : vertex_outputs) {
+    if (o.has_value()) out.push_back(*o);
+  }
+  return out;
+}
+
+std::vector<double> RunOutcome::honest_real_outputs() const {
+  std::vector<double> out;
+  for (const auto& o : real_outputs) {
+    if (o.has_value()) out.push_back(*o);
+  }
+  return out;
+}
+
+RunOutcome run_protocol(RunSpec spec) { return entry(spec.protocol).run(spec); }
+
+}  // namespace treeaa::harness

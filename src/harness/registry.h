@@ -1,0 +1,162 @@
+// The protocol registry — the repository's single protocol-dispatch table.
+//
+// Every front end that accepts a protocol or adversary by name (the CLI,
+// the sweep engine, the socket-net deployment tool) resolves it here, and
+// every one-call runner goes through run_protocol(): one RunSpec describes
+// any run, one RunOutcome carries any result. The typed convenience
+// wrappers in runner.h (run_real_aa, run_paths_finder, ...) are thin
+// adapters over this table, so adding a protocol means adding one registry
+// entry — not editing three name switches.
+//
+// The registry also centralises the adversary vocabulary. AdversaryPlan
+// separates *what randomness the caller drew* (victims, fuzz seed — whose
+// draw order is part of each tool's determinism contract) from *how the
+// adversary object is built* (make_adversary), so the sweep engine and the
+// CLI construct byte-identical adversaries without duplicating the switch.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "async/engine.h"
+#include "common/types.h"
+#include "core/paths_finder.h"
+#include "core/real_engine.h"
+#include "obs/report.h"
+#include "realaa/real_aa.h"
+#include "sim/adversary.h"
+#include "sim/stats.h"
+#include "trees/labeled_tree.h"
+
+namespace treeaa::harness {
+
+/// Every protocol the repository can run. The first four enumerate in the
+/// sweep grid's historical order, so their values (and therefore sweep
+/// reports and RNG fork positions) are unchanged from the days the sweep
+/// engine kept its own enum.
+enum class ProtocolKind {
+  kTreeAA,           // core::run_tree_aa (the paper's main protocol)
+  kIteratedTreeAA,   // NR-style iterate-on-the-tree baseline
+  kRealAA,           // BDH engine on R
+  kIteratedRealAA,   // DLPSW halving baseline
+  kPathAA,           // warm-up protocol on labeled paths (paper §4)
+  kPathsFinder,      // phase 1 alone (paper §6)
+  kAsyncTreeAA,      // asynchronous NR baseline in its native model
+};
+
+/// Byzantine strategies the tools know by name. none/silent/fuzz apply
+/// everywhere; the split attacks target the gradecast distribution
+/// mechanism (split1 additionally needs RealAA's iteration schedule).
+enum class AdversaryKind { kNone, kSilent, kFuzz, kSplit, kSplit1 };
+
+[[nodiscard]] const char* protocol_name(ProtocolKind p);
+[[nodiscard]] std::optional<ProtocolKind> protocol_from_name(
+    std::string_view name);
+[[nodiscard]] const char* adversary_name(AdversaryKind a);
+[[nodiscard]] std::optional<AdversaryKind> adversary_from_name(
+    std::string_view name);
+[[nodiscard]] const char* scheduler_name(async::SchedulerKind s);
+[[nodiscard]] std::optional<async::SchedulerKind> scheduler_from_name(
+    std::string_view name);
+
+/// All registered protocols, in registry order.
+[[nodiscard]] std::span<const ProtocolKind> all_protocols();
+/// All named adversaries, in declaration order.
+[[nodiscard]] std::span<const AdversaryKind> all_adversaries();
+
+/// Vertex-valued protocols take a tree + vertex inputs; real-valued ones
+/// take eps/known_range + real inputs.
+[[nodiscard]] bool is_vertex_protocol(ProtocolKind p);
+/// Protocols available on the sweep grid (the first four).
+[[nodiscard]] bool is_sweep_protocol(ProtocolKind p);
+/// Does this adversary make sense against this protocol?
+[[nodiscard]] bool adversary_applies(ProtocolKind p, AdversaryKind a);
+
+/// Scheduling knobs of the asynchronous model, folded into one struct
+/// (previously three positional parameters of run_async_tree_aa).
+struct AsyncOptions {
+  std::vector<PartyId> corrupt;  // silent-from-start parties
+  async::SchedulerKind scheduler = async::SchedulerKind::kRandom;
+  std::uint64_t seed = 1;
+};
+
+/// How to build an adversary, minus the randomness: the caller draws
+/// victims / fuzz seeds from its own RNG streams (their draw order is part
+/// of each tool's determinism contract) and make_adversary turns the plan
+/// into the object. kNone yields nullptr.
+struct AdversaryPlan {
+  AdversaryKind kind = AdversaryKind::kNone;
+  std::vector<PartyId> victims;
+  std::uint64_t fuzz_seed = 0;
+  std::size_t fuzz_min = 16;
+  std::size_t fuzz_max = 48;
+  /// The inner RealAA configuration the split attack targets (ignored by
+  /// the other kinds).
+  realaa::Config split_config;
+};
+
+[[nodiscard]] std::unique_ptr<sim::Adversary> make_adversary(
+    const AdversaryPlan& plan);
+
+/// One uniform description of a protocol run. Fields outside the selected
+/// protocol's family are ignored: vertex protocols read tree +
+/// vertex_inputs, real protocols read eps/known_range + real_inputs, the
+/// async protocol additionally reads async_opts/async_adversary.
+struct RunSpec {
+  ProtocolKind protocol = ProtocolKind::kTreeAA;
+  std::size_t n = 0;
+  std::size_t t = 0;
+
+  // Vertex protocols: the input-space tree (must outlive the call) and one
+  // input vertex per party.
+  const LabeledTree* tree = nullptr;
+  std::vector<VertexId> vertex_inputs;
+
+  // Real protocols.
+  std::vector<double> real_inputs;
+  double eps = 1.0;
+  double known_range = 0.0;
+
+  // Inner-engine knobs (where the protocol has them).
+  realaa::UpdateRule update = realaa::UpdateRule::kTrimmedMean;
+  realaa::IterationMode mode = realaa::IterationMode::kPaperSufficient;
+  core::RealEngineKind engine = core::RealEngineKind::kGradecastBdh;
+  core::EulerIndexChoice index_choice = core::EulerIndexChoice::kMinOccurrence;
+
+  // Async model only.
+  AsyncOptions async_opts;
+
+  // Faults and observability.
+  std::unique_ptr<sim::Adversary> adversary;              // sync protocols
+  std::unique_ptr<async::AsyncAdversary> async_adversary; // async protocol
+  const obs::Hooks* hooks = nullptr;
+};
+
+/// One uniform result. Per-party vectors are disengaged/empty for corrupt
+/// parties; which value family engages follows the protocol's family.
+struct RunOutcome {
+  // Vertex protocols.
+  std::vector<std::optional<VertexId>> vertex_outputs;
+  // Real protocols (histories: input first, one entry per iteration).
+  std::vector<std::optional<double>> real_outputs;
+  std::vector<std::vector<double>> real_histories;
+  // PathsFinder.
+  std::vector<std::optional<std::vector<VertexId>>> paths;
+
+  std::vector<PartyId> corrupt;
+  Round rounds = 0;              // 0 in the async model
+  sim::TrafficStats traffic;     // empty in the async model
+  std::uint64_t messages = 0;    // async model only
+  std::uint64_t deliveries = 0;  // async model only
+
+  [[nodiscard]] std::vector<VertexId> honest_vertex_outputs() const;
+  [[nodiscard]] std::vector<double> honest_real_outputs() const;
+};
+
+/// Runs `spec` through the registry's dispatch table.
+[[nodiscard]] RunOutcome run_protocol(RunSpec spec);
+
+}  // namespace treeaa::harness

@@ -1,126 +1,17 @@
 #include "harness/runner.h"
 
 #include <algorithm>
-#include <array>
-#include <cmath>
-#include <limits>
 
 #include "common/check.h"
-#include "obs/probe.h"
-#include "sim/engine.h"
 #include "sim/strategies.h"
 
 namespace treeaa::harness {
 
-namespace {
-
-/// Default snapshot: engine-level fields only (the ProbeTracer already
-/// filled traffic and corruption counts).
-struct NoSnapshot {
-  template <typename Proc>
-  void operator()(const sim::Engine&, const std::vector<Proc*>&,
-                  obs::RoundSample&) const {}
-};
-
-/// max - min over the honest parties' current scalar estimates; disengaged
-/// when no honest party reports a finite value (e.g. before round 1 of an
-/// engine without scalar state).
-template <typename Proc, typename Value>
-std::optional<double> honest_spread(const sim::Engine& engine,
-                                    const std::vector<Proc*>& procs,
-                                    Value&& value_of) {
-  double lo = std::numeric_limits<double>::infinity();
-  double hi = -std::numeric_limits<double>::infinity();
-  bool any = false;
-  for (PartyId p = 0; p < procs.size(); ++p) {
-    if (engine.is_corrupt(p)) continue;
-    const double v = value_of(*procs[p]);
-    if (!std::isfinite(v)) continue;
-    any = true;
-    lo = std::min(lo, v);
-    hi = std::max(hi, v);
-  }
-  if (!any) return std::nullopt;
-  return hi - lo;
-}
-
-template <typename Proc>
-std::uint64_t honest_max_detected(const sim::Engine& engine,
-                                  const std::vector<Proc*>& procs) {
-  std::uint64_t detected = 0;
-  for (PartyId p = 0; p < procs.size(); ++p) {
-    if (engine.is_corrupt(p)) continue;
-    detected = std::max(
-        detected, static_cast<std::uint64_t>(procs[p]->detected_faulty()));
-  }
-  return detected;
-}
-
-/// Shared engine-driving skeleton: installs one process per party, runs
-/// `rounds`, extracts results via `extract(p, process)`. With an active
-/// `hooks` the engine is instead driven one round at a time behind a
-/// ProbeTracer, and `snapshot(engine, procs, sample)` merges protocol-level
-/// observations into the sample of the round that just ended.
-template <typename Proc, typename MakeProc, typename Extract,
-          typename Snapshot = NoSnapshot>
-void drive(std::size_t n, std::size_t t,
-           std::unique_ptr<sim::Adversary> adversary, std::size_t rounds,
-           MakeProc&& make_proc, Extract&& extract, std::vector<PartyId>* corrupt,
-           Round* rounds_out, sim::TrafficStats* traffic,
-           const obs::Hooks* hooks = nullptr, Snapshot&& snapshot = {}) {
-  sim::Engine engine(n, std::max<std::size_t>(t, 1));
-  std::vector<Proc*> procs(n);
-  for (PartyId p = 0; p < n; ++p) {
-    auto proc = make_proc(p);
-    procs[p] = proc.get();
-    engine.set_process(p, std::move(proc));
-  }
-  if (adversary != nullptr) engine.set_adversary(std::move(adversary));
-
-  if (hooks != nullptr && hooks->active()) {
-    obs::RunReport* report = hooks->report;
-    obs::ProbeTracer probe(hooks->tracer);
-    engine.set_tracer(&probe);
-    obs::Histogram* round_sink =
-        report == nullptr ? nullptr
-                          : &report->timing.histogram(
-                                "round_wall_ns", obs::ScopeTimer::wall_bounds());
-    obs::ScopeTimer run_timer(
-        report == nullptr ? nullptr
-                          : &report->timing.histogram(
-                                "run_wall_ns", obs::ScopeTimer::wall_bounds()));
-    for (std::size_t r = 0; r < rounds; ++r) {
-      obs::ScopeTimer round_timer(round_sink);
-      engine.run(static_cast<Round>(1));
-      if (report != nullptr && probe.current() != nullptr) {
-        snapshot(engine, procs, *probe.current());
-      }
-    }
-    run_timer.stop();
-    engine.set_tracer(nullptr);
-    if (report != nullptr) report->per_round = probe.take();
-  } else {
-    engine.run(static_cast<Round>(rounds));
-  }
-
-  for (PartyId p = 0; p < n; ++p) {
-    if (!engine.is_corrupt(p)) extract(p, *procs[p]);
-  }
-  *corrupt = engine.corrupt();
-  *rounds_out = engine.rounds_elapsed();
-  *traffic = engine.stats();
-  if (hooks != nullptr && hooks->report != nullptr) {
-    hooks->report->set_totals(n, t, engine.rounds_elapsed(), engine.corrupt(),
-                              engine.stats());
-  }
-}
-
-const char* update_rule_name(realaa::UpdateRule rule) {
-  return rule == realaa::UpdateRule::kTrimmedMean ? "trimmed_mean"
-                                                  : "trimmed_midpoint";
-}
-
-}  // namespace
+// The runners below are thin adapters over the protocol registry: each one
+// packs its typed arguments into a RunSpec, dispatches through
+// run_protocol(), and unpacks the uniform RunOutcome into its historical
+// result struct. All engine wiring, round driving, and report population
+// lives in registry.cpp.
 
 std::vector<double> RealRun::honest_outputs() const {
   std::vector<double> out;
@@ -137,115 +28,52 @@ double RealRun::output_range() const {
   return *hi - *lo;
 }
 
+namespace {
+
+RealRun to_real_run(RunOutcome&& outcome) {
+  RealRun run;
+  run.outputs = std::move(outcome.real_outputs);
+  run.histories = std::move(outcome.real_histories);
+  run.corrupt = std::move(outcome.corrupt);
+  run.rounds = outcome.rounds;
+  run.traffic = outcome.traffic;
+  return run;
+}
+
+}  // namespace
+
 RealRun run_real_aa(const realaa::Config& config,
                     const std::vector<double>& inputs,
                     std::unique_ptr<sim::Adversary> adversary,
                     const obs::Hooks* hooks) {
-  TREEAA_REQUIRE(inputs.size() == config.n);
-  obs::RunReport* report = hooks != nullptr ? hooks->report : nullptr;
-  if (report != nullptr) {
-    report->protocol = "real_aa";
-    report->add_param("eps", config.eps);
-    report->add_param("known_range", config.known_range);
-    report->add_param("iterations",
-                      static_cast<std::uint64_t>(config.iterations()));
-    report->add_param("update", update_rule_name(config.update));
-  }
-  RealRun run;
-  run.outputs.resize(config.n);
-  run.histories.resize(config.n);
-  drive<realaa::RealAAProcess>(
-      config.n, config.t, std::move(adversary), config.rounds(),
-      [&](PartyId p) {
-        return std::make_unique<realaa::RealAAProcess>(config, p, inputs[p]);
-      },
-      [&](PartyId p, const realaa::RealAAProcess& proc) {
-        run.outputs[p] = proc.output();
-        run.histories[p] = proc.value_history();
-        TREEAA_CHECK_MSG(run.outputs[p].has_value(),
-                         "honest party " << p << " failed to terminate");
-        if (report != nullptr) {
-          for (const auto& d : proc.detections()) {
-            report->detections.push_back(obs::DetectionEvent{
-                static_cast<Round>(3 * d.iteration), p, d.leader});
-          }
-        }
-      },
-      &run.corrupt, &run.rounds, &run.traffic, hooks,
-      [&](const sim::Engine& engine,
-          const std::vector<realaa::RealAAProcess*>& procs,
-          obs::RoundSample& s) {
-        s.value_diameter = honest_spread(
-            engine, procs,
-            [](const realaa::RealAAProcess& pr) { return pr.current_value(); });
-        s.detected_faulty = honest_max_detected(engine, procs);
-        // Iteration-end rounds (every third) carry the grade distribution of
-        // the iteration that just finished, summed over honest parties.
-        if (s.round == 0 || s.round % 3 != 0) return;
-        const std::size_t iteration = s.round / 3;
-        std::array<std::uint64_t, 3> grades{0, 0, 0};
-        bool any = false;
-        for (PartyId p = 0; p < procs.size(); ++p) {
-          if (engine.is_corrupt(p)) continue;
-          const auto& stats = procs[p]->iteration_stats();
-          if (iteration > stats.size()) continue;
-          const auto& it = stats[iteration - 1];
-          grades[0] += it.grade0;
-          grades[1] += it.grade1;
-          grades[2] += it.grade2;
-          any = true;
-        }
-        if (any) s.grades = grades;
-      });
-  if (report != nullptr) {
-    report->add_outcome("output_range", run.output_range());
-    report->add_outcome("detections",
-                        static_cast<std::uint64_t>(report->detections.size()));
-  }
-  return run;
+  RunSpec spec;
+  spec.protocol = ProtocolKind::kRealAA;
+  spec.n = config.n;
+  spec.t = config.t;
+  spec.real_inputs = inputs;
+  spec.eps = config.eps;
+  spec.known_range = config.known_range;
+  spec.update = config.update;
+  spec.mode = config.mode;
+  spec.adversary = std::move(adversary);
+  spec.hooks = hooks;
+  return to_real_run(run_protocol(std::move(spec)));
 }
 
 RealRun run_iterated_real_aa(const baselines::IteratedRealConfig& config,
                              const std::vector<double>& inputs,
                              std::unique_ptr<sim::Adversary> adversary,
                              const obs::Hooks* hooks) {
-  TREEAA_REQUIRE(inputs.size() == config.n);
-  obs::RunReport* report = hooks != nullptr ? hooks->report : nullptr;
-  if (report != nullptr) {
-    report->protocol = "iterated_real_aa";
-    report->add_param("eps", config.eps);
-    report->add_param("known_range", config.known_range);
-    report->add_param("iterations",
-                      static_cast<std::uint64_t>(config.iterations()));
-  }
-  RealRun run;
-  run.outputs.resize(config.n);
-  run.histories.resize(config.n);
-  drive<baselines::IteratedRealAAProcess>(
-      config.n, config.t, std::move(adversary), config.rounds(),
-      [&](PartyId p) {
-        return std::make_unique<baselines::IteratedRealAAProcess>(config, p,
-                                                                  inputs[p]);
-      },
-      [&](PartyId p, const baselines::IteratedRealAAProcess& proc) {
-        run.outputs[p] = proc.output();
-        run.histories[p] = proc.value_history();
-        TREEAA_CHECK(run.outputs[p].has_value());
-      },
-      &run.corrupt, &run.rounds, &run.traffic, hooks,
-      [&](const sim::Engine& engine,
-          const std::vector<baselines::IteratedRealAAProcess*>& procs,
-          obs::RoundSample& s) {
-        s.value_diameter =
-            honest_spread(engine, procs,
-                          [](const baselines::IteratedRealAAProcess& pr) {
-                            return pr.current_value();
-                          });
-      });
-  if (report != nullptr) {
-    report->add_outcome("output_range", run.output_range());
-  }
-  return run;
+  RunSpec spec;
+  spec.protocol = ProtocolKind::kIteratedRealAA;
+  spec.n = config.n;
+  spec.t = config.t;
+  spec.real_inputs = inputs;
+  spec.eps = config.eps;
+  spec.known_range = config.known_range;
+  spec.adversary = std::move(adversary);
+  spec.hooks = hooks;
+  return to_real_run(run_protocol(std::move(spec)));
 }
 
 std::vector<std::vector<VertexId>> PathsFinderRun::honest_paths() const {
@@ -262,50 +90,24 @@ PathsFinderRun run_paths_finder(const LabeledTree& tree, std::size_t n,
                                 std::unique_ptr<sim::Adversary> adversary,
                                 core::PathsFinderOptions opts,
                                 const obs::Hooks* hooks) {
-  TREEAA_REQUIRE(inputs.size() == n);
-  const EulerList euler(tree);
+  RunSpec spec;
+  spec.protocol = ProtocolKind::kPathsFinder;
+  spec.n = n;
+  spec.t = t;
+  spec.tree = &tree;
+  spec.vertex_inputs = inputs;
+  spec.update = opts.update;
+  spec.mode = opts.mode;
+  spec.engine = opts.engine;
+  spec.index_choice = opts.index_choice;
+  spec.adversary = std::move(adversary);
+  spec.hooks = hooks;
+  auto outcome = run_protocol(std::move(spec));
   PathsFinderRun run;
-  run.paths.resize(n);
-  const auto cfg = core::paths_finder_config(tree, n, t, opts);
-  obs::RunReport* report = hooks != nullptr ? hooks->report : nullptr;
-  if (report != nullptr) {
-    report->protocol = "paths_finder";
-    report->add_param("tree_n", static_cast<std::uint64_t>(tree.n()));
-    report->add_param("euler_range", core::paths_finder_range(tree));
-    report->add_param("engine", core::real_engine_name(opts.engine));
-    report->add_param("update", update_rule_name(opts.update));
-  }
-  drive<core::PathsFinderProcess>(
-      n, t, std::move(adversary), cfg.rounds(),
-      [&](PartyId p) {
-        return std::make_unique<core::PathsFinderProcess>(tree, euler, n, t,
-                                                          p, inputs[p], opts);
-      },
-      [&](PartyId p, const core::PathsFinderProcess& proc) {
-        run.paths[p] = proc.path();
-        TREEAA_CHECK(run.paths[p].has_value());
-        if (report != nullptr) {
-          report->metrics.histogram("path_length")
-              .observe(static_cast<double>(run.paths[p]->size()));
-        }
-      },
-      &run.corrupt, &run.rounds, &run.traffic, hooks,
-      [&](const sim::Engine& engine,
-          const std::vector<core::PathsFinderProcess*>& procs,
-          obs::RoundSample& s) {
-        s.value_diameter = honest_spread(
-            engine, procs,
-            [](const core::PathsFinderProcess& pr) {
-              return pr.current_index();
-            });
-        s.detected_faulty = honest_max_detected(engine, procs);
-      });
-  if (report != nullptr) {
-    const auto& hist = report->metrics.histogram("path_length");
-    report->add_outcome("path_length_min", hist.min());
-    report->add_outcome("path_length_max", hist.max());
-    report->add_outcome("path_length_spread", hist.max() - hist.min());
-  }
+  run.paths = std::move(outcome.paths);
+  run.corrupt = std::move(outcome.corrupt);
+  run.rounds = outcome.rounds;
+  run.traffic = outcome.traffic;
   return run;
 }
 
@@ -317,34 +119,35 @@ std::vector<VertexId> VertexRun::honest_outputs() const {
   return out;
 }
 
+namespace {
+
+VertexRun to_vertex_run(RunOutcome&& outcome) {
+  VertexRun run;
+  run.outputs = std::move(outcome.vertex_outputs);
+  run.corrupt = std::move(outcome.corrupt);
+  run.rounds = outcome.rounds;
+  run.traffic = outcome.traffic;
+  return run;
+}
+
+}  // namespace
+
 VertexRun run_path_aa(const LabeledTree& path_tree, std::size_t n,
                       std::size_t t, const std::vector<VertexId>& inputs,
                       std::unique_ptr<sim::Adversary> adversary,
                       core::PathAAOptions opts, const obs::Hooks* hooks) {
-  TREEAA_REQUIRE(inputs.size() == n);
-  obs::RunReport* report = hooks != nullptr ? hooks->report : nullptr;
-  if (report != nullptr) {
-    report->protocol = "path_aa";
-    report->add_param("tree_n", static_cast<std::uint64_t>(path_tree.n()));
-  }
-  VertexRun run;
-  run.outputs.resize(n);
-  // All parties share the same (public) configuration, so any party's round
-  // count works; build one probe process to read it.
-  const std::size_t rounds =
-      core::PathAAProcess(path_tree, n, t, 0, inputs[0], opts).rounds();
-  drive<core::PathAAProcess>(
-      n, t, std::move(adversary), rounds,
-      [&](PartyId p) {
-        return std::make_unique<core::PathAAProcess>(path_tree, n, t, p,
-                                                     inputs[p], opts);
-      },
-      [&](PartyId p, const core::PathAAProcess& proc) {
-        run.outputs[p] = proc.output();
-        TREEAA_CHECK(run.outputs[p].has_value());
-      },
-      &run.corrupt, &run.rounds, &run.traffic, hooks);
-  return run;
+  RunSpec spec;
+  spec.protocol = ProtocolKind::kPathAA;
+  spec.n = n;
+  spec.t = t;
+  spec.tree = &path_tree;
+  spec.vertex_inputs = inputs;
+  spec.update = opts.update;
+  spec.mode = opts.mode;
+  spec.engine = opts.engine;
+  spec.adversary = std::move(adversary);
+  spec.hooks = hooks;
+  return to_vertex_run(run_protocol(std::move(spec)));
 }
 
 VertexRun run_iterated_tree_aa(const LabeledTree& tree, std::size_t n,
@@ -352,27 +155,15 @@ VertexRun run_iterated_tree_aa(const LabeledTree& tree, std::size_t n,
                                const std::vector<VertexId>& inputs,
                                std::unique_ptr<sim::Adversary> adversary,
                                const obs::Hooks* hooks) {
-  TREEAA_REQUIRE(inputs.size() == n);
-  baselines::IteratedTreeConfig cfg{n, t};
-  obs::RunReport* report = hooks != nullptr ? hooks->report : nullptr;
-  if (report != nullptr) {
-    report->protocol = "iterated_tree_aa";
-    report->add_param("tree_n", static_cast<std::uint64_t>(tree.n()));
-  }
-  VertexRun run;
-  run.outputs.resize(n);
-  drive<baselines::IteratedTreeAAProcess>(
-      n, t, std::move(adversary), cfg.rounds(tree),
-      [&](PartyId p) {
-        return std::make_unique<baselines::IteratedTreeAAProcess>(
-            tree, cfg, p, inputs[p]);
-      },
-      [&](PartyId p, const baselines::IteratedTreeAAProcess& proc) {
-        run.outputs[p] = proc.output();
-        TREEAA_CHECK(run.outputs[p].has_value());
-      },
-      &run.corrupt, &run.rounds, &run.traffic, hooks);
-  return run;
+  RunSpec spec;
+  spec.protocol = ProtocolKind::kIteratedTreeAA;
+  spec.n = n;
+  spec.t = t;
+  spec.tree = &tree;
+  spec.vertex_inputs = inputs;
+  spec.adversary = std::move(adversary);
+  spec.hooks = hooks;
+  return to_vertex_run(run_protocol(std::move(spec)));
 }
 
 std::vector<VertexId> AsyncVertexRun::honest_outputs() const {
@@ -386,55 +177,24 @@ std::vector<VertexId> AsyncVertexRun::honest_outputs() const {
 AsyncVertexRun run_async_tree_aa(const LabeledTree& tree, std::size_t n,
                                  std::size_t t,
                                  const std::vector<VertexId>& inputs,
-                                 std::vector<PartyId> corrupt,
-                                 async::SchedulerKind scheduler,
-                                 std::uint64_t seed,
+                                 AsyncOptions opts,
                                  std::unique_ptr<async::AsyncAdversary> adversary,
                                  const obs::Hooks* hooks) {
-  TREEAA_REQUIRE(inputs.size() == n);
-  async::AsyncEngine engine(n, std::max<std::size_t>(t, 1),
-                            std::move(corrupt), scheduler, seed);
-  const async::AsyncTreeConfig cfg{n, t};
-  std::vector<async::AsyncTreeAAProcess*> procs(n);
-  for (PartyId p = 0; p < n; ++p) {
-    auto proc = std::make_unique<async::AsyncTreeAAProcess>(tree, cfg, p,
-                                                            inputs[p]);
-    procs[p] = proc.get();
-    engine.set_process(p, std::move(proc));
-  }
-  if (adversary != nullptr) engine.set_adversary(std::move(adversary));
-
-  obs::RunReport* report = hooks != nullptr ? hooks->report : nullptr;
-  {
-    obs::ScopeTimer run_timer(
-        report == nullptr ? nullptr
-                          : &report->timing.histogram(
-                                "run_wall_ns", obs::ScopeTimer::wall_bounds()));
-    engine.run();
-  }
-
+  RunSpec spec;
+  spec.protocol = ProtocolKind::kAsyncTreeAA;
+  spec.n = n;
+  spec.t = t;
+  spec.tree = &tree;
+  spec.vertex_inputs = inputs;
+  spec.async_opts = std::move(opts);
+  spec.async_adversary = std::move(adversary);
+  spec.hooks = hooks;
+  auto outcome = run_protocol(std::move(spec));
   AsyncVertexRun run;
-  run.outputs.resize(n);
-  for (PartyId p = 0; p < n; ++p) {
-    if (engine.is_corrupt(p)) continue;
-    run.outputs[p] = procs[p]->output();
-    TREEAA_CHECK(run.outputs[p].has_value());
-  }
-  run.corrupt = engine.corrupt();
-  run.deliveries = engine.deliveries();
-  run.messages = engine.messages_sent();
-  if (report != nullptr) {
-    report->protocol = "async_tree_aa";
-    report->add_param("tree_n", static_cast<std::uint64_t>(tree.n()));
-    report->add_param("seed", seed);
-    report->n = n;
-    report->t = t;
-    report->rounds = 0;  // no synchronous rounds in the async model
-    report->corrupt = engine.corrupt();
-    report->honest_messages = run.messages;
-    report->add_outcome("messages", run.messages);
-    report->add_outcome("deliveries", run.deliveries);
-  }
+  run.outputs = std::move(outcome.vertex_outputs);
+  run.corrupt = std::move(outcome.corrupt);
+  run.deliveries = outcome.deliveries;
+  run.messages = outcome.messages;
   return run;
 }
 

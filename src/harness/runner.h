@@ -17,6 +17,7 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "core/path_aa.h"
+#include "harness/registry.h"
 #include "obs/report.h"
 #include "core/paths_finder.h"
 #include "realaa/real_aa.h"
@@ -112,12 +113,12 @@ struct AsyncVertexRun {
 };
 
 /// The asynchronous runner has no rounds, so a report sink receives totals
-/// and outcome facts (deliveries, messages) but no per-round series.
+/// and outcome facts (deliveries, messages) but no per-round series. The
+/// model's scheduling knobs (corrupt set, scheduler, seed) travel together
+/// in AsyncOptions.
 [[nodiscard]] AsyncVertexRun run_async_tree_aa(
     const LabeledTree& tree, std::size_t n, std::size_t t,
-    const std::vector<VertexId>& inputs, std::vector<PartyId> corrupt = {},
-    async::SchedulerKind scheduler = async::SchedulerKind::kRandom,
-    std::uint64_t seed = 1,
+    const std::vector<VertexId>& inputs, AsyncOptions opts = {},
     std::unique_ptr<async::AsyncAdversary> adversary = nullptr,
     const obs::Hooks* hooks = nullptr);
 

@@ -31,7 +31,9 @@ std::unique_ptr<sim::Process> make_behavior(AdversaryKind kind, PartyId self,
     case AdversaryKind::kFuzz:
       return std::make_unique<FuzzBehavior>(self, n, fuzz_seed);
     case AdversaryKind::kNone:
-      break;
+    case AdversaryKind::kSplit:
+    case AdversaryKind::kSplit1:
+      break;  // parse_adversary admits none/silent/fuzz only
   }
   TREEAA_CHECK_MSG(false, "no behavior for adversary kind");
   return nullptr;
@@ -43,19 +45,12 @@ bool contains(const std::vector<PartyId>& parties, PartyId p) {
 
 }  // namespace
 
-const char* adversary_name(AdversaryKind kind) {
-  switch (kind) {
-    case AdversaryKind::kNone: return "none";
-    case AdversaryKind::kSilent: return "silent";
-    case AdversaryKind::kFuzz: return "fuzz";
-  }
-  return "?";
-}
-
 std::optional<AdversaryKind> parse_adversary(std::string_view name) {
-  if (name == "none") return AdversaryKind::kNone;
-  if (name == "silent") return AdversaryKind::kSilent;
-  if (name == "fuzz") return AdversaryKind::kFuzz;
+  const auto kind = harness::adversary_from_name(name);
+  if (kind == AdversaryKind::kNone || kind == AdversaryKind::kSilent ||
+      kind == AdversaryKind::kFuzz) {
+    return kind;
+  }
   return std::nullopt;
 }
 

@@ -27,16 +27,21 @@
 #include <vector>
 
 #include "core/api.h"
+#include "harness/registry.h"
 #include "net/fault.h"
 #include "net/report.h"
 #include "trees/labeled_tree.h"
 
 namespace treeaa::net {
 
-enum class AdversaryKind { kNone, kSilent, kFuzz };
+// The net tool speaks the registry's adversary vocabulary
+// (harness/registry.h); only the kinds deployable as standalone per-party
+// behaviors — none, silent, fuzz — pass parse_adversary.
+using AdversaryKind = harness::AdversaryKind;
+using harness::adversary_name;
 
-[[nodiscard]] const char* adversary_name(AdversaryKind kind);
-/// "none" | "silent" | "fuzz"; nullopt otherwise.
+/// "none" | "silent" | "fuzz"; nullopt otherwise (registry kinds without a
+/// per-party socket behavior are rejected here).
 [[nodiscard]] std::optional<AdversaryKind> parse_adversary(
     std::string_view name);
 

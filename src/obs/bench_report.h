@@ -1,12 +1,16 @@
-// Shared machine-readable output for the bench binaries.
+// Shared machine-readable output for experiment binaries.
 //
 // Every experiment binary keeps printing its human tables; a BenchReporter
-// additionally collects one obs::RunReport per protocol run and writes them
-// as a single "treeaa.bench_report/1" JSON document when output is
-// requested — with `--metrics <file|->` on the bench command line or the
-// TREEAA_METRICS environment variable (the CI smoke uses the latter).
-// Without either the reporter is inert: next_run() returns nullptr and the
-// runs take the zero-overhead unprobed path.
+// additionally collects one RunReport per protocol run and writes them as a
+// single "treeaa.bench_report/1" JSON document when output is requested —
+// with `--metrics <file|->` on the bench command line or the TREEAA_METRICS
+// environment variable (the CI smoke uses the latter). Without either the
+// reporter is inert: next_run() returns nullptr and the runs take the
+// zero-overhead unprobed path.
+//
+// Sink resolution and writing go through the sink.h helpers, so the bench
+// binaries share the exact --metrics/TREEAA_METRICS/"-" contract of
+// treeaa_cli and treeaa_sweep.
 #pragma once
 
 #include <deque>
@@ -18,19 +22,19 @@
 #include "obs/report.h"
 #include "obs/sink.h"
 
-namespace treeaa::bench {
+namespace treeaa::obs {
 
 class BenchReporter {
  public:
   BenchReporter(std::string bench_name, int argc, char** argv)
       : name_(std::move(bench_name)),
-        path_(obs::metrics_sink_from_args(argc, argv)) {}
+        path_(metrics_sink_from_args(argc, argv)) {}
 
   [[nodiscard]] bool enabled() const { return !path_.empty(); }
 
   /// Hooks for the next protocol run, labeled for the "runs" array; null
   /// when reporting is disabled. The pointer stays valid until flush().
-  [[nodiscard]] obs::Hooks* next_run(std::string label) {
+  [[nodiscard]] Hooks* next_run(std::string label) {
     if (!enabled()) return nullptr;
     Entry& e = runs_.emplace_back();
     e.label = std::move(label);
@@ -43,7 +47,7 @@ class BenchReporter {
   bool flush() const {
     if (!enabled()) return true;
     std::string out;
-    obs::JsonWriter w(out);
+    JsonWriter w(out);
     w.begin_object();
     w.key("schema");
     w.value(std::string_view("treeaa.bench_report/1"));
@@ -62,14 +66,14 @@ class BenchReporter {
     w.end_array();
     w.end_object();
     out += '\n';
-    return obs::write_sink(path_, out);
+    return write_sink(path_, out);
   }
 
  private:
   struct Entry {
     std::string label;
-    obs::RunReport report;
-    obs::Hooks hooks;
+    RunReport report;
+    Hooks hooks;
   };
 
   std::string name_;
@@ -77,4 +81,4 @@ class BenchReporter {
   std::deque<Entry> runs_;  // deque: next_run() hands out stable pointers
 };
 
-}  // namespace treeaa::bench
+}  // namespace treeaa::obs

@@ -1,0 +1,53 @@
+// Allocation-light buffers for the simulator's message hot path.
+//
+// Every simulated message owns a heap-allocated payload (Bytes), and the
+// engine delivered each round into a fresh vector-of-vectors of inboxes —
+// at n^2 messages per round that allocation traffic dominates
+// bench_sim_throughput. The engine now keeps capacity alive across rounds:
+//
+//   * BufferPool recycles payload buffers — after a round's inboxes have
+//     been consumed the engine returns every payload's capacity to the pool,
+//     and Mailer::broadcast draws its per-recipient copies from it;
+//   * the per-round inboxes are slices of one flat, counting-sorted delivery
+//     array (sim/engine.cpp) instead of n separately grown vectors.
+//
+// None of this is observable by protocols: payload bytes are copied or
+// cleared before reuse, and delivery order is byte-for-byte the order the
+// previous stable_sort produced (the determinism invariant every report
+// format relies on).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace treeaa::perf {
+
+/// Recycles the capacity of Bytes buffers. acquire() hands back an empty
+/// buffer that keeps its previous heap allocation; recycle() returns one.
+class BufferPool {
+ public:
+  /// An empty buffer, reusing pooled capacity when available.
+  [[nodiscard]] Bytes acquire() {
+    if (free_.empty()) return {};
+    Bytes b = std::move(free_.back());
+    free_.pop_back();
+    b.clear();
+    return b;
+  }
+
+  /// Takes ownership of a no-longer-needed buffer's capacity. Buffers that
+  /// never allocated are dropped (nothing to recycle).
+  void recycle(Bytes&& b) {
+    if (b.capacity() == 0) return;
+    free_.push_back(std::move(b));
+  }
+
+  [[nodiscard]] std::size_t pooled() const { return free_.size(); }
+
+ private:
+  std::vector<Bytes> free_;
+};
+
+}  // namespace treeaa::perf

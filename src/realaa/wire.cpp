@@ -10,7 +10,7 @@ Bytes encode_value(double v) {
   return std::move(w).take();
 }
 
-std::optional<double> decode_value(const Bytes& b) {
+std::optional<double> decode_value(std::span<const std::uint8_t> b) {
   try {
     ByteReader r(b);
     const double v = r.f64();

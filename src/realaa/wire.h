@@ -10,6 +10,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 
 #include "common/bytes.h"
 
@@ -17,7 +18,10 @@ namespace treeaa::realaa {
 
 [[nodiscard]] Bytes encode_value(double v);
 
-/// Decodes a value; nullopt if malformed or non-finite.
-[[nodiscard]] std::optional<double> decode_value(const Bytes& b);
+/// Decodes a value; nullopt if malformed or non-finite. Accepts any byte
+/// view (owned Bytes convert implicitly), so decode hot paths can pass
+/// payload views without materialising a copy.
+[[nodiscard]] std::optional<double> decode_value(
+    std::span<const std::uint8_t> b);
 
 }  // namespace treeaa::realaa

@@ -142,7 +142,7 @@ void Engine::run(Round rounds) {
     for (PartyId p = 0; p < n(); ++p) {
       if (corrupt_[p]) continue;
       const std::size_t before = queued_.size();
-      Mailer mailer(p, n(), queued_, r);
+      Mailer mailer(p, n(), queued_, r, &payload_pool_);
       processes_[p]->on_round_begin(r, mailer);
       auto& rt = stats_.per_round.back();
       for (std::size_t k = before; k < queued_.size(); ++k) {
@@ -165,19 +165,48 @@ void Engine::run(Round rounds) {
       queued_ = link_layer_->deliver(r, std::move(queued_));
     }
     if (tracer_ != nullptr) tracer_->on_deliver(r);
-    std::stable_sort(queued_.begin(), queued_.end(),
-                     [](const Envelope& a, const Envelope& b) {
-                       return a.from < b.from;
-                     });
-    std::vector<std::vector<Envelope>> inboxes(n());
+    // Two-pass stable counting sort (by sender, then by recipient). The
+    // result — recipient-major slices, each ordered by sender with
+    // same-sender send order preserved — is byte-for-byte the order the
+    // previous stable_sort-by-sender + bucket-by-recipient produced, but
+    // reuses one flat array instead of growing n inbox vectors per round.
+    const std::size_t m = queued_.size();
+    sort_scratch_.resize(m);
+    delivery_.resize(m);
+    counts_.assign(n() + 1, 0);
+    for (const Envelope& e : queued_) {
+      TREEAA_CHECK_MSG(e.from < n(), "sender " << e.from << " out of range");
+      ++counts_[e.from + 1];
+    }
+    for (std::size_t k = 1; k <= n(); ++k) counts_[k] += counts_[k - 1];
     for (Envelope& e : queued_) {
-      inboxes[e.to].push_back(std::move(e));
+      sort_scratch_[counts_[e.from]++] = std::move(e);
+    }
+    inbox_offsets_.assign(n() + 1, 0);
+    for (const Envelope& e : sort_scratch_) {
+      TREEAA_CHECK_MSG(e.to < n(), "recipient " << e.to << " out of range");
+      ++inbox_offsets_[e.to + 1];
+    }
+    for (std::size_t k = 1; k <= n(); ++k) {
+      inbox_offsets_[k] += inbox_offsets_[k - 1];
+    }
+    counts_.assign(inbox_offsets_.begin(), inbox_offsets_.end());
+    for (Envelope& e : sort_scratch_) {
+      delivery_[counts_[e.to]++] = std::move(e);
     }
     queued_.clear();
     round_ = r;
     for (PartyId p = 0; p < n(); ++p) {
       if (corrupt_[p]) continue;
-      processes_[p]->on_round_end(r, inboxes[p]);
+      processes_[p]->on_round_end(
+          r, std::span<const Envelope>(
+                 delivery_.data() + inbox_offsets_[p],
+                 inbox_offsets_[p + 1] - inbox_offsets_[p]));
+    }
+    // Inboxes are fully consumed (processes copy what they keep); recycle
+    // the payload capacity into next round's broadcast copies.
+    for (Envelope& e : delivery_) {
+      payload_pool_.recycle(std::move(e.payload));
     }
   }
 }

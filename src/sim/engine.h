@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "perf/arena.h"
 #include "sim/adversary.h"
 #include "sim/envelope.h"
 #include "sim/link.h"
@@ -88,6 +89,18 @@ class Engine {
   Tracer* tracer_ = nullptr;
   LinkLayer* link_layer_ = nullptr;
   std::vector<Envelope> queued_;  // messages queued for the current round
+
+  // Delivery scratch, persistent across rounds so the hot path allocates
+  // only on high-water marks: the round's traffic is stably counting-sorted
+  // (by sender, then by recipient) into one flat array whose per-recipient
+  // slices are the inboxes, and payload capacity is recycled through the
+  // pool once every inbox has been consumed.
+  std::vector<Envelope> sort_scratch_;      // after the by-sender pass
+  std::vector<Envelope> delivery_;          // after the by-recipient pass
+  std::vector<std::size_t> counts_;         // counting-sort counters
+  std::vector<std::size_t> inbox_offsets_;  // recipient p owns [p, p + 1)
+  perf::BufferPool payload_pool_;
+
   TrafficStats stats_;
 };
 

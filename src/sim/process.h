@@ -16,6 +16,7 @@
 #include "common/bytes.h"
 #include "common/check.h"
 #include "common/types.h"
+#include "perf/arena.h"
 #include "sim/envelope.h"
 
 namespace treeaa::sim {
@@ -23,9 +24,11 @@ namespace treeaa::sim {
 /// Collects one party's outgoing messages for the current round.
 class Mailer {
  public:
+  /// `pool` (optional) recycles payload capacity for broadcast copies; the
+  /// engine passes its per-run pool, standalone constructions may omit it.
   Mailer(PartyId self, std::size_t n, std::vector<Envelope>& sink,
-         Round round)
-      : self_(self), n_(n), sink_(sink), round_(round) {}
+         Round round, perf::BufferPool* pool = nullptr)
+      : self_(self), n_(n), sink_(sink), round_(round), pool_(pool) {}
 
   /// Sends `payload` to party `to`. Sending to self is allowed and the
   /// message is delivered like any other (protocols in this repository count
@@ -37,7 +40,11 @@ class Mailer {
 
   /// Sends the same payload to every party (including self).
   void broadcast(const Bytes& payload) {
-    for (PartyId to = 0; to < n_; ++to) send(to, payload);
+    for (PartyId to = 0; to < n_; ++to) {
+      Bytes copy = pool_ != nullptr ? pool_->acquire() : Bytes{};
+      copy.assign(payload.begin(), payload.end());
+      sink_.push_back(Envelope{self_, to, round_, std::move(copy)});
+    }
   }
 
   [[nodiscard]] PartyId self() const { return self_; }
@@ -48,6 +55,7 @@ class Mailer {
   std::size_t n_;
   std::vector<Envelope>& sink_;
   Round round_;
+  perf::BufferPool* pool_;
 };
 
 class Process {

@@ -30,6 +30,11 @@ class SparseLcaIndex {
   /// d(u, v) computed through this index, O(1).
   [[nodiscard]] std::uint32_t distance(VertexId u, VertexId v) const;
 
+  /// Depth of v in the rooted view (root has depth 0), O(1).
+  [[nodiscard]] std::uint32_t depth(VertexId v) const {
+    return vertex_depth_[v];
+  }
+
  private:
   /// Position (0-based) of the minimum-depth entry in tour positions [a, b].
   [[nodiscard]] std::size_t argmin(std::size_t a, std::size_t b) const;

@@ -45,7 +45,7 @@ TEST(AsyncTreeAA, HonestRunsConvergeUnderEveryScheduler) {
   for (const auto sched :
        {SchedulerKind::kFifo, SchedulerKind::kLifo, SchedulerKind::kRandom}) {
     const auto run =
-        harness::run_async_tree_aa(tree, n, t, inputs, {}, sched, 3);
+        harness::run_async_tree_aa(tree, n, t, inputs, {{}, sched, 3});
     const auto check =
         core::check_agreement(tree, inputs, run.honest_outputs());
     EXPECT_TRUE(check.ok()) << "scheduler "
@@ -62,7 +62,7 @@ TEST(AsyncTreeAA, ToleratesSilentByzantine) {
     const auto inputs = harness::random_vertex_inputs(tree, n, rng);
     const auto corrupt = sim::random_parties(n, t, rng);
     const auto run = harness::run_async_tree_aa(
-        tree, n, t, inputs, corrupt, SchedulerKind::kRandom, seed);
+        tree, n, t, inputs, {corrupt, SchedulerKind::kRandom, seed});
     const auto honest = honest_inputs_of(run, inputs);
     const auto check =
         core::check_agreement(tree, honest, run.honest_outputs());
@@ -120,7 +120,7 @@ TEST(AsyncTreeAA, HostileInputsCannotDragOutputsOutsideHonestHull) {
         std::vector<VertexId>{static_cast<VertexId>(tree.n() - 1),
                               static_cast<VertexId>(tree.n() - 11)});
     const auto run = harness::run_async_tree_aa(
-        tree, n, t, inputs, corrupt, SchedulerKind::kRandom, seed,
+        tree, n, t, inputs, {corrupt, SchedulerKind::kRandom, seed},
         std::move(adversary));
     std::vector<VertexId> honest(inputs.begin(), inputs.begin() + 5);
     const auto check =
@@ -147,8 +147,8 @@ TEST_P(AsyncTreeAASweep, AAHoldsAcrossFamiliesAndSchedulers) {
   const auto corrupt = sim::random_parties(n, t, rng);
   const auto sched = seed % 2 == 0 ? SchedulerKind::kRandom
                                    : SchedulerKind::kLifo;
-  const auto run = harness::run_async_tree_aa(tree, n, t, inputs, corrupt,
-                                              sched, seed);
+  const auto run =
+      harness::run_async_tree_aa(tree, n, t, inputs, {corrupt, sched, seed});
   const auto honest = honest_inputs_of(run, inputs);
   const auto check = core::check_agreement(tree, honest, run.honest_outputs());
   EXPECT_TRUE(check.valid);

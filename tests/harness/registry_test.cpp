@@ -1,0 +1,161 @@
+// The protocol registry: name round-trips, predicate sanity, and — the
+// ISSUE's acceptance bar for the dispatch table — every registered protocol
+// runs through run_protocol() on a small instance and its honest outputs
+// pass the matching agreement check.
+#include "harness/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/api.h"
+#include "harness/runner.h"
+#include "trees/generators.h"
+
+namespace treeaa {
+namespace {
+
+TEST(RegistryTest, ProtocolNamesRoundTrip) {
+  std::vector<std::string> seen;
+  for (const harness::ProtocolKind p : harness::all_protocols()) {
+    const std::string name = harness::protocol_name(p);
+    EXPECT_FALSE(name.empty());
+    EXPECT_EQ(std::count(seen.begin(), seen.end(), name), 0)
+        << "duplicate protocol name " << name;
+    seen.push_back(name);
+    const auto back = harness::protocol_from_name(name);
+    ASSERT_TRUE(back.has_value()) << name;
+    EXPECT_EQ(*back, p);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_FALSE(harness::protocol_from_name("no_such_protocol").has_value());
+}
+
+TEST(RegistryTest, AdversaryAndSchedulerNamesRoundTrip) {
+  for (const harness::AdversaryKind a : harness::all_adversaries()) {
+    const auto back = harness::adversary_from_name(harness::adversary_name(a));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, a);
+  }
+  EXPECT_FALSE(harness::adversary_from_name("no_such_adversary").has_value());
+  for (const auto s :
+       {async::SchedulerKind::kFifo, async::SchedulerKind::kLifo,
+        async::SchedulerKind::kRandom}) {
+    const auto back = harness::scheduler_from_name(harness::scheduler_name(s));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, s);
+  }
+  EXPECT_FALSE(harness::scheduler_from_name("no_such_scheduler").has_value());
+}
+
+TEST(RegistryTest, Predicates) {
+  using harness::ProtocolKind;
+  EXPECT_TRUE(harness::is_vertex_protocol(ProtocolKind::kTreeAA));
+  EXPECT_TRUE(harness::is_vertex_protocol(ProtocolKind::kPathsFinder));
+  EXPECT_FALSE(harness::is_vertex_protocol(ProtocolKind::kRealAA));
+  EXPECT_TRUE(harness::is_sweep_protocol(ProtocolKind::kIteratedRealAA));
+  EXPECT_FALSE(harness::is_sweep_protocol(ProtocolKind::kPathAA));
+  EXPECT_FALSE(harness::is_sweep_protocol(ProtocolKind::kAsyncTreeAA));
+  // split targets gradecast distribution; split1 additionally needs
+  // RealAA's iteration schedule.
+  EXPECT_TRUE(harness::adversary_applies(ProtocolKind::kTreeAA,
+                                         harness::AdversaryKind::kSplit));
+  EXPECT_FALSE(harness::adversary_applies(ProtocolKind::kTreeAA,
+                                          harness::AdversaryKind::kSplit1));
+  EXPECT_TRUE(harness::adversary_applies(ProtocolKind::kRealAA,
+                                         harness::AdversaryKind::kSplit1));
+}
+
+/// Runs every registered protocol on a small instance via run_protocol()
+/// and checks the honest outputs satisfy the protocol family's agreement
+/// guarantee.
+TEST(RegistryTest, EveryRegisteredProtocolRunsAndAgrees) {
+  const auto spider = make_spider(3, 3);
+  const auto path = make_path(9);
+  const std::size_t n = 7, t = 2;
+
+  for (const harness::ProtocolKind p : harness::all_protocols()) {
+    SCOPED_TRACE(harness::protocol_name(p));
+    harness::RunSpec spec;
+    spec.protocol = p;
+    spec.n = n;
+    spec.t = t;
+    if (harness::is_vertex_protocol(p)) {
+      // PathAA is the warm-up protocol on labeled paths; everything else
+      // runs on the spider.
+      const LabeledTree& tree =
+          p == harness::ProtocolKind::kPathAA ? path : spider;
+      spec.tree = &tree;
+      spec.vertex_inputs = harness::spread_vertex_inputs(tree, n);
+      const auto inputs = spec.vertex_inputs;
+      auto out = harness::run_protocol(std::move(spec));
+      EXPECT_TRUE(out.corrupt.empty());
+      if (p == harness::ProtocolKind::kPathsFinder) {
+        // Phase 1 alone: every party must output a root-anchored path.
+        ASSERT_EQ(out.paths.size(), n);
+        for (const auto& path_out : out.paths) {
+          ASSERT_TRUE(path_out.has_value());
+          ASSERT_FALSE(path_out->empty());
+          EXPECT_EQ(path_out->front(), tree.root());
+        }
+        continue;
+      }
+      const auto honest = out.honest_vertex_outputs();
+      ASSERT_EQ(honest.size(), n);
+      const auto check = core::check_agreement(tree, inputs, honest);
+      EXPECT_TRUE(check.valid);
+      EXPECT_TRUE(check.one_agreement);
+    } else {
+      spec.eps = 0.5;
+      spec.known_range = 100.0;
+      spec.real_inputs = harness::spread_real_inputs(n, 0.0, 100.0);
+      auto out = harness::run_protocol(std::move(spec));
+      const auto honest = out.honest_real_outputs();
+      ASSERT_EQ(honest.size(), n);
+      const auto [lo, hi] =
+          std::minmax_element(honest.begin(), honest.end());
+      EXPECT_LE(*hi - *lo, 0.5);   // eps-agreement
+      EXPECT_GE(*lo, 0.0);         // validity within the input range
+      EXPECT_LE(*hi, 100.0);
+    }
+  }
+}
+
+/// make_adversary covers every named kind, and the registry-built silent
+/// adversary leaves the honest parties in agreement.
+TEST(RegistryTest, MakeAdversaryAndSilentRun) {
+  harness::AdversaryPlan none;
+  EXPECT_EQ(harness::make_adversary(none), nullptr);
+
+  const auto tree = make_spider(3, 3);
+  const std::size_t n = 7, t = 2;
+  harness::AdversaryPlan plan;
+  plan.kind = harness::AdversaryKind::kSilent;
+  plan.victims = {1, 4};
+
+  harness::RunSpec spec;
+  spec.protocol = harness::ProtocolKind::kTreeAA;
+  spec.n = n;
+  spec.t = t;
+  spec.tree = &tree;
+  spec.vertex_inputs = harness::spread_vertex_inputs(tree, n);
+  spec.adversary = harness::make_adversary(plan);
+  ASSERT_NE(spec.adversary, nullptr);
+  const auto inputs = spec.vertex_inputs;
+  auto out = harness::run_protocol(std::move(spec));
+  EXPECT_EQ(out.corrupt, plan.victims);
+
+  std::vector<VertexId> honest_inputs;
+  for (PartyId q = 0; q < n; ++q) {
+    if (out.vertex_outputs[q].has_value()) honest_inputs.push_back(inputs[q]);
+  }
+  const auto check = core::check_agreement(tree, honest_inputs,
+                                           out.honest_vertex_outputs());
+  EXPECT_TRUE(check.valid);
+  EXPECT_TRUE(check.one_agreement);
+}
+
+}  // namespace
+}  // namespace treeaa

@@ -37,7 +37,6 @@
 #include "obs/probe.h"
 #include "obs/report.h"
 #include "obs/sink.h"
-#include "realaa/adversaries.h"
 #include "realaa/rounds.h"
 #include "sim/strategies.h"
 #include "sim/trace.h"
@@ -244,21 +243,24 @@ int cmd_run(const std::vector<std::string>& args) {
     usage("unknown engine '" + engine + "'");
   }
 
-  Rng rng(seed);
-  std::unique_ptr<sim::Adversary> adv;
-  const auto victims = sim::random_parties(n, t, rng);
-  if (adversary == "silent") {
-    adv = std::make_unique<sim::SilentAdversary>(victims);
-  } else if (adversary == "fuzz") {
-    adv = std::make_unique<sim::FuzzAdversary>(victims, seed, 16, 48);
-  } else if (adversary == "split") {
-    realaa::SplitAdversary::Options sopts;
-    sopts.config = core::paths_finder_config(tree, n, t, {});
-    sopts.corrupt = victims;
-    adv = std::make_unique<realaa::SplitAdversary>(std::move(sopts));
-  } else if (adversary != "none") {
+  // Resolve the adversary through the registry. split1 parses but does not
+  // apply to TreeAA, so it stays "unknown" here exactly as before.
+  const auto adv_kind = harness::adversary_from_name(adversary);
+  if (!adv_kind.has_value() ||
+      !harness::adversary_applies(harness::ProtocolKind::kTreeAA, *adv_kind)) {
     usage("unknown adversary '" + adversary + "'");
   }
+  Rng rng(seed);
+  harness::AdversaryPlan plan;
+  plan.kind = *adv_kind;
+  // Historical draw order: victims come off the seed stream unconditionally
+  // (even for --adversary none), and fuzz payloads reuse the CLI seed.
+  plan.victims = sim::random_parties(n, t, rng);
+  plan.fuzz_seed = seed;
+  if (plan.kind == harness::AdversaryKind::kSplit) {
+    plan.split_config = core::paths_finder_config(tree, n, t, {});
+  }
+  auto adv = harness::make_adversary(plan);
 
   obs::RunReport report;
   sim::RecordingTracer text_tracer;
@@ -382,28 +384,20 @@ int cmd_run_async(const std::vector<std::string>& args) {
     inputs.push_back(*v);
   }
 
-  async::SchedulerKind sched;
-  if (scheduler == "fifo") {
-    sched = async::SchedulerKind::kFifo;
-  } else if (scheduler == "lifo") {
-    sched = async::SchedulerKind::kLifo;
-  } else if (scheduler == "random") {
-    sched = async::SchedulerKind::kRandom;
-  } else {
-    usage("unknown scheduler '" + scheduler + "'");
-  }
+  const auto sched = harness::scheduler_from_name(scheduler);
+  if (!sched.has_value()) usage("unknown scheduler '" + scheduler + "'");
 
   Rng rng(seed);
-  const auto corrupt = sim::random_parties(n, silent, rng);
+  auto corrupt = sim::random_parties(n, silent, rng);
 
   obs::RunReport report;
   obs::Hooks hooks;
   if (!metrics_path.empty() || report_mode == "json") hooks.report = &report;
   if (hooks.report != nullptr) report.add_param("scheduler", scheduler);
 
-  const auto run =
-      harness::run_async_tree_aa(tree, n, t, inputs, corrupt, sched, seed,
-                                 nullptr, hooks.active() ? &hooks : nullptr);
+  const auto run = harness::run_async_tree_aa(
+      tree, n, t, inputs, {std::move(corrupt), *sched, seed}, nullptr,
+      hooks.active() ? &hooks : nullptr);
 
   std::vector<VertexId> honest_inputs;
   for (PartyId p = 0; p < n; ++p) {
