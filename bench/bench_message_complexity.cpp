@@ -6,7 +6,14 @@
 // messages carry n slots each, so bytes scale as Theta(R * n^3). The table
 // reports measured counts and the normalized constants, which should be
 // flat across n — that flatness is the complexity claim.
+//
+// `--threads K` runs every engine on K lanes; counts are byte-identical
+// for any K (the engine's determinism contract) and the value is echoed
+// in the report's "params" object. Unknown flags are an error (exit 2),
+// not silently ignored.
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "common/table.h"
 #include "core/api.h"
@@ -19,7 +26,7 @@ namespace {
 
 using namespace treeaa;
 
-void realaa_table(obs::BenchReporter& reporter) {
+void realaa_table(obs::BenchReporter& reporter, std::size_t threads) {
   std::cout << "=== E6a: RealAA traffic vs n (D = 1e4, eps = 1, honest run) "
                "===\n";
   Table table({"n", "t", "rounds", "messages", "msg/(R n^2)", "bytes",
@@ -33,7 +40,8 @@ void realaa_table(obs::BenchReporter& reporter) {
     cfg.known_range = 1e4;
     const auto inputs = harness::spread_real_inputs(n, 0.0, 1e4);
     const auto run = harness::run_real_aa(
-        cfg, inputs, nullptr, reporter.next_run("e6a n=" + std::to_string(n)));
+        cfg, inputs, nullptr, reporter.next_run("e6a n=" + std::to_string(n)),
+        threads);
     const double R = static_cast<double>(run.rounds) / 3.0;
     const double n2 = static_cast<double>(n) * static_cast<double>(n);
     const auto msgs = run.traffic.honest_messages();
@@ -50,7 +58,7 @@ void realaa_table(obs::BenchReporter& reporter) {
                "Theta(R n^3) bytes)\n\n";
 }
 
-void treeaa_table(obs::BenchReporter& reporter) {
+void treeaa_table(obs::BenchReporter& reporter, std::size_t threads) {
   std::cout << "=== E6b: full TreeAA traffic (1000-vertex random tree) ===\n";
   Table table({"n", "t", "rounds", "messages", "bytes", "bytes/party/round"});
   Rng rng(66);
@@ -60,7 +68,8 @@ void treeaa_table(obs::BenchReporter& reporter) {
     const auto inputs = harness::spread_vertex_inputs(tree, n);
     const auto run =
         core::run_tree_aa(tree, inputs, t, {}, nullptr,
-                          reporter.next_run("e6b n=" + std::to_string(n)));
+                          reporter.next_run("e6b n=" + std::to_string(n)),
+                          sim::EngineOptions{threads});
     const auto bytes = run.traffic.honest_bytes();
     table.row({std::to_string(n), std::to_string(t),
                std::to_string(run.rounds),
@@ -73,7 +82,8 @@ void treeaa_table(obs::BenchReporter& reporter) {
   std::cout << render_for_output(table) << "\n";
 }
 
-void adversarial_traffic_table(obs::BenchReporter& reporter) {
+void adversarial_traffic_table(obs::BenchReporter& reporter,
+                               std::size_t threads) {
   std::cout << "=== E6c: adversarial traffic is accounted separately ===\n";
   Table table({"adversary", "honest msgs", "adversary msgs"});
   realaa::Config cfg;
@@ -83,16 +93,16 @@ void adversarial_traffic_table(obs::BenchReporter& reporter) {
   cfg.known_range = 1e3;
   const auto inputs = harness::spread_real_inputs(10, 0.0, 1e3);
   {
-    const auto run = harness::run_real_aa(cfg, inputs, nullptr,
-                                          reporter.next_run("e6c none"));
+    const auto run = harness::run_real_aa(
+        cfg, inputs, nullptr, reporter.next_run("e6c none"), threads);
     table.row({"none", std::to_string(run.traffic.honest_messages()),
                std::to_string(run.traffic.adversary_messages())});
   }
   {
     auto adv = std::make_unique<sim::FuzzAdversary>(
         std::vector<PartyId>{8, 9}, 3, 50, 64);
-    const auto run = harness::run_real_aa(cfg, inputs, std::move(adv),
-                                          reporter.next_run("e6c fuzz"));
+    const auto run = harness::run_real_aa(
+        cfg, inputs, std::move(adv), reporter.next_run("e6c fuzz"), threads);
     table.row({"fuzz", std::to_string(run.traffic.honest_messages()),
                std::to_string(run.traffic.adversary_messages())});
   }
@@ -103,8 +113,30 @@ void adversarial_traffic_table(obs::BenchReporter& reporter) {
 
 int main(int argc, char** argv) {
   obs::BenchReporter reporter("message_complexity", argc, argv);
-  realaa_table(reporter);
-  treeaa_table(reporter);
-  adversarial_traffic_table(reporter);
+  std::size_t threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value after " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--threads") {
+      threads = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--metrics") {
+      next();  // consumed by the BenchReporter above
+    } else {
+      std::cerr << "unknown option '" << arg
+                << "' (bench_message_complexity takes --threads K, "
+                   "--metrics <file|->)\n";
+      return 2;
+    }
+  }
+  reporter.add_param("threads", threads);
+  realaa_table(reporter, threads);
+  treeaa_table(reporter, threads);
+  adversarial_traffic_table(reporter, threads);
   return reporter.flush() ? 0 : 1;
 }

@@ -10,16 +10,22 @@
 //   bench_sim_throughput --pinned [--out <file|->]
 //                        [--check-against <baseline.json>]
 //                        [--max-regression <pct>] [--reps-scale <x>]
-//     The perf-regression suite: three pinned scenarios (one per hot
+//                        [--threads <k>]
+//     The perf-regression suite: five pinned scenarios (one per hot
 //     subsystem — gradecast codec+counting, RealAA iteration loop, TreeAA
-//     end-to-end on a 1000-vertex tree) run a fixed number of repetitions
-//     and report messages/second as a "treeaa.perf_report/1" JSON document
-//     (--out, falling back to TREEAA_METRICS, "-" = stdout). With
-//     --check-against the measured throughput is gated against a
-//     checked-in baseline (bench/perf_baseline.json): any scenario more
-//     than --max-regression percent (default 25) below its baseline fails
-//     the run with exit code 1. docs/PERF.md describes the schema and how
-//     to refresh the baseline.
+//     end-to-end on a 1000-vertex tree, plus tree_aa_1000_t8 and
+//     realaa_n64_t8 pinned at 8 engine lanes) run a fixed number of
+//     repetitions and report messages/second as a "treeaa.perf_report/1"
+//     JSON document (--out, falling back to TREEAA_METRICS, "-" = stdout);
+//     each scenario records its engine lane count in a `threads` field.
+//     --threads sets the lane count of the three base scenarios (default
+//     1, the serial baseline); the *_t8 scenarios always pin 8 lanes, and
+//     message counts never depend on the lane count. With --check-against
+//     the measured throughput is gated against a checked-in baseline
+//     (bench/perf_baseline.json): any scenario more than --max-regression
+//     percent (default 25) below its baseline fails the run with exit
+//     code 1. docs/PERF.md describes the schema and how to refresh the
+//     baseline.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -63,8 +69,10 @@ class GradecastHost final : public sim::Process {
   gradecast::BatchGradecast batch_;
 };
 
-std::uint64_t gradecast_once(std::size_t n, std::size_t t) {
-  sim::Engine engine(n, std::max<std::size_t>(t, 1));
+std::uint64_t gradecast_once(std::size_t n, std::size_t t,
+                             std::size_t threads = 1) {
+  sim::Engine engine(n, std::max<std::size_t>(t, 1),
+                     sim::EngineOptions{threads});
   for (PartyId p = 0; p < n; ++p) {
     engine.set_process(p, std::make_unique<GradecastHost>(p, n, t));
   }
@@ -135,16 +143,20 @@ BENCHMARK(BM_AsyncTreeAAFullRun)->Arg(100)->Arg(1000);
 struct PinnedResult {
   std::string name;
   std::size_t reps = 0;
+  std::size_t threads = 1;      // engine lanes the scenario pinned
   std::uint64_t messages = 0;   // total over all reps
   std::uint64_t wall_ns = 0;    // total over all reps
   double messages_per_sec = 0.0;
 };
 
 /// One fixed scenario: run() executes one full protocol execution and
-/// returns the number of simulator messages it moved.
+/// returns the number of simulator messages it moved. `threads` is the
+/// engine lane count the scenario runs with; it changes only the wall
+/// clock, never the message counts (the engine's determinism contract).
 template <typename Run>
 PinnedResult run_pinned_scenario(const std::string& name, std::size_t reps,
-                                 double reps_scale, Run&& run) {
+                                 double reps_scale, std::size_t threads,
+                                 Run&& run) {
   const auto scaled = std::max<std::size_t>(
       1, static_cast<std::size_t>(static_cast<double>(reps) * reps_scale));
   // A few unmeasured executions to fault in code and warm the allocator,
@@ -153,6 +165,7 @@ PinnedResult run_pinned_scenario(const std::string& name, std::size_t reps,
   PinnedResult result;
   result.name = name;
   result.reps = scaled;
+  result.threads = threads;
   const auto start = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < scaled; ++i) result.messages += run();
   const auto end = std::chrono::steady_clock::now();
@@ -167,13 +180,18 @@ PinnedResult run_pinned_scenario(const std::string& name, std::size_t reps,
 }
 
 /// The pinned scenarios. Fixed inputs and seeds: the message counts are
-/// deterministic, only the wall clock varies between runs.
-std::vector<PinnedResult> run_pinned_suite(double reps_scale) {
+/// deterministic, only the wall clock varies between runs. `threads` sets
+/// the engine lane count for the three base scenarios (the CLI default is
+/// 1, the serial baseline); the *_t8 scenarios pin 8 lanes regardless, so
+/// one report always carries a serial/parallel pair to compare.
+std::vector<PinnedResult> run_pinned_suite(double reps_scale,
+                                           std::size_t threads) {
   std::vector<PinnedResult> results;
 
   // Gradecast batch, n=32: the codec + counting hot path.
-  results.push_back(run_pinned_scenario(
-      "gradecast_n32", 60, reps_scale, [] { return gradecast_once(32, 10); }));
+  results.push_back(
+      run_pinned_scenario("gradecast_n32", 60, reps_scale, threads,
+                          [&] { return gradecast_once(32, 10, threads); }));
 
   // RealAA full run, n=16: the iteration loop over gradecast.
   {
@@ -183,10 +201,12 @@ std::vector<PinnedResult> run_pinned_suite(double reps_scale) {
     cfg.eps = 1.0;
     cfg.known_range = 1e4;
     const auto inputs = harness::spread_real_inputs(16, 0.0, 1e4);
-    results.push_back(run_pinned_scenario("realaa_n16", 40, reps_scale, [&] {
-      const auto run = harness::run_real_aa(cfg, inputs);
-      return run.traffic.total_messages();
-    }));
+    results.push_back(
+        run_pinned_scenario("realaa_n16", 40, reps_scale, threads, [&] {
+          const auto run =
+              harness::run_real_aa(cfg, inputs, nullptr, nullptr, threads);
+          return run.traffic.total_messages();
+        }));
   }
 
   // TreeAA end-to-end on a 1000-vertex random tree: tree queries +
@@ -195,10 +215,39 @@ std::vector<PinnedResult> run_pinned_suite(double reps_scale) {
     Rng rng(0xBEEF + 1000);
     const auto tree = make_random_tree(1000, rng);
     const auto inputs = harness::spread_vertex_inputs(tree, 7);
-    results.push_back(run_pinned_scenario("tree_aa_1000", 120, reps_scale, [&] {
-      const auto run = core::run_tree_aa(tree, inputs, 2);
-      return run.traffic.total_messages();
-    }));
+    results.push_back(
+        run_pinned_scenario("tree_aa_1000", 120, reps_scale, threads, [&] {
+          const auto run = core::run_tree_aa(tree, inputs, 2, {}, nullptr,
+                                             nullptr,
+                                             sim::EngineOptions{threads});
+          return run.traffic.total_messages();
+        }));
+
+    // The same TreeAA instance pinned at 8 lanes: the broadcast fan-out /
+    // parallel-phase scenario. Message counts must equal tree_aa_1000's.
+    results.push_back(
+        run_pinned_scenario("tree_aa_1000_t8", 120, reps_scale, 8, [&] {
+          const auto run = core::run_tree_aa(tree, inputs, 2, {}, nullptr,
+                                             nullptr, sim::EngineOptions{8});
+          return run.traffic.total_messages();
+        }));
+  }
+
+  // RealAA at n=64 pinned at 8 lanes: enough parties per round for the
+  // chunked fan-out to matter on multicore hosts.
+  {
+    realaa::Config cfg;
+    cfg.n = 64;
+    cfg.t = 21;
+    cfg.eps = 1.0;
+    cfg.known_range = 1e4;
+    const auto inputs = harness::spread_real_inputs(64, 0.0, 1e4);
+    results.push_back(
+        run_pinned_scenario("realaa_n64_t8", 10, reps_scale, 8, [&] {
+          const auto run =
+              harness::run_real_aa(cfg, inputs, nullptr, nullptr, 8);
+          return run.traffic.total_messages();
+        }));
   }
 
   return results;
@@ -220,6 +269,8 @@ std::string perf_report_json(const std::vector<PinnedResult>& results) {
     w.value(std::string_view(r.name));
     w.key("reps");
     w.value(static_cast<std::uint64_t>(r.reps));
+    w.key("threads");
+    w.value(static_cast<std::uint64_t>(r.threads));
     w.key("messages");
     w.value(r.messages);
     w.key("wall_ns");
@@ -240,7 +291,7 @@ std::string perf_report_json(const std::vector<PinnedResult>& results) {
 /// scenario does not require a lockstep baseline update).
 int check_against_baseline(const std::vector<PinnedResult>& results,
                            const std::string& baseline_path,
-                           double max_regression_pct) {
+                           double max_regression_pct, std::ostream& human) {
   std::ifstream in(baseline_path);
   if (!in) {
     std::cerr << "perf gate: cannot open baseline '" << baseline_path << "'\n";
@@ -277,11 +328,11 @@ int check_against_baseline(const std::vector<PinnedResult>& results,
     const double floor = baseline * (1.0 - max_regression_pct / 100.0);
     const double delta_pct =
         (r.messages_per_sec / baseline - 1.0) * 100.0;
-    std::cout << "perf gate: " << r.name << " " << std::fixed
-              << static_cast<std::uint64_t>(r.messages_per_sec)
-              << " msgs/s vs baseline "
-              << static_cast<std::uint64_t>(baseline) << " ("
-              << (delta_pct >= 0 ? "+" : "") << delta_pct << "%)\n";
+    human << "perf gate: " << r.name << " " << std::fixed
+          << static_cast<std::uint64_t>(r.messages_per_sec)
+          << " msgs/s vs baseline "
+          << static_cast<std::uint64_t>(baseline) << " ("
+          << (delta_pct >= 0 ? "+" : "") << delta_pct << "%)\n";
     if (r.messages_per_sec < floor) {
       std::cerr << "perf gate: FAIL " << r.name << " regressed more than "
                 << max_regression_pct << "% (floor "
@@ -297,6 +348,7 @@ int run_pinned_mode(int argc, char** argv) {
   std::string baseline_path;
   double max_regression_pct = 25.0;
   double reps_scale = 1.0;
+  std::size_t threads = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     auto next = [&]() -> std::string {
@@ -316,26 +368,31 @@ int run_pinned_mode(int argc, char** argv) {
       max_regression_pct = std::stod(next());
     } else if (arg == "--reps-scale") {
       reps_scale = std::stod(next());
+    } else if (arg == "--threads") {
+      threads = std::stoul(next());
     } else {
       std::cerr << "unknown --pinned option '" << arg << "'\n";
       return 2;
     }
   }
   out_path = obs::resolve_metrics_path(std::move(out_path));
+  // With the report on stdout, human summaries move to stderr so the
+  // JSON stays machine-parseable (same convention as treeaa_cli).
+  std::ostream& human = out_path == "-" ? std::cerr : std::cout;
 
-  const auto results = run_pinned_suite(reps_scale);
+  const auto results = run_pinned_suite(reps_scale, threads);
   for (const PinnedResult& r : results) {
-    std::cout << r.name << ": " << r.messages << " msgs in " << r.reps
-              << " reps, "
-              << static_cast<std::uint64_t>(r.messages_per_sec)
-              << " msgs/s\n";
+    human << r.name << ": " << r.messages << " msgs in " << r.reps
+          << " reps, "
+          << static_cast<std::uint64_t>(r.messages_per_sec)
+          << " msgs/s\n";
   }
   if (!out_path.empty() && !obs::write_sink(out_path, perf_report_json(results))) {
     return 2;
   }
   if (!baseline_path.empty()) {
-    return check_against_baseline(results, baseline_path, max_regression_pct) >
-                   0
+    return check_against_baseline(results, baseline_path, max_regression_pct,
+                                  human) > 0
                ? 1
                : 0;
   }

@@ -10,9 +10,14 @@
 // Seeding is sweep-style: every (family, trial) cell draws its Rng as
 // Rng(kSoakSeed).fork(cell), so a cell's execution is independent of how
 // many cells ran before it — shrinking the sweep with --runs N keeps the
-// surviving cells bit-identical. `--metrics <file|->` (or TREEAA_METRICS)
-// additionally emits one obs::RunReport per synchronous TreeAA run as a
-// "treeaa.bench_report/1" document via the shared BenchReporter.
+// surviving cells bit-identical. `--threads K` runs the synchronous engine
+// on K lanes (the async soak is untouched: its model has no lock-step
+// phases to fan out); violation counts and metrics are byte-identical for
+// every K, and the value is echoed in the report's "params" object.
+// `--metrics <file|->` (or TREEAA_METRICS) additionally emits one
+// obs::RunReport per synchronous TreeAA run as a "treeaa.bench_report/1"
+// document via the shared BenchReporter. Unknown flags are an error (exit
+// 2), not silently ignored.
 #include <cstdlib>
 #include <iostream>
 #include <memory>
@@ -73,15 +78,34 @@ constexpr std::uint64_t kSoakSeed = 424242;
 int main(int argc, char** argv) {
   obs::BenchReporter reporter("soak", argc, argv);
   std::size_t runs_per_family = 250;
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string(argv[i]) == "--runs") {
-      runs_per_family = std::strtoull(argv[i + 1], nullptr, 10);
+  std::size_t threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value after " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--runs") {
+      runs_per_family = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--threads") {
+      threads = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--metrics") {
+      next();  // consumed by the BenchReporter above
+    } else {
+      std::cerr << "unknown option '" << arg
+                << "' (bench_soak takes --runs N, --threads K, "
+                   "--metrics <file|->)\n";
+      return 2;
     }
   }
   if (runs_per_family == 0) {
     std::cerr << "--runs must be positive\n";
     return 2;
   }
+  reporter.add_param("threads", threads);
 
   std::cout << "=== E9: randomized adversarial soak (TreeAA) ===\n";
   Table table({"family", "runs", "validity violations",
@@ -106,7 +130,8 @@ int main(int argc, char** argv) {
         const auto run = core::run_tree_aa(
             tree, inputs, t, {}, std::move(adversary),
             reporter.next_run(std::string("e9 ") + tree_family_name(family) +
-                              " trial=" + std::to_string(trial)));
+                              " trial=" + std::to_string(trial)),
+            sim::EngineOptions{threads});
         max_rounds = std::max(max_rounds, run.rounds);
         std::vector<VertexId> honest_inputs;
         for (PartyId p = 0; p < n; ++p) {

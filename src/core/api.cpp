@@ -55,7 +55,8 @@ RunResult run_tree_aa(const LabeledTree& tree,
                       const std::vector<VertexId>& inputs, std::size_t t,
                       TreeAAOptions opts,
                       std::unique_ptr<sim::Adversary> adversary,
-                      const obs::Hooks* hooks) {
+                      const obs::Hooks* hooks,
+                      sim::EngineOptions engine_opts) {
   const std::size_t n = inputs.size();
   TREEAA_REQUIRE_MSG(n > 3 * t, "TreeAA requires n > 3t (n = " << n
                                                                << ", t = " << t
@@ -65,7 +66,7 @@ RunResult run_tree_aa(const LabeledTree& tree,
   // One shared index serves every party's LCA/projection queries and the
   // per-round probes; it subsumes the Euler list the processes used to get.
   const perf::TreeIndex index(tree);
-  sim::Engine engine(n, std::max<std::size_t>(t, 1));
+  sim::Engine engine(n, std::max<std::size_t>(t, 1), engine_opts);
   std::vector<TreeAAProcess*> procs(n);
   for (PartyId p = 0; p < n; ++p) {
     auto proc =

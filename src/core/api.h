@@ -15,6 +15,7 @@
 #include "obs/report.h"
 #include "perf/tree_index.h"
 #include "sim/adversary.h"
+#include "sim/engine.h"
 #include "sim/stats.h"
 #include "trees/labeled_tree.h"
 
@@ -54,11 +55,14 @@ struct RunResult {
 /// plus totals and wall-clock timing; a tracer sink receives the full event
 /// stream. Null (the default) is the plain fast path — one engine.run(),
 /// zero probe overhead.
+///
+/// `engine_opts` configures the simulator itself (worker threads); every
+/// configuration produces byte-identical results and reports.
 [[nodiscard]] RunResult run_tree_aa(
     const LabeledTree& tree, const std::vector<VertexId>& inputs,
     std::size_t t, TreeAAOptions opts = {},
     std::unique_ptr<sim::Adversary> adversary = nullptr,
-    const obs::Hooks* hooks = nullptr);
+    const obs::Hooks* hooks = nullptr, sim::EngineOptions engine_opts = {});
 
 /// The verdict of check_agreement: both AA conditions on trees
 /// (Definition 2), evaluated against the honest inputs/outputs.

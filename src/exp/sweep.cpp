@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "baselines/iterated_real_aa.h"
+#include "perf/parallel.h"
 #include "baselines/iterated_tree_aa.h"
 #include "bounds/fekete.h"
 #include "common/rng.h"
@@ -112,7 +113,7 @@ void fill_traffic(CellResult& result, const sim::TrafficStats& traffic) {
 
 void run_vertex_cell(const SweepSpec& spec, const Cell& cell,
                      CellResult& result, Rng& cell_rng,
-                     const obs::Hooks* hooks) {
+                     const obs::Hooks* hooks, std::size_t run_threads) {
   (void)spec;
   const LabeledTree tree = build_tree(cell, cell_rng);
   result.tree_n = tree.n();
@@ -137,7 +138,8 @@ void run_vertex_cell(const SweepSpec& spec, const Cell& cell,
     opts.engine = cell.engine;
     result.round_budget = core::tree_aa_rounds(tree, cell.n, cell.t, opts);
     auto run = core::run_tree_aa(tree, inputs, cell.t, opts,
-                                 std::move(adversary), hooks);
+                                 std::move(adversary), hooks,
+                                 sim::EngineOptions{run_threads});
     result.rounds = run.rounds;
     result.corrupt = run.corrupt.size();
     fill_traffic(result, run.traffic);
@@ -146,7 +148,8 @@ void run_vertex_cell(const SweepSpec& spec, const Cell& cell,
     const baselines::IteratedTreeConfig cfg{cell.n, cell.t};
     result.round_budget = cfg.rounds(tree);
     auto run = harness::run_iterated_tree_aa(tree, cell.n, cell.t, inputs,
-                                             std::move(adversary), hooks);
+                                             std::move(adversary), hooks,
+                                             run_threads);
     result.rounds = run.rounds;
     result.corrupt = run.corrupt.size();
     fill_traffic(result, run.traffic);
@@ -168,7 +171,8 @@ void run_vertex_cell(const SweepSpec& spec, const Cell& cell,
 }
 
 void run_real_cell(const SweepSpec& spec, const Cell& cell,
-                   CellResult& result, Rng& cell_rng, const obs::Hooks* hooks) {
+                   CellResult& result, Rng& cell_rng, const obs::Hooks* hooks,
+                   std::size_t run_threads) {
   (void)spec;
   // Scale-invariant Fekete bound: spread D with target eps is the same
   // instance as spread D/eps with target 1.
@@ -196,13 +200,14 @@ void run_real_cell(const SweepSpec& spec, const Cell& cell,
   harness::RealRun run;
   if (cell.protocol == Protocol::kRealAA) {
     result.round_budget = cfg.rounds();
-    run = harness::run_real_aa(cfg, inputs, std::move(adversary), hooks);
+    run = harness::run_real_aa(cfg, inputs, std::move(adversary), hooks,
+                               run_threads);
   } else {
     const baselines::IteratedRealConfig slow{cell.n, cell.t, cell.eps,
                                              cell.known_range};
     result.round_budget = slow.rounds();
     run = harness::run_iterated_real_aa(slow, inputs, std::move(adversary),
-                                        hooks);
+                                        hooks, run_threads);
   }
   result.rounds = run.rounds;
   result.corrupt = run.corrupt.size();
@@ -231,7 +236,7 @@ void run_real_cell(const SweepSpec& spec, const Cell& cell,
 }  // namespace
 
 CellResult run_cell(const SweepSpec& spec, const Cell& cell,
-                    bool collect_report) {
+                    bool collect_report, std::size_t run_threads) {
   CellResult result;
   result.cell = cell;
 
@@ -243,9 +248,9 @@ CellResult run_cell(const SweepSpec& spec, const Cell& cell,
     Rng parent(spec.seed);
     Rng cell_rng = parent.fork(cell.index);
     if (is_vertex_protocol(cell.protocol)) {
-      run_vertex_cell(spec, cell, result, cell_rng, hooks_ptr);
+      run_vertex_cell(spec, cell, result, cell_rng, hooks_ptr, run_threads);
     } else {
-      run_real_cell(spec, cell, result, cell_rng, hooks_ptr);
+      run_real_cell(spec, cell, result, cell_rng, hooks_ptr, run_threads);
     }
     result.ok = true;
   } catch (const std::exception& e) {
@@ -260,13 +265,23 @@ SweepResult run_sweep(const SweepSpec& spec, const std::vector<Cell>& cells,
   SweepResult result;
   result.cells.resize(cells.size());
 
+  // Nested thread budget: opts.threads is the sweep's total; with
+  // run_threads lanes inside every engine, the cell scheduler gets
+  // total / run_threads workers (at least one) so cells x lanes stays at
+  // most the requested total. The split never shows up in the report —
+  // every combination is byte-identical.
+  const std::size_t run_threads =
+      perf::WorkerPool::resolve_lanes(opts.run_threads);
+  const std::size_t total =
+      opts.threads == 0 ? perf::WorkerPool::resolve_lanes(0) : opts.threads;
   ScheduleOptions sched;
-  sched.threads = opts.threads;
+  sched.threads = std::max<std::size_t>(1, total / run_threads);
   sched.chunk = opts.chunk;
 
   const auto start = std::chrono::steady_clock::now();
   parallel_for(cells.size(), sched, [&](std::size_t i) {
-    result.cells[i] = run_cell(spec, cells[i], opts.collect_reports);
+    result.cells[i] =
+        run_cell(spec, cells[i], opts.collect_reports, run_threads);
   });
   const auto end = std::chrono::steady_clock::now();
 

@@ -68,6 +68,13 @@ struct SweepOptions {
   std::size_t threads = 1;
   /// Work-queue chunk size; 0 = automatic.
   std::size_t chunk = 0;
+  /// Intra-run engine threads per cell (sim::EngineOptions::threads; 1 =
+  /// serial, 0 = hardware). The thread budget is shared, not multiplied:
+  /// `threads` is the total, and the scheduler gets threads / run_threads
+  /// cell workers (at least 1), so e.g. threads=8 run_threads=4 runs two
+  /// cells at a time, each on a 4-lane engine. Reports stay byte-identical
+  /// for every combination.
+  std::size_t run_threads = 1;
   /// Attach an obs::RunReport to every cell (per-round series in the
   /// report's `rows[*].report`). Costs the probes' overhead per cell.
   bool collect_reports = false;
@@ -86,9 +93,11 @@ struct SweepResult {
   SweepTimings timings;
 };
 
-/// Runs a single cell. Deterministic given (spec.seed, cell).
+/// Runs a single cell. Deterministic given (spec.seed, cell) — the engine
+/// thread count never changes the result.
 [[nodiscard]] CellResult run_cell(const SweepSpec& spec, const Cell& cell,
-                                  bool collect_report = false);
+                                  bool collect_report = false,
+                                  std::size_t run_threads = 1);
 
 /// Runs `cells` (as produced by expand(spec)) on `opts.threads` workers.
 [[nodiscard]] SweepResult run_sweep(const SweepSpec& spec,

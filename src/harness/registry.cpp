@@ -70,12 +70,13 @@ std::uint64_t honest_max_detected(const sim::Engine& engine,
 /// observations into the sample of the round that just ended.
 template <typename Proc, typename MakeProc, typename Extract,
           typename Snapshot = NoSnapshot>
-void drive(std::size_t n, std::size_t t,
+void drive(std::size_t n, std::size_t t, std::size_t threads,
            std::unique_ptr<sim::Adversary> adversary, std::size_t rounds,
            MakeProc&& make_proc, Extract&& extract, std::vector<PartyId>* corrupt,
            Round* rounds_out, sim::TrafficStats* traffic,
            const obs::Hooks* hooks = nullptr, Snapshot&& snapshot = {}) {
-  sim::Engine engine(n, std::max<std::size_t>(t, 1));
+  sim::Engine engine(n, std::max<std::size_t>(t, 1),
+                     sim::EngineOptions{threads});
   std::vector<Proc*> procs(n);
   for (PartyId p = 0; p < n; ++p) {
     auto proc = make_proc(p);
@@ -143,7 +144,8 @@ RunOutcome run_tree_aa_impl(RunSpec& spec) {
   core::TreeAAOptions opts{spec.update, spec.mode, spec.engine};
   const auto run =
       core::run_tree_aa(*spec.tree, spec.vertex_inputs, spec.t, opts,
-                        std::move(spec.adversary), spec.hooks);
+                        std::move(spec.adversary), spec.hooks,
+                        sim::EngineOptions{spec.threads});
   RunOutcome out;
   out.vertex_outputs = run.outputs;
   out.corrupt = run.corrupt;
@@ -168,7 +170,7 @@ RunOutcome run_iterated_tree_aa_impl(RunSpec& spec) {
   RunOutcome run;
   run.vertex_outputs.resize(n);
   drive<baselines::IteratedTreeAAProcess>(
-      n, t, std::move(spec.adversary), cfg.rounds(tree),
+      n, t, spec.threads, std::move(spec.adversary), cfg.rounds(tree),
       [&](PartyId p) {
         return std::make_unique<baselines::IteratedTreeAAProcess>(
             tree, cfg, p, spec.vertex_inputs[p]);
@@ -199,7 +201,8 @@ RunOutcome run_real_aa_impl(RunSpec& spec) {
   run.real_outputs.resize(config.n);
   run.real_histories.resize(config.n);
   drive<realaa::RealAAProcess>(
-      config.n, config.t, std::move(spec.adversary), config.rounds(),
+      config.n, config.t, spec.threads, std::move(spec.adversary),
+      config.rounds(),
       [&](PartyId p) {
         return std::make_unique<realaa::RealAAProcess>(config, p, inputs[p]);
       },
@@ -273,7 +276,8 @@ RunOutcome run_iterated_real_aa_impl(RunSpec& spec) {
   run.real_outputs.resize(config.n);
   run.real_histories.resize(config.n);
   drive<baselines::IteratedRealAAProcess>(
-      config.n, config.t, std::move(spec.adversary), config.rounds(),
+      config.n, config.t, spec.threads, std::move(spec.adversary),
+      config.rounds(),
       [&](PartyId p) {
         return std::make_unique<baselines::IteratedRealAAProcess>(config, p,
                                                                   inputs[p]);
@@ -323,7 +327,7 @@ RunOutcome run_path_aa_impl(RunSpec& spec) {
       core::PathAAProcess(path_tree, n, t, 0, spec.vertex_inputs[0], opts)
           .rounds();
   drive<core::PathAAProcess>(
-      n, t, std::move(spec.adversary), rounds,
+      n, t, spec.threads, std::move(spec.adversary), rounds,
       [&](PartyId p) {
         return std::make_unique<core::PathAAProcess>(
             path_tree, n, t, p, spec.vertex_inputs[p], opts);
@@ -360,7 +364,7 @@ RunOutcome run_paths_finder_impl(RunSpec& spec) {
     report->add_param("update", update_rule_name(opts.update));
   }
   drive<core::PathsFinderProcess>(
-      n, t, std::move(spec.adversary), cfg.rounds(),
+      n, t, spec.threads, std::move(spec.adversary), cfg.rounds(),
       [&](PartyId p) {
         return std::make_unique<core::PathsFinderProcess>(
             index, n, t, p, spec.vertex_inputs[p], opts);

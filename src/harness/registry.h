@@ -110,6 +110,13 @@ struct RunSpec {
   std::size_t n = 0;
   std::size_t t = 0;
 
+  // Intra-run worker threads for the synchronous engine (1 = serial, 0 =
+  // one per hardware thread). Any value yields byte-identical results and
+  // reports — threads are a wall-clock knob only, so they are never
+  // recorded in run reports. Ignored by the async protocol, whose engine
+  // has its own (single-threaded) scheduler.
+  std::size_t threads = 1;
+
   // Vertex protocols: the input-space tree (must outlive the call) and one
   // input vertex per party.
   const LabeledTree* tree = nullptr;

@@ -45,9 +45,10 @@ RealRun to_real_run(RunOutcome&& outcome) {
 RealRun run_real_aa(const realaa::Config& config,
                     const std::vector<double>& inputs,
                     std::unique_ptr<sim::Adversary> adversary,
-                    const obs::Hooks* hooks) {
+                    const obs::Hooks* hooks, std::size_t threads) {
   RunSpec spec;
   spec.protocol = ProtocolKind::kRealAA;
+  spec.threads = threads;
   spec.n = config.n;
   spec.t = config.t;
   spec.real_inputs = inputs;
@@ -63,9 +64,10 @@ RealRun run_real_aa(const realaa::Config& config,
 RealRun run_iterated_real_aa(const baselines::IteratedRealConfig& config,
                              const std::vector<double>& inputs,
                              std::unique_ptr<sim::Adversary> adversary,
-                             const obs::Hooks* hooks) {
+                             const obs::Hooks* hooks, std::size_t threads) {
   RunSpec spec;
   spec.protocol = ProtocolKind::kIteratedRealAA;
+  spec.threads = threads;
   spec.n = config.n;
   spec.t = config.t;
   spec.real_inputs = inputs;
@@ -89,9 +91,10 @@ PathsFinderRun run_paths_finder(const LabeledTree& tree, std::size_t n,
                                 const std::vector<VertexId>& inputs,
                                 std::unique_ptr<sim::Adversary> adversary,
                                 core::PathsFinderOptions opts,
-                                const obs::Hooks* hooks) {
+                                const obs::Hooks* hooks, std::size_t threads) {
   RunSpec spec;
   spec.protocol = ProtocolKind::kPathsFinder;
+  spec.threads = threads;
   spec.n = n;
   spec.t = t;
   spec.tree = &tree;
@@ -135,9 +138,11 @@ VertexRun to_vertex_run(RunOutcome&& outcome) {
 VertexRun run_path_aa(const LabeledTree& path_tree, std::size_t n,
                       std::size_t t, const std::vector<VertexId>& inputs,
                       std::unique_ptr<sim::Adversary> adversary,
-                      core::PathAAOptions opts, const obs::Hooks* hooks) {
+                      core::PathAAOptions opts, const obs::Hooks* hooks,
+                      std::size_t threads) {
   RunSpec spec;
   spec.protocol = ProtocolKind::kPathAA;
+  spec.threads = threads;
   spec.n = n;
   spec.t = t;
   spec.tree = &path_tree;
@@ -154,9 +159,10 @@ VertexRun run_iterated_tree_aa(const LabeledTree& tree, std::size_t n,
                                std::size_t t,
                                const std::vector<VertexId>& inputs,
                                std::unique_ptr<sim::Adversary> adversary,
-                               const obs::Hooks* hooks) {
+                               const obs::Hooks* hooks, std::size_t threads) {
   RunSpec spec;
   spec.protocol = ProtocolKind::kIteratedTreeAA;
+  spec.threads = threads;
   spec.n = n;
   spec.t = t;
   spec.tree = &tree;

@@ -28,7 +28,9 @@
 
 namespace treeaa::harness {
 
-// Every synchronous runner takes an optional trailing `hooks` pointer
+// Every synchronous runner takes an optional trailing `hooks` pointer and
+// a `threads` count for the engine's intra-run worker lanes (1 = serial,
+// 0 = hardware; results are byte-identical at any value).
 // (obs::Hooks). With a report sink attached the engine is driven round by
 // round and the report receives the protocol's per-round series (value
 // diameters, detections, gradecast grade distributions where the protocol
@@ -54,13 +56,13 @@ struct RealRun {
 [[nodiscard]] RealRun run_real_aa(
     const realaa::Config& config, const std::vector<double>& inputs,
     std::unique_ptr<sim::Adversary> adversary = nullptr,
-    const obs::Hooks* hooks = nullptr);
+    const obs::Hooks* hooks = nullptr, std::size_t threads = 1);
 
 [[nodiscard]] RealRun run_iterated_real_aa(
     const baselines::IteratedRealConfig& config,
     const std::vector<double>& inputs,
     std::unique_ptr<sim::Adversary> adversary = nullptr,
-    const obs::Hooks* hooks = nullptr);
+    const obs::Hooks* hooks = nullptr, std::size_t threads = 1);
 
 /// Result of a PathsFinder run.
 struct PathsFinderRun {
@@ -76,7 +78,8 @@ struct PathsFinderRun {
     const LabeledTree& tree, std::size_t n, std::size_t t,
     const std::vector<VertexId>& inputs,
     std::unique_ptr<sim::Adversary> adversary = nullptr,
-    core::PathsFinderOptions opts = {}, const obs::Hooks* hooks = nullptr);
+    core::PathsFinderOptions opts = {}, const obs::Hooks* hooks = nullptr,
+    std::size_t threads = 1);
 
 /// Result of a vertex-valued AA run (the warm-up path protocol or the
 /// iterated tree baseline).
@@ -93,13 +96,14 @@ struct VertexRun {
     const LabeledTree& path_tree, std::size_t n, std::size_t t,
     const std::vector<VertexId>& inputs,
     std::unique_ptr<sim::Adversary> adversary = nullptr,
-    core::PathAAOptions opts = {}, const obs::Hooks* hooks = nullptr);
+    core::PathAAOptions opts = {}, const obs::Hooks* hooks = nullptr,
+    std::size_t threads = 1);
 
 [[nodiscard]] VertexRun run_iterated_tree_aa(
     const LabeledTree& tree, std::size_t n, std::size_t t,
     const std::vector<VertexId>& inputs,
     std::unique_ptr<sim::Adversary> adversary = nullptr,
-    const obs::Hooks* hooks = nullptr);
+    const obs::Hooks* hooks = nullptr, std::size_t threads = 1);
 
 /// Result of an asynchronous tree-AA run (the NR baseline in its native
 /// model): no rounds, so complexity is reported in deliveries/messages.

@@ -117,7 +117,8 @@ DeployResult run_tree_aa_net(const LabeledTree& tree,
 
   // --- The discrete reference world -----------------------------------------
   if (cfg.crosscheck) {
-    sim::Engine engine(n, std::max<std::size_t>(t, 1));
+    sim::Engine engine(n, std::max<std::size_t>(t, 1),
+                       sim::EngineOptions{cfg.threads});
     std::vector<core::TreeAAProcess*> sim_procs(n, nullptr);
     for (PartyId p = 0; p < n; ++p) {
       auto proc = std::make_unique<core::TreeAAProcess>(

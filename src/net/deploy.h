@@ -59,6 +59,11 @@ struct DeployConfig {
   int round_timeout_ms = 5000;
   /// Replay on sim::Engine and compare honest outputs.
   bool crosscheck = true;
+  /// Worker lanes of the cross-check engine (sim::EngineOptions::threads;
+  /// 1 = serial, 0 = hardware). The replay — and therefore the net report —
+  /// is byte-identical at any value. The socket world always runs one OS
+  /// thread per party regardless.
+  std::size_t threads = 1;
 };
 
 struct DeployResult {

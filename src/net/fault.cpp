@@ -222,7 +222,9 @@ std::vector<sim::Envelope> FaultLinkLayer::deliver(
     }
     auto& bucket = per_link[static_cast<std::size_t>(e.from) * n_ + e.to];
     if (bucket.empty()) touched.emplace_back(e.from, e.to);
-    bucket.push_back(std::move(e.payload));
+    // take() detaches broadcast-shared payloads before the link mutates
+    // them (corruption bit-flips must never leak to other recipients).
+    bucket.push_back(e.payload.take());
   }
   std::sort(touched.begin(), touched.end());
   for (const auto& [from, to] : touched) {

@@ -238,9 +238,9 @@ void NetRunner::Party::run_rounds(Round rounds) {
     std::vector<std::vector<Bytes>> per_dest(n);
     for (sim::Envelope& e : outbox) {
       if (e.to == self) {
-        selfbox.push_back(std::move(e.payload));
+        selfbox.push_back(e.payload.take());
       } else {
-        per_dest[e.to].push_back(std::move(e.payload));
+        per_dest[e.to].push_back(e.payload.take());
       }
     }
     const bool crashed = crash.has_value() && r >= *crash;

@@ -13,10 +13,12 @@
 // treeaa_cli and treeaa_sweep.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <string>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 #include "obs/json.h"
 #include "obs/report.h"
@@ -31,6 +33,14 @@ class BenchReporter {
         path_(metrics_sink_from_args(argc, argv)) {}
 
   [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  /// Records a bench-level parameter (e.g. the engine lane count behind a
+  /// --threads flag) for the document's "params" object. Recorded in call
+  /// order; the object is omitted entirely when no parameter was set, so
+  /// benches without params keep their exact historical output.
+  void add_param(std::string key, std::uint64_t value) {
+    params_.emplace_back(std::move(key), value);
+  }
 
   /// Hooks for the next protocol run, labeled for the "runs" array; null
   /// when reporting is disabled. The pointer stays valid until flush().
@@ -53,6 +63,15 @@ class BenchReporter {
     w.value(std::string_view("treeaa.bench_report/1"));
     w.key("bench");
     w.value(std::string_view(name_));
+    if (!params_.empty()) {
+      w.key("params");
+      w.begin_object();
+      for (const auto& [key, value] : params_) {
+        w.key(key);
+        w.value(value);
+      }
+      w.end_object();
+    }
     w.key("runs");
     w.begin_array();
     for (const Entry& e : runs_) {
@@ -78,6 +97,7 @@ class BenchReporter {
 
   std::string name_;
   std::string path_;
+  std::vector<std::pair<std::string, std::uint64_t>> params_;
   std::deque<Entry> runs_;  // deque: next_run() hands out stable pointers
 };
 

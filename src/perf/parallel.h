@@ -1,0 +1,133 @@
+// A fixed-lane worker pool for deterministic intra-run parallelism.
+//
+// The simulator's round loop fans honest parties out over a fixed number of
+// lanes using static chunked ranges: lane l always owns indices
+// [l*chunk, min((l+1)*chunk, count)) with chunk = ceil(count / lanes).
+// Because the partition depends only on (count, lanes) — never on timing —
+// concatenating per-lane results in lane order reproduces the exact serial
+// iteration order, which is what the engine's byte-identical determinism
+// contract is built on (see docs/PERF.md).
+//
+// Lanes are a determinism unit, not a thread count: a pool with L lanes
+// executes on min(L, hardware) OS threads, each running the lanes
+// congruent to its index mod the worker count. The lane partition — and
+// therefore every result — is identical whatever the worker count, so
+// `--threads 8` produces the same bytes on a laptop, a 96-core server, or
+// a single-core CI box (where the pool degenerates to inline serial
+// execution with zero synchronization).
+//
+// Pools are built for short dispatches (a few microseconds of work per
+// phase, hundreds of thousands of dispatches per benchmark): the caller
+// participates as worker 0 so a dispatch does useful work while workers
+// wake, and workers spin briefly before sleeping on a condition variable so
+// back-to-back rounds never pay a futex round-trip. Engines are frequently
+// constructed per-run (benches build thousands), so pools are recycled
+// through a process-wide lease cache instead of spawning threads per
+// engine: WorkerPool::lease(lanes) hands out an idle pool with that lane
+// count or builds one, and the Lease returns it on destruction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace treeaa::perf {
+
+class WorkerPool {
+ public:
+  /// One lane's share of a dispatch: process indices [begin, end).
+  using Slice =
+      std::function<void(std::size_t lane, std::size_t begin, std::size_t end)>;
+
+  /// RAII handle on a cached pool. Empty (get() == nullptr) for lane counts
+  /// <= 1, where callers should take their serial path. Returning the pool
+  /// to the cache on destruction keeps its threads alive for the next run.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease(Lease&& other) noexcept : pool_(other.pool_) { other.pool_ = nullptr; }
+    Lease& operator=(Lease&& other) noexcept {
+      std::swap(pool_, other.pool_);
+      return *this;
+    }
+    ~Lease();
+
+    [[nodiscard]] WorkerPool* get() const { return pool_; }
+    [[nodiscard]] explicit operator bool() const { return pool_ != nullptr; }
+
+   private:
+    friend class WorkerPool;
+    explicit Lease(WorkerPool* pool) : pool_(pool) {}
+
+    WorkerPool* pool_ = nullptr;
+  };
+
+  /// Resolves a user-facing --threads value: 0 means one lane per hardware
+  /// thread, anything else is taken literally.
+  [[nodiscard]] static std::size_t resolve_lanes(std::size_t threads);
+
+  /// The static chunk width for a dispatch: ceil(count / lanes).
+  [[nodiscard]] static std::size_t chunk_size(std::size_t count,
+                                              std::size_t lanes);
+
+  /// Leases a pool with resolve_lanes(threads) lanes from the process-wide
+  /// cache (building one on a miss). Lane counts <= 1 yield an empty Lease.
+  [[nodiscard]] static Lease lease(std::size_t threads);
+
+  /// A pool with `lanes` logical lanes executed by `workers` OS threads
+  /// (the caller plus workers - 1 spawned threads). workers = 0 picks
+  /// min(lanes, hardware concurrency); tests pass an explicit count to
+  /// force real concurrency regardless of the host. Prefer lease() over
+  /// direct construction so threads are reused across engines.
+  explicit WorkerPool(std::size_t lanes, std::size_t workers = 0);
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+  ~WorkerPool();
+
+  [[nodiscard]] std::size_t lanes() const { return lanes_; }
+  [[nodiscard]] std::size_t workers() const { return workers_; }
+
+  /// Runs `slice` over [0, count) split into static chunks, one per lane,
+  /// and returns once every lane has finished. The calling thread executes
+  /// the lanes congruent to 0 mod workers(). If lanes threw, the lowest
+  /// lane's exception is rethrown (a deterministic choice, unlike
+  /// first-to-throw).
+  void run(std::size_t count, const Slice& slice);
+
+ private:
+  void run_lane(std::size_t lane);
+  void run_worker(std::size_t worker);
+  void worker_main(std::size_t worker);
+
+  std::size_t lanes_;
+  std::size_t workers_;
+  std::vector<std::thread> threads_;
+
+  // Dispatch handoff. The dispatcher publishes slice_/count_/chunk_ and
+  // then bumps generation_; workers observe the bump (acquire) and read the
+  // published fields. done_ counts finished workers (release), which the
+  // dispatcher spins on (acquire) before touching per-lane errors_.
+  const Slice* slice_ = nullptr;
+  std::size_t count_ = 0;
+  std::size_t chunk_ = 0;
+  std::vector<std::exception_ptr> errors_;
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<std::size_t> done_{0};
+
+  // Sleep/wake handshake (see parallel.cpp for the seq_cst argument).
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::atomic<std::size_t> sleepers_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace treeaa::perf

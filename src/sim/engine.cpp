@@ -40,12 +40,21 @@ std::vector<Envelope> RoundView::corrupt(PartyId p) {
 
 // --- Engine ----------------------------------------------------------------
 
-Engine::Engine(std::size_t n, std::size_t t) : t_(t) {
+Engine::Engine(std::size_t n, std::size_t t, EngineOptions options)
+    : t_(t), threads_(perf::WorkerPool::resolve_lanes(options.threads)) {
   TREEAA_REQUIRE_MSG(n >= 1, "need at least one party");
   TREEAA_REQUIRE_MSG(t < n, "t must be < n");
   processes_.resize(n);
   corrupt_.assign(n, false);
   adversary_ = std::make_unique<NullAdversary>();
+  // More lanes than parties would only idle; clamping also keeps the
+  // per-lane arenas proportional to useful parallelism.
+  threads_ = std::min(threads_, n);
+  if (threads_ > 1) {
+    pool_ = perf::WorkerPool::lease(threads_);
+    staging_.resize(threads_);
+  }
+  arenas_.resize(threads_);
 }
 
 void Engine::set_process(PartyId p, std::unique_ptr<Process> process) {
@@ -139,17 +148,10 @@ void Engine::run(Round rounds) {
     if (tracer_ != nullptr) tracer_->on_round_begin(r);
 
     // 1. Honest send phase.
-    for (PartyId p = 0; p < n(); ++p) {
-      if (corrupt_[p]) continue;
-      const std::size_t before = queued_.size();
-      Mailer mailer(p, n(), queued_, r, &payload_pool_);
-      processes_[p]->on_round_begin(r, mailer);
-      auto& rt = stats_.per_round.back();
-      for (std::size_t k = before; k < queued_.size(); ++k) {
-        rt.honest_messages += 1;
-        rt.honest_bytes += queued_[k].payload.size();
-        if (tracer_ != nullptr) tracer_->on_queued(queued_[k], false);
-      }
+    if (threads_ > 1) {
+      send_phase_parallel(r);
+    } else {
+      send_phase(r);
     }
 
     // 2. Rushing adversary.
@@ -196,17 +198,91 @@ void Engine::run(Round rounds) {
     }
     queued_.clear();
     round_ = r;
-    for (PartyId p = 0; p < n(); ++p) {
-      if (corrupt_[p]) continue;
-      processes_[p]->on_round_end(
-          r, std::span<const Envelope>(
-                 delivery_.data() + inbox_offsets_[p],
-                 inbox_offsets_[p + 1] - inbox_offsets_[p]));
+    delivery_phase(r);
+    // Inboxes are fully consumed (processes copy what they keep); release
+    // each payload's last reference back into an arena so next round's
+    // broadcasts reuse the control blocks and byte capacity. Round-robin
+    // keeps every lane's arena warm in the parallel configuration.
+    if (arenas_.size() == 1) {
+      for (Envelope& e : delivery_) e.payload.release(&arenas_[0]);
+    } else {
+      for (Envelope& e : delivery_) {
+        e.payload.release(&arenas_[recycle_cursor_]);
+        if (++recycle_cursor_ == arenas_.size()) recycle_cursor_ = 0;
+      }
     }
-    // Inboxes are fully consumed (processes copy what they keep); recycle
-    // the payload capacity into next round's broadcast copies.
-    for (Envelope& e : delivery_) {
-      payload_pool_.recycle(std::move(e.payload));
+  }
+}
+
+// The serial send phase: parties queue directly into queued_, and stats and
+// trace hooks fire as each party's messages land.
+void Engine::send_phase(Round r) {
+  for (PartyId p = 0; p < n(); ++p) {
+    if (corrupt_[p]) continue;
+    const std::size_t before = queued_.size();
+    Mailer mailer(p, n(), queued_, r, &arenas_[0]);
+    processes_[p]->on_round_begin(r, mailer);
+    auto& rt = stats_.per_round.back();
+    for (std::size_t k = before; k < queued_.size(); ++k) {
+      rt.honest_messages += 1;
+      rt.honest_bytes += queued_[k].payload.size();
+      if (tracer_ != nullptr) tracer_->on_queued(queued_[k], false);
+    }
+  }
+}
+
+// The parallel send phase. Lane l owns the statically-chunked party range
+// [l*chunk, (l+1)*chunk) and queues into its own staging buffer with its
+// own payload arena; merging the staging buffers in lane order then yields
+// exactly the serial party-ascending queue order, so everything downstream
+// (the adversary's rushing view, the stable delivery sort, traces, stats)
+// is byte-identical to send_phase(). Trace and stats hooks are deferred to
+// the merge so they also fire in serial order, on one thread.
+void Engine::send_phase_parallel(Round r) {
+  for (std::vector<Envelope>& lane_out : staging_) lane_out.clear();
+  pool_.get()->run(
+      n(), [&](std::size_t lane, std::size_t begin, std::size_t end) {
+        std::vector<Envelope>& out = staging_[lane];
+        for (std::size_t i = begin; i < end; ++i) {
+          const PartyId p = static_cast<PartyId>(i);
+          if (corrupt_[p]) continue;
+          Mailer mailer(p, n(), out, r, &arenas_[lane]);
+          processes_[p]->on_round_begin(r, mailer);
+        }
+      });
+  auto& rt = stats_.per_round.back();
+  for (std::vector<Envelope>& lane_out : staging_) {
+    for (Envelope& e : lane_out) {
+      rt.honest_messages += 1;
+      rt.honest_bytes += e.payload.size();
+      queued_.push_back(std::move(e));
+      if (tracer_ != nullptr) tracer_->on_queued(queued_.back(), false);
+    }
+  }
+}
+
+// Hands every honest party its inbox slice. Parties only read their own
+// const slice and mutate their own process state, so the parallel fan-out
+// is race-free; per-party delivery order is fixed by the sort, so the
+// fan-out cannot reorder anything observable.
+void Engine::delivery_phase(Round r) {
+  const auto deliver_to = [&](PartyId p) {
+    processes_[p]->on_round_end(
+        r, std::span<const Envelope>(delivery_.data() + inbox_offsets_[p],
+                                     inbox_offsets_[p + 1] -
+                                         inbox_offsets_[p]));
+  };
+  if (threads_ > 1) {
+    pool_.get()->run(
+        n(), [&](std::size_t, std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            const PartyId p = static_cast<PartyId>(i);
+            if (!corrupt_[p]) deliver_to(p);
+          }
+        });
+  } else {
+    for (PartyId p = 0; p < n(); ++p) {
+      if (!corrupt_[p]) deliver_to(p);
     }
   }
 }

@@ -15,7 +15,11 @@
 //                     nothing (their behaviour is the adversary's).
 //
 // Everything is deterministic given the processes and the adversary, so any
-// execution reproduces exactly.
+// execution reproduces exactly — including at EngineOptions::threads > 1,
+// where the send and delivery phases fan honest parties out over a worker
+// pool with static chunking and merge per-lane results in lane order, so
+// queued-message order, the adversary's rushing view, traces, stats, and
+// every report are byte-identical to the serial engine (docs/PERF.md).
 #pragma once
 
 #include <memory>
@@ -23,6 +27,7 @@
 
 #include "common/check.h"
 #include "perf/arena.h"
+#include "perf/parallel.h"
 #include "sim/adversary.h"
 #include "sim/envelope.h"
 #include "sim/link.h"
@@ -32,10 +37,17 @@
 
 namespace treeaa::sim {
 
+struct EngineOptions {
+  /// Worker lanes for the honest send and delivery phases. 1 (the default)
+  /// runs fully serial; 0 means one lane per hardware thread. Any value
+  /// produces byte-identical executions — threads only change wall-clock.
+  std::size_t threads = 1;
+};
+
 class Engine {
  public:
   /// An engine for n parties of which at most t may ever be corrupt.
-  Engine(std::size_t n, std::size_t t);
+  Engine(std::size_t n, std::size_t t, EngineOptions options = {});
 
   /// Installs the honest protocol process for party p. Every party needs a
   /// process before run() (corrupt-from-start parties included: adaptive
@@ -60,6 +72,7 @@ class Engine {
 
   [[nodiscard]] std::size_t n() const { return processes_.size(); }
   [[nodiscard]] std::size_t t() const { return t_; }
+  [[nodiscard]] std::size_t threads() const { return threads_; }
   [[nodiscard]] Round rounds_elapsed() const { return round_; }
 
   [[nodiscard]] bool is_corrupt(PartyId p) const;
@@ -78,8 +91,12 @@ class Engine {
 
   std::vector<Envelope> corrupt_party(PartyId p);
   void inject(PartyId from, PartyId to, Bytes payload);
+  void send_phase(Round r);
+  void send_phase_parallel(Round r);
+  void delivery_phase(Round r);
 
   std::size_t t_;
+  std::size_t threads_;
   Round round_ = 0;
   bool started_ = false;
   std::vector<std::unique_ptr<Process>> processes_;
@@ -99,7 +116,16 @@ class Engine {
   std::vector<Envelope> delivery_;          // after the by-recipient pass
   std::vector<std::size_t> counts_;         // counting-sort counters
   std::vector<std::size_t> inbox_offsets_;  // recipient p owns [p, p + 1)
-  perf::BufferPool payload_pool_;
+
+  // Parallel-phase state. arenas_[lane] recycles payload control blocks for
+  // the Mailer running on that lane (one arena at threads_ == 1); staging_
+  // holds per-lane outboxes that the engine merges into queued_ in lane
+  // order; recycle_cursor_ round-robins freed payloads across arenas so
+  // every lane's pool stays warm.
+  perf::WorkerPool::Lease pool_;
+  std::vector<perf::PayloadPool> arenas_;
+  std::vector<std::vector<Envelope>> staging_;
+  std::size_t recycle_cursor_ = 0;
 
   TrafficStats stats_;
 };

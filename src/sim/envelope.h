@@ -5,10 +5,18 @@
 // party's identity. Payloads are opaque bytes; whatever structure they have
 // is the receiving protocol's business (and Byzantine payloads may have no
 // valid structure at all).
+//
+// The payload is a refcounted copy-on-write handle (perf::Payload) so a
+// broadcast's n envelopes share one byte buffer. The handle converts
+// implicitly to `const Bytes&` and to a byte span, so receivers read it
+// like a plain buffer; anything that wants to own or mutate the bytes calls
+// payload.take() / payload.mutable_bytes(), which detach a private copy if
+// the buffer is shared.
 #pragma once
 
 #include "common/bytes.h"
 #include "common/types.h"
+#include "perf/arena.h"
 
 namespace treeaa::sim {
 
@@ -16,7 +24,7 @@ struct Envelope {
   PartyId from = kNoParty;
   PartyId to = kNoParty;
   Round round = 0;  // the round in which the message was sent = delivered
-  Bytes payload;
+  perf::Payload payload;
 };
 
 }  // namespace treeaa::sim

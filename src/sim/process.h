@@ -24,10 +24,10 @@ namespace treeaa::sim {
 /// Collects one party's outgoing messages for the current round.
 class Mailer {
  public:
-  /// `pool` (optional) recycles payload capacity for broadcast copies; the
-  /// engine passes its per-run pool, standalone constructions may omit it.
+  /// `pool` (optional) recycles payload control blocks and capacity; the
+  /// engine passes a per-lane pool, standalone constructions may omit it.
   Mailer(PartyId self, std::size_t n, std::vector<Envelope>& sink,
-         Round round, perf::BufferPool* pool = nullptr)
+         Round round, perf::PayloadPool* pool = nullptr)
       : self_(self), n_(n), sink_(sink), round_(round), pool_(pool) {}
 
   /// Sends `payload` to party `to`. Sending to self is allowed and the
@@ -35,16 +35,26 @@ class Mailer {
   /// their own value by receiving it).
   void send(PartyId to, Bytes payload) {
     TREEAA_REQUIRE_MSG(to < n_, "recipient " << to << " out of range");
-    sink_.push_back(Envelope{self_, to, round_, std::move(payload)});
+    sink_.push_back(Envelope{self_, to, round_,
+                             pool_ != nullptr
+                                 ? pool_->adopt(std::move(payload))
+                                 : perf::Payload(std::move(payload))});
   }
 
-  /// Sends the same payload to every party (including self).
+  /// Sends the same payload to every party (including self). The payload is
+  /// interned once and shared across all n envelopes — O(bytes) per
+  /// broadcast instead of O(n * bytes) — which is safe because receivers
+  /// only read payloads (and mutators like the link-fault layer detach a
+  /// copy-on-write clone first).
   void broadcast(const Bytes& payload) {
-    for (PartyId to = 0; to < n_; ++to) {
-      Bytes copy = pool_ != nullptr ? pool_->acquire() : Bytes{};
-      copy.assign(payload.begin(), payload.end());
-      sink_.push_back(Envelope{self_, to, round_, std::move(copy)});
+    if (n_ == 0) return;
+    perf::Payload shared = pool_ != nullptr ? pool_->copy_of(payload)
+                                            : perf::Payload(Bytes(payload));
+    const PartyId last = static_cast<PartyId>(n_ - 1);
+    for (PartyId to = 0; to < last; ++to) {
+      sink_.push_back(Envelope{self_, to, round_, shared});
     }
+    sink_.push_back(Envelope{self_, last, round_, std::move(shared)});
   }
 
   [[nodiscard]] PartyId self() const { return self_; }
@@ -55,7 +65,7 @@ class Mailer {
   std::size_t n_;
   std::vector<Envelope>& sink_;
   Round round_;
-  perf::BufferPool* pool_;
+  perf::PayloadPool* pool_;
 };
 
 class Process {

@@ -24,7 +24,7 @@ void CrashAdversary::act(RoundView& view) {
     const auto kept = static_cast<std::size_t>(
         c.delivered_fraction * static_cast<double>(retracted.size()));
     for (std::size_t i = 0; i < std::min(kept, retracted.size()); ++i) {
-      view.send(c.party, retracted[i].to, std::move(retracted[i].payload));
+      view.send(c.party, retracted[i].to, retracted[i].payload.take());
     }
   }
 }
@@ -111,7 +111,7 @@ void PuppetAdversary::act(RoundView& view) {
     p.process->on_round_begin(local_round_, mailer);
     for (Envelope& e : outbox) {
       if (p.send_filter && !p.send_filter(e)) continue;
-      view.send(p.party, e.to, std::move(e.payload));
+      view.send(p.party, e.to, e.payload.take());
     }
   }
   // Delivery phase: after the sends above, this round's traffic is final

@@ -168,5 +168,20 @@ TEST(Sweep, TimingSectionIsOptIn) {
   EXPECT_NE(timed.find("\"timing\""), std::string::npos);
 }
 
+TEST(Sweep, RunThreadsNeverChangeReport) {
+  // Intra-cell engine lanes (run_threads) compose with the cell scheduler
+  // (threads) under a shared budget; every combination — including 0 =
+  // hardware — must serialize to the same bytes as the fully serial sweep.
+  const SweepSpec spec = spec_from_json(kMixedSpec);
+  auto render = [&](const SweepOptions& opts) {
+    const SweepResult result = run_sweep(spec, opts);
+    return sweep_report_json(spec, result);
+  };
+  const std::string base = render({.threads = 1});
+  EXPECT_EQ(render({.threads = 1, .run_threads = 4}), base);
+  EXPECT_EQ(render({.threads = 8, .run_threads = 4}), base);
+  EXPECT_EQ(render({.threads = 2, .run_threads = 0}), base);
+}
+
 }  // namespace
 }  // namespace treeaa::exp

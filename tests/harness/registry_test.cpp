@@ -8,10 +8,13 @@
 
 #include <algorithm>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "core/api.h"
 #include "harness/runner.h"
+#include "obs/report.h"
 #include "trees/generators.h"
 
 namespace treeaa {
@@ -155,6 +158,78 @@ TEST(RegistryTest, MakeAdversaryAndSilentRun) {
                                            out.honest_vertex_outputs());
   EXPECT_TRUE(check.valid);
   EXPECT_TRUE(check.one_agreement);
+}
+
+/// The parallel engine's registry-level determinism contract: every
+/// synchronous protocol, under every adversary that applies to it, yields
+/// the same outputs and the byte-identical canonical run report at
+/// RunSpec::threads 1, 2, and 8. (The async protocol is excluded: its
+/// engine has its own scheduler and documents that it ignores `threads`.)
+TEST(RegistryTest, ThreadsNeverChangeOutcomeOrReport) {
+  const auto spider = make_spider(3, 3);
+  const auto path = make_path(9);
+  const std::size_t n = 7, t = 2;
+
+  for (const harness::ProtocolKind p : harness::all_protocols()) {
+    if (p == harness::ProtocolKind::kAsyncTreeAA) continue;
+    for (const harness::AdversaryKind a : harness::all_adversaries()) {
+      if (!harness::adversary_applies(p, a)) continue;
+      SCOPED_TRACE(std::string(harness::protocol_name(p)) + " vs " +
+                   harness::adversary_name(a));
+      const LabeledTree& tree =
+          p == harness::ProtocolKind::kPathAA ? path : spider;
+
+      auto run_at = [&](std::size_t threads) {
+        obs::RunReport report;
+        obs::Hooks hooks;
+        hooks.report = &report;
+
+        harness::RunSpec spec;
+        spec.protocol = p;
+        spec.n = n;
+        spec.t = t;
+        spec.threads = threads;
+        spec.hooks = &hooks;
+        if (harness::is_vertex_protocol(p)) {
+          spec.tree = &tree;
+          spec.vertex_inputs = harness::spread_vertex_inputs(tree, n);
+        } else {
+          spec.eps = 0.5;
+          spec.known_range = 100.0;
+          spec.real_inputs = harness::spread_real_inputs(n, 0.0, 100.0);
+        }
+
+        harness::AdversaryPlan plan;
+        plan.kind = a;
+        plan.victims = {1, 4};
+        plan.fuzz_seed = 77;
+        if (a == harness::AdversaryKind::kSplit ||
+            a == harness::AdversaryKind::kSplit1) {
+          if (harness::is_vertex_protocol(p)) {
+            plan.split_config = core::paths_finder_config(tree, n, t, {});
+          } else {
+            realaa::Config cfg;
+            cfg.n = n;
+            cfg.t = t;
+            cfg.eps = 0.5;
+            cfg.known_range = 100.0;
+            plan.split_config = cfg;
+          }
+        }
+        spec.adversary = harness::make_adversary(plan);
+
+        auto out = harness::run_protocol(std::move(spec));
+        return std::make_tuple(report.to_json(/*include_timings=*/false),
+                               out.vertex_outputs, out.real_outputs,
+                               out.paths, out.corrupt, out.rounds);
+      };
+
+      const auto base = run_at(1);
+      EXPECT_FALSE(std::get<0>(base).empty());
+      EXPECT_EQ(run_at(2), base);
+      EXPECT_EQ(run_at(8), base);
+    }
+  }
 }
 
 }  // namespace

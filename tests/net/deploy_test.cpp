@@ -104,6 +104,28 @@ TEST(Deploy, ReportIsByteDeterministic) {
   EXPECT_NE(json.find("\"fault_plan\""), std::string::npos);
 }
 
+TEST(Deploy, CrosscheckThreadsNeverChangeReport) {
+  // Running the reference engine on 8 lanes must not perturb anything:
+  // same sim outputs, same verdict, byte-identical report. (COW detachment
+  // under corrupting links is covered at the engine level by
+  // sim_threads_test; frame corruption here behaves as loss and would blow
+  // the protocol's fault budget.)
+  const auto tree = make_spider(4, 3);
+  const auto inputs = spread_inputs(tree, 7);
+  DeployConfig cfg;
+  cfg.adversary = AdversaryKind::kFuzz;
+  cfg.corrupt_count = 1;
+  cfg.faults = FaultPlan::parse("dup=0.2,reorder=0.5");
+  cfg.seed = 3;
+  const auto serial = run_tree_aa_net(tree, inputs, 2, cfg);
+  cfg.threads = 8;
+  const auto parallel = run_tree_aa_net(tree, inputs, 2, cfg);
+  EXPECT_TRUE(serial.sim_match);
+  EXPECT_TRUE(parallel.sim_match);
+  EXPECT_EQ(parallel.sim_outputs, serial.sim_outputs);
+  EXPECT_EQ(parallel.report.to_json(), serial.report.to_json());
+}
+
 TEST(Deploy, ValidatesConfiguration) {
   const auto tree = make_path(12);
   const auto inputs = spread_inputs(tree, 4);

@@ -1,0 +1,124 @@
+// WorkerPool: static chunking, exact index coverage on every
+// (count, lanes, workers) shape, deterministic exception choice, the lease
+// cache, and a dispatch stress loop that exercises the sleep/wake handshake
+// with real threads (the TSAN job's main subject).
+#include "perf/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace treeaa::perf {
+namespace {
+
+TEST(WorkerPool, ResolveLanesAndChunkSize) {
+  EXPECT_EQ(WorkerPool::resolve_lanes(1), 1u);
+  EXPECT_EQ(WorkerPool::resolve_lanes(7), 7u);
+  EXPECT_GE(WorkerPool::resolve_lanes(0), 1u);  // hardware concurrency
+
+  EXPECT_EQ(WorkerPool::chunk_size(10, 2), 5u);
+  EXPECT_EQ(WorkerPool::chunk_size(10, 3), 4u);
+  EXPECT_EQ(WorkerPool::chunk_size(1, 8), 1u);
+  EXPECT_EQ(WorkerPool::chunk_size(0, 4), 0u);
+}
+
+TEST(WorkerPool, WorkersNeverExceedLanes) {
+  WorkerPool pool(4, 16);
+  EXPECT_EQ(pool.lanes(), 4u);
+  EXPECT_LE(pool.workers(), 4u);
+}
+
+// Every index in [0, count) is visited exactly once, by the lane its
+// static chunk dictates — for single-worker (inline) and multi-worker
+// execution alike. This is the partition the engine's byte-identical
+// merge order is built on.
+TEST(WorkerPool, CoversEveryIndexExactlyOnceWithStaticChunks) {
+  for (const std::size_t lanes : {2u, 3u, 8u}) {
+    for (const std::size_t workers : {1u, 2u, 3u}) {
+      WorkerPool pool(lanes, workers);
+      for (const std::size_t count : {0u, 1u, 5u, 8u, 17u}) {
+        const std::size_t chunk = WorkerPool::chunk_size(count, lanes);
+        std::vector<std::vector<std::size_t>> per_lane(lanes);
+        pool.run(count, [&](std::size_t lane, std::size_t begin,
+                            std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i)
+            per_lane[lane].push_back(i);
+        });
+        std::vector<int> seen(count, 0);
+        for (std::size_t lane = 0; lane < lanes; ++lane) {
+          for (const std::size_t i : per_lane[lane]) {
+            ASSERT_LT(i, count);
+            ++seen[i];
+            EXPECT_EQ(i / chunk, lane)
+                << "index " << i << " ran on the wrong lane";
+          }
+        }
+        for (std::size_t i = 0; i < count; ++i) {
+          EXPECT_EQ(seen[i], 1) << "index " << i << " count=" << count
+                                << " lanes=" << lanes
+                                << " workers=" << workers;
+        }
+      }
+    }
+  }
+}
+
+TEST(WorkerPool, RethrowsLowestLaneException) {
+  WorkerPool pool(4, 2);
+  try {
+    pool.run(4, [](std::size_t lane, std::size_t, std::size_t) {
+      if (lane == 1) throw std::runtime_error("lane one");
+      if (lane == 3) throw std::runtime_error("lane three");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "lane one");
+  }
+  // The pool survives a throwing dispatch.
+  std::atomic<int> hits{0};
+  pool.run(4, [&](std::size_t, std::size_t begin, std::size_t end) {
+    hits.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(hits.load(), 4);
+}
+
+TEST(WorkerPool, LeaseIsEmptyForSerialLaneCounts) {
+  const WorkerPool::Lease lease = WorkerPool::lease(1);
+  EXPECT_EQ(lease.get(), nullptr);
+  EXPECT_FALSE(lease);
+}
+
+TEST(WorkerPool, LeaseCacheReusesPools) {
+  WorkerPool* first = nullptr;
+  {
+    const WorkerPool::Lease lease = WorkerPool::lease(3);
+    ASSERT_NE(lease.get(), nullptr);
+    EXPECT_EQ(lease.get()->lanes(), 3u);
+    first = lease.get();
+  }
+  const WorkerPool::Lease again = WorkerPool::lease(3);
+  EXPECT_EQ(again.get(), first) << "returned pool should be recycled";
+}
+
+// Back-to-back dispatches through the generation/done handshake, with
+// forced multi-threading so a single-core host still exercises the
+// concurrent path (this is the test the CI TSAN job leans on).
+TEST(WorkerPool, RepeatedDispatchStress) {
+  WorkerPool pool(4, 3);
+  std::vector<std::size_t> lane_sums(4, 0);
+  constexpr std::size_t kDispatches = 2000;
+  for (std::size_t d = 0; d < kDispatches; ++d) {
+    pool.run(8, [&](std::size_t lane, std::size_t begin, std::size_t end) {
+      lane_sums[lane] += end - begin;
+    });
+  }
+  for (const std::size_t sum : lane_sums) {
+    EXPECT_EQ(sum, 2 * kDispatches);  // 8 indices over 4 lanes
+  }
+}
+
+}  // namespace
+}  // namespace treeaa::perf

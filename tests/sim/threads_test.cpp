@@ -1,0 +1,148 @@
+// The parallel engine's determinism contract at the engine level: traces,
+// stats, and received bytes are byte-identical at any EngineOptions::threads
+// value, and broadcast-shared payloads never alias through a corrupting
+// link layer.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/strategies.h"
+#include "sim/trace.h"
+
+namespace treeaa::sim {
+namespace {
+
+/// Broadcasts (round, self, inbox size of last round) every round and
+/// remembers every byte it receives — enough state flow that any
+/// cross-thread ordering slip would change the transcript.
+class ChattyProcess final : public Process {
+ public:
+  explicit ChattyProcess(PartyId self) : self_(self) {}
+
+  void on_round_begin(Round r, Mailer& out) override {
+    out.broadcast(Bytes{static_cast<std::uint8_t>(r),
+                        static_cast<std::uint8_t>(self_),
+                        static_cast<std::uint8_t>(last_inbox_)});
+    if (self_ == 0) out.send(1, Bytes{0xEE});  // some unicast traffic too
+  }
+  void on_round_end(Round, std::span<const Envelope> inbox) override {
+    last_inbox_ = inbox.size();
+    for (const Envelope& e : inbox) {
+      received_.push_back({e.from, e.payload.bytes()});
+    }
+  }
+
+  std::vector<std::pair<PartyId, Bytes>> received_;
+
+ private:
+  PartyId self_;
+  std::size_t last_inbox_ = 0;
+};
+
+struct Transcript {
+  std::string trace;
+  std::vector<std::vector<std::pair<PartyId, Bytes>>> received;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+Transcript run_chatty(std::size_t threads, std::size_t n, Round rounds,
+                      bool with_adversary) {
+  Engine engine(n, 2, EngineOptions{threads});
+  std::vector<ChattyProcess*> procs;
+  for (PartyId p = 0; p < n; ++p) {
+    auto proc = std::make_unique<ChattyProcess>(p);
+    procs.push_back(proc.get());
+    engine.set_process(p, std::move(proc));
+  }
+  if (with_adversary) {
+    engine.set_adversary(std::make_unique<FuzzAdversary>(
+        std::vector<PartyId>{2, static_cast<PartyId>(n - 1)}, /*seed=*/7,
+        /*min=*/4, /*max=*/12));
+  }
+  RecordingTracer tracer(/*payloads=*/true);
+  engine.set_tracer(&tracer);
+  engine.run(rounds);
+
+  Transcript t;
+  t.trace = tracer.text();
+  for (const ChattyProcess* proc : procs) t.received.push_back(proc->received_);
+  t.messages = engine.stats().total_messages();
+  t.bytes = engine.stats().total_bytes();
+  return t;
+}
+
+TEST(EngineThreads, TranscriptIdenticalAcrossThreadCounts) {
+  for (const bool adversarial : {false, true}) {
+    const Transcript serial = run_chatty(1, 9, 6, adversarial);
+    EXPECT_GT(serial.messages, 0u);
+    for (const std::size_t threads : {2u, 3u, 8u}) {
+      const Transcript parallel = run_chatty(threads, 9, 6, adversarial);
+      EXPECT_EQ(parallel.trace, serial.trace)
+          << "threads=" << threads << " adversarial=" << adversarial;
+      EXPECT_EQ(parallel.received, serial.received);
+      EXPECT_EQ(parallel.messages, serial.messages);
+      EXPECT_EQ(parallel.bytes, serial.bytes);
+    }
+  }
+}
+
+TEST(EngineThreads, ThreadsClampToPartyCount) {
+  const Engine engine(5, 1, EngineOptions{64});
+  EXPECT_LE(engine.threads(), 5u);
+}
+
+/// Flips the first byte of every message addressed to party 0 — through
+/// the COW handle, exactly like the net fault layer's corrupt-link path.
+class CorruptForPartyZero final : public LinkLayer {
+ public:
+  std::vector<Envelope> deliver(Round, std::vector<Envelope> queued) override {
+    for (Envelope& e : queued) {
+      if (e.to == 0 && !e.payload.empty()) {
+        e.payload.mutable_bytes()[0] ^= 0xFF;
+      }
+    }
+    return queued;
+  }
+};
+
+// A broadcast's payload is one shared buffer across all n envelopes; a
+// corrupt link that rewrites party 0's copy must detach, never alias —
+// parties 1..n-1 see pristine bytes, at every thread count.
+TEST(EngineThreads, CorruptLinkDetachesSharedBroadcastPayloads) {
+  for (const std::size_t threads : {1u, 4u}) {
+    Engine engine(6, 1, EngineOptions{threads});
+    std::vector<ChattyProcess*> procs;
+    for (PartyId p = 0; p < 6; ++p) {
+      auto proc = std::make_unique<ChattyProcess>(p);
+      procs.push_back(proc.get());
+      engine.set_process(p, std::move(proc));
+    }
+    CorruptForPartyZero link;
+    engine.set_link_layer(&link);
+    engine.run(1);
+
+    for (PartyId p = 0; p < 6; ++p) {
+      ASSERT_FALSE(procs[p]->received_.empty());
+      for (const auto& [from, bytes] : procs[p]->received_) {
+        if (bytes.size() != 3) continue;  // unicast 0xEE probe
+        if (p == 0) {
+          EXPECT_EQ(bytes[0], 1 ^ 0xFF)
+              << "party 0's copy must carry the corruption";
+        } else {
+          EXPECT_EQ(bytes[0], 1)
+              << "party " << p << " saw party 0's corruption (aliasing!)"
+              << " threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace treeaa::sim

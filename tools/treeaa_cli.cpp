@@ -6,7 +6,8 @@
 //   treeaa_cli bounds <D> <n> <t>              round bounds for a diameter
 //   treeaa_cli run <file|-> --t <t> --inputs <l1,l2,...>
 //              [--adversary none|silent|fuzz|split] [--engine bdh|classic]
-//              [--seed <s>] [--quiet] [--metrics <file|->] [--report json]
+//              [--seed <s>] [--threads <k>] [--quiet]
+//              [--metrics <file|->] [--report json]
 //              [--trace <file|->] [--trace-format text|jsonl] [--timings]
 //
 // `-` reads the tree from stdin, so commands compose:
@@ -59,7 +60,7 @@ using namespace treeaa;
       "  treeaa_cli bounds <D> <n> <t>\n"
       "  treeaa_cli run <file|-> --t <t> --inputs <l1,l2,...>\n"
       "             [--adversary none|silent|fuzz|split] [--engine "
-      "bdh|classic] [--seed <s>] [--quiet]\n"
+      "bdh|classic] [--seed <s>] [--threads <k>] [--quiet]\n"
       "             [--metrics <file|->] [--report json] "
       "[--trace <file|->] [--trace-format text|jsonl] [--timings]\n"
       "  treeaa_cli run-async <file|-> --t <t> --inputs <l1,l2,...>\n"
@@ -183,6 +184,7 @@ int cmd_run(const std::vector<std::string>& args) {
   std::string adversary = "none";
   std::string engine = "bdh";
   std::uint64_t seed = 1;
+  std::size_t threads = 1;
   bool quiet = false;
   std::string metrics_path;
   std::string report_mode;
@@ -204,6 +206,8 @@ int cmd_run(const std::vector<std::string>& args) {
       engine = next();
     } else if (args[i] == "--seed") {
       seed = std::stoull(next());
+    } else if (args[i] == "--threads") {
+      threads = std::stoul(next());
     } else if (args[i] == "--quiet") {
       quiet = true;
     } else if (args[i] == "--metrics") {
@@ -277,9 +281,12 @@ int cmd_run(const std::vector<std::string>& args) {
     report.add_param("seed", seed);
   }
 
+  // --threads only changes wall-clock: outputs, reports and traces are
+  // byte-identical to the serial engine for any value.
   const auto result =
       core::run_tree_aa(tree, inputs, t, opts, std::move(adv),
-                        hooks.active() ? &hooks : nullptr);
+                        hooks.active() ? &hooks : nullptr,
+                        sim::EngineOptions{threads});
 
   std::vector<VertexId> honest_inputs;
   for (PartyId p = 0; p < n; ++p) {

@@ -3,7 +3,8 @@
 //   treeaa_net <file|-> --t <t> --inputs <l1,l2,...>
 //              [--adversary none|silent|fuzz] [--faults <spec>]
 //              [--seed <s>] [--timeout-ms <m>] [--engine bdh|classic]
-//              [--report <file|->] [--no-crosscheck] [--quiet]
+//              [--threads <k>] [--report <file|->] [--no-crosscheck]
+//              [--quiet]
 //
 // Every party runs on its own thread behind the loopback mesh
 // (docs/NET.md); `--faults` injects deterministic link faults, e.g.
@@ -39,7 +40,8 @@ using namespace treeaa;
       "             [--adversary none|silent|fuzz] [--corrupt <k<=t>]\n"
       "             [--faults <spec>]\n"
       "             [--seed <s>] [--timeout-ms <m>] [--engine bdh|classic]\n"
-      "             [--report <file|->] [--no-crosscheck] [--quiet]\n"
+      "             [--threads <k>] [--report <file|->] [--no-crosscheck] "
+      "[--quiet]\n"
       "\n"
       "fault spec keys: drop, delay, dup, corrupt, reorder (probabilities),\n"
       "delay-rounds=<k>, crash=<party>@<round> (repeatable)\n";
@@ -105,6 +107,8 @@ int run(const std::vector<std::string>& args) {
       engine = next();
     } else if (args[i] == "--report") {
       report_path = next();
+    } else if (args[i] == "--threads") {
+      cfg.threads = std::stoul(next());
     } else if (args[i] == "--no-crosscheck") {
       cfg.crosscheck = false;
     } else if (args[i] == "--quiet") {

@@ -1,7 +1,8 @@
 // treeaa_sweep — run a declarative experiment sweep (docs/SWEEPS.md).
 //
-//   treeaa_sweep --spec <file|-> [--threads N] [--out <file|->]
-//                [--chunk N] [--full] [--timings] [--seed S] [--quiet]
+//   treeaa_sweep --spec <file|-> [--threads N] [--run-threads K]
+//                [--out <file|->] [--chunk N] [--full] [--timings]
+//                [--seed S] [--quiet]
 //                [--expand-only]
 //
 // Reads a sweep spec (JSON), expands it into its flat cell grid, executes
@@ -13,6 +14,9 @@
 // adds the wall-clock section.
 //
 //   --threads 0     use all hardware threads
+//   --run-threads K worker lanes inside each cell's engine (default 1);
+//                   the thread budget is shared: --threads is the total,
+//                   and cells run on threads/K workers
 //   --full          run with per-cell run reports and embed them in rows
 //   --seed S        override the spec's seed
 //   --expand-only   print the cell count and exit without running
@@ -38,7 +42,8 @@ using namespace treeaa;
 [[noreturn]] void usage(const std::string& error = "") {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
   std::cerr << "usage:\n"
-               "  treeaa_sweep --spec <file|-> [--threads N] [--out <file|->]\n"
+               "  treeaa_sweep --spec <file|-> [--threads N] "
+               "[--run-threads K] [--out <file|->]\n"
                "               [--chunk N] [--full] [--timings] [--seed S]\n"
                "               [--quiet] [--expand-only]\n";
   std::exit(2);
@@ -81,6 +86,8 @@ int main(int argc, char** argv) {
       out_path = next();
     } else if (args[i] == "--threads") {
       sweep_opts.threads = std::stoul(next());
+    } else if (args[i] == "--run-threads") {
+      sweep_opts.run_threads = std::stoul(next());
     } else if (args[i] == "--chunk") {
       sweep_opts.chunk = std::stoul(next());
     } else if (args[i] == "--full") {
