@@ -6,7 +6,9 @@
 //   Table E1a: rounds to 1-agreement as a function of the input spread D,
 //     compared with the Theorem 3 closed-form bound
 //     ceil(7 log2(D)/log2 log2(D)) and the exact Fekete lower bound
-//     R*(D) = min{R : K(R, D) <= 1}.
+//     R*(D) = min{R : K(R, D) <= 1}. The within_fekete column is the
+//     convergence ledger's verdict (exp/ledger.h): the protocol's round
+//     count is consistent with Theorem 2 iff rounds >= R*(D).
 //
 //   Table E1b: per-iteration honest range under (a) no adversary, (b) the
 //     optimal budget-split adversary, against the per-iteration theoretical
@@ -23,6 +25,7 @@
 
 #include "bounds/fekete.h"
 #include "common/table.h"
+#include "exp/ledger.h"
 #include "harness/runner.h"
 #include "obs/bench_report.h"
 #include "realaa/adversaries.h"
@@ -46,7 +49,7 @@ void table_e1a(obs::BenchReporter& reporter) {
                "===\n";
   const std::size_t n = 16, t = 5;
   Table table({"D", "iterations", "rounds", "thm3_bound", "fekete_lower",
-               "final_range"});
+               "within_fekete", "final_range"});
   for (double D : {10.0, 100.0, 1e3, 1e4, 1e5, 1e6}) {
     const auto cfg = config_for(n, t, D);
     const auto inputs = harness::spread_real_inputs(n, 0.0, D);
@@ -62,6 +65,8 @@ void table_e1a(obs::BenchReporter& reporter) {
                std::to_string(run.rounds),
                std::to_string(realaa::theorem3_round_bound(D, 1.0)),
                std::to_string(bounds::lower_bound_rounds(D, n, t)),
+               exp::within_fekete_bound(D, 1.0, n, t, run.rounds) ? "yes"
+                                                                  : "NO",
                fmt_double(run.output_range())});
   }
   std::cout << render_for_output(table) << "\n";
@@ -128,7 +133,7 @@ void table_e1b(obs::BenchReporter& reporter) {
 void table_e1c(obs::BenchReporter& reporter) {
   std::cout << "=== E1c: rounds across (n, t) at D = 1e4 ===\n";
   Table table({"n", "t", "iterations", "rounds", "fekete_lower",
-               "final_range"});
+               "within_fekete", "final_range"});
   for (std::size_t n : {4u, 7u, 13u, 25u, 40u, 64u}) {
     const std::size_t t = (n - 1) / 3;
     const double D = 1e4;
@@ -145,6 +150,8 @@ void table_e1c(obs::BenchReporter& reporter) {
     table.row({std::to_string(n), std::to_string(t),
                std::to_string(cfg.iterations()), std::to_string(run.rounds),
                std::to_string(bounds::lower_bound_rounds(D, n, t)),
+               exp::within_fekete_bound(D, 1.0, n, t, run.rounds) ? "yes"
+                                                                  : "NO",
                fmt_double(run.output_range())});
   }
   std::cout << render_for_output(table) << "\n";

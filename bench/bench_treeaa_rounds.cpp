@@ -5,6 +5,8 @@
 //   * the Theorem 4 envelope 2 * ceil(7 log2(2|V|)/log2 log2(2|V|)), and
 //   * the prior state of the art O(log D(T)) (the NR-style baseline's round
 //     budget on the same tree).
+// The within_fekete column is the convergence ledger's budget-feasibility
+// verdict (exp/ledger.h): rounds >= R*(D(T)) per Theorem 2.
 //
 // Expected shape: TreeAA's rounds grow sublogarithmically in |V| (the
 // log/loglog curve), are independent of the tree family beyond |V| and D,
@@ -17,6 +19,7 @@
 #include "baselines/iterated_tree_aa.h"
 #include "common/table.h"
 #include "core/api.h"
+#include "exp/ledger.h"
 #include "harness/runner.h"
 #include "obs/bench_report.h"
 #include "realaa/rounds.h"
@@ -29,7 +32,7 @@ using namespace treeaa;
 void scaling_table(obs::BenchReporter& reporter) {
   std::cout << "=== E2a: TreeAA measured rounds vs |V| (n = 7, t = 2) ===\n";
   Table table({"family", "|V|", "D(T)", "rounds(TreeAA)", "thm4_envelope",
-               "rounds(NR baseline)"});
+               "within_fekete", "rounds(NR baseline)"});
   Rng rng(2025);
   const std::size_t n = 7, t = 2;
   for (const TreeFamily family : all_tree_families()) {
@@ -46,9 +49,12 @@ void scaling_table(obs::BenchReporter& reporter) {
           2 * realaa::theorem3_round_bound(
                   static_cast<double>(2 * tree.n()), 1.0);
       baselines::IteratedTreeConfig base_cfg{n, t};
+      // Ledger verdict for the vertex protocol: D = D(T), eps = 1.
+      const bool within = exp::within_fekete_bound(
+          static_cast<double>(tree.diameter()), 1.0, n, t, run.rounds);
       table.row({tree_family_name(family), std::to_string(tree.n()),
                  std::to_string(tree.diameter()), std::to_string(run.rounds),
-                 std::to_string(envelope),
+                 std::to_string(envelope), within ? "yes" : "NO",
                  std::to_string(base_cfg.rounds(tree))});
       if (!check.ok()) {
         std::cout << "!! AA violated on " << tree_family_name(family)
@@ -80,7 +86,7 @@ void growth_table() {
 void resilience_table(obs::BenchReporter& reporter) {
   std::cout << "=== E2c: rounds vs resilience on a 1000-vertex path ===\n";
   const auto tree = make_path(1000);
-  Table table({"n", "t", "rounds(TreeAA)", "1-agreement"});
+  Table table({"n", "t", "rounds(TreeAA)", "within_fekete", "1-agreement"});
   for (std::size_t n : {4u, 7u, 13u, 22u, 31u}) {
     const std::size_t t = (n - 1) / 3;
     const auto inputs = harness::spread_vertex_inputs(tree, n);
@@ -90,7 +96,12 @@ void resilience_table(obs::BenchReporter& reporter) {
     const auto check =
         core::check_agreement(tree, inputs, run.honest_outputs());
     table.row({std::to_string(n), std::to_string(t),
-               std::to_string(run.rounds), check.ok() ? "yes" : "NO"});
+               std::to_string(run.rounds),
+               exp::within_fekete_bound(static_cast<double>(tree.diameter()),
+                                        1.0, n, t, run.rounds)
+                   ? "yes"
+                   : "NO",
+               check.ok() ? "yes" : "NO"});
   }
   std::cout << render_for_output(table);
   std::cout << "(rounds are resilience-independent: the iteration count "

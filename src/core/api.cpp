@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "obs/probe.h"
+#include "obs/span.h"
 #include "sim/engine.h"
 #include "trees/euler.h"
 #include "trees/paths.h"
@@ -90,8 +91,32 @@ RunResult run_tree_aa(const LabeledTree& tree,
           static_cast<std::uint64_t>(
               procs.empty() ? 0 : procs[0]->telemetry().phase1_rounds));
     }
-    obs::ProbeTracer probe(hooks->tracer);
+    // Tracer chain: probe -> spans -> caller's transcript tracer.
+    std::optional<obs::SpanTracer> span_tracer;
+    sim::Tracer* chained = hooks->tracer;
+    if (hooks->spans != nullptr) {
+      span_tracer.emplace(*hooks->spans, chained);
+      chained = &*span_tracer;
+    }
+    obs::ProbeTracer probe(chained);
     engine.set_tracer(&probe);
+    obs::DriverSpans driver_spans(hooks->spans);
+    const std::size_t phase1_rounds =
+        procs.empty() ? 0 : procs[0]->telemetry().phase1_rounds;
+    // TreeAA = phase-1 flooding, then PathsFinder's gradecast iterations
+    // (three sub-rounds each: leader/echo/support).
+    const auto round_name = [&](Round r) -> std::string {
+      if (r <= phase1_rounds) {
+        return "phase1 \xc2\xb7 round " + std::to_string(r);
+      }
+      const Round r2 = r - static_cast<Round>(phase1_rounds);
+      static constexpr const char* kStep[3] = {"leader", "echo", "support"};
+      return "phase2 \xc2\xb7 iter " + std::to_string((r2 - 1) / 3 + 1) +
+             " \xc2\xb7 " + kStep[(r2 - 1) % 3];
+    };
+    const perf::WorkerPool* pool = engine.pool();
+    perf::WorkerPool::DispatchStats pool_base;
+    if (pool != nullptr && report != nullptr) pool_base = pool->stats();
     obs::Histogram* round_sink =
         report == nullptr ? nullptr
                           : &report->timing.histogram(
@@ -102,14 +127,19 @@ RunResult run_tree_aa(const LabeledTree& tree,
                                 "run_wall_ns", obs::ScopeTimer::wall_bounds()));
     for (std::size_t r = 0; r < rounds; ++r) {
       obs::ScopeTimer round_timer(round_sink);
+      driver_spans.begin_round();
       engine.run(static_cast<Round>(1));
+      driver_spans.end_round(round_name(static_cast<Round>(r + 1)));
       if (report != nullptr && probe.current() != nullptr) {
         snapshot_tree_aa(index, engine, procs, *probe.current());
       }
     }
     run_timer.stop();
     engine.set_tracer(nullptr);
-    if (report != nullptr) report->per_round = probe.take();
+    if (report != nullptr) {
+      report->per_round = probe.take();
+      obs::fill_pool_gauges(report->timing, pool, pool_base);
+    }
   } else {
     engine.run(static_cast<Round>(rounds));
   }

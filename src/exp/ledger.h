@@ -1,0 +1,154 @@
+// The theory-vs-observed convergence ledger (`treeaa.trace_report/1`).
+//
+// The paper's headline claims are per-round contraction bounds: Theorem 1/2
+// (Fekete's K(R, D) lower bound), Theorem 3 (RealAA's accelerated
+// contraction), and the classic ½-convergence baseline [12]. The repo
+// records per-round `value_diameter` samples in every run report — this
+// module *checks* them. build_ledger() turns a run's per-round diameter
+// series into one row per round, compares each against the tightest proven
+// envelope that applies to the protocol, and summarizes:
+//
+//   * budget feasibility — the protocol's round budget must be >= Fekete's
+//     lower bound for its claimed (D, ε, n, t); a report claiming fewer
+//     rounds describes an impossible protocol (the mislabeled-trace oracle);
+//   * non-expansion — the honest diameter never grows round over round;
+//   * contraction envelopes — at iteration ends, the diameter must sit
+//     under the worst-case product bound of Theorem 3 (RealAA: balanced
+//     corruption-budget split over the elapsed iterations) or under the
+//     2^-k halving guarantee (the iterated baseline);
+//   * Fekete consistency — observed rounds-to-ε vs the lower bound. Fekete
+//     is worst-case over executions, so a fast lucky run is *not* a
+//     violation; `within_fekete` reports the comparison so adversarial
+//     scenarios (where the bound must hold observationally) can assert it.
+//
+// Everything here is deterministic: the ledger and its JSON rendering use
+// only report contents, never the wall clock.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace treeaa::obs {
+struct RunReport;
+}
+
+namespace treeaa::exp {
+
+class JsonValue;
+
+inline constexpr const char* kTraceReportSchema = "treeaa.trace_report/1";
+
+/// What the ledger needs to know about a run. Built from an obs::RunReport
+/// (in-process: benches) or a parsed run-report JSON document (offline:
+/// tools/treeaa_trace).
+struct LedgerInput {
+  std::string protocol;
+  std::size_t n = 0;
+  std::size_t t = 0;
+  /// The protocol's round budget (rounds actually run).
+  Round rounds = 0;
+  /// Claimed initial diameter: known_range (real protocols) or the tree
+  /// diameter (vertex protocols) — the D of the protocol's round-count
+  /// claim, which is what budget feasibility is checked against.
+  double d0 = 0.0;
+  /// Agreement target: eps (real protocols), 1 (vertex protocols).
+  double eps = 1.0;
+  /// (round, observed honest diameter), rounds ascending; rounds whose
+  /// sample had no engaged diameter are simply absent.
+  std::vector<std::pair<Round, double>> diameters;
+};
+
+/// One ledger row per observed round.
+struct LedgerRow {
+  Round round = 0;
+  double diameter = 0.0;
+  /// diameter / previous observed diameter; disengaged on the first row or
+  /// when the previous diameter is 0.
+  std::optional<double> contraction;
+  /// The proven worst-case diameter envelope for this round, when one
+  /// applies (iteration-end rounds of the gradecast protocols).
+  std::optional<double> envelope;
+  bool violation = false;
+  std::string note;  // reason, only when violation
+};
+
+/// One summary check.
+struct LedgerCheck {
+  std::string name;
+  bool ok = true;
+  std::string detail;
+};
+
+struct Ledger {
+  LedgerInput input;
+  std::vector<LedgerRow> rows;
+
+  /// Fekete: smallest R with K(R, d0/eps) <= 1.
+  std::size_t fekete_lower_rounds = 0;
+  /// Theorem 2's closed form for (d0/eps, n, t).
+  double theorem2_closed_form = 0.0;
+  /// Theorem 3's round bound for (d0, eps); engaged for real protocols.
+  std::optional<std::uint64_t> theorem3_round_bound;
+
+  /// First observed round with diameter <= eps (never engaged if the run
+  /// ends above eps).
+  std::optional<Round> rounds_to_eps;
+  /// rounds_to_eps >= fekete_lower_rounds (vacuously true when the run
+  /// never reached eps). Informational — see header comment.
+  bool within_fekete = true;
+
+  std::vector<LedgerCheck> checks;
+  std::size_t violations = 0;  // rows + failed checks
+
+  [[nodiscard]] bool ok() const { return violations == 0; }
+};
+
+/// Worst-case contraction envelope after `iterations` gradecast iterations
+/// of RealAA from diameter d0: d0 * sup{prod t_i : sum t_i <= t} /
+/// (n - 2t)^iterations (the Theorem 3 accounting, prefix form). Requires
+/// n > 3t.
+[[nodiscard]] double realaa_envelope(double d0, std::size_t n, std::size_t t,
+                                     std::size_t iterations);
+
+/// "Within Fekete" verdict used by the bench tables: a protocol that runs
+/// for `rounds` and claims eps-agreement from diameter D is consistent with
+/// Theorem 2 iff rounds >= lower_bound_rounds(D/eps, n, t).
+[[nodiscard]] bool within_fekete_bound(double D, double eps, std::size_t n,
+                                       std::size_t t, std::size_t rounds);
+
+/// Builds LedgerInput from an in-process run report (benches). Returns
+/// std::nullopt when the report lacks what the ledger needs (no diameter
+/// series, unknown protocol parameters).
+[[nodiscard]] std::optional<LedgerInput> ledger_input_from_report(
+    const obs::RunReport& report);
+
+/// Builds LedgerInput from a parsed `treeaa.run_report/1` document
+/// (tools/treeaa_trace). `eps_override`, when engaged, replaces the
+/// report's eps (vertex protocols have none and default to 1).
+[[nodiscard]] std::optional<LedgerInput> ledger_input_from_json(
+    const JsonValue& report, std::optional<double> eps_override = {});
+
+/// Runs every applicable check over the input.
+[[nodiscard]] Ledger build_ledger(const LedgerInput& input);
+
+/// Optional span/transcript statistics echoed into the trace report (the
+/// analyzer fills them from sidecar files; counts only, no timestamps).
+struct TraceStats {
+  std::optional<std::uint64_t> span_events;
+  std::optional<std::uint64_t> flow_events;
+  std::vector<std::string> tracks;
+  std::optional<std::uint64_t> transcript_events;
+  std::optional<std::uint64_t> transcript_messages;
+};
+
+/// Renders the `treeaa.trace_report/1` document: run identity, bound
+/// constants, the per-round ledger, summary checks, and optional trace
+/// statistics. Fully deterministic for a given input.
+[[nodiscard]] std::string trace_report_json(const Ledger& ledger,
+                                            const TraceStats& stats = {});
+
+}  // namespace treeaa::exp

@@ -14,7 +14,9 @@
 #include "core/api.h"
 #include "core/paths_finder.h"
 #include "harness/runner.h"
+#include "obs/probe.h"
 #include "sim/strategies.h"
+#include "sim/trace.h"
 #include "trees/generators.h"
 
 namespace treeaa::exp {
@@ -236,13 +238,21 @@ void run_real_cell(const SweepSpec& spec, const Cell& cell,
 }  // namespace
 
 CellResult run_cell(const SweepSpec& spec, const Cell& cell,
-                    bool collect_report, std::size_t run_threads) {
+                    bool collect_report, std::size_t run_threads,
+                    const std::string& trace_format) {
   CellResult result;
   result.cell = cell;
 
   obs::Hooks hooks;
   if (collect_report) hooks.report = &result.report;
-  const obs::Hooks* hooks_ptr = collect_report ? &hooks : nullptr;
+  sim::RecordingTracer text_tracer;
+  obs::JsonlTracer jsonl_tracer;
+  if (!trace_format.empty()) {
+    hooks.tracer = trace_format == "jsonl"
+                       ? static_cast<sim::Tracer*>(&jsonl_tracer)
+                       : static_cast<sim::Tracer*>(&text_tracer);
+  }
+  const obs::Hooks* hooks_ptr = hooks.active() ? &hooks : nullptr;
 
   try {
     Rng parent(spec.seed);
@@ -256,6 +266,10 @@ CellResult run_cell(const SweepSpec& spec, const Cell& cell,
   } catch (const std::exception& e) {
     result.ok = false;
     result.error = e.what();
+  }
+  if (!trace_format.empty()) {
+    result.trace = trace_format == "jsonl" ? jsonl_tracer.text()
+                                           : text_tracer.text();
   }
   return result;
 }
@@ -280,8 +294,8 @@ SweepResult run_sweep(const SweepSpec& spec, const std::vector<Cell>& cells,
 
   const auto start = std::chrono::steady_clock::now();
   parallel_for(cells.size(), sched, [&](std::size_t i) {
-    result.cells[i] =
-        run_cell(spec, cells[i], opts.collect_reports, run_threads);
+    result.cells[i] = run_cell(spec, cells[i], opts.collect_reports,
+                               run_threads, opts.trace_format);
   });
   const auto end = std::chrono::steady_clock::now();
 

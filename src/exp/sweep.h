@@ -60,6 +60,11 @@ struct CellResult {
   /// SweepOptions::collect_reports).
   obs::RunReport report;
 
+  /// Engine transcript ("treeaa.trace/1" for jsonl), filled only when
+  /// SweepOptions::trace_format is set. Deterministic — transcripts never
+  /// carry wall-clock data — so traced sweeps stay thread-count-identical.
+  std::string trace;
+
   [[nodiscard]] bool aa_ok() const { return ok && validity && agreement; }
 };
 
@@ -78,6 +83,10 @@ struct SweepOptions {
   /// Attach an obs::RunReport to every cell (per-round series in the
   /// report's `rows[*].report`). Costs the probes' overhead per cell.
   bool collect_reports = false;
+  /// Record every cell's engine transcript into CellResult::trace:
+  /// "" = off, "text" | "jsonl" otherwise (treeaa_cli's --trace-format
+  /// vocabulary).
+  std::string trace_format = {};
 };
 
 /// Wall-clock facts of a sweep execution. The only non-deterministic output
@@ -94,10 +103,12 @@ struct SweepResult {
 };
 
 /// Runs a single cell. Deterministic given (spec.seed, cell) — the engine
-/// thread count never changes the result.
+/// thread count never changes the result. `trace_format` as in
+/// SweepOptions.
 [[nodiscard]] CellResult run_cell(const SweepSpec& spec, const Cell& cell,
                                   bool collect_report = false,
-                                  std::size_t run_threads = 1);
+                                  std::size_t run_threads = 1,
+                                  const std::string& trace_format = {});
 
 /// Runs `cells` (as produced by expand(spec)) on `opts.threads` workers.
 [[nodiscard]] SweepResult run_sweep(const SweepSpec& spec,

@@ -10,6 +10,7 @@
 #include "core/tree_aa.h"
 #include "net/behaviors.h"
 #include "net/runtime.h"
+#include "obs/span.h"
 #include "sim/engine.h"
 #include "sim/strategies.h"
 #include "trees/euler.h"
@@ -93,6 +94,8 @@ DeployResult run_tree_aa_net(const LabeledTree& tree,
   net_options.faults = cfg.faults;
   net_options.seed = cfg.seed;
   net_options.round_timeout_ms = cfg.round_timeout_ms;
+  net_options.spans = cfg.spans;
+  if (cfg.timings) net_options.timing = &result.report.timing;
   NetRunner runner(n, std::move(net_options));
   std::vector<core::TreeAAProcess*> net_procs(n, nullptr);
   for (PartyId p = 0; p < n; ++p) {
@@ -135,9 +138,20 @@ DeployResult run_tree_aa_net(const LabeledTree& tree,
       engine.set_adversary(
           std::make_unique<sim::PuppetAdversary>(std::move(puppets)));
     }
+    // Same tracer chain as the drivers: spans (prefixed so the replay's
+    // tracks sit apart from the socket threads') before the caller's
+    // transcript tracer.
+    std::optional<obs::SpanTracer> span_tracer;
+    sim::Tracer* chained = cfg.sim_tracer;
+    if (cfg.spans != nullptr) {
+      span_tracer.emplace(*cfg.spans, chained, "replay ");
+      chained = &*span_tracer;
+    }
+    if (chained != nullptr) engine.set_tracer(chained);
     FaultLinkLayer link_layer(cfg.faults, n, cfg.seed);
     engine.set_link_layer(&link_layer);
     engine.run(rounds);
+    engine.set_tracer(nullptr);
 
     result.sim_outputs.resize(n);
     for (PartyId p = 0; p < n; ++p) {

@@ -32,6 +32,13 @@
 #include "net/report.h"
 #include "trees/labeled_tree.h"
 
+namespace treeaa::obs {
+class SpanSink;
+}
+namespace treeaa::sim {
+class Tracer;
+}
+
 namespace treeaa::net {
 
 // The net tool speaks the registry's adversary vocabulary
@@ -64,6 +71,20 @@ struct DeployConfig {
   /// is byte-identical at any value. The socket world always runs one OS
   /// thread per party regardless.
   std::size_t threads = 1;
+
+  // Optional observability (docs/OBSERVABILITY.md). None of these changes
+  // a single byte of the canonical report or the run's outputs.
+  /// Timeline sink: every socket party thread gets a "net/party P" track,
+  /// and the cross-check replay engine renders its phases/parties/lanes
+  /// under a "replay" prefix into the same file.
+  obs::SpanSink* spans = nullptr;
+  /// Collect "net_barrier_wait_ns" / "net_wire_lag_ns" histograms into
+  /// NetReport::timing (surfaced by to_json(true)).
+  bool timings = false;
+  /// Transcript tracer attached to the cross-check replay engine — the net
+  /// counterpart of treeaa_cli's --trace (the socket world itself has no
+  /// engine transcript; the same-seed replay is its faithful mirror).
+  sim::Tracer* sim_tracer = nullptr;
 };
 
 struct DeployResult {

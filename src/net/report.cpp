@@ -39,7 +39,7 @@ void write_parties(obs::JsonWriter& w, const std::vector<PartyId>& parties) {
 
 }  // namespace
 
-std::string NetReport::to_json() const {
+std::string NetReport::to_json(bool include_timings) const {
   std::string out;
   obs::JsonWriter w(out);
   w.begin_object();
@@ -115,6 +115,10 @@ std::string NetReport::to_json() const {
   w.key("sim_reference_match");
   w.value(sim_reference_match);
   w.end_object();
+  if (include_timings && !timing.empty()) {
+    w.key("timing");
+    timing.write_json(w);
+  }
   w.end_object();
   return out;
 }

@@ -6,7 +6,9 @@
 // counters come from the seeded fault decision streams and the lock-step
 // synchronizer, never from wall-clock observations, so two same-seed runs
 // serialize byte-identically — the property the multi-thread determinism
-// tests pin down. There is deliberately no timing section.
+// tests pin down. The one exception mirrors RunReport: an opt-in "timing"
+// section (barrier-wait and wire-lag histograms) that only appears when
+// requested via to_json(true) and is never part of the canonical form.
 #pragma once
 
 #include <cstdint>
@@ -62,7 +64,12 @@ struct NetReport {
   /// when the cross-check was disabled).
   bool sim_reference_match = false;
 
-  [[nodiscard]] std::string to_json() const;
+  /// Wall-clock synchronizer probes ("net_barrier_wait_ns",
+  /// "net_wire_lag_ns"), filled when DeployConfig::timings is set. The only
+  /// non-reproducible section; excluded by to_json(false).
+  obs::Registry timing;
+
+  [[nodiscard]] std::string to_json(bool include_timings = false) const;
 };
 
 }  // namespace treeaa::net

@@ -3,6 +3,7 @@
 #include <poll.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <exception>
@@ -14,6 +15,7 @@
 #include "common/check.h"
 #include "net/frame.h"
 #include "net/socket.h"
+#include "obs/span.h"
 #include "sim/envelope.h"
 
 namespace treeaa::net {
@@ -34,9 +36,16 @@ void LinkStats::add(const LinkStats& other) {
 
 namespace {
 
+/// Nanoseconds on the raw steady clock — the latency probes only ever look
+/// at differences, so no epoch normalization is needed.
+[[nodiscard]] std::int64_t steady_ns() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
 /// One party's view of its connection to one peer. Used only by the owning
 /// party's thread.
 struct PeerLink {
+  PartyId peer = kNoParty;
   Socket* sock = nullptr;
   std::unique_ptr<LinkFaults> faults;  // self -> peer decision stream
   FrameReader reader;
@@ -72,6 +81,20 @@ struct NetRunner::Party {
   PartyStats stats;
   std::thread thread;
   std::exception_ptr error;
+
+  // Latency probes (armed only when NetOptions::timing is set). The
+  // barrier-issue table is shared across parties: row q, slot r holds the
+  // steady-clock instant at which party q put its round-r barrier into its
+  // send buffers; receivers subtract it on arrival. Release/acquire keeps
+  // the read well-defined; the socket round-trip between store and load
+  // makes the value effectively always visible.
+  std::atomic<std::int64_t>* barrier_issued = nullptr;  // n * (rounds + 1)
+  Round rounds_cap = 0;
+  std::vector<double> barrier_wait_ns;
+  std::vector<double> wire_lag_ns;
+
+  // Timeline (armed only when NetOptions::spans is set).
+  obs::TrackId track{};
 
   void run_rounds(Round rounds);
 
@@ -130,6 +153,17 @@ void NetRunner::Party::read_link(PeerLink& link) {
       continue;
     }
     if (frame->kind == FrameKind::kBarrier) {
+      if (barrier_issued != nullptr && frame->round > link.barrier_cursor &&
+          frame->round <= rounds_cap) {
+        const std::int64_t issued =
+            barrier_issued[link.peer * (rounds_cap + 1) + frame->round].load(
+                std::memory_order_acquire);
+        if (issued > 0) {
+          wire_lag_ns.push_back(
+              static_cast<double>(std::max<std::int64_t>(
+                  steady_ns() - issued, 0)));
+        }
+      }
       link.barrier_cursor = std::max(link.barrier_cursor, frame->round);
     } else if (frame->round <= link.barrier_cursor) {
       // Behind the link's barrier: a fault-delayed frame surfacing late.
@@ -173,6 +207,11 @@ void NetRunner::Party::poll_round(Round r) {
         if (!link.dead && link.barrier_cursor < r && barrier_expected(q, r)) {
           link.dead = true;
           ++stats.timeouts;
+          if (options->spans != nullptr) {
+            options->spans->instant(
+                track, "timeout peer " + std::to_string(q),
+                options->spans->now_ns());
+          }
         }
       }
       return;  // any unflushed bytes stay buffered for the next round
@@ -209,8 +248,11 @@ void NetRunner::Party::poll_round(Round r) {
 
 void NetRunner::Party::run_rounds(Round rounds) {
   const auto crash = options->faults.crash_round(self);
+  obs::SpanSink* spans = options->spans;
+  const bool timed = barrier_issued != nullptr;
   std::vector<sim::Envelope> outbox;
   for (Round r = 1; r <= rounds; ++r) {
+    const std::uint64_t round_begin = spans != nullptr ? spans->now_ns() : 0;
     // 1. Fault-delayed frames now due go on the wire first, still carrying
     //    their original round tag (the receiver discards them as stale —
     //    see the class comment in runtime.h).
@@ -228,7 +270,16 @@ void NetRunner::Party::run_rounds(Round rounds) {
     // 2. The protocol's send phase, through the ordinary Mailer.
     outbox.clear();
     sim::Mailer mailer(self, n, outbox, r);
-    process->on_round_begin(r, mailer);
+    if (spans != nullptr) {
+      const std::uint64_t send_begin = spans->now_ns();
+      process->on_round_begin(r, mailer);
+      spans->complete(track, "send", send_begin, spans->now_ns(),
+                      "{\"round\":" + std::to_string(r) +
+                          ",\"outbox\":" + std::to_string(outbox.size()) +
+                          "}");
+    } else {
+      process->on_round_begin(r, mailer);
+    }
 
     // 3. Partition per destination (send order preserved), apply the fault
     //    plan per link, frame the survivors, and close the round with a
@@ -260,10 +311,24 @@ void NetRunner::Party::run_rounds(Round rounds) {
         append_frame(link, Frame{FrameKind::kBarrier, r, {}});
       }
     }
+    if (timed && !crashed) {
+      barrier_issued[self * (rounds_cap + 1) + r].store(
+          steady_ns(), std::memory_order_release);
+    }
 
     // 4. Drain sends and wait for every live peer's barrier (or the
     //    deadline).
+    const std::uint64_t wait_begin = spans != nullptr ? spans->now_ns() : 0;
+    const std::int64_t wait_begin_raw = timed ? steady_ns() : 0;
     poll_round(r);
+    if (timed) {
+      barrier_wait_ns.push_back(
+          static_cast<double>(steady_ns() - wait_begin_raw));
+    }
+    if (spans != nullptr) {
+      spans->complete(track, "barrier", wait_begin, spans->now_ns(),
+                      "{\"round\":" + std::to_string(r) + "}");
+    }
 
     // 5. Deliver the round's inbox sorted by sender, same-sender frames in
     //    arrival order — the engine's delivery order exactly.
@@ -287,7 +352,17 @@ void NetRunner::Party::run_rounds(Round rounds) {
         }
       }
     }
-    process->on_round_end(r, inbox);
+    if (spans != nullptr) {
+      const std::uint64_t handle_begin = spans->now_ns();
+      process->on_round_end(r, inbox);
+      const std::uint64_t now = spans->now_ns();
+      spans->complete(track, "handle", handle_begin, now,
+                      "{\"round\":" + std::to_string(r) +
+                          ",\"inbox\":" + std::to_string(inbox.size()) + "}");
+      spans->complete(track, "round " + std::to_string(r), round_begin, now);
+    } else {
+      process->on_round_end(r, inbox);
+    }
     stats.rounds_completed = r;
   }
 }
@@ -328,10 +403,24 @@ void NetRunner::run(Round rounds) {
                        "party " << p << " has no process");
   }
   Mesh mesh(n_);
+  std::vector<std::atomic<std::int64_t>> barrier_issued;
+  if (options_.timing != nullptr) {
+    barrier_issued = std::vector<std::atomic<std::int64_t>>(
+        n_ * (static_cast<std::size_t>(rounds) + 1));
+  }
   for (PartyId p = 0; p < n_; ++p) {
     Party& party = *parties_[p];
+    if (options_.timing != nullptr) {
+      party.barrier_issued = barrier_issued.data();
+      party.rounds_cap = rounds;
+    }
+    if (options_.spans != nullptr) {
+      party.track =
+          options_.spans->track("net", "party " + std::to_string(p));
+    }
     for (PartyId q = 0; q < n_; ++q) {
       if (q == p) continue;
+      party.links[q].peer = q;
       party.links[q].sock = &mesh.endpoint(p, q);
       party.links[q].faults =
           std::make_unique<LinkFaults>(options_.faults, p, q, options_.seed);
@@ -368,6 +457,23 @@ void NetRunner::run(Round rounds) {
     }
   }
   if (first_error != nullptr) std::rethrow_exception(first_error);
+  if (options_.timing != nullptr) {
+    // Party order (and per-party round order) keeps the merge reproducible
+    // in structure; the sample values are wall clock, which is why these
+    // histograms live in the opt-in timing section only.
+    auto& waits = options_.timing->histogram("net_barrier_wait_ns",
+                                             obs::ScopeTimer::wall_bounds());
+    auto& lags = options_.timing->histogram("net_wire_lag_ns",
+                                            obs::ScopeTimer::wall_bounds());
+    for (PartyId p = 0; p < n_; ++p) {
+      for (const double sample : parties_[p]->barrier_wait_ns) {
+        waits.observe(sample);
+      }
+      for (const double sample : parties_[p]->wire_lag_ns) {
+        lags.observe(sample);
+      }
+    }
+  }
 }
 
 LinkStats NetRunner::link_stats(PartyId from, PartyId to) const {

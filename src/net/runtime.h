@@ -39,6 +39,10 @@
 #include "obs/metrics.h"
 #include "sim/process.h"
 
+namespace treeaa::obs {
+class SpanSink;
+}
+
 namespace treeaa::net {
 
 struct NetOptions {
@@ -47,6 +51,16 @@ struct NetOptions {
   /// Barrier deadline per round. Generous by default: the timeout is a
   /// liveness escape hatch for dead peers, not a pacing mechanism.
   int round_timeout_ms = 5000;
+  /// Timeline sink (docs/OBSERVABILITY.md): every party thread gets a
+  /// "net/party P" track with send/barrier/handle spans per round and
+  /// timeout instants. Opt-in; wall-clock; never changes report bytes.
+  obs::SpanSink* spans = nullptr;
+  /// Wall-clock registry for the synchronizer's latency histograms:
+  /// "net_barrier_wait_ns" (time each party spends in the round's
+  /// flush-and-wait loop) and "net_wire_lag_ns" (barrier issue-to-arrival
+  /// per link). Opt-in; surfaced as the net report's "timing" section,
+  /// never part of its canonical byte-deterministic form.
+  obs::Registry* timing = nullptr;
 };
 
 /// Counters for one directed link, merged from the sender's and the

@@ -36,6 +36,28 @@ void ProbeTracer::on_deliver(Round r) {
   if (downstream_ != nullptr) downstream_->on_deliver(r);
 }
 
+void ProbeTracer::on_phase_begin(Round r, sim::Phase phase) {
+  if (downstream_ != nullptr) downstream_->on_phase_begin(r, phase);
+}
+
+void ProbeTracer::on_phase_end(Round r, sim::Phase phase) {
+  if (downstream_ != nullptr) downstream_->on_phase_end(r, phase);
+}
+
+void ProbeTracer::on_party_begin(PartyId p, Round r, sim::Phase phase,
+                                 std::size_t lane) {
+  if (downstream_ != nullptr) downstream_->on_party_begin(p, r, phase, lane);
+}
+
+void ProbeTracer::on_party_end(PartyId p, Round r, sim::Phase phase,
+                               std::size_t lane) {
+  if (downstream_ != nullptr) downstream_->on_party_end(p, r, phase, lane);
+}
+
+void ProbeTracer::on_delivered(const sim::Envelope& e) {
+  if (downstream_ != nullptr) downstream_->on_delivered(e);
+}
+
 namespace {
 
 void append_event_head(std::string& line, const char* ev, Round r) {

@@ -29,6 +29,15 @@ class ProbeTracer final : public sim::Tracer {
   void on_queued(const sim::Envelope& e, bool adversarial) override;
   void on_corrupt(PartyId p, Round r) override;
   void on_deliver(Round r) override;
+  // Span-granularity events don't feed samples; forward them untouched so a
+  // chained SpanTracer still sees the full stream.
+  void on_phase_begin(Round r, sim::Phase phase) override;
+  void on_phase_end(Round r, sim::Phase phase) override;
+  void on_party_begin(PartyId p, Round r, sim::Phase phase,
+                      std::size_t lane) override;
+  void on_party_end(PartyId p, Round r, sim::Phase phase,
+                    std::size_t lane) override;
+  void on_delivered(const sim::Envelope& e) override;
 
   /// The sample of the round currently in flight (null before round 1).
   [[nodiscard]] RoundSample* current() {

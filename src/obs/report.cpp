@@ -186,4 +186,28 @@ std::string RunReport::to_json(bool include_timings) const {
   return out;
 }
 
+void fill_pool_gauges(Registry& timing, const perf::WorkerPool* pool,
+                      const perf::WorkerPool::DispatchStats& baseline) {
+  if (pool == nullptr) return;
+  const perf::WorkerPool::DispatchStats now = pool->stats();
+  const auto delta = [](std::uint64_t a, std::uint64_t b) {
+    return static_cast<double>(a - b);
+  };
+  timing.gauge("pool_lanes").set(static_cast<double>(pool->lanes()));
+  timing.gauge("pool_workers").set(static_cast<double>(pool->workers()));
+  timing.gauge("pool_dispatches")
+      .set(delta(now.dispatches, baseline.dispatches));
+  timing.gauge("pool_notify_wakeups")
+      .set(delta(now.notify_wakeups, baseline.notify_wakeups));
+  timing.gauge("pool_spin_wakeups")
+      .set(delta(now.spin_wakeups, baseline.spin_wakeups));
+  timing.gauge("pool_cv_sleeps").set(delta(now.cv_sleeps, baseline.cv_sleeps));
+  for (std::size_t lane = 0; lane < now.lane_items.size(); ++lane) {
+    const std::uint64_t before =
+        lane < baseline.lane_items.size() ? baseline.lane_items[lane] : 0;
+    timing.gauge("pool_lane_items_" + std::to_string(lane))
+        .set(delta(now.lane_items[lane], before));
+  }
+}
+
 }  // namespace treeaa::obs

@@ -19,6 +19,7 @@
 
 #include "common/types.h"
 #include "obs/metrics.h"
+#include "perf/parallel.h"
 #include "sim/stats.h"
 
 namespace treeaa::sim {
@@ -26,6 +27,8 @@ class Tracer;
 }
 
 namespace treeaa::obs {
+
+class SpanSink;
 
 /// One synchronous round as observed by the probes. Engine-level fields are
 /// always present; protocol-level fields are engaged only when the driven
@@ -130,10 +133,25 @@ struct Hooks {
   sim::Tracer* tracer = nullptr;
   /// External metrics sink shared across runs (aggregate experiments).
   Registry* registry = nullptr;
+  /// Timeline sink for causal spans and flow edges (Perfetto export). Span
+  /// files carry wall-clock timestamps and are opt-in like `timing`;
+  /// attaching one never changes report or transcript bytes.
+  SpanSink* spans = nullptr;
 
   [[nodiscard]] bool active() const {
-    return report != nullptr || tracer != nullptr || registry != nullptr;
+    return report != nullptr || tracer != nullptr || registry != nullptr ||
+           spans != nullptr;
   }
 };
+
+/// Records the per-run delta of a worker pool's dispatch counters as
+/// `pool_*` gauges in `timing`: dispatches, notify/spin wakeups, condvar
+/// sleeps, and per-lane item totals (docs/PERF.md). Pools are recycled
+/// across engines, so the driver snapshots `baseline` at engine
+/// construction and this reports the difference. The spin/sleep split is
+/// scheduling-dependent, hence the timing registry — never the canonical
+/// report. No-op when `pool` is null (serial engine).
+void fill_pool_gauges(Registry& timing, const perf::WorkerPool* pool,
+                      const perf::WorkerPool::DispatchStats& baseline);
 
 }  // namespace treeaa::obs

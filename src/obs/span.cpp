@@ -1,0 +1,374 @@
+#include "obs/span.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace treeaa::obs {
+
+// --- SpanSink --------------------------------------------------------------
+
+SpanSink::SpanSink() : epoch_(std::chrono::steady_clock::now()) {}
+
+TrackId SpanSink::track(const std::string& process,
+                        const std::string& thread) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [pit, pnew] =
+      pids_.emplace(process, static_cast<std::uint32_t>(pids_.size() + 1));
+  const std::uint32_t pid = pit->second;
+  auto [tit, tnew] = tids_.emplace(
+      std::make_pair(pid, thread),
+      static_cast<std::uint32_t>(tids_.size() + 1));
+  const TrackId id{pid, tit->second};
+  if (tnew) tracks_.emplace_back(process + "/" + thread, id);
+  return id;
+}
+
+std::uint64_t SpanSink::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void SpanSink::complete(TrackId t, std::string name, std::uint64_t begin_ns,
+                        std::uint64_t end_ns, std::string args_json) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t dur = end_ns > begin_ns ? end_ns - begin_ns : 0;
+  events_.push_back(
+      Event{'X', t, std::move(name), begin_ns, dur, 0, std::move(args_json)});
+  ++spans_;
+}
+
+void SpanSink::instant(TrackId t, std::string name, std::uint64_t ts_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{'i', t, std::move(name), ts_ns, 0, 0, {}});
+  ++instants_;
+}
+
+void SpanSink::flow_start(TrackId t, std::uint64_t id, std::uint64_t ts_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{'s', t, "msg", ts_ns, 0, id, {}});
+  ++flows_;
+}
+
+void SpanSink::flow_finish(TrackId t, std::uint64_t id, std::uint64_t ts_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(Event{'f', t, "msg", ts_ns, 0, id, {}});
+  ++flows_;
+}
+
+std::size_t SpanSink::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::size_t SpanSink::instant_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return instants_;
+}
+
+std::size_t SpanSink::flow_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flows_;
+}
+
+std::vector<std::string> SpanSink::track_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(tracks_.size());
+  for (const auto& [name, id] : tracks_) out.push_back(name);
+  return out;
+}
+
+std::string SpanSink::to_chrome_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+
+  // Metadata: name every process group and thread row.
+  std::vector<std::pair<std::uint32_t, std::string>> procs;
+  for (const auto& [name, pid] : pids_) procs.emplace_back(pid, name);
+  std::sort(procs.begin(), procs.end());
+  for (const auto& [pid, name] : procs) {
+    w.begin_object();
+    w.key("ph");
+    w.value("M");
+    w.key("pid");
+    w.value(static_cast<std::uint64_t>(pid));
+    w.key("tid");
+    w.value(std::uint64_t{0});
+    w.key("name");
+    w.value("process_name");
+    w.key("args");
+    w.begin_object();
+    w.key("name");
+    w.value(name);
+    w.end_object();
+    w.end_object();
+  }
+  for (const auto& [name, id] : tracks_) {
+    const auto slash = name.find('/');
+    w.begin_object();
+    w.key("ph");
+    w.value("M");
+    w.key("pid");
+    w.value(static_cast<std::uint64_t>(id.pid));
+    w.key("tid");
+    w.value(static_cast<std::uint64_t>(id.tid));
+    w.key("name");
+    w.value("thread_name");
+    w.key("args");
+    w.begin_object();
+    w.key("name");
+    w.value(std::string_view(name).substr(slash + 1));
+    w.end_object();
+    w.end_object();
+  }
+
+  for (const Event& e : events_) {
+    w.begin_object();
+    w.key("ph");
+    w.value(std::string_view(&e.ph, 1));
+    w.key("pid");
+    w.value(static_cast<std::uint64_t>(e.track.pid));
+    w.key("tid");
+    w.value(static_cast<std::uint64_t>(e.track.tid));
+    w.key("name");
+    w.value(e.name);
+    w.key("ts");
+    w.value(static_cast<double>(e.ts_ns) / 1000.0);
+    switch (e.ph) {
+      case 'X':
+        w.key("dur");
+        w.value(static_cast<double>(e.dur_ns) / 1000.0);
+        w.key("cat");
+        w.value("span");
+        break;
+      case 'i':
+        w.key("s");
+        w.value("t");
+        break;
+      case 's':
+      case 'f':
+        w.key("cat");
+        w.value("flow");
+        w.key("id");
+        w.value(e.flow_id);
+        if (e.ph == 'f') {
+          w.key("bp");
+          w.value("e");
+        }
+        break;
+      default:
+        break;
+    }
+    if (!e.args_json.empty()) {
+      w.key("args");
+      w.raw(e.args_json);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("displayTimeUnit");
+  w.value("ms");
+  w.end_object();
+  return out;
+}
+
+// --- DriverSpans -----------------------------------------------------------
+
+DriverSpans::DriverSpans(SpanSink* sink) : sink_(sink) {
+  if (sink_ != nullptr) track_ = sink_->track("engine", "driver");
+}
+
+void DriverSpans::begin_round() {
+  if (sink_ != nullptr) begin_ns_ = sink_->now_ns();
+}
+
+void DriverSpans::end_round(std::string name) {
+  if (sink_ != nullptr) {
+    sink_->complete(track_, std::move(name), begin_ns_, sink_->now_ns());
+  }
+}
+
+// --- SpanTracer ------------------------------------------------------------
+
+namespace {
+std::string round_args(Round r) {
+  return "{\"round\":" + std::to_string(r) + "}";
+}
+}  // namespace
+
+SpanTracer::SpanTracer(SpanSink& sink, sim::Tracer* downstream,
+                       const std::string& prefix)
+    : sink_(sink), downstream_(downstream), prefix_(prefix) {
+  phases_track_ = sink_.track(prefix_ + "engine", "phases");
+  rounds_track_ = sink_.track(prefix_ + "engine", "rounds");
+}
+
+TrackId SpanTracer::lane_track(std::size_t lane) {
+  auto it = lane_tracks_.find(lane);
+  if (it == lane_tracks_.end()) {
+    it = lane_tracks_
+             .emplace(lane, sink_.track(prefix_ + "lanes",
+                                        "lane " + std::to_string(lane)))
+             .first;
+  }
+  return it->second;
+}
+
+SpanTracer::PartyState& SpanTracer::party_state(PartyId p) {
+  if (p >= parties_.size()) parties_.resize(p + 1);
+  PartyState& ps = parties_[p];
+  if (!ps.have_track) {
+    ps.track =
+        sink_.track(prefix_ + "parties", "party " + std::to_string(p));
+    ps.have_track = true;
+  }
+  return ps;
+}
+
+void SpanTracer::on_round_begin(Round r) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    round_ = r;
+    in_flight_.clear();
+    for (PartyState& ps : parties_) ps.inbound.clear();
+    sink_.instant(rounds_track_, "round " + std::to_string(r),
+                  sink_.now_ns());
+  }
+  if (downstream_ != nullptr) downstream_->on_round_begin(r);
+}
+
+void SpanTracer::on_queued(const sim::Envelope& e, bool adversarial) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t id = next_flow_id_++;
+    bool anchored = false;
+    std::uint64_t ts = 0;
+    TrackId track;
+    if (adversarial) {
+      // Injections happen inside the (still open) adversary phase span.
+      if (adversary_open_) {
+        track = phases_track_;
+        ts = sink_.now_ns();
+        anchored = true;
+      }
+    } else if (e.from < parties_.size() && parties_[e.from].have_track) {
+      // Honest sends are reported after the sender's send span closed;
+      // anchor the flow start at that span's end so Perfetto binds it.
+      const PartyState& ps = parties_[e.from];
+      if (ps.send_end_ns > 0) {
+        track = ps.track;
+        ts = ps.send_end_ns > ps.send_begin_ns ? ps.send_end_ns - 1
+                                               : ps.send_begin_ns;
+        anchored = true;
+      }
+    }
+    if (anchored) {
+      sink_.flow_start(track, id, ts);
+      in_flight_[{e.from, e.to}].push_back(id);
+    }
+  }
+  if (downstream_ != nullptr) downstream_->on_queued(e, adversarial);
+}
+
+void SpanTracer::on_corrupt(PartyId p, Round r) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sink_.instant(rounds_track_, "corrupt " + std::to_string(p),
+                  sink_.now_ns());
+  }
+  if (downstream_ != nullptr) downstream_->on_corrupt(p, r);
+}
+
+void SpanTracer::on_deliver(Round r) {
+  if (downstream_ != nullptr) downstream_->on_deliver(r);
+}
+
+void SpanTracer::on_phase_begin(Round r, sim::Phase phase) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    phase_begin_ns_ = sink_.now_ns();
+    lane_windows_.clear();
+    adversary_open_ = phase == sim::Phase::kAdversary;
+  }
+  if (downstream_ != nullptr) downstream_->on_phase_begin(r, phase);
+}
+
+void SpanTracer::on_phase_end(Round r, sim::Phase phase) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t now = sink_.now_ns();
+    sink_.complete(phases_track_, sim::phase_name(phase), phase_begin_ns_,
+                   now, round_args(r));
+    for (const auto& [lane, win] : lane_windows_) {
+      sink_.complete(lane_track(lane), sim::phase_name(phase), win.begin_ns,
+                     win.end_ns,
+                     "{\"round\":" + std::to_string(r) +
+                         ",\"parties\":" + std::to_string(win.parties) + "}");
+    }
+    lane_windows_.clear();
+    adversary_open_ = false;
+  }
+  if (downstream_ != nullptr) downstream_->on_phase_end(r, phase);
+}
+
+void SpanTracer::on_party_begin(PartyId p, Round r, sim::Phase phase,
+                                std::size_t lane) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    party_state(p).begin_ns = sink_.now_ns();
+  }
+  if (downstream_ != nullptr) downstream_->on_party_begin(p, r, phase, lane);
+}
+
+void SpanTracer::on_party_end(PartyId p, Round r, sim::Phase phase,
+                              std::size_t lane) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PartyState& ps = party_state(p);
+    const std::uint64_t now = sink_.now_ns();
+    sink_.complete(ps.track, sim::phase_name(phase), ps.begin_ns, now,
+                   round_args(r));
+    if (phase == sim::Phase::kSend) {
+      ps.send_begin_ns = ps.begin_ns;
+      ps.send_end_ns = now;
+    } else if (phase == sim::Phase::kHandle) {
+      // Flow finishes must land inside the handle span they bind to.
+      for (const std::uint64_t id : ps.inbound) {
+        sink_.flow_finish(ps.track, id, ps.begin_ns);
+      }
+      ps.inbound.clear();
+    }
+    LaneWindow& win = lane_windows_[lane];
+    if (win.parties == 0 || ps.begin_ns < win.begin_ns) {
+      win.begin_ns = ps.begin_ns;
+    }
+    win.end_ns = std::max(win.end_ns, now);
+    win.parties += 1;
+  }
+  if (downstream_ != nullptr) downstream_->on_party_end(p, r, phase, lane);
+}
+
+void SpanTracer::on_delivered(const sim::Envelope& e) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = in_flight_.find({e.from, e.to});
+    // Link-layer duplicates or adversarial retractions can desync the FIFO;
+    // skipping quietly keeps the timeline best-effort without affecting any
+    // report bytes.
+    if (it != in_flight_.end() && !it->second.empty()) {
+      const std::uint64_t id = it->second.front();
+      it->second.pop_front();
+      party_state(e.to).inbound.push_back(id);
+    }
+  }
+  if (downstream_ != nullptr) downstream_->on_delivered(e);
+}
+
+}  // namespace treeaa::obs

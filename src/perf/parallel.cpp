@@ -90,6 +90,7 @@ WorkerPool::WorkerPool(std::size_t lanes, std::size_t workers)
                             : std::min(lanes, workers)) {
   TREEAA_REQUIRE_MSG(lanes >= 2, "a pool needs at least two lanes");
   errors_.resize(lanes_);
+  lane_items_.assign(lanes_, 0);
   threads_.reserve(workers_ - 1);
   for (std::size_t worker = 1; worker < workers_; ++worker) {
     threads_.emplace_back([this, worker] { worker_main(worker); });
@@ -105,11 +106,24 @@ WorkerPool::~WorkerPool() {
   for (std::thread& t : threads_) t.join();
 }
 
+WorkerPool::DispatchStats WorkerPool::stats() const {
+  DispatchStats out;
+  out.dispatches = dispatches_;
+  out.notify_wakeups = notify_wakeups_;
+  out.spin_wakeups = spin_wakeups_.load(std::memory_order_relaxed);
+  out.cv_sleeps = cv_sleeps_.load(std::memory_order_relaxed);
+  out.lane_items = lane_items_;
+  return out;
+}
+
 void WorkerPool::run_lane(std::size_t lane) {
   const std::size_t begin = std::min(lane * chunk_, count_);
   const std::size_t end = std::min(begin + chunk_, count_);
   try {
-    if (begin < end) (*slice_)(lane, begin, end);
+    if (begin < end) {
+      lane_items_[lane] += end - begin;
+      (*slice_)(lane, begin, end);
+    }
   } catch (...) {
     errors_[lane] = std::current_exception();
   }
@@ -128,6 +142,7 @@ void WorkerPool::run(std::size_t count, const Slice& slice) {
   chunk_ = chunk_size(count, lanes_);
   std::fill(errors_.begin(), errors_.end(), nullptr);
 
+  ++dispatches_;
   if (workers_ > 1) {
     done_.store(0, std::memory_order_relaxed);
 
@@ -139,6 +154,7 @@ void WorkerPool::run(std::size_t count, const Slice& slice) {
     // blocks.
     generation_.fetch_add(1, std::memory_order_seq_cst);
     if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+      ++notify_wakeups_;
       const std::lock_guard<std::mutex> lock(mutex_);
       cv_.notify_all();
     }
@@ -170,11 +186,13 @@ void WorkerPool::worker_main(std::size_t worker) {
   std::uint64_t seen = 0;
   for (;;) {
     int spins = 0;
+    bool slept = false;
     for (;;) {
       if (stop_.load(std::memory_order_acquire)) return;
       const std::uint64_t gen = generation_.load(std::memory_order_acquire);
       if (gen != seen) {
         seen = gen;
+        if (!slept) spin_wakeups_.fetch_add(1, std::memory_order_relaxed);
         break;
       }
       if (++spins < kSpinIterations) {
@@ -183,6 +201,8 @@ void WorkerPool::worker_main(std::size_t worker) {
       }
       std::unique_lock<std::mutex> wait_lock(mutex_);
       sleepers_.fetch_add(1, std::memory_order_seq_cst);
+      cv_sleeps_.fetch_add(1, std::memory_order_relaxed);
+      slept = true;
       cv_.wait(wait_lock, [&] {
         return stop_.load(std::memory_order_relaxed) ||
                generation_.load(std::memory_order_relaxed) != seen;

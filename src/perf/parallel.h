@@ -46,6 +46,25 @@ class WorkerPool {
   using Slice =
       std::function<void(std::size_t lane, std::size_t begin, std::size_t end)>;
 
+  /// Cumulative dispatch counters since pool construction. Pools are
+  /// recycled through the lease cache, so consumers that want per-run
+  /// numbers snapshot a baseline at lease time and report deltas (the obs
+  /// drivers surface these as `pool_*` gauges — docs/PERF.md).
+  struct DispatchStats {
+    /// run() calls that fanned work out to the workers.
+    std::uint64_t dispatches = 0;
+    /// Dispatches where the dispatcher found sleeping workers to notify —
+    /// the pool had gone cold between rounds (futex round-trip paid).
+    std::uint64_t notify_wakeups = 0;
+    /// Worker-side dispatch receipts that arrived while still spinning
+    /// (the fast path: no sleep since the previous dispatch).
+    std::uint64_t spin_wakeups = 0;
+    /// Times a worker exhausted its spin window and blocked on the condvar.
+    std::uint64_t cv_sleeps = 0;
+    /// Items processed per lane, cumulative (index = lane).
+    std::vector<std::uint64_t> lane_items;
+  };
+
   /// RAII handle on a cached pool. Empty (get() == nullptr) for lane counts
   /// <= 1, where callers should take their serial path. Returning the pool
   /// to the cache on destruction keeps its threads alive for the next run.
@@ -96,6 +115,11 @@ class WorkerPool {
   [[nodiscard]] std::size_t lanes() const { return lanes_; }
   [[nodiscard]] std::size_t workers() const { return workers_; }
 
+  /// Snapshot of the cumulative dispatch counters. Safe to call between
+  /// dispatches (the intended use); calling concurrently with run() yields
+  /// a torn-but-harmless snapshot.
+  [[nodiscard]] DispatchStats stats() const;
+
   /// Runs `slice` over [0, count) split into static chunks, one per lane,
   /// and returns once every lane has finished. The calling thread executes
   /// the lanes congruent to 0 mod workers(). If lanes threw, the lowest
@@ -128,6 +152,15 @@ class WorkerPool {
   std::condition_variable cv_;
   std::atomic<std::size_t> sleepers_{0};
   std::atomic<bool> stop_{false};
+
+  // Dispatch counters (DispatchStats). dispatches_/notify_wakeups_ are
+  // dispatcher-only; lane_items_[l] has a unique writer (the worker owning
+  // lane l); the worker-shared ones are relaxed atomics.
+  std::uint64_t dispatches_ = 0;
+  std::uint64_t notify_wakeups_ = 0;
+  std::atomic<std::uint64_t> spin_wakeups_{0};
+  std::atomic<std::uint64_t> cv_sleeps_{0};
+  std::vector<std::uint64_t> lane_items_;
 };
 
 }  // namespace treeaa::perf

@@ -148,25 +148,33 @@ void Engine::run(Round rounds) {
     if (tracer_ != nullptr) tracer_->on_round_begin(r);
 
     // 1. Honest send phase.
+    if (tracer_ != nullptr) tracer_->on_phase_begin(r, Phase::kSend);
     if (threads_ > 1) {
       send_phase_parallel(r);
     } else {
       send_phase(r);
     }
+    if (tracer_ != nullptr) tracer_->on_phase_end(r, Phase::kSend);
 
     // 2. Rushing adversary.
     {
+      if (tracer_ != nullptr) tracer_->on_phase_begin(r, Phase::kAdversary);
       RoundView view(*this, r);
       adversary_->act(view);
+      if (tracer_ != nullptr) tracer_->on_phase_end(r, Phase::kAdversary);
     }
 
     // 3. Delivery, sorted by sender (stable: same-sender order preserved).
     // An attached link layer filters the round's traffic first (drops,
     // duplicates, corruption, per-link reordering).
+    if (tracer_ != nullptr) tracer_->on_phase_begin(r, Phase::kSort);
     if (link_layer_ != nullptr) {
       queued_ = link_layer_->deliver(r, std::move(queued_));
     }
-    if (tracer_ != nullptr) tracer_->on_deliver(r);
+    if (tracer_ != nullptr) {
+      tracer_->on_deliver(r);
+      for (const Envelope& e : queued_) tracer_->on_delivered(e);
+    }
     // Two-pass stable counting sort (by sender, then by recipient). The
     // result — recipient-major slices, each ordered by sender with
     // same-sender send order preserved — is byte-for-byte the order the
@@ -198,7 +206,12 @@ void Engine::run(Round rounds) {
     }
     queued_.clear();
     round_ = r;
+    if (tracer_ != nullptr) {
+      tracer_->on_phase_end(r, Phase::kSort);
+      tracer_->on_phase_begin(r, Phase::kHandle);
+    }
     delivery_phase(r);
+    if (tracer_ != nullptr) tracer_->on_phase_end(r, Phase::kHandle);
     // Inboxes are fully consumed (processes copy what they keep); release
     // each payload's last reference back into an arena so next round's
     // broadcasts reuse the control blocks and byte capacity. Round-robin
@@ -221,7 +234,9 @@ void Engine::send_phase(Round r) {
     if (corrupt_[p]) continue;
     const std::size_t before = queued_.size();
     Mailer mailer(p, n(), queued_, r, &arenas_[0]);
+    if (tracer_ != nullptr) tracer_->on_party_begin(p, r, Phase::kSend, 0);
     processes_[p]->on_round_begin(r, mailer);
+    if (tracer_ != nullptr) tracer_->on_party_end(p, r, Phase::kSend, 0);
     auto& rt = stats_.per_round.back();
     for (std::size_t k = before; k < queued_.size(); ++k) {
       rt.honest_messages += 1;
@@ -247,7 +262,13 @@ void Engine::send_phase_parallel(Round r) {
           const PartyId p = static_cast<PartyId>(i);
           if (corrupt_[p]) continue;
           Mailer mailer(p, n(), out, r, &arenas_[lane]);
+          if (tracer_ != nullptr) {
+            tracer_->on_party_begin(p, r, Phase::kSend, lane);
+          }
           processes_[p]->on_round_begin(r, mailer);
+          if (tracer_ != nullptr) {
+            tracer_->on_party_end(p, r, Phase::kSend, lane);
+          }
         }
       });
   auto& rt = stats_.per_round.back();
@@ -266,23 +287,25 @@ void Engine::send_phase_parallel(Round r) {
 // is race-free; per-party delivery order is fixed by the sort, so the
 // fan-out cannot reorder anything observable.
 void Engine::delivery_phase(Round r) {
-  const auto deliver_to = [&](PartyId p) {
+  const auto deliver_to = [&](PartyId p, std::size_t lane) {
+    if (tracer_ != nullptr) tracer_->on_party_begin(p, r, Phase::kHandle, lane);
     processes_[p]->on_round_end(
         r, std::span<const Envelope>(delivery_.data() + inbox_offsets_[p],
                                      inbox_offsets_[p + 1] -
                                          inbox_offsets_[p]));
+    if (tracer_ != nullptr) tracer_->on_party_end(p, r, Phase::kHandle, lane);
   };
   if (threads_ > 1) {
     pool_.get()->run(
-        n(), [&](std::size_t, std::size_t begin, std::size_t end) {
+        n(), [&](std::size_t lane, std::size_t begin, std::size_t end) {
           for (std::size_t i = begin; i < end; ++i) {
             const PartyId p = static_cast<PartyId>(i);
-            if (!corrupt_[p]) deliver_to(p);
+            if (!corrupt_[p]) deliver_to(p, lane);
           }
         });
   } else {
     for (PartyId p = 0; p < n(); ++p) {
-      if (!corrupt_[p]) deliver_to(p);
+      if (!corrupt_[p]) deliver_to(p, 0);
     }
   }
 }

@@ -83,6 +83,10 @@ class Engine {
 
   [[nodiscard]] const TrafficStats& stats() const { return stats_; }
 
+  /// The leased worker pool, or nullptr when the engine runs serial. The
+  /// obs drivers snapshot its DispatchStats to report per-run deltas.
+  [[nodiscard]] const perf::WorkerPool* pool() const { return pool_.get(); }
+
   /// The process installed for p (for result extraction by harnesses).
   [[nodiscard]] Process& process(PartyId p);
 

@@ -2,6 +2,20 @@
 
 namespace treeaa::sim {
 
+const char* phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kSend:
+      return "send";
+    case Phase::kAdversary:
+      return "adversary";
+    case Phase::kSort:
+      return "sort";
+    case Phase::kHandle:
+      return "handle";
+  }
+  return "?";
+}
+
 void RecordingTracer::on_round_begin(Round r) {
   lines_.push_back("round " + std::to_string(r));
 }

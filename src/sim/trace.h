@@ -16,6 +16,17 @@
 
 namespace treeaa::sim {
 
+/// The four phases of one engine round, in execution order.
+enum class Phase : std::uint8_t {
+  kSend = 0,       // honest parties queue their round-r messages
+  kAdversary = 1,  // the rushing adversary inspects and injects
+  kSort = 2,       // link-layer filter + stable delivery sort
+  kHandle = 3,     // parties consume their inbox slices
+};
+
+/// Stable lower-case name for a phase ("send", "adversary", ...).
+[[nodiscard]] const char* phase_name(Phase phase);
+
 class Tracer {
  public:
   virtual ~Tracer() = default;
@@ -34,6 +45,46 @@ class Tracer {
   }
   /// All inboxes for round r are final and about to be delivered.
   virtual void on_deliver(Round r) { (void)r; }
+
+  // --- Span-granularity callbacks (all no-ops by default) ---------------
+  //
+  // These exist for timeline tracers (obs::SpanTracer). Transcript tracers
+  // (RecordingTracer, JsonlTracer) ignore them, which keeps transcripts
+  // byte-identical across thread counts: the party-scoped callbacks below
+  // MAY fire concurrently from worker lanes when the engine runs with
+  // --threads > 1, in nondeterministic order. Phase callbacks are always
+  // serial and ordered.
+
+  /// Phase `phase` of round `r` starts / ends. Serial, in round order.
+  virtual void on_phase_begin(Round r, Phase phase) {
+    (void)r;
+    (void)phase;
+  }
+  virtual void on_phase_end(Round r, Phase phase) {
+    (void)r;
+    (void)phase;
+  }
+  /// Party `p` starts / finishes its work in `phase` of round `r` on worker
+  /// lane `lane`. Only kSend and kHandle have per-party work. WARNING: may
+  /// be invoked concurrently from distinct lanes; implementations must be
+  /// thread-safe (or no-ops).
+  virtual void on_party_begin(PartyId p, Round r, Phase phase,
+                              std::size_t lane) {
+    (void)p;
+    (void)r;
+    (void)phase;
+    (void)lane;
+  }
+  virtual void on_party_end(PartyId p, Round r, Phase phase,
+                            std::size_t lane) {
+    (void)p;
+    (void)r;
+    (void)phase;
+    (void)lane;
+  }
+  /// `e` survived the link layer and will reach its recipient this round.
+  /// Fires serially, after on_deliver(r), in post-filter queue order.
+  virtual void on_delivered(const Envelope& e) { (void)e; }
 };
 
 /// Records a compact textual transcript of the run.

@@ -61,6 +61,66 @@ TEST(Histogram, EmptyAndSingleObservation) {
   EXPECT_DOUBLE_EQ(h.percentile(100.0), 4.0);
 }
 
+TEST(Histogram, PercentileZeroAndHundredAreTheObservedExtremes) {
+  Histogram h({1.0, 2.0, 4.0, 8.0});
+  h.observe(1.5);
+  h.observe(3.0);
+  h.observe(7.0);
+  // p0 interpolates to the owning bucket's lower edge and is then clamped
+  // up to min; p100 lands on the last bucket's upper edge and clamps down
+  // to max. Both must be exact, not estimates.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.5);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 7.0);
+}
+
+TEST(Histogram, PercentileZeroAndHundredInOverflowBucket) {
+  // Every observation above the last bound: lo/hi have no finite bucket
+  // edge, so the estimate must fall back to the tracked extremes.
+  Histogram h({1.0});
+  h.observe(50.0);
+  h.observe(150.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 50.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 150.0);
+  const double p50 = h.percentile(50.0);
+  EXPECT_GE(p50, 50.0);
+  EXPECT_LE(p50, 150.0);
+}
+
+TEST(Histogram, DuplicateHeavySamplesPinEveryPercentile) {
+  // 1000 identical samples land in one bucket; intra-bucket interpolation
+  // would spread estimates over (1, 10], but the [min, max] clamp collapses
+  // them all onto the true value.
+  Histogram h({1.0, 10.0, 100.0});
+  for (int i = 0; i < 1000; ++i) h.observe(5.0);
+  for (double q : {0.0, 1.0, 25.0, 50.0, 75.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(q), 5.0) << "q = " << q;
+  }
+}
+
+TEST(Histogram, EmptyPercentilesAreZeroAtEveryQ) {
+  Histogram h({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 0.0);
+  EXPECT_TRUE(std::isinf(h.min()));   // +inf sentinel
+  EXPECT_TRUE(std::isinf(h.max()));   // -inf sentinel
+  EXPECT_LT(h.max(), h.min());
+}
+
+TEST(Histogram, PercentilesMonotoneAcrossBucketBoundaries) {
+  // Bimodal: a heavy low bucket and a light high one. Estimates must be
+  // monotone in q even where the cumulative count crosses buckets.
+  Histogram h({1.0, 2.0, 4.0, 8.0, 16.0});
+  for (int i = 0; i < 90; ++i) h.observe(1.5);
+  for (int i = 0; i < 10; ++i) h.observe(12.0);
+  double prev = h.percentile(0.0);
+  for (double q = 5.0; q <= 100.0; q += 5.0) {
+    const double cur = h.percentile(q);
+    EXPECT_GE(cur, prev) << "q = " << q;
+    prev = cur;
+  }
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 12.0);
+}
+
 TEST(Histogram, ExponentialBounds) {
   const auto b = Histogram::exponential_bounds(1e3, 10.0, 4);
   ASSERT_EQ(b.size(), 4u);

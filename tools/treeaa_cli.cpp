@@ -8,7 +8,8 @@
 //              [--adversary none|silent|fuzz|split] [--engine bdh|classic]
 //              [--seed <s>] [--threads <k>] [--quiet]
 //              [--metrics <file|->] [--report json]
-//              [--trace <file|->] [--trace-format text|jsonl] [--timings]
+//              [--trace <file|->] [--trace-format text|jsonl]
+//              [--spans <file|->] [--timings]
 //
 // `-` reads the tree from stdin, so commands compose:
 //   treeaa_cli gen spider 40 | treeaa_cli run - --t 2 --inputs v00,v11,...
@@ -18,12 +19,15 @@
 // the TREEAA_METRICS environment variable when the flag is absent — the
 // same contract as the bench binaries), --report json
 // replaces the human summary with the same JSON on stdout, --trace records
-// the engine transcript (text or JSONL, "treeaa.trace/1"). Reports are
-// byte-reproducible across identical runs unless --timings adds the
-// wall-clock section. --quiet only suppresses the human table; it never
-// affects --metrics/--trace. When JSON or a trace targets stdout
-// (--metrics -, --trace -, --report json) the human table and summary are
-// suppressed entirely so stdout stays machine-parseable.
+// the engine transcript (text or JSONL, "treeaa.trace/1"), --spans records
+// the causal timeline as Chrome trace-event JSON (open in Perfetto).
+// Reports are byte-reproducible across identical runs unless --timings adds
+// the wall-clock section; span files carry wall-clock timestamps and are
+// never reproducible, but attaching them changes no other output byte.
+// --quiet only suppresses the human table; it never affects
+// --metrics/--trace/--spans. When JSON or a trace targets stdout
+// (--metrics -, --trace -, --spans -, --report json) the human table and
+// summary are suppressed entirely so stdout stays machine-parseable.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -38,6 +42,7 @@
 #include "obs/probe.h"
 #include "obs/report.h"
 #include "obs/sink.h"
+#include "obs/span.h"
 #include "realaa/rounds.h"
 #include "sim/strategies.h"
 #include "sim/trace.h"
@@ -62,7 +67,8 @@ using namespace treeaa;
       "             [--adversary none|silent|fuzz|split] [--engine "
       "bdh|classic] [--seed <s>] [--threads <k>] [--quiet]\n"
       "             [--metrics <file|->] [--report json] "
-      "[--trace <file|->] [--trace-format text|jsonl] [--timings]\n"
+      "[--trace <file|->] [--trace-format text|jsonl]\n"
+      "             [--spans <file|->] [--timings]\n"
       "  treeaa_cli run-async <file|-> --t <t> --inputs <l1,l2,...>\n"
       "             [--scheduler fifo|lifo|random] [--silent <k>] "
       "[--seed <s>] [--quiet]\n"
@@ -190,6 +196,7 @@ int cmd_run(const std::vector<std::string>& args) {
   std::string report_mode;
   std::string trace_path;
   std::string trace_format = "text";
+  std::string spans_path;
   bool timings = false;
   for (std::size_t i = 1; i < args.size(); ++i) {
     auto next = [&]() -> const std::string& {
@@ -222,6 +229,8 @@ int cmd_run(const std::vector<std::string>& args) {
       if (trace_format != "text" && trace_format != "jsonl") {
         usage("--trace-format must be text or jsonl");
       }
+    } else if (args[i] == "--spans") {
+      spans_path = next();
     } else if (args[i] == "--timings") {
       timings = true;
     } else {
@@ -269,6 +278,7 @@ int cmd_run(const std::vector<std::string>& args) {
   obs::RunReport report;
   sim::RecordingTracer text_tracer;
   obs::JsonlTracer jsonl_tracer;
+  obs::SpanSink span_sink;
   obs::Hooks hooks;
   if (!metrics_path.empty() || report_mode == "json") hooks.report = &report;
   if (!trace_path.empty()) {
@@ -276,6 +286,7 @@ int cmd_run(const std::vector<std::string>& args) {
                        ? static_cast<sim::Tracer*>(&jsonl_tracer)
                        : static_cast<sim::Tracer*>(&text_tracer);
   }
+  if (!spans_path.empty()) hooks.spans = &span_sink;
   if (hooks.report != nullptr) {
     report.add_param("adversary", adversary);
     report.add_param("seed", seed);
@@ -308,10 +319,14 @@ int cmd_run(const std::vector<std::string>& args) {
     write_output(trace_path, trace_format == "jsonl" ? jsonl_tracer.text()
                                                      : text_tracer.text());
   }
+  if (!spans_path.empty()) {
+    write_output(spans_path, span_sink.to_chrome_json());
+  }
 
   // Keep stdout machine-clean: the human table and summary are skipped
   // whenever JSON or a trace is being streamed to stdout.
-  if (report_mode != "json" && metrics_path != "-" && trace_path != "-") {
+  if (report_mode != "json" && metrics_path != "-" && trace_path != "-" &&
+      spans_path != "-") {
     if (!quiet) {
       Table table({"party", "input", "output"});
       for (PartyId p = 0; p < n; ++p) {

@@ -4,7 +4,8 @@
 //              [--adversary none|silent|fuzz] [--faults <spec>]
 //              [--seed <s>] [--timeout-ms <m>] [--engine bdh|classic]
 //              [--threads <k>] [--report <file|->] [--no-crosscheck]
-//              [--quiet]
+//              [--trace <file|->] [--trace-format text|jsonl]
+//              [--spans <file|->] [--timings] [--quiet]
 //
 // Every party runs on its own thread behind the loopback mesh
 // (docs/NET.md); `--faults` injects deterministic link faults, e.g.
@@ -15,6 +16,14 @@
 // hold; `--report` writes the machine-readable "treeaa.net_report/1"
 // document (the TREEAA_METRICS environment variable is the usual fallback
 // destination; reports are byte-reproducible across identical runs).
+//
+// Observability parity with treeaa_cli (docs/OBSERVABILITY.md): --trace
+// records the cross-check replay engine's transcript ("treeaa.trace/1";
+// requires the cross-check), --spans writes the Chrome trace-event timeline
+// covering every socket party thread plus the replay engine, --timings adds
+// the barrier-wait / wire-lag histograms to the report's "timing" section.
+// Only --timings changes report bytes; a timing-free report stays
+// byte-reproducible with any of these attached.
 #include <algorithm>
 #include <fstream>
 #include <iostream>
@@ -25,7 +34,10 @@
 
 #include "common/table.h"
 #include "net/deploy.h"
+#include "obs/probe.h"
 #include "obs/sink.h"
+#include "obs/span.h"
+#include "sim/trace.h"
 #include "trees/serialization.h"
 
 namespace {
@@ -40,8 +52,9 @@ using namespace treeaa;
       "             [--adversary none|silent|fuzz] [--corrupt <k<=t>]\n"
       "             [--faults <spec>]\n"
       "             [--seed <s>] [--timeout-ms <m>] [--engine bdh|classic]\n"
-      "             [--threads <k>] [--report <file|->] [--no-crosscheck] "
-      "[--quiet]\n"
+      "             [--threads <k>] [--report <file|->] [--no-crosscheck]\n"
+      "             [--trace <file|->] [--trace-format text|jsonl]\n"
+      "             [--spans <file|->] [--timings] [--quiet]\n"
       "\n"
       "fault spec keys: drop, delay, dup, corrupt, reorder (probabilities),\n"
       "delay-rounds=<k>, crash=<party>@<round> (repeatable)\n";
@@ -81,6 +94,10 @@ int run(const std::vector<std::string>& args) {
   std::string faults_spec;
   std::string engine = "bdh";
   std::string report_path;
+  std::string trace_path;
+  std::string trace_format = "text";
+  std::string spans_path;
+  bool timings = false;
   net::DeployConfig cfg;
   bool quiet = false;
   for (std::size_t i = 1; i < args.size(); ++i) {
@@ -111,6 +128,17 @@ int run(const std::vector<std::string>& args) {
       cfg.threads = std::stoul(next());
     } else if (args[i] == "--no-crosscheck") {
       cfg.crosscheck = false;
+    } else if (args[i] == "--trace") {
+      trace_path = next();
+    } else if (args[i] == "--trace-format") {
+      trace_format = next();
+      if (trace_format != "text" && trace_format != "jsonl") {
+        usage("--trace-format must be text or jsonl");
+      }
+    } else if (args[i] == "--spans") {
+      spans_path = next();
+    } else if (args[i] == "--timings") {
+      timings = true;
     } else if (args[i] == "--quiet") {
       quiet = true;
     } else {
@@ -142,15 +170,39 @@ int run(const std::vector<std::string>& args) {
   } catch (const std::invalid_argument& e) {
     usage(e.what());
   }
+  if (!trace_path.empty() && !cfg.crosscheck) {
+    usage("--trace records the replay transcript and needs the cross-check");
+  }
+
+  sim::RecordingTracer text_tracer;
+  obs::JsonlTracer jsonl_tracer;
+  obs::SpanSink span_sink;
+  if (!trace_path.empty()) {
+    cfg.sim_tracer = trace_format == "jsonl"
+                         ? static_cast<sim::Tracer*>(&jsonl_tracer)
+                         : static_cast<sim::Tracer*>(&text_tracer);
+  }
+  if (!spans_path.empty()) cfg.spans = &span_sink;
+  cfg.timings = timings;
 
   const auto result = net::run_tree_aa_net(tree, inputs, t, cfg);
 
   if (!report_path.empty()) {
-    if (!obs::write_sink(report_path, result.report.to_json() + "\n")) {
+    if (!obs::write_sink(report_path, result.report.to_json(timings) + "\n")) {
       return 2;
     }
   }
-  if (report_path != "-") {
+  if (!trace_path.empty()) {
+    if (!obs::write_sink(trace_path, trace_format == "jsonl"
+                                         ? jsonl_tracer.text()
+                                         : text_tracer.text())) {
+      return 2;
+    }
+  }
+  if (!spans_path.empty()) {
+    if (!obs::write_sink(spans_path, span_sink.to_chrome_json())) return 2;
+  }
+  if (report_path != "-" && trace_path != "-" && spans_path != "-") {
     if (!quiet) {
       Table table({"party", "input", "output", "role"});
       for (PartyId p = 0; p < n; ++p) {

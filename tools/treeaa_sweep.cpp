@@ -2,6 +2,7 @@
 //
 //   treeaa_sweep --spec <file|-> [--threads N] [--run-threads K]
 //                [--out <file|->] [--chunk N] [--full] [--timings]
+//                [--trace <file|->] [--trace-format text|jsonl]
 //                [--seed S] [--quiet]
 //                [--expand-only]
 //
@@ -18,6 +19,11 @@
 //                   the thread budget is shared: --threads is the total,
 //                   and cells run on threads/K workers
 //   --full          run with per-cell run reports and embed them in rows
+//   --trace F       record every cell's engine transcript (treeaa_cli's
+//                   --trace vocabulary) into F, cells in index order, each
+//                   preceded by a cell header line. Transcripts carry no
+//                   wall-clock data, so the file is byte-identical for any
+//                   --threads value.
 //   --seed S        override the spec's seed
 //   --expand-only   print the cell count and exit without running
 //   --quiet         suppress the human summary on stderr
@@ -44,8 +50,10 @@ using namespace treeaa;
   std::cerr << "usage:\n"
                "  treeaa_sweep --spec <file|-> [--threads N] "
                "[--run-threads K] [--out <file|->]\n"
-               "               [--chunk N] [--full] [--timings] [--seed S]\n"
-               "               [--quiet] [--expand-only]\n";
+               "               [--chunk N] [--full] [--timings]\n"
+               "               [--trace <file|->] [--trace-format "
+               "text|jsonl]\n"
+               "               [--seed S] [--quiet] [--expand-only]\n";
   std::exit(2);
 }
 
@@ -69,6 +77,8 @@ int main(int argc, char** argv) {
 
   std::string spec_path;
   std::string out_path;
+  std::string trace_path;
+  std::string trace_format = "text";
   exp::SweepOptions sweep_opts;
   exp::ReportOptions report_opts;
   std::optional<std::uint64_t> seed_override;
@@ -95,6 +105,13 @@ int main(int argc, char** argv) {
       report_opts.include_cell_reports = true;
     } else if (args[i] == "--timings") {
       report_opts.include_timings = true;
+    } else if (args[i] == "--trace") {
+      trace_path = next();
+    } else if (args[i] == "--trace-format") {
+      trace_format = next();
+      if (trace_format != "text" && trace_format != "jsonl") {
+        usage("--trace-format must be text or jsonl");
+      }
     } else if (args[i] == "--seed") {
       seed_override = std::stoull(next());
     } else if (args[i] == "--quiet") {
@@ -118,10 +135,28 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    if (!trace_path.empty()) sweep_opts.trace_format = trace_format;
+
     const exp::SweepResult result = exp::run_sweep(spec, cells, sweep_opts);
     const std::string json =
         exp::sweep_report_json(spec, result, report_opts);
     if (!obs::write_sink(out_path, json)) return 2;
+    if (!trace_path.empty()) {
+      // One document, cells in index order. Headers follow the format:
+      // a "# cell I" comment line for text, a flat {"ev":"cell",...} event
+      // line for jsonl — so a jsonl file stays line-parseable throughout.
+      std::string traces;
+      for (const exp::CellResult& r : result.cells) {
+        if (trace_format == "jsonl") {
+          traces += "{\"ev\":\"cell\",\"cell\":" +
+                    std::to_string(r.cell.index) + "}\n";
+        } else {
+          traces += "# cell " + std::to_string(r.cell.index) + "\n";
+        }
+        traces += r.trace;
+      }
+      if (!obs::write_sink(trace_path, traces)) return 2;
+    }
 
     std::size_t failures = 0;
     std::size_t aa_violations = 0;
