@@ -11,9 +11,10 @@
 //                        [--check-against <baseline.json>]
 //                        [--max-regression <pct>] [--reps-scale <x>]
 //                        [--threads <k>]
-//     The perf-regression suite: five pinned scenarios (one per hot
+//     The perf-regression suite: six pinned scenarios (one per hot
 //     subsystem — gradecast codec+counting, RealAA iteration loop, TreeAA
-//     end-to-end on a 1000-vertex tree, plus tree_aa_1000_t8 and
+//     end-to-end on a 1000-vertex tree, BlockAA on a 600-vertex clique
+//     chain, plus tree_aa_1000_t8 and
 //     realaa_n64_t8 pinned at 8 engine lanes) run a fixed number of
 //     repetitions and report messages/second as a "treeaa.perf_report/1"
 //     JSON document (--out, falling back to TREEAA_METRICS, "-" = stdout);
@@ -40,6 +41,9 @@
 #include "core/api.h"
 #include "exp/json_value.h"
 #include "gradecast/gradecast.h"
+#include "graphs/block_aa.h"
+#include "graphs/block_index.h"
+#include "graphs/generators.h"
 #include "harness/runner.h"
 #include "obs/json.h"
 #include "obs/sink.h"
@@ -229,6 +233,26 @@ std::vector<PinnedResult> run_pinned_suite(double reps_scale,
         run_pinned_scenario("tree_aa_1000_t8", 120, reps_scale, 8, [&] {
           const auto run = core::run_tree_aa(tree, inputs, 2, {}, nullptr,
                                              nullptr, sim::EngineOptions{8});
+          return run.traffic.total_messages();
+        }));
+  }
+
+  // BlockAA end-to-end on a ~600-vertex clique chain: the block-graph
+  // reduction (BlockIndex build amortized out, gate resolution + graph-
+  // metric queries in the loop).
+  {
+    const auto g = graphs::make_clique_chain(600);
+    const graphs::BlockIndex index(g);
+    const auto [end_a, end_b] = index.diameter_endpoints();
+    std::vector<VertexId> inputs;
+    for (std::size_t p = 0; p < 7; ++p) {
+      inputs.push_back(p % 2 == 0 ? end_a : end_b);
+    }
+    results.push_back(
+        run_pinned_scenario("block_aa_600", 60, reps_scale, threads, [&] {
+          const auto run =
+              graphs::run_block_aa(index, inputs, 2, {}, nullptr, nullptr,
+                                   sim::EngineOptions{threads});
           return run.traffic.total_messages();
         }));
   }

@@ -69,8 +69,12 @@ std::optional<LedgerInput> ledger_input_from_report(
 
   const auto eps = param_number(report.params, "eps");
   const auto known_range = param_number(report.params, "known_range");
+  const auto graph_diameter = param_number(report.params, "graph_diameter");
   const auto tree_diameter = param_number(report.params, "tree_diameter");
   in.eps = eps.value_or(1.0);
+  if (in.protocol == "block_aa") {
+    in.block_round_bound = param_number(report.params, "block_round_bound");
+  }
   for (const auto& s : report.per_round) {
     if (s.value_diameter.has_value()) {
       in.diameters.emplace_back(s.round, *s.value_diameter);
@@ -78,6 +82,8 @@ std::optional<LedgerInput> ledger_input_from_report(
   }
   if (known_range.has_value()) {
     in.d0 = *known_range;
+  } else if (graph_diameter.has_value()) {
+    in.d0 = *graph_diameter;
   } else if (tree_diameter.has_value()) {
     in.d0 = *tree_diameter;
   } else {
@@ -242,6 +248,26 @@ Ledger build_ledger(const LedgerInput& input) {
                                      : "the 2^-k halving envelope");
     ledger.checks.push_back(std::move(c));
   }
+  if (input.block_round_bound.has_value()) {
+    // arXiv:2502.05591: BlockAA's contraction on a block graph stays within
+    // the inner TreeAA's round budget on the agreement tree — the observed
+    // rounds, and the observed rounds-to-eps when reached, never exceed it.
+    LedgerCheck c;
+    c.name = "block_round_bound";
+    const double bound = *input.block_round_bound;
+    const bool rounds_ok = !exceeds(static_cast<double>(input.rounds), bound);
+    const bool to_eps_ok =
+        !ledger.rounds_to_eps.has_value() ||
+        !exceeds(static_cast<double>(*ledger.rounds_to_eps), bound);
+    c.ok = rounds_ok && to_eps_ok;
+    c.detail = "observed rounds " + std::to_string(input.rounds) +
+               (ledger.rounds_to_eps.has_value()
+                    ? ", rounds-to-eps " + std::to_string(*ledger.rounds_to_eps)
+                    : std::string(", eps not reached")) +
+               " vs arXiv:2502.05591 agreement-tree bound " +
+               obs::json_number(bound);
+    ledger.checks.push_back(std::move(c));
+  }
   if (!input.diameters.empty()) {
     LedgerCheck c;
     c.name = "final_within_eps";
@@ -295,6 +321,10 @@ std::string trace_report_json(const Ledger& ledger, const TraceStats& stats) {
     w.value(*ledger.theorem3_round_bound);
   } else {
     w.null();
+  }
+  if (in.block_round_bound.has_value()) {
+    w.key("block_round_bound");
+    w.value(*in.block_round_bound);
   }
   w.end_object();
 

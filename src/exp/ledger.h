@@ -57,6 +57,11 @@ struct LedgerInput {
   double d0 = 0.0;
   /// Agreement target: eps (real protocols), 1 (vertex protocols).
   double eps = 1.0;
+  /// block_aa only: the arXiv:2502.05591 round budget on the agreement
+  /// tree (the report's `block_round_bound` param). The ledger checks that
+  /// the observed rounds — and the observed rounds-to-eps, when reached —
+  /// respect it.
+  std::optional<double> block_round_bound;
   /// (round, observed honest diameter), rounds ascending; rounds whose
   /// sample had no engaged diameter are simply absent.
   std::vector<std::pair<Round, double>> diameters;

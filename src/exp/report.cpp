@@ -44,6 +44,11 @@ void write_axes(obs::JsonWriter& w, const Cell& c) {
     w.value(c.family);
     w.key("tree_size");
     w.value(static_cast<std::uint64_t>(c.tree_size));
+  } else if (is_graph_protocol(c.protocol)) {
+    w.key("family");
+    w.value(c.family);
+    w.key("graph_size");
+    w.value(static_cast<std::uint64_t>(c.tree_size));
   } else {
     w.key("known_range");
     w.value(c.known_range);
@@ -101,6 +106,13 @@ void write_row(obs::JsonWriter& w, const CellResult& r,
     w.value(static_cast<std::uint64_t>(r.tree_n));
     w.key("tree_diameter");
     w.value(static_cast<std::uint64_t>(r.tree_diameter));
+  } else if (is_graph_protocol(r.cell.protocol)) {
+    w.key("graph_n");
+    w.value(static_cast<std::uint64_t>(r.tree_n));
+    w.key("graph_diameter");
+    w.value(static_cast<std::uint64_t>(r.tree_diameter));
+    w.key("graph_blocks");
+    w.value(static_cast<std::uint64_t>(r.graph_blocks));
   }
   w.key("corrupt");
   w.value(static_cast<std::uint64_t>(r.corrupt));

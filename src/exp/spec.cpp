@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "exp/json_value.h"
+#include "graphs/generators.h"
 #include "trees/generators.h"
 
 namespace treeaa::exp {
@@ -35,6 +36,22 @@ bool valid_family(const std::string& name) {
     if (name == tree_family_name(f)) return true;
   }
   return false;
+}
+
+bool valid_graph_family(const std::string& name) {
+  for (const graphs::GraphFamily f : graphs::all_graph_families()) {
+    if (name == graphs::graph_family_name(f)) return true;
+  }
+  return false;
+}
+
+/// Which input family a protocol belongs to; scenarios must be homogeneous.
+enum class ProtocolFamily { kVertex, kReal, kGraph };
+
+ProtocolFamily family_of(Protocol p) {
+  if (is_graph_protocol(p)) return ProtocolFamily::kGraph;
+  return is_vertex_protocol(p) ? ProtocolFamily::kVertex
+                               : ProtocolFamily::kReal;
 }
 
 // --- Typed JSON field extraction --------------------------------------------
@@ -126,12 +143,37 @@ TreeSpec parse_tree(const JsonValue& v, const std::string& where) {
   return tree;
 }
 
+GraphSpec parse_graph(const JsonValue& v, const std::string& where) {
+  if (!v.is_object()) fail(where + " must be an object");
+  check_known_keys(v, where, {"families", "sizes", "graph_seed"});
+  GraphSpec graph;
+  const JsonValue* families = v.find("families");
+  if (families == nullptr) fail(where + ".families is required");
+  graph.families = get_string_list(*families, where + ".families");
+  for (const std::string& f : graph.families) {
+    if (!valid_graph_family(f)) {
+      fail(where + ": unknown graph family '" + f + "'");
+    }
+  }
+  const JsonValue* sizes = v.find("sizes");
+  if (sizes == nullptr) fail(where + ".sizes is required");
+  graph.sizes = get_uint_list(*sizes, where + ".sizes");
+  for (const std::size_t s : graph.sizes) {
+    if (s < 2) fail(where + ".sizes entries must be >= 2");
+  }
+  if (const JsonValue* seed = v.find("graph_seed")) {
+    graph.graph_seed = get_uint(*seed, where + ".graph_seed");
+  }
+  return graph;
+}
+
 Scenario parse_scenario(const JsonValue& v, std::size_t index) {
   const std::string where = "scenarios[" + std::to_string(index) + "]";
   if (!v.is_object()) fail(where + " must be an object");
   check_known_keys(v, where,
-                   {"protocols", "tree", "range", "eps", "update", "engine",
-                    "iteration_mode", "n", "t", "adversaries", "inputs"});
+                   {"protocols", "tree", "graph", "range", "eps", "update",
+                    "engine", "iteration_mode", "n", "t", "adversaries",
+                    "inputs"});
   Scenario s;
 
   const JsonValue* protocols = v.find("protocols");
@@ -140,12 +182,16 @@ Scenario parse_scenario(const JsonValue& v, std::size_t index) {
        get_string_list(*protocols, where + ".protocols")) {
     s.protocols.push_back(protocol_from_name(name));
   }
-  const bool vertex = is_vertex_protocol(s.protocols.front());
+  const ProtocolFamily pf = family_of(s.protocols.front());
   for (const Protocol p : s.protocols) {
-    if (is_vertex_protocol(p) != vertex) {
-      fail(where + ": protocols must be all tree-valued or all real-valued");
+    if (family_of(p) != pf) {
+      fail(where +
+           ": protocols must be all tree-valued, all real-valued, or all "
+           "graph-valued");
     }
   }
+  const bool vertex = pf == ProtocolFamily::kVertex;
+  const bool graph = pf == ProtocolFamily::kGraph;
 
   if (const JsonValue* tree = v.find("tree")) {
     if (!vertex) fail(where + ": 'tree' only applies to tree protocols");
@@ -154,18 +200,29 @@ Scenario parse_scenario(const JsonValue& v, std::size_t index) {
     fail(where + ".tree is required for tree protocols");
   }
 
+  if (const JsonValue* g = v.find("graph")) {
+    if (!graph) fail(where + ": 'graph' only applies to graph protocols");
+    s.graph = parse_graph(*g, where + ".graph");
+  } else if (graph) {
+    fail(where + ".graph is required for graph protocols");
+  }
+
   if (const JsonValue* range = v.find("range")) {
-    if (vertex) fail(where + ": 'range' only applies to real protocols");
+    if (vertex || graph) {
+      fail(where + ": 'range' only applies to real protocols");
+    }
     s.ranges = get_number_list(*range, where + ".range");
     for (const double d : s.ranges) {
       if (!(d > 0)) fail(where + ".range entries must be > 0");
     }
-  } else if (!vertex) {
+  } else if (!vertex && !graph) {
     fail(where + ".range is required for real protocols");
   }
 
   if (const JsonValue* eps = v.find("eps")) {
-    if (vertex) fail(where + ": 'eps' only applies to real protocols");
+    if (vertex || graph) {
+      fail(where + ": 'eps' only applies to real protocols");
+    }
     s.eps = get_number_list(*eps, where + ".eps");
     for (const double e : s.eps) {
       if (!(e > 0)) fail(where + ".eps entries must be > 0");
@@ -301,21 +358,26 @@ std::vector<Cell> expand(const SweepSpec& spec) {
 
     for (const Protocol protocol : s.protocols) {
       const bool vertex = is_vertex_protocol(protocol);
+      const bool graph = is_graph_protocol(protocol);
+      const bool real = !vertex && !graph;
       // Axes that do not apply to this protocol collapse to one default
-      // entry so they never multiply its cells.
+      // entry so they never multiply its cells. (block_aa's engine/update
+      // axes collapse too: its inner TreeAA always runs the defaults.)
       const std::vector<core::RealEngineKind> engines =
           protocol == Protocol::kTreeAA
               ? s.engines
               : std::vector<core::RealEngineKind>{
                     core::RealEngineKind::kGradecastBdh};
       const std::vector<std::string> families =
-          vertex ? s.tree->families : std::vector<std::string>{""};
+          vertex ? s.tree->families
+                 : graph ? s.graph->families : std::vector<std::string>{""};
       const std::vector<std::size_t> sizes =
-          vertex ? s.tree->sizes : std::vector<std::size_t>{0};
+          vertex ? s.tree->sizes
+                 : graph ? s.graph->sizes : std::vector<std::size_t>{0};
       const std::vector<double> ranges =
-          vertex ? std::vector<double>{0.0} : s.ranges;
+          real ? s.ranges : std::vector<double>{0.0};
       const std::vector<double> eps =
-          vertex ? std::vector<double>{1.0} : s.eps;
+          real ? s.eps : std::vector<double>{1.0};
       const std::vector<realaa::UpdateRule> updates =
           protocol == Protocol::kTreeAA || protocol == Protocol::kRealAA
               ? s.updates
@@ -354,6 +416,10 @@ std::vector<Cell> expand(const SweepSpec& spec) {
                             cell.tree_size = size;
                             cell.tree_seed = s.tree->tree_seed;
                             cell.chain_bias = s.tree->chain_bias;
+                          } else if (graph) {
+                            cell.family = family;
+                            cell.tree_size = size;
+                            cell.tree_seed = s.graph->graph_seed;
                           }
                           cell.engine = engine;
                           cell.known_range = range;

@@ -44,6 +44,7 @@ namespace treeaa::exp {
 using Protocol = harness::ProtocolKind;
 using AdversaryKind = harness::AdversaryKind;
 using harness::adversary_name;
+using harness::is_graph_protocol;
 using harness::is_vertex_protocol;
 using harness::protocol_name;
 
@@ -64,9 +65,20 @@ struct TreeSpec {
   double chain_bias = 0.9;
 };
 
+/// Graph axis of a graph-protocol scenario (block_aa). `families` uses the
+/// generator names of graphs/generators.h; `graph_seed` plays the role
+/// TreeSpec::tree_seed plays for trees — with it set, the graph for a given
+/// (seed, size) is shared across the scenario's cells.
+struct GraphSpec {
+  std::vector<std::string> families;
+  std::vector<std::size_t> sizes;
+  std::optional<std::uint64_t> graph_seed;
+};
+
 struct Scenario {
-  std::vector<Protocol> protocols;  // all-vertex or all-real, non-empty
+  std::vector<Protocol> protocols;  // all-vertex, all-real, or all-graph
   std::optional<TreeSpec> tree;     // required iff vertex protocols
+  std::optional<GraphSpec> graph;   // required iff graph protocols
   std::vector<double> ranges;       // known range D; required iff real
   std::vector<double> eps{1.0};     // real protocols only
   std::vector<realaa::UpdateRule> updates{realaa::UpdateRule::kTrimmedMean};
@@ -92,7 +104,10 @@ struct Cell {
   std::size_t index = 0;     // position in the flat list (RNG fork tag)
   std::size_t scenario = 0;  // index into SweepSpec::scenarios
   Protocol protocol = Protocol::kTreeAA;
-  // Vertex-protocol axes; `family` stays empty for real protocols.
+  // Vertex- and graph-protocol axes; `family` stays empty for real
+  // protocols. Graph cells reuse these fields (family = graph family,
+  // tree_size = graph size, tree_seed = GraphSpec::graph_seed) so cell
+  // indexing and RNG forks stay uniform across the protocol families.
   std::string family;
   std::size_t tree_size = 0;
   std::optional<std::uint64_t> tree_seed;

@@ -13,6 +13,9 @@
 #include "common/rng.h"
 #include "core/api.h"
 #include "core/paths_finder.h"
+#include "graphs/block_aa.h"
+#include "graphs/check.h"
+#include "graphs/generators.h"
 #include "harness/runner.h"
 #include "obs/probe.h"
 #include "sim/strategies.h"
@@ -46,6 +49,20 @@ LabeledTree build_tree(const Cell& cell, Rng& cell_rng) {
     }
   }
   throw std::invalid_argument("unknown tree family '" + cell.family + "'");
+}
+
+graphs::Graph build_graph(const Cell& cell, Rng& cell_rng) {
+  // Same sharing rule as build_tree: with a scenario graph_seed (stored in
+  // cell.tree_seed) the graph depends on (graph_seed, size) alone.
+  Rng graph_rng = cell.tree_seed.has_value()
+                      ? Rng(*cell.tree_seed).fork(cell.tree_size)
+                      : cell_rng.fork(kTreeTag);
+  for (const graphs::GraphFamily f : graphs::all_graph_families()) {
+    if (cell.family == graphs::graph_family_name(f)) {
+      return graphs::make_family_graph(f, cell.tree_size, graph_rng);
+    }
+  }
+  throw std::invalid_argument("unknown graph family '" + cell.family + "'");
 }
 
 std::vector<PartyId> last_parties(std::size_t n, std::size_t k) {
@@ -88,6 +105,30 @@ std::unique_ptr<sim::Adversary> make_vertex_adversary(const Cell& cell,
     pf.mode = cell.mode;
     pf.engine = cell.engine;
     plan.split_config = core::paths_finder_config(tree, cell.n, cell.t, pf);
+    plan.victims = last_parties(cell.n, cell.t);
+  }
+  return harness::make_adversary(plan);
+}
+
+/// The adversary for a graph-protocol cell. The split attack targets the
+/// inner RealAA of BlockAA's PathsFinder, which runs on the agreement tree
+/// A(G) — so the Config comes from paths_finder_config over A(G).
+std::unique_ptr<sim::Adversary> make_graph_adversary(
+    const Cell& cell, const graphs::BlockIndex& index, Rng& adv_rng) {
+  if (!harness::adversary_applies(cell.protocol, cell.adversary) ||
+      !is_graph_protocol(cell.protocol)) {
+    throw std::invalid_argument("adversary does not apply to graph protocol");
+  }
+  harness::AdversaryPlan plan;
+  plan.kind = cell.adversary;
+  draw_plan_randomness(plan, cell.n, cell.t, adv_rng);
+  if (cell.adversary == AdversaryKind::kSplit) {
+    core::PathsFinderOptions pf;
+    pf.update = cell.update;
+    pf.mode = cell.mode;
+    pf.engine = cell.engine;
+    plan.split_config = core::paths_finder_config(index.agreement_tree(),
+                                                  cell.n, cell.t, pf);
     plan.victims = last_parties(cell.n, cell.t);
   }
   return harness::make_adversary(plan);
@@ -167,6 +208,57 @@ void run_vertex_cell(const SweepSpec& spec, const Cell& cell,
     }
   }
   const auto check = core::check_agreement(tree, honest_inputs, honest_outputs);
+  result.validity = check.valid;
+  result.agreement = check.one_agreement;
+  result.spread = static_cast<double>(check.max_pairwise_distance);
+}
+
+void run_block_cell(const SweepSpec& spec, const Cell& cell,
+                    CellResult& result, Rng& cell_rng,
+                    const obs::Hooks* hooks, std::size_t run_threads) {
+  (void)spec;
+  const graphs::Graph g = build_graph(cell, cell_rng);
+  const graphs::BlockIndex index(g);
+  result.tree_n = g.n();
+  result.tree_diameter = index.diameter();
+  result.graph_blocks = index.decomposition().blocks().size();
+  result.lower_bound =
+      bounds::lower_bound_rounds(index.diameter(), cell.n, cell.t);
+
+  Rng input_rng = cell_rng.fork(kInputTag);
+  std::vector<VertexId> inputs(cell.n);
+  if (cell.inputs == InputKind::kSpread) {
+    const auto [a, b] = index.diameter_endpoints();
+    for (std::size_t i = 0; i < cell.n; ++i) inputs[i] = i % 2 == 0 ? a : b;
+  } else {
+    for (auto& v : inputs) v = static_cast<VertexId>(input_rng.index(g.n()));
+  }
+
+  Rng adv_rng = cell_rng.fork(kAdversaryTag);
+  auto adversary = make_graph_adversary(cell, index, adv_rng);
+
+  graphs::BlockAAOptions opts;
+  opts.update = cell.update;
+  opts.mode = cell.mode;
+  opts.engine = cell.engine;
+  result.round_budget = graphs::block_aa_rounds(index, cell.n, cell.t, opts);
+  auto run = graphs::run_block_aa(index, inputs, cell.t, opts,
+                                  std::move(adversary), hooks,
+                                  sim::EngineOptions{run_threads});
+  result.rounds = run.rounds;
+  result.corrupt = run.corrupt.size();
+  fill_traffic(result, run.traffic);
+
+  std::vector<VertexId> honest_inputs;
+  std::vector<VertexId> honest_outputs;
+  for (PartyId p = 0; p < cell.n; ++p) {
+    if (run.outputs[p].has_value()) {
+      honest_inputs.push_back(inputs[p]);
+      honest_outputs.push_back(*run.outputs[p]);
+    }
+  }
+  const auto check =
+      graphs::check_agreement(index, honest_inputs, honest_outputs);
   result.validity = check.valid;
   result.agreement = check.one_agreement;
   result.spread = static_cast<double>(check.max_pairwise_distance);
@@ -257,7 +349,9 @@ CellResult run_cell(const SweepSpec& spec, const Cell& cell,
   try {
     Rng parent(spec.seed);
     Rng cell_rng = parent.fork(cell.index);
-    if (is_vertex_protocol(cell.protocol)) {
+    if (is_graph_protocol(cell.protocol)) {
+      run_block_cell(spec, cell, result, cell_rng, hooks_ptr, run_threads);
+    } else if (is_vertex_protocol(cell.protocol)) {
       run_vertex_cell(spec, cell, result, cell_rng, hooks_ptr, run_threads);
     } else {
       run_real_cell(spec, cell, result, cell_rng, hooks_ptr, run_threads);

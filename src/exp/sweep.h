@@ -45,9 +45,12 @@ struct CellResult {
   std::uint64_t round_budget = 0;
   std::uint64_t lower_bound = 0;
 
-  // Instance facts. tree_n/tree_diameter stay 0 for real protocols.
+  // Instance facts. tree_n/tree_diameter stay 0 for real protocols; graph
+  // cells reuse them for the graph's vertex count and diameter and
+  // additionally record the block count (0 for the other families).
   std::size_t tree_n = 0;
   std::size_t tree_diameter = 0;
+  std::size_t graph_blocks = 0;
   std::size_t corrupt = 0;
 
   // Traffic totals.

@@ -1,0 +1,241 @@
+#include "graphs/block_index.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/check.h"
+
+namespace treeaa::graphs {
+
+namespace {
+
+/// Rank of v inside a block's sorted vertex list.
+std::size_t rank_in(const Block& b, VertexId v) {
+  const auto it = std::lower_bound(b.vertices.begin(), b.vertices.end(), v);
+  TREEAA_CHECK(it != b.vertices.end() && *it == v);
+  return static_cast<std::size_t>(it - b.vertices.begin());
+}
+
+}  // namespace
+
+BlockIndex::BlockIndex(const Graph& g)
+    : graph_(g),
+      decomposition_(graph_),
+      agreement_(build_agreement_tree(graph_, decomposition_)),
+      index_(agreement_.tree) {
+  TREEAA_REQUIRE_MSG(decomposition_.cliques_and_cycles(),
+                     "BlockIndex requires every block to be an edge, clique, "
+                     "or cycle");
+
+  // Block-node potential: synthetic nodes on the root path, inclusive.
+  const LabeledTree& a = agreement_.tree;
+  block_potential_.assign(a.n(), 0);
+  std::deque<VertexId> queue{a.root()};
+  block_potential_[a.root()] =
+      agreement_.node_to_block[a.root()].has_value() ? 1u : 0u;
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    for (const VertexId c : a.children(v)) {
+      block_potential_[c] =
+          block_potential_[v] +
+          (agreement_.node_to_block[c].has_value() ? 1u : 0u);
+      queue.push_back(c);
+    }
+  }
+
+  // Cycle walks: start each cycle at its smallest vertex, step toward the
+  // smaller neighbor — a pure function of the block.
+  const auto& blocks = decomposition_.blocks();
+  cycle_pos_.resize(blocks.size());
+  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+    const Block& b = blocks[bi];
+    if (b.shape != BlockShape::kCycle) continue;
+    std::vector<std::vector<VertexId>> nbrs(b.vertices.size());
+    for (const auto& [u, v] : b.edges) {
+      nbrs[rank_in(b, u)].push_back(v);
+      nbrs[rank_in(b, v)].push_back(u);
+    }
+    for (auto& nn : nbrs) std::sort(nn.begin(), nn.end());
+    cycle_pos_[bi].assign(b.vertices.size(), 0);
+    VertexId prev = b.vertices[0];
+    VertexId cur = nbrs[0][0];
+    std::uint32_t pos = 1;
+    while (cur != b.vertices[0]) {
+      cycle_pos_[bi][rank_in(b, cur)] = pos++;
+      const auto& nn = nbrs[rank_in(b, cur)];
+      const VertexId next = nn[0] == prev ? nn[1] : nn[0];
+      prev = cur;
+      cur = next;
+    }
+    TREEAA_CHECK(pos == b.vertices.size());
+  }
+
+  // Diameter: exact max over pairs, smallest endpoint pair on ties.
+  const auto count = static_cast<VertexId>(graph_.n());
+  for (VertexId u = 0; u < count; ++u) {
+    for (VertexId v = u + 1; v < count; ++v) {
+      const std::uint32_t d = distance(u, v);
+      if (d > diameter_) {
+        diameter_ = d;
+        diameter_ends_ = {u, v};
+      }
+    }
+  }
+}
+
+VertexId BlockIndex::to_vertex(VertexId a) const {
+  agreement_.tree.require_vertex(a);
+  TREEAA_REQUIRE_MSG(agreement_.is_vertex_node(a),
+                     "A node " << a << " is a synthetic block node");
+  return agreement_.node_to_vertex[a];
+}
+
+VertexId BlockIndex::resolve(VertexId a, VertexId toward) const {
+  agreement_.tree.require_vertex(a);
+  graph_.require_vertex(toward);
+  if (agreement_.is_vertex_node(a)) return agreement_.node_to_vertex[a];
+  // Block node: the gate toward `toward` is the first node after `a` on the
+  // A-path — always a vertex node (block-node neighbors are vertices), and
+  // equal to `toward` itself when `toward` lies in the block.
+  const auto path = agreement_.tree.path(a, to_agreement(toward));
+  TREEAA_CHECK(path.size() >= 2);
+  return to_vertex(path[1]);
+}
+
+std::uint32_t BlockIndex::block_crossing(std::size_t block, VertexId x,
+                                         VertexId y) const {
+  if (x == y) return 0;
+  const Block& b = decomposition_.blocks()[block];
+  if (b.shape != BlockShape::kCycle) return 1;  // edge or clique: one hop
+  const std::uint32_t px = cycle_pos_[block][rank_in(b, x)];
+  const std::uint32_t py = cycle_pos_[block][rank_in(b, y)];
+  const std::uint32_t arc = px > py ? px - py : py - px;
+  const auto len = static_cast<std::uint32_t>(b.vertices.size());
+  return std::min(arc, len - arc);
+}
+
+std::uint32_t BlockIndex::distance(VertexId u, VertexId v) const {
+  const VertexId au = to_agreement(u);
+  const VertexId av = to_agreement(v);
+  if (decomposition_.all_cliques()) {
+    // Every size->=3 block node on the A-path costs two tree edges but one
+    // graph hop; count them from three root potentials.
+    const VertexId l = index_.lca(au, av);
+    const std::uint32_t on_path =
+        block_potential_[au] + block_potential_[av] -
+        2 * block_potential_[l] +
+        (agreement_.node_to_block[l].has_value() ? 1u : 0u);
+    return index_.distance(au, av) - on_path;
+  }
+  // Cycle blocks: walk the A-path and charge each block its min arc.
+  const auto path = agreement_.tree.path(au, av);
+  std::uint32_t total = 0;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (const auto block = agreement_.node_to_block[path[i]]) {
+      total += block_crossing(*block, agreement_.node_to_vertex[path[i - 1]],
+                              agreement_.node_to_vertex[path[i + 1]]);
+    } else if (i + 1 < path.size() &&
+               !agreement_.node_to_block[path[i + 1]].has_value()) {
+      total += 1;  // contracted single-edge block
+    }
+  }
+  return total;
+}
+
+VertexId BlockIndex::median(VertexId a, VertexId b, VertexId c) const {
+  const VertexId m =
+      index_.median(to_agreement(a), to_agreement(b), to_agreement(c));
+  if (agreement_.is_vertex_node(m)) return agreement_.node_to_vertex[m];
+  // The A-median is a block node: every minimizer of the distance sum lies
+  // inside that block (any outside vertex pays its gate distance at least
+  // twice and saves it at most once). Enumerate; smallest id on ties.
+  const Block& block = decomposition_.blocks()[*agreement_.node_to_block[m]];
+  VertexId best = block.vertices[0];
+  std::uint64_t best_sum = ~0ull;
+  for (const VertexId v : block.vertices) {
+    const std::uint64_t sum = static_cast<std::uint64_t>(distance(v, a)) +
+                              distance(v, b) + distance(v, c);
+    if (sum < best_sum) {
+      best_sum = sum;
+      best = v;
+    }
+  }
+  return best;
+}
+
+std::vector<VertexId> BlockIndex::geodesic(VertexId u, VertexId v) const {
+  TREEAA_REQUIRE_MSG(all_cliques(),
+                     "geodesics are unique only on clique-block graphs");
+  const auto path = agreement_.tree.path(to_agreement(u), to_agreement(v));
+  std::vector<VertexId> out;
+  for (const VertexId node : path) {
+    if (agreement_.is_vertex_node(node)) {
+      out.push_back(agreement_.node_to_vertex[node]);
+    }
+  }
+  return out;
+}
+
+VertexId BlockIndex::project_onto_geodesic(VertexId a, VertexId b,
+                                           VertexId c) const {
+  const auto geo = geodesic(a, b);
+  VertexId best = geo.front();
+  std::uint32_t best_d = distance(best, c);
+  for (const VertexId v : geo) {
+    const std::uint32_t d = distance(v, c);
+    if (d < best_d || (d == best_d && v < best)) {
+      best_d = d;
+      best = v;
+    }
+  }
+  return best;
+}
+
+bool BlockIndex::in_hull(std::span<const VertexId> s, VertexId w) const {
+  TREEAA_REQUIRE_MSG(all_cliques(),
+                     "hull queries require a clique-block graph");
+  TREEAA_REQUIRE(!s.empty());
+  std::vector<VertexId> mapped;
+  mapped.reserve(s.size());
+  for (const VertexId v : s) mapped.push_back(to_agreement(v));
+  return index_.in_hull(mapped, to_agreement(w));
+}
+
+std::vector<VertexId> BlockIndex::hull(std::span<const VertexId> s) const {
+  TREEAA_REQUIRE_MSG(all_cliques(),
+                     "hull queries require a clique-block graph");
+  TREEAA_REQUIRE(!s.empty());
+  // The hull is the vertex-node set of the Steiner tree of S in A(G):
+  // union of the A-paths from one anchor to every element.
+  const VertexId anchor = to_agreement(s.front());
+  std::vector<VertexId> nodes;
+  for (const VertexId v : s) {
+    for (const VertexId node : agreement_.tree.path(anchor, to_agreement(v))) {
+      nodes.push_back(node);
+    }
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  std::vector<VertexId> out;
+  for (const VertexId node : nodes) {
+    if (agreement_.is_vertex_node(node)) {
+      out.push_back(agreement_.node_to_vertex[node]);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint32_t BlockIndex::max_pairwise_distance(
+    std::span<const VertexId> a, std::span<const VertexId> b) const {
+  std::uint32_t max = 0;
+  for (const VertexId u : a) {
+    for (const VertexId v : b) {
+      max = std::max(max, distance(u, v));
+    }
+  }
+  return max;
+}
+
+}  // namespace treeaa::graphs

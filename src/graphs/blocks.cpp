@@ -1,0 +1,235 @@
+#include "graphs/blocks.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace treeaa::graphs {
+
+const char* block_shape_name(BlockShape s) {
+  switch (s) {
+    case BlockShape::kEdge:
+      return "edge";
+    case BlockShape::kClique:
+      return "clique";
+    case BlockShape::kCycle:
+      return "cycle";
+    case BlockShape::kOther:
+      return "other";
+  }
+  TREEAA_CHECK(false);
+}
+
+bool Block::contains(VertexId v) const {
+  return std::binary_search(vertices.begin(), vertices.end(), v);
+}
+
+namespace {
+
+BlockShape classify(const Block& b) {
+  const std::size_t s = b.vertices.size();
+  if (s == 2) return BlockShape::kEdge;
+  if (b.edges.size() == s * (s - 1) / 2) return BlockShape::kClique;
+  if (b.edges.size() == s) {
+    // A biconnected graph with |E| == |V| is exactly a simple cycle, but
+    // verify the degrees anyway: the classification gates closed-form
+    // distances downstream.
+    std::vector<std::size_t> deg(s, 0);
+    for (const auto& [u, v] : b.edges) {
+      const auto iu = std::lower_bound(b.vertices.begin(), b.vertices.end(), u);
+      const auto iv = std::lower_bound(b.vertices.begin(), b.vertices.end(), v);
+      ++deg[static_cast<std::size_t>(iu - b.vertices.begin())];
+      ++deg[static_cast<std::size_t>(iv - b.vertices.begin())];
+    }
+    if (std::all_of(deg.begin(), deg.end(),
+                    [](std::size_t d) { return d == 2; })) {
+      return BlockShape::kCycle;
+    }
+  }
+  return BlockShape::kOther;
+}
+
+Block make_block(std::vector<std::pair<VertexId, VertexId>> edges) {
+  Block b;
+  for (auto& [u, v] : edges) {
+    if (u > v) std::swap(u, v);
+  }
+  std::sort(edges.begin(), edges.end());
+  b.edges = std::move(edges);
+  for (const auto& [u, v] : b.edges) {
+    b.vertices.push_back(u);
+    b.vertices.push_back(v);
+  }
+  std::sort(b.vertices.begin(), b.vertices.end());
+  b.vertices.erase(std::unique(b.vertices.begin(), b.vertices.end()),
+                   b.vertices.end());
+  b.shape = classify(b);
+  return b;
+}
+
+}  // namespace
+
+BlockDecomposition::BlockDecomposition(const Graph& g) {
+  const std::size_t n = g.n();
+  is_cut_.assign(n, false);
+  blocks_of_.resize(n);
+  if (n == 1) return;  // no edges, no blocks
+
+  // Iterative Tarjan lowlink DFS over the canonical adjacency order. The
+  // edge stack holds tree and back edges; when a child's lowlink cannot
+  // climb above its parent, the edges popped down to (and including) the
+  // tree edge form one block.
+  constexpr std::uint32_t kUnvisited = ~0u;
+  std::vector<std::uint32_t> disc(n, kUnvisited);
+  std::vector<std::uint32_t> low(n, 0);
+  std::vector<std::pair<VertexId, VertexId>> edge_stack;
+  std::uint32_t clock = 0;
+
+  struct Frame {
+    VertexId v;
+    VertexId parent;
+    std::size_t next;  // index into neighbors(v)
+  };
+  std::vector<Frame> stack;
+  stack.push_back({0, kNoVertex, 0});
+  disc[0] = low[0] = clock++;
+
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const auto nbrs = g.neighbors(f.v);
+    if (f.next < nbrs.size()) {
+      const VertexId w = nbrs[f.next++];
+      if (w == f.parent) continue;  // simple graph: one parent edge
+      if (disc[w] == kUnvisited) {
+        edge_stack.emplace_back(f.v, w);
+        disc[w] = low[w] = clock++;
+        stack.push_back({w, f.v, 0});
+      } else if (disc[w] < disc[f.v]) {
+        edge_stack.emplace_back(f.v, w);
+        low[f.v] = std::min(low[f.v], disc[w]);
+      }
+      continue;
+    }
+    // All neighbors of f.v explored: fold into the parent frame.
+    const Frame done = f;
+    stack.pop_back();
+    if (stack.empty()) break;
+    Frame& p = stack.back();
+    low[p.v] = std::min(low[p.v], low[done.v]);
+    if (low[done.v] >= disc[p.v]) {
+      // Pop this block's edges: everything above (p.v, done.v) inclusive.
+      std::vector<std::pair<VertexId, VertexId>> block_edges;
+      while (true) {
+        TREEAA_CHECK(!edge_stack.empty());
+        const auto e = edge_stack.back();
+        edge_stack.pop_back();
+        block_edges.push_back(e);
+        if (e.first == p.v && e.second == done.v) break;
+      }
+      blocks_.push_back(make_block(std::move(block_edges)));
+    }
+  }
+  TREEAA_CHECK(edge_stack.empty());
+
+  // Canonical block order: by sorted vertex list, lexicographically. The
+  // agreement tree's synthetic labels bake this order in.
+  std::sort(blocks_.begin(), blocks_.end(),
+            [](const Block& a, const Block& b) {
+              return a.vertices < b.vertices;
+            });
+
+  std::size_t edge_total = 0;
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    edge_total += blocks_[i].edges.size();
+    for (const VertexId v : blocks_[i].vertices) {
+      blocks_of_[v].push_back(i);
+    }
+    if (blocks_[i].shape != BlockShape::kEdge &&
+        blocks_[i].shape != BlockShape::kClique) {
+      all_cliques_ = false;
+      if (blocks_[i].shape != BlockShape::kCycle) {
+        cliques_and_cycles_ = false;
+      }
+    }
+  }
+  TREEAA_CHECK(edge_total == g.edge_count());
+
+  // In a connected graph, a vertex is an articulation point iff it lies in
+  // more than one block.
+  for (VertexId v = 0; v < n; ++v) {
+    TREEAA_CHECK(!blocks_of_[v].empty());
+    if (blocks_of_[v].size() > 1) {
+      is_cut_[v] = true;
+      ++cut_count_;
+    }
+  }
+}
+
+bool BlockDecomposition::share_block(VertexId u, VertexId v) const {
+  const auto& a = blocks_of_[u];
+  const auto& b = blocks_of_[v];
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+std::string block_node_label(std::size_t index) {
+  std::ostringstream os;
+  os << "~b" << std::setw(8) << std::setfill('0') << index;
+  return os.str();
+}
+
+AgreementTree build_agreement_tree(const Graph& g,
+                                   const BlockDecomposition& decomposition) {
+  if (g.n() == 1) {
+    return AgreementTree{
+        LabeledTree::single(g.label(0)), {0}, {}, {0}, {std::nullopt}};
+  }
+
+  const auto& blocks = decomposition.blocks();
+  std::vector<std::pair<std::string, std::string>> edges;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (blocks[i].size() == 2) {
+      // Trivial blocks contract to a direct edge — this is what makes
+      // A(G) == G on trees.
+      edges.emplace_back(g.label(blocks[i].vertices[0]),
+                         g.label(blocks[i].vertices[1]));
+    } else {
+      const std::string synthetic = block_node_label(i);
+      for (const VertexId v : blocks[i].vertices) {
+        edges.emplace_back(synthetic, g.label(v));
+      }
+    }
+  }
+  AgreementTree at{LabeledTree::from_edges(edges), {}, {}, {}, {}};
+
+  at.vertex_to_node.resize(g.n());
+  at.node_to_vertex.assign(at.tree.n(), kNoVertex);
+  at.node_to_block.assign(at.tree.n(), std::nullopt);
+  for (VertexId v = 0; v < g.n(); ++v) {
+    const auto node = at.tree.find(g.label(v));
+    TREEAA_CHECK(node.has_value());
+    at.vertex_to_node[v] = *node;
+    at.node_to_vertex[*node] = v;
+  }
+  at.block_to_node.assign(blocks.size(), kNoVertex);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (blocks[i].size() <= 2) continue;
+    const auto node = at.tree.find(block_node_label(i));
+    TREEAA_CHECK(node.has_value());
+    at.block_to_node[i] = *node;
+    at.node_to_block[*node] = i;
+  }
+  return at;
+}
+
+}  // namespace treeaa::graphs

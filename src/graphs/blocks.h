@@ -1,0 +1,138 @@
+// Biconnected-component decomposition and the agreement tree.
+//
+// A *block* of a connected graph is a maximal biconnected subgraph; two
+// blocks share at most one vertex, and a vertex in more than one block is
+// exactly an articulation point ("cut vertex"). The blocks and cut
+// vertices of G form the classic block-cut tree. Both are computed here by
+// one iterative Tarjan lowlink DFS over the canonical adjacency order, so
+// the decomposition — block list, block order, shapes — is a pure function
+// of the graph.
+//
+// In a *block graph* every block is a clique (arXiv:2502.05591); in a
+// *cactus* every block is an edge or a cycle (the other tractable family).
+// Each block is classified by shape so downstream code can pick the
+// closed-form distance for it.
+//
+// The **agreement tree** A(G) is the reduction that powers BlockAA: the
+// block-cut tree with trivial (single-edge) blocks contracted away —
+//
+//   * every vertex of G is a node of A(G), keeping its label;
+//   * every block of size >= 3 becomes one synthetic node, labeled
+//     "~b<index>" (the '~' prefix is reserved by Graph, so synthetic labels
+//     can never collide with input labels), adjacent to each of its
+//     vertices;
+//   * a block of size 2 contributes its edge directly.
+//
+// Two properties make this the right reduction. First, distances compose:
+// a geodesic of G decomposes into per-block segments stitched at cut
+// vertices, and the A(G) path between two vertices visits exactly those cut
+// vertices and blocks (block_index.h turns this into O(1) distances).
+// Second — the degenerate case — if G is a tree, every block is a single
+// edge, so A(G) *is* G: same labels, same edges, hence the identical
+// canonical LabeledTree. That is what lets BlockAA delegate verbatim to
+// TreeAA on tree inputs and reproduce its transcripts byte for byte.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "graphs/graph.h"
+#include "trees/labeled_tree.h"
+
+namespace treeaa::graphs {
+
+enum class BlockShape {
+  kEdge,    // two vertices, one edge (K2)
+  kClique,  // >= 3 vertices, all pairs adjacent
+  kCycle,   // >= 3 vertices, a simple cycle (and not K3, which is a clique)
+  kOther,   // anything else; outside the closed-form families
+};
+
+[[nodiscard]] const char* block_shape_name(BlockShape s);
+
+struct Block {
+  /// The block's vertices, sorted ascending by id.
+  std::vector<VertexId> vertices;
+  /// The block's edges, (u, v) with u < v, sorted ascending.
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  BlockShape shape = BlockShape::kOther;
+
+  [[nodiscard]] std::size_t size() const { return vertices.size(); }
+  [[nodiscard]] bool contains(VertexId v) const;
+};
+
+/// The blocks and cut vertices of a connected graph. Deterministic: blocks
+/// are sorted by their (sorted) vertex lists, so the decomposition — and
+/// everything derived from it, the agreement tree above all — is a pure
+/// function of the graph.
+class BlockDecomposition {
+ public:
+  explicit BlockDecomposition(const Graph& g);
+
+  [[nodiscard]] const std::vector<Block>& blocks() const { return blocks_; }
+
+  /// True iff v is an articulation point of the graph.
+  [[nodiscard]] bool is_cut(VertexId v) const { return is_cut_[v]; }
+
+  [[nodiscard]] std::size_t cut_count() const { return cut_count_; }
+
+  /// Indices (into blocks()) of the blocks containing v, sorted ascending.
+  /// Singleton exactly when v is not a cut vertex.
+  [[nodiscard]] const std::vector<std::size_t>& blocks_of(VertexId v) const {
+    return blocks_of_[v];
+  }
+
+  /// True iff u and v lie in a common block. Distance-1 pairs always do;
+  /// this is the "same block" half of 1-agreement on block graphs.
+  [[nodiscard]] bool share_block(VertexId u, VertexId v) const;
+
+  /// Every block is an edge or a clique — the arXiv:2502.05591 family,
+  /// where all BlockIndex queries are O(1) / closed-form.
+  [[nodiscard]] bool all_cliques() const { return all_cliques_; }
+
+  /// Every block is an edge, clique, or cycle — the families the
+  /// generators produce and BlockIndex accepts.
+  [[nodiscard]] bool cliques_and_cycles() const {
+    return cliques_and_cycles_;
+  }
+
+ private:
+  std::vector<Block> blocks_;
+  std::vector<bool> is_cut_;
+  std::vector<std::vector<std::size_t>> blocks_of_;
+  std::size_t cut_count_ = 0;
+  bool all_cliques_ = true;
+  bool cliques_and_cycles_ = true;
+};
+
+/// Label of the synthetic agreement-tree node for block `index`:
+/// "~b" + zero-padded index, so synthetic labels sort in block order.
+[[nodiscard]] std::string block_node_label(std::size_t index);
+
+/// The agreement tree A(G) plus the id maps between G and A. `tree` is a
+/// plain LabeledTree, so the whole TreeAA stack (perf::TreeIndex,
+/// TreeAAProcess, convex hulls) runs on it unchanged.
+struct AgreementTree {
+  LabeledTree tree;
+  /// G vertex id -> A node id.
+  std::vector<VertexId> vertex_to_node;
+  /// Block index -> A node id; kNoVertex for contracted (size-2) blocks.
+  std::vector<VertexId> block_to_node;
+  /// A node id -> G vertex id; kNoVertex for synthetic block nodes.
+  std::vector<VertexId> node_to_vertex;
+  /// A node id -> block index, engaged only for synthetic block nodes.
+  std::vector<std::optional<std::size_t>> node_to_block;
+
+  [[nodiscard]] bool is_vertex_node(VertexId a) const {
+    return node_to_vertex[a] != kNoVertex;
+  }
+};
+
+[[nodiscard]] AgreementTree build_agreement_tree(
+    const Graph& g, const BlockDecomposition& decomposition);
+
+}  // namespace treeaa::graphs

@@ -1,0 +1,130 @@
+#include "graphs/check.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/check.h"
+
+namespace treeaa::graphs {
+
+GraphAgreementCheck check_agreement(const BlockIndex& index,
+                                    std::span<const VertexId> honest_inputs,
+                                    std::span<const VertexId> honest_outputs) {
+  TREEAA_REQUIRE(!honest_inputs.empty() && !honest_outputs.empty());
+  GraphAgreementCheck check;
+
+  if (index.all_cliques()) {
+    check.valid = std::all_of(
+        honest_outputs.begin(), honest_outputs.end(),
+        [&](VertexId v) { return index.in_hull(honest_inputs, v); });
+  } else {
+    const std::vector<VertexId> hull =
+        naive_hull(index.graph(), honest_inputs);
+    check.valid = std::all_of(
+        honest_outputs.begin(), honest_outputs.end(), [&](VertexId v) {
+          return std::binary_search(hull.begin(), hull.end(), v);
+        });
+  }
+
+  check.max_pairwise_distance =
+      index.max_pairwise_distance(honest_outputs, honest_outputs);
+  check.one_agreement = true;
+  for (const VertexId u : honest_outputs) {
+    for (const VertexId v : honest_outputs) {
+      if (index.distance(u, v) > 1 &&
+          !index.decomposition().share_block(u, v)) {
+        check.one_agreement = false;
+        break;
+      }
+    }
+    if (!check.one_agreement) break;
+  }
+  return check;
+}
+
+std::vector<VertexId> naive_hull(const Graph& g,
+                                 std::span<const VertexId> s) {
+  TREEAA_REQUIRE(!s.empty());
+  const std::size_t n = g.n();
+  // All-pairs BFS distances once; the closure loop then only compares.
+  std::vector<std::vector<std::uint32_t>> dist;
+  dist.reserve(n);
+  for (VertexId v = 0; v < n; ++v) dist.push_back(g.bfs_distances(v));
+
+  std::vector<bool> in(n, false);
+  for (const VertexId v : s) {
+    g.require_vertex(v);
+    in[v] = true;
+  }
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (VertexId w = 0; w < n; ++w) {
+      if (in[w]) continue;
+      for (VertexId u = 0; u < n && !in[w]; ++u) {
+        if (!in[u]) continue;
+        for (VertexId v = 0; v < n; ++v) {
+          if (!in[v]) continue;
+          if (dist[u][w] + dist[w][v] == dist[u][v]) {
+            in[w] = true;
+            grew = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < n; ++v) {
+    if (in[v]) out.push_back(v);
+  }
+  return out;
+}
+
+bool is_safe(const Graph& g, std::span<const VertexId> inputs, std::size_t t,
+             VertexId v) {
+  g.require_vertex(v);
+  TREEAA_REQUIRE(!inputs.empty());
+  TREEAA_REQUIRE_MSG(inputs.size() > t, "need more than t inputs");
+  const std::size_t limit = inputs.size() - t - 1;
+
+  // BFS over G - v, component by component; count inputs per component.
+  std::vector<std::uint32_t> input_count(g.n(), 0);
+  for (const VertexId x : inputs) {
+    g.require_vertex(x);
+    if (x != v) ++input_count[x];
+  }
+  std::vector<bool> seen(g.n(), false);
+  seen[v] = true;
+  for (VertexId start = 0; start < g.n(); ++start) {
+    if (seen[start]) continue;
+    std::size_t in_component = 0;
+    std::deque<VertexId> queue{start};
+    seen[start] = true;
+    while (!queue.empty()) {
+      const VertexId x = queue.front();
+      queue.pop_front();
+      in_component += input_count[x];
+      for (const VertexId w : g.neighbors(x)) {
+        if (!seen[w]) {
+          seen[w] = true;
+          queue.push_back(w);
+        }
+      }
+    }
+    if (in_component > limit) return false;
+  }
+  return true;
+}
+
+std::vector<VertexId> safe_vertices(const Graph& g,
+                                    std::span<const VertexId> inputs,
+                                    std::size_t t) {
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < g.n(); ++v) {
+    if (is_safe(g, inputs, t, v)) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace treeaa::graphs

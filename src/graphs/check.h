@@ -1,0 +1,67 @@
+// Agreement and safe-area checks on block graphs.
+//
+// The AA correctness conditions lift from trees (core::check_agreement) to
+// graphs with one twist each:
+//
+//   * Validity — every honest output lies in the convex hull of the honest
+//     inputs. On clique-block graphs the hull is the vertex-node set of
+//     the agreement-tree Steiner tree (BlockIndex::in_hull, O(1) per
+//     pair); with cycle blocks convexity needs the general interval
+//     closure, computed here by a naive BFS fixpoint (check-grade code,
+//     cross-validated against the fast path on clique families).
+//
+//   * 1-Agreement — on clique-block graphs "distance <= 1" is the right
+//     condition, exactly as on trees. A cycle block cannot contract below
+//     its arc metric in one shot, so on cacti the honest guarantee
+//     degrades to "every pair of outputs is adjacent or shares a block";
+//     `one_agreement` encodes that disjunction, which coincides with
+//     d <= 1 whenever every block is a clique.
+//
+//   * Safe area (the validity region under t Byzantine inputs, paper §6 /
+//     arXiv:2103.08949) — the tree closed form generalizes verbatim: v is
+//     t-safe for the input multiset M iff every connected component of
+//     G - v contains at most |M| - t - 1 elements of M, i.e. no single
+//     branch can swallow all honest inputs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "graphs/block_index.h"
+#include "graphs/graph.h"
+
+namespace treeaa::graphs {
+
+struct GraphAgreementCheck {
+  bool valid = false;
+  bool one_agreement = false;
+  std::uint32_t max_pairwise_distance = 0;
+
+  [[nodiscard]] bool ok() const { return valid && one_agreement; }
+};
+
+/// Checks validity and 1-agreement of `honest_outputs` against
+/// `honest_inputs`. Requires both non-empty.
+[[nodiscard]] GraphAgreementCheck check_agreement(
+    const BlockIndex& index, std::span<const VertexId> honest_inputs,
+    std::span<const VertexId> honest_outputs);
+
+/// The convex hull of S by definition: the smallest superset of S closed
+/// under geodesic intervals, via a BFS fixpoint. O(n^2 * |closure|) —
+/// intentionally naive; the oracle for BlockIndex::hull and the fallback
+/// for cycle-block validity. Returns a sorted vertex list. Requires S
+/// non-empty.
+[[nodiscard]] std::vector<VertexId> naive_hull(const Graph& g,
+                                               std::span<const VertexId> s);
+
+/// True iff v is in the t-safe area for inputs M (closed form above).
+[[nodiscard]] bool is_safe(const Graph& g, std::span<const VertexId> inputs,
+                           std::size_t t, VertexId v);
+
+/// All t-safe vertices, sorted ascending.
+[[nodiscard]] std::vector<VertexId> safe_vertices(
+    const Graph& g, std::span<const VertexId> inputs, std::size_t t);
+
+}  // namespace treeaa::graphs

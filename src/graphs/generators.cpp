@@ -1,0 +1,151 @@
+#include "graphs/generators.h"
+
+#include <array>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "trees/generators.h"
+
+namespace treeaa::graphs {
+
+namespace {
+
+/// Zero-padded label "v<idx>" wide enough for `count` vertices — the same
+/// scheme as the tree generators, so the two input spaces look alike.
+std::string label_for(std::size_t idx, std::size_t count) {
+  std::size_t width = 1;
+  for (std::size_t c = count - 1; c >= 10; c /= 10) ++width;
+  std::string digits = std::to_string(idx);
+  std::string label = "v";
+  label.append(width > digits.size() ? width - digits.size() : 0, '0');
+  label += digits;
+  return label;
+}
+
+using LabelEdges = std::vector<std::pair<std::string, std::string>>;
+
+void add_clique_edges(LabelEdges& edges, const std::vector<std::size_t>& ids,
+                      std::size_t n) {
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    for (std::size_t j = i + 1; j < ids.size(); ++j) {
+      edges.emplace_back(label_for(ids[i], n), label_for(ids[j], n));
+    }
+  }
+}
+
+}  // namespace
+
+Graph make_clique(std::size_t k) {
+  TREEAA_REQUIRE(k >= 2);
+  LabelEdges edges;
+  std::vector<std::size_t> ids(k);
+  for (std::size_t i = 0; i < k; ++i) ids[i] = i;
+  add_clique_edges(edges, ids, k);
+  return Graph::from_edges(edges);
+}
+
+Graph make_cycle_graph(std::size_t k) {
+  TREEAA_REQUIRE(k >= 3);
+  LabelEdges edges;
+  for (std::size_t i = 0; i < k; ++i) {
+    edges.emplace_back(label_for(i, k), label_for((i + 1) % k, k));
+  }
+  return Graph::from_edges(edges);
+}
+
+Graph make_clique_chain(std::size_t n, std::size_t clique_size) {
+  TREEAA_REQUIRE(n >= 2);
+  TREEAA_REQUIRE(clique_size >= 2);
+  LabelEdges edges;
+  std::size_t start = 0;
+  while (start + 1 < n) {
+    const std::size_t size = std::min(clique_size, n - start);
+    std::vector<std::size_t> ids;
+    for (std::size_t i = 0; i < size; ++i) ids.push_back(start + i);
+    add_clique_edges(edges, ids, n);
+    start += size - 1;  // last vertex becomes the next clique's cut vertex
+  }
+  return Graph::from_edges(edges);
+}
+
+Graph make_random_block_graph(std::size_t n, Rng& rng) {
+  TREEAA_REQUIRE(n >= 2);
+  LabelEdges edges;
+  std::size_t created = 1;  // vertex 0 exists before any block
+  while (created < n) {
+    const std::size_t want = 2 + rng.index(4);  // clique size 2..5
+    const std::size_t grow = std::min(want - 1, n - created);
+    std::vector<std::size_t> ids{rng.index(created)};
+    for (std::size_t i = 0; i < grow; ++i) ids.push_back(created + i);
+    add_clique_edges(edges, ids, n);
+    created += grow;
+  }
+  return Graph::from_edges(edges);
+}
+
+Graph make_random_cactus(std::size_t n, Rng& rng) {
+  TREEAA_REQUIRE(n >= 2);
+  LabelEdges edges;
+  std::size_t created = 1;
+  while (created < n) {
+    const bool bridge = (rng.next() & 1) == 0;
+    const std::size_t anchor = rng.index(created);
+    if (bridge || n - created < 3) {
+      edges.emplace_back(label_for(anchor, n), label_for(created, n));
+      created += 1;
+      continue;
+    }
+    const std::size_t want = 4 + rng.index(3);  // cycle length 4..6
+    const std::size_t grow = std::min(want - 1, n - created);
+    // Cycle anchor - c - c+1 - ... - c+grow-1 - anchor.
+    edges.emplace_back(label_for(anchor, n), label_for(created, n));
+    for (std::size_t i = 1; i < grow; ++i) {
+      edges.emplace_back(label_for(created + i - 1, n),
+                         label_for(created + i, n));
+    }
+    edges.emplace_back(label_for(created + grow - 1, n),
+                       label_for(anchor, n));
+    created += grow;
+  }
+  return Graph::from_edges(edges);
+}
+
+const char* graph_family_name(GraphFamily f) {
+  switch (f) {
+    case GraphFamily::kTree:
+      return "tree";
+    case GraphFamily::kCliqueChain:
+      return "clique_chain";
+    case GraphFamily::kBlockRandom:
+      return "block_random";
+    case GraphFamily::kCactus:
+      return "cactus";
+  }
+  TREEAA_CHECK(false);
+}
+
+Graph make_family_graph(GraphFamily f, std::size_t n, Rng& rng) {
+  TREEAA_REQUIRE(n >= 2);
+  switch (f) {
+    case GraphFamily::kTree:
+      return graph_from_tree(make_random_tree(n, rng));
+    case GraphFamily::kCliqueChain:
+      return make_clique_chain(n);
+    case GraphFamily::kBlockRandom:
+      return make_random_block_graph(n, rng);
+    case GraphFamily::kCactus:
+      return make_random_cactus(n, rng);
+  }
+  TREEAA_CHECK(false);
+}
+
+std::span<const GraphFamily> all_graph_families() {
+  static constexpr std::array<GraphFamily, 4> kFamilies = {
+      GraphFamily::kTree, GraphFamily::kCliqueChain, GraphFamily::kBlockRandom,
+      GraphFamily::kCactus};
+  return kFamilies;
+}
+
+}  // namespace treeaa::graphs

@@ -1,0 +1,69 @@
+// Block-graph generator families for experiments and property tests.
+//
+// Mirrors trees/generators.h: zero-padded "v<idx>" labels, deterministic
+// output for a given (family, size, Rng state), and a small named-family
+// enum the sweep engine exposes as a spec axis. Families:
+//
+//   tree         — a uniform random tree (Prüfer); the degenerate block
+//                  graph where every block is an edge. BlockAA on this
+//                  family must match TreeAA byte for byte.
+//   clique_chain — a path of cliques glued at single cut vertices; the
+//                  block-graph analogue of the path tree family (maximal
+//                  diameter for its block count).
+//   block_random — a random block graph: random-size cliques (2..5)
+//                  attached at uniformly chosen existing vertices.
+//   cactus       — a random cactus: cycles (4..6) and bridge edges
+//                  attached at uniformly chosen existing vertices; the
+//                  cycle-block family.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/rng.h"
+#include "graphs/graph.h"
+
+namespace treeaa::graphs {
+
+/// The complete graph K_k. Requires k >= 2.
+[[nodiscard]] Graph make_clique(std::size_t k);
+
+/// The simple cycle C_k. Requires k >= 3.
+[[nodiscard]] Graph make_cycle_graph(std::size_t k);
+
+/// A chain of cliques of size `clique_size` sharing single cut vertices,
+/// truncated to exactly `n` vertices (the final clique may be smaller; a
+/// leftover single vertex becomes a pendant edge). Requires n >= 2,
+/// clique_size >= 2.
+[[nodiscard]] Graph make_clique_chain(std::size_t n,
+                                      std::size_t clique_size = 4);
+
+/// A random block graph on exactly `n` vertices: starting from one vertex,
+/// repeatedly attach a clique of random size 2..5 (truncated to the budget)
+/// at a uniformly chosen existing vertex. Every block is a clique.
+[[nodiscard]] Graph make_random_block_graph(std::size_t n, Rng& rng);
+
+/// A random cactus on exactly `n` vertices: repeatedly attach a cycle of
+/// random size 4..6 or (with probability 1/2) a bridge edge at a uniformly
+/// chosen existing vertex. Blocks are edges and cycles.
+[[nodiscard]] Graph make_random_cactus(std::size_t n, Rng& rng);
+
+/// Named families for experiment grids (exp::GraphSpec).
+enum class GraphFamily {
+  kTree,
+  kCliqueChain,
+  kBlockRandom,
+  kCactus,
+};
+
+[[nodiscard]] const char* graph_family_name(GraphFamily f);
+
+/// Builds a family member of the requested size. Every family consumes the
+/// Rng the same way for a given size, so cells of a sweep grid stay
+/// comparable. Requires n >= 2.
+[[nodiscard]] Graph make_family_graph(GraphFamily f, std::size_t n, Rng& rng);
+
+/// All families, in declaration order.
+[[nodiscard]] std::span<const GraphFamily> all_graph_families();
+
+}  // namespace treeaa::graphs

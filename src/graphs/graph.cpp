@@ -1,0 +1,171 @@
+#include "graphs/graph.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/check.h"
+#include "trees/labeled_tree.h"
+
+namespace treeaa::graphs {
+
+namespace {
+
+void require_label(const std::string& label) {
+  TREEAA_REQUIRE_MSG(!label.empty(), "vertex label must be non-empty");
+  TREEAA_REQUIRE_MSG(label[0] != '~',
+                     "label '" << label
+                               << "' is reserved: '~' prefixes synthetic "
+                                  "agreement-tree nodes");
+}
+
+}  // namespace
+
+Graph Graph::from_edges(
+    const std::vector<std::pair<std::string, std::string>>& edges) {
+  TREEAA_REQUIRE_MSG(!edges.empty(),
+                     "a graph needs at least one edge; use single() for the "
+                     "one-vertex graph");
+
+  // Canonical ids: collect labels, sort lexicographically.
+  std::vector<std::string> labels;
+  for (const auto& [a, b] : edges) {
+    require_label(a);
+    require_label(b);
+    TREEAA_REQUIRE_MSG(a != b, "self-loop at '" << a << "'");
+    labels.push_back(a);
+    labels.push_back(b);
+  }
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+
+  Graph g;
+  g.labels_ = std::move(labels);
+  for (VertexId v = 0; v < g.labels_.size(); ++v) g.by_label_[g.labels_[v]] = v;
+
+  g.adj_.resize(g.n());
+  for (const auto& [a, b] : edges) {
+    const VertexId u = g.by_label_.at(a);
+    const VertexId v = g.by_label_.at(b);
+    g.adj_[u].push_back(v);
+    g.adj_[v].push_back(u);
+  }
+  for (VertexId v = 0; v < g.n(); ++v) {
+    auto& nbrs = g.adj_[v];
+    std::sort(nbrs.begin(), nbrs.end());
+    const auto dup = std::adjacent_find(nbrs.begin(), nbrs.end());
+    TREEAA_REQUIRE_MSG(dup == nbrs.end(),
+                       "duplicate edge {" << g.labels_[v] << ", "
+                                          << g.labels_[*dup] << "}");
+  }
+  for (VertexId v = 0; v < g.n(); ++v) {
+    for (const VertexId w : g.adj_[v]) {
+      if (v < w) g.edges_.emplace_back(v, w);
+    }
+  }
+
+  // Connectivity: one BFS must reach everything.
+  std::vector<bool> seen(g.n(), false);
+  std::deque<VertexId> queue{0};
+  seen[0] = true;
+  std::size_t reached = 1;
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    for (const VertexId w : g.adj_[v]) {
+      if (!seen[w]) {
+        seen[w] = true;
+        ++reached;
+        queue.push_back(w);
+      }
+    }
+  }
+  TREEAA_REQUIRE_MSG(reached == g.n(), "graph is disconnected ("
+                                           << reached << " of " << g.n()
+                                           << " vertices reachable)");
+  return g;
+}
+
+Graph Graph::single(std::string label) {
+  require_label(label);
+  Graph g;
+  g.by_label_[label] = 0;
+  g.labels_.push_back(std::move(label));
+  g.adj_.resize(1);
+  return g;
+}
+
+const std::string& Graph::label(VertexId v) const {
+  require_vertex(v);
+  return labels_[v];
+}
+
+std::optional<VertexId> Graph::find(std::string_view label) const {
+  const auto it = by_label_.find(std::string(label));
+  if (it == by_label_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::span<const VertexId> Graph::neighbors(VertexId v) const {
+  require_vertex(v);
+  return adj_[v];
+}
+
+bool Graph::has_edge(VertexId u, VertexId v) const {
+  require_vertex(u);
+  require_vertex(v);
+  return std::binary_search(adj_[u].begin(), adj_[u].end(), v);
+}
+
+std::vector<std::uint32_t> Graph::bfs_distances(VertexId src) const {
+  require_vertex(src);
+  constexpr std::uint32_t kUnseen = ~0u;
+  std::vector<std::uint32_t> dist(n(), kUnseen);
+  dist[src] = 0;
+  std::deque<VertexId> queue{src};
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    for (const VertexId w : adj_[v]) {
+      if (dist[w] == kUnseen) {
+        dist[w] = dist[v] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+std::uint32_t Graph::distance(VertexId u, VertexId v) const {
+  require_vertex(v);
+  return bfs_distances(u)[v];
+}
+
+void Graph::require_vertex(VertexId v) const {
+  TREEAA_REQUIRE_MSG(v < n(), "vertex id " << v << " out of range (n = "
+                                           << n() << ")");
+}
+
+Graph graph_from_tree(const LabeledTree& tree) {
+  if (tree.n() == 1) return Graph::single(tree.label(tree.root()));
+  std::vector<std::pair<std::string, std::string>> edges;
+  for (VertexId v = 0; v < tree.n(); ++v) {
+    for (const VertexId c : tree.children(v)) {
+      edges.emplace_back(tree.label(v), tree.label(c));
+    }
+  }
+  return Graph::from_edges(edges);
+}
+
+LabeledTree tree_from_graph(const Graph& g) {
+  TREEAA_REQUIRE_MSG(g.is_tree(), "graph with " << g.edge_count()
+                                                << " edges on " << g.n()
+                                                << " vertices is not a tree");
+  if (g.n() == 1) return LabeledTree::single(g.label(0));
+  std::vector<std::pair<std::string, std::string>> edges;
+  for (const auto& [u, v] : g.edges()) {
+    edges.emplace_back(g.label(u), g.label(v));
+  }
+  return LabeledTree::from_edges(edges);
+}
+
+}  // namespace treeaa::graphs

@@ -1,0 +1,108 @@
+// Graph — the input space of Approximate Agreement on block graphs.
+//
+// The follow-up paper (arXiv:2502.05591) lifts TreeAA from trees to block
+// graphs: connected graphs in which every biconnected component ("block")
+// is a clique — with cactus graphs (cycle blocks) as the natural sibling
+// family studied by the wait-free line of work (arXiv:2103.08949). This
+// class is the deliberately small substrate underneath that machinery: an
+// immutable connected undirected graph with string-labeled vertices,
+// canonicalized exactly like LabeledTree so the two input spaces compose:
+//
+//   * vertices are assigned ids 0..n-1 in lexicographic label order;
+//   * adjacency lists and the edge list are sorted ascending by id;
+//   * labels beginning with '~' are rejected — that prefix is reserved for
+//     the synthetic block nodes of the agreement tree (blocks.h), which
+//     must never collide with an input vertex label.
+//
+// Every tree is a graph under this type (graph_from_tree preserves labels
+// and edges verbatim), which is what makes the degenerate-case guarantee —
+// BlockAA on a tree is byte-identical to TreeAA — testable at all.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace treeaa {
+class LabeledTree;
+}
+
+namespace treeaa::graphs {
+
+class Graph {
+ public:
+  /// Builds a graph from an undirected edge list over string labels.
+  /// Throws std::invalid_argument on a self-loop, duplicate edge,
+  /// disconnected input, empty label, or a reserved '~'-prefixed label.
+  static Graph from_edges(
+      const std::vector<std::pair<std::string, std::string>>& edges);
+
+  /// The one-vertex graph.
+  static Graph single(std::string label);
+
+  /// Number of vertices |V(G)|. Always >= 1.
+  [[nodiscard]] std::size_t n() const { return labels_.size(); }
+
+  /// Number of edges |E(G)|.
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+
+  /// Label of a vertex.
+  [[nodiscard]] const std::string& label(VertexId v) const;
+
+  /// Vertex with the given label, if present.
+  [[nodiscard]] std::optional<VertexId> find(std::string_view label) const;
+
+  /// Neighbors of v, sorted ascending by id (= by label).
+  [[nodiscard]] std::span<const VertexId> neighbors(VertexId v) const;
+
+  [[nodiscard]] std::size_t degree(VertexId v) const {
+    return neighbors(v).size();
+  }
+
+  /// True iff {u, v} is an edge. O(log deg).
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const;
+
+  /// Canonical edge list: every pair (u, v) with u < v, sorted ascending.
+  [[nodiscard]] const std::vector<std::pair<VertexId, VertexId>>& edges()
+      const {
+    return edges_;
+  }
+
+  /// True iff the graph is a tree (connected with n-1 edges).
+  [[nodiscard]] bool is_tree() const { return edge_count() + 1 == n(); }
+
+  /// Hop distances from `src` to every vertex, via BFS. O(n + m). The
+  /// naive oracle the BlockIndex closed forms are validated against.
+  [[nodiscard]] std::vector<std::uint32_t> bfs_distances(VertexId src) const;
+
+  /// d(u, v) via one BFS. O(n + m); BlockIndex::distance is the fast path.
+  [[nodiscard]] std::uint32_t distance(VertexId u, VertexId v) const;
+
+  /// Validates v < n(), throwing std::invalid_argument otherwise.
+  void require_vertex(VertexId v) const;
+
+ private:
+  Graph() = default;
+
+  std::vector<std::string> labels_;                     // id -> label
+  std::unordered_map<std::string, VertexId> by_label_;  // label -> id
+  std::vector<std::vector<VertexId>> adj_;              // sorted neighbor ids
+  std::vector<std::pair<VertexId, VertexId>> edges_;    // canonical list
+};
+
+/// The tree viewed as a graph: identical labels and edge set. The
+/// degenerate block graph where every block is a single edge.
+[[nodiscard]] Graph graph_from_tree(const LabeledTree& tree);
+
+/// Converts a tree-shaped graph back to a LabeledTree (same labels and
+/// edges). Requires g.is_tree().
+[[nodiscard]] LabeledTree tree_from_graph(const Graph& g);
+
+}  // namespace treeaa::graphs

@@ -1,0 +1,113 @@
+#include "graphs/serialization.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace treeaa::graphs {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+std::string dot_quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+std::string graph_to_text(const Graph& g) {
+  std::ostringstream os;
+  os << "# treeaa graph: " << g.n() << " vertices, " << g.edge_count()
+     << " edges\n";
+  if (g.n() == 1) {
+    os << "vertex " << g.label(0) << "\n";
+    return os.str();
+  }
+  for (const auto& [u, v] : g.edges()) {
+    os << "edge " << g.label(u) << " " << g.label(v) << "\n";
+  }
+  return os.str();
+}
+
+Graph graph_from_text(std::string_view text) {
+  std::vector<std::pair<std::string, std::string>> edges;
+  std::vector<std::string> isolated;
+  std::istringstream is{std::string(text)};
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    if (tokens[0] == "vertex") {
+      TREEAA_REQUIRE_MSG(tokens.size() == 2,
+                         "line " << line_no << ": vertex needs one label");
+      isolated.push_back(tokens[1]);
+    } else if (tokens[0] == "edge") {
+      TREEAA_REQUIRE_MSG(tokens.size() == 3,
+                         "line " << line_no << ": edge needs two labels");
+      edges.emplace_back(tokens[1], tokens[2]);
+    } else {
+      TREEAA_REQUIRE_MSG(false, "line " << line_no << ": unknown directive '"
+                                        << tokens[0] << "'");
+    }
+  }
+
+  if (edges.empty()) {
+    TREEAA_REQUIRE_MSG(isolated.size() == 1,
+                       "graph text must contain edges or exactly one vertex");
+    return Graph::single(isolated[0]);
+  }
+  // Isolated vertices alongside edges would disconnect the graph; allow
+  // them only as harmless redundancy.
+  for (const auto& label : isolated) {
+    const bool mentioned =
+        std::any_of(edges.begin(), edges.end(), [&](const auto& e) {
+          return e.first == label || e.second == label;
+        });
+    TREEAA_REQUIRE_MSG(mentioned, "isolated vertex '"
+                                      << label
+                                      << "' would disconnect the graph");
+  }
+  return Graph::from_edges(edges);
+}
+
+std::string graph_to_dot(const Graph& g, const BlockDecomposition& d) {
+  std::ostringstream os;
+  os << "graph treeaa {\n  node [shape=circle];\n";
+  for (VertexId v = 0; v < g.n(); ++v) {
+    os << "  " << dot_quote(g.label(v));
+    if (d.is_cut(v)) os << " [peripheries=2]";
+    os << ";\n";
+  }
+  for (const Block& b : d.blocks()) {
+    const char* color = b.shape == BlockShape::kCycle ? "lightsalmon"
+                        : b.size() >= 3               ? "lightblue"
+                                                      : nullptr;
+    for (const auto& [u, v] : b.edges) {
+      os << "  " << dot_quote(g.label(u)) << " -- " << dot_quote(g.label(v));
+      if (color != nullptr) os << " [color=" << color << "]";
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace treeaa::graphs

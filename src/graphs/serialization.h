@@ -1,0 +1,34 @@
+// Text serialization for graphs, mirroring trees/serialization.h.
+//
+// The format shares the tree format's line vocabulary — "vertex <label>"
+// and "edge <a> <b>" with '#' comments — so every tree file the repo
+// already ships parses as a graph unchanged (the degenerate block-graph
+// case). graph_to_text emits the canonical form: a summary comment
+// followed by the canonical edge list; parsing and re-emitting any valid
+// file is therefore a fixpoint.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graphs/blocks.h"
+#include "graphs/graph.h"
+
+namespace treeaa::graphs {
+
+/// Canonical text form: "edge <a> <b>" lines in canonical edge order
+/// ("vertex <label>" for the one-vertex graph).
+[[nodiscard]] std::string graph_to_text(const Graph& g);
+
+/// Parses the text form. Throws std::invalid_argument with the offending
+/// line number on malformed input; connectivity and label rules are
+/// enforced by Graph::from_edges.
+[[nodiscard]] Graph graph_from_text(std::string_view text);
+
+/// GraphViz rendering: blocks of size >= 3 get one filled color per shape
+/// (clique/cycle), cut vertices a doubled outline.
+[[nodiscard]] std::string graph_to_dot(const Graph& g,
+                                       const BlockDecomposition& d);
+
+}  // namespace treeaa::graphs

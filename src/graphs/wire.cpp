@@ -1,0 +1,147 @@
+#include "graphs/wire.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace treeaa::graphs {
+
+Bytes encode_graph(const Graph& g) {
+  ByteWriter w;
+  w.u8(kTagGraph);
+  w.varint(g.n());
+  for (VertexId v = 0; v < g.n(); ++v) w.str(g.label(v));
+  w.varint(g.edge_count());
+  for (const auto& [u, v] : g.edges()) {
+    w.varint(u);
+    w.varint(v);
+  }
+  return std::move(w).take();
+}
+
+std::optional<Graph> decode_graph(ByteView msg) {
+  try {
+    ByteReader r(msg);
+    if (r.u8() != kTagGraph) return std::nullopt;
+    const std::uint64_t n = r.varint();
+    if (n == 0 || n > kMaxWireVertices) return std::nullopt;
+    std::vector<std::string> labels;
+    labels.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::string label = r.str();
+      if (label.empty() || label[0] == '~') return std::nullopt;
+      // Canonical ids are sorted labels; anything else is non-canonical.
+      if (!labels.empty() && labels.back() >= label) return std::nullopt;
+      labels.push_back(std::move(label));
+    }
+    const std::uint64_t m = r.varint();
+    if (m > kMaxWireEdges) return std::nullopt;
+    if (n == 1) {
+      if (m != 0) return std::nullopt;
+      r.expect_done();
+      return Graph::single(labels[0]);
+    }
+    std::vector<std::pair<std::string, std::string>> edges;
+    edges.reserve(static_cast<std::size_t>(m));
+    std::pair<std::uint64_t, std::uint64_t> prev{0, 0};
+    for (std::uint64_t i = 0; i < m; ++i) {
+      const std::uint64_t u = r.varint();
+      const std::uint64_t v = r.varint();
+      if (u >= v || v >= n) return std::nullopt;
+      const std::pair<std::uint64_t, std::uint64_t> cur{u, v};
+      if (i > 0 && cur <= prev) return std::nullopt;  // canonical order
+      prev = cur;
+      edges.emplace_back(labels[static_cast<std::size_t>(u)],
+                         labels[static_cast<std::size_t>(v)]);
+    }
+    r.expect_done();
+    // from_edges enforces the rest (connectivity above all) and rebuilds
+    // the same canonical ids because the labels arrived sorted.
+    Graph g = Graph::from_edges(edges);
+    if (g.n() != n) return std::nullopt;
+    return g;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+}
+
+Bytes encode_blocks(std::size_t n, const BlockDecomposition& d) {
+  ByteWriter w;
+  w.u8(kTagBlocks);
+  w.varint(n);
+  w.varint(d.blocks().size());
+  for (const Block& b : d.blocks()) {
+    w.varint(b.vertices.size());
+    for (const VertexId v : b.vertices) w.varint(v);
+  }
+  return std::move(w).take();
+}
+
+std::optional<std::vector<std::vector<VertexId>>> decode_blocks(ByteView msg) {
+  try {
+    ByteReader r(msg);
+    if (r.u8() != kTagBlocks) return std::nullopt;
+    const std::uint64_t n = r.varint();
+    if (n == 0 || n > kMaxWireVertices) return std::nullopt;
+    const std::uint64_t count = r.varint();
+    if (count > n) return std::nullopt;  // a block retires >= 1 vertex
+    if (n == 1 && count != 0) return std::nullopt;
+
+    std::vector<std::vector<VertexId>> blocks;
+    blocks.reserve(static_cast<std::size_t>(count));
+    std::vector<std::uint32_t> cover(static_cast<std::size_t>(n), 0);
+    std::uint64_t size_sum = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint64_t size = r.varint();
+      if (size < 2 || size > n) return std::nullopt;
+      std::vector<VertexId> vs;
+      vs.reserve(static_cast<std::size_t>(size));
+      for (std::uint64_t j = 0; j < size; ++j) {
+        const std::uint64_t v = r.varint();
+        if (v >= n) return std::nullopt;
+        if (!vs.empty() && vs.back() >= v) return std::nullopt;  // sorted
+        vs.push_back(static_cast<VertexId>(v));
+        ++cover[static_cast<std::size_t>(v)];
+      }
+      if (!blocks.empty() && blocks.back() >= vs) return std::nullopt;
+      size_sum += size;
+      blocks.push_back(std::move(vs));
+    }
+    r.expect_done();
+
+    if (n > 1) {
+      // Block-forest identity of a connected graph: sum(|B| - 1) == n - 1.
+      if (size_sum - count != n - 1) return std::nullopt;
+      // Every vertex covered.
+      if (std::any_of(cover.begin(), cover.end(),
+                      [](std::uint32_t c) { return c == 0; })) {
+        return std::nullopt;
+      }
+      // Two blocks intersect in at most one vertex.
+      for (std::size_t i = 0; i < blocks.size(); ++i) {
+        for (std::size_t j = i + 1; j < blocks.size(); ++j) {
+          std::size_t shared = 0, a = 0, b = 0;
+          while (a < blocks[i].size() && b < blocks[j].size()) {
+            if (blocks[i][a] == blocks[j][b]) {
+              if (++shared > 1) return std::nullopt;
+              ++a;
+              ++b;
+            } else if (blocks[i][a] < blocks[j][b]) {
+              ++a;
+            } else {
+              ++b;
+            }
+          }
+        }
+      }
+    }
+    return blocks;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace treeaa::graphs

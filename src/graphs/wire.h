@@ -1,0 +1,58 @@
+// Binary wire format for graphs and block structures.
+//
+// Net deployments and future cross-process experiment plumbing ship the
+// publicly known input space as bytes, and Byzantine parties can inject
+// arbitrary byte strings — so, exactly like the gradecast/realaa codecs,
+// the decoders here are fail-closed: any truncation, hostile length
+// prefix, out-of-range id, non-canonical ordering, or malformed block
+// structure yields nullopt, never a crash, over-read, or partial object.
+//
+// Both codecs admit exactly the canonical encodings of valid objects: a
+// successful decode re-encodes to the identical byte string (the wire-fuzz
+// tests pin this), so the wire form is as deterministic as the in-memory
+// canonical form.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/types.h"
+#include "graphs/blocks.h"
+#include "graphs/graph.h"
+
+namespace treeaa::graphs {
+
+inline constexpr std::uint8_t kTagGraph = 0x67;   // 'g'
+inline constexpr std::uint8_t kTagBlocks = 0x62;  // 'b'
+
+/// Hard caps a hostile length prefix can never exceed.
+inline constexpr std::uint64_t kMaxWireVertices = 1u << 20;
+inline constexpr std::uint64_t kMaxWireEdges = 1u << 22;
+
+using ByteView = std::span<const std::uint8_t>;
+
+/// Canonical graph encoding: tag, vertex count, labels in id order, edge
+/// count, edges as (u, v) pairs in canonical order.
+[[nodiscard]] Bytes encode_graph(const Graph& g);
+
+/// Decodes a graph; nullopt if malformed (syntax, ordering, label rules,
+/// connectivity — everything Graph::from_edges enforces).
+[[nodiscard]] std::optional<Graph> decode_graph(ByteView msg);
+
+/// Canonical block-structure encoding: tag, vertex count, block count,
+/// then each block's sorted vertex list, blocks in canonical order.
+[[nodiscard]] Bytes encode_blocks(std::size_t n, const BlockDecomposition& d);
+
+/// Decodes a block structure as a list of sorted vertex lists; nullopt if
+/// malformed. Beyond syntax, the *structure* must be a plausible block
+/// decomposition of a connected n-vertex graph, checked fail-closed:
+/// every block has >= 2 strictly ascending in-range vertices, blocks are in
+/// strictly ascending canonical order, every vertex is covered, two blocks
+/// share at most one vertex, and sum(|B| - 1) == n - 1 (the block-forest
+/// identity for connected graphs).
+[[nodiscard]] std::optional<std::vector<std::vector<VertexId>>> decode_blocks(
+    ByteView msg);
+
+}  // namespace treeaa::graphs

@@ -11,6 +11,7 @@
 #include "common/check.h"
 #include "core/api.h"
 #include "core/path_aa.h"
+#include "graphs/block_aa.h"
 #include "obs/probe.h"
 #include "obs/span.h"
 #include "perf/tree_index.h"
@@ -180,6 +181,20 @@ RunOutcome run_tree_aa_impl(RunSpec& spec) {
       core::run_tree_aa(*spec.tree, spec.vertex_inputs, spec.t, opts,
                         std::move(spec.adversary), spec.hooks,
                         sim::EngineOptions{spec.threads});
+  RunOutcome out;
+  out.vertex_outputs = run.outputs;
+  out.corrupt = run.corrupt;
+  out.rounds = run.rounds;
+  out.traffic = run.traffic;
+  return out;
+}
+
+RunOutcome run_block_aa_impl(RunSpec& spec) {
+  TREEAA_REQUIRE(spec.block_index != nullptr);
+  graphs::BlockAAOptions opts{spec.update, spec.mode, spec.engine};
+  const auto run = graphs::run_block_aa(
+      *spec.block_index, spec.vertex_inputs, spec.t, opts,
+      std::move(spec.adversary), spec.hooks, sim::EngineOptions{spec.threads});
   RunOutcome out;
   out.vertex_outputs = run.outputs;
   out.corrupt = run.corrupt;
@@ -504,7 +519,7 @@ struct ProtocolEntry {
 };
 
 /// THE protocol-dispatch table: rows in enum order (indexable by kind).
-constexpr std::size_t kProtocolCount = 7;
+constexpr std::size_t kProtocolCount = 8;
 const std::array<ProtocolEntry, kProtocolCount> kTable = {{
     {ProtocolKind::kTreeAA, "tree_aa", true, true, run_tree_aa_impl},
     {ProtocolKind::kIteratedTreeAA, "iterated_tree_aa", true, true,
@@ -517,6 +532,9 @@ const std::array<ProtocolEntry, kProtocolCount> kTable = {{
      run_paths_finder_impl},
     {ProtocolKind::kAsyncTreeAA, "async_tree_aa", true, false,
      run_async_tree_aa_impl},
+    // Graph-valued: `vertex` is false because it takes a BlockIndex, not a
+    // tree (see is_graph_protocol).
+    {ProtocolKind::kBlockAA, "block_aa", false, true, run_block_aa_impl},
 }};
 
 const ProtocolEntry& entry(ProtocolKind p) {
@@ -529,7 +547,7 @@ constexpr std::array<ProtocolKind, kProtocolCount> kProtocolKinds = {
     ProtocolKind::kTreeAA,        ProtocolKind::kIteratedTreeAA,
     ProtocolKind::kRealAA,        ProtocolKind::kIteratedRealAA,
     ProtocolKind::kPathAA,        ProtocolKind::kPathsFinder,
-    ProtocolKind::kAsyncTreeAA,
+    ProtocolKind::kAsyncTreeAA,   ProtocolKind::kBlockAA,
 };
 
 constexpr std::array<const char*, 5> kAdversaryNames = {
@@ -582,6 +600,10 @@ std::span<const AdversaryKind> all_adversaries() { return kAdversaryKinds; }
 
 bool is_vertex_protocol(ProtocolKind p) { return entry(p).vertex; }
 
+bool is_graph_protocol(ProtocolKind p) {
+  return p == ProtocolKind::kBlockAA;
+}
+
 bool is_sweep_protocol(ProtocolKind p) { return entry(p).sweep; }
 
 bool adversary_applies(ProtocolKind p, AdversaryKind a) {
@@ -592,8 +614,10 @@ bool adversary_applies(ProtocolKind p, AdversaryKind a) {
       return true;
     case AdversaryKind::kSplit:
       // The split attack targets a gradecast-distributed RealAA instance:
-      // RealAA itself, or the one inside TreeAA's PathsFinder.
-      return p == ProtocolKind::kTreeAA || p == ProtocolKind::kRealAA;
+      // RealAA itself, or the one inside TreeAA's (or BlockAA's inner
+      // TreeAA's) PathsFinder.
+      return p == ProtocolKind::kTreeAA || p == ProtocolKind::kRealAA ||
+             p == ProtocolKind::kBlockAA;
     case AdversaryKind::kSplit1:
       return p == ProtocolKind::kRealAA;
   }

@@ -25,6 +25,7 @@
 #include "common/types.h"
 #include "core/paths_finder.h"
 #include "core/real_engine.h"
+#include "graphs/block_index.h"
 #include "obs/report.h"
 #include "realaa/real_aa.h"
 #include "sim/adversary.h"
@@ -45,6 +46,7 @@ enum class ProtocolKind {
   kPathAA,           // warm-up protocol on labeled paths (paper §4)
   kPathsFinder,      // phase 1 alone (paper §6)
   kAsyncTreeAA,      // asynchronous NR baseline in its native model
+  kBlockAA,          // graphs::run_block_aa (arXiv:2502.05591 block graphs)
 };
 
 /// Byzantine strategies the tools know by name. none/silent/fuzz apply
@@ -70,7 +72,10 @@ enum class AdversaryKind { kNone, kSilent, kFuzz, kSplit, kSplit1 };
 /// Vertex-valued protocols take a tree + vertex inputs; real-valued ones
 /// take eps/known_range + real inputs.
 [[nodiscard]] bool is_vertex_protocol(ProtocolKind p);
-/// Protocols available on the sweep grid (the first four).
+/// Graph-valued protocols take a BlockIndex + vertex inputs (vertices of
+/// the *graph*, not of a tree).
+[[nodiscard]] bool is_graph_protocol(ProtocolKind p);
+/// Protocols available on the sweep grid.
 [[nodiscard]] bool is_sweep_protocol(ProtocolKind p);
 /// Does this adversary make sense against this protocol?
 [[nodiscard]] bool adversary_applies(ProtocolKind p, AdversaryKind a);
@@ -121,6 +126,10 @@ struct RunSpec {
   // input vertex per party.
   const LabeledTree* tree = nullptr;
   std::vector<VertexId> vertex_inputs;
+
+  // Graph protocols: the input-space block graph's index (must outlive the
+  // call); vertex_inputs then holds graph vertices.
+  const graphs::BlockIndex* block_index = nullptr;
 
   // Real protocols.
   std::vector<double> real_inputs;

@@ -172,6 +172,26 @@ VertexRun run_iterated_tree_aa(const LabeledTree& tree, std::size_t n,
   return to_vertex_run(run_protocol(std::move(spec)));
 }
 
+VertexRun run_block_aa(const graphs::BlockIndex& index, std::size_t n,
+                       std::size_t t, const std::vector<VertexId>& inputs,
+                       std::unique_ptr<sim::Adversary> adversary,
+                       graphs::BlockAAOptions opts, const obs::Hooks* hooks,
+                       std::size_t threads) {
+  RunSpec spec;
+  spec.protocol = ProtocolKind::kBlockAA;
+  spec.threads = threads;
+  spec.n = n;
+  spec.t = t;
+  spec.block_index = &index;
+  spec.vertex_inputs = inputs;
+  spec.update = opts.update;
+  spec.mode = opts.mode;
+  spec.engine = opts.engine;
+  spec.adversary = std::move(adversary);
+  spec.hooks = hooks;
+  return to_vertex_run(run_protocol(std::move(spec)));
+}
+
 std::vector<VertexId> AsyncVertexRun::honest_outputs() const {
   std::vector<VertexId> out;
   for (const auto& o : outputs) {

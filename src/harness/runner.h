@@ -17,6 +17,7 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "core/path_aa.h"
+#include "graphs/block_aa.h"
 #include "harness/registry.h"
 #include "obs/report.h"
 #include "core/paths_finder.h"
@@ -104,6 +105,16 @@ struct VertexRun {
     const std::vector<VertexId>& inputs,
     std::unique_ptr<sim::Adversary> adversary = nullptr,
     const obs::Hooks* hooks = nullptr, std::size_t threads = 1);
+
+/// BlockAA on the block graph behind `index`; inputs and outputs are graph
+/// vertices. Same engine knobs as TreeAA (graphs::BlockAAOptions is
+/// core::TreeAAOptions).
+[[nodiscard]] VertexRun run_block_aa(
+    const graphs::BlockIndex& index, std::size_t n, std::size_t t,
+    const std::vector<VertexId>& inputs,
+    std::unique_ptr<sim::Adversary> adversary = nullptr,
+    graphs::BlockAAOptions opts = {}, const obs::Hooks* hooks = nullptr,
+    std::size_t threads = 1);
 
 /// Result of an asynchronous tree-AA run (the NR baseline in its native
 /// model): no rounds, so complexity is reported in deliveries/messages.

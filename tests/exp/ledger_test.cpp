@@ -153,6 +153,77 @@ TEST(BuildLedger, VertexProtocolsSkipGradecastOnlyChecks) {
   }
 }
 
+TEST(BuildLedger, BlockRoundBoundCheckPassesAndFails) {
+  // BlockAA: the observed rounds must respect the arXiv:2502.05591 budget
+  // on the agreement tree (the report's block_round_bound param).
+  LedgerInput in;
+  in.protocol = "block_aa";
+  in.n = 7;
+  in.t = 2;
+  in.rounds = 12;
+  in.d0 = 9.0;
+  in.block_round_bound = 12.0;
+  in.diameters = {{0, 9.0}, {6, 3.0}, {12, 1.0}};
+  {
+    const Ledger ledger = build_ledger(in);
+    bool found = false;
+    for (const LedgerCheck& c : ledger.checks) {
+      if (c.name != "block_round_bound") continue;
+      found = true;
+      EXPECT_TRUE(c.ok) << c.detail;
+      EXPECT_NE(c.detail.find("2502.05591"), std::string::npos);
+    }
+    EXPECT_TRUE(found);
+    EXPECT_TRUE(ledger.ok());
+  }
+  // More observed rounds than the bound allows: the check fails and counts
+  // a violation.
+  in.rounds = 13;
+  in.diameters = {{0, 9.0}, {6, 3.0}, {13, 1.0}};
+  {
+    const Ledger ledger = build_ledger(in);
+    bool found = false;
+    for (const LedgerCheck& c : ledger.checks) {
+      if (c.name != "block_round_bound") continue;
+      found = true;
+      EXPECT_FALSE(c.ok);
+    }
+    EXPECT_TRUE(found);
+    EXPECT_FALSE(ledger.ok());
+  }
+  // Without the param (every other protocol) the check never appears.
+  in.block_round_bound.reset();
+  for (const LedgerCheck& c : build_ledger(in).checks) {
+    EXPECT_NE(c.name, "block_round_bound");
+  }
+}
+
+TEST(LedgerInputFromReport, BlockAAReadsGraphDiameterAndRoundBound) {
+  obs::RunReport report;
+  report.protocol = "block_aa";
+  report.n = 7;
+  report.t = 2;
+  report.rounds = 15;
+  report.add_param("graph_diameter", 11.0);
+  report.add_param("block_round_bound", 15.0);
+  obs::RoundSample s;
+  s.round = 0;
+  s.value_diameter = 11.0;
+  report.per_round = {s};
+  const auto in = ledger_input_from_report(report);
+  ASSERT_TRUE(in.has_value());
+  // d0 comes from the graph diameter (the ledger's D for block graphs),
+  // not the observed-series fallback.
+  EXPECT_DOUBLE_EQ(in->d0, 11.0);
+  ASSERT_TRUE(in->block_round_bound.has_value());
+  EXPECT_DOUBLE_EQ(*in->block_round_bound, 15.0);
+  // Other protocols never pick the param up, even if present.
+  report.protocol = "tree_aa";
+  const auto tree_in = ledger_input_from_report(report);
+  ASSERT_TRUE(tree_in.has_value());
+  EXPECT_FALSE(tree_in->block_round_bound.has_value());
+}
+
 TEST(BuildLedger, LuckyFastRunIsInformationalNotAViolation) {
   // Fekete is worst-case over executions: reaching eps before the lower
   // bound flips within_fekete but must not add a violation.

@@ -130,7 +130,7 @@ TEST(SweepSpec, RejectsInvalidScenarios) {
   expect_rejected(R"({"name": "x", "scenarios": [
     {"protocols": ["tree_aa", "real_aa"],
      "tree": {"families": ["path"], "sizes": [10]}, "n": [7]}]})",
-                  "all tree-valued or all real-valued");
+                  "all tree-valued, all real-valued, or all graph-valued");
   // Tree protocols require a tree axis; real ones a range axis.
   expect_rejected(R"({"name": "x", "scenarios": [
     {"protocols": ["tree_aa"], "n": [7]}]})",

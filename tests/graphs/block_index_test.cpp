@@ -1,0 +1,199 @@
+// BlockIndex closed forms against naive BFS oracles: distance, median,
+// geodesic, projection, hull membership, diameter — across every generator
+// family (clique blocks get the full geodetic query surface, cacti the
+// distance/median subset that stays defined with cycle blocks).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "graphs/block_index.h"
+#include "graphs/check.h"
+#include "graphs/generators.h"
+#include "graphs/graph.h"
+
+namespace treeaa::graphs {
+namespace {
+
+/// All-pairs BFS distance table.
+std::vector<std::vector<std::uint32_t>> distance_table(const Graph& g) {
+  std::vector<std::vector<std::uint32_t>> d;
+  for (VertexId v = 0; v < g.n(); ++v) d.push_back(g.bfs_distances(v));
+  return d;
+}
+
+std::vector<Graph> family_samples(std::size_t n) {
+  std::vector<Graph> out;
+  Rng rng(0x1D0);
+  for (const GraphFamily f : all_graph_families()) {
+    out.push_back(make_family_graph(f, n, rng));
+  }
+  return out;
+}
+
+TEST(BlockIndex, DistanceMatchesBfsOracle) {
+  for (const std::size_t n : {2u, 6u, 17u, 33u}) {
+    for (const Graph& g : family_samples(n)) {
+      const BlockIndex index(g);
+      const auto d = distance_table(g);
+      for (VertexId u = 0; u < g.n(); ++u) {
+        for (VertexId v = 0; v < g.n(); ++v) {
+          EXPECT_EQ(index.distance(u, v), d[u][v])
+              << g.label(u) << " .. " << g.label(v);
+        }
+      }
+    }
+  }
+}
+
+TEST(BlockIndex, DiameterMatchesOracleAndEndpointsAttainIt) {
+  for (const Graph& g : family_samples(21)) {
+    const BlockIndex index(g);
+    const auto d = distance_table(g);
+    std::uint32_t want = 0;
+    for (VertexId u = 0; u < g.n(); ++u) {
+      want = std::max(want, *std::max_element(d[u].begin(), d[u].end()));
+    }
+    EXPECT_EQ(index.diameter(), want);
+    const auto [a, b] = index.diameter_endpoints();
+    EXPECT_EQ(d[a][b], want);
+  }
+}
+
+TEST(BlockIndex, MedianMinimizesDistanceSumWithSmallestIdTieBreak) {
+  Rng triples(0x3AD);
+  for (const Graph& g : family_samples(19)) {
+    const BlockIndex index(g);
+    const auto d = distance_table(g);
+    for (int iter = 0; iter < 60; ++iter) {
+      const VertexId a = static_cast<VertexId>(triples.index(g.n()));
+      const VertexId b = static_cast<VertexId>(triples.index(g.n()));
+      const VertexId c = static_cast<VertexId>(triples.index(g.n()));
+      std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+      VertexId best_v = 0;
+      for (VertexId v = 0; v < g.n(); ++v) {
+        const std::uint64_t sum =
+            std::uint64_t{d[v][a]} + d[v][b] + d[v][c];
+        if (sum < best) {
+          best = sum;
+          best_v = v;
+        }
+      }
+      EXPECT_EQ(index.median(a, b, c), best_v)
+          << g.label(a) << " " << g.label(b) << " " << g.label(c);
+    }
+  }
+}
+
+TEST(BlockIndex, GeodesicIsTheShortestPath) {
+  Rng pairs(0x6E0);
+  for (const Graph& g : family_samples(23)) {
+    const BlockIndex index(g);
+    if (!index.all_cliques()) continue;  // geodetic queries need cliques
+    for (int iter = 0; iter < 40; ++iter) {
+      const VertexId u = static_cast<VertexId>(pairs.index(g.n()));
+      const VertexId v = static_cast<VertexId>(pairs.index(g.n()));
+      const auto path = index.geodesic(u, v);
+      ASSERT_FALSE(path.empty());
+      EXPECT_EQ(path.front(), u);
+      EXPECT_EQ(path.back(), v);
+      EXPECT_EQ(path.size(), index.distance(u, v) + 1u);
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        EXPECT_TRUE(g.has_edge(path[i], path[i + 1]));
+      }
+    }
+  }
+}
+
+TEST(BlockIndex, ProjectionIsTheClosestGeodesicVertex) {
+  Rng triples(0x960);
+  for (const Graph& g : family_samples(23)) {
+    const BlockIndex index(g);
+    if (!index.all_cliques()) continue;
+    for (int iter = 0; iter < 40; ++iter) {
+      const VertexId a = static_cast<VertexId>(triples.index(g.n()));
+      const VertexId b = static_cast<VertexId>(triples.index(g.n()));
+      const VertexId c = static_cast<VertexId>(triples.index(g.n()));
+      const auto path = index.geodesic(a, b);
+      std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
+      VertexId best_v = 0;
+      for (const VertexId v : path) {
+        const std::uint32_t dist = index.distance(v, c);
+        if (dist < best || (dist == best && v < best_v)) {
+          best = dist;
+          best_v = v;
+        }
+      }
+      EXPECT_EQ(index.project_onto_geodesic(a, b, c), best_v);
+    }
+  }
+}
+
+TEST(BlockIndex, HullMatchesNaiveClosure) {
+  Rng spans(0x8011);
+  for (const Graph& g : family_samples(15)) {
+    const BlockIndex index(g);
+    if (!index.all_cliques()) continue;
+    for (int iter = 0; iter < 12; ++iter) {
+      std::vector<VertexId> s;
+      const std::size_t k = 1 + spans.index(4);
+      for (std::size_t i = 0; i < k; ++i) {
+        s.push_back(static_cast<VertexId>(spans.index(g.n())));
+      }
+      const auto fast = index.hull(s);
+      const auto naive = naive_hull(g, s);
+      EXPECT_EQ(fast, naive);
+      for (VertexId w = 0; w < g.n(); ++w) {
+        EXPECT_EQ(index.in_hull(s, w),
+                  std::binary_search(naive.begin(), naive.end(), w));
+      }
+    }
+  }
+}
+
+TEST(BlockIndex, ResolveMapsBlockNodesToGates) {
+  const Graph g = make_clique_chain(13, 4);
+  const BlockIndex index(g);
+  for (VertexId v = 0; v < g.n(); ++v) {
+    // Vertex nodes resolve to themselves regardless of the perspective.
+    EXPECT_EQ(index.resolve(index.to_agreement(v), 0), v);
+    EXPECT_EQ(index.to_vertex(index.to_agreement(v)), v);
+  }
+  for (VertexId a = 0; a < index.agreement_tree().n(); ++a) {
+    if (index.is_vertex_node(a)) continue;
+    for (VertexId toward = 0; toward < g.n(); ++toward) {
+      const VertexId gate = index.resolve(a, toward);
+      // The gate is a vertex of the block the node stands for, and no block
+      // vertex is strictly closer to the perspective vertex.
+      const auto nbrs = index.agreement_tree().neighbors(a);
+      EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), index.to_agreement(gate)),
+                nbrs.end());
+      for (const VertexId other : index.agreement_tree().neighbors(a)) {
+        EXPECT_LE(index.distance(gate, toward),
+                  index.distance(index.to_vertex(other), toward));
+      }
+    }
+  }
+}
+
+TEST(GraphCheck, SafeAreaMatchesComponentOracle) {
+  Rng rng(0x5AFE);
+  const Graph g = make_random_cactus(18, rng);
+  const std::vector<VertexId> inputs{0, 3, 7, 11, 14};
+  const std::size_t t = 1;
+  const auto safe = safe_vertices(g, inputs, t);
+  EXPECT_TRUE(std::is_sorted(safe.begin(), safe.end()));
+  for (VertexId v = 0; v < g.n(); ++v) {
+    EXPECT_EQ(is_safe(g, inputs, t, v),
+              std::binary_search(safe.begin(), safe.end(), v));
+  }
+  // An input vertex containing a strict majority of the mass is t-safe.
+  const std::vector<VertexId> all_same{5, 5, 5, 5, 5};
+  EXPECT_TRUE(is_safe(g, all_same, 1, 5));
+}
+
+}  // namespace
+}  // namespace treeaa::graphs

@@ -1,0 +1,192 @@
+// Block-cut decomposition invariants against naive oracles, and the
+// agreement-tree construction (including the degenerate A(G) == G case).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "graphs/blocks.h"
+#include "graphs/generators.h"
+#include "graphs/graph.h"
+#include "trees/generators.h"
+#include "trees/serialization.h"
+
+namespace treeaa::graphs {
+namespace {
+
+/// Articulation oracle: v is a cut vertex iff G - v is disconnected (BFS
+/// over the surviving vertices).
+bool is_articulation(const Graph& g, VertexId cut) {
+  if (g.n() <= 2) return false;
+  std::vector<bool> seen(g.n(), false);
+  seen[cut] = true;
+  const VertexId start = cut == 0 ? 1 : 0;
+  std::vector<VertexId> queue{start};
+  seen[start] = true;
+  std::size_t visited = 1;
+  while (!queue.empty()) {
+    const VertexId v = queue.back();
+    queue.pop_back();
+    for (const VertexId u : g.neighbors(v)) {
+      if (!seen[u]) {
+        seen[u] = true;
+        ++visited;
+        queue.push_back(u);
+      }
+    }
+  }
+  return visited != g.n() - 1;
+}
+
+std::vector<Graph> sample_graphs() {
+  std::vector<Graph> out;
+  Rng rng(0xB10C);
+  for (const GraphFamily f : all_graph_families()) {
+    for (const std::size_t n : {2u, 5u, 13u, 30u}) {
+      out.push_back(make_family_graph(f, n, rng));
+    }
+  }
+  out.push_back(make_clique(6));
+  out.push_back(make_cycle_graph(8));
+  out.push_back(Graph::single("only"));
+  return out;
+}
+
+TEST(Blocks, EveryEdgeInExactlyOneBlock) {
+  for (const Graph& g : sample_graphs()) {
+    const BlockDecomposition d(g);
+    std::set<std::pair<VertexId, VertexId>> covered;
+    for (const Block& b : d.blocks()) {
+      for (const auto& e : b.edges) {
+        EXPECT_TRUE(covered.insert(e).second)
+            << "edge in two blocks: " << g.label(e.first) << "-"
+            << g.label(e.second);
+        EXPECT_TRUE(g.has_edge(e.first, e.second));
+      }
+    }
+    EXPECT_EQ(covered.size(), g.edge_count());
+  }
+}
+
+TEST(Blocks, CutVerticesMatchArticulationOracle) {
+  for (const Graph& g : sample_graphs()) {
+    const BlockDecomposition d(g);
+    std::size_t cuts = 0;
+    for (VertexId v = 0; v < g.n(); ++v) {
+      EXPECT_EQ(d.is_cut(v), is_articulation(g, v)) << g.label(v);
+      if (d.is_cut(v)) ++cuts;
+    }
+    EXPECT_EQ(d.cut_count(), cuts);
+  }
+}
+
+TEST(Blocks, BlocksOfAndShareBlockAgree) {
+  for (const Graph& g : sample_graphs()) {
+    const BlockDecomposition d(g);
+    for (VertexId v = 0; v < g.n(); ++v) {
+      const auto& in = d.blocks_of(v);
+      EXPECT_TRUE(std::is_sorted(in.begin(), in.end()));
+      // A vertex sits in > 1 block exactly when it is a cut vertex.
+      EXPECT_EQ(in.size() > 1, d.is_cut(v));
+      for (const std::size_t b : in) {
+        EXPECT_TRUE(d.blocks()[b].contains(v));
+      }
+    }
+    // Distance-1 pairs always share a block.
+    for (const auto& [u, v] : g.edges()) {
+      EXPECT_TRUE(d.share_block(u, v));
+      EXPECT_TRUE(d.share_block(v, u));
+    }
+  }
+}
+
+TEST(Blocks, CanonicalOrderAndShapes) {
+  for (const Graph& g : sample_graphs()) {
+    const BlockDecomposition d(g);
+    for (std::size_t i = 0; i + 1 < d.blocks().size(); ++i) {
+      EXPECT_LT(d.blocks()[i].vertices, d.blocks()[i + 1].vertices);
+    }
+    for (const Block& b : d.blocks()) {
+      EXPECT_TRUE(std::is_sorted(b.vertices.begin(), b.vertices.end()));
+      const std::size_t k = b.size();
+      switch (b.shape) {
+        case BlockShape::kEdge:
+          EXPECT_EQ(k, 2u);
+          EXPECT_EQ(b.edges.size(), 1u);
+          break;
+        case BlockShape::kClique:
+          EXPECT_GE(k, 3u);
+          EXPECT_EQ(b.edges.size(), k * (k - 1) / 2);
+          break;
+        case BlockShape::kCycle:
+          EXPECT_GE(k, 4u);  // C3 classifies as a clique
+          EXPECT_EQ(b.edges.size(), k);
+          break;
+        case BlockShape::kOther:
+          ADD_FAILURE() << "generator produced an unclassified block";
+          break;
+      }
+    }
+  }
+  // Family predicates.
+  Rng rng(2);
+  EXPECT_TRUE(BlockDecomposition(make_clique_chain(20)).all_cliques());
+  const BlockDecomposition cactus(make_random_cactus(30, rng));
+  EXPECT_TRUE(cactus.cliques_and_cycles());
+}
+
+TEST(AgreementTree, EqualsTheGraphOnTrees) {
+  // On a tree every block is a K2 edge: no synthetic nodes, A(G) == G.
+  Rng rng(0xA9);
+  for (const TreeFamily f : all_tree_families()) {
+    const auto tree = make_family_tree(f, 17, rng);
+    const Graph g = graph_from_tree(tree);
+    const auto at = build_agreement_tree(g, BlockDecomposition(g));
+    EXPECT_EQ(tree_to_text(at.tree), tree_to_text(tree))
+        << tree_family_name(f);
+    for (VertexId v = 0; v < g.n(); ++v) {
+      EXPECT_EQ(at.vertex_to_node[v], v);
+      EXPECT_TRUE(at.is_vertex_node(v));
+    }
+  }
+}
+
+TEST(AgreementTree, BlockNodesForLargeBlocksOnly) {
+  Rng rng(0xAB);
+  for (const Graph& g :
+       {make_clique_chain(25), make_random_cactus(25, rng)}) {
+    const BlockDecomposition d(g);
+    const auto at = build_agreement_tree(g, d);
+    std::size_t large = 0;
+    for (const Block& b : d.blocks()) {
+      if (b.size() >= 3) ++large;
+    }
+    EXPECT_EQ(at.tree.n(), g.n() + large);
+    std::size_t synthetic = 0;
+    for (VertexId a = 0; a < at.tree.n(); ++a) {
+      if (at.is_vertex_node(a)) {
+        // Vertex nodes keep their G label; round trip through the maps.
+        const VertexId v = at.node_to_vertex[a];
+        EXPECT_EQ(at.vertex_to_node[v], a);
+        EXPECT_EQ(at.tree.label(a), g.label(v));
+        EXPECT_FALSE(at.node_to_block[a].has_value());
+      } else {
+        ++synthetic;
+        // Synthetic nodes carry the reserved '~' prefix and point at their
+        // block; their neighbors are exactly the block's vertices.
+        EXPECT_EQ(at.tree.label(a)[0], '~');
+        ASSERT_TRUE(at.node_to_block[a].has_value());
+        const Block& b = d.blocks()[*at.node_to_block[a]];
+        EXPECT_EQ(at.block_to_node[*at.node_to_block[a]], a);
+        EXPECT_EQ(at.tree.degree(a), b.size());
+      }
+    }
+    EXPECT_EQ(synthetic, large);
+  }
+}
+
+}  // namespace
+}  // namespace treeaa::graphs

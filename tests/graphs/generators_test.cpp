@@ -1,0 +1,99 @@
+// Block-graph generator families: size exactness, determinism, label
+// scheme, and the family-shape contracts the sweep axes rely on.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "graphs/blocks.h"
+#include "graphs/generators.h"
+#include "graphs/graph.h"
+#include "graphs/serialization.h"
+
+namespace treeaa::graphs {
+namespace {
+
+TEST(GraphGenerators, ExactSizeForEveryFamilyAndBudget) {
+  for (const GraphFamily f : all_graph_families()) {
+    for (const std::size_t n : {2u, 3u, 4u, 7u, 12u, 25u, 60u}) {
+      Rng rng(n);
+      const Graph g = make_family_graph(f, n, rng);
+      EXPECT_EQ(g.n(), n) << graph_family_name(f) << " n=" << n;
+    }
+  }
+}
+
+TEST(GraphGenerators, DeterministicForAGivenSeed) {
+  for (const GraphFamily f : all_graph_families()) {
+    Rng a(42), b(42), c(43);
+    const std::string first = graph_to_text(make_family_graph(f, 30, a));
+    EXPECT_EQ(graph_to_text(make_family_graph(f, 30, b)), first);
+    // Different seed, different random graphs (the deterministic families
+    // are naturally exempt).
+    if (f == GraphFamily::kTree || f == GraphFamily::kBlockRandom ||
+        f == GraphFamily::kCactus) {
+      EXPECT_NE(graph_to_text(make_family_graph(f, 30, c)), first)
+          << graph_family_name(f);
+    }
+  }
+}
+
+TEST(GraphGenerators, LabelSchemeMatchesTreeGenerators) {
+  Rng rng(1);
+  const Graph g = make_family_graph(GraphFamily::kBlockRandom, 12, rng);
+  // Zero-padded "v<idx>": canonical ids and generation order coincide.
+  EXPECT_EQ(g.label(0), "v00");
+  EXPECT_EQ(g.label(11), "v11");
+}
+
+TEST(GraphGenerators, FamilyShapeContracts) {
+  Rng rng(0xFA);
+  EXPECT_TRUE(make_family_graph(GraphFamily::kTree, 20, rng).is_tree());
+  EXPECT_TRUE(BlockDecomposition(
+                  make_family_graph(GraphFamily::kCliqueChain, 20, rng))
+                  .all_cliques());
+  EXPECT_TRUE(BlockDecomposition(
+                  make_family_graph(GraphFamily::kBlockRandom, 20, rng))
+                  .all_cliques());
+  EXPECT_TRUE(BlockDecomposition(
+                  make_family_graph(GraphFamily::kCactus, 20, rng))
+                  .cliques_and_cycles());
+}
+
+TEST(GraphGenerators, PrimitivesHaveTheRightShape) {
+  const BlockDecomposition clique(make_clique(5));
+  ASSERT_EQ(clique.blocks().size(), 1u);
+  EXPECT_EQ(clique.blocks()[0].shape, BlockShape::kClique);
+  EXPECT_EQ(make_clique(5).edge_count(), 10u);
+
+  const BlockDecomposition cycle(make_cycle_graph(6));
+  ASSERT_EQ(cycle.blocks().size(), 1u);
+  EXPECT_EQ(cycle.blocks()[0].shape, BlockShape::kCycle);
+
+  // C3 == K3 classifies as a clique, not a cycle.
+  const BlockDecomposition triangle(make_cycle_graph(3));
+  ASSERT_EQ(triangle.blocks().size(), 1u);
+  EXPECT_EQ(triangle.blocks()[0].shape, BlockShape::kClique);
+
+  // Clique chain: cliques glued at cut vertices, maximal diameter family.
+  const Graph chain = make_clique_chain(10, 4);
+  const BlockDecomposition d(chain);
+  EXPECT_EQ(d.blocks().size(), 3u);
+  EXPECT_EQ(d.cut_count(), 2u);
+}
+
+TEST(GraphGenerators, NamesRoundTrip) {
+  EXPECT_EQ(all_graph_families().size(), 4u);
+  for (const GraphFamily f : all_graph_families()) {
+    const std::string name = graph_family_name(f);
+    EXPECT_FALSE(name.empty());
+    std::size_t matches = 0;
+    for (const GraphFamily other : all_graph_families()) {
+      if (name == graph_family_name(other)) ++matches;
+    }
+    EXPECT_EQ(matches, 1u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace treeaa::graphs

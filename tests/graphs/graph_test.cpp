@@ -1,0 +1,128 @@
+// Graph — canonicalization, queries, tree round trips, text serialization.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "graphs/generators.h"
+#include "graphs/graph.h"
+#include "graphs/serialization.h"
+#include "trees/generators.h"
+#include "trees/serialization.h"
+
+namespace treeaa::graphs {
+namespace {
+
+TEST(Graph, CanonicalIdsSortedByLabel) {
+  const Graph g = Graph::from_edges({{"c", "a"}, {"a", "b"}, {"b", "c"}});
+  ASSERT_EQ(g.n(), 3u);
+  EXPECT_EQ(g.label(0), "a");
+  EXPECT_EQ(g.label(1), "b");
+  EXPECT_EQ(g.label(2), "c");
+  EXPECT_EQ(g.find("b"), VertexId{1});
+  EXPECT_EQ(g.find("missing"), std::nullopt);
+  // Canonical edge list: (u, v) with u < v, ascending.
+  const std::vector<std::pair<VertexId, VertexId>> want{{0, 1}, {0, 2}, {1, 2}};
+  EXPECT_EQ(g.edges(), want);
+}
+
+TEST(Graph, AdjacencyIsSortedAndSymmetric) {
+  Rng rng(11);
+  const Graph g = make_random_block_graph(40, rng);
+  for (VertexId v = 0; v < g.n(); ++v) {
+    const auto nbrs = g.neighbors(v);
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+    for (const VertexId u : nbrs) {
+      EXPECT_TRUE(g.has_edge(v, u));
+      EXPECT_TRUE(g.has_edge(u, v));
+    }
+  }
+  EXPECT_FALSE(g.has_edge(0, 0));
+}
+
+TEST(Graph, RejectsMalformedInput) {
+  EXPECT_THROW(Graph::from_edges({{"a", "a"}}), std::invalid_argument);
+  EXPECT_THROW(Graph::from_edges({{"a", "b"}, {"b", "a"}}),
+               std::invalid_argument);
+  EXPECT_THROW(Graph::from_edges({{"a", "b"}, {"c", "d"}}),
+               std::invalid_argument);  // disconnected
+  EXPECT_THROW(Graph::from_edges({{"", "b"}}), std::invalid_argument);
+  // '~' labels are reserved for synthetic agreement-tree block nodes.
+  EXPECT_THROW(Graph::from_edges({{"~x", "b"}}), std::invalid_argument);
+  EXPECT_THROW(Graph::single("~b00000000"), std::invalid_argument);
+}
+
+TEST(Graph, TreeRoundTripPreservesLabelsAndEdges) {
+  Rng rng(5);
+  const auto tree = make_random_tree(30, rng);
+  const Graph g = graph_from_tree(tree);
+  ASSERT_TRUE(g.is_tree());
+  ASSERT_EQ(g.n(), tree.n());
+  // LabeledTree and Graph share the label-sorted id convention, so ids —
+  // not just labels — must coincide.
+  for (VertexId v = 0; v < g.n(); ++v) {
+    EXPECT_EQ(g.label(v), tree.label(v));
+  }
+  const auto back = tree_from_graph(g);
+  EXPECT_EQ(tree_to_text(back), tree_to_text(tree));
+}
+
+TEST(Graph, BfsDistancesMatchPairwiseDistance) {
+  Rng rng(7);
+  const Graph g = make_random_cactus(25, rng);
+  for (VertexId u = 0; u < g.n(); ++u) {
+    const auto d = g.bfs_distances(u);
+    ASSERT_EQ(d.size(), g.n());
+    EXPECT_EQ(d[u], 0u);
+    for (VertexId v = 0; v < g.n(); ++v) {
+      EXPECT_EQ(g.distance(u, v), d[v]);
+      EXPECT_EQ(g.distance(v, u), d[v]);
+    }
+  }
+}
+
+TEST(GraphSerialization, TextRoundTripIsFixpoint) {
+  Rng rng(3);
+  for (const GraphFamily f : all_graph_families()) {
+    const Graph g = make_family_graph(f, 20, rng);
+    const std::string text = graph_to_text(g);
+    const Graph back = graph_from_text(text);
+    EXPECT_EQ(graph_to_text(back), text) << graph_family_name(f);
+    EXPECT_EQ(back.n(), g.n());
+    EXPECT_EQ(back.edges(), g.edges());
+  }
+}
+
+TEST(GraphSerialization, TreeFilesParseAsGraphs) {
+  // The graph text format is a superset of the tree format: every tree
+  // file the repo ships parses as the degenerate block graph.
+  Rng rng(9);
+  const auto tree = make_family_tree(TreeFamily::kSpider, 15, rng);
+  const Graph g = graph_from_text(tree_to_text(tree));
+  EXPECT_TRUE(g.is_tree());
+  EXPECT_EQ(g.n(), tree.n());
+}
+
+TEST(GraphSerialization, RejectsMalformedText) {
+  EXPECT_THROW((void)graph_from_text("edge a"), std::invalid_argument);
+  EXPECT_THROW((void)graph_from_text("edge a b c"), std::invalid_argument);
+  EXPECT_THROW((void)graph_from_text("frob a b"), std::invalid_argument);
+  EXPECT_THROW((void)graph_from_text("edge a a"), std::invalid_argument);
+  EXPECT_THROW((void)graph_from_text(""), std::invalid_argument);
+}
+
+TEST(GraphSerialization, DotExportMentionsEveryVertex) {
+  const Graph g = make_clique_chain(10, 4);
+  const BlockDecomposition d(g);
+  const std::string dot = graph_to_dot(g, d);
+  for (VertexId v = 0; v < g.n(); ++v) {
+    EXPECT_NE(dot.find(g.label(v)), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace treeaa::graphs

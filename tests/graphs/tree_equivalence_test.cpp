@@ -1,0 +1,175 @@
+// The degenerate-case guarantee, pinned byte for byte: on a tree, A(G) == G
+// and BlockAA *is* TreeAA — identical transcripts, outputs, traffic and
+// run reports across every tree generator family, seed, engine, and
+// adversary. This is what makes the graphs subsystem a conservative
+// extension: nothing about the tree protocol moved.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/api.h"
+#include "graphs/block_aa.h"
+#include "graphs/block_index.h"
+#include "graphs/graph.h"
+#include "harness/registry.h"
+#include "obs/report.h"
+#include "sim/strategies.h"
+#include "sim/trace.h"
+#include "trees/generators.h"
+#include "trees/serialization.h"
+
+namespace treeaa::graphs {
+namespace {
+
+struct Captured {
+  std::string transcript;
+  std::string report_json;
+  std::vector<std::optional<VertexId>> outputs;
+  Round rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+std::unique_ptr<sim::Adversary> make_plan_adversary(
+    harness::AdversaryKind kind, const LabeledTree& tree, std::size_t n,
+    std::size_t t, std::uint64_t seed) {
+  Rng rng(seed);
+  harness::AdversaryPlan plan;
+  plan.kind = kind;
+  plan.victims = sim::random_parties(n, t, rng);
+  plan.fuzz_seed = seed;
+  if (kind == harness::AdversaryKind::kSplit) {
+    plan.split_config = core::paths_finder_config(tree, n, t, {});
+  }
+  return harness::make_adversary(plan);
+}
+
+Captured run_tree_side(const LabeledTree& tree,
+                       const std::vector<VertexId>& inputs, std::size_t t,
+                       core::TreeAAOptions opts,
+                       std::unique_ptr<sim::Adversary> adversary) {
+  sim::RecordingTracer tracer(/*payloads=*/true);
+  obs::RunReport report;
+  obs::Hooks hooks;
+  hooks.tracer = &tracer;
+  hooks.report = &report;
+  const auto run =
+      core::run_tree_aa(tree, inputs, t, opts, std::move(adversary), &hooks);
+  return {tracer.text(), report.to_json(false), run.outputs, run.rounds,
+          run.traffic.total_messages(), run.traffic.total_bytes()};
+}
+
+Captured run_block_side(const BlockIndex& index,
+                        const std::vector<VertexId>& inputs, std::size_t t,
+                        BlockAAOptions opts,
+                        std::unique_ptr<sim::Adversary> adversary) {
+  sim::RecordingTracer tracer(/*payloads=*/true);
+  obs::RunReport report;
+  obs::Hooks hooks;
+  hooks.tracer = &tracer;
+  hooks.report = &report;
+  const auto run =
+      run_block_aa(index, inputs, t, opts, std::move(adversary), &hooks);
+  return {tracer.text(), report.to_json(false), run.outputs, run.rounds,
+          run.traffic.total_messages(), run.traffic.total_bytes()};
+}
+
+TEST(TreeEquivalence, AgreementTreeIsTheTreeItself) {
+  Rng rng(0x7E1);
+  for (const TreeFamily f : all_tree_families()) {
+    const auto tree = make_family_tree(f, 21, rng);
+    const BlockIndex index(graph_from_tree(tree));
+    EXPECT_EQ(tree_to_text(index.agreement_tree()), tree_to_text(tree))
+        << tree_family_name(f);
+    EXPECT_EQ(index.diameter(), tree.diameter());
+  }
+}
+
+TEST(TreeEquivalence, TranscriptsAreByteIdenticalAcrossFamiliesAndSeeds) {
+  const std::size_t n = 7, t = 2;
+  for (const TreeFamily f : all_tree_families()) {
+    for (const std::uint64_t seed : {1ull, 17ull, 400ull}) {
+      Rng rng(seed);
+      const auto tree = make_family_tree(f, 19, rng);
+      const BlockIndex index(graph_from_tree(tree));
+      std::vector<VertexId> inputs;
+      for (std::size_t p = 0; p < n; ++p) {
+        inputs.push_back(static_cast<VertexId>(rng.index(tree.n())));
+      }
+      const auto tree_run = run_tree_side(tree, inputs, t, {}, nullptr);
+      const auto block_run = run_block_side(index, inputs, t, {}, nullptr);
+      EXPECT_EQ(block_run.transcript, tree_run.transcript)
+          << tree_family_name(f) << " seed " << seed;
+      EXPECT_EQ(block_run.outputs, tree_run.outputs);
+      EXPECT_EQ(block_run.rounds, tree_run.rounds);
+      EXPECT_EQ(block_run.messages, tree_run.messages);
+      EXPECT_EQ(block_run.bytes, tree_run.bytes);
+    }
+  }
+}
+
+TEST(TreeEquivalence, HoldsUnderEveryAdversaryAndEngine) {
+  const std::size_t n = 7, t = 2;
+  Rng rng(0xE0);
+  const auto tree = make_family_tree(TreeFamily::kCaterpillar, 16, rng);
+  const BlockIndex index(graph_from_tree(tree));
+  std::vector<VertexId> inputs;
+  for (std::size_t p = 0; p < n; ++p) {
+    inputs.push_back(static_cast<VertexId>(rng.index(tree.n())));
+  }
+  for (const harness::AdversaryKind kind : harness::all_adversaries()) {
+    if (!harness::adversary_applies(harness::ProtocolKind::kTreeAA, kind) ||
+        !harness::adversary_applies(harness::ProtocolKind::kBlockAA, kind)) {
+      continue;
+    }
+    for (const auto engine : {core::RealEngineKind::kGradecastBdh,
+                              core::RealEngineKind::kClassicHalving}) {
+      core::TreeAAOptions opts;
+      opts.engine = engine;
+      const auto tree_run = run_tree_side(
+          tree, inputs, t, opts, make_plan_adversary(kind, tree, n, t, 77));
+      const auto block_run = run_block_side(
+          index, inputs, t, opts, make_plan_adversary(kind, tree, n, t, 77));
+      EXPECT_EQ(block_run.transcript, tree_run.transcript)
+          << harness::adversary_name(kind);
+      EXPECT_EQ(block_run.outputs, tree_run.outputs);
+      EXPECT_EQ(block_run.messages, tree_run.messages);
+    }
+  }
+}
+
+TEST(TreeEquivalence, PerRoundConvergenceSeriesMatches) {
+  // The probes measure BlockAA diameters in the graph metric; on a tree
+  // that metric *is* the tree metric, so the per-round series — and with
+  // it every ledger verdict downstream — must agree sample for sample.
+  // (The reports differ only in protocol identity and the graph params.)
+  const std::size_t t = 2;
+  Rng rng(0x5E);
+  const auto tree = make_family_tree(TreeFamily::kRandom, 24, rng);
+  const BlockIndex index(graph_from_tree(tree));
+  const auto inputs = std::vector<VertexId>{
+      static_cast<VertexId>(tree.diameter_endpoints().first),
+      static_cast<VertexId>(tree.diameter_endpoints().second),
+      0, 1, 2, 3, 4};
+
+  obs::RunReport tree_report, block_report;
+  obs::Hooks tree_hooks, block_hooks;
+  tree_hooks.report = &tree_report;
+  block_hooks.report = &block_report;
+  (void)core::run_tree_aa(tree, inputs, t, {}, nullptr, &tree_hooks);
+  (void)run_block_aa(index, inputs, t, {}, nullptr, &block_hooks);
+
+  ASSERT_EQ(block_report.per_round.size(), tree_report.per_round.size());
+  for (std::size_t i = 0; i < block_report.per_round.size(); ++i) {
+    EXPECT_EQ(block_report.per_round[i].round, tree_report.per_round[i].round);
+    EXPECT_EQ(block_report.per_round[i].value_diameter,
+              tree_report.per_round[i].value_diameter);
+  }
+}
+
+}  // namespace
+}  // namespace treeaa::graphs

@@ -1,0 +1,245 @@
+// Adversarial decoding for the graph/block wire codecs. Byzantine parties
+// can inject arbitrary byte strings, so — exactly like the gradecast and
+// realaa codecs — malformed must always mean nullopt: never a throw, an
+// over-read, a crash, or a partially constructed object.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "graphs/blocks.h"
+#include "graphs/generators.h"
+#include "graphs/graph.h"
+#include "graphs/wire.h"
+
+namespace treeaa::graphs {
+namespace {
+
+TEST(GraphWireFuzz, GraphRoundTripSurvivesTruncation) {
+  Rng rng(0x6F);
+  const Graph g = make_random_block_graph(12, rng);
+  const Bytes msg = encode_graph(g);
+  const auto back = decode_graph(msg);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(encode_graph(*back), msg);
+  // Every strict prefix is malformed, never a crash or a partial graph.
+  for (std::size_t len = 0; len < msg.size(); ++len) {
+    const Bytes prefix(msg.begin(), msg.begin() + static_cast<long>(len));
+    EXPECT_EQ(decode_graph(prefix), std::nullopt) << "prefix length " << len;
+  }
+}
+
+TEST(GraphWireFuzz, GraphRejectsTrailingHostileLengthAndWrongTag) {
+  Bytes msg = encode_graph(make_clique(4));
+  msg.push_back(0);  // trailing byte
+  EXPECT_EQ(decode_graph(msg), std::nullopt);
+
+  // A vertex count far above the hard cap must be rejected before any
+  // attempt to allocate or read that many labels.
+  ByteWriter w;
+  w.u8(kTagGraph);
+  w.varint(kMaxWireVertices + 1);
+  EXPECT_EQ(decode_graph(std::move(w).take()), std::nullopt);
+
+  ByteWriter edges;
+  edges.u8(kTagGraph);
+  edges.varint(2);
+  edges.str("a");
+  edges.str("b");
+  edges.varint(kMaxWireEdges + 1);
+  EXPECT_EQ(decode_graph(std::move(edges).take()), std::nullopt);
+
+  EXPECT_EQ(decode_graph(Bytes{}), std::nullopt);
+  EXPECT_EQ(decode_graph(Bytes{kTagBlocks, 1}), std::nullopt);  // wrong tag
+}
+
+TEST(GraphWireFuzz, GraphRejectsNonCanonicalAndInvalidStructure) {
+  // Labels out of sorted order: the ids would not be canonical.
+  {
+    ByteWriter w;
+    w.u8(kTagGraph);
+    w.varint(2);
+    w.str("b");
+    w.str("a");
+    w.varint(1);
+    w.varint(0);
+    w.varint(1);
+    EXPECT_EQ(decode_graph(std::move(w).take()), std::nullopt);
+  }
+  // Reserved '~' label.
+  {
+    ByteWriter w;
+    w.u8(kTagGraph);
+    w.varint(1);
+    w.str("~boom");
+    w.varint(0);
+    EXPECT_EQ(decode_graph(std::move(w).take()), std::nullopt);
+  }
+  // Disconnected: two vertices, no edge.
+  {
+    ByteWriter w;
+    w.u8(kTagGraph);
+    w.varint(2);
+    w.str("a");
+    w.str("b");
+    w.varint(0);
+    EXPECT_EQ(decode_graph(std::move(w).take()), std::nullopt);
+  }
+  // Edges out of canonical order.
+  {
+    ByteWriter w;
+    w.u8(kTagGraph);
+    w.varint(3);
+    w.str("a");
+    w.str("b");
+    w.str("c");
+    w.varint(2);
+    w.varint(1);
+    w.varint(2);
+    w.varint(0);
+    w.varint(1);
+    EXPECT_EQ(decode_graph(std::move(w).take()), std::nullopt);
+  }
+  // Self-loop shape (u >= v) and out-of-range endpoint.
+  {
+    ByteWriter w;
+    w.u8(kTagGraph);
+    w.varint(2);
+    w.str("a");
+    w.str("b");
+    w.varint(1);
+    w.varint(1);
+    w.varint(1);
+    EXPECT_EQ(decode_graph(std::move(w).take()), std::nullopt);
+  }
+}
+
+TEST(GraphWireFuzz, BlocksRoundTripSurvivesTruncation) {
+  Rng rng(0xCAC);
+  const Graph g = make_random_cactus(15, rng);
+  const BlockDecomposition d(g);
+  const Bytes msg = encode_blocks(g.n(), d);
+  const auto back = decode_blocks(msg);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), d.blocks().size());
+  for (std::size_t i = 0; i < back->size(); ++i) {
+    EXPECT_EQ((*back)[i], d.blocks()[i].vertices);
+  }
+  for (std::size_t len = 0; len < msg.size(); ++len) {
+    const Bytes prefix(msg.begin(), msg.begin() + static_cast<long>(len));
+    EXPECT_EQ(decode_blocks(prefix), std::nullopt) << "prefix length " << len;
+  }
+}
+
+TEST(GraphWireFuzz, BlocksFailClosedOnMalformedStructure) {
+  // Helper: encode an arbitrary claimed (n, blocks) structure.
+  const auto encode_claim = [](std::uint64_t n,
+                               const std::vector<std::vector<std::uint64_t>>&
+                                   blocks) {
+    ByteWriter w;
+    w.u8(kTagBlocks);
+    w.varint(n);
+    w.varint(blocks.size());
+    for (const auto& b : blocks) {
+      w.varint(b.size());
+      for (const std::uint64_t v : b) w.varint(v);
+    }
+    return std::move(w).take();
+  };
+
+  // The valid 4-vertex path {01, 12, 23} decodes...
+  EXPECT_TRUE(decode_blocks(encode_claim(4, {{0, 1}, {1, 2}, {2, 3}}))
+                  .has_value());
+  // ...but every structural violation is rejected:
+  // vertex 3 uncovered (identity also breaks).
+  EXPECT_EQ(decode_blocks(encode_claim(4, {{0, 1}, {1, 2}})), std::nullopt);
+  // block-forest identity violated: sum(|B|-1) != n-1.
+  EXPECT_EQ(decode_blocks(encode_claim(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}})),
+            std::nullopt);
+  // two blocks sharing two vertices.
+  EXPECT_EQ(decode_blocks(encode_claim(4, {{0, 1, 2}, {1, 2, 3}})),
+            std::nullopt);
+  // unsorted vertices inside a block.
+  EXPECT_EQ(decode_blocks(encode_claim(3, {{1, 0}, {1, 2}})), std::nullopt);
+  // blocks out of canonical order.
+  EXPECT_EQ(decode_blocks(encode_claim(3, {{1, 2}, {0, 1}})), std::nullopt);
+  // a singleton block.
+  EXPECT_EQ(decode_blocks(encode_claim(2, {{0}, {0, 1}})), std::nullopt);
+  // out-of-range vertex id.
+  EXPECT_EQ(decode_blocks(encode_claim(2, {{0, 5}})), std::nullopt);
+  // hostile counts: more blocks than vertices, n above the cap.
+  EXPECT_EQ(decode_blocks(encode_claim(1, {{0, 0}, {0, 0}})), std::nullopt);
+  ByteWriter w;
+  w.u8(kTagBlocks);
+  w.varint(kMaxWireVertices + 1);
+  EXPECT_EQ(decode_blocks(std::move(w).take()), std::nullopt);
+}
+
+TEST(GraphWireFuzz, RandomGarbageNeverDecodesGraphDangerously) {
+  Rng rng(0x6A6A);
+  for (int iter = 0; iter < 2000; ++iter) {
+    Bytes msg(rng.index(96), 0);
+    for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next() & 0xFF);
+    // Must not throw; a successful decode must re-encode to the same bytes
+    // (the codec admits exactly its own canonical encodings).
+    const auto g = decode_graph(msg);
+    if (g.has_value()) {
+      EXPECT_EQ(encode_graph(*g), msg);
+    }
+  }
+}
+
+TEST(GraphWireFuzz, RandomGarbageNeverDecodesBlocksDangerously) {
+  Rng rng(0xB10B);
+  for (int iter = 0; iter < 2000; ++iter) {
+    Bytes msg(rng.index(96), 0);
+    for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next() & 0xFF);
+    const auto blocks = decode_blocks(msg);
+    if (blocks.has_value()) {
+      // Whatever decodes must satisfy the full structural contract.
+      std::size_t size_sum = 0;
+      for (const auto& b : blocks.value()) {
+        ASSERT_GE(b.size(), 2u);
+        EXPECT_TRUE(std::is_sorted(b.begin(), b.end()));
+        size_sum += b.size();
+      }
+      if (!blocks->empty()) {
+        EXPECT_EQ(size_sum - blocks->size() + 1,
+                  [&] {
+                    VertexId max_v = 0;
+                    for (const auto& b : blocks.value()) {
+                      max_v = std::max(max_v, b.back());
+                    }
+                    return static_cast<std::size_t>(max_v) + 1;
+                  }());
+      }
+    }
+  }
+}
+
+TEST(GraphWireFuzz, BitFlipsNeverCrashTheDecoders) {
+  // Single-bit corruptions of valid messages must decode cleanly or fail
+  // cleanly — the net fault plan's corrupt action produces exactly these.
+  Rng rng(0xF11);
+  const Graph g = make_random_block_graph(10, rng);
+  const Bytes graph_msg = encode_graph(g);
+  const Bytes blocks_msg = encode_blocks(g.n(), BlockDecomposition(g));
+  for (const Bytes& msg : {graph_msg, blocks_msg}) {
+    for (std::size_t byte = 0; byte < msg.size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        Bytes flipped = msg;
+        flipped[byte] ^= static_cast<std::uint8_t>(1u << bit);
+        (void)decode_graph(flipped);
+        (void)decode_blocks(flipped);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace treeaa::graphs

@@ -13,6 +13,9 @@
 #include <vector>
 
 #include "core/api.h"
+#include "graphs/block_index.h"
+#include "graphs/check.h"
+#include "graphs/generators.h"
 #include "harness/runner.h"
 #include "obs/report.h"
 #include "trees/generators.h"
@@ -32,7 +35,7 @@ TEST(RegistryTest, ProtocolNamesRoundTrip) {
     ASSERT_TRUE(back.has_value()) << name;
     EXPECT_EQ(*back, p);
   }
-  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(seen.size(), 8u);
   EXPECT_FALSE(harness::protocol_from_name("no_such_protocol").has_value());
 }
 
@@ -61,6 +64,13 @@ TEST(RegistryTest, Predicates) {
   EXPECT_TRUE(harness::is_sweep_protocol(ProtocolKind::kIteratedRealAA));
   EXPECT_FALSE(harness::is_sweep_protocol(ProtocolKind::kPathAA));
   EXPECT_FALSE(harness::is_sweep_protocol(ProtocolKind::kAsyncTreeAA));
+  // BlockAA takes graph-vertex inputs: its own family, neither tree-vertex
+  // nor real-valued, but sweepable.
+  EXPECT_TRUE(harness::is_graph_protocol(ProtocolKind::kBlockAA));
+  EXPECT_FALSE(harness::is_vertex_protocol(ProtocolKind::kBlockAA));
+  EXPECT_FALSE(harness::is_graph_protocol(ProtocolKind::kTreeAA));
+  EXPECT_FALSE(harness::is_graph_protocol(ProtocolKind::kRealAA));
+  EXPECT_TRUE(harness::is_sweep_protocol(ProtocolKind::kBlockAA));
   // split targets gradecast distribution; split1 additionally needs
   // RealAA's iteration schedule.
   EXPECT_TRUE(harness::adversary_applies(ProtocolKind::kTreeAA,
@@ -69,6 +79,10 @@ TEST(RegistryTest, Predicates) {
                                           harness::AdversaryKind::kSplit1));
   EXPECT_TRUE(harness::adversary_applies(ProtocolKind::kRealAA,
                                          harness::AdversaryKind::kSplit1));
+  EXPECT_TRUE(harness::adversary_applies(ProtocolKind::kBlockAA,
+                                         harness::AdversaryKind::kSplit));
+  EXPECT_FALSE(harness::adversary_applies(ProtocolKind::kBlockAA,
+                                          harness::AdversaryKind::kSplit1));
 }
 
 /// Runs every registered protocol on a small instance via run_protocol()
@@ -77,6 +91,7 @@ TEST(RegistryTest, Predicates) {
 TEST(RegistryTest, EveryRegisteredProtocolRunsAndAgrees) {
   const auto spider = make_spider(3, 3);
   const auto path = make_path(9);
+  const graphs::BlockIndex block_index(graphs::make_clique_chain(10, 4));
   const std::size_t n = 7, t = 2;
 
   for (const harness::ProtocolKind p : harness::all_protocols()) {
@@ -85,7 +100,20 @@ TEST(RegistryTest, EveryRegisteredProtocolRunsAndAgrees) {
     spec.protocol = p;
     spec.n = n;
     spec.t = t;
-    if (harness::is_vertex_protocol(p)) {
+    if (harness::is_graph_protocol(p)) {
+      spec.block_index = &block_index;
+      const auto [end_a, end_b] = block_index.diameter_endpoints();
+      for (std::size_t q = 0; q < n; ++q) {
+        spec.vertex_inputs.push_back(q % 2 == 0 ? end_a : end_b);
+      }
+      const auto inputs = spec.vertex_inputs;
+      auto out = harness::run_protocol(std::move(spec));
+      EXPECT_TRUE(out.corrupt.empty());
+      const auto check = graphs::check_agreement(
+          block_index, inputs, out.honest_vertex_outputs());
+      EXPECT_TRUE(check.valid);
+      EXPECT_TRUE(check.one_agreement);
+    } else if (harness::is_vertex_protocol(p)) {
       // PathAA is the warm-up protocol on labeled paths; everything else
       // runs on the spider.
       const LabeledTree& tree =
@@ -168,6 +196,7 @@ TEST(RegistryTest, MakeAdversaryAndSilentRun) {
 TEST(RegistryTest, ThreadsNeverChangeOutcomeOrReport) {
   const auto spider = make_spider(3, 3);
   const auto path = make_path(9);
+  const graphs::BlockIndex block_index(graphs::make_clique_chain(10, 4));
   const std::size_t n = 7, t = 2;
 
   for (const harness::ProtocolKind p : harness::all_protocols()) {
@@ -190,7 +219,13 @@ TEST(RegistryTest, ThreadsNeverChangeOutcomeOrReport) {
         spec.t = t;
         spec.threads = threads;
         spec.hooks = &hooks;
-        if (harness::is_vertex_protocol(p)) {
+        if (harness::is_graph_protocol(p)) {
+          spec.block_index = &block_index;
+          const auto [end_a, end_b] = block_index.diameter_endpoints();
+          for (std::size_t q = 0; q < n; ++q) {
+            spec.vertex_inputs.push_back(q % 2 == 0 ? end_a : end_b);
+          }
+        } else if (harness::is_vertex_protocol(p)) {
           spec.tree = &tree;
           spec.vertex_inputs = harness::spread_vertex_inputs(tree, n);
         } else {
@@ -205,7 +240,12 @@ TEST(RegistryTest, ThreadsNeverChangeOutcomeOrReport) {
         plan.fuzz_seed = 77;
         if (a == harness::AdversaryKind::kSplit ||
             a == harness::AdversaryKind::kSplit1) {
-          if (harness::is_vertex_protocol(p)) {
+          if (harness::is_graph_protocol(p)) {
+            // The split attack aims at the inner TreeAA's topology: the
+            // agreement tree, not the graph.
+            plan.split_config = core::paths_finder_config(
+                block_index.agreement_tree(), n, t, {});
+          } else if (harness::is_vertex_protocol(p)) {
             plan.split_config = core::paths_finder_config(tree, n, t, {});
           } else {
             realaa::Config cfg;

@@ -10,9 +10,16 @@
 //              [--metrics <file|->] [--report json]
 //              [--trace <file|->] [--trace-format text|jsonl]
 //              [--spans <file|->] [--timings]
+//   treeaa_cli gen-graph <family> <n> [seed]   generate a block graph
+//   treeaa_cli info-graph <file|->             block decomposition stats
+//   treeaa_cli dot-graph <file|->              Graphviz export (blocks)
+//   treeaa_cli run-block <file|-> ...          BlockAA run (same flags as
+//                                              `run`; see usage)
 //
 // `-` reads the tree from stdin, so commands compose:
 //   treeaa_cli gen spider 40 | treeaa_cli run - --t 2 --inputs v00,v11,...
+//   treeaa_cli gen-graph cactus 30 |
+//       treeaa_cli run-block - --t 1 --inputs v000,v007,v013,v021
 //
 // Observability (docs/OBSERVABILITY.md): --metrics writes the machine-
 // readable run report ("treeaa.run_report/1") to a file (falling back to
@@ -38,6 +45,11 @@
 #include "bounds/fekete.h"
 #include "common/table.h"
 #include "core/api.h"
+#include "graphs/block_aa.h"
+#include "graphs/block_index.h"
+#include "graphs/check.h"
+#include "graphs/generators.h"
+#include "graphs/serialization.h"
 #include "harness/runner.h"
 #include "obs/probe.h"
 #include "obs/report.h"
@@ -72,7 +84,17 @@ using namespace treeaa;
       "  treeaa_cli run-async <file|-> --t <t> --inputs <l1,l2,...>\n"
       "             [--scheduler fifo|lifo|random] [--silent <k>] "
       "[--seed <s>] [--quiet]\n"
-      "             [--metrics <file|->] [--report json] [--timings]\n";
+      "             [--metrics <file|->] [--report json] [--timings]\n"
+      "  treeaa_cli gen-graph <tree|clique_chain|block_random|cactus> <n> "
+      "[seed]\n"
+      "  treeaa_cli info-graph <file|->\n"
+      "  treeaa_cli dot-graph <file|->\n"
+      "  treeaa_cli run-block <file|-> --t <t> --inputs <l1,l2,...>\n"
+      "             [--adversary none|silent|fuzz|split] [--engine "
+      "bdh|classic] [--seed <s>] [--threads <k>] [--quiet]\n"
+      "             [--metrics <file|->] [--report json] "
+      "[--trace <file|->] [--trace-format text|jsonl]\n"
+      "             [--spans <file|->] [--timings]\n";
   std::exit(2);
 }
 
@@ -455,6 +477,236 @@ int cmd_run_async(const std::vector<std::string>& args) {
   return check.ok() ? 0 : 1;
 }
 
+int cmd_gen_graph(const std::vector<std::string>& args) {
+  if (args.size() < 2 || args.size() > 3) usage("gen-graph needs <family> <n>");
+  const std::size_t n = std::stoul(args[1]);
+  const std::uint64_t seed = args.size() == 3 ? std::stoull(args[2]) : 1;
+  Rng rng(seed);
+  for (const graphs::GraphFamily f : graphs::all_graph_families()) {
+    if (args[0] == graphs::graph_family_name(f)) {
+      std::cout << graphs::graph_to_text(graphs::make_family_graph(f, n, rng));
+      return 0;
+    }
+  }
+  usage("unknown graph family '" + args[0] + "'");
+}
+
+int cmd_info_graph(const std::vector<std::string>& args) {
+  if (args.size() != 1) usage("info-graph needs <file|->");
+  const auto g = graphs::graph_from_text(read_all(args[0]));
+  const graphs::BlockIndex index(g);
+  const auto& d = index.decomposition();
+  std::size_t edges = 0, cliques = 0, cycles = 0;
+  for (const auto& b : d.blocks()) {
+    if (b.shape == graphs::BlockShape::kEdge) ++edges;
+    if (b.shape == graphs::BlockShape::kClique) ++cliques;
+    if (b.shape == graphs::BlockShape::kCycle) ++cycles;
+  }
+  const auto [a, b] = index.diameter_endpoints();
+  const auto& at = index.agreement_tree();
+  std::cout << "vertices:       " << g.n() << "\n"
+            << "edges:          " << g.edge_count() << "\n"
+            << "diameter:       " << index.diameter() << " (" << g.label(a)
+            << " .. " << g.label(b) << ")\n"
+            << "blocks:         " << d.blocks().size() << " (" << edges
+            << " edge, " << cliques << " clique, " << cycles << " cycle)\n"
+            << "cut vertices:   " << d.cut_count() << "\n"
+            << "family:         "
+            << (g.is_tree()           ? "tree"
+                : index.all_cliques() ? "block graph (all cliques)"
+                                      : "cactus (has cycle blocks)")
+            << "\n"
+            << "agreement tree: " << at.n() << " nodes, diameter "
+            << at.diameter() << "\n";
+  Table rounds({"n", "t", "BlockAA rounds", "lower bound"});
+  for (std::size_t pn : {4u, 7u, 16u, 31u}) {
+    const std::size_t pt = (pn - 1) / 3;
+    rounds.row({std::to_string(pn), std::to_string(pt),
+                std::to_string(graphs::block_aa_rounds(index, pn, pt)),
+                std::to_string(bounds::lower_bound_rounds(
+                    static_cast<double>(index.diameter()), pn, pt))});
+  }
+  std::cout << rounds.render();
+  return 0;
+}
+
+int cmd_dot_graph(const std::vector<std::string>& args) {
+  if (args.size() != 1) usage("dot-graph needs <file|->");
+  const auto g = graphs::graph_from_text(read_all(args[0]));
+  const graphs::BlockDecomposition d(g);
+  std::cout << graphs::graph_to_dot(g, d);
+  return 0;
+}
+
+int cmd_run_block(const std::vector<std::string>& args) {
+  if (args.empty()) usage("run-block needs <file|->");
+  const auto g = graphs::graph_from_text(read_all(args[0]));
+  const graphs::BlockIndex index(g);
+
+  std::size_t t = 0;
+  std::vector<std::string> input_labels;
+  std::string adversary = "none";
+  std::string engine = "bdh";
+  std::uint64_t seed = 1;
+  std::size_t threads = 1;
+  bool quiet = false;
+  std::string metrics_path;
+  std::string report_mode;
+  std::string trace_path;
+  std::string trace_format = "text";
+  std::string spans_path;
+  bool timings = false;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) usage("missing value after " + args[i]);
+      return args[++i];
+    };
+    if (args[i] == "--t") {
+      t = std::stoul(next());
+    } else if (args[i] == "--inputs") {
+      input_labels = split_csv(next());
+    } else if (args[i] == "--adversary") {
+      adversary = next();
+    } else if (args[i] == "--engine") {
+      engine = next();
+    } else if (args[i] == "--seed") {
+      seed = std::stoull(next());
+    } else if (args[i] == "--threads") {
+      threads = std::stoul(next());
+    } else if (args[i] == "--quiet") {
+      quiet = true;
+    } else if (args[i] == "--metrics") {
+      metrics_path = next();
+    } else if (args[i] == "--report") {
+      report_mode = next();
+      if (report_mode != "json") usage("--report only supports 'json'");
+    } else if (args[i] == "--trace") {
+      trace_path = next();
+    } else if (args[i] == "--trace-format") {
+      trace_format = next();
+      if (trace_format != "text" && trace_format != "jsonl") {
+        usage("--trace-format must be text or jsonl");
+      }
+    } else if (args[i] == "--spans") {
+      spans_path = next();
+    } else if (args[i] == "--timings") {
+      timings = true;
+    } else {
+      usage("unknown option '" + args[i] + "'");
+    }
+  }
+  if (input_labels.empty()) usage("--inputs is required");
+  metrics_path = obs::resolve_metrics_path(std::move(metrics_path));
+  const std::size_t n = input_labels.size();
+  if (n <= 3 * t) usage("need n > 3t");
+
+  std::vector<VertexId> inputs;
+  for (const auto& label : input_labels) {
+    const auto v = g.find(label);
+    if (!v.has_value()) usage("no vertex labeled '" + label + "'");
+    inputs.push_back(*v);
+  }
+
+  graphs::BlockAAOptions opts;
+  if (engine == "classic") {
+    opts.engine = core::RealEngineKind::kClassicHalving;
+  } else if (engine != "bdh") {
+    usage("unknown engine '" + engine + "'");
+  }
+
+  const auto adv_kind = harness::adversary_from_name(adversary);
+  if (!adv_kind.has_value() ||
+      !harness::adversary_applies(harness::ProtocolKind::kBlockAA,
+                                  *adv_kind)) {
+    usage("unknown adversary '" + adversary + "'");
+  }
+  Rng rng(seed);
+  harness::AdversaryPlan plan;
+  plan.kind = *adv_kind;
+  // Same historical draw order as `run`: victims come off the seed stream
+  // unconditionally, fuzz payloads reuse the CLI seed, and the split
+  // adversary aims at the agreement tree — the topology the inner TreeAA
+  // actually runs on.
+  plan.victims = sim::random_parties(n, t, rng);
+  plan.fuzz_seed = seed;
+  if (plan.kind == harness::AdversaryKind::kSplit) {
+    plan.split_config =
+        core::paths_finder_config(index.agreement_tree(), n, t, {});
+  }
+  auto adv = harness::make_adversary(plan);
+
+  obs::RunReport report;
+  sim::RecordingTracer text_tracer;
+  obs::JsonlTracer jsonl_tracer;
+  obs::SpanSink span_sink;
+  obs::Hooks hooks;
+  if (!metrics_path.empty() || report_mode == "json") hooks.report = &report;
+  if (!trace_path.empty()) {
+    hooks.tracer = trace_format == "jsonl"
+                       ? static_cast<sim::Tracer*>(&jsonl_tracer)
+                       : static_cast<sim::Tracer*>(&text_tracer);
+  }
+  if (!spans_path.empty()) hooks.spans = &span_sink;
+  if (hooks.report != nullptr) {
+    report.add_param("adversary", adversary);
+    report.add_param("seed", seed);
+  }
+
+  const auto result =
+      graphs::run_block_aa(index, inputs, t, opts, std::move(adv),
+                           hooks.active() ? &hooks : nullptr,
+                           sim::EngineOptions{threads});
+
+  std::vector<VertexId> honest_inputs;
+  for (PartyId p = 0; p < n; ++p) {
+    if (result.outputs[p].has_value()) honest_inputs.push_back(inputs[p]);
+  }
+  const auto check =
+      graphs::check_agreement(index, honest_inputs, result.honest_outputs());
+
+  if (hooks.report != nullptr) {
+    report.add_outcome("validity", check.valid);
+    report.add_outcome("one_agreement", check.one_agreement);
+    report.add_outcome("max_pairwise_distance",
+                       static_cast<std::uint64_t>(check.max_pairwise_distance));
+    const std::string json = report.to_json(timings) + "\n";
+    if (!obs::write_sink(metrics_path, json)) return 2;
+    if (report_mode == "json" && metrics_path != "-") std::cout << json;
+  }
+  if (!trace_path.empty()) {
+    write_output(trace_path, trace_format == "jsonl" ? jsonl_tracer.text()
+                                                     : text_tracer.text());
+  }
+  if (!spans_path.empty()) {
+    write_output(spans_path, span_sink.to_chrome_json());
+  }
+
+  if (report_mode != "json" && metrics_path != "-" && trace_path != "-" &&
+      spans_path != "-") {
+    if (!quiet) {
+      Table table({"party", "input", "output"});
+      for (PartyId p = 0; p < n; ++p) {
+        table.row({std::to_string(p), input_labels[p],
+                   result.outputs[p].has_value() ? g.label(*result.outputs[p])
+                                                 : "(corrupt)"});
+      }
+      std::cout << table.render();
+    }
+    std::cout << "rounds: " << result.rounds
+              << "  messages: " << result.traffic.total_messages()
+              << "  bytes: " << result.traffic.total_bytes()
+              << "  adversarial: " << result.traffic.adversary_messages()
+              << " msgs / " << result.traffic.adversary_bytes() << " bytes\n"
+              << "path split: " << (result.path_split ? "yes" : "no")
+              << "  clamps: " << result.clamp_count
+              << "  byzantine proven: " << result.max_detected_faulty << "\n"
+              << "validity: " << (check.valid ? "ok" : "VIOLATED")
+              << "  1-agreement: "
+              << (check.one_agreement ? "ok" : "VIOLATED") << "\n";
+  }
+  return check.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -469,6 +721,10 @@ int main(int argc, char** argv) {
     if (cmd == "bounds") return cmd_bounds(args);
     if (cmd == "run") return cmd_run(args);
     if (cmd == "run-async") return cmd_run_async(args);
+    if (cmd == "gen-graph") return cmd_gen_graph(args);
+    if (cmd == "info-graph") return cmd_info_graph(args);
+    if (cmd == "dot-graph") return cmd_dot_graph(args);
+    if (cmd == "run-block") return cmd_run_block(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
