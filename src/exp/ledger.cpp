@@ -268,7 +268,13 @@ Ledger build_ledger(const LedgerInput& input) {
                obs::json_number(bound);
     ledger.checks.push_back(std::move(c));
   }
-  if (!input.diameters.empty()) {
+  // BlockAA's convergence target is a *block*, not a vertex: a converged
+  // run legitimately ends with graph-metric diameter up to the largest
+  // block's diameter (a cactus cycle, say), so comparing the raw series
+  // against eps would manufacture violations. Its round-budget claim is
+  // block_round_bound above; block-level 1-agreement is the caller's
+  // output check, not a diameter-series property.
+  if (!input.diameters.empty() && input.protocol != "block_aa") {
     LedgerCheck c;
     c.name = "final_within_eps";
     const double final_diameter = input.diameters.back().second;

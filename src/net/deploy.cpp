@@ -8,6 +8,8 @@
 #include "common/rng.h"
 #include "core/real_engine.h"
 #include "core/tree_aa.h"
+#include "graphs/block_aa.h"
+#include "graphs/check.h"
 #include "net/behaviors.h"
 #include "net/runtime.h"
 #include "obs/span.h"
@@ -203,6 +205,60 @@ DeployResult run_tree_aa_net(const LabeledTree& tree,
   report.one_agreement = result.check.one_agreement;
   report.max_pairwise_distance = result.check.max_pairwise_distance;
   report.sim_reference_match = result.sim_match;
+  return result;
+}
+
+DeployResult run_block_aa_net(const graphs::BlockIndex& index,
+                              const std::vector<VertexId>& inputs,
+                              std::size_t t, const DeployConfig& cfg) {
+  // Step 1 of the reduction: lift G vertices to their A(G) nodes, then run
+  // the unmodified inner TreeAA on the agreement tree over the real
+  // transport. Rounds, fault plan, victims and the sim cross-check all
+  // happen in the A world, where the protocol actually executes.
+  std::vector<VertexId> lifted;
+  lifted.reserve(inputs.size());
+  for (const VertexId v : inputs) lifted.push_back(index.to_agreement(v));
+  DeployResult result =
+      run_tree_aa_net(index.agreement_tree(), lifted, t, cfg);
+
+  // Step 3: gate-map every A-node output back to a G vertex, toward the
+  // party's own input. The sim outputs go through the same map so
+  // sim_match keeps comparing like with like (resolve is deterministic,
+  // so the A-world verdict carries over unchanged).
+  const std::size_t n = inputs.size();
+  for (PartyId p = 0; p < n; ++p) {
+    if (result.outputs[p].has_value()) {
+      result.outputs[p] =
+          graphs::resolve_block_output(index, *result.outputs[p], inputs[p]);
+    }
+    if (p < result.sim_outputs.size() && result.sim_outputs[p].has_value()) {
+      result.sim_outputs[p] = graphs::resolve_block_output(
+          index, *result.sim_outputs[p], inputs[p]);
+    }
+  }
+
+  // The verdict is re-taken in the graph metric: hull validity and the
+  // block-graph 1-Agreement disjunction instead of tree distance.
+  std::vector<VertexId> honest_inputs;
+  std::vector<VertexId> honest_outputs;
+  for (PartyId p = 0; p < n; ++p) {
+    if (contains(result.corrupt, p) || contains(result.crashed, p)) continue;
+    honest_inputs.push_back(inputs[p]);
+    honest_outputs.push_back(*result.outputs[p]);
+  }
+  const graphs::GraphAgreementCheck graph_check =
+      graphs::check_agreement(index, honest_inputs, honest_outputs);
+  result.check.valid = graph_check.valid;
+  result.check.one_agreement = graph_check.one_agreement;
+  result.check.max_pairwise_distance = graph_check.max_pairwise_distance;
+
+  NetReport& report = result.report;
+  for (NetPartyEntry& entry : report.parties) {
+    entry.output = result.outputs[entry.party];
+  }
+  report.valid = result.check.valid;
+  report.one_agreement = result.check.one_agreement;
+  report.max_pairwise_distance = result.check.max_pairwise_distance;
   return result;
 }
 

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/api.h"
+#include "graphs/block_index.h"
 #include "harness/registry.h"
 #include "net/fault.h"
 #include "net/report.h"
@@ -115,5 +116,17 @@ struct DeployResult {
                                            const std::vector<VertexId>& inputs,
                                            std::size_t t,
                                            const DeployConfig& cfg);
+
+/// Runs BlockAA over the socket mesh: the agreement-tree reduction of
+/// graphs/block_aa.h, with the inner TreeAA executing on the real
+/// transport. Inputs are G vertices, lifted to A(G) nodes; the A-node
+/// outputs are gate-mapped back per party, and the verdict (DeployResult
+/// check / report fields) is re-taken in the graph metric via
+/// graphs::check_agreement. Same preconditions as run_tree_aa_net, against
+/// the agreement tree.
+[[nodiscard]] DeployResult run_block_aa_net(const graphs::BlockIndex& index,
+                                            const std::vector<VertexId>& inputs,
+                                            std::size_t t,
+                                            const DeployConfig& cfg);
 
 }  // namespace treeaa::net

@@ -33,13 +33,51 @@ std::optional<Frame> decode_frame_body(const Bytes& body) {
   }
 }
 
-void append_wire_frame(Bytes& out, const Frame& frame) {
-  const Bytes body = encode_frame_body(frame);
+namespace {
+
+void append_length_prefixed(Bytes& out, const Bytes& body) {
   const auto len = static_cast<std::uint32_t>(body.size());
   for (int i = 0; i < 4; ++i) {
     out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
   }
   out.insert(out.end(), body.begin(), body.end());
+}
+
+}  // namespace
+
+void append_wire_frame(Bytes& out, const Frame& frame) {
+  append_length_prefixed(out, encode_frame_body(frame));
+}
+
+Bytes encode_session_frame_body(const SessionFrame& frame) {
+  ByteWriter w;
+  w.u8(frame.version);
+  w.varint(frame.session_id);
+  w.u8(frame.kind);
+  w.blob(frame.payload);
+  return std::move(w).take();
+}
+
+std::optional<SessionFrame> decode_session_frame_body(const Bytes& body) {
+  try {
+    ByteReader r(body);
+    SessionFrame frame;
+    frame.version = r.u8();
+    // Fail closed before touching another byte: an unknown version means
+    // the rest of the header cannot be trusted to have this layout.
+    if (frame.version != kSessionVersion) return std::nullopt;
+    frame.session_id = r.varint();
+    frame.kind = r.u8();
+    frame.payload = r.blob();
+    r.expect_done();
+    return frame;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+void append_wire_session_frame(Bytes& out, const SessionFrame& frame) {
+  append_length_prefixed(out, encode_session_frame_body(frame));
 }
 
 void FrameReader::feed(const std::uint8_t* data, std::size_t len) {

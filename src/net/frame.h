@@ -23,6 +23,18 @@
 // can no longer be trusted (this never happens on an honest link — the
 // fault plan corrupts payloads only, never the framing header — but a
 // transport must fail closed, not allocate unbounded memory).
+//
+// The serve plane (src/serve, docs/SERVE.md) multiplexes many concurrent
+// agreement sessions over one client connection. Its frames reuse the same
+// u32 length prefix and FrameReader reassembly but carry a versioned
+// session header in front of the body:
+//
+//   [u8 version][varint session_id][u8 kind][blob payload]
+//
+// The version byte is the compatibility gate: a decoder that sees any
+// version other than kSessionVersion must fail closed (drop the
+// connection), never guess at the remaining layout. `kind` is opaque at
+// this layer — src/serve/wire.h defines the request/reply vocabulary.
 #pragma once
 
 #include <cstdint>
@@ -53,6 +65,32 @@ inline constexpr std::size_t kMaxFrameBody = (1u << 24) + 16;
 
 /// Appends the full wire form (u32 LE length + body) of `frame` to `out`.
 void append_wire_frame(Bytes& out, const Frame& frame);
+
+/// The only session-header layout this build can decode. Bumped when the
+/// header layout changes; decoders reject everything else.
+inline constexpr std::uint8_t kSessionVersion = 1;
+
+/// One multiplexed serve-plane frame: which session it belongs to, a
+/// kind byte interpreted by the serve layer, and an opaque payload.
+struct SessionFrame {
+  std::uint8_t version = kSessionVersion;
+  std::uint64_t session_id = 0;
+  std::uint8_t kind = 0;
+  Bytes payload;
+};
+
+/// Encodes the session frame body (without the length prefix).
+[[nodiscard]] Bytes encode_session_frame_body(const SessionFrame& frame);
+
+/// Decodes a session frame body; nullopt if malformed — truncation anywhere
+/// (including mid-header), trailing bytes, or a version other than
+/// kSessionVersion (fail closed: an unknown version gives no license to
+/// interpret the bytes that follow the version field).
+[[nodiscard]] std::optional<SessionFrame> decode_session_frame_body(
+    const Bytes& body);
+
+/// Appends the full wire form (u32 LE length + body) of `frame` to `out`.
+void append_wire_session_frame(Bytes& out, const SessionFrame& frame);
 
 /// Incremental reassembly of wire frames from a byte stream.
 class FrameReader {

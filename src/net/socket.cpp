@@ -1,16 +1,56 @@
 #include "net/socket.h"
 
 #include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
+#include <cstring>
 #include <system_error>
 
 #include "common/check.h"
 
 namespace treeaa::net {
+
+namespace {
+
+void set_nonblocking(int fd, const char* what) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::system_error(err, std::generic_category(), what);
+  }
+}
+
+[[noreturn]] void throw_and_close(int fd, const char* what) {
+  const int err = errno;
+  ::close(fd);
+  throw std::system_error(err, std::generic_category(), what);
+}
+
+sockaddr_un unix_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  TREEAA_REQUIRE_MSG(path.size() < sizeof(addr.sun_path),
+                     "AF_UNIX path too long: " << path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in loopback_address(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
 
 Socket::~Socket() {
   if (fd_ >= 0) ::close(fd_);
@@ -60,6 +100,93 @@ std::pair<Socket, Socket> make_socket_pair() {
     }
   }
   return {Socket(fds[0]), Socket(fds[1])};
+}
+
+Socket make_unix_listener(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::system_error(errno, std::generic_category(), "socket(unix)");
+  }
+  const sockaddr_un addr = unix_address(path);
+  // A previous daemon instance may have left its socket file behind; the
+  // path is daemon-owned, so replacing it is the right recovery.
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    throw_and_close(fd, "bind(unix)");
+  }
+  if (::listen(fd, SOMAXCONN) != 0) throw_and_close(fd, "listen(unix)");
+  set_nonblocking(fd, "fcntl(unix listener)");
+  return Socket(fd);
+}
+
+Socket make_tcp_listener(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::system_error(errno, std::generic_category(), "socket(tcp)");
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  const sockaddr_in addr = loopback_address(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    throw_and_close(fd, "bind(tcp)");
+  }
+  if (::listen(fd, SOMAXCONN) != 0) throw_and_close(fd, "listen(tcp)");
+  set_nonblocking(fd, "fcntl(tcp listener)");
+  return Socket(fd);
+}
+
+std::uint16_t local_tcp_port(const Socket& s) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(s.fd(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    throw std::system_error(errno, std::generic_category(), "getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+Socket accept_connection(Socket& listener) {
+  while (true) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      set_nonblocking(fd, "fcntl(accepted)");
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) {
+      return Socket();
+    }
+    throw std::system_error(errno, std::generic_category(), "accept");
+  }
+}
+
+namespace {
+
+Socket connect_stream(int family, const sockaddr* addr, socklen_t len,
+                      const char* what) {
+  const int fd = ::socket(family, SOCK_STREAM, 0);
+  if (fd < 0) throw std::system_error(errno, std::generic_category(), what);
+  while (::connect(fd, addr, len) != 0) {
+    if (errno == EINTR) continue;
+    throw_and_close(fd, what);
+  }
+  set_nonblocking(fd, "fcntl(connected)");
+  return Socket(fd);
+}
+
+}  // namespace
+
+Socket connect_unix(const std::string& path) {
+  const sockaddr_un addr = unix_address(path);
+  return connect_stream(AF_UNIX, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr), "connect(unix)");
+}
+
+Socket connect_tcp(std::uint16_t port) {
+  const sockaddr_in addr = loopback_address(port);
+  return connect_stream(AF_INET, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr), "connect(tcp)");
 }
 
 Mesh::Mesh(std::size_t n) : n_(n) {

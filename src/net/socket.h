@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -54,6 +55,33 @@ class Socket {
 
 /// A non-blocking AF_UNIX stream socketpair.
 [[nodiscard]] std::pair<Socket, Socket> make_socket_pair();
+
+// --- Listeners and client connects (the serve plane, docs/SERVE.md) --------
+//
+// The one-shot mesh above needs no accept/connect at all; the long-lived
+// treeaa_serve daemon does. Listeners are non-blocking; accepted and
+// connected sockets come back non-blocking too, ready for an epoll/poll
+// loop. All throw std::system_error on failure.
+
+/// Binds and listens on an AF_UNIX stream socket at `path`, replacing any
+/// stale socket file left by a previous process.
+[[nodiscard]] Socket make_unix_listener(const std::string& path);
+
+/// Binds and listens on loopback TCP (127.0.0.1). `port` 0 picks an
+/// ephemeral port — read it back with local_tcp_port.
+[[nodiscard]] Socket make_tcp_listener(std::uint16_t port);
+
+/// The locally bound TCP port of a listener or connected socket.
+[[nodiscard]] std::uint16_t local_tcp_port(const Socket& s);
+
+/// Accepts one pending connection; an invalid Socket when none is pending.
+[[nodiscard]] Socket accept_connection(Socket& listener);
+
+/// Connects to an AF_UNIX listener (blocking connect, then non-blocking).
+[[nodiscard]] Socket connect_unix(const std::string& path);
+
+/// Connects to loopback TCP (blocking connect, then non-blocking).
+[[nodiscard]] Socket connect_tcp(std::uint16_t port);
 
 /// The full loopback mesh for n parties.
 class Mesh {

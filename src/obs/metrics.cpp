@@ -26,6 +26,18 @@ void Histogram::observe(double x) {
   max_ = std::max(max_, x);
 }
 
+void Histogram::merge(const Histogram& other) {
+  TREEAA_REQUIRE_MSG(bounds_ == other.bounds_,
+                     "histogram merge requires identical bucket bounds");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 double Histogram::bucket_bound(std::size_t i) const {
   TREEAA_REQUIRE(i < counts_.size());
   return i < bounds_.size() ? bounds_[i]

@@ -73,6 +73,12 @@ class Histogram {
   /// Estimated q-th percentile, q in [0, 100]. 0 when empty.
   [[nodiscard]] double percentile(double q) const;
 
+  /// Folds `other` into this histogram. Both must have identical bounds.
+  /// Merging is commutative and associative, so lane-local staging
+  /// histograms folded in any order produce the same aggregate — the basis
+  /// of the serve plane's thread-count-independent reports.
+  void merge(const Histogram& other);
+
   /// {start, start*factor, ...} — `count` exponentially spaced bounds.
   [[nodiscard]] static std::vector<double> exponential_bounds(double start,
                                                               double factor,

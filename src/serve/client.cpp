@@ -1,0 +1,136 @@
+#include "serve/client.h"
+
+#include <poll.h>
+
+#include <array>
+#include <system_error>
+#include <utility>
+
+namespace treeaa::serve {
+
+Client Client::connect_unix(const std::string& path) {
+  return Client(net::connect_unix(path));
+}
+
+Client Client::connect_tcp(std::uint16_t port) {
+  return Client(net::connect_tcp(port));
+}
+
+std::uint64_t Client::open(const OpenRequest& req) {
+  const std::uint64_t session_id = next_session_++;
+  net::SessionFrame frame;
+  frame.session_id = session_id;
+  frame.kind = kOpenKind;
+  frame.payload = encode_open_request(req);
+  net::append_wire_session_frame(outbuf_, frame);
+  inflight_.emplace(session_id, true);
+  return session_id;
+}
+
+void Client::mark_broken(std::vector<Event>& out) {
+  broken_ = true;
+  for (const auto& [session_id, unused] : inflight_) {
+    Event event;
+    event.kind = Event::Kind::kClosed;
+    event.session_id = session_id;
+    out.push_back(std::move(event));
+  }
+  inflight_.clear();
+}
+
+void Client::pump(std::vector<Event>& out) {
+  if (broken_) return;
+
+  while (out_pos_ < outbuf_.size()) {
+    std::size_t n = 0;
+    try {
+      n = sock_.write_some(outbuf_.data() + out_pos_,
+                           outbuf_.size() - out_pos_);
+    } catch (const std::system_error&) {
+      mark_broken(out);
+      return;
+    }
+    if (n == 0) break;
+    out_pos_ += n;
+  }
+  if (out_pos_ == outbuf_.size()) {
+    outbuf_.clear();
+    out_pos_ = 0;
+  }
+
+  std::array<std::uint8_t, 64 * 1024> buf;
+  bool closed = false;
+  while (true) {
+    net::Socket::ReadResult r;
+    try {
+      r = sock_.read_some(buf.data(), buf.size());
+    } catch (const std::system_error&) {
+      mark_broken(out);
+      return;
+    }
+    if (r.n > 0) reader_.feed(buf.data(), r.n);
+    if (r.closed) {
+      closed = true;
+      break;
+    }
+    if (r.n == 0) break;
+  }
+
+  while (true) {
+    const auto body = reader_.next_body();
+    if (!body.has_value()) break;
+    const auto frame = net::decode_session_frame_body(*body);
+    if (!frame.has_value()) {
+      mark_broken(out);
+      return;
+    }
+    const auto session = inflight_.find(frame->session_id);
+    if (session == inflight_.end()) {
+      mark_broken(out);  // a reply for a session we never opened
+      return;
+    }
+    Event event;
+    event.session_id = frame->session_id;
+    if (frame->kind == kResultKind) {
+      const auto result = decode_result_reply(frame->payload);
+      if (!result.has_value()) {
+        mark_broken(out);
+        return;
+      }
+      event.kind = Event::Kind::kResult;
+      event.result = *result;
+    } else if (frame->kind == kRejectKind) {
+      const auto reject = decode_reject_reply(frame->payload);
+      if (!reject.has_value()) {
+        mark_broken(out);
+        return;
+      }
+      event.kind = Event::Kind::kReject;
+      event.reject = *reject;
+    } else {
+      mark_broken(out);
+      return;
+    }
+    inflight_.erase(session);
+    out.push_back(std::move(event));
+  }
+
+  if (reader_.poisoned() || closed) mark_broken(out);
+}
+
+std::vector<Client::Event> Client::wait(int timeout_ms) {
+  std::vector<Event> out;
+  if (broken_) return out;
+  pollfd pfd{};
+  pfd.fd = sock_.fd();
+  pfd.events = POLLIN;
+  if (wants_write()) pfd.events |= POLLOUT;
+  const int n = ::poll(&pfd, 1, timeout_ms);
+  if (n < 0 && errno != EINTR) {
+    throw std::system_error(errno, std::generic_category(), "poll");
+  }
+  pump(out);
+  return out;
+}
+
+}  // namespace treeaa::serve

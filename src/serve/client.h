@@ -1,0 +1,76 @@
+// Non-blocking client for the treeaa_serve session protocol.
+//
+// One Client owns one connection and multiplexes any number of concurrent
+// sessions over it: open() assigns the next session id and queues the Open
+// frame; pump() moves bytes in both directions without blocking and
+// returns every completed session event (result or reject); wait() wraps
+// pump() in a poll(2) loop for callers that want to block. The load
+// generator runs many Clients off one top-level poll set, which is why the
+// write-pending state and the fd are exposed.
+//
+// Decoding is as fail-closed as the server's: an unparseable frame, an
+// unknown session version, a reply for a session this client never opened,
+// or a poisoned stream marks the connection broken and every in-flight
+// session is reported as lost (Event::kClosed).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/socket.h"
+#include "serve/wire.h"
+
+namespace treeaa::serve {
+
+class Client {
+ public:
+  /// Connects over AF_UNIX / loopback TCP; throws std::system_error.
+  [[nodiscard]] static Client connect_unix(const std::string& path);
+  [[nodiscard]] static Client connect_tcp(std::uint16_t port);
+
+  struct Event {
+    enum class Kind { kResult, kReject, kClosed };
+    Kind kind = Kind::kClosed;
+    std::uint64_t session_id = 0;
+    ResultReply result;  // kind == kResult
+    RejectReply reject;  // kind == kReject
+  };
+
+  /// Queues an Open frame; returns the session id. Bytes move on the next
+  /// pump()/wait().
+  std::uint64_t open(const OpenRequest& req);
+
+  /// Writes and reads whatever the socket allows right now; appends every
+  /// completed event to `out`. Never blocks.
+  void pump(std::vector<Event>& out);
+
+  /// Blocks up to `timeout_ms` for progress, then pumps. Returns the
+  /// events completed by this call.
+  [[nodiscard]] std::vector<Event> wait(int timeout_ms);
+
+  [[nodiscard]] std::size_t inflight() const { return inflight_.size(); }
+  [[nodiscard]] bool broken() const { return broken_; }
+  [[nodiscard]] int fd() const { return sock_.fd(); }
+  /// True when queued bytes are waiting for the socket to accept them —
+  /// the caller's poll set should include POLLOUT.
+  [[nodiscard]] bool wants_write() const { return out_pos_ < outbuf_.size(); }
+
+ private:
+  explicit Client(net::Socket sock) : sock_(std::move(sock)) {}
+
+  void mark_broken(std::vector<Event>& out);
+
+  net::Socket sock_;
+  net::FrameReader reader_;
+  Bytes outbuf_;
+  std::size_t out_pos_ = 0;
+  std::uint64_t next_session_ = 1;
+  std::map<std::uint64_t, bool> inflight_;  // session id -> (unused)
+  bool broken_ = false;
+};
+
+}  // namespace treeaa::serve

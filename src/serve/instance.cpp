@@ -1,0 +1,381 @@
+#include "serve/instance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/rng.h"
+#include "exp/ledger.h"
+#include "graphs/check.h"
+#include "harness/runner.h"
+#include "obs/report.h"
+#include "sim/strategies.h"
+
+namespace treeaa::serve {
+
+namespace {
+
+// Fork tags of the per-instance RNG sub-streams, matching the sweep
+// engine's cell tags so the draw discipline is recognizably the same.
+// Tag 1 (the sweep's tree stream) is unused: topologies come from the
+// catalog, not from per-instance generation.
+constexpr std::uint64_t kInputTag = 2;
+constexpr std::uint64_t kAdversaryTag = 3;
+
+/// FNV-1a over a canonical encoding — the reply's determinism witness.
+std::uint64_t fnv1a(const Bytes& bytes) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+std::uint64_t hash_vertex_outputs(
+    const std::vector<std::optional<VertexId>>& outputs) {
+  ByteWriter w;
+  for (std::size_t p = 0; p < outputs.size(); ++p) {
+    if (!outputs[p].has_value()) continue;
+    w.varint(p);
+    w.varint(*outputs[p]);
+  }
+  return fnv1a(w.bytes());
+}
+
+std::uint64_t hash_real_outputs(
+    const std::vector<std::optional<double>>& outputs) {
+  ByteWriter w;
+  for (std::size_t p = 0; p < outputs.size(); ++p) {
+    if (!outputs[p].has_value()) continue;
+    w.varint(p);
+    w.f64(*outputs[p]);
+  }
+  return fnv1a(w.bytes());
+}
+
+std::uint64_t hash_paths(
+    const std::vector<std::optional<std::vector<VertexId>>>& paths) {
+  ByteWriter w;
+  for (std::size_t p = 0; p < paths.size(); ++p) {
+    if (!paths[p].has_value()) continue;
+    w.varint(p);
+    w.vec(*paths[p], [](ByteWriter& ww, VertexId v) { ww.varint(v); });
+  }
+  return fnv1a(w.bytes());
+}
+
+/// Protocols whose round budget and diameter series the convergence
+/// ledger's claims apply to: the synchronous AA families. paths_finder is
+/// phase 1 alone (its budget is below the full-AA Fekete bound by design)
+/// and the async model has no rounds, so checking them would manufacture
+/// spurious violations.
+bool ledger_applies(harness::ProtocolKind p) {
+  return p != harness::ProtocolKind::kPathsFinder &&
+         p != harness::ProtocolKind::kAsyncTreeAA;
+}
+
+bool is_served_adversary(harness::AdversaryKind a) {
+  // The split attacks need a protocol-specific inner Config and a fixed
+  // victim schedule; they are experiment-grid material, not a service
+  // vocabulary. Serve requests choose among none/silent/fuzz.
+  return a == harness::AdversaryKind::kNone ||
+         a == harness::AdversaryKind::kSilent ||
+         a == harness::AdversaryKind::kFuzz;
+}
+
+void check_vertex_outputs(const LabeledTree& tree,
+                          const std::vector<VertexId>& inputs,
+                          const harness::RunOutcome& outcome,
+                          ResultReply& reply) {
+  std::vector<VertexId> honest_inputs;
+  std::vector<VertexId> honest_outputs;
+  for (std::size_t p = 0; p < outcome.vertex_outputs.size(); ++p) {
+    if (!outcome.vertex_outputs[p].has_value()) continue;
+    honest_inputs.push_back(inputs[p]);
+    honest_outputs.push_back(*outcome.vertex_outputs[p]);
+  }
+  const auto check = core::check_agreement(tree, honest_inputs, honest_outputs);
+  reply.valid = check.valid;
+  reply.one_agreement = check.one_agreement;
+  reply.spread = static_cast<double>(check.max_pairwise_distance);
+  reply.ok = check.ok();
+  reply.outputs_hash = hash_vertex_outputs(outcome.vertex_outputs);
+}
+
+void check_paths(const LabeledTree& tree, const harness::RunOutcome& outcome,
+                 ResultReply& reply) {
+  // Phase 1 alone has no single output vertex; the checkable guarantees are
+  // that every honest party ends with a non-empty root-anchored path and
+  // that honest paths differ by at most one edge (Lemma 4) — observable as
+  // tip distance <= 1.
+  bool valid = true;
+  std::vector<VertexId> tips;
+  for (const auto& path : outcome.paths) {
+    if (!path.has_value()) continue;
+    if (path->empty() || path->front() != tree.root()) {
+      valid = false;
+      continue;
+    }
+    tips.push_back(path->back());
+  }
+  valid = valid && !tips.empty();
+  std::uint32_t spread = 0;
+  for (std::size_t i = 0; i < tips.size(); ++i) {
+    for (std::size_t j = i + 1; j < tips.size(); ++j) {
+      spread = std::max(spread, tree.distance(tips[i], tips[j]));
+    }
+  }
+  reply.valid = valid;
+  reply.spread = static_cast<double>(spread);
+  reply.one_agreement = spread <= 1;
+  reply.ok = valid && reply.one_agreement;
+  reply.outputs_hash = hash_paths(outcome.paths);
+}
+
+void check_graph_outputs(const graphs::BlockIndex& index,
+                         const std::vector<VertexId>& inputs,
+                         const harness::RunOutcome& outcome,
+                         ResultReply& reply) {
+  std::vector<VertexId> honest_inputs;
+  std::vector<VertexId> honest_outputs;
+  for (std::size_t p = 0; p < outcome.vertex_outputs.size(); ++p) {
+    if (!outcome.vertex_outputs[p].has_value()) continue;
+    honest_inputs.push_back(inputs[p]);
+    honest_outputs.push_back(*outcome.vertex_outputs[p]);
+  }
+  const auto check =
+      graphs::check_agreement(index, honest_inputs, honest_outputs);
+  reply.valid = check.valid;
+  reply.one_agreement = check.one_agreement;
+  reply.spread = static_cast<double>(check.max_pairwise_distance);
+  reply.ok = check.ok();
+  reply.outputs_hash = hash_vertex_outputs(outcome.vertex_outputs);
+}
+
+void check_real_outputs(const std::vector<double>& inputs, double eps,
+                        const harness::RunOutcome& outcome,
+                        ResultReply& reply) {
+  double in_lo = 0.0, in_hi = 0.0, out_lo = 0.0, out_hi = 0.0;
+  bool first = true;
+  for (std::size_t p = 0; p < outcome.real_outputs.size(); ++p) {
+    if (!outcome.real_outputs[p].has_value()) continue;
+    const double in = inputs[p];
+    const double out = *outcome.real_outputs[p];
+    if (first) {
+      in_lo = in_hi = in;
+      out_lo = out_hi = out;
+      first = false;
+    } else {
+      in_lo = std::min(in_lo, in);
+      in_hi = std::max(in_hi, in);
+      out_lo = std::min(out_lo, out);
+      out_hi = std::max(out_hi, out);
+    }
+  }
+  reply.valid = !first && out_lo >= in_lo && out_hi <= in_hi;
+  reply.spread = first ? 0.0 : out_hi - out_lo;
+  reply.one_agreement = !first && reply.spread <= eps;
+  reply.ok = reply.valid && reply.one_agreement;
+  reply.outputs_hash = hash_real_outputs(outcome.real_outputs);
+}
+
+}  // namespace
+
+void Catalog::add_tree(std::string name, LabeledTree tree) {
+  trees_.insert_or_assign(std::move(name), std::move(tree));
+}
+
+void Catalog::add_graph(std::string name, const graphs::Graph& g) {
+  graphs_.insert_or_assign(std::move(name),
+                           std::make_unique<graphs::BlockIndex>(g));
+}
+
+const LabeledTree* Catalog::tree(const std::string& name) const {
+  const auto it = trees_.find(name);
+  return it == trees_.end() ? nullptr : &it->second;
+}
+
+const graphs::BlockIndex* Catalog::graph(const std::string& name) const {
+  const auto it = graphs_.find(name);
+  return it == graphs_.end() ? nullptr : it->second.get();
+}
+
+std::optional<RejectCode> validate_request(const Catalog& catalog,
+                                           const OpenRequest& req,
+                                           std::string* detail) {
+  const auto set_detail = [detail](const char* msg) {
+    if (detail != nullptr) *detail = msg;
+  };
+
+  const auto protocol = harness::protocol_from_name(req.protocol);
+  if (!protocol.has_value()) {
+    set_detail("protocol not in the registry");
+    return RejectCode::kUnknownProtocol;
+  }
+  const auto adversary = harness::adversary_from_name(req.adversary);
+  if (!adversary.has_value() || !is_served_adversary(*adversary)) {
+    set_detail("adversary must be none, silent or fuzz");
+    return RejectCode::kBadRequest;
+  }
+  if (*protocol == harness::ProtocolKind::kAsyncTreeAA &&
+      *adversary == harness::AdversaryKind::kFuzz) {
+    set_detail("the async model serves none/silent only");
+    return RejectCode::kBadRequest;
+  }
+  if (req.n == 0 || req.n > kMaxParties) {
+    set_detail("n out of [1, kMaxParties]");
+    return RejectCode::kBadRequest;
+  }
+  if (req.n <= 3 * req.t) {
+    set_detail("requires n > 3t");
+    return RejectCode::kBadRequest;
+  }
+  if (req.corrupt > req.t) {
+    set_detail("corrupt exceeds t");
+    return RejectCode::kBadRequest;
+  }
+  if (harness::is_graph_protocol(*protocol)) {
+    if (catalog.graph(req.topology) == nullptr) {
+      set_detail("no such graph in the catalog");
+      return RejectCode::kUnknownTopology;
+    }
+  } else if (harness::is_vertex_protocol(*protocol)) {
+    const LabeledTree* tree = catalog.tree(req.topology);
+    if (tree == nullptr) {
+      set_detail("no such tree in the catalog");
+      return RejectCode::kUnknownTopology;
+    }
+    if (*protocol == harness::ProtocolKind::kPathAA &&
+        static_cast<std::size_t>(tree->diameter()) + 1 != tree->n()) {
+      set_detail("path_aa requires a path topology");
+      return RejectCode::kBadRequest;
+    }
+  } else {
+    if (!(req.eps > 0.0) || !std::isfinite(req.eps) ||
+        !(req.known_range >= 0.0) || !std::isfinite(req.known_range)) {
+      set_detail("real protocols need finite eps > 0 and known_range >= 0");
+      return RejectCode::kBadRequest;
+    }
+  }
+  return std::nullopt;
+}
+
+InstanceResult run_instance(const Catalog& catalog, const OpenRequest& req,
+                            bool ledger) {
+  InstanceResult result;
+  try {
+    const auto protocol = *harness::protocol_from_name(req.protocol);
+    const auto adversary = *harness::adversary_from_name(req.adversary);
+    const std::size_t n = static_cast<std::size_t>(req.n);
+    const std::size_t t = static_cast<std::size_t>(req.t);
+    const std::size_t corrupt = static_cast<std::size_t>(req.corrupt);
+
+    Rng root(req.seed);
+    Rng input_rng = root.fork(kInputTag);
+    Rng adv_rng = root.fork(kAdversaryTag);
+
+    harness::RunSpec spec;
+    spec.protocol = protocol;
+    spec.n = n;
+    spec.t = t;
+    spec.threads = 1;  // parallelism is across instances, never inside one
+
+    const LabeledTree* tree = nullptr;
+    const graphs::BlockIndex* index = nullptr;
+    std::vector<VertexId> vertex_inputs;
+    std::vector<double> real_inputs;
+
+    if (harness::is_graph_protocol(protocol)) {
+      index = catalog.graph(req.topology);
+      spec.block_index = index;
+      vertex_inputs.resize(n);
+      if (req.inputs == InputKind::kSpread) {
+        const auto [a, b] = index->diameter_endpoints();
+        for (std::size_t i = 0; i < n; ++i) {
+          vertex_inputs[i] = i % 2 == 0 ? a : b;
+        }
+      } else {
+        for (auto& v : vertex_inputs) {
+          v = static_cast<VertexId>(input_rng.index(index->n()));
+        }
+      }
+      spec.vertex_inputs = vertex_inputs;
+    } else if (harness::is_vertex_protocol(protocol)) {
+      tree = catalog.tree(req.topology);
+      spec.tree = tree;
+      vertex_inputs = req.inputs == InputKind::kSpread
+                          ? harness::spread_vertex_inputs(*tree, n)
+                          : harness::random_vertex_inputs(*tree, n, input_rng);
+      spec.vertex_inputs = vertex_inputs;
+    } else {
+      real_inputs =
+          req.inputs == InputKind::kSpread
+              ? harness::spread_real_inputs(n, 0.0, req.known_range)
+              : harness::random_real_inputs(n, 0.0, req.known_range, input_rng);
+      spec.real_inputs = real_inputs;
+      spec.eps = req.eps;
+      spec.known_range = req.known_range;
+    }
+
+    // Adversary randomness draws mirror the sweep's fixed order: victims
+    // first, then the fuzz payload seed.
+    std::vector<PartyId> victims;
+    if (adversary != harness::AdversaryKind::kNone && corrupt > 0) {
+      victims = sim::random_parties(n, corrupt, adv_rng);
+    }
+    if (protocol == harness::ProtocolKind::kAsyncTreeAA) {
+      // The async engine models silent-from-start parties natively.
+      spec.async_opts.corrupt = victims;
+      spec.async_opts.seed = req.seed;
+    } else if (!victims.empty()) {
+      harness::AdversaryPlan plan;
+      plan.kind = adversary;
+      plan.victims = std::move(victims);
+      if (adversary == harness::AdversaryKind::kFuzz) {
+        plan.fuzz_seed = adv_rng.next();
+      }
+      spec.adversary = harness::make_adversary(plan);
+    }
+
+    obs::RunReport run_report;
+    obs::Hooks hooks;
+    const bool check_ledger = ledger && ledger_applies(protocol);
+    if (check_ledger) {
+      // A report sink drives the engine round by round but never changes
+      // outcome bytes (the obs contract), so replies stay identical with
+      // and without the ledger.
+      hooks.report = &run_report;
+      spec.hooks = &hooks;
+    }
+
+    const auto outcome = harness::run_protocol(std::move(spec));
+
+    if (check_ledger) {
+      if (const auto in = exp::ledger_input_from_report(run_report)) {
+        result.ledger_violations = exp::build_ledger(*in).violations;
+      }
+    }
+    result.reply.rounds = outcome.rounds;
+    result.reply.messages =
+        protocol == harness::ProtocolKind::kAsyncTreeAA
+            ? outcome.messages
+            : outcome.traffic.total_messages();
+    result.reply.corrupt = outcome.corrupt.size();
+
+    if (harness::is_graph_protocol(protocol)) {
+      check_graph_outputs(*index, vertex_inputs, outcome, result.reply);
+    } else if (protocol == harness::ProtocolKind::kPathsFinder) {
+      check_paths(*tree, outcome, result.reply);
+    } else if (harness::is_vertex_protocol(protocol)) {
+      check_vertex_outputs(*tree, vertex_inputs, outcome, result.reply);
+    } else {
+      check_real_outputs(real_inputs, req.eps, outcome, result.reply);
+    }
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  }
+  return result;
+}
+
+}  // namespace treeaa::serve

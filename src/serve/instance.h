@@ -1,0 +1,88 @@
+// Hosted-instance execution: the bridge from a decoded OpenRequest to one
+// deterministic harness::run_protocol call.
+//
+// The Catalog holds the server's named input spaces — labeled trees for
+// vertex protocols, BlockIndex-backed block graphs for BlockAA — loaded or
+// generated once at daemon startup and shared read-only by every instance
+// (both structures are immutable after construction, so worker lanes need
+// no locking).
+//
+// run_instance() is a pure function of (catalog, request): every random
+// draw (inputs, adversary victims, fuzz payload seed) comes from RNG
+// streams forked from the request seed in a fixed order, mirroring the
+// sweep engine's cell-runner discipline (src/exp/sweep.cpp), and the inner
+// engine always runs with threads = 1 — parallelism lives one layer up, in
+// the server's WorkerPool sharding across instances. That is what makes a
+// ResultReply byte-identical across repeated submissions at any server
+// `--threads`.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "graphs/block_index.h"
+#include "graphs/graph.h"
+#include "serve/wire.h"
+#include "trees/labeled_tree.h"
+
+namespace treeaa::serve {
+
+/// Ceiling on request n — one instance is a full n^2-link simulation, so an
+/// unbounded n is a memory amplification vector, not a feature.
+inline constexpr std::uint64_t kMaxParties = 512;
+
+/// Named topologies served by one daemon. Insertion happens at startup
+/// only; afterwards the catalog is read-only shared state.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+
+  void add_tree(std::string name, LabeledTree tree);
+  /// Builds and stores the BlockIndex for `g` (BlockIndex is non-copyable,
+  /// hence the unique_ptr storage).
+  void add_graph(std::string name, const graphs::Graph& g);
+
+  [[nodiscard]] const LabeledTree* tree(const std::string& name) const;
+  [[nodiscard]] const graphs::BlockIndex* graph(const std::string& name) const;
+
+  [[nodiscard]] bool empty() const { return trees_.empty() && graphs_.empty(); }
+
+ private:
+  std::map<std::string, LabeledTree> trees_;
+  std::map<std::string, std::unique_ptr<graphs::BlockIndex>> graphs_;
+};
+
+/// Admission-time validation: protocol and adversary names resolve, the
+/// topology exists in the catalog (vertex/graph protocols), n/t/corrupt are
+/// within the protocol's preconditions and kMaxParties. Returns the typed
+/// reject on failure (detail receives a one-line reason); nullopt = admit.
+[[nodiscard]] std::optional<RejectCode> validate_request(
+    const Catalog& catalog, const OpenRequest& req, std::string* detail);
+
+/// The outcome of one executed instance, ready to encode as a ResultReply.
+struct InstanceResult {
+  ResultReply reply;
+  /// Engaged when execution threw (a bug or an unvalidated corner, not a
+  /// protocol failure) — the server maps it to RejectCode::kInternal.
+  std::string error;
+  /// Convergence-ledger violations (src/exp/ledger.h) observed on this
+  /// run's per-round diameter series; only populated when the ledger check
+  /// was requested and applies to the protocol. Deterministic: the ledger
+  /// reads report contents, never the clock.
+  std::size_t ledger_violations = 0;
+};
+
+/// Runs one instance to completion. Requires validate_request passed.
+/// With `ledger` set, the run records a per-round report and replays the
+/// theory-vs-observed convergence ledger over it (sync AA protocols only:
+/// paths_finder has no AA round budget and the async model has no rounds),
+/// surfacing any violation count in the result.
+[[nodiscard]] InstanceResult run_instance(const Catalog& catalog,
+                                          const OpenRequest& req,
+                                          bool ledger = false);
+
+}  // namespace treeaa::serve

@@ -1,0 +1,116 @@
+#include "serve/report.h"
+
+#include "obs/json.h"
+
+namespace treeaa::serve {
+
+TenantStats::TenantStats()
+    : rounds(obs::Histogram::default_bounds()),
+      latency_ns(obs::ScopeTimer::wall_bounds()) {}
+
+void TenantStats::merge(const TenantStats& other) {
+  started += other.started;
+  completed += other.completed;
+  rejected += other.rejected;
+  check_failures += other.check_failures;
+  ledger_violations += other.ledger_violations;
+  rounds_total += other.rounds_total;
+  messages_total += other.messages_total;
+  for (const auto& [code, count] : other.rejects) rejects[code] += count;
+  rounds.merge(other.rounds);
+  latency_ns.merge(other.latency_ns);
+}
+
+TenantStats& TenantTable::tenant(const std::string& name) {
+  return tenants[name];
+}
+
+void TenantTable::merge(const TenantTable& other) {
+  for (const auto& [name, stats] : other.tenants) {
+    tenants[name].merge(stats);
+  }
+}
+
+std::uint64_t ServeReport::total(std::uint64_t TenantStats::* field) const {
+  std::uint64_t sum = 0;
+  for (const auto& [name, stats] : table.tenants) sum += stats.*field;
+  return sum;
+}
+
+std::string ServeReport::to_json(bool include_timings) const {
+  std::string out;
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.key("schema");
+  w.value(kServeReportSchema);
+
+  w.key("totals");
+  w.begin_object();
+  w.key("accepted_connections");
+  w.value(accepted_connections);
+  w.key("closed_connections");
+  w.value(closed_connections);
+  w.key("protocol_errors");
+  w.value(protocol_errors);
+  w.key("started");
+  w.value(total(&TenantStats::started));
+  w.key("completed");
+  w.value(total(&TenantStats::completed));
+  w.key("rejected");
+  w.value(total(&TenantStats::rejected));
+  w.key("check_failures");
+  w.value(total(&TenantStats::check_failures));
+  w.key("ledger_violations");
+  w.value(total(&TenantStats::ledger_violations));
+  w.end_object();
+
+  w.key("tenants");
+  w.begin_object();
+  for (const auto& [name, stats] : table.tenants) {
+    w.key(name);
+    w.begin_object();
+    w.key("started");
+    w.value(stats.started);
+    w.key("completed");
+    w.value(stats.completed);
+    w.key("rejected");
+    w.value(stats.rejected);
+    w.key("check_failures");
+    w.value(stats.check_failures);
+    w.key("ledger_violations");
+    w.value(stats.ledger_violations);
+    w.key("rounds_total");
+    w.value(stats.rounds_total);
+    w.key("messages_total");
+    w.value(stats.messages_total);
+    w.key("rejects");
+    w.begin_object();
+    for (const auto& [code, count] : stats.rejects) {
+      w.key(code);
+      w.value(count);
+    }
+    w.end_object();
+    w.key("rounds");
+    stats.rounds.write_json(w);
+    w.end_object();
+  }
+  w.end_object();
+
+  if (include_timings) {
+    w.key("timings");
+    w.begin_object();
+    for (const auto& [name, stats] : table.tenants) {
+      w.key(name);
+      w.begin_object();
+      w.key("latency_ns");
+      stats.latency_ns.write_json(w);
+      w.end_object();
+    }
+    w.end_object();
+  }
+
+  w.end_object();
+  return out;
+}
+
+}  // namespace treeaa::serve

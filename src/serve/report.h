@@ -1,0 +1,84 @@
+// The `treeaa.serve_report/1` document: per-tenant service aggregates.
+//
+// The report has two planes, exactly like obs::RunReport:
+//
+//   * canonical — admission/completion counters, reject-code breakdowns,
+//     round-count histograms and rounds/messages totals. Every canonical
+//     aggregate is a commutative fold over per-instance results, and each
+//     per-instance result is a pure function of its OpenRequest (see
+//     serve/instance.h) — so for a fixed workload the canonical report is
+//     byte-identical across repeated runs at any server `--threads`,
+//     provided no load-dependent shedding occurred (rejects other than
+//     validation rejects are timing-dependent by nature);
+//   * timing — wall-clock latency histograms per tenant, excluded from
+//     to_json(false) so canonical byte-comparison never sees a clock.
+//
+// Worker lanes record canonical observations into lane-local TenantTable
+// fragments (no shared mutable state inside a dispatch) which the server
+// folds into the master table in lane order after the pool barrier.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace treeaa::serve {
+
+inline constexpr const char* kServeReportSchema = "treeaa.serve_report/1";
+
+/// Aggregates for one tenant. Counters split the request lifecycle:
+/// started = admitted to the queue, completed = executed and replied,
+/// rejected = refused with a typed reject (including post-admission
+/// kInternal), check_failures = completed but failed the agreement check.
+struct TenantStats {
+  TenantStats();
+
+  std::uint64_t started = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t check_failures = 0;
+  /// Convergence-ledger violations across completed instances (nonzero only
+  /// when the server runs with options.ledger; see src/exp/ledger.h).
+  std::uint64_t ledger_violations = 0;
+  std::uint64_t rounds_total = 0;
+  std::uint64_t messages_total = 0;
+  /// Reject-code name -> count (name-keyed so JSON stays stable as codes
+  /// are added).
+  std::map<std::string, std::uint64_t> rejects;
+  /// Synchronous rounds per completed instance (canonical).
+  obs::Histogram rounds;
+  /// Enqueue-to-reply wall latency per completed instance (timing plane).
+  obs::Histogram latency_ns;
+
+  /// Folds `other` in (commutative; histograms via Histogram::merge).
+  void merge(const TenantStats& other);
+};
+
+/// Name-ordered tenant map — a lane staging fragment or the master table.
+struct TenantTable {
+  std::map<std::string, TenantStats> tenants;
+
+  /// The stats bucket for `name`, created on first touch.
+  TenantStats& tenant(const std::string& name);
+  void merge(const TenantTable& other);
+};
+
+struct ServeReport {
+  TenantTable table;
+  std::uint64_t accepted_connections = 0;
+  std::uint64_t closed_connections = 0;
+  /// Connections dropped fail-closed: unparseable session frame, unknown
+  /// session version, poisoned framing, or a non-Open client frame.
+  std::uint64_t protocol_errors = 0;
+
+  [[nodiscard]] std::uint64_t total(
+      std::uint64_t TenantStats::* field) const;
+
+  /// Renders the document. include_timings = false omits every wall-clock
+  /// field — the canonical, byte-comparable form.
+  [[nodiscard]] std::string to_json(bool include_timings) const;
+};
+
+}  // namespace treeaa::serve

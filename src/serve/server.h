@@ -1,0 +1,159 @@
+// The treeaa_serve event loop: a single-process, epoll-driven daemon that
+// multiplexes many concurrent agreement instances over client connections.
+//
+// Architecture (docs/SERVE.md):
+//
+//   * one epoll loop owns every socket — listeners (AF_UNIX and/or
+//     loopback TCP), client connections, and a self-pipe for the
+//     async-signal-safe drain request. Connections are non-blocking;
+//     partial writes park the remainder in a per-connection out-buffer and
+//     arm EPOLLOUT;
+//   * clients speak session frames (net/frame.h); each Open request is
+//     validated and either queued or refused with a typed RejectReply
+//     (per-tenant in-flight cap -> kTenantBusy, global queue depth ->
+//     kQueueFull, drain in progress -> kDraining). Undecodable frames and
+//     unknown session versions close the connection — fail closed;
+//   * each loop tick dispatches up to `max_batch` queued instances across
+//     a perf::WorkerPool lease: lane l executes its static chunk serially,
+//     every instance with engine threads = 1 and RNG streams forked from
+//     the request seed, recording canonical observations into a lane-local
+//     TenantTable fragment. After the pool barrier the fragments fold into
+//     the master report in lane order and replies are written back on the
+//     loop thread — so `--threads` changes wall-clock only, never bytes;
+//   * request_drain() (safe from a signal handler) stops accepting,
+//     rejects new opens, finishes the queue, flushes every reply, then
+//     returns from run().
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "net/frame.h"
+#include "net/socket.h"
+#include "obs/span.h"
+#include "serve/instance.h"
+#include "serve/report.h"
+#include "serve/wire.h"
+
+namespace treeaa::serve {
+
+struct ServerOptions {
+  /// Listen on an AF_UNIX socket at this path (empty = no unix listener).
+  std::string unix_path;
+  /// Listen on loopback TCP (0 = ephemeral; read back via tcp_port()).
+  std::optional<std::uint16_t> tcp_port;
+  /// Worker lanes for instance execution (0 = hardware, 1 = serial).
+  std::size_t threads = 1;
+  /// Admission control: per-tenant in-flight instances and global queue
+  /// depth. Crossing them sheds with kTenantBusy / kQueueFull.
+  std::size_t max_inflight_per_tenant = 256;
+  std::size_t max_queue = 4096;
+  /// Instances dispatched per loop tick.
+  std::size_t max_batch = 512;
+  /// Replay the theory-vs-observed convergence ledger (src/exp/ledger.h)
+  /// over every completed sync-AA instance's per-round diameter series;
+  /// violations are counted per tenant and fail clean(). Deterministic —
+  /// the ledger reads report contents only — but it makes every instance
+  /// record a per-round report, so it costs throughput.
+  bool ledger = false;
+  /// Optional span instrumentation of the accept/dispatch/run/reply phases.
+  obs::SpanSink* spans = nullptr;
+};
+
+class Server {
+ public:
+  /// Binds listeners and the drain pipe; throws std::system_error on any
+  /// setup failure. Requires at least one listener configured.
+  Server(Catalog catalog, ServerOptions opts);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The resolved TCP port (meaningful after construction when tcp_port
+  /// was configured; resolves port 0 to the kernel-assigned port).
+  [[nodiscard]] std::uint16_t tcp_port() const { return resolved_tcp_port_; }
+
+  /// Requests a graceful drain. Async-signal-safe (one pipe write);
+  /// callable from any thread or a SIGTERM handler, before or during run().
+  void request_drain();
+
+  /// Runs the event loop until drained. Call at most once.
+  void run();
+
+  /// The service report (stable once run() returned).
+  [[nodiscard]] const ServeReport& report() const { return report_; }
+
+  /// True iff every completed instance passed its agreement check, no
+  /// instance failed with an internal error, and (under options.ledger) no
+  /// instance violated the convergence ledger.
+  [[nodiscard]] bool clean() const {
+    return internal_errors_ == 0 &&
+           report_.total(&TenantStats::check_failures) == 0 &&
+           report_.total(&TenantStats::ledger_violations) == 0;
+  }
+
+ private:
+  struct Conn {
+    net::Socket sock;
+    net::FrameReader reader;
+    Bytes outbuf;
+    std::size_t out_pos = 0;
+    bool dead = false;
+    bool want_write = false;
+  };
+
+  struct Pending {
+    std::uint64_t conn_id = 0;
+    std::uint64_t session_id = 0;
+    OpenRequest req;
+    std::uint64_t enqueue_ns = 0;
+  };
+
+  void begin_drain();
+  void accept_all(net::Socket& listener);
+  void read_conn(std::uint64_t conn_id);
+  void handle_open(std::uint64_t conn_id, std::uint64_t session_id,
+                   OpenRequest req);
+  void run_batch();
+  void flush_conn(std::uint64_t conn_id);
+  void reap_dead();
+  void send_frame(Conn& conn, std::uint64_t session_id, std::uint8_t kind,
+                  Bytes payload);
+  void send_reject(std::uint64_t conn_id, std::uint64_t session_id,
+                   const std::string& tenant, RejectCode code,
+                   std::string detail);
+  void update_write_interest(std::uint64_t conn_id, Conn& conn);
+  void kill_conn(Conn& conn);
+  [[nodiscard]] static std::uint64_t now_ns();
+
+  Catalog catalog_;
+  ServerOptions opts_;
+
+  net::Socket unix_listener_;
+  net::Socket tcp_listener_;
+  std::uint16_t resolved_tcp_port_ = 0;
+  int epoll_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+
+  std::uint64_t next_conn_id_ = 1;
+  std::map<std::uint64_t, Conn> conns_;
+  std::map<int, std::uint64_t> conn_by_fd_;
+
+  std::deque<Pending> queue_;
+  std::map<std::string, std::size_t> tenant_inflight_;
+  bool draining_ = false;
+  bool listeners_open_ = true;
+
+  ServeReport report_;
+  std::uint64_t internal_errors_ = 0;
+
+  obs::TrackId loop_track_{};
+  bool have_loop_track_ = false;
+};
+
+}  // namespace treeaa::serve

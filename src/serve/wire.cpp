@@ -1,0 +1,138 @@
+#include "serve/wire.h"
+
+namespace treeaa::serve {
+
+namespace {
+
+/// Reads a name field, enforcing the decode-layer length cap.
+std::string bounded_name(ByteReader& r) {
+  std::string s = r.str();
+  if (s.size() > kMaxNameLen) throw DecodeError("name exceeds kMaxNameLen");
+  return s;
+}
+
+}  // namespace
+
+const char* reject_code_name(RejectCode c) {
+  switch (c) {
+    case RejectCode::kBadRequest:
+      return "bad_request";
+    case RejectCode::kUnknownProtocol:
+      return "unknown_protocol";
+    case RejectCode::kUnknownTopology:
+      return "unknown_topology";
+    case RejectCode::kTenantBusy:
+      return "tenant_busy";
+    case RejectCode::kQueueFull:
+      return "queue_full";
+    case RejectCode::kDraining:
+      return "draining";
+    case RejectCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+Bytes encode_open_request(const OpenRequest& req) {
+  ByteWriter w;
+  w.str(req.tenant);
+  w.str(req.protocol);
+  w.str(req.topology);
+  w.varint(req.n);
+  w.varint(req.t);
+  w.varint(req.seed);
+  w.str(req.adversary);
+  w.varint(req.corrupt);
+  w.u8(static_cast<std::uint8_t>(req.inputs));
+  w.f64(req.eps);
+  w.f64(req.known_range);
+  return std::move(w).take();
+}
+
+std::optional<OpenRequest> decode_open_request(const Bytes& payload) {
+  try {
+    ByteReader r(payload);
+    OpenRequest req;
+    req.tenant = bounded_name(r);
+    req.protocol = bounded_name(r);
+    req.topology = bounded_name(r);
+    req.n = r.varint();
+    req.t = r.varint();
+    req.seed = r.varint();
+    req.adversary = bounded_name(r);
+    req.corrupt = r.varint();
+    const std::uint8_t inputs = r.u8();
+    if (inputs > static_cast<std::uint8_t>(InputKind::kRandom)) {
+      return std::nullopt;
+    }
+    req.inputs = static_cast<InputKind>(inputs);
+    req.eps = r.f64();
+    req.known_range = r.f64();
+    r.expect_done();
+    return req;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+Bytes encode_result_reply(const ResultReply& reply) {
+  ByteWriter w;
+  w.varint(reply.rounds);
+  w.varint(reply.messages);
+  w.varint(reply.corrupt);
+  w.u8(reply.ok ? 1 : 0);
+  w.u8(reply.valid ? 1 : 0);
+  w.u8(reply.one_agreement ? 1 : 0);
+  w.f64(reply.spread);
+  w.varint(reply.outputs_hash);
+  return std::move(w).take();
+}
+
+std::optional<ResultReply> decode_result_reply(const Bytes& payload) {
+  try {
+    ByteReader r(payload);
+    ResultReply reply;
+    reply.rounds = r.varint();
+    reply.messages = r.varint();
+    reply.corrupt = r.varint();
+    for (bool* flag : {&reply.ok, &reply.valid, &reply.one_agreement}) {
+      const std::uint8_t b = r.u8();
+      if (b > 1) return std::nullopt;
+      *flag = b == 1;
+    }
+    reply.spread = r.f64();
+    reply.outputs_hash = r.varint();
+    r.expect_done();
+    return reply;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+Bytes encode_reject_reply(const RejectReply& reply) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(reply.code));
+  w.str(reply.detail);
+  return std::move(w).take();
+}
+
+std::optional<RejectReply> decode_reject_reply(const Bytes& payload) {
+  try {
+    ByteReader r(payload);
+    RejectReply reply;
+    const std::uint8_t code = r.u8();
+    if (code < static_cast<std::uint8_t>(RejectCode::kBadRequest) ||
+        code > static_cast<std::uint8_t>(RejectCode::kInternal)) {
+      return std::nullopt;
+    }
+    reply.code = static_cast<RejectCode>(code);
+    reply.detail = r.str();
+    if (reply.detail.size() > 256) return std::nullopt;
+    r.expect_done();
+    return reply;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace treeaa::serve

@@ -1,0 +1,112 @@
+// The serve plane's request/reply vocabulary (docs/SERVE.md).
+//
+// treeaa_serve multiplexes many concurrent agreement instances over one
+// client connection. Transport framing is net/frame.h's session frames
+// ([u32 LE len][u8 version][varint session_id][u8 kind][blob payload]);
+// this header defines what the kind byte and payload mean:
+//
+//   kOpenKind   client -> server   payload = OpenRequest
+//   kResultKind server -> client   payload = ResultReply
+//   kRejectKind server -> client   payload = RejectReply
+//
+// Every decoder is fail-closed: malformed payloads yield nullopt, never a
+// partially filled struct. A server that cannot decode a client frame at
+// the session layer drops the whole connection (the framing can no longer
+// be trusted); a request that decodes but fails validation gets a typed
+// RejectReply so well-behaved tenants can tell "slow down" (kQueueFull,
+// kTenantBusy) from "never retry" (kBadRequest, kUnknownProtocol).
+//
+// Determinism contract: a ResultReply is a pure function of the
+// OpenRequest and the server's topology catalog — the instance runs on the
+// deterministic simulator with RNG streams forked from the request seed —
+// so repeated submissions of the same request return byte-identical
+// replies at any server thread count.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/types.h"
+
+namespace treeaa::serve {
+
+// Session-frame kind bytes. The high bit marks server->client direction.
+inline constexpr std::uint8_t kOpenKind = 0x01;
+inline constexpr std::uint8_t kResultKind = 0x81;
+inline constexpr std::uint8_t kRejectKind = 0x82;
+
+/// Upper bound on tenant/protocol/topology/adversary name lengths — a
+/// decode-layer guard so a hostile length prefix cannot make the server
+/// allocate or hash unbounded strings.
+inline constexpr std::size_t kMaxNameLen = 64;
+
+/// How a request wants its per-party inputs drawn (from the request seed).
+enum class InputKind : std::uint8_t { kSpread = 0, kRandom = 1 };
+
+/// One agreement-instance submission. Fields outside the selected
+/// protocol's family are ignored, mirroring harness::RunSpec: vertex and
+/// graph protocols read `topology`, real protocols read eps/known_range.
+struct OpenRequest {
+  std::string tenant;    // admission-control and reporting key
+  std::string protocol;  // harness registry name ("tree_aa", "block_aa", ...)
+  std::string topology;  // catalog name; ignored by real protocols
+  std::uint64_t n = 0;
+  std::uint64_t t = 0;
+  std::uint64_t seed = 1;     // root of every instance RNG stream
+  std::string adversary;      // "none", "silent" or "fuzz"
+  std::uint64_t corrupt = 0;  // parties the adversary may corrupt (<= t)
+  InputKind inputs = InputKind::kSpread;
+  double eps = 1.0;          // real protocols only
+  double known_range = 8.0;  // real protocols only
+};
+
+/// The outcome of one completed instance. `ok` is the server-side
+/// correctness verdict: the run executed and its honest outputs passed the
+/// protocol family's agreement check (core/graphs check_agreement, or the
+/// real-valued validity + eps-agreement conditions).
+struct ResultReply {
+  std::uint64_t rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t corrupt = 0;
+  bool ok = false;
+  bool valid = false;
+  bool one_agreement = false;
+  double spread = 0.0;  // max pairwise output distance / real output range
+  /// FNV-1a over the canonical honest-output encoding — the determinism
+  /// witness clients (and the load generator) compare across runs.
+  std::uint64_t outputs_hash = 0;
+};
+
+/// Why an OpenRequest was not admitted.
+enum class RejectCode : std::uint8_t {
+  kBadRequest = 1,       // failed validation; never retry
+  kUnknownProtocol = 2,  // not a registry protocol this server serves
+  kUnknownTopology = 3,  // no catalog entry under that name
+  kTenantBusy = 4,       // per-tenant in-flight cap hit; retry after replies
+  kQueueFull = 5,        // global queue-depth shed; back off
+  kDraining = 6,         // server is shutting down; resubmit elsewhere
+  kInternal = 7,         // instance execution threw; see detail
+};
+
+[[nodiscard]] const char* reject_code_name(RejectCode c);
+
+struct RejectReply {
+  RejectCode code = RejectCode::kBadRequest;
+  std::string detail;
+};
+
+[[nodiscard]] Bytes encode_open_request(const OpenRequest& req);
+[[nodiscard]] std::optional<OpenRequest> decode_open_request(
+    const Bytes& payload);
+
+[[nodiscard]] Bytes encode_result_reply(const ResultReply& reply);
+[[nodiscard]] std::optional<ResultReply> decode_result_reply(
+    const Bytes& payload);
+
+[[nodiscard]] Bytes encode_reject_reply(const RejectReply& reply);
+[[nodiscard]] std::optional<RejectReply> decode_reject_reply(
+    const Bytes& payload);
+
+}  // namespace treeaa::serve

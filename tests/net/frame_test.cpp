@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <vector>
 
 namespace treeaa::net {
 namespace {
@@ -109,6 +110,116 @@ TEST(FrameReader, OversizedLengthPrefixPoisonsPermanently) {
   reader.feed(good.data(), good.size());
   EXPECT_FALSE(reader.next_body().has_value());
   EXPECT_TRUE(reader.poisoned());
+}
+
+TEST(SessionFrameCodec, RoundTrips) {
+  SessionFrame frame;
+  frame.session_id = 0xDEADBEEFCAFEull;  // forces a multi-byte varint
+  frame.kind = 0x81;
+  frame.payload = Bytes{1, 2, 3};
+  const auto decoded = decode_session_frame_body(encode_session_frame_body(frame));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->version, kSessionVersion);
+  EXPECT_EQ(decoded->session_id, frame.session_id);
+  EXPECT_EQ(decoded->kind, frame.kind);
+  EXPECT_EQ(decoded->payload, frame.payload);
+}
+
+TEST(SessionFrameCodec, RejectsUnknownVersion) {
+  // Fail closed: a future version gives no license to parse the rest of
+  // the header, however well-formed it happens to look.
+  SessionFrame frame;
+  frame.session_id = 7;
+  frame.kind = 0x01;
+  Bytes body = encode_session_frame_body(frame);
+  body[0] = kSessionVersion + 1;
+  EXPECT_FALSE(decode_session_frame_body(body).has_value());
+  body[0] = 0;
+  EXPECT_FALSE(decode_session_frame_body(body).has_value());
+}
+
+TEST(SessionFrameCodec, RejectsTruncationAndTrailingBytes) {
+  SessionFrame frame;
+  frame.session_id = 300;  // two varint bytes
+  frame.kind = 0x01;
+  frame.payload = Bytes{9};
+  const Bytes body = encode_session_frame_body(frame);
+  // Every strict prefix — including cuts inside the header, before the
+  // kind byte is even reachable — must decode to nullopt.
+  for (std::size_t len = 0; len < body.size(); ++len) {
+    const Bytes cut(body.begin(), body.begin() + static_cast<long>(len));
+    EXPECT_FALSE(decode_session_frame_body(cut).has_value()) << len;
+  }
+  Bytes padded = body;
+  padded.push_back(0);
+  EXPECT_FALSE(decode_session_frame_body(padded).has_value());
+}
+
+TEST(FrameReader, ReassemblesSessionFramesByteAtATime) {
+  // The serve plane feeds client sockets through the same reader; a
+  // maximally fragmented stream must still yield both frames intact, and
+  // a frame truncated mid-header must simply never surface.
+  SessionFrame first;
+  first.session_id = 1;
+  first.kind = 0x01;
+  first.payload = Bytes{42};
+  SessionFrame second;
+  second.session_id = 128;  // session id crosses the varint byte boundary
+  second.kind = 0x82;
+  Bytes stream;
+  append_wire_session_frame(stream, first);
+  append_wire_session_frame(stream, second);
+
+  FrameReader reader;
+  std::vector<SessionFrame> got;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    reader.feed(&stream[i], 1);
+    while (true) {
+      const auto body = reader.next_body();
+      if (!body.has_value()) break;
+      const auto frame = decode_session_frame_body(*body);
+      ASSERT_TRUE(frame.has_value());
+      got.push_back(*frame);
+    }
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].session_id, 1u);
+  EXPECT_EQ(got[0].payload, first.payload);
+  EXPECT_EQ(got[1].session_id, 128u);
+  EXPECT_EQ(got[1].kind, 0x82);
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FrameReader, SessionFrameTruncatedMidHeaderFailsClosed) {
+  // Fuzz-shaped regression: the wire stream ends (or the peer stalls)
+  // inside the session header, after the length prefix promised more. The
+  // reader must neither surface a body nor poison — and when the peer
+  // completes the frame with a hostile version byte, the decode layer
+  // rejects it rather than guessing at the tail's layout.
+  SessionFrame frame;
+  frame.session_id = 0x4000;  // three varint bytes: truncation cuts mid-id
+  frame.kind = 0x01;
+  frame.payload = Bytes{1, 2, 3, 4};
+  Bytes stream;
+  append_wire_session_frame(stream, frame);
+
+  for (std::size_t cut = 4; cut < stream.size(); ++cut) {
+    FrameReader reader;
+    reader.feed(stream.data(), cut);
+    EXPECT_FALSE(reader.next_body().has_value()) << cut;
+    EXPECT_FALSE(reader.poisoned()) << cut;
+    // The remaining bytes arrive, but with the version byte clobbered.
+    Bytes tail(stream.begin() + static_cast<long>(cut), stream.end());
+    if (cut == 4) tail[0] = 0x7F;  // the version byte is stream[4]
+    reader.feed(tail.data(), tail.size());
+    const auto body = reader.next_body();
+    ASSERT_TRUE(body.has_value()) << cut;
+    if (cut == 4) {
+      EXPECT_FALSE(decode_session_frame_body(*body).has_value());
+    } else {
+      EXPECT_TRUE(decode_session_frame_body(*body).has_value());
+    }
+  }
 }
 
 TEST(FrameReader, MaxBodySizeIsNotPoisonous) {

