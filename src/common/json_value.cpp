@@ -1,10 +1,10 @@
-#include "exp/json_value.h"
+#include "common/json_value.h"
 
 #include <charconv>
 
 #include "common/check.h"
 
-namespace treeaa::exp {
+namespace treeaa {
 
 bool JsonValue::as_bool() const {
   TREEAA_REQUIRE(kind_ == Kind::kBool);
@@ -215,4 +215,4 @@ std::optional<JsonValue> JsonValue::parse(std::string_view text) {
   return out;
 }
 
-}  // namespace treeaa::exp
+}  // namespace treeaa

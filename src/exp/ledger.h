@@ -36,9 +36,11 @@ namespace treeaa::obs {
 struct RunReport;
 }
 
-namespace treeaa::exp {
-
+namespace treeaa {
 class JsonValue;
+}
+
+namespace treeaa::exp {
 
 inline constexpr const char* kTraceReportSchema = "treeaa.trace_report/1";
 

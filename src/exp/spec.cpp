@@ -394,16 +394,18 @@ std::vector<Cell> expand(const SweepSpec& spec) {
                     std::vector<std::size_t> ts = s.t_values;
                     if (ts.empty()) ts.push_back((n - 1) / 3);
                     for (const std::size_t t : ts) {
-                      if (n <= 3 * t) {
-                        fail(where + ": n = " + std::to_string(n) +
-                             " needs n > 3t (t = " + std::to_string(t) + ")");
+                      // The shared checker's details spell the historical
+                      // messages; expansion adds the scenario context.
+                      if (const auto issue =
+                              harness::validate_axes(protocol, n, t);
+                          issue.has_value()) {
+                        fail(where + ": " + issue->detail);
                       }
                       for (const AdversaryKind adversary : s.adversaries) {
-                        if (!adversary_applies(protocol, adversary)) {
-                          fail(where + ": adversary '" +
-                               adversary_name(adversary) +
-                               "' does not apply to protocol '" +
-                               protocol_name(protocol) + "'");
+                        if (const auto issue = harness::validate_axes(
+                                protocol, n, t, adversary);
+                            issue.has_value()) {
+                          fail(where + ": " + issue->detail);
                         }
                         for (std::size_t repeat = 0; repeat < spec.repeats;
                              ++repeat) {

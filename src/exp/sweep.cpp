@@ -16,6 +16,7 @@
 #include "graphs/block_aa.h"
 #include "graphs/check.h"
 #include "graphs/generators.h"
+#include "harness/adversary_spec.h"
 #include "harness/runner.h"
 #include "obs/probe.h"
 #include "sim/strategies.h"
@@ -73,15 +74,15 @@ std::vector<PartyId> last_parties(std::size_t n, std::size_t k) {
   return out;
 }
 
-/// Draws the randomness of a silent/fuzz plan in the exact historical
+/// Draws the randomness of a silent/fuzz spec in the exact historical
 /// order: victims first, then (fuzz only) the payload seed.
-void draw_plan_randomness(harness::AdversaryPlan& plan, std::size_t n,
+void draw_spec_randomness(harness::AdversarySpec& spec, std::size_t n,
                           std::size_t t, Rng& adv_rng) {
-  if (plan.kind == AdversaryKind::kSilent ||
-      plan.kind == AdversaryKind::kFuzz) {
-    plan.victims = sim::random_parties(n, t, adv_rng);
+  if (spec.kind == AdversaryKind::kSilent ||
+      spec.kind == AdversaryKind::kFuzz) {
+    spec.victims = sim::random_parties(n, t, adv_rng);
   }
-  if (plan.kind == AdversaryKind::kFuzz) plan.fuzz_seed = adv_rng.next();
+  if (spec.kind == AdversaryKind::kFuzz) spec.fuzz_seed = adv_rng.next();
 }
 
 /// The adversary for a vertex-protocol cell, built through the registry.
@@ -96,18 +97,18 @@ std::unique_ptr<sim::Adversary> make_vertex_adversary(const Cell& cell,
       !is_vertex_protocol(cell.protocol)) {
     throw std::invalid_argument("adversary does not apply to vertex protocol");
   }
-  harness::AdversaryPlan plan;
-  plan.kind = cell.adversary;
-  draw_plan_randomness(plan, cell.n, cell.t, adv_rng);
+  harness::AdversarySpec spec;
+  spec.kind = cell.adversary;
+  draw_spec_randomness(spec, cell.n, cell.t, adv_rng);
   if (cell.adversary == AdversaryKind::kSplit) {
     core::PathsFinderOptions pf;
     pf.update = cell.update;
     pf.mode = cell.mode;
     pf.engine = cell.engine;
-    plan.split_config = core::paths_finder_config(tree, cell.n, cell.t, pf);
-    plan.victims = last_parties(cell.n, cell.t);
+    spec.split_config = core::paths_finder_config(tree, cell.n, cell.t, pf);
+    spec.victims = last_parties(cell.n, cell.t);
   }
-  return harness::make_adversary(plan);
+  return harness::make_adversary(spec);
 }
 
 /// The adversary for a graph-protocol cell. The split attack targets the
@@ -119,32 +120,32 @@ std::unique_ptr<sim::Adversary> make_graph_adversary(
       !is_graph_protocol(cell.protocol)) {
     throw std::invalid_argument("adversary does not apply to graph protocol");
   }
-  harness::AdversaryPlan plan;
-  plan.kind = cell.adversary;
-  draw_plan_randomness(plan, cell.n, cell.t, adv_rng);
+  harness::AdversarySpec spec;
+  spec.kind = cell.adversary;
+  draw_spec_randomness(spec, cell.n, cell.t, adv_rng);
   if (cell.adversary == AdversaryKind::kSplit) {
     core::PathsFinderOptions pf;
     pf.update = cell.update;
     pf.mode = cell.mode;
     pf.engine = cell.engine;
-    plan.split_config = core::paths_finder_config(index.agreement_tree(),
+    spec.split_config = core::paths_finder_config(index.agreement_tree(),
                                                   cell.n, cell.t, pf);
-    plan.victims = last_parties(cell.n, cell.t);
+    spec.victims = last_parties(cell.n, cell.t);
   }
-  return harness::make_adversary(plan);
+  return harness::make_adversary(spec);
 }
 
 std::unique_ptr<sim::Adversary> make_real_adversary(
     const Cell& cell, const realaa::Config& cfg, Rng& adv_rng) {
-  harness::AdversaryPlan plan;
-  plan.kind = cell.adversary;
-  draw_plan_randomness(plan, cell.n, cell.t, adv_rng);
+  harness::AdversarySpec spec;
+  spec.kind = cell.adversary;
+  draw_spec_randomness(spec, cell.n, cell.t, adv_rng);
   if (cell.adversary == AdversaryKind::kSplit ||
       cell.adversary == AdversaryKind::kSplit1) {
-    plan.split_config = cfg;
-    plan.victims = last_parties(cell.n, cell.t);
+    spec.split_config = cfg;
+    spec.victims = last_parties(cell.n, cell.t);
   }
-  return harness::make_adversary(plan);
+  return harness::make_adversary(spec);
 }
 
 void fill_traffic(CellResult& result, const sim::TrafficStats& traffic) {

@@ -1,0 +1,553 @@
+#include "harness/adversary_spec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/json_value.h"
+#include "obs/json.h"
+#include "realaa/adversaries.h"
+#include "sim/strategies.h"
+
+namespace treeaa::harness {
+
+namespace {
+
+/// The canonical split victim set: the last k of n parties, matching the
+/// sweep engine's historical choice for the named split kinds.
+std::vector<PartyId> last_parties(std::size_t n, std::size_t k) {
+  std::vector<PartyId> out;
+  out.reserve(k);
+  for (std::size_t i = n - k; i < n; ++i) out.push_back(static_cast<PartyId>(i));
+  return out;
+}
+
+bool uses_victims(AdversaryKind kind) { return kind != AdversaryKind::kNone; }
+
+bool is_split_kind(AdversaryKind kind) {
+  return kind == AdversaryKind::kSplit || kind == AdversaryKind::kSplit1;
+}
+
+}  // namespace
+
+AdversarySpec spec_from_plan(const AdversaryPlan& plan) {
+  AdversarySpec spec;
+  spec.kind = plan.kind;
+  spec.victims = plan.victims;
+  spec.fuzz_seed = plan.fuzz_seed;
+  spec.fuzz_messages = plan.fuzz_min;
+  spec.fuzz_payload = plan.fuzz_max;
+  spec.split_config = plan.split_config;
+  return spec;
+}
+
+AdversaryPlan plan_from_spec(const AdversarySpec& spec) {
+  AdversaryPlan plan;
+  plan.kind = spec.kind;
+  plan.victims = spec.victims;
+  plan.fuzz_seed = spec.fuzz_seed;
+  plan.fuzz_min = spec.fuzz_messages;
+  plan.fuzz_max = spec.fuzz_payload;
+  plan.split_config = spec.split_config;
+  return plan;
+}
+
+std::unique_ptr<sim::Adversary> make_adversary(const AdversarySpec& spec) {
+  std::unique_ptr<sim::Adversary> base;
+  switch (spec.kind) {
+    case AdversaryKind::kNone:
+      break;
+    case AdversaryKind::kSilent:
+      base = std::make_unique<sim::SilentAdversary>(spec.victims);
+      break;
+    case AdversaryKind::kFuzz:
+      base = std::make_unique<sim::FuzzAdversary>(
+          spec.victims, spec.fuzz_seed, spec.fuzz_messages, spec.fuzz_payload);
+      break;
+    case AdversaryKind::kSplit:
+    case AdversaryKind::kSplit1: {
+      realaa::SplitAdversary::Options opts;
+      opts.config = spec.split_config;
+      opts.corrupt = spec.victims;
+      opts.start_round = spec.split_start_round;
+      if (spec.kind == AdversaryKind::kSplit1) {
+        opts.schedule.assign(spec.split_config.iterations(), 1);
+      } else {
+        opts.schedule = spec.split_schedule;
+      }
+      base = std::make_unique<realaa::SplitAdversary>(std::move(opts));
+      break;
+    }
+  }
+  if (spec.crashes.empty()) return base;
+  std::vector<sim::CrashAdversary::Crash> crashes;
+  crashes.reserve(spec.crashes.size());
+  for (const CrashEvent& c : spec.crashes) {
+    crashes.push_back({c.party, c.round, c.delivered_fraction});
+  }
+  auto crash = std::make_unique<sim::CrashAdversary>(std::move(crashes));
+  if (base == nullptr) return crash;
+  std::vector<std::unique_ptr<sim::Adversary>> parts;
+  parts.push_back(std::move(base));
+  parts.push_back(std::move(crash));
+  return std::make_unique<sim::ComposedAdversary>(std::move(parts));
+}
+
+std::vector<PartyId> spec_corrupt_set(const AdversarySpec& spec) {
+  std::vector<PartyId> out = spec.victims;
+  for (const CrashEvent& c : spec.crashes) out.push_back(c.party);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string adversary_spec_to_json(const AdversarySpec& spec) {
+  std::string out;
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.key("kind");
+  w.value(adversary_name(spec.kind));
+  if (uses_victims(spec.kind) || !spec.victims.empty()) {
+    w.key("victims");
+    w.begin_array();
+    for (const PartyId p : spec.victims) {
+      w.value(static_cast<std::uint64_t>(p));
+    }
+    w.end_array();
+  }
+  if (spec.kind == AdversaryKind::kFuzz) {
+    w.key("fuzz_seed");
+    w.value(spec.fuzz_seed);
+    w.key("fuzz_messages");
+    w.value(static_cast<std::uint64_t>(spec.fuzz_messages));
+    w.key("fuzz_payload");
+    w.value(static_cast<std::uint64_t>(spec.fuzz_payload));
+  }
+  if (spec.kind == AdversaryKind::kSplit) {
+    w.key("split_schedule");
+    w.begin_array();
+    for (const std::size_t s : spec.split_schedule) {
+      w.value(static_cast<std::uint64_t>(s));
+    }
+    w.end_array();
+  }
+  if (is_split_kind(spec.kind)) {
+    w.key("split_start_round");
+    w.value(static_cast<std::uint64_t>(spec.split_start_round));
+  }
+  if (!spec.crashes.empty()) {
+    w.key("crashes");
+    w.begin_array();
+    for (const CrashEvent& c : spec.crashes) {
+      w.begin_object();
+      w.key("party");
+      w.value(static_cast<std::uint64_t>(c.party));
+      w.key("round");
+      w.value(static_cast<std::uint64_t>(c.round));
+      w.key("delivered_fraction");
+      w.value(c.delivered_fraction);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();
+  return out;
+}
+
+namespace {
+
+bool fail(std::string* error, std::string reason) {
+  if (error != nullptr) *error = std::move(reason);
+  return false;
+}
+
+bool get_uint(const JsonValue& v, const char* key, std::uint64_t* out,
+              std::string* error) {
+  if (!v.is_number() || v.as_number() < 0 ||
+      v.as_number() != std::floor(v.as_number())) {
+    return fail(error, std::string("adversary spec: '") + key +
+                           "' must be a non-negative integer");
+  }
+  *out = static_cast<std::uint64_t>(v.as_number());
+  return true;
+}
+
+}  // namespace
+
+std::optional<AdversarySpec> adversary_spec_from_json(const JsonValue& doc,
+                                                      std::string* error) {
+  if (!doc.is_object()) {
+    fail(error, "adversary spec: document must be a JSON object");
+    return std::nullopt;
+  }
+  AdversarySpec spec;
+  bool saw_kind = false;
+  for (const auto& [key, value] : doc.members()) {
+    if (key == "kind") {
+      if (!value.is_string()) {
+        fail(error, "adversary spec: 'kind' must be a string");
+        return std::nullopt;
+      }
+      const auto kind = adversary_from_name(value.as_string());
+      if (!kind.has_value()) {
+        fail(error, "adversary spec: unknown kind '" + value.as_string() + "'");
+        return std::nullopt;
+      }
+      spec.kind = *kind;
+      saw_kind = true;
+    } else if (key == "victims") {
+      if (!value.is_array()) {
+        fail(error, "adversary spec: 'victims' must be an array");
+        return std::nullopt;
+      }
+      spec.victims.clear();
+      for (const JsonValue& item : value.items()) {
+        std::uint64_t p = 0;
+        if (!get_uint(item, "victims", &p, error)) return std::nullopt;
+        spec.victims.push_back(static_cast<PartyId>(p));
+      }
+    } else if (key == "fuzz_seed") {
+      if (!get_uint(value, "fuzz_seed", &spec.fuzz_seed, error)) {
+        return std::nullopt;
+      }
+    } else if (key == "fuzz_messages") {
+      std::uint64_t v = 0;
+      if (!get_uint(value, "fuzz_messages", &v, error)) return std::nullopt;
+      spec.fuzz_messages = static_cast<std::size_t>(v);
+    } else if (key == "fuzz_payload") {
+      std::uint64_t v = 0;
+      if (!get_uint(value, "fuzz_payload", &v, error)) return std::nullopt;
+      spec.fuzz_payload = static_cast<std::size_t>(v);
+    } else if (key == "split_schedule") {
+      if (!value.is_array()) {
+        fail(error, "adversary spec: 'split_schedule' must be an array");
+        return std::nullopt;
+      }
+      spec.split_schedule.clear();
+      for (const JsonValue& item : value.items()) {
+        std::uint64_t s = 0;
+        if (!get_uint(item, "split_schedule", &s, error)) return std::nullopt;
+        spec.split_schedule.push_back(static_cast<std::size_t>(s));
+      }
+    } else if (key == "split_start_round") {
+      std::uint64_t v = 0;
+      if (!get_uint(value, "split_start_round", &v, error)) return std::nullopt;
+      spec.split_start_round = static_cast<Round>(v);
+    } else if (key == "crashes") {
+      if (!value.is_array()) {
+        fail(error, "adversary spec: 'crashes' must be an array");
+        return std::nullopt;
+      }
+      spec.crashes.clear();
+      for (const JsonValue& item : value.items()) {
+        if (!item.is_object()) {
+          fail(error, "adversary spec: each crash must be an object");
+          return std::nullopt;
+        }
+        CrashEvent c;
+        const JsonValue* party = item.find("party");
+        const JsonValue* round = item.find("round");
+        if (party == nullptr || round == nullptr) {
+          fail(error, "adversary spec: a crash needs 'party' and 'round'");
+          return std::nullopt;
+        }
+        std::uint64_t p = 0;
+        std::uint64_t r = 0;
+        if (!get_uint(*party, "party", &p, error)) return std::nullopt;
+        if (!get_uint(*round, "round", &r, error)) return std::nullopt;
+        c.party = static_cast<PartyId>(p);
+        c.round = static_cast<Round>(r);
+        if (const JsonValue* f = item.find("delivered_fraction")) {
+          if (!f->is_number()) {
+            fail(error,
+                 "adversary spec: 'delivered_fraction' must be a number");
+            return std::nullopt;
+          }
+          c.delivered_fraction = f->as_number();
+        }
+        for (const auto& [ckey, cvalue] : item.members()) {
+          (void)cvalue;
+          if (ckey != "party" && ckey != "round" &&
+              ckey != "delivered_fraction") {
+            fail(error, "adversary spec: unknown crash key '" + ckey + "'");
+            return std::nullopt;
+          }
+        }
+        spec.crashes.push_back(c);
+      }
+    } else {
+      fail(error, "adversary spec: unknown key '" + key + "'");
+      return std::nullopt;
+    }
+  }
+  if (!saw_kind) {
+    fail(error, "adversary spec: missing 'kind'");
+    return std::nullopt;
+  }
+  return spec;
+}
+
+std::optional<AdversarySpec> adversary_spec_from_json(std::string_view text,
+                                                      std::string* error) {
+  const auto doc = JsonValue::parse(text);
+  if (!doc.has_value()) {
+    fail(error, "adversary spec: malformed JSON document");
+    return std::nullopt;
+  }
+  return adversary_spec_from_json(*doc, error);
+}
+
+std::vector<AdversarySpec> AdversarySpace::fixed_points() const {
+  std::vector<AdversarySpec> out;
+  for (const AdversaryKind kind : kinds) {
+    AdversarySpec spec;
+    spec.kind = kind;
+    spec.split_config = split_config;
+    switch (kind) {
+      case AdversaryKind::kNone:
+        break;
+      case AdversaryKind::kSilent:
+      case AdversaryKind::kFuzz:
+        spec.victims = sim::first_parties(t);
+        break;
+      case AdversaryKind::kSplit:
+      case AdversaryKind::kSplit1:
+        spec.victims = last_parties(n, t);
+        break;
+    }
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+AdversarySpec AdversarySpace::sample(Rng& rng) const {
+  AdversarySpec spec;
+  spec.split_config = split_config;
+  spec.kind = kinds.empty() ? AdversaryKind::kNone : rng.pick(kinds);
+  if (uses_victims(spec.kind) && t > 0) {
+    const std::size_t k = static_cast<std::size_t>(rng.uniform(1, t));
+    spec.victims = sim::random_parties(n, k, rng);
+    std::sort(spec.victims.begin(), spec.victims.end());
+  }
+  if (spec.kind == AdversaryKind::kFuzz) {
+    spec.fuzz_seed = rng.next();
+    spec.fuzz_messages =
+        static_cast<std::size_t>(rng.uniform(1, fuzz_messages_max));
+    spec.fuzz_payload =
+        static_cast<std::size_t>(rng.uniform(1, fuzz_payload_max));
+  }
+  if (spec.kind == AdversaryKind::kSplit && iterations > 0 &&
+      !spec.victims.empty() && rng.chance(0.5)) {
+    // Explicit budget split: scatter |victims| equivocation units over a
+    // random prefix of the iterations.
+    const std::size_t len =
+        static_cast<std::size_t>(rng.uniform(1, iterations));
+    spec.split_schedule.assign(len, 0);
+    for (std::size_t unit = 0; unit < spec.victims.size(); ++unit) {
+      spec.split_schedule[rng.index(len)] += 1;
+    }
+  }
+  if (allow_crashes && rounds > 0 && t > 0 && rng.chance(0.3)) {
+    const std::size_t count = static_cast<std::size_t>(rng.uniform(1, t));
+    for (std::size_t i = 0; i < count; ++i) {
+      CrashEvent c;
+      c.party = static_cast<PartyId>(rng.index(n));
+      c.round = static_cast<Round>(rng.uniform(1, rounds));
+      c.delivered_fraction = 0.25 * static_cast<double>(rng.uniform(0, 3));
+      spec.crashes.push_back(c);
+    }
+  }
+  repair(spec);
+  return spec;
+}
+
+AdversarySpec AdversarySpace::mutate(const AdversarySpec& s, Rng& rng) const {
+  AdversarySpec out = s;
+  // Build the list of applicable field-local moves, then apply one.
+  enum Move {
+    kSwapVictim,
+    kAddVictim,
+    kDropVictim,
+    kRedrawSeed,
+    kNudgeMessages,
+    kNudgePayload,
+    kRebalanceSchedule,
+    kToggleSchedule,
+    kAddCrash,
+    kDropCrash,
+    kPerturbCrash,
+  };
+  std::vector<Move> moves;
+  if (uses_victims(out.kind) && t > 0) {
+    if (!out.victims.empty()) moves.push_back(kSwapVictim);
+    if (out.victims.size() < t) moves.push_back(kAddVictim);
+    if (out.victims.size() > 1) moves.push_back(kDropVictim);
+  }
+  if (out.kind == AdversaryKind::kFuzz) {
+    moves.push_back(kRedrawSeed);
+    moves.push_back(kNudgeMessages);
+    moves.push_back(kNudgePayload);
+  }
+  if (out.kind == AdversaryKind::kSplit && iterations > 0) {
+    if (out.split_schedule.size() > 1) moves.push_back(kRebalanceSchedule);
+    moves.push_back(kToggleSchedule);
+  }
+  if (allow_crashes && rounds > 0) {
+    if (spec_corrupt_set(out).size() < t) moves.push_back(kAddCrash);
+    if (!out.crashes.empty()) {
+      moves.push_back(kDropCrash);
+      moves.push_back(kPerturbCrash);
+    }
+  }
+  if (moves.empty()) return out;
+  switch (rng.pick(moves)) {
+    case kSwapVictim:
+      out.victims[rng.index(out.victims.size())] =
+          static_cast<PartyId>(rng.index(n));
+      break;
+    case kAddVictim:
+      out.victims.push_back(static_cast<PartyId>(rng.index(n)));
+      break;
+    case kDropVictim:
+      out.victims.erase(out.victims.begin() +
+                        static_cast<std::ptrdiff_t>(rng.index(out.victims.size())));
+      break;
+    case kRedrawSeed:
+      out.fuzz_seed = rng.next();
+      break;
+    case kNudgeMessages:
+      out.fuzz_messages =
+          static_cast<std::size_t>(rng.uniform(1, fuzz_messages_max));
+      break;
+    case kNudgePayload:
+      out.fuzz_payload =
+          static_cast<std::size_t>(rng.uniform(1, fuzz_payload_max));
+      break;
+    case kRebalanceSchedule: {
+      // Move one equivocation unit between two slots.
+      const std::size_t from = rng.index(out.split_schedule.size());
+      const std::size_t to = rng.index(out.split_schedule.size());
+      if (out.split_schedule[from] > 0) {
+        out.split_schedule[from] -= 1;
+        out.split_schedule[to] += 1;
+      }
+      break;
+    }
+    case kToggleSchedule:
+      if (out.split_schedule.empty()) {
+        if (!out.victims.empty()) {
+          const std::size_t len =
+              static_cast<std::size_t>(rng.uniform(1, iterations));
+          out.split_schedule.assign(len, 0);
+          for (std::size_t unit = 0; unit < out.victims.size(); ++unit) {
+            out.split_schedule[rng.index(len)] += 1;
+          }
+        }
+      } else {
+        out.split_schedule.clear();  // back to the even split
+      }
+      break;
+    case kAddCrash: {
+      CrashEvent c;
+      c.party = static_cast<PartyId>(rng.index(n));
+      c.round = static_cast<Round>(rng.uniform(1, rounds));
+      c.delivered_fraction = 0.25 * static_cast<double>(rng.uniform(0, 3));
+      out.crashes.push_back(c);
+      break;
+    }
+    case kDropCrash:
+      out.crashes.erase(out.crashes.begin() +
+                        static_cast<std::ptrdiff_t>(rng.index(out.crashes.size())));
+      break;
+    case kPerturbCrash: {
+      CrashEvent& c = out.crashes[rng.index(out.crashes.size())];
+      switch (rng.uniform(0, 2)) {
+        case 0: c.party = static_cast<PartyId>(rng.index(n)); break;
+        case 1: c.round = static_cast<Round>(rng.uniform(1, rounds)); break;
+        default:
+          c.delivered_fraction = 0.25 * static_cast<double>(rng.uniform(0, 3));
+      }
+      break;
+    }
+  }
+  repair(out);
+  return out;
+}
+
+AdversarySpec AdversarySpace::crossover(const AdversarySpec& a,
+                                        const AdversarySpec& b,
+                                        Rng& rng) const {
+  AdversarySpec out = a;
+  if (rng.chance(0.5)) out.victims = b.victims;
+  if (rng.chance(0.5)) {
+    out.fuzz_seed = b.fuzz_seed;
+    out.fuzz_messages = b.fuzz_messages;
+    out.fuzz_payload = b.fuzz_payload;
+  }
+  if (rng.chance(0.5)) out.split_schedule = b.split_schedule;
+  if (rng.chance(0.5)) out.crashes = b.crashes;
+  repair(out);
+  return out;
+}
+
+void AdversarySpace::repair(AdversarySpec& s) const {
+  // Victims: in-range, sorted, distinct, within the corruption budget.
+  std::erase_if(s.victims, [&](PartyId p) { return p >= n; });
+  std::sort(s.victims.begin(), s.victims.end());
+  s.victims.erase(std::unique(s.victims.begin(), s.victims.end()),
+                  s.victims.end());
+  if (s.victims.size() > t) s.victims.resize(t);
+
+  // A split with nobody to equivocate through is the null adversary;
+  // canonicalise it (crossover can copy an empty victim set from a kNone
+  // parent, and SplitAdversary requires a non-empty corrupt set).
+  if (is_split_kind(s.kind) && s.victims.empty()) {
+    s.kind = AdversaryKind::kNone;
+  }
+
+  // Canonicalise kind-irrelevant fields so equal strategies have equal wire
+  // forms (the search dedups on the JSON line).
+  if (!uses_victims(s.kind)) s.victims.clear();
+  if (s.kind != AdversaryKind::kFuzz) {
+    s.fuzz_seed = kDefaultSeed;
+    s.fuzz_messages = 16;
+    s.fuzz_payload = 48;
+  }
+  if (s.kind != AdversaryKind::kSplit) s.split_schedule.clear();
+  if (!is_split_kind(s.kind)) s.split_start_round = 1;
+
+  // Split budget: schedule no longer than the iteration count, total spend
+  // within the victim pool (SplitAdversary burns one fresh victim per unit).
+  if (s.split_schedule.size() > iterations) {
+    s.split_schedule.resize(iterations);
+  }
+  std::size_t remaining = s.victims.size();
+  for (std::size_t& units : s.split_schedule) {
+    units = std::min(units, remaining);
+    remaining -= units;
+  }
+
+  // Crashes: admissible rounds, canonical order, one event per party, and
+  // the overall corruption budget |victims ∪ crash parties| <= t.
+  if (!allow_crashes || rounds == 0) s.crashes.clear();
+  std::erase_if(s.crashes, [&](const CrashEvent& c) { return c.party >= n; });
+  for (CrashEvent& c : s.crashes) {
+    c.round = std::clamp<Round>(c.round, 1, rounds);
+    c.delivered_fraction = std::clamp(c.delivered_fraction, 0.0, 1.0);
+  }
+  std::sort(s.crashes.begin(), s.crashes.end(),
+            [](const CrashEvent& a, const CrashEvent& b) {
+              return a.party != b.party ? a.party < b.party
+                                        : a.round < b.round;
+            });
+  s.crashes.erase(std::unique(s.crashes.begin(), s.crashes.end(),
+                              [](const CrashEvent& a, const CrashEvent& b) {
+                                return a.party == b.party;
+                              }),
+                  s.crashes.end());
+  while (!s.crashes.empty() && spec_corrupt_set(s).size() > t) {
+    s.crashes.pop_back();
+  }
+}
+
+}  // namespace treeaa::harness

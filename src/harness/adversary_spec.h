@@ -1,0 +1,174 @@
+// AdversarySpec — the open, serializable generalisation of AdversaryPlan.
+//
+// AdversaryPlan (registry.h) is a closed struct each tool hand-assembles for
+// the five named strategies. The hunt engine needs the same information as a
+// *point in a searchable parameter space*: victim sets, fuzz seeds and size
+// bands, split budget schedules, crash/rush events — with a JSON wire form
+// (so worst cases replay exactly from a corpus line) and mutation/crossover
+// defined per field (so evolutionary search can move through the space).
+//
+// Three layers:
+//   AdversarySpec   one concrete adversary: kind + every tunable parameter.
+//                   make_adversary(spec) builds the sim::Adversary; a
+//                   non-empty crash schedule composes a CrashAdversary on
+//                   top of whatever the kind builds.
+//   adapters        spec_from_plan / plan_from_spec keep the named-kind
+//                   world and the spec world byte-compatible:
+//                   make_adversary(plan) == make_adversary(spec_from_plan(
+//                   plan)) for every plan, so the five named kinds are fixed
+//                   points of the space, not a parallel code path.
+//   AdversarySpace  the scenario-scoped parameter space: n/t/iterations/
+//                   round budget plus which kinds are admissible. sample/
+//                   mutate/crossover draw new points; repair() clamps any
+//                   point back inside the invariants (distinct victims,
+//                   corruption budget |victims ∪ crash parties| <= t, split
+//                   budget sum <= |victims|), which is what makes "every
+//                   sampled point builds and runs" a testable property.
+//
+// Wire form (treeaa.adversary_spec/1, one line, deterministic key order):
+//   {"kind":"split","victims":[5,6,7],"split_schedule":[2,1],
+//    "split_start_round":1}
+// Kind-irrelevant fields are omitted; split_config is scenario state (the
+// attacked RealAA instance) and deliberately not serialized — the loader
+// re-derives it from the scenario, exactly as the sweep engine does.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "harness/registry.h"
+
+namespace treeaa {
+class JsonValue;
+}
+
+namespace treeaa::harness {
+
+inline constexpr const char* kAdversarySpecSchema = "treeaa.adversary_spec/1";
+
+/// One crash/rush event: `party` behaves honestly before `round`, crashes
+/// during it (a `delivered_fraction` prefix of that round's sends still goes
+/// out), and stays down. Maps to sim::CrashAdversary::Crash.
+struct CrashEvent {
+  PartyId party = 0;
+  Round round = 1;
+  double delivered_fraction = 0.0;
+
+  friend bool operator==(const CrashEvent&, const CrashEvent&) = default;
+};
+
+/// One point in adversary space. Field relevance follows `kind` (fuzz_* for
+/// kFuzz, split_* for kSplit/kSplit1); `crashes` composes onto any kind,
+/// including kNone (a pure crash-fault adversary).
+struct AdversarySpec {
+  AdversaryKind kind = AdversaryKind::kNone;
+  /// Parties corrupted by the kind itself (sorted, distinct). The crash
+  /// schedule may corrupt further parties; the corruption budget constraint
+  /// is |victims ∪ crash parties| <= t.
+  std::vector<PartyId> victims;
+
+  // Fuzz parameters (kFuzz only). See kDefaultSeed for the seed contract.
+  std::uint64_t fuzz_seed = kDefaultSeed;
+  std::size_t fuzz_messages = 16;  // garbage messages per victim per round
+  std::size_t fuzz_payload = 48;   // max garbage payload bytes
+
+  // Split parameters (kSplit/kSplit1). The schedule is the Fekete budget
+  // split: fresh equivocators spent per iteration; empty = spread the pool
+  // evenly (the §3 optimal split). kSplit1 ignores the schedule — it is
+  // all-ones by definition.
+  std::vector<std::size_t> split_schedule;
+  /// Engine round at which the attacked RealAA instance runs its round 1
+  /// (1 for standalone RealAA; later for TreeAA's phase-2 instance).
+  Round split_start_round = 1;
+
+  /// Crash events composed on top of the kind's adversary, in schedule
+  /// order.
+  std::vector<CrashEvent> crashes;
+
+  /// The RealAA configuration split attacks target. Scenario state, not a
+  /// search dimension: filled from the run's tree/n/t by whoever builds the
+  /// spec (and re-derived on corpus load), never serialized.
+  realaa::Config split_config;
+};
+
+/// Every plan is a point in the space (exact adapter; the named kinds are
+/// fixed points).
+[[nodiscard]] AdversarySpec spec_from_plan(const AdversaryPlan& plan);
+
+/// Projects a spec back onto the closed plan struct. Lossy: crashes and a
+/// non-default split_start_round have no plan representation and are
+/// dropped; use make_adversary(spec) when they matter.
+[[nodiscard]] AdversaryPlan plan_from_spec(const AdversarySpec& spec);
+
+/// Builds the adversary object for one spec. kNone with no crashes yields
+/// nullptr (same contract as make_adversary(plan)).
+[[nodiscard]] std::unique_ptr<sim::Adversary> make_adversary(
+    const AdversarySpec& spec);
+
+/// All parties the spec corrupts (victims ∪ crash parties), sorted distinct.
+[[nodiscard]] std::vector<PartyId> spec_corrupt_set(const AdversarySpec& spec);
+
+/// One-line JSON wire form, deterministic key order and number formatting
+/// (byte-stable for goldens and corpus diffs).
+[[nodiscard]] std::string adversary_spec_to_json(const AdversarySpec& spec);
+
+/// Parses a wire-form object. Unknown keys and type mismatches are errors
+/// (`error` receives a one-line reason); split_config is left default for
+/// the caller to fill from the scenario.
+[[nodiscard]] std::optional<AdversarySpec> adversary_spec_from_json(
+    const JsonValue& doc, std::string* error);
+
+/// Convenience: parse + decode a JSON document in one step.
+[[nodiscard]] std::optional<AdversarySpec> adversary_spec_from_json(
+    std::string_view text, std::string* error);
+
+/// The scenario-scoped adversary parameter space: every knob the search may
+/// turn, bounded by the scenario (n, t, iteration count, round budget).
+/// sample/mutate/crossover always return repaired (in-invariant) points, so
+/// a search loop never has to reason about validity.
+struct AdversarySpace {
+  std::size_t n = 0;
+  std::size_t t = 0;
+  /// Iteration count of the attacked RealAA instance (bounds split-schedule
+  /// length); 0 when no split kind is admissible.
+  std::size_t iterations = 0;
+  /// Scenario round budget (bounds crash rounds); 0 disables crash events.
+  Round rounds = 0;
+  /// Kinds the search draws from (the scenario's applicable kinds).
+  std::vector<AdversaryKind> kinds;
+  /// Crash-event composition on/off (off for protocols whose round budget
+  /// is unknown up front).
+  bool allow_crashes = true;
+  // Upper bounds of the fuzz size bands.
+  std::size_t fuzz_messages_max = 64;
+  std::size_t fuzz_payload_max = 96;
+  /// Split config template (eps/range/update of the attacked instance);
+  /// copied into every split spec the space produces.
+  realaa::Config split_config;
+
+  /// The named strategies as points in this space, in kind order: search
+  /// generation 0 seeds from these, which is what guarantees the engine
+  /// starts no worse than the fixed library (the §3 optimal split is the
+  /// kSplit fixed point: last t parties, empty = even schedule).
+  [[nodiscard]] std::vector<AdversarySpec> fixed_points() const;
+
+  /// Uniform-ish random point.
+  [[nodiscard]] AdversarySpec sample(Rng& rng) const;
+  /// One field-local change (victim swap, seed redraw, band nudge, schedule
+  /// rebalance, crash perturbation).
+  [[nodiscard]] AdversarySpec mutate(const AdversarySpec& s, Rng& rng) const;
+  /// Field-wise recombination of two parents of any kinds.
+  [[nodiscard]] AdversarySpec crossover(const AdversarySpec& a,
+                                        const AdversarySpec& b,
+                                        Rng& rng) const;
+  /// Clamps `s` into the space's invariants: victims sorted distinct in
+  /// [0, n), corruption budget <= t, kind-irrelevant fields canonicalised,
+  /// split budget sum <= |victims|, crash rounds in [1, rounds].
+  void repair(AdversarySpec& s) const;
+};
+
+}  // namespace treeaa::harness

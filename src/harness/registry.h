@@ -13,6 +13,15 @@
 // draw order is part of each tool's determinism contract) from *how the
 // adversary object is built* (make_adversary), so the sweep engine and the
 // CLI construct byte-identical adversaries without duplicating the switch.
+// AdversaryPlan is the closed, named-strategy subset of the general surface:
+// harness/adversary_spec.h generalises it into the serializable, searchable
+// AdversarySpec (JSON wire form, parameter-space sampling and mutation), and
+// make_adversary(AdversaryPlan) routes through that spec, so the five named
+// kinds are fixed points of the spec space — not a parallel code path.
+//
+// validate()/validate_axes() are the one shared precondition checker: every
+// front end (CLI, sweep expansion, serve admission) maps the typed SpecError
+// codes to its own wire strings instead of re-implementing the checks.
 #pragma once
 
 #include <memory>
@@ -80,12 +89,24 @@ enum class AdversaryKind { kNone, kSilent, kFuzz, kSplit, kSplit1 };
 /// Does this adversary make sense against this protocol?
 [[nodiscard]] bool adversary_applies(ProtocolKind p, AdversaryKind a);
 
+/// The one default seed for every harness-level RNG knob. Contract: a
+/// caller that wants reproducible randomness either passes a seed through
+/// explicitly (the tools' --seed flag, a sweep spec's "seed") or gets this
+/// value; no harness field silently defaults to a *different* seed.
+/// Historically AsyncOptions::seed defaulted to 1 while
+/// AdversaryPlan::fuzz_seed defaulted to 0 — an inconsistency with no
+/// behavioural weight (every caller that builds a fuzz adversary draws and
+/// assigns fuzz_seed itself; tests/harness/registry_test.cpp pins the draw
+/// order), now unified on 1.
+inline constexpr std::uint64_t kDefaultSeed = 1;
+
 /// Scheduling knobs of the asynchronous model, folded into one struct
 /// (previously three positional parameters of run_async_tree_aa).
 struct AsyncOptions {
   std::vector<PartyId> corrupt;  // silent-from-start parties
   async::SchedulerKind scheduler = async::SchedulerKind::kRandom;
-  std::uint64_t seed = 1;
+  /// Seeds the async scheduler's delivery order. See kDefaultSeed.
+  std::uint64_t seed = kDefaultSeed;
 };
 
 /// How to build an adversary, minus the randomness: the caller draws
@@ -95,7 +116,10 @@ struct AsyncOptions {
 struct AdversaryPlan {
   AdversaryKind kind = AdversaryKind::kNone;
   std::vector<PartyId> victims;
-  std::uint64_t fuzz_seed = 0;
+  /// Seeds the fuzz adversary's payload stream. Callers that draw their own
+  /// randomness overwrite this; the default only matters for hand-built
+  /// plans. See kDefaultSeed.
+  std::uint64_t fuzz_seed = kDefaultSeed;
   std::size_t fuzz_min = 16;
   std::size_t fuzz_max = 48;
   /// The inner RealAA configuration the split attack targets (ignored by
@@ -171,6 +195,45 @@ struct RunOutcome {
   [[nodiscard]] std::vector<VertexId> honest_vertex_outputs() const;
   [[nodiscard]] std::vector<double> honest_real_outputs() const;
 };
+
+/// Typed precondition failures shared by every front end. The codes are the
+/// contract; the detail string is a human-readable default that tools may
+/// replace with their own wording (serve keeps its exact wire strings by
+/// mapping codes).
+enum class SpecError {
+  kFaultBound,            // n == 0 or n <= 3t
+  kMissingTree,           // vertex protocol without a tree
+  kMissingIndex,          // graph protocol without a block index
+  kInputCountMismatch,    // input vector size != n
+  kInputOutOfRange,       // a vertex input outside the tree/graph
+  kRealParams,            // eps not finite/positive or known_range < 0
+  kCorruptBound,          // async corrupt list larger than t
+  kAdversaryInapplicable, // named adversary does not apply to the protocol
+};
+
+[[nodiscard]] const char* spec_error_name(SpecError e);
+
+/// One validation failure: the typed code plus a ready-to-print reason.
+struct SpecIssue {
+  SpecError error;
+  std::string detail;
+};
+
+/// Axis-level validation, usable before trees/inputs are materialised (sweep
+/// expansion, serve admission): n/t fault bound and adversary applicability.
+/// nullopt = valid.
+[[nodiscard]] std::optional<SpecIssue> validate_axes(
+    ProtocolKind protocol, std::size_t n, std::size_t t,
+    std::optional<AdversaryKind> adversary = std::nullopt);
+
+/// Full-spec validation: everything validate_axes checks plus topology
+/// presence, input counts/ranges and real-protocol parameters. Returns every
+/// failure found (empty = run_protocol's preconditions hold). The optional
+/// adversary kind is checked for applicability — RunSpec itself only carries
+/// the built adversary object, whose kind is erased.
+[[nodiscard]] std::vector<SpecIssue> validate(
+    const RunSpec& spec,
+    std::optional<AdversaryKind> adversary = std::nullopt);
 
 /// Runs `spec` through the registry's dispatch table.
 [[nodiscard]] RunOutcome run_protocol(RunSpec spec);

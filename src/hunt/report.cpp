@@ -1,0 +1,677 @@
+#include "hunt/report.h"
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+
+#include "common/json_value.h"
+#include "obs/json.h"
+
+namespace treeaa::hunt {
+
+namespace {
+
+using harness::AdversaryKind;
+
+// --- writers ---------------------------------------------------------------
+
+void write_scenario(obs::JsonWriter& w, const Scenario& s) {
+  w.begin_object();
+  w.key("name");
+  w.value(s.name);
+  w.key("protocol");
+  w.value(harness::protocol_name(s.protocol));
+  w.key("n");
+  w.value(static_cast<std::uint64_t>(s.n));
+  w.key("t");
+  w.value(static_cast<std::uint64_t>(s.t));
+  if (s.tree.has_value()) {
+    w.key("tree");
+    w.begin_object();
+    w.key("family");
+    w.value(s.tree->family);
+    w.key("size");
+    w.value(static_cast<std::uint64_t>(s.tree->size));
+    w.key("seed");
+    w.value(static_cast<std::uint64_t>(s.tree->seed));
+    w.end_object();
+  } else {
+    w.key("eps");
+    w.value(s.eps);
+    w.key("range");
+    w.value(s.known_range);
+  }
+  w.key("inputs");
+  w.value(s.random_inputs ? "random" : "spread");
+  if (s.random_inputs) {
+    w.key("input_seed");
+    w.value(static_cast<std::uint64_t>(s.input_seed));
+  }
+  w.key("update");
+  w.value(s.update == realaa::UpdateRule::kTrimmedMidpoint ? "trimmed_midpoint"
+                                                           : "trimmed_mean");
+  w.key("engine");
+  w.value(s.engine == core::RealEngineKind::kClassicHalving ? "classic"
+                                                            : "bdh");
+  w.key("iteration_mode");
+  w.value(s.mode == realaa::IterationMode::kTight ? "tight" : "paper");
+  w.end_object();
+}
+
+void write_outcome(obs::JsonWriter& w, const Evaluation& e, double score) {
+  w.begin_object();
+  w.key("rounds");
+  w.value(static_cast<std::uint64_t>(e.rounds));
+  w.key("rounds_to_eps");
+  w.value(static_cast<std::uint64_t>(e.rounds_to_eps));
+  w.key("final_spread");
+  w.value(e.final_spread);
+  w.key("validity");
+  w.value(e.validity);
+  w.key("agreement");
+  w.value(e.agreement);
+  w.key("ledger_margin");
+  w.value(e.ledger_margin);
+  w.key("ledger_violations");
+  w.value(static_cast<std::uint64_t>(e.ledger_violations));
+  w.key("score");
+  w.value(score);
+  w.end_object();
+}
+
+// --- readers ---------------------------------------------------------------
+
+bool set_error(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+bool known_keys(const JsonValue& v, std::initializer_list<const char*> keys,
+                const std::string& where, std::string* error) {
+  for (const auto& [key, value] : v.members()) {
+    bool known = false;
+    for (const char* k : keys) {
+      if (key == k) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return set_error(error, where + ": unknown key '" + key + "'");
+    }
+  }
+  return true;
+}
+
+bool get_uint(const JsonValue& v, const std::string& where,
+              std::uint64_t* out, std::string* error) {
+  if (!v.is_number() || v.as_number() < 0 ||
+      v.as_number() != std::floor(v.as_number()) ||
+      v.as_number() > 9.007199254740992e15) {
+    return set_error(error, where + " must be a non-negative integer");
+  }
+  *out = static_cast<std::uint64_t>(v.as_number());
+  return true;
+}
+
+bool parse_scenario(const JsonValue& v, Scenario* out, std::string* error) {
+  if (!v.is_object()) return set_error(error, "scenario must be an object");
+  if (!known_keys(v,
+                  {"name", "protocol", "n", "t", "tree", "eps", "range",
+                   "inputs", "input_seed", "update", "engine",
+                   "iteration_mode"},
+                  "scenario", error)) {
+    return false;
+  }
+  Scenario s;
+  if (const JsonValue* name = v.find("name")) {
+    if (!name->is_string()) {
+      return set_error(error, "scenario.name must be a string");
+    }
+    s.name = name->as_string();
+  }
+  const JsonValue* protocol = v.find("protocol");
+  if (protocol == nullptr || !protocol->is_string()) {
+    return set_error(error, "scenario.protocol is required (a string)");
+  }
+  const auto kind = harness::protocol_from_name(protocol->as_string());
+  if (!kind.has_value()) {
+    return set_error(error, "scenario: unknown protocol '" +
+                                protocol->as_string() + "'");
+  }
+  s.protocol = *kind;
+
+  std::uint64_t u = 0;
+  const JsonValue* n = v.find("n");
+  if (n == nullptr || !get_uint(*n, "scenario.n", &u, error)) {
+    return n == nullptr ? set_error(error, "scenario.n is required") : false;
+  }
+  s.n = static_cast<std::size_t>(u);
+  const JsonValue* t = v.find("t");
+  if (t == nullptr || !get_uint(*t, "scenario.t", &u, error)) {
+    return t == nullptr ? set_error(error, "scenario.t is required") : false;
+  }
+  s.t = static_cast<std::size_t>(u);
+
+  if (const JsonValue* tree = v.find("tree")) {
+    if (!tree->is_object() ||
+        !known_keys(*tree, {"family", "size", "seed"}, "scenario.tree",
+                    error)) {
+      if (!tree->is_object()) {
+        return set_error(error, "scenario.tree must be an object");
+      }
+      return false;
+    }
+    TreeSpec ts;
+    const JsonValue* family = tree->find("family");
+    if (family == nullptr || !family->is_string()) {
+      return set_error(error,
+                       "scenario.tree.family is required (a string)");
+    }
+    ts.family = family->as_string();
+    const JsonValue* size = tree->find("size");
+    if (size == nullptr ||
+        !get_uint(*size, "scenario.tree.size", &u, error)) {
+      return size == nullptr
+                 ? set_error(error, "scenario.tree.size is required")
+                 : false;
+    }
+    ts.size = static_cast<std::size_t>(u);
+    if (const JsonValue* seed = tree->find("seed")) {
+      if (!get_uint(*seed, "scenario.tree.seed", &u, error)) return false;
+      ts.seed = u;
+    }
+    s.tree = ts;
+  }
+  if (const JsonValue* eps = v.find("eps")) {
+    if (!eps->is_number()) {
+      return set_error(error, "scenario.eps must be a number");
+    }
+    s.eps = eps->as_number();
+  }
+  if (const JsonValue* range = v.find("range")) {
+    if (!range->is_number()) {
+      return set_error(error, "scenario.range must be a number");
+    }
+    s.known_range = range->as_number();
+  }
+  if (const JsonValue* inputs = v.find("inputs")) {
+    if (!inputs->is_string() || (inputs->as_string() != "spread" &&
+                                 inputs->as_string() != "random")) {
+      return set_error(error,
+                       "scenario.inputs must be 'spread' or 'random'");
+    }
+    s.random_inputs = inputs->as_string() == "random";
+  }
+  if (const JsonValue* seed = v.find("input_seed")) {
+    if (!get_uint(*seed, "scenario.input_seed", &u, error)) return false;
+    s.input_seed = u;
+  }
+  if (const JsonValue* update = v.find("update")) {
+    if (update->is_string() && update->as_string() == "trimmed_mean") {
+      s.update = realaa::UpdateRule::kTrimmedMean;
+    } else if (update->is_string() &&
+               update->as_string() == "trimmed_midpoint") {
+      s.update = realaa::UpdateRule::kTrimmedMidpoint;
+    } else {
+      return set_error(error,
+                       "scenario.update must be 'trimmed_mean' or "
+                       "'trimmed_midpoint'");
+    }
+  }
+  if (const JsonValue* engine = v.find("engine")) {
+    if (engine->is_string() && engine->as_string() == "bdh") {
+      s.engine = core::RealEngineKind::kGradecastBdh;
+    } else if (engine->is_string() && engine->as_string() == "classic") {
+      s.engine = core::RealEngineKind::kClassicHalving;
+    } else {
+      return set_error(error, "scenario.engine must be 'bdh' or 'classic'");
+    }
+  }
+  if (const JsonValue* mode = v.find("iteration_mode")) {
+    if (mode->is_string() && mode->as_string() == "paper") {
+      s.mode = realaa::IterationMode::kPaperSufficient;
+    } else if (mode->is_string() && mode->as_string() == "tight") {
+      s.mode = realaa::IterationMode::kTight;
+    } else {
+      return set_error(error,
+                       "scenario.iteration_mode must be 'paper' or 'tight'");
+    }
+  }
+  *out = std::move(s);
+  return true;
+}
+
+bool parse_outcome(const JsonValue& v, Evaluation* out, double* score,
+                   std::string* error) {
+  if (!v.is_object()) return set_error(error, "outcome must be an object");
+  if (!known_keys(v,
+                  {"rounds", "rounds_to_eps", "final_spread", "validity",
+                   "agreement", "ledger_margin", "ledger_violations",
+                   "score"},
+                  "outcome", error)) {
+    return false;
+  }
+  Evaluation e;
+  e.ok = true;
+  std::uint64_t u = 0;
+  const JsonValue* rounds = v.find("rounds");
+  if (rounds == nullptr || !get_uint(*rounds, "outcome.rounds", &u, error)) {
+    return rounds == nullptr
+               ? set_error(error, "outcome.rounds is required")
+               : false;
+  }
+  e.rounds = static_cast<Round>(u);
+  const JsonValue* rte = v.find("rounds_to_eps");
+  if (rte == nullptr ||
+      !get_uint(*rte, "outcome.rounds_to_eps", &u, error)) {
+    return rte == nullptr
+               ? set_error(error, "outcome.rounds_to_eps is required")
+               : false;
+  }
+  e.rounds_to_eps = static_cast<Round>(u);
+  const JsonValue* spread = v.find("final_spread");
+  if (spread == nullptr || !spread->is_number()) {
+    return set_error(error, "outcome.final_spread is required (a number)");
+  }
+  e.final_spread = spread->as_number();
+  const JsonValue* validity = v.find("validity");
+  if (validity == nullptr || !validity->is_bool()) {
+    return set_error(error, "outcome.validity is required (a bool)");
+  }
+  e.validity = validity->as_bool();
+  const JsonValue* agreement = v.find("agreement");
+  if (agreement == nullptr || !agreement->is_bool()) {
+    return set_error(error, "outcome.agreement is required (a bool)");
+  }
+  e.agreement = agreement->as_bool();
+  const JsonValue* margin = v.find("ledger_margin");
+  if (margin == nullptr || !margin->is_number()) {
+    return set_error(error, "outcome.ledger_margin is required (a number)");
+  }
+  e.ledger_margin = margin->as_number();
+  const JsonValue* violations = v.find("ledger_violations");
+  if (violations == nullptr ||
+      !get_uint(*violations, "outcome.ledger_violations", &u, error)) {
+    return violations == nullptr
+               ? set_error(error, "outcome.ledger_violations is required")
+               : false;
+  }
+  e.ledger_violations = static_cast<std::size_t>(u);
+  const JsonValue* sc = v.find("score");
+  if (sc == nullptr || !sc->is_number()) {
+    return set_error(error, "outcome.score is required (a number)");
+  }
+  *score = sc->as_number();
+  *out = std::move(e);
+  return true;
+}
+
+}  // namespace
+
+std::string hunt_report_json(const MaterializedScenario& scenario,
+                             const HuntOptions& options,
+                             const HuntResult& result) {
+  std::string out;
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.key("schema");
+  w.value(kHuntReportSchema);
+  w.key("scenario");
+  write_scenario(w, scenario.scenario);
+  w.key("derived");
+  w.begin_object();
+  w.key("round_budget");
+  w.value(static_cast<std::uint64_t>(scenario.round_budget));
+  w.key("d0");
+  w.value(scenario.d0);
+  w.key("target_eps");
+  w.value(scenario.target_eps);
+  w.key("iterations");
+  w.value(static_cast<std::uint64_t>(scenario.iterations));
+  w.end_object();
+  w.key("search");
+  w.begin_object();
+  w.key("objective");
+  w.value(objective_name(options.objective));
+  w.key("seed");
+  w.value(static_cast<std::uint64_t>(options.seed));
+  w.key("population");
+  w.value(static_cast<std::uint64_t>(options.population));
+  w.key("generations");
+  w.value(static_cast<std::uint64_t>(options.generations));
+  w.key("elites");
+  w.value(static_cast<std::uint64_t>(options.elites));
+  w.key("corpus_max");
+  w.value(static_cast<std::uint64_t>(options.corpus_max));
+  w.key("allow_crashes");
+  w.value(options.allow_crashes);
+  w.end_object();
+  w.key("evaluations");
+  w.value(static_cast<std::uint64_t>(result.evaluations));
+  w.key("duplicates");
+  w.value(static_cast<std::uint64_t>(result.duplicates));
+  w.key("baselines");
+  w.begin_array();
+  for (const auto& [name, score] : result.baselines) {
+    w.begin_object();
+    w.key("adversary");
+    w.value(name);
+    w.key("score");
+    w.value(score);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("generations_log");
+  w.begin_array();
+  for (const GenerationStats& g : result.generations) {
+    w.begin_object();
+    w.key("generation");
+    w.value(static_cast<std::uint64_t>(g.generation));
+    w.key("evaluated");
+    w.value(static_cast<std::uint64_t>(g.evaluated));
+    w.key("cached");
+    w.value(static_cast<std::uint64_t>(g.cached));
+    w.key("best_score");
+    w.value(g.best_score);
+    w.key("mean_score");
+    w.value(g.mean_score);
+    w.key("new_buckets");
+    w.value(static_cast<std::uint64_t>(g.new_buckets));
+    if (!g.best_json.empty()) {
+      w.key("best");
+      w.raw(g.best_json);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.key("coverage");
+  w.begin_array();
+  for (const auto& [bucket, count] : result.coverage) {
+    w.begin_object();
+    w.key("bucket");
+    w.value(bucket);
+    w.key("count");
+    w.value(static_cast<std::uint64_t>(count));
+    w.end_object();
+  }
+  w.end_array();
+  if (result.best.eval.ok) {
+    w.key("best");
+    w.begin_object();
+    w.key("adversary");
+    w.raw(result.best.spec_json);
+    w.key("generation");
+    w.value(static_cast<std::uint64_t>(result.best.generation));
+    w.key("outcome");
+    write_outcome(w, result.best.eval, result.best.score);
+    w.end_object();
+  }
+  w.key("corpus_size");
+  w.value(static_cast<std::uint64_t>(result.corpus.size()));
+  w.end_object();
+  out += "\n";
+  return out;
+}
+
+std::string corpus_line(const MaterializedScenario& scenario,
+                        Objective objective, const Candidate& candidate) {
+  std::string out;
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.key("schema");
+  w.value(kHuntCorpusSchema);
+  w.key("scenario");
+  write_scenario(w, scenario.scenario);
+  w.key("objective");
+  w.value(objective_name(objective));
+  if (!scenario.input_labels.empty()) {
+    w.key("input_labels");
+    w.begin_array();
+    for (const std::string& label : scenario.input_labels) w.value(label);
+    w.end_array();
+  }
+  w.key("adversary");
+  w.raw(candidate.spec_json);
+  w.key("outcome");
+  write_outcome(w, candidate.eval, candidate.score);
+  w.end_object();
+  return out;
+}
+
+std::string corpus_jsonl(const MaterializedScenario& scenario,
+                         const HuntOptions& options,
+                         const HuntResult& result) {
+  std::string out;
+  for (const Candidate& candidate : result.corpus) {
+    out += corpus_line(scenario, options.objective, candidate);
+    out += "\n";
+  }
+  return out;
+}
+
+std::optional<CorpusEntry> corpus_entry_from_json(std::string_view line,
+                                                  std::string* error) {
+  const auto doc = JsonValue::parse(line);
+  if (!doc.has_value() || !doc->is_object()) {
+    set_error(error, "corpus line: not a JSON object");
+    return std::nullopt;
+  }
+  if (!known_keys(*doc,
+                  {"schema", "scenario", "objective", "input_labels",
+                   "adversary", "outcome"},
+                  "corpus line", error)) {
+    return std::nullopt;
+  }
+  const JsonValue* schema = doc->find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kHuntCorpusSchema) {
+    set_error(error, std::string("corpus line: schema must be '") +
+                         kHuntCorpusSchema + "'");
+    return std::nullopt;
+  }
+  CorpusEntry entry;
+  const JsonValue* scenario = doc->find("scenario");
+  if (scenario == nullptr ||
+      !parse_scenario(*scenario, &entry.scenario, error)) {
+    if (scenario == nullptr) {
+      set_error(error, "corpus line: 'scenario' is required");
+    }
+    return std::nullopt;
+  }
+  const JsonValue* objective = doc->find("objective");
+  if (objective == nullptr || !objective->is_string()) {
+    set_error(error, "corpus line: 'objective' is required (a string)");
+    return std::nullopt;
+  }
+  const auto obj = objective_from_name(objective->as_string());
+  if (!obj.has_value()) {
+    set_error(error, "corpus line: unknown objective '" +
+                         objective->as_string() + "'");
+    return std::nullopt;
+  }
+  entry.objective = *obj;
+  if (const JsonValue* labels = doc->find("input_labels")) {
+    if (!labels->is_array()) {
+      set_error(error, "corpus line: 'input_labels' must be an array");
+      return std::nullopt;
+    }
+    for (const JsonValue& label : labels->items()) {
+      if (!label.is_string()) {
+        set_error(error, "corpus line: input labels must be strings");
+        return std::nullopt;
+      }
+      entry.input_labels.push_back(label.as_string());
+    }
+  }
+  const JsonValue* adversary = doc->find("adversary");
+  if (adversary == nullptr) {
+    set_error(error, "corpus line: 'adversary' is required");
+    return std::nullopt;
+  }
+  const auto spec = harness::adversary_spec_from_json(*adversary, error);
+  if (!spec.has_value()) return std::nullopt;
+  entry.spec = *spec;
+  const JsonValue* outcome = doc->find("outcome");
+  if (outcome == nullptr ||
+      !parse_outcome(*outcome, &entry.recorded, &entry.recorded_score,
+                     error)) {
+    if (outcome == nullptr) {
+      set_error(error, "corpus line: 'outcome' is required");
+    }
+    return std::nullopt;
+  }
+  return entry;
+}
+
+std::string replay_corpus_entry(const CorpusEntry& entry) {
+  MaterializedScenario m;
+  try {
+    m = materialize(entry.scenario);
+  } catch (const std::exception& e) {
+    return std::string("materialize: ") + e.what();
+  }
+  if (!entry.input_labels.empty() && entry.input_labels != m.input_labels) {
+    return "input labels do not match the re-materialized scenario";
+  }
+  const Evaluation e = evaluate_spec(m, entry.spec);
+  if (!e.ok) return "replay failed: " + e.error;
+
+  const auto mismatch = [](const char* field, const std::string& recorded,
+                           const std::string& replayed) {
+    return std::string(field) + ": recorded " + recorded + ", replayed " +
+           replayed;
+  };
+  if (e.rounds != entry.recorded.rounds) {
+    return mismatch("rounds", std::to_string(entry.recorded.rounds),
+                    std::to_string(e.rounds));
+  }
+  if (e.rounds_to_eps != entry.recorded.rounds_to_eps) {
+    return mismatch("rounds_to_eps",
+                    std::to_string(entry.recorded.rounds_to_eps),
+                    std::to_string(e.rounds_to_eps));
+  }
+  if (e.final_spread != entry.recorded.final_spread) {
+    return mismatch("final_spread",
+                    obs::json_number(entry.recorded.final_spread),
+                    obs::json_number(e.final_spread));
+  }
+  if (e.validity != entry.recorded.validity ||
+      e.agreement != entry.recorded.agreement) {
+    return "validity/agreement verdicts do not match the recorded outcome";
+  }
+  if (e.ledger_margin != entry.recorded.ledger_margin) {
+    return mismatch("ledger_margin",
+                    obs::json_number(entry.recorded.ledger_margin),
+                    obs::json_number(e.ledger_margin));
+  }
+  if (e.ledger_violations != entry.recorded.ledger_violations) {
+    return mismatch("ledger_violations",
+                    std::to_string(entry.recorded.ledger_violations),
+                    std::to_string(e.ledger_violations));
+  }
+  const double score = objective_score(e, entry.objective);
+  if (score != entry.recorded_score) {
+    return mismatch("score", obs::json_number(entry.recorded_score),
+                    obs::json_number(score));
+  }
+  return "";
+}
+
+bool load_hunt_spec(std::string_view text, Scenario* scenario,
+                    HuntOptions* options, std::string* error) {
+  const auto doc = JsonValue::parse(text);
+  if (!doc.has_value() || !doc->is_object()) {
+    return set_error(error, "hunt spec: not a JSON object");
+  }
+  if (!known_keys(*doc, {"scenario", "search"}, "hunt spec", error)) {
+    return false;
+  }
+  const JsonValue* sc = doc->find("scenario");
+  if (sc == nullptr) {
+    return set_error(error, "hunt spec: 'scenario' is required");
+  }
+  if (!parse_scenario(*sc, scenario, error)) return false;
+
+  const JsonValue* search = doc->find("search");
+  if (search == nullptr) return true;
+  if (!search->is_object()) {
+    return set_error(error, "hunt spec: 'search' must be an object");
+  }
+  if (!known_keys(*search,
+                  {"objective", "population", "generations", "elites",
+                   "corpus_max", "seed", "allow_crashes", "kinds"},
+                  "hunt spec: search", error)) {
+    return false;
+  }
+  std::uint64_t u = 0;
+  if (const JsonValue* objective = search->find("objective")) {
+    if (!objective->is_string()) {
+      return set_error(error, "hunt spec: search.objective must be a string");
+    }
+    const auto obj = objective_from_name(objective->as_string());
+    if (!obj.has_value()) {
+      return set_error(error, "hunt spec: unknown objective '" +
+                                  objective->as_string() + "'");
+    }
+    options->objective = *obj;
+  }
+  if (const JsonValue* population = search->find("population")) {
+    if (!get_uint(*population, "hunt spec: search.population", &u, error)) {
+      return false;
+    }
+    options->population = static_cast<std::size_t>(u);
+  }
+  if (const JsonValue* generations = search->find("generations")) {
+    if (!get_uint(*generations, "hunt spec: search.generations", &u,
+                  error)) {
+      return false;
+    }
+    options->generations = static_cast<std::size_t>(u);
+  }
+  if (const JsonValue* elites = search->find("elites")) {
+    if (!get_uint(*elites, "hunt spec: search.elites", &u, error)) {
+      return false;
+    }
+    options->elites = static_cast<std::size_t>(u);
+  }
+  if (const JsonValue* corpus_max = search->find("corpus_max")) {
+    if (!get_uint(*corpus_max, "hunt spec: search.corpus_max", &u, error)) {
+      return false;
+    }
+    options->corpus_max = static_cast<std::size_t>(u);
+  }
+  if (const JsonValue* seed = search->find("seed")) {
+    if (!get_uint(*seed, "hunt spec: search.seed", &u, error)) return false;
+    options->seed = u;
+  }
+  if (const JsonValue* allow_crashes = search->find("allow_crashes")) {
+    if (!allow_crashes->is_bool()) {
+      return set_error(error,
+                       "hunt spec: search.allow_crashes must be a bool");
+    }
+    options->allow_crashes = allow_crashes->as_bool();
+  }
+  if (const JsonValue* kinds = search->find("kinds")) {
+    if (!kinds->is_array()) {
+      return set_error(error, "hunt spec: search.kinds must be an array");
+    }
+    options->kinds.clear();
+    for (const JsonValue& kind : kinds->items()) {
+      if (!kind.is_string()) {
+        return set_error(error,
+                         "hunt spec: search.kinds entries must be strings");
+      }
+      const auto a = harness::adversary_from_name(kind.as_string());
+      if (!a.has_value()) {
+        return set_error(error, "hunt spec: unknown adversary '" +
+                                    kind.as_string() + "'");
+      }
+      options->kinds.push_back(*a);
+    }
+  }
+  return true;
+}
+
+}  // namespace treeaa::hunt

@@ -1,0 +1,75 @@
+// Hunt wire forms: the search report, the worst-case corpus, and replay.
+//
+//   treeaa.hunt_report/1   one JSON document per search — scenario echo,
+//                          search knobs, baselines, per-generation progress,
+//                          coverage counters, the best adversary found.
+//   treeaa.hunt_corpus/1   one JSONL line per kept candidate. A line is
+//                          self-contained: the scenario recipe (tree
+//                          family/size/seed as `treeaa_cli gen` takes them,
+//                          input labels as `treeaa_cli run --inputs` takes
+//                          them), the adversary spec wire form, and the
+//                          search-time outcome — so the exact run replays
+//                          through treeaa_cli, treeaa_sweep or
+//                          replay_corpus_entry() and must reproduce the
+//                          recorded outcome byte for byte.
+//
+// Everything here is deterministic: std::to_chars number formatting, fixed
+// key order, no wall-clock fields.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "hunt/search.h"
+
+namespace treeaa::hunt {
+
+inline constexpr const char* kHuntReportSchema = "treeaa.hunt_report/1";
+inline constexpr const char* kHuntCorpusSchema = "treeaa.hunt_corpus/1";
+
+/// The full search report (one pretty-stable JSON document, "\n"-terminated).
+[[nodiscard]] std::string hunt_report_json(const MaterializedScenario& scenario,
+                                           const HuntOptions& options,
+                                           const HuntResult& result);
+
+/// One corpus line (no trailing newline).
+[[nodiscard]] std::string corpus_line(const MaterializedScenario& scenario,
+                                      Objective objective,
+                                      const Candidate& candidate);
+
+/// The whole corpus, one line per kept candidate, "\n" after each.
+[[nodiscard]] std::string corpus_jsonl(const MaterializedScenario& scenario,
+                                       const HuntOptions& options,
+                                       const HuntResult& result);
+
+/// A parsed corpus line, ready to re-run.
+struct CorpusEntry {
+  Scenario scenario;
+  Objective objective = Objective::kRoundsToEps;
+  /// Vertex scenarios: the input labels recorded at search time (replay
+  /// checks them against the re-materialized scenario).
+  std::vector<std::string> input_labels;
+  harness::AdversarySpec spec;
+  /// The outcome recorded at search time (ok is always true on the wire).
+  Evaluation recorded;
+  double recorded_score = 0.0;
+};
+
+/// Parses one corpus line; on failure returns nullopt and puts a one-line
+/// reason into `error`.
+[[nodiscard]] std::optional<CorpusEntry> corpus_entry_from_json(
+    std::string_view line, std::string* error);
+
+/// Re-materializes the entry's scenario, re-runs its spec, and compares the
+/// outcome against the recorded one. Returns "" on an exact match, else a
+/// one-line mismatch description ("rounds_to_eps: recorded 7, replayed 8").
+[[nodiscard]] std::string replay_corpus_entry(const CorpusEntry& entry);
+
+/// Loads a hunt spec document: {"scenario": {...}, "search": {...}} ("search"
+/// optional). Returns false and fills `error` on any problem; unknown keys
+/// are errors.
+[[nodiscard]] bool load_hunt_spec(std::string_view text, Scenario* scenario,
+                                  HuntOptions* options, std::string* error);
+
+}  // namespace treeaa::hunt

@@ -1,0 +1,141 @@
+#include "hunt/scenario.h"
+
+#include <stdexcept>
+
+#include "baselines/iterated_real_aa.h"
+#include "baselines/iterated_tree_aa.h"
+#include "common/rng.h"
+#include "core/paths_finder.h"
+#include "core/tree_aa.h"
+#include "harness/runner.h"
+#include "trees/generators.h"
+
+namespace treeaa::hunt {
+
+namespace {
+
+using harness::ProtocolKind;
+
+LabeledTree build_tree(const TreeSpec& spec) {
+  // Exactly `treeaa_cli gen <family> <n> [seed]`: one fresh Rng(seed), the
+  // named family table, nothing else — the corpus replay depends on it.
+  Rng rng(spec.seed);
+  for (const TreeFamily f : all_tree_families()) {
+    if (spec.family == tree_family_name(f)) {
+      return make_family_tree(f, spec.size, rng);
+    }
+  }
+  throw std::invalid_argument("unknown tree family '" + spec.family + "'");
+}
+
+}  // namespace
+
+bool is_hunt_protocol(harness::ProtocolKind p) {
+  switch (p) {
+    case ProtocolKind::kTreeAA:
+    case ProtocolKind::kIteratedTreeAA:
+    case ProtocolKind::kRealAA:
+    case ProtocolKind::kIteratedRealAA:
+      return true;
+    default:
+      return false;
+  }
+}
+
+MaterializedScenario materialize(const Scenario& s) {
+  if (!is_hunt_protocol(s.protocol)) {
+    throw std::invalid_argument(
+        std::string("protocol '") + harness::protocol_name(s.protocol) +
+        "' is not huntable (the search needs a synchronous round budget "
+        "and per-round diameter probes)");
+  }
+  if (const auto issue = harness::validate_axes(s.protocol, s.n, s.t);
+      issue.has_value()) {
+    throw std::invalid_argument(issue->detail);
+  }
+
+  MaterializedScenario m;
+  m.scenario = s;
+
+  if (harness::is_vertex_protocol(s.protocol)) {
+    if (!s.tree.has_value()) {
+      throw std::invalid_argument("vertex protocols need a tree spec");
+    }
+    m.tree = build_tree(*s.tree);
+    if (s.random_inputs) {
+      Rng input_rng(s.input_seed);
+      m.vertex_inputs = harness::random_vertex_inputs(*m.tree, s.n, input_rng);
+    } else {
+      m.vertex_inputs = harness::spread_vertex_inputs(*m.tree, s.n);
+    }
+    for (const VertexId v : m.vertex_inputs) {
+      m.input_labels.push_back(m.tree->label(v));
+    }
+    m.d0 = static_cast<double>(m.tree->diameter());
+    m.target_eps = 1.0;
+    if (s.protocol == ProtocolKind::kTreeAA) {
+      core::TreeAAOptions opts;
+      opts.update = s.update;
+      opts.mode = s.mode;
+      opts.engine = s.engine;
+      m.round_budget = static_cast<Round>(
+          core::tree_aa_rounds(*m.tree, s.n, s.t, opts));
+      // The split attack targets the inner RealAA of PathsFinder (phase 1),
+      // same as the sweep engine.
+      core::PathsFinderOptions pf;
+      pf.update = s.update;
+      pf.mode = s.mode;
+      pf.engine = s.engine;
+      m.split_config = core::paths_finder_config(*m.tree, s.n, s.t, pf);
+      m.iterations = m.split_config.iterations();
+    } else {
+      const baselines::IteratedTreeConfig cfg{s.n, s.t};
+      m.round_budget = static_cast<Round>(cfg.rounds(*m.tree));
+    }
+  } else {
+    realaa::Config cfg;
+    cfg.n = s.n;
+    cfg.t = s.t;
+    cfg.eps = s.eps;
+    cfg.known_range = s.known_range;
+    cfg.update = s.update;
+    cfg.mode = s.mode;
+    if (s.random_inputs) {
+      Rng input_rng(s.input_seed);
+      m.real_inputs =
+          harness::random_real_inputs(s.n, 0.0, s.known_range, input_rng);
+    } else {
+      m.real_inputs = harness::spread_real_inputs(s.n, 0.0, s.known_range);
+    }
+    m.d0 = s.known_range;
+    m.target_eps = s.eps;
+    if (s.protocol == ProtocolKind::kRealAA) {
+      m.round_budget = static_cast<Round>(cfg.rounds());
+      m.split_config = cfg;
+      m.iterations = cfg.iterations();
+    } else {
+      const baselines::IteratedRealConfig slow{s.n, s.t, s.eps,
+                                               s.known_range};
+      m.round_budget = static_cast<Round>(slow.rounds());
+    }
+  }
+
+  // One pass through the shared precondition checker so a bad scenario
+  // fails here, with the registry's wording, instead of mid-search.
+  harness::RunSpec probe;
+  probe.protocol = s.protocol;
+  probe.n = s.n;
+  probe.t = s.t;
+  probe.tree = m.tree.has_value() ? &*m.tree : nullptr;
+  probe.vertex_inputs = m.vertex_inputs;
+  probe.real_inputs = m.real_inputs;
+  probe.eps = s.eps;
+  probe.known_range = s.known_range;
+  const auto issues = harness::validate(probe);
+  if (!issues.empty()) {
+    throw std::invalid_argument(issues.front().detail);
+  }
+  return m;
+}
+
+}  // namespace treeaa::hunt

@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "exp/ledger.h"
 #include "graphs/check.h"
+#include "harness/adversary_spec.h"
 #include "harness/runner.h"
 #include "obs/report.h"
 #include "sim/strategies.h"
@@ -227,8 +228,20 @@ std::optional<RejectCode> validate_request(const Catalog& catalog,
     set_detail("n out of [1, kMaxParties]");
     return RejectCode::kBadRequest;
   }
-  if (req.n <= 3 * req.t) {
-    set_detail("requires n > 3t");
+  // Shared preconditions go through the harness validator; the typed codes
+  // map onto serve's historical wire strings.
+  if (const auto issue = harness::validate_axes(
+          *protocol, static_cast<std::size_t>(req.n),
+          static_cast<std::size_t>(req.t), *adversary);
+      issue.has_value()) {
+    switch (issue->error) {
+      case harness::SpecError::kFaultBound:
+        set_detail("requires n > 3t");
+        break;
+      default:
+        set_detail("adversary must be none, silent or fuzz");
+        break;
+    }
     return RejectCode::kBadRequest;
   }
   if (req.corrupt > req.t) {
@@ -252,10 +265,20 @@ std::optional<RejectCode> validate_request(const Catalog& catalog,
       return RejectCode::kBadRequest;
     }
   } else {
-    if (!(req.eps > 0.0) || !std::isfinite(req.eps) ||
-        !(req.known_range >= 0.0) || !std::isfinite(req.known_range)) {
-      set_detail("real protocols need finite eps > 0 and known_range >= 0");
-      return RejectCode::kBadRequest;
+    // Real-parameter admission reuses the full-spec validator on a skeleton
+    // spec (inputs sized to n so only the parameter check can fire).
+    harness::RunSpec skeleton;
+    skeleton.protocol = *protocol;
+    skeleton.n = static_cast<std::size_t>(req.n);
+    skeleton.t = static_cast<std::size_t>(req.t);
+    skeleton.eps = req.eps;
+    skeleton.known_range = req.known_range;
+    skeleton.real_inputs.resize(skeleton.n);
+    for (const auto& issue : harness::validate(skeleton)) {
+      if (issue.error == harness::SpecError::kRealParams) {
+        set_detail("real protocols need finite eps > 0 and known_range >= 0");
+        return RejectCode::kBadRequest;
+      }
     }
   }
   return std::nullopt;
@@ -329,13 +352,13 @@ InstanceResult run_instance(const Catalog& catalog, const OpenRequest& req,
       spec.async_opts.corrupt = victims;
       spec.async_opts.seed = req.seed;
     } else if (!victims.empty()) {
-      harness::AdversaryPlan plan;
-      plan.kind = adversary;
-      plan.victims = std::move(victims);
+      harness::AdversarySpec adv_spec;
+      adv_spec.kind = adversary;
+      adv_spec.victims = std::move(victims);
       if (adversary == harness::AdversaryKind::kFuzz) {
-        plan.fuzz_seed = adv_rng.next();
+        adv_spec.fuzz_seed = adv_rng.next();
       }
-      spec.adversary = harness::make_adversary(plan);
+      spec.adversary = harness::make_adversary(adv_spec);
     }
 
     obs::RunReport run_report;

@@ -5,11 +5,18 @@
 //   treeaa_cli dot <file|-> [label...]         Graphviz export (highlights)
 //   treeaa_cli bounds <D> <n> <t>              round bounds for a diameter
 //   treeaa_cli run <file|-> --t <t> --inputs <l1,l2,...>
-//              [--adversary none|silent|fuzz|split] [--engine bdh|classic]
+//              [--adversary none|silent|fuzz|split]
+//              [--adversary-spec <file|->] [--engine bdh|classic]
 //              [--seed <s>] [--threads <k>] [--quiet]
 //              [--metrics <file|->] [--report json]
 //              [--trace <file|->] [--trace-format text|jsonl]
 //              [--spans <file|->] [--timings]
+//
+// `--adversary-spec` takes a `treeaa.adversary_spec/1` JSON file (docs/
+// API.md) and runs exactly that point in adversary space — no RNG draw, so
+// a hunt corpus entry replays byte-for-byte. The shared flags after
+// --engine are parsed by tools/common_flags.h, the one parser every tool
+// in this directory folds into its argument loop.
 //   treeaa_cli gen-graph <family> <n> [seed]   generate a block graph
 //   treeaa_cli info-graph <file|->             block decomposition stats
 //   treeaa_cli dot-graph <file|->              Graphviz export (blocks)
@@ -37,6 +44,7 @@
 // summary are suppressed entirely so stdout stays machine-parseable.
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -44,7 +52,9 @@
 
 #include "bounds/fekete.h"
 #include "common/table.h"
+#include "common_flags.h"
 #include "core/api.h"
+#include "harness/adversary_spec.h"
 #include "graphs/block_aa.h"
 #include "graphs/block_index.h"
 #include "graphs/check.h"
@@ -66,6 +76,22 @@ namespace {
 
 using namespace treeaa;
 
+// The shared obs/run flag vocabularies (tools/common_flags.h): the full set
+// for the synchronous run commands, the report-only subset for run-async.
+const tools::CommonFlagSet kRunFlags = {.seed = true,
+                                        .threads = true,
+                                        .metrics = true,
+                                        .report_mode = true,
+                                        .trace = true,
+                                        .spans = true,
+                                        .timings = true,
+                                        .quiet = true};
+const tools::CommonFlagSet kRunAsyncFlags = {.seed = true,
+                                             .metrics = true,
+                                             .report_mode = true,
+                                             .timings = true,
+                                             .quiet = true};
+
 [[noreturn]] void usage(const std::string& error = "") {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
   std::cerr <<
@@ -76,25 +102,20 @@ using namespace treeaa;
       "  treeaa_cli dot <file|-> [label...]\n"
       "  treeaa_cli bounds <D> <n> <t>\n"
       "  treeaa_cli run <file|-> --t <t> --inputs <l1,l2,...>\n"
-      "             [--adversary none|silent|fuzz|split] [--engine "
-      "bdh|classic] [--seed <s>] [--threads <k>] [--quiet]\n"
-      "             [--metrics <file|->] [--report json] "
-      "[--trace <file|->] [--trace-format text|jsonl]\n"
-      "             [--spans <file|->] [--timings]\n"
+      "             [--adversary none|silent|fuzz|split] "
+      "[--adversary-spec <file|->] [--engine bdh|classic]\n"
+      "             " << tools::common_flags_usage(kRunFlags) << "\n"
       "  treeaa_cli run-async <file|-> --t <t> --inputs <l1,l2,...>\n"
-      "             [--scheduler fifo|lifo|random] [--silent <k>] "
-      "[--seed <s>] [--quiet]\n"
-      "             [--metrics <file|->] [--report json] [--timings]\n"
+      "             [--scheduler fifo|lifo|random] [--silent <k>]\n"
+      "             " << tools::common_flags_usage(kRunAsyncFlags) << "\n"
       "  treeaa_cli gen-graph <tree|clique_chain|block_random|cactus> <n> "
       "[seed]\n"
       "  treeaa_cli info-graph <file|->\n"
       "  treeaa_cli dot-graph <file|->\n"
       "  treeaa_cli run-block <file|-> --t <t> --inputs <l1,l2,...>\n"
-      "             [--adversary none|silent|fuzz|split] [--engine "
-      "bdh|classic] [--seed <s>] [--threads <k>] [--quiet]\n"
-      "             [--metrics <file|->] [--report json] "
-      "[--trace <file|->] [--trace-format text|jsonl]\n"
-      "             [--spans <file|->] [--timings]\n";
+      "             [--adversary none|silent|fuzz|split] "
+      "[--adversary-spec <file|->] [--engine bdh|classic]\n"
+      "             " << tools::common_flags_usage(kRunFlags) << "\n";
   std::exit(2);
 }
 
@@ -210,16 +231,11 @@ int cmd_run(const std::vector<std::string>& args) {
   std::size_t t = 0;
   std::vector<std::string> input_labels;
   std::string adversary = "none";
+  bool adversary_set = false;
+  std::string adversary_spec_path;
   std::string engine = "bdh";
-  std::uint64_t seed = 1;
-  std::size_t threads = 1;
-  bool quiet = false;
-  std::string metrics_path;
-  std::string report_mode;
-  std::string trace_path;
-  std::string trace_format = "text";
-  std::string spans_path;
-  bool timings = false;
+  tools::CommonFlags flags;
+  const tools::UsageFn fail = [](const std::string& m) { usage(m); };
   for (std::size_t i = 1; i < args.size(); ++i) {
     auto next = [&]() -> const std::string& {
       if (i + 1 >= args.size()) usage("missing value after " + args[i]);
@@ -231,38 +247,27 @@ int cmd_run(const std::vector<std::string>& args) {
       input_labels = split_csv(next());
     } else if (args[i] == "--adversary") {
       adversary = next();
+      adversary_set = true;
+    } else if (args[i] == "--adversary-spec") {
+      adversary_spec_path = next();
     } else if (args[i] == "--engine") {
       engine = next();
-    } else if (args[i] == "--seed") {
-      seed = std::stoull(next());
-    } else if (args[i] == "--threads") {
-      threads = std::stoul(next());
-    } else if (args[i] == "--quiet") {
-      quiet = true;
-    } else if (args[i] == "--metrics") {
-      metrics_path = next();
-    } else if (args[i] == "--report") {
-      report_mode = next();
-      if (report_mode != "json") usage("--report only supports 'json'");
-    } else if (args[i] == "--trace") {
-      trace_path = next();
-    } else if (args[i] == "--trace-format") {
-      trace_format = next();
-      if (trace_format != "text" && trace_format != "jsonl") {
-        usage("--trace-format must be text or jsonl");
-      }
-    } else if (args[i] == "--spans") {
-      spans_path = next();
-    } else if (args[i] == "--timings") {
-      timings = true;
+    } else if (tools::parse_common_flag(args, i, kRunFlags, flags, fail)) {
+      // consumed
     } else {
       usage("unknown option '" + args[i] + "'");
     }
   }
   if (input_labels.empty()) usage("--inputs is required");
-  metrics_path = obs::resolve_metrics_path(std::move(metrics_path));
+  flags.metrics_path = obs::resolve_metrics_path(std::move(flags.metrics_path));
   const std::size_t n = input_labels.size();
-  if (n <= 3 * t) usage("need n > 3t");
+  // The fault bound via the registry's typed validator; the CLI keeps its
+  // historical one-liner for the common case.
+  if (const auto issue =
+          harness::validate_axes(harness::ProtocolKind::kTreeAA, n, t)) {
+    usage(issue->error == harness::SpecError::kFaultBound ? "need n > 3t"
+                                                          : issue->detail);
+  }
 
   std::vector<VertexId> inputs;
   for (const auto& label : input_labels) {
@@ -278,40 +283,67 @@ int cmd_run(const std::vector<std::string>& args) {
     usage("unknown engine '" + engine + "'");
   }
 
-  // Resolve the adversary through the registry. split1 parses but does not
-  // apply to TreeAA, so it stays "unknown" here exactly as before.
-  const auto adv_kind = harness::adversary_from_name(adversary);
-  if (!adv_kind.has_value() ||
-      !harness::adversary_applies(harness::ProtocolKind::kTreeAA, *adv_kind)) {
-    usage("unknown adversary '" + adversary + "'");
+  std::unique_ptr<sim::Adversary> adv;
+  std::string adversary_label = adversary;
+  if (!adversary_spec_path.empty()) {
+    // Explicit point in adversary space (docs/API.md): the spec carries the
+    // victims and parameters verbatim, so the run is a pure function of the
+    // file — no RNG draw. This is how hunt corpus entries replay.
+    if (adversary_set) {
+      usage("--adversary-spec cannot be combined with --adversary");
+    }
+    std::string error;
+    auto spec = harness::adversary_spec_from_json(
+        read_all(adversary_spec_path), &error);
+    if (!spec.has_value()) usage("--adversary-spec: " + error);
+    if (const auto issue = harness::validate_axes(
+            harness::ProtocolKind::kTreeAA, n, t, spec->kind)) {
+      usage(issue->detail);
+    }
+    core::PathsFinderOptions pf;
+    pf.engine = opts.engine;
+    spec->split_config = core::paths_finder_config(tree, n, t, pf);
+    adversary_label = harness::adversary_name(spec->kind);
+    adv = harness::make_adversary(*spec);
+  } else {
+    // Resolve the adversary through the registry. split1 parses but does not
+    // apply to TreeAA, so it stays "unknown" here exactly as before.
+    const auto adv_kind = harness::adversary_from_name(adversary);
+    if (!adv_kind.has_value() ||
+        !harness::adversary_applies(harness::ProtocolKind::kTreeAA,
+                                    *adv_kind)) {
+      usage("unknown adversary '" + adversary + "'");
+    }
+    Rng rng(flags.seed);
+    harness::AdversarySpec spec;
+    spec.kind = *adv_kind;
+    // Historical draw order: victims come off the seed stream unconditionally
+    // (even for --adversary none), and fuzz payloads reuse the CLI seed.
+    spec.victims = sim::random_parties(n, t, rng);
+    spec.fuzz_seed = flags.seed;
+    if (spec.kind == harness::AdversaryKind::kSplit) {
+      spec.split_config = core::paths_finder_config(tree, n, t, {});
+    }
+    adv = harness::make_adversary(spec);
   }
-  Rng rng(seed);
-  harness::AdversaryPlan plan;
-  plan.kind = *adv_kind;
-  // Historical draw order: victims come off the seed stream unconditionally
-  // (even for --adversary none), and fuzz payloads reuse the CLI seed.
-  plan.victims = sim::random_parties(n, t, rng);
-  plan.fuzz_seed = seed;
-  if (plan.kind == harness::AdversaryKind::kSplit) {
-    plan.split_config = core::paths_finder_config(tree, n, t, {});
-  }
-  auto adv = harness::make_adversary(plan);
 
   obs::RunReport report;
   sim::RecordingTracer text_tracer;
   obs::JsonlTracer jsonl_tracer;
   obs::SpanSink span_sink;
   obs::Hooks hooks;
-  if (!metrics_path.empty() || report_mode == "json") hooks.report = &report;
-  if (!trace_path.empty()) {
-    hooks.tracer = trace_format == "jsonl"
+  if (!flags.metrics_path.empty() || flags.report_json) {
+    hooks.report = &report;
+  }
+  if (!flags.trace_path.empty()) {
+    hooks.tracer = flags.trace_format == "jsonl"
                        ? static_cast<sim::Tracer*>(&jsonl_tracer)
                        : static_cast<sim::Tracer*>(&text_tracer);
   }
-  if (!spans_path.empty()) hooks.spans = &span_sink;
+  if (!flags.spans_path.empty()) hooks.spans = &span_sink;
   if (hooks.report != nullptr) {
-    report.add_param("adversary", adversary);
-    report.add_param("seed", seed);
+    report.add_param("adversary", adversary_label);
+    report.add_param("seed", flags.seed);
   }
 
   // --threads only changes wall-clock: outputs, reports and traces are
@@ -319,7 +351,7 @@ int cmd_run(const std::vector<std::string>& args) {
   const auto result =
       core::run_tree_aa(tree, inputs, t, opts, std::move(adv),
                         hooks.active() ? &hooks : nullptr,
-                        sim::EngineOptions{threads});
+                        sim::EngineOptions{flags.threads});
 
   std::vector<VertexId> honest_inputs;
   for (PartyId p = 0; p < n; ++p) {
@@ -333,23 +365,24 @@ int cmd_run(const std::vector<std::string>& args) {
     report.add_outcome("one_agreement", check.one_agreement);
     report.add_outcome("max_pairwise_distance",
                        static_cast<std::uint64_t>(check.max_pairwise_distance));
-    const std::string json = report.to_json(timings) + "\n";
-    if (!obs::write_sink(metrics_path, json)) return 2;
-    if (report_mode == "json" && metrics_path != "-") std::cout << json;
+    const std::string json = report.to_json(flags.timings) + "\n";
+    if (!obs::write_sink(flags.metrics_path, json)) return 2;
+    if (flags.report_json && flags.metrics_path != "-") std::cout << json;
   }
-  if (!trace_path.empty()) {
-    write_output(trace_path, trace_format == "jsonl" ? jsonl_tracer.text()
-                                                     : text_tracer.text());
+  if (!flags.trace_path.empty()) {
+    write_output(flags.trace_path, flags.trace_format == "jsonl"
+                                       ? jsonl_tracer.text()
+                                       : text_tracer.text());
   }
-  if (!spans_path.empty()) {
-    write_output(spans_path, span_sink.to_chrome_json());
+  if (!flags.spans_path.empty()) {
+    write_output(flags.spans_path, span_sink.to_chrome_json());
   }
 
   // Keep stdout machine-clean: the human table and summary are skipped
   // whenever JSON or a trace is being streamed to stdout.
-  if (report_mode != "json" && metrics_path != "-" && trace_path != "-" &&
-      spans_path != "-") {
-    if (!quiet) {
+  if (!flags.report_json && flags.metrics_path != "-" &&
+      flags.trace_path != "-" && flags.spans_path != "-") {
+    if (!flags.quiet) {
       Table table({"party", "input", "output"});
       for (PartyId p = 0; p < n; ++p) {
         table.row({std::to_string(p), input_labels[p],
@@ -382,11 +415,8 @@ int cmd_run_async(const std::vector<std::string>& args) {
   std::size_t silent = 0;
   std::vector<std::string> input_labels;
   std::string scheduler = "random";
-  std::uint64_t seed = 1;
-  bool quiet = false;
-  std::string metrics_path;
-  std::string report_mode;
-  bool timings = false;
+  tools::CommonFlags flags;
+  const tools::UsageFn fail = [](const std::string& m) { usage(m); };
   for (std::size_t i = 1; i < args.size(); ++i) {
     auto next = [&]() -> const std::string& {
       if (i + 1 >= args.size()) usage("missing value after " + args[i]);
@@ -400,25 +430,21 @@ int cmd_run_async(const std::vector<std::string>& args) {
       scheduler = next();
     } else if (args[i] == "--silent") {
       silent = std::stoul(next());
-    } else if (args[i] == "--seed") {
-      seed = std::stoull(next());
-    } else if (args[i] == "--quiet") {
-      quiet = true;
-    } else if (args[i] == "--metrics") {
-      metrics_path = next();
-    } else if (args[i] == "--report") {
-      report_mode = next();
-      if (report_mode != "json") usage("--report only supports 'json'");
-    } else if (args[i] == "--timings") {
-      timings = true;
+    } else if (tools::parse_common_flag(args, i, kRunAsyncFlags, flags,
+                                        fail)) {
+      // consumed
     } else {
       usage("unknown option '" + args[i] + "'");
     }
   }
   if (input_labels.empty()) usage("--inputs is required");
-  metrics_path = obs::resolve_metrics_path(std::move(metrics_path));
+  flags.metrics_path = obs::resolve_metrics_path(std::move(flags.metrics_path));
   const std::size_t n = input_labels.size();
-  if (n <= 3 * t) usage("need n > 3t");
+  if (const auto issue = harness::validate_axes(
+          harness::ProtocolKind::kAsyncTreeAA, n, t)) {
+    usage(issue->error == harness::SpecError::kFaultBound ? "need n > 3t"
+                                                          : issue->detail);
+  }
   if (silent > t) usage("--silent must be <= t");
 
   std::vector<VertexId> inputs;
@@ -431,16 +457,18 @@ int cmd_run_async(const std::vector<std::string>& args) {
   const auto sched = harness::scheduler_from_name(scheduler);
   if (!sched.has_value()) usage("unknown scheduler '" + scheduler + "'");
 
-  Rng rng(seed);
+  Rng rng(flags.seed);
   auto corrupt = sim::random_parties(n, silent, rng);
 
   obs::RunReport report;
   obs::Hooks hooks;
-  if (!metrics_path.empty() || report_mode == "json") hooks.report = &report;
+  if (!flags.metrics_path.empty() || flags.report_json) {
+    hooks.report = &report;
+  }
   if (hooks.report != nullptr) report.add_param("scheduler", scheduler);
 
   const auto run = harness::run_async_tree_aa(
-      tree, n, t, inputs, {std::move(corrupt), *sched, seed}, nullptr,
+      tree, n, t, inputs, {std::move(corrupt), *sched, flags.seed}, nullptr,
       hooks.active() ? &hooks : nullptr);
 
   std::vector<VertexId> honest_inputs;
@@ -453,13 +481,13 @@ int cmd_run_async(const std::vector<std::string>& args) {
   if (hooks.report != nullptr) {
     report.add_outcome("validity", check.valid);
     report.add_outcome("one_agreement", check.one_agreement);
-    const std::string json = report.to_json(timings) + "\n";
-    if (!obs::write_sink(metrics_path, json)) return 2;
-    if (report_mode == "json" && metrics_path != "-") std::cout << json;
+    const std::string json = report.to_json(flags.timings) + "\n";
+    if (!obs::write_sink(flags.metrics_path, json)) return 2;
+    if (flags.report_json && flags.metrics_path != "-") std::cout << json;
   }
 
-  if (report_mode != "json" && metrics_path != "-") {
-    if (!quiet) {
+  if (!flags.report_json && flags.metrics_path != "-") {
+    if (!flags.quiet) {
       Table table({"party", "input", "output"});
       for (PartyId p = 0; p < n; ++p) {
         table.row({std::to_string(p), input_labels[p],
@@ -546,16 +574,11 @@ int cmd_run_block(const std::vector<std::string>& args) {
   std::size_t t = 0;
   std::vector<std::string> input_labels;
   std::string adversary = "none";
+  bool adversary_set = false;
+  std::string adversary_spec_path;
   std::string engine = "bdh";
-  std::uint64_t seed = 1;
-  std::size_t threads = 1;
-  bool quiet = false;
-  std::string metrics_path;
-  std::string report_mode;
-  std::string trace_path;
-  std::string trace_format = "text";
-  std::string spans_path;
-  bool timings = false;
+  tools::CommonFlags flags;
+  const tools::UsageFn fail = [](const std::string& m) { usage(m); };
   for (std::size_t i = 1; i < args.size(); ++i) {
     auto next = [&]() -> const std::string& {
       if (i + 1 >= args.size()) usage("missing value after " + args[i]);
@@ -567,38 +590,25 @@ int cmd_run_block(const std::vector<std::string>& args) {
       input_labels = split_csv(next());
     } else if (args[i] == "--adversary") {
       adversary = next();
+      adversary_set = true;
+    } else if (args[i] == "--adversary-spec") {
+      adversary_spec_path = next();
     } else if (args[i] == "--engine") {
       engine = next();
-    } else if (args[i] == "--seed") {
-      seed = std::stoull(next());
-    } else if (args[i] == "--threads") {
-      threads = std::stoul(next());
-    } else if (args[i] == "--quiet") {
-      quiet = true;
-    } else if (args[i] == "--metrics") {
-      metrics_path = next();
-    } else if (args[i] == "--report") {
-      report_mode = next();
-      if (report_mode != "json") usage("--report only supports 'json'");
-    } else if (args[i] == "--trace") {
-      trace_path = next();
-    } else if (args[i] == "--trace-format") {
-      trace_format = next();
-      if (trace_format != "text" && trace_format != "jsonl") {
-        usage("--trace-format must be text or jsonl");
-      }
-    } else if (args[i] == "--spans") {
-      spans_path = next();
-    } else if (args[i] == "--timings") {
-      timings = true;
+    } else if (tools::parse_common_flag(args, i, kRunFlags, flags, fail)) {
+      // consumed
     } else {
       usage("unknown option '" + args[i] + "'");
     }
   }
   if (input_labels.empty()) usage("--inputs is required");
-  metrics_path = obs::resolve_metrics_path(std::move(metrics_path));
+  flags.metrics_path = obs::resolve_metrics_path(std::move(flags.metrics_path));
   const std::size_t n = input_labels.size();
-  if (n <= 3 * t) usage("need n > 3t");
+  if (const auto issue =
+          harness::validate_axes(harness::ProtocolKind::kBlockAA, n, t)) {
+    usage(issue->error == harness::SpecError::kFaultBound ? "need n > 3t"
+                                                          : issue->detail);
+  }
 
   std::vector<VertexId> inputs;
   for (const auto& label : input_labels) {
@@ -614,48 +624,73 @@ int cmd_run_block(const std::vector<std::string>& args) {
     usage("unknown engine '" + engine + "'");
   }
 
-  const auto adv_kind = harness::adversary_from_name(adversary);
-  if (!adv_kind.has_value() ||
-      !harness::adversary_applies(harness::ProtocolKind::kBlockAA,
-                                  *adv_kind)) {
-    usage("unknown adversary '" + adversary + "'");
+  std::unique_ptr<sim::Adversary> adv;
+  std::string adversary_label = adversary;
+  if (!adversary_spec_path.empty()) {
+    if (adversary_set) {
+      usage("--adversary-spec cannot be combined with --adversary");
+    }
+    std::string error;
+    auto spec = harness::adversary_spec_from_json(
+        read_all(adversary_spec_path), &error);
+    if (!spec.has_value()) usage("--adversary-spec: " + error);
+    if (const auto issue = harness::validate_axes(
+            harness::ProtocolKind::kBlockAA, n, t, spec->kind)) {
+      usage(issue->detail);
+    }
+    // The split adversary aims at the agreement tree — the topology the
+    // inner TreeAA actually runs on.
+    core::PathsFinderOptions pf;
+    pf.engine = opts.engine;
+    spec->split_config =
+        core::paths_finder_config(index.agreement_tree(), n, t, pf);
+    adversary_label = harness::adversary_name(spec->kind);
+    adv = harness::make_adversary(*spec);
+  } else {
+    const auto adv_kind = harness::adversary_from_name(adversary);
+    if (!adv_kind.has_value() ||
+        !harness::adversary_applies(harness::ProtocolKind::kBlockAA,
+                                    *adv_kind)) {
+      usage("unknown adversary '" + adversary + "'");
+    }
+    Rng rng(flags.seed);
+    harness::AdversarySpec spec;
+    spec.kind = *adv_kind;
+    // Same historical draw order as `run`: victims come off the seed stream
+    // unconditionally, fuzz payloads reuse the CLI seed, and the split
+    // adversary aims at the agreement tree.
+    spec.victims = sim::random_parties(n, t, rng);
+    spec.fuzz_seed = flags.seed;
+    if (spec.kind == harness::AdversaryKind::kSplit) {
+      spec.split_config =
+          core::paths_finder_config(index.agreement_tree(), n, t, {});
+    }
+    adv = harness::make_adversary(spec);
   }
-  Rng rng(seed);
-  harness::AdversaryPlan plan;
-  plan.kind = *adv_kind;
-  // Same historical draw order as `run`: victims come off the seed stream
-  // unconditionally, fuzz payloads reuse the CLI seed, and the split
-  // adversary aims at the agreement tree — the topology the inner TreeAA
-  // actually runs on.
-  plan.victims = sim::random_parties(n, t, rng);
-  plan.fuzz_seed = seed;
-  if (plan.kind == harness::AdversaryKind::kSplit) {
-    plan.split_config =
-        core::paths_finder_config(index.agreement_tree(), n, t, {});
-  }
-  auto adv = harness::make_adversary(plan);
 
   obs::RunReport report;
   sim::RecordingTracer text_tracer;
   obs::JsonlTracer jsonl_tracer;
   obs::SpanSink span_sink;
   obs::Hooks hooks;
-  if (!metrics_path.empty() || report_mode == "json") hooks.report = &report;
-  if (!trace_path.empty()) {
-    hooks.tracer = trace_format == "jsonl"
+  if (!flags.metrics_path.empty() || flags.report_json) {
+    hooks.report = &report;
+  }
+  if (!flags.trace_path.empty()) {
+    hooks.tracer = flags.trace_format == "jsonl"
                        ? static_cast<sim::Tracer*>(&jsonl_tracer)
                        : static_cast<sim::Tracer*>(&text_tracer);
   }
-  if (!spans_path.empty()) hooks.spans = &span_sink;
+  if (!flags.spans_path.empty()) hooks.spans = &span_sink;
   if (hooks.report != nullptr) {
-    report.add_param("adversary", adversary);
-    report.add_param("seed", seed);
+    report.add_param("adversary", adversary_label);
+    report.add_param("seed", flags.seed);
   }
 
   const auto result =
       graphs::run_block_aa(index, inputs, t, opts, std::move(adv),
                            hooks.active() ? &hooks : nullptr,
-                           sim::EngineOptions{threads});
+                           sim::EngineOptions{flags.threads});
 
   std::vector<VertexId> honest_inputs;
   for (PartyId p = 0; p < n; ++p) {
@@ -669,21 +704,22 @@ int cmd_run_block(const std::vector<std::string>& args) {
     report.add_outcome("one_agreement", check.one_agreement);
     report.add_outcome("max_pairwise_distance",
                        static_cast<std::uint64_t>(check.max_pairwise_distance));
-    const std::string json = report.to_json(timings) + "\n";
-    if (!obs::write_sink(metrics_path, json)) return 2;
-    if (report_mode == "json" && metrics_path != "-") std::cout << json;
+    const std::string json = report.to_json(flags.timings) + "\n";
+    if (!obs::write_sink(flags.metrics_path, json)) return 2;
+    if (flags.report_json && flags.metrics_path != "-") std::cout << json;
   }
-  if (!trace_path.empty()) {
-    write_output(trace_path, trace_format == "jsonl" ? jsonl_tracer.text()
-                                                     : text_tracer.text());
+  if (!flags.trace_path.empty()) {
+    write_output(flags.trace_path, flags.trace_format == "jsonl"
+                                       ? jsonl_tracer.text()
+                                       : text_tracer.text());
   }
-  if (!spans_path.empty()) {
-    write_output(spans_path, span_sink.to_chrome_json());
+  if (!flags.spans_path.empty()) {
+    write_output(flags.spans_path, span_sink.to_chrome_json());
   }
 
-  if (report_mode != "json" && metrics_path != "-" && trace_path != "-" &&
-      spans_path != "-") {
-    if (!quiet) {
+  if (!flags.report_json && flags.metrics_path != "-" &&
+      flags.trace_path != "-" && flags.spans_path != "-") {
+    if (!flags.quiet) {
       Table table({"party", "input", "output"});
       for (PartyId p = 0; p < n; ++p) {
         table.row({std::to_string(p), input_labels[p],

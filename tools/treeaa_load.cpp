@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "common_flags.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/sink.h"
@@ -43,6 +44,10 @@
 namespace {
 
 using namespace treeaa;
+
+const tools::CommonFlagSet kLoadFlags = {.seed = true,
+                                         .report_path = true,
+                                         .quiet = true};
 
 [[noreturn]] void usage(const std::string& error = "") {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
@@ -53,9 +58,9 @@ using namespace treeaa;
       "             [--protocol <name>]... [--topology <name>] [--tenants <k>]\n"
       "             [--n <k>] [--t <k>] [--adversary none|silent|fuzz]\n"
       "             [--corrupt <k>] [--inputs spread|random] [--eps <x>]\n"
-      "             [--known-range <x>] [--seed <k>] [--min-complete <k>]\n"
-      "             [--max-p99-ms <x>] [--expect-reject] [--report <file|->]\n"
-      "             [--quiet]\n";
+      "             [--known-range <x>] [--min-complete <k>]\n"
+      "             [--max-p99-ms <x>] [--expect-reject]\n"
+      "             " << tools::common_flags_usage(kLoadFlags) << "\n";
   std::exit(2);
 }
 
@@ -88,12 +93,11 @@ int run(const std::vector<std::string>& args) {
   base.n = 8;
   base.t = 2;
   base.adversary = "none";
-  std::uint64_t seed_base = 1;
   std::size_t min_complete = SIZE_MAX;  // default: all sessions
   double max_p99_ms = 0.0;              // 0 = no latency gate
   bool expect_reject = false;
-  std::string report_path;
-  bool quiet = false;
+  tools::CommonFlags flags;
+  const tools::UsageFn fail = [](const std::string& m) { usage(m); };
 
   for (std::size_t i = 0; i < args.size(); ++i) {
     auto next = [&]() -> const std::string& {
@@ -138,22 +142,21 @@ int run(const std::vector<std::string>& args) {
       base.eps = std::stod(next());
     } else if (args[i] == "--known-range") {
       base.known_range = std::stod(next());
-    } else if (args[i] == "--seed") {
-      seed_base = std::stoull(next());
     } else if (args[i] == "--min-complete") {
       min_complete = std::stoul(next());
     } else if (args[i] == "--max-p99-ms") {
       max_p99_ms = std::stod(next());
     } else if (args[i] == "--expect-reject") {
       expect_reject = true;
-    } else if (args[i] == "--report") {
-      report_path = next();
-    } else if (args[i] == "--quiet") {
-      quiet = true;
+    } else if (tools::parse_common_flag(args, i, kLoadFlags, flags, fail)) {
+      // consumed
     } else {
       usage("unknown option '" + args[i] + "'");
     }
   }
+  const std::uint64_t seed_base = flags.seed;
+  const std::string& report_path = flags.report_path;
+  const bool quiet = flags.quiet;
   if (unix_path.empty() && !have_tcp) usage("need --unix or --tcp");
   if (sessions == 0) usage("--sessions must be positive");
   if (connections == 0) usage("--connections must be positive");

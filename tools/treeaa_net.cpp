@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "common/table.h"
+#include "common_flags.h"
 #include "graphs/serialization.h"
 #include "net/deploy.h"
 #include "obs/probe.h"
@@ -54,6 +55,14 @@ namespace {
 
 using namespace treeaa;
 
+const tools::CommonFlagSet kNetFlags = {.seed = true,
+                                        .threads = true,
+                                        .report_path = true,
+                                        .trace = true,
+                                        .spans = true,
+                                        .timings = true,
+                                        .quiet = true};
+
 [[noreturn]] void usage(const std::string& error = "") {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
   std::cerr <<
@@ -62,10 +71,9 @@ using namespace treeaa;
       "             [--graph]\n"
       "             [--adversary none|silent|fuzz] [--corrupt <k<=t>]\n"
       "             [--faults <spec>]\n"
-      "             [--seed <s>] [--timeout-ms <m>] [--engine bdh|classic]\n"
-      "             [--threads <k>] [--report <file|->] [--no-crosscheck]\n"
-      "             [--trace <file|->] [--trace-format text|jsonl]\n"
-      "             [--spans <file|->] [--timings] [--quiet]\n"
+      "             [--timeout-ms <m>] [--engine bdh|classic] "
+      "[--no-crosscheck]\n"
+      "             " << tools::common_flags_usage(kNetFlags) << "\n"
       "\n"
       "fault spec keys: drop, delay, dup, corrupt, reorder (probabilities),\n"
       "delay-rounds=<k>, crash=<party>@<round> (repeatable)\n";
@@ -105,13 +113,9 @@ int run(const std::vector<std::string>& args) {
   std::string adversary = "none";
   std::string faults_spec;
   std::string engine = "bdh";
-  std::string report_path;
-  std::string trace_path;
-  std::string trace_format = "text";
-  std::string spans_path;
-  bool timings = false;
   net::DeployConfig cfg;
-  bool quiet = false;
+  tools::CommonFlags flags;
+  const tools::UsageFn fail = [](const std::string& m) { usage(m); };
   for (std::size_t i = 1; i < args.size(); ++i) {
     auto next = [&]() -> const std::string& {
       if (i + 1 >= args.size()) usage("missing value after " + args[i]);
@@ -129,36 +133,27 @@ int run(const std::vector<std::string>& args) {
       cfg.corrupt_count = std::stoul(next());
     } else if (args[i] == "--faults") {
       faults_spec = next();
-    } else if (args[i] == "--seed") {
-      cfg.seed = std::stoull(next());
     } else if (args[i] == "--timeout-ms") {
       cfg.round_timeout_ms = std::stoi(next());
       if (cfg.round_timeout_ms <= 0) usage("--timeout-ms must be positive");
     } else if (args[i] == "--engine") {
       engine = next();
-    } else if (args[i] == "--report") {
-      report_path = next();
-    } else if (args[i] == "--threads") {
-      cfg.threads = std::stoul(next());
     } else if (args[i] == "--no-crosscheck") {
       cfg.crosscheck = false;
-    } else if (args[i] == "--trace") {
-      trace_path = next();
-    } else if (args[i] == "--trace-format") {
-      trace_format = next();
-      if (trace_format != "text" && trace_format != "jsonl") {
-        usage("--trace-format must be text or jsonl");
-      }
-    } else if (args[i] == "--spans") {
-      spans_path = next();
-    } else if (args[i] == "--timings") {
-      timings = true;
-    } else if (args[i] == "--quiet") {
-      quiet = true;
+    } else if (tools::parse_common_flag(args, i, kNetFlags, flags, fail)) {
+      // consumed
     } else {
       usage("unknown option '" + args[i] + "'");
     }
   }
+  cfg.seed = flags.seed;
+  cfg.threads = flags.threads;
+  std::string report_path = flags.report_path;
+  const std::string& trace_path = flags.trace_path;
+  const std::string& trace_format = flags.trace_format;
+  const std::string& spans_path = flags.spans_path;
+  const bool timings = flags.timings;
+  const bool quiet = flags.quiet;
   if (input_labels.empty()) usage("--inputs is required");
   report_path = obs::resolve_metrics_path(std::move(report_path));
   const std::size_t n = input_labels.size();

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common_flags.h"
 #include "graphs/generators.h"
 #include "graphs/serialization.h"
 #include "obs/sink.h"
@@ -51,6 +52,12 @@ void on_signal(int) {
   if (g_server != nullptr) g_server->request_drain();
 }
 
+const tools::CommonFlagSet kServeFlags = {.threads = true,
+                                          .report_path = true,
+                                          .spans = true,
+                                          .timings = true,
+                                          .quiet = true};
+
 [[noreturn]] void usage(const std::string& error = "") {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
   std::cerr <<
@@ -59,9 +66,9 @@ void on_signal(int) {
       "              [--topology <name>=<file>] [--graph <name>=<file>]\n"
       "              [--gen <name>=<family>:<size>[:<seed>]]\n"
       "              [--gen-graph <name>=<family>:<size>[:<seed>]]\n"
-      "              [--threads <k>] [--max-inflight <k>] [--max-queue <k>]\n"
-      "              [--batch <k>] [--ledger] [--report <file|->] [--timings]\n"
-      "              [--spans <file|->] [--port-file <file>] [--quiet]\n"
+      "              [--max-inflight <k>] [--max-queue <k>]\n"
+      "              [--batch <k>] [--ledger] [--port-file <file>]\n"
+      "              " << tools::common_flags_usage(kServeFlags) << "\n"
       "\n"
       "tree families: path star binary caterpillar spider random\n"
       "graph families: tree clique_chain block_random cactus\n";
@@ -131,11 +138,9 @@ graphs::Graph gen_graph(const GenSpec& spec) {
 int run(const std::vector<std::string>& args) {
   serve::Catalog catalog;
   serve::ServerOptions opts;
-  std::string report_path;
-  std::string spans_path;
   std::string port_file;
-  bool timings = false;
-  bool quiet = false;
+  tools::CommonFlags flags;
+  const tools::UsageFn fail = [](const std::string& m) { usage(m); };
 
   for (std::size_t i = 0; i < args.size(); ++i) {
     auto next = [&]() -> const std::string& {
@@ -158,8 +163,6 @@ int run(const std::vector<std::string>& args) {
     } else if (args[i] == "--gen-graph") {
       const auto [name, spec] = split_assign(next(), "--gen-graph");
       catalog.add_graph(name, gen_graph(parse_gen(spec, "--gen-graph")));
-    } else if (args[i] == "--threads") {
-      opts.threads = std::stoul(next());
     } else if (args[i] == "--max-inflight") {
       opts.max_inflight_per_tenant = std::stoul(next());
     } else if (args[i] == "--max-queue") {
@@ -168,20 +171,19 @@ int run(const std::vector<std::string>& args) {
       opts.max_batch = std::stoul(next());
     } else if (args[i] == "--ledger") {
       opts.ledger = true;
-    } else if (args[i] == "--report") {
-      report_path = next();
-    } else if (args[i] == "--timings") {
-      timings = true;
-    } else if (args[i] == "--spans") {
-      spans_path = next();
     } else if (args[i] == "--port-file") {
       port_file = next();
-    } else if (args[i] == "--quiet") {
-      quiet = true;
+    } else if (tools::parse_common_flag(args, i, kServeFlags, flags, fail)) {
+      // consumed
     } else {
       usage("unknown option '" + args[i] + "'");
     }
   }
+  opts.threads = flags.threads;
+  const std::string& report_path = flags.report_path;
+  const std::string& spans_path = flags.spans_path;
+  const bool timings = flags.timings;
+  const bool quiet = flags.quiet;
   if (opts.unix_path.empty() && !opts.tcp_port.has_value()) {
     usage("need --unix and/or --tcp");
   }

@@ -30,12 +30,12 @@
 #include <cstdint>
 #include <fstream>
 #include <iostream>
-#include <optional>
 #include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common_flags.h"
 #include "exp/report.h"
 #include "exp/spec.h"
 #include "exp/sweep.h"
@@ -45,15 +45,20 @@ namespace {
 
 using namespace treeaa;
 
+const tools::CommonFlagSet kSweepFlags = {.seed = true,
+                                          .threads = true,
+                                          .trace = true,
+                                          .timings = true,
+                                          .quiet = true};
+
 [[noreturn]] void usage(const std::string& error = "") {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
   std::cerr << "usage:\n"
-               "  treeaa_sweep --spec <file|-> [--threads N] "
-               "[--run-threads K] [--out <file|->]\n"
-               "               [--chunk N] [--full] [--timings]\n"
-               "               [--trace <file|->] [--trace-format "
-               "text|jsonl]\n"
-               "               [--seed S] [--quiet] [--expand-only]\n";
+               "  treeaa_sweep --spec <file|-> [--out <file|->] "
+               "[--run-threads K]\n"
+               "               [--chunk N] [--full] [--expand-only]\n"
+               "               "
+            << tools::common_flags_usage(kSweepFlags) << "\n";
   std::exit(2);
 }
 
@@ -77,13 +82,11 @@ int main(int argc, char** argv) {
 
   std::string spec_path;
   std::string out_path;
-  std::string trace_path;
-  std::string trace_format = "text";
   exp::SweepOptions sweep_opts;
   exp::ReportOptions report_opts;
-  std::optional<std::uint64_t> seed_override;
-  bool quiet = false;
   bool expand_only = false;
+  tools::CommonFlags flags;
+  const tools::UsageFn fail = [](const std::string& m) { usage(m); };
 
   for (std::size_t i = 0; i < args.size(); ++i) {
     auto next = [&]() -> const std::string& {
@@ -94,8 +97,6 @@ int main(int argc, char** argv) {
       spec_path = next();
     } else if (args[i] == "--out") {
       out_path = next();
-    } else if (args[i] == "--threads") {
-      sweep_opts.threads = std::stoul(next());
     } else if (args[i] == "--run-threads") {
       sweep_opts.run_threads = std::stoul(next());
     } else if (args[i] == "--chunk") {
@@ -103,32 +104,26 @@ int main(int argc, char** argv) {
     } else if (args[i] == "--full") {
       sweep_opts.collect_reports = true;
       report_opts.include_cell_reports = true;
-    } else if (args[i] == "--timings") {
-      report_opts.include_timings = true;
-    } else if (args[i] == "--trace") {
-      trace_path = next();
-    } else if (args[i] == "--trace-format") {
-      trace_format = next();
-      if (trace_format != "text" && trace_format != "jsonl") {
-        usage("--trace-format must be text or jsonl");
-      }
-    } else if (args[i] == "--seed") {
-      seed_override = std::stoull(next());
-    } else if (args[i] == "--quiet") {
-      quiet = true;
     } else if (args[i] == "--expand-only") {
       expand_only = true;
+    } else if (tools::parse_common_flag(args, i, kSweepFlags, flags, fail)) {
+      // consumed
     } else {
       usage("unknown option '" + args[i] + "'");
     }
   }
+  sweep_opts.threads = flags.threads;
+  report_opts.include_timings = flags.timings;
+  const std::string& trace_path = flags.trace_path;
+  const std::string& trace_format = flags.trace_format;
+  const bool quiet = flags.quiet;
   if (spec_path.empty()) usage("--spec is required");
   out_path = obs::resolve_metrics_path(std::move(out_path));
   if (out_path.empty()) out_path.push_back('-');
 
   try {
     exp::SweepSpec spec = exp::spec_from_json(read_all(spec_path));
-    if (seed_override.has_value()) spec.seed = *seed_override;
+    if (flags.seed_set) spec.seed = flags.seed;
     const std::vector<exp::Cell> cells = exp::expand(spec);
     if (expand_only) {
       std::cout << cells.size() << "\n";

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "common_flags.h"
 #include "exp/json_value.h"
 #include "exp/ledger.h"
 #include "obs/json.h"
@@ -41,13 +42,17 @@ namespace {
 
 using namespace treeaa;
 
+const tools::CommonFlagSet kTraceFlags = {.report_path = true,
+                                          .spans = true,
+                                          .quiet = true};
+
 [[noreturn]] void usage(const std::string& error = "") {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
   std::cerr << "usage:\n"
-               "  treeaa_trace --report <file|-> [--spans <file>] "
-               "[--transcript <file>]\n"
-               "               [--eps X] [--out <file|->] [--strict-fekete] "
-               "[--quiet]\n";
+               "  treeaa_trace --report <file|-> [--transcript <file>]\n"
+               "               [--eps X] [--out <file|->] [--strict-fekete]\n"
+               "               "
+            << tools::common_flags_usage(kTraceFlags) << "\n";
   std::exit(2);
 }
 
@@ -135,24 +140,19 @@ exp::TraceStats transcript_stats(const std::string& text,
 int main(int argc, char** argv) {
   const std::vector<std::string> args(argv + 1, argv + argc);
 
-  std::string report_path;
-  std::string spans_path;
   std::string transcript_path;
   std::string out_path;
   std::optional<double> eps_override;
   bool strict_fekete = false;
-  bool quiet = false;
+  tools::CommonFlags flags;
+  const tools::UsageFn fail = [](const std::string& m) { usage(m); };
 
   for (std::size_t i = 0; i < args.size(); ++i) {
     auto next = [&]() -> const std::string& {
       if (i + 1 >= args.size()) usage("missing value after " + args[i]);
       return args[++i];
     };
-    if (args[i] == "--report") {
-      report_path = next();
-    } else if (args[i] == "--spans") {
-      spans_path = next();
-    } else if (args[i] == "--transcript") {
+    if (args[i] == "--transcript") {
       transcript_path = next();
     } else if (args[i] == "--out") {
       out_path = next();
@@ -160,12 +160,16 @@ int main(int argc, char** argv) {
       eps_override = std::stod(next());
     } else if (args[i] == "--strict-fekete") {
       strict_fekete = true;
-    } else if (args[i] == "--quiet") {
-      quiet = true;
+    } else if (tools::parse_common_flag(args, i, kTraceFlags, flags, fail)) {
+      // consumed — --report here is the input run-report path, --spans the
+      // matching Chrome-trace file (the same spellings the producers write).
     } else {
       usage("unknown option '" + args[i] + "'");
     }
   }
+  const std::string& report_path = flags.report_path;
+  const std::string& spans_path = flags.spans_path;
+  const bool quiet = flags.quiet;
   if (report_path.empty()) usage("--report is required");
   if (out_path.empty()) out_path.push_back('-');
 
