@@ -4,7 +4,7 @@
 //
 //   bench_serve_mux [--out <file|->] [--check-against <baseline.json>]
 //                   [--max-regression <pct>] [--reps-scale <x>]
-//                   [--threads <k>]
+//                   [--threads <k>] [--pin-threads]
 //
 // One pinned scenario, `serve_mux_2k`: 2000 small tree_aa instances
 // (n = 4, t = 1 on a 25-vertex random tree) admitted *sequentially* — the
@@ -26,9 +26,11 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common_flags.h"
 #include "exp/json_value.h"
 #include "obs/json.h"
 #include "obs/sink.h"
+#include "perf/parallel.h"
 #include "serve/client.h"
 #include "serve/server.h"
 #include "trees/generators.h"
@@ -41,6 +43,8 @@ struct MuxResult {
   std::string name;
   std::size_t sessions = 0;
   std::size_t threads = 1;
+  std::size_t host_cpus = 0;  // std::thread::hardware_concurrency()
+  std::size_t workers = 1;    // effective WorkerPool workers for `threads`
   std::uint64_t wall_ns = 0;
   double sessions_per_s = 0.0;
 };
@@ -81,6 +85,8 @@ MuxResult run_serve_mux(std::size_t sessions, std::size_t threads) {
   result.name = "serve_mux_2k";
   result.sessions = sessions;
   result.threads = threads;
+  result.host_cpus = std::thread::hardware_concurrency();
+  result.workers = perf::WorkerPool::default_workers(threads);
   const auto start = std::chrono::steady_clock::now();
   for (std::uint64_t i = 0; i < sessions; ++i) {
     req.seed = i + 1;
@@ -133,6 +139,10 @@ std::string perf_report_json(const std::vector<MuxResult>& results) {
     w.value(static_cast<std::uint64_t>(r.sessions));
     w.key("threads");
     w.value(static_cast<std::uint64_t>(r.threads));
+    w.key("host_cpus");
+    w.value(static_cast<std::uint64_t>(r.host_cpus));
+    w.key("workers");
+    w.value(static_cast<std::uint64_t>(r.workers));
     w.key("wall_ns");
     w.value(r.wall_ns);
     w.key("sessions_per_s");
@@ -205,42 +215,33 @@ int check_against_baseline(const std::vector<MuxResult>& results,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string out_path;
-  std::string baseline_path;
-  double max_regression_pct = 25.0;
-  double reps_scale = 1.0;
-  std::size_t threads = 1;
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    auto next = [&]() -> std::string {
-      if (i + 1 >= argc) {
-        std::cerr << "missing value after " << arg << "\n";
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--out" || arg == "--metrics") {
-      out_path = next();
-    } else if (arg == "--check-against") {
-      baseline_path = next();
-    } else if (arg == "--max-regression") {
-      max_regression_pct = std::stod(next());
-    } else if (arg == "--reps-scale") {
-      reps_scale = std::stod(next());
-    } else if (arg == "--threads") {
-      threads = std::stoul(next());
-    } else {
-      std::cerr << "unknown option '" << arg << "'\n";
-      return 2;
-    }
+  // Flag vocabulary from tools/common_flags, same set as
+  // bench_sim_throughput --pinned; error strings match the historical
+  // hand-rolled parser.
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  tools::CommonFlagSet set;
+  set.threads = true;
+  set.bench_gate = true;
+  set.pin_threads = true;
+  tools::CommonFlags flags;
+  const tools::UsageFn fail = [](const std::string& msg) {
+    std::cerr << msg << "\n";
+    std::exit(2);
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (tools::parse_common_flag(args, i, set, flags, fail)) continue;
+    std::cerr << "unknown option '" << args[i] << "'\n";
+    return 2;
   }
-  out_path = obs::resolve_metrics_path(std::move(out_path));
+  if (flags.pin_threads) perf::WorkerPool::set_pin_threads(true);
+  const std::string out_path =
+      obs::resolve_metrics_path(std::move(flags.out_path));
   std::ostream& human = out_path == "-" ? std::cerr : std::cout;
 
   const auto sessions = std::max<std::size_t>(
-      1, static_cast<std::size_t>(2000.0 * reps_scale));
+      1, static_cast<std::size_t>(2000.0 * flags.reps_scale));
   std::vector<MuxResult> results;
-  results.push_back(run_serve_mux(sessions, threads));
+  results.push_back(run_serve_mux(sessions, flags.threads));
   for (const MuxResult& r : results) {
     human << r.name << ": " << r.sessions << " sessions in "
           << r.wall_ns / 1000000 << " ms, "
@@ -250,9 +251,9 @@ int main(int argc, char** argv) {
       !obs::write_sink(out_path, perf_report_json(results))) {
     return 2;
   }
-  if (!baseline_path.empty()) {
-    return check_against_baseline(results, baseline_path, max_regression_pct,
-                                  human) > 0
+  if (!flags.check_against.empty()) {
+    return check_against_baseline(results, flags.check_against,
+                                  flags.max_regression_pct, human) > 0
                ? 1
                : 0;
   }

@@ -10,23 +10,26 @@
 //   bench_sim_throughput --pinned [--out <file|->]
 //                        [--check-against <baseline.json>]
 //                        [--max-regression <pct>] [--reps-scale <x>]
-//                        [--threads <k>]
-//     The perf-regression suite: six pinned scenarios (one per hot
-//     subsystem — gradecast codec+counting, RealAA iteration loop, TreeAA
-//     end-to-end on a 1000-vertex tree, BlockAA on a 600-vertex clique
-//     chain, plus tree_aa_1000_t8 and
-//     realaa_n64_t8 pinned at 8 engine lanes) run a fixed number of
-//     repetitions and report messages/second as a "treeaa.perf_report/1"
-//     JSON document (--out, falling back to TREEAA_METRICS, "-" = stdout);
-//     each scenario records its engine lane count in a `threads` field.
-//     --threads sets the lane count of the three base scenarios (default
-//     1, the serial baseline); the *_t8 scenarios always pin 8 lanes, and
-//     message counts never depend on the lane count. With --check-against
-//     the measured throughput is gated against a checked-in baseline
-//     (bench/perf_baseline.json): any scenario more than --max-regression
-//     percent (default 25) below its baseline fails the run with exit
-//     code 1. docs/PERF.md describes the schema and how to refresh the
-//     baseline.
+//                        [--threads <k>] [--pin-threads]
+//     The perf-regression suite: nine pinned scenarios (one per hot
+//     subsystem — gradecast codec+counting, the slot codec in isolation
+//     (gradecast_codec_n64), RealAA iteration loop, TreeAA end-to-end on
+//     1000- and 4096-vertex trees, BlockAA on a 600-vertex clique chain,
+//     plus tree_aa_1000_t8, tree_aa_4096_t8 and realaa_n64_t8 pinned at
+//     8 engine lanes) run a fixed number of repetitions and report
+//     messages/second as a "treeaa.perf_report/1" JSON document (--out,
+//     falling back to TREEAA_METRICS, "-" = stdout); each scenario
+//     records its engine lane count (`threads`), the host's logical CPU
+//     count (`host_cpus`) and the effective worker count (`workers`).
+//     --threads sets the lane count of the base scenarios (default 1, the
+//     serial baseline); the *_t8 scenarios always pin 8 lanes, and
+//     message counts never depend on the lane count. --pin-threads pins
+//     pool workers to CPUs (perf::WorkerPool::set_pin_threads). With
+//     --check-against the measured throughput is gated against a
+//     checked-in baseline (bench/perf_baseline.json): any scenario more
+//     than --max-regression percent (default 25) below its baseline fails
+//     the run with exit code 1. docs/PERF.md describes the schema and how
+//     to refresh the baseline.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -36,17 +39,21 @@
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
+#include "common_flags.h"
 #include "core/api.h"
 #include "exp/json_value.h"
 #include "gradecast/gradecast.h"
+#include "gradecast/wire.h"
 #include "graphs/block_aa.h"
 #include "graphs/block_index.h"
 #include "graphs/generators.h"
 #include "harness/runner.h"
 #include "obs/json.h"
 #include "obs/sink.h"
+#include "perf/parallel.h"
 #include "sim/engine.h"
 #include "trees/generators.h"
 
@@ -148,6 +155,8 @@ struct PinnedResult {
   std::string name;
   std::size_t reps = 0;
   std::size_t threads = 1;      // engine lanes the scenario pinned
+  std::size_t host_cpus = 0;    // std::thread::hardware_concurrency()
+  std::size_t workers = 1;      // effective WorkerPool workers for `threads`
   std::uint64_t messages = 0;   // total over all reps
   std::uint64_t wall_ns = 0;    // total over all reps
   double messages_per_sec = 0.0;
@@ -170,6 +179,11 @@ PinnedResult run_pinned_scenario(const std::string& name, std::size_t reps,
   result.name = name;
   result.reps = scaled;
   result.threads = threads;
+  // Recorded so a checked-in report says what hardware produced it: the
+  // host's logical CPU count and the worker count the pool would actually
+  // use for this lane count (respects TREEAA_FORCE_WORKERS).
+  result.host_cpus = std::thread::hardware_concurrency();
+  result.workers = perf::WorkerPool::default_workers(threads);
   const auto start = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < scaled; ++i) result.messages += run();
   const auto end = std::chrono::steady_clock::now();
@@ -237,6 +251,61 @@ std::vector<PinnedResult> run_pinned_suite(double reps_scale,
         }));
   }
 
+  // TreeAA on a 4096-vertex random tree, serial and at 8 lanes: the
+  // multi-core scaling pair — large enough per-round work for the SPSC
+  // lane handoff and pinning to show, and the byte-identity pair the CI
+  // perf smoke compares across thread counts.
+  {
+    Rng rng(0xBEEF + 4096);
+    const auto tree = make_random_tree(4096, rng);
+    const auto inputs = harness::spread_vertex_inputs(tree, 7);
+    results.push_back(
+        run_pinned_scenario("tree_aa_4096", 30, reps_scale, threads, [&] {
+          const auto run = core::run_tree_aa(tree, inputs, 2, {}, nullptr,
+                                             nullptr,
+                                             sim::EngineOptions{threads});
+          return run.traffic.total_messages();
+        }));
+    results.push_back(
+        run_pinned_scenario("tree_aa_4096_t8", 30, reps_scale, 8, [&] {
+          const auto run = core::run_tree_aa(tree, inputs, 2, {}, nullptr,
+                                             nullptr, sim::EngineOptions{8});
+          return run.traffic.total_messages();
+        }));
+  }
+
+  // The gradecast slot codec in isolation: the SIMD batched encoder and
+  // the zero-copy view decoder round-tripping a 64-slot echo vector (half
+  // the slots carry 24-byte values). One "message" = one encode + decode.
+  {
+    std::vector<gradecast::Slot> slots(64);
+    Rng rng(0xC0DEC);
+    for (std::size_t i = 0; i < slots.size(); i += 2) {
+      Bytes value(24);
+      for (auto& b : value) {
+        b = static_cast<std::uint8_t>(rng.index(256));
+      }
+      slots[i] = std::move(value);
+    }
+    results.push_back(
+        run_pinned_scenario("gradecast_codec_n64", 40, reps_scale, 1, [&] {
+          std::uint64_t msgs = 0;
+          std::vector<gradecast::SlotView> views(slots.size());
+          for (std::size_t i = 0; i < 2000; ++i) {
+            const Bytes msg =
+                gradecast::encode_slots(gradecast::kTagEcho, slots);
+            if (!gradecast::decode_slots_view(gradecast::kTagEcho, msg,
+                                              views)) {
+              std::cerr << "gradecast_codec_n64: round-trip failed\n";
+              std::exit(2);
+            }
+            benchmark::DoNotOptimize(views.data());
+            ++msgs;
+          }
+          return msgs;
+        }));
+  }
+
   // BlockAA end-to-end on a ~600-vertex clique chain: the block-graph
   // reduction (BlockIndex build amortized out, gate resolution + graph-
   // metric queries in the loop).
@@ -295,6 +364,10 @@ std::string perf_report_json(const std::vector<PinnedResult>& results) {
     w.value(static_cast<std::uint64_t>(r.reps));
     w.key("threads");
     w.value(static_cast<std::uint64_t>(r.threads));
+    w.key("host_cpus");
+    w.value(static_cast<std::uint64_t>(r.host_cpus));
+    w.key("workers");
+    w.value(static_cast<std::uint64_t>(r.workers));
     w.key("messages");
     w.value(r.messages);
     w.key("wall_ns");
@@ -368,43 +441,32 @@ int check_against_baseline(const std::vector<PinnedResult>& results,
 }
 
 int run_pinned_mode(int argc, char** argv) {
-  std::string out_path;
-  std::string baseline_path;
-  double max_regression_pct = 25.0;
-  double reps_scale = 1.0;
-  std::size_t threads = 1;
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    auto next = [&]() -> std::string {
-      if (i + 1 >= argc) {
-        std::cerr << "missing value after " << arg << "\n";
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--pinned") {
-      continue;
-    } else if (arg == "--out" || arg == "--metrics") {
-      out_path = next();
-    } else if (arg == "--check-against") {
-      baseline_path = next();
-    } else if (arg == "--max-regression") {
-      max_regression_pct = std::stod(next());
-    } else if (arg == "--reps-scale") {
-      reps_scale = std::stod(next());
-    } else if (arg == "--threads") {
-      threads = std::stoul(next());
-    } else {
-      std::cerr << "unknown --pinned option '" << arg << "'\n";
-      return 2;
-    }
+  // Flag vocabulary from tools/common_flags: --threads plus the perf-gate
+  // set (--out/--check-against/--max-regression/--reps-scale) and
+  // --pin-threads. Error strings match the historical hand-rolled parser.
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  tools::CommonFlagSet set;
+  set.threads = true;
+  set.bench_gate = true;
+  set.pin_threads = true;
+  tools::CommonFlags flags;
+  const tools::UsageFn fail = [](const std::string& msg) {
+    std::cerr << msg << "\n";
+    std::exit(2);
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--pinned") continue;
+    if (tools::parse_common_flag(args, i, set, flags, fail)) continue;
+    std::cerr << "unknown --pinned option '" << args[i] << "'\n";
+    return 2;
   }
-  out_path = obs::resolve_metrics_path(std::move(out_path));
+  if (flags.pin_threads) perf::WorkerPool::set_pin_threads(true);
+  std::string out_path = obs::resolve_metrics_path(std::move(flags.out_path));
   // With the report on stdout, human summaries move to stderr so the
   // JSON stays machine-parseable (same convention as treeaa_cli).
   std::ostream& human = out_path == "-" ? std::cerr : std::cout;
 
-  const auto results = run_pinned_suite(reps_scale, threads);
+  const auto results = run_pinned_suite(flags.reps_scale, flags.threads);
   for (const PinnedResult& r : results) {
     human << r.name << ": " << r.messages << " msgs in " << r.reps
           << " reps, "
@@ -414,9 +476,9 @@ int run_pinned_mode(int argc, char** argv) {
   if (!out_path.empty() && !obs::write_sink(out_path, perf_report_json(results))) {
     return 2;
   }
-  if (!baseline_path.empty()) {
-    return check_against_baseline(results, baseline_path, max_regression_pct,
-                                  human) > 0
+  if (!flags.check_against.empty()) {
+    return check_against_baseline(results, flags.check_against,
+                                  flags.max_regression_pct, human) > 0
                ? 1
                : 0;
   }

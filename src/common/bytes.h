@@ -28,6 +28,18 @@ namespace treeaa {
 
 using Bytes = std::vector<std::uint8_t>;
 
+namespace detail {
+/// Wire order is little endian; on LE hosts f64 moves as one 8-byte memcpy
+/// instead of a byte loop (the perf::simd codecs build on the same
+/// property). Big-endian hosts take the portable byte-shift paths.
+inline constexpr bool kWireIsNativeOrder =
+#if defined(__BYTE_ORDER__) && (__BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__)
+    true;
+#else
+    false;
+#endif
+}  // namespace detail
+
 /// Raised by ByteReader on any malformed input (truncation, overlong varint,
 /// length prefix exceeding the remaining buffer, ...).
 class DecodeError : public std::runtime_error {
@@ -62,8 +74,14 @@ class ByteWriter {
     std::uint64_t bits;
     static_assert(sizeof(bits) == sizeof(v));
     std::memcpy(&bits, &v, sizeof(bits));
-    for (int i = 0; i < 8; ++i) {
-      buf_.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+    if constexpr (detail::kWireIsNativeOrder) {
+      const std::size_t off = buf_.size();
+      buf_.resize(off + 8);
+      std::memcpy(buf_.data() + off, &bits, 8);
+    } else {
+      for (int i = 0; i < 8; ++i) {
+        buf_.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+      }
     }
   }
 
@@ -130,8 +148,14 @@ class ByteReader {
   double f64() {
     need(8, "f64");
     std::uint64_t bits = 0;
-    for (int i = 0; i < 8; ++i) {
-      bits |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)]) << (8 * i);
+    if constexpr (detail::kWireIsNativeOrder) {
+      std::memcpy(&bits, data_.data() + pos_, 8);
+    } else {
+      for (int i = 0; i < 8; ++i) {
+        bits |= static_cast<std::uint64_t>(
+                    data_[pos_ + static_cast<std::size_t>(i)])
+                << (8 * i);
+      }
     }
     pos_ += 8;
     double v;

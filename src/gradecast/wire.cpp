@@ -1,6 +1,11 @@
 #include "gradecast/wire.h"
 
+#include "common/check.h"
+#include "perf/simd.h"
+
 namespace treeaa::gradecast {
+
+namespace simd = perf::simd;
 
 Bytes encode_leader(const Bytes& value) {
   ByteWriter w;
@@ -27,18 +32,34 @@ std::optional<ByteView> decode_leader_view(ByteView msg) {
   }
 }
 
+// Batched encoder: the slot-vector layout — tag, varint count, then per
+// slot a presence byte followed by (varint length, bytes) — is sized
+// exactly up front, so the whole message is one allocation filled by a
+// pointer-bump cursor with SIMD bulk copies for the slot bodies. Byte
+// output is identical to the old incremental ByteWriter encoder (pinned by
+// the codec goldens).
 Bytes encode_slots(std::uint8_t tag, const std::vector<Slot>& slots) {
-  ByteWriter w;
-  w.u8(tag);
-  w.vec(slots, [](ByteWriter& wr, const Slot& s) {
+  std::size_t total = 1 + simd::varint_len(slots.size());
+  for (const Slot& s : slots) {
+    total += 1;
+    if (s.has_value()) total += simd::varint_len(s->size()) + s->size();
+  }
+  Bytes out(total);
+  std::uint8_t* p = out.data();
+  *p++ = tag;
+  p = simd::write_varint(p, slots.size());
+  for (const Slot& s : slots) {
     if (s.has_value()) {
-      wr.u8(1);
-      wr.blob(*s);
+      *p++ = 1;
+      p = simd::write_varint(p, s->size());
+      simd::copy_bytes(p, s->data(), s->size());
+      p += s->size();
     } else {
-      wr.u8(0);
+      *p++ = 0;
     }
-  });
-  return std::move(w).take();
+  }
+  TREEAA_CHECK(p == out.data() + total);
+  return out;
 }
 
 std::optional<std::vector<Slot>> decode_slots(std::uint8_t tag, ByteView msg,
@@ -60,24 +81,33 @@ std::optional<std::vector<Slot>> decode_slots(std::uint8_t tag, ByteView msg,
   }
 }
 
+// Batched decoder: a noexcept raw-pointer cursor over the message instead
+// of a throwing ByteReader — the hot realaa/tree-AA delivery path calls
+// this once per received echo/support vector, and exception plumbing is
+// pure overhead when malformed input is an expected case (Byzantine
+// senders). Accepts and rejects exactly the inputs the old reader-based
+// parser did, including non-canonical varints.
 bool decode_slots_view(std::uint8_t tag, ByteView msg,
                        std::span<SlotView> out) {
-  try {
-    ByteReader r(msg);
-    if (r.u8() != tag) return false;
-    if (r.varint() != out.size()) return false;
-    for (SlotView& slot : out) {
-      if (r.u8() == 0) {
-        slot = std::nullopt;
-      } else {
-        slot = r.blob_view();
-      }
+  const std::uint8_t* p = msg.data();
+  const std::uint8_t* const end = p + msg.size();
+  if (p == end || *p++ != tag) return false;
+  std::uint64_t count = 0;
+  if (!simd::read_varint(p, end, count)) return false;
+  if (count != out.size()) return false;
+  for (SlotView& slot : out) {
+    if (p == end) return false;
+    if (*p++ == 0) {
+      slot = std::nullopt;
+    } else {
+      std::uint64_t len = 0;
+      if (!simd::read_varint(p, end, len)) return false;
+      if (len > static_cast<std::uint64_t>(end - p)) return false;
+      slot = ByteView(p, static_cast<std::size_t>(len));
+      p += len;
     }
-    r.expect_done();
-    return true;
-  } catch (const DecodeError&) {
-    return false;
   }
+  return p == end;
 }
 
 }  // namespace treeaa::gradecast

@@ -146,8 +146,8 @@ LinkFaults::LinkFaults(const FaultPlan& plan, PartyId from, PartyId to,
                        std::uint64_t seed)
     : plan_(plan), from_(from), rng_(link_seed(seed, from, to)) {}
 
-std::vector<FaultedFrame> LinkFaults::transmit(Round r,
-                                               std::vector<Bytes> payloads) {
+std::vector<FaultedFrame> LinkFaults::transmit(
+    Round r, std::vector<perf::Payload> payloads) {
   std::vector<FaultedFrame> out;
   const auto crash = plan_.crash_round(from_);
   if (crash.has_value() && r >= *crash) {
@@ -155,7 +155,7 @@ std::vector<FaultedFrame> LinkFaults::transmit(Round r,
     return out;
   }
   out.reserve(payloads.size());
-  for (Bytes& payload : payloads) {
+  for (perf::Payload& payload : payloads) {
     if (plan_.drop > 0 && rng_.chance(plan_.drop)) {
       ++stats_.dropped;
       continue;
@@ -172,11 +172,19 @@ std::vector<FaultedFrame> LinkFaults::transmit(Round r,
       ++stats_.duplicated;
     }
     for (std::size_t c = 0; c < copies; ++c) {
-      Bytes body = c + 1 == copies ? std::move(payload) : payload;
+      // A duplicate is a refcount bump, not a byte copy; the last copy
+      // moves the handle.
+      perf::Payload body = c + 1 == copies ? std::move(payload) : payload;
       if (plan_.corrupt > 0 && rng_.chance(plan_.corrupt) && !body.empty()) {
+        // Copy-on-write: corrupting a broadcast-shared payload detaches a
+        // private copy so the bit flips never leak to other recipients.
+        // That detach is the one legitimate payload copy on the wire path.
+        const bool was_shared = body.shared();
+        Bytes& bytes = body.mutable_bytes();
+        if (was_shared) ++stats_.payload_copies;
         const std::size_t flips = 1 + rng_.index(3);
         for (std::size_t f = 0; f < flips; ++f) {
-          body[rng_.index(body.size())] ^=
+          bytes[rng_.index(bytes.size())] ^=
               static_cast<std::uint8_t>(1u << rng_.index(8));
         }
         ++stats_.corrupted;
@@ -212,7 +220,7 @@ std::vector<sim::Envelope> FaultLinkLayer::deliver(
   // reliable and passes through.
   std::vector<sim::Envelope> delivered;
   delivered.reserve(queued.size());
-  std::vector<std::vector<Bytes>> per_link(n_ * n_);
+  std::vector<std::vector<perf::Payload>> per_link(n_ * n_);
   std::vector<std::pair<PartyId, PartyId>> touched;
   for (sim::Envelope& e : queued) {
     TREEAA_REQUIRE(e.from < n_ && e.to < n_);
@@ -222,9 +230,9 @@ std::vector<sim::Envelope> FaultLinkLayer::deliver(
     }
     auto& bucket = per_link[static_cast<std::size_t>(e.from) * n_ + e.to];
     if (bucket.empty()) touched.emplace_back(e.from, e.to);
-    // take() detaches broadcast-shared payloads before the link mutates
-    // them (corruption bit-flips must never leak to other recipients).
-    bucket.push_back(e.payload.take());
+    // The handle moves through the fault layer shared; transmit() detaches
+    // a copy-on-write clone only if it actually corrupts a shared payload.
+    bucket.push_back(std::move(e.payload));
   }
   std::sort(touched.begin(), touched.end());
   for (const auto& [from, to] : touched) {

@@ -32,6 +32,7 @@
 #include "common/bytes.h"
 #include "common/rng.h"
 #include "common/types.h"
+#include "perf/arena.h"
 #include "sim/link.h"
 
 namespace treeaa::net {
@@ -72,12 +73,19 @@ struct LinkFaultStats {
   std::uint64_t duplicated = 0;
   std::uint64_t corrupted = 0;
   std::uint64_t suppressed = 0;  // crash omissions
+  /// Byte copies the wire path had to make of a send payload. On the
+  /// zero-copy path the only legitimate cause is copy-on-write detaching a
+  /// broadcast-shared payload before corrupting it — a clean fault plan
+  /// must report 0 (pinned by test and surfaced as `net_payload_copies`).
+  std::uint64_t payload_copies = 0;
 };
 
 /// A data frame after fault decisions: transmit in `send_round` (> the
-/// tagged round when delayed) with the possibly corrupted payload.
+/// tagged round when delayed) with the possibly corrupted payload. The
+/// payload stays a refcounted handle end-to-end — duplication is a
+/// refcount bump, and only corruption of a shared payload detaches bytes.
 struct FaultedFrame {
-  Bytes payload;
+  perf::Payload payload;
   Round send_round = 0;
 };
 
@@ -90,9 +98,10 @@ class LinkFaults {
   /// Transforms the link's round-r outgoing payloads (in send order) into
   /// the frames put on the wire. Must be called with exactly the payloads
   /// the sender queued, in order, for every round in sequence — the Rng
-  /// stream advances per frame.
-  [[nodiscard]] std::vector<FaultedFrame> transmit(Round r,
-                                                   std::vector<Bytes> payloads);
+  /// stream advances per frame, and advances identically whatever the
+  /// payloads' sharing state (decisions never depend on representation).
+  [[nodiscard]] std::vector<FaultedFrame> transmit(
+      Round r, std::vector<perf::Payload> payloads);
 
   [[nodiscard]] const LinkFaultStats& stats() const { return stats_; }
 

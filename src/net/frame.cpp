@@ -35,11 +35,15 @@ std::optional<Frame> decode_frame_body(const Bytes& body) {
 
 namespace {
 
-void append_length_prefixed(Bytes& out, const Bytes& body) {
-  const auto len = static_cast<std::uint32_t>(body.size());
+void append_length_prefix(Bytes& out, std::size_t body_len) {
+  const auto len = static_cast<std::uint32_t>(body_len);
   for (int i = 0; i < 4; ++i) {
     out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
   }
+}
+
+void append_length_prefixed(Bytes& out, const Bytes& body) {
+  append_length_prefix(out, body.size());
   out.insert(out.end(), body.begin(), body.end());
 }
 
@@ -47,6 +51,17 @@ void append_length_prefixed(Bytes& out, const Bytes& body) {
 
 void append_wire_frame(Bytes& out, const Frame& frame) {
   append_length_prefixed(out, encode_frame_body(frame));
+}
+
+void append_data_frame_header(Bytes& out, Round round,
+                              std::size_t payload_size) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(FrameKind::kData));
+  w.varint(round);
+  w.varint(payload_size);  // the blob length prefix; bytes follow separately
+  const Bytes& header = w.bytes();
+  append_length_prefix(out, header.size() + payload_size);
+  out.insert(out.end(), header.begin(), header.end());
 }
 
 Bytes encode_session_frame_body(const SessionFrame& frame) {
@@ -78,6 +93,18 @@ std::optional<SessionFrame> decode_session_frame_body(const Bytes& body) {
 
 void append_wire_session_frame(Bytes& out, const SessionFrame& frame) {
   append_length_prefixed(out, encode_session_frame_body(frame));
+}
+
+void append_session_frame_header(Bytes& out, std::uint64_t session_id,
+                                 std::uint8_t kind, std::size_t payload_size) {
+  ByteWriter w;
+  w.u8(kSessionVersion);
+  w.varint(session_id);
+  w.u8(kind);
+  w.varint(payload_size);
+  const Bytes& header = w.bytes();
+  append_length_prefix(out, header.size() + payload_size);
+  out.insert(out.end(), header.begin(), header.end());
 }
 
 void FrameReader::feed(const std::uint8_t* data, std::size_t len) {

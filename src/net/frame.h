@@ -66,6 +66,15 @@ inline constexpr std::size_t kMaxFrameBody = (1u << 24) + 16;
 /// Appends the full wire form (u32 LE length + body) of `frame` to `out`.
 void append_wire_frame(Bytes& out, const Frame& frame);
 
+/// Zero-copy send path: appends the length prefix plus the kData body
+/// header — kind, round, payload length — of a data frame whose
+/// `payload_size` payload bytes will follow separately (gather I/O writes
+/// them straight from the refcounted perf::Payload). The length prefix
+/// covers header + payload, so `header ++ payload` is byte-identical to
+/// append_wire_frame of the equivalent Frame.
+void append_data_frame_header(Bytes& out, Round round,
+                              std::size_t payload_size);
+
 /// The only session-header layout this build can decode. Bumped when the
 /// header layout changes; decoders reject everything else.
 inline constexpr std::uint8_t kSessionVersion = 1;
@@ -91,6 +100,14 @@ struct SessionFrame {
 
 /// Appends the full wire form (u32 LE length + body) of `frame` to `out`.
 void append_wire_session_frame(Bytes& out, const SessionFrame& frame);
+
+/// Zero-copy send path, session variant: appends the length prefix plus the
+/// session body header — version, session id, kind, payload length — of a
+/// frame whose `payload_size` payload bytes follow separately.
+/// `header ++ payload` is byte-identical to append_wire_session_frame of
+/// the equivalent SessionFrame.
+void append_session_frame_header(Bytes& out, std::uint64_t session_id,
+                                 std::uint8_t kind, std::size_t payload_size);
 
 /// Incremental reassembly of wire frames from a byte stream.
 class FrameReader {

@@ -1,0 +1,78 @@
+#include "net/gather.h"
+
+namespace treeaa::net {
+
+namespace {
+// Matches the iovec batch cap in Socket::write_gather; a longer queue just
+// takes another loop iteration.
+constexpr std::size_t kMaxSlices = 64;
+}  // namespace
+
+void GatherBuffer::append(const std::uint8_t* data, std::size_t len) {
+  if (len == 0) return;
+  if (chunks_.empty() || chunks_.back().borrowed) chunks_.emplace_back();
+  Bytes& tail = chunks_.back().owned;
+  tail.insert(tail.end(), data, data + len);
+  size_ += len;
+}
+
+void GatherBuffer::append_owned(Bytes bytes) {
+  if (bytes.empty()) return;
+  size_ += bytes.size();
+  Chunk chunk;
+  chunk.owned = std::move(bytes);
+  chunks_.push_back(std::move(chunk));
+}
+
+void GatherBuffer::append_payload(perf::Payload payload) {
+  // A zero-length payload contributes no wire bytes (its blob length prefix
+  // lives in the frame header); retaining it would add an empty iovec.
+  if (payload.empty()) return;
+  size_ += payload.size();
+  Chunk chunk;
+  chunk.payload = std::move(payload);
+  chunk.borrowed = true;
+  chunks_.push_back(std::move(chunk));
+}
+
+std::size_t GatherBuffer::flush(Socket& socket) {
+  std::size_t total = 0;
+  while (size_ > 0) {
+    Socket::IoSlice slices[kMaxSlices];
+    std::size_t count = 0;
+    std::size_t offset = head_offset_;
+    for (const Chunk& chunk : chunks_) {
+      if (count == kMaxSlices) break;
+      slices[count].data = chunk.data() + offset;
+      slices[count].len = chunk.len() - offset;
+      ++count;
+      offset = 0;
+    }
+    const std::size_t written = socket.write_gather(slices, count);
+    if (written == 0) break;  // kernel buffer full; caller polls for POLLOUT
+    total += written;
+    size_ -= written;
+    std::size_t remaining = written;
+    while (remaining > 0) {
+      Chunk& front = chunks_.front();
+      const std::size_t avail = front.len() - head_offset_;
+      if (remaining >= avail) {
+        remaining -= avail;
+        head_offset_ = 0;
+        chunks_.pop_front();
+      } else {
+        head_offset_ += remaining;
+        remaining = 0;
+      }
+    }
+  }
+  return total;
+}
+
+void GatherBuffer::clear() {
+  chunks_.clear();
+  head_offset_ = 0;
+  size_ = 0;
+}
+
+}  // namespace treeaa::net

@@ -1,0 +1,78 @@
+// A send buffer of borrowed and owned byte chunks, flushed with gather I/O.
+//
+// The old wire path copied every outgoing payload twice: once from the
+// protocol's perf::Payload into the frame body (encode_frame_body), and
+// once more when the body was appended to a flat per-link send buffer.
+// GatherBuffer removes both copies: frame *headers* (length prefix + kind +
+// round + blob length — a dozen bytes) are appended into a small owned
+// chunk, while the payload bytes stay where the protocol produced them —
+// the refcounted perf::Payload is retained as its own chunk and handed to
+// sendmsg(2) via Socket::write_gather. One buffer from protocol to socket.
+//
+// Chunk discipline:
+//   * append(...) bytes coalesce into the trailing owned chunk, so
+//     consecutive headers/barriers form one contiguous region;
+//   * append_payload(...) retains the Payload (refcount bump, no bytes
+//     moved) as a borrowed chunk;
+//   * flush(...) walks the chunks in order, building an iovec batch and
+//     advancing a head offset through partial writes, releasing chunks as
+//     they complete.
+//
+// Not thread-safe; each party runtime / serve connection owns its buffers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+#include "common/bytes.h"
+#include "perf/arena.h"
+#include "net/socket.h"
+
+namespace treeaa::net {
+
+class GatherBuffer {
+ public:
+  /// Appends `len` bytes by copy, coalescing into the trailing owned chunk.
+  /// Meant for frame headers and control frames (a few bytes each).
+  void append(const std::uint8_t* data, std::size_t len);
+
+  /// Appends owned bytes without copying (the chunk takes the vector).
+  void append_owned(Bytes bytes);
+
+  /// Appends a payload chunk without copying: the buffer retains the
+  /// refcounted handle until the bytes have reached the kernel.
+  void append_payload(perf::Payload payload);
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Writes as much as the socket accepts (gather I/O over the pending
+  /// chunks), consuming what was written. Returns bytes written in this
+  /// call; returns 0 when the kernel buffer is full. Throws
+  /// std::system_error on a real socket error.
+  std::size_t flush(Socket& socket);
+
+  /// Drops all pending chunks (connection teardown).
+  void clear();
+
+ private:
+  struct Chunk {
+    Bytes owned;            // used when payload is empty
+    perf::Payload payload;  // borrowed bytes (refcounted)
+    bool borrowed = false;
+
+    [[nodiscard]] const std::uint8_t* data() const {
+      return borrowed ? payload.data() : owned.data();
+    }
+    [[nodiscard]] std::size_t len() const {
+      return borrowed ? payload.size() : owned.size();
+    }
+  };
+
+  std::deque<Chunk> chunks_;
+  std::size_t head_offset_ = 0;  // consumed prefix of chunks_.front()
+  std::size_t size_ = 0;         // total unconsumed bytes
+};
+
+}  // namespace treeaa::net

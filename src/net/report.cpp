@@ -29,6 +29,8 @@ void write_link_stats(obs::JsonWriter& w, const LinkStats& s) {
   w.value(s.stale_discarded);
   w.key("decode_errors");
   w.value(s.decode_errors);
+  w.key("payload_copies");
+  w.value(s.payload_copies);
 }
 
 void write_parties(obs::JsonWriter& w, const std::vector<PartyId>& parties) {

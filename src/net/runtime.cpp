@@ -14,6 +14,7 @@
 
 #include "common/check.h"
 #include "net/frame.h"
+#include "net/gather.h"
 #include "net/socket.h"
 #include "obs/span.h"
 #include "sim/envelope.h"
@@ -32,6 +33,7 @@ void LinkStats::add(const LinkStats& other) {
   suppressed += other.suppressed;
   stale_discarded += other.stale_discarded;
   decode_errors += other.decode_errors;
+  payload_copies += other.payload_copies;
 }
 
 namespace {
@@ -50,16 +52,22 @@ struct PeerLink {
   std::unique_ptr<LinkFaults> faults;  // self -> peer decision stream
   FrameReader reader;
 
-  // Outgoing: an unbounded in-memory buffer drained via POLLOUT. Because
-  // every party keeps reading all its links every round, kernel buffers
-  // never stay full and this always flushes — the in-memory stage only
-  // exists so a momentarily full kernel buffer cannot deadlock two parties
-  // writing to each other.
-  Bytes sendbuf;
-  std::size_t sent = 0;
-  // Fault-delayed outgoing data frames, keyed by the round in which they
-  // go on the wire (their Frame::round keeps the original tag).
-  std::map<Round, std::vector<Frame>> holdback;
+  // Outgoing: an unbounded in-memory gather buffer drained via POLLOUT.
+  // Frame headers are appended by copy (a dozen bytes each, coalesced into
+  // one owned chunk); payload bytes stay in their refcounted perf::Payload
+  // and are handed to sendmsg(2) in place — zero payload copies from
+  // protocol to socket. Because every party keeps reading all its links
+  // every round, kernel buffers never stay full and this always flushes —
+  // the in-memory stage only exists so a momentarily full kernel buffer
+  // cannot deadlock two parties writing to each other.
+  GatherBuffer sendbuf;
+  // A fault-delayed outgoing data frame still carrying its original round
+  // tag; keyed by the round in which it goes on the wire.
+  struct HeldFrame {
+    perf::Payload payload;
+    Round tag = 0;
+  };
+  std::map<Round, std::vector<HeldFrame>> holdback;
 
   // Incoming.
   Round barrier_cursor = 0;  // highest barrier round seen on this link
@@ -99,7 +107,8 @@ struct NetRunner::Party {
   void run_rounds(Round rounds);
 
  private:
-  void append_frame(PeerLink& link, const Frame& frame);
+  void append_data_frame(PeerLink& link, Round tag, perf::Payload payload);
+  void append_barrier(PeerLink& link, Round r);
   void flush(PeerLink& link);
   void read_link(PeerLink& link);
   void poll_round(Round r);
@@ -117,22 +126,27 @@ struct NetRunner::Party {
   }
 };
 
-void NetRunner::Party::append_frame(PeerLink& link, const Frame& frame) {
-  const std::size_t before = link.sendbuf.size();
-  append_wire_frame(link.sendbuf, frame);
-  link.tx.bytes_sent += link.sendbuf.size() - before;
-  if (frame.kind == FrameKind::kData) ++link.tx.frames_sent;
+void NetRunner::Party::append_data_frame(PeerLink& link, Round tag,
+                                         perf::Payload payload) {
+  // Header (length prefix + kind + round + blob length) by copy, payload by
+  // reference — `header ++ payload` is byte-identical to append_wire_frame.
+  Bytes header;
+  append_data_frame_header(header, tag, payload.size());
+  link.tx.bytes_sent += header.size() + payload.size();
+  ++link.tx.frames_sent;
+  link.sendbuf.append(header.data(), header.size());
+  link.sendbuf.append_payload(std::move(payload));
+}
+
+void NetRunner::Party::append_barrier(PeerLink& link, Round r) {
+  Bytes wire;
+  append_wire_frame(wire, Frame{FrameKind::kBarrier, r, {}});
+  link.tx.bytes_sent += wire.size();
+  link.sendbuf.append(wire.data(), wire.size());
 }
 
 void NetRunner::Party::flush(PeerLink& link) {
-  while (link.sent < link.sendbuf.size()) {
-    const std::size_t written = link.sock->write_some(
-        link.sendbuf.data() + link.sent, link.sendbuf.size() - link.sent);
-    if (written == 0) return;  // kernel buffer full; wait for POLLOUT
-    link.sent += written;
-  }
-  link.sendbuf.clear();
-  link.sent = 0;
+  link.sendbuf.flush(*link.sock);
 }
 
 void NetRunner::Party::read_link(PeerLink& link) {
@@ -260,8 +274,8 @@ void NetRunner::Party::run_rounds(Round rounds) {
       if (q == self) continue;
       PeerLink& link = links[q];
       while (!link.holdback.empty() && link.holdback.begin()->first <= r) {
-        for (const Frame& frame : link.holdback.begin()->second) {
-          append_frame(link, frame);
+        for (PeerLink::HeldFrame& held : link.holdback.begin()->second) {
+          append_data_frame(link, held.tag, std::move(held.payload));
         }
         link.holdback.erase(link.holdback.begin());
       }
@@ -285,13 +299,15 @@ void NetRunner::Party::run_rounds(Round rounds) {
     //    plan per link, frame the survivors, and close the round with a
     //    barrier. The self-link is memory: reliable even when crashed,
     //    matching FaultLinkLayer.
-    std::vector<Bytes> selfbox;
-    std::vector<std::vector<Bytes>> per_dest(n);
+    std::vector<perf::Payload> selfbox;
+    std::vector<std::vector<perf::Payload>> per_dest(n);
     for (sim::Envelope& e : outbox) {
+      // The refcounted handle moves all the way to the socket: a broadcast
+      // payload is one allocation shared by every destination queue.
       if (e.to == self) {
-        selfbox.push_back(e.payload.take());
+        selfbox.push_back(std::move(e.payload));
       } else {
-        per_dest[e.to].push_back(e.payload.take());
+        per_dest[e.to].push_back(std::move(e.payload));
       }
     }
     const bool crashed = crash.has_value() && r >= *crash;
@@ -300,15 +316,15 @@ void NetRunner::Party::run_rounds(Round rounds) {
       PeerLink& link = links[q];
       auto outs = link.faults->transmit(r, std::move(per_dest[q]));
       for (FaultedFrame& f : outs) {
-        Frame frame{FrameKind::kData, r, std::move(f.payload)};
         if (f.send_round == r) {
-          append_frame(link, frame);
+          append_data_frame(link, r, std::move(f.payload));
         } else {
-          link.holdback[f.send_round].push_back(std::move(frame));
+          link.holdback[f.send_round].push_back(
+              PeerLink::HeldFrame{std::move(f.payload), r});
         }
       }
       if (!crashed) {
-        append_frame(link, Frame{FrameKind::kBarrier, r, {}});
+        append_barrier(link, r);
       }
     }
     if (timed && !crashed) {
@@ -335,7 +351,7 @@ void NetRunner::Party::run_rounds(Round rounds) {
     std::vector<sim::Envelope> inbox;
     for (PartyId q = 0; q < n; ++q) {
       if (q == self) {
-        for (Bytes& payload : selfbox) {
+        for (perf::Payload& payload : selfbox) {
           inbox.push_back(sim::Envelope{self, self, r, std::move(payload)});
         }
         continue;
@@ -454,6 +470,7 @@ void NetRunner::run(Round rounds) {
       link.tx.duplicated += fs.duplicated;
       link.tx.corrupted += fs.corrupted;
       link.tx.suppressed += fs.suppressed;
+      link.tx.payload_copies += fs.payload_copies;
     }
   }
   if (first_error != nullptr) std::rethrow_exception(first_error);
@@ -512,6 +529,7 @@ void NetRunner::fill_registry(obs::Registry& registry) const {
   registry.counter("net_suppressed").inc(total.suppressed);
   registry.counter("net_stale_discarded").inc(total.stale_discarded);
   registry.counter("net_decode_errors").inc(total.decode_errors);
+  registry.counter("net_payload_copies").inc(total.payload_copies);
   std::uint64_t timeouts = 0;
   for (PartyId p = 0; p < n_; ++p) timeouts += parties_[p]->stats.timeouts;
   registry.counter("net_timeouts").inc(timeouts);

@@ -77,6 +77,7 @@ struct LinkStats {
   std::uint64_t suppressed = 0;        // crash send omissions
   std::uint64_t stale_discarded = 0;   // frames behind the barrier cursor
   std::uint64_t decode_errors = 0;     // undecodable frame bodies
+  std::uint64_t payload_copies = 0;    // send-path byte copies (0 when clean)
 
   void add(const LinkStats& other);
 };

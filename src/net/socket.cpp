@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -67,6 +68,29 @@ Socket& Socket::operator=(Socket&& other) noexcept {
 std::size_t Socket::write_some(const std::uint8_t* data, std::size_t len) {
   while (true) {
     const ssize_t n = ::send(fd_, data, len, MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    throw std::system_error(errno, std::generic_category(), "socket write");
+  }
+}
+
+std::size_t Socket::write_gather(const IoSlice* slices, std::size_t count) {
+  // iovec per slice, capped well under IOV_MAX; callers loop for the rest.
+  constexpr std::size_t kMaxIov = 64;
+  iovec iov[kMaxIov];
+  const std::size_t n_iov = std::min(count, kMaxIov);
+  for (std::size_t i = 0; i < n_iov; ++i) {
+    // sendmsg writes through const data; iovec lacks the const qualifier.
+    iov[i].iov_base =
+        const_cast<void*>(static_cast<const void*>(slices[i].data));
+    iov[i].iov_len = slices[i].len;
+  }
+  msghdr msg{};
+  msg.msg_iov = iov;
+  msg.msg_iovlen = n_iov;
+  while (true) {
+    const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
     if (n >= 0) return static_cast<std::size_t>(n);
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;

@@ -41,6 +41,21 @@ class Socket {
   /// kernel buffer is full). Throws std::system_error on a real error.
   std::size_t write_some(const std::uint8_t* data, std::size_t len);
 
+  /// One scatter-gather region for write_gather — layout-compatible use of
+  /// struct iovec without pulling <sys/uio.h> into every consumer.
+  struct IoSlice {
+    const std::uint8_t* data = nullptr;
+    std::size_t len = 0;
+  };
+
+  /// Writes from up to `count` regions in order with one sendmsg(2) —
+  /// `writev`-style gather I/O, so a frame header and its refcounted
+  /// payload go to the kernel without being copied into one buffer first.
+  /// Returns total bytes written (0 when the kernel buffer is full); a
+  /// short count mid-region is normal. Throws std::system_error on a real
+  /// error.
+  std::size_t write_gather(const IoSlice* slices, std::size_t count);
+
   struct ReadResult {
     std::size_t n = 0;    // bytes read (0: nothing available or closed)
     bool closed = false;  // peer closed its end

@@ -1,0 +1,120 @@
+// A bounded lock-free single-producer/single-consumer ring.
+//
+// The parallel engine's lane handoff (sim/engine.cpp) used to be
+// merge-after-barrier: every lane buffered its whole outbox and the caller
+// merged the buffers only after the pool's dispatch barrier. SpscRing is the
+// streaming replacement — each worker-owned lane pushes envelopes into its
+// own ring while the dispatching thread drains the rings (strictly in lane
+// order) concurrently, so the merge overlaps production instead of
+// serializing behind the slowest lane.
+//
+// The design is the classic Lamport queue with two refinements that matter
+// at the engine's dispatch cadence:
+//
+//   * head_ (consumer cursor) and tail_ (producer cursor) live on separate
+//     cache lines so the producer's stores never invalidate the consumer's
+//     line for cursor bookkeeping;
+//   * each side caches the opposing cursor (cached_head_ / cached_tail_)
+//     and refreshes it only when the cached value says "full"/"empty" —
+//     the common case costs one shared load per batch, not per element.
+//
+// Memory ordering is the minimal release/acquire pairing: the producer's
+// tail_ release-store publishes the slot write, the consumer's tail_
+// acquire-load observes it (and symmetrically for head_). Exactly one
+// thread may push and exactly one may pop; nothing else is synchronized.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace treeaa::perf {
+
+/// One spin-wait step, shared by the pool and the ring's blocking push. On
+/// x86 `pause` (and `yield` on arm64) tells the core a sibling hyperthread
+/// may run; both keep the waiter off the memory bus.
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (index masking instead of
+  /// modulo); one slot is sacrificed to distinguish full from empty.
+  explicit SpscRing(std::size_t capacity) {
+    TREEAA_REQUIRE_MSG(capacity >= 2, "ring needs at least two slots");
+    std::size_t pow2 = 2;
+    while (pow2 < capacity) pow2 <<= 1;
+    slots_.resize(pow2);
+    mask_ = pow2 - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size() - 1; }
+
+  /// Producer side. Returns false when the ring is full.
+  [[nodiscard]] bool try_push(T&& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t next = (tail + 1) & mask_;
+    if (next == cached_head_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (next == cached_head_) return false;
+    }
+    slots_[tail] = std::move(value);
+    tail_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side: spins (cpu_relax) until the push lands. Safe in the
+  /// engine because the dispatcher keeps draining until every lane reports
+  /// done — a blocked producer therefore always makes progress.
+  void push(T&& value) {
+    while (!try_push(std::move(value))) cpu_relax();
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  [[nodiscard]] bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    out = std::move(slots_[head]);
+    head_.store((head + 1) & mask_, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side emptiness probe (refreshes the cached producer cursor).
+  [[nodiscard]] bool empty_consumer() {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    cached_tail_ = tail_.load(std::memory_order_acquire);
+    return head == cached_tail_;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+
+  // Producer cache line: its own cursor plus the cached consumer cursor.
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  std::size_t cached_head_ = 0;
+
+  // Consumer cache line.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  std::size_t cached_tail_ = 0;
+};
+
+}  // namespace treeaa::perf

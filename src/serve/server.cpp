@@ -126,8 +126,7 @@ void Server::accept_all(net::Socket& listener) {
 
 void Server::kill_conn(Conn& conn) {
   conn.dead = true;
-  conn.outbuf.clear();
-  conn.out_pos = 0;
+  conn.out.clear();
 }
 
 void Server::read_conn(std::uint64_t conn_id) {
@@ -221,11 +220,12 @@ void Server::handle_open(std::uint64_t conn_id, std::uint64_t session_id,
 void Server::send_frame(Conn& conn, std::uint64_t session_id,
                         std::uint8_t kind, Bytes payload) {
   if (conn.dead) return;
-  net::SessionFrame frame;
-  frame.session_id = session_id;
-  frame.kind = kind;
-  frame.payload = std::move(payload);
-  net::append_wire_session_frame(conn.outbuf, frame);
+  // Header by copy, encoded payload as its own chunk — byte-identical to
+  // append_wire_session_frame without restaging the payload.
+  Bytes header;
+  net::append_session_frame_header(header, session_id, kind, payload.size());
+  conn.out.append(header.data(), header.size());
+  conn.out.append_owned(std::move(payload));
 }
 
 void Server::send_reject(std::uint64_t conn_id, std::uint64_t session_id,
@@ -337,7 +337,7 @@ void Server::run_batch() {
 
 void Server::update_write_interest(std::uint64_t conn_id, Conn& conn) {
   (void)conn_id;
-  const bool pending = conn.out_pos < conn.outbuf.size();
+  const bool pending = !conn.out.empty();
   if (pending == conn.want_write || conn.dead) return;
   conn.want_write = pending;
   epoll_update(epoll_fd_, EPOLL_CTL_MOD, conn.sock.fd(),
@@ -349,21 +349,11 @@ void Server::flush_conn(std::uint64_t conn_id) {
   if (it == conns_.end()) return;
   Conn& conn = it->second;
   if (conn.dead) return;
-  while (conn.out_pos < conn.outbuf.size()) {
-    std::size_t n = 0;
-    try {
-      n = conn.sock.write_some(conn.outbuf.data() + conn.out_pos,
-                               conn.outbuf.size() - conn.out_pos);
-    } catch (const std::system_error&) {
-      kill_conn(conn);
-      return;
-    }
-    if (n == 0) break;
-    conn.out_pos += n;
-  }
-  if (conn.out_pos == conn.outbuf.size()) {
-    conn.outbuf.clear();
-    conn.out_pos = 0;
+  try {
+    conn.out.flush(conn.sock);
+  } catch (const std::system_error&) {
+    kill_conn(conn);
+    return;
   }
   update_write_interest(conn_id, conn);
 }
@@ -386,7 +376,7 @@ void Server::run() {
     if (draining_ && queue_.empty()) {
       bool pending_writes = false;
       for (const auto& [id, conn] : conns_) {
-        if (!conn.dead && conn.out_pos < conn.outbuf.size()) {
+        if (!conn.dead && !conn.out.empty()) {
           pending_writes = true;
           break;
         }

@@ -32,6 +32,7 @@
 #include <string>
 
 #include "net/frame.h"
+#include "net/gather.h"
 #include "net/socket.h"
 #include "obs/span.h"
 #include "serve/instance.h"
@@ -100,8 +101,10 @@ class Server {
   struct Conn {
     net::Socket sock;
     net::FrameReader reader;
-    Bytes outbuf;
-    std::size_t out_pos = 0;
+    // Reply bytes waiting for the socket: frame headers coalesce into owned
+    // chunks, encoded reply payloads ride as their own chunks (no copy into
+    // a flat buffer), and flushes go out via gather I/O.
+    net::GatherBuffer out;
     bool dead = false;
     bool want_write = false;
   };

@@ -95,6 +95,19 @@ TEST(GradecastWireFuzz, RandomGarbageNeverDecodesSlotsDangerously) {
   }
 }
 
+TEST(GradecastWireFuzz, SlotsEncodingGoldenBytes) {
+  // Pins the wire layout the batched SIMD encoder must reproduce: tag u8,
+  // varint slot count, then per slot a presence u8 followed (when present)
+  // by varint length + bytes. A dispatch-level change that altered any of
+  // these bytes would break mixed-version deployments.
+  std::vector<Slot> slots(3);
+  slots[0] = Bytes{0xAA, 0xBB};
+  slots[2] = Bytes{};  // present but empty — distinct from absent
+  EXPECT_EQ(encode_slots(kTagEcho, slots),
+            (Bytes{0x02, 3, 1, 2, 0xAA, 0xBB, 0, 1, 0}));
+  EXPECT_EQ(encode_leader(Bytes{0x07}), (Bytes{0x01, 1, 0x07}));
+}
+
 TEST(GradecastWireFuzz, BitFlipsNeverCrashTheDecoder) {
   // The net fault plan's corrupt action flips payload bits; every single-bit
   // variant of a valid message must decode cleanly or fail cleanly.

@@ -8,8 +8,8 @@
 namespace treeaa::net {
 namespace {
 
-std::vector<Bytes> payloads(std::size_t count, std::size_t size = 4) {
-  std::vector<Bytes> out;
+std::vector<perf::Payload> payloads(std::size_t count, std::size_t size = 4) {
+  std::vector<perf::Payload> out;
   for (std::size_t i = 0; i < count; ++i) {
     out.push_back(Bytes(size, static_cast<std::uint8_t>(i)));
   }
@@ -75,9 +75,10 @@ TEST(LinkFaults, CleanPlanPassesEverythingThrough) {
   ASSERT_EQ(out.size(), 3u);
   for (std::size_t i = 0; i < 3; ++i) {
     EXPECT_EQ(out[i].send_round, 1u);
-    EXPECT_EQ(out[i].payload, Bytes(4, static_cast<std::uint8_t>(i)));
+    EXPECT_EQ(out[i].payload.bytes(), Bytes(4, static_cast<std::uint8_t>(i)));
   }
   EXPECT_EQ(link.stats().dropped, 0u);
+  EXPECT_EQ(link.stats().payload_copies, 0u);
 }
 
 TEST(LinkFaults, SameSeedSameDecisions) {
@@ -90,7 +91,7 @@ TEST(LinkFaults, SameSeedSameDecisions) {
     const auto out_b = b.transmit(r, payloads(5, 16));
     ASSERT_EQ(out_a.size(), out_b.size());
     for (std::size_t i = 0; i < out_a.size(); ++i) {
-      EXPECT_EQ(out_a[i].payload, out_b[i].payload);
+      EXPECT_EQ(out_a[i].payload.bytes(), out_b[i].payload.bytes());
       EXPECT_EQ(out_a[i].send_round, out_b[i].send_round);
     }
   }
@@ -130,11 +131,40 @@ TEST(LinkFaults, CorruptFlipsBitsButKeepsSize) {
   const auto plan = FaultPlan::parse("corrupt=1");
   LinkFaults link(plan, 0, 1, 7);
   const Bytes original(8, 0x55);
-  const auto out = link.transmit(1, {original});
+  std::vector<perf::Payload> in;
+  in.push_back(original);  // sole handle: use_count 1
+  const auto out = link.transmit(1, std::move(in));
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].payload.size(), original.size());
-  EXPECT_NE(out[0].payload, original);
+  EXPECT_NE(out[0].payload.bytes(), original);
   EXPECT_EQ(link.stats().corrupted, 1u);
+  // The sole handle was corrupted in place — no detach, no byte copy.
+  EXPECT_EQ(link.stats().payload_copies, 0u);
+}
+
+TEST(LinkFaults, CorruptDetachesSharedPayloadAndCountsTheCopy) {
+  const auto plan = FaultPlan::parse("corrupt=1");
+  LinkFaults link(plan, 0, 1, 7);
+  perf::Payload broadcast{Bytes(8, 0x55)};
+  std::vector<perf::Payload> in;
+  in.push_back(broadcast);  // refcount 2, as when broadcasting
+  const auto out = link.transmit(1, std::move(in));
+  ASSERT_EQ(out.size(), 1u);
+  // The bit flips landed on a private copy; the shared original is intact,
+  // and the copy-on-write detach is the one counted payload copy.
+  EXPECT_NE(out[0].payload.bytes(), broadcast.bytes());
+  EXPECT_EQ(broadcast.bytes(), Bytes(8, 0x55));
+  EXPECT_EQ(link.stats().payload_copies, 1u);
+}
+
+TEST(LinkFaults, DuplicateSharesBytesBetweenCopies) {
+  const auto plan = FaultPlan::parse("dup=1");
+  LinkFaults link(plan, 0, 1, 7);
+  const auto out = link.transmit(1, payloads(1));
+  ASSERT_EQ(out.size(), 2u);
+  // Duplication is a refcount bump, never a byte copy.
+  EXPECT_EQ(out[0].payload.data(), out[1].payload.data());
+  EXPECT_EQ(link.stats().payload_copies, 0u);
 }
 
 TEST(LinkFaults, CrashSuppressesFromItsRoundOn) {
@@ -166,7 +196,7 @@ TEST(LinkFaults, CrashSuppressionDrawsNoRandomness) {
   const auto out_b = fresh.transmit(7, payloads(6, 12));
   ASSERT_EQ(out_a.size(), out_b.size());
   for (std::size_t i = 0; i < out_a.size(); ++i) {
-    EXPECT_EQ(out_a[i].payload, out_b[i].payload);
+    EXPECT_EQ(out_a[i].payload.bytes(), out_b[i].payload.bytes());
     EXPECT_EQ(out_a[i].send_round, out_b[i].send_round);
   }
 }
@@ -196,7 +226,7 @@ TEST(FaultLinkLayer, MirrorsLinkFaultDecisions) {
       const Bytes sent = payload_for(from, to);
       std::vector<Bytes> got;
       for (const auto& e : delivered) {
-        if (e.from == from && e.to == to) got.push_back(e.payload);
+        if (e.from == from && e.to == to) got.push_back(e.payload.bytes());
       }
       if (from == to) {
         // Self-link is reliable memory in both worlds.
@@ -208,7 +238,7 @@ TEST(FaultLinkLayer, MirrorsLinkFaultDecisions) {
       const auto expect = reference.transmit(1, {sent});
       std::vector<Bytes> surviving;
       for (const auto& f : expect) {
-        if (f.send_round == 1) surviving.push_back(f.payload);
+        if (f.send_round == 1) surviving.push_back(f.payload.bytes());
       }
       EXPECT_EQ(got, surviving) << "link " << from << "->" << to;
     }

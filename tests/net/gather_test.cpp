@@ -1,0 +1,173 @@
+// GatherBuffer: chunk coalescing, refcounted payload retention, and the
+// flush loop over a real socketpair — including partial writes against a
+// full kernel buffer and the byte-exactness of the reassembled stream.
+#include "net/gather.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/socket.h"
+#include "perf/arena.h"
+
+namespace treeaa::net {
+namespace {
+
+// Drains everything currently readable from `sock` into `out`.
+void drain(Socket& sock, Bytes& out) {
+  std::uint8_t buf[4096];
+  while (true) {
+    const Socket::ReadResult r = sock.read_some(buf, sizeof(buf));
+    if (r.n == 0) break;
+    out.insert(out.end(), buf, buf + r.n);
+  }
+}
+
+TEST(GatherBuffer, StartsEmptyAndTracksSize) {
+  GatherBuffer buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.size(), 0u);
+  const std::uint8_t header[] = {1, 2, 3};
+  buf.append(header, sizeof(header));
+  buf.append(header, 2);  // coalesces; size is what matters
+  EXPECT_FALSE(buf.empty());
+  EXPECT_EQ(buf.size(), 5u);
+  buf.append_owned(Bytes{9, 9});
+  buf.append_payload(perf::Payload{Bytes{7}});
+  buf.append_payload(perf::Payload{});  // empty payloads are dropped
+  EXPECT_EQ(buf.size(), 8u);
+  buf.clear();
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+TEST(GatherBuffer, FlushDeliversChunksInOrderByteExact) {
+  auto [a, b] = make_socket_pair();
+  GatherBuffer buf;
+  // Interleave the three append flavors the send paths use: copied frame
+  // headers, moved owned bytes, and refcounted payloads.
+  Bytes expected;
+  const std::uint8_t h1[] = {0x10, 0x11};
+  buf.append(h1, sizeof(h1));
+  expected.insert(expected.end(), h1, h1 + sizeof(h1));
+
+  const perf::Payload payload{Bytes(100, 0xAB)};
+  buf.append_payload(payload);
+  expected.insert(expected.end(), payload.bytes().begin(),
+                  payload.bytes().end());
+
+  buf.append_owned(Bytes{0x20, 0x21, 0x22});
+  expected.insert(expected.end(), {0x20, 0x21, 0x22});
+
+  const std::uint8_t h2[] = {0x30};
+  buf.append(h2, sizeof(h2));
+  expected.push_back(0x30);
+
+  ASSERT_EQ(buf.size(), expected.size());
+  while (!buf.empty()) {
+    ASSERT_GT(buf.flush(a), 0u);
+  }
+  Bytes got;
+  drain(b, got);
+  EXPECT_EQ(got, expected);
+}
+
+TEST(GatherBuffer, FlushReleasesPayloadReferences) {
+  auto [a, b] = make_socket_pair();
+  GatherBuffer buf;
+  perf::Payload payload{Bytes(64, 0x42)};
+  ASSERT_EQ(payload.use_count(), 1u);
+  buf.append_payload(payload);
+  EXPECT_EQ(payload.use_count(), 2u);  // retained, not copied
+  while (!buf.empty()) {
+    ASSERT_GT(buf.flush(a), 0u);
+  }
+  // The handle is released once the bytes have reached the kernel.
+  EXPECT_EQ(payload.use_count(), 1u);
+}
+
+TEST(GatherBuffer, PartialWritesAdvanceThroughKernelBackpressure) {
+  auto [a, b] = make_socket_pair();
+  GatherBuffer buf;
+  // Far more than an AF_UNIX kernel buffer holds: many chunks so the flush
+  // loop has to cut both between chunks and mid-chunk, plus enough chunks
+  // to exceed one iovec batch (kMaxIov) per flush call.
+  Bytes expected;
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    Bytes chunk(4096);
+    for (std::size_t j = 0; j < chunk.size(); ++j) {
+      chunk[j] = static_cast<std::uint8_t>(i * 31 + j);
+    }
+    expected.insert(expected.end(), chunk.begin(), chunk.end());
+    if (i % 2 == 0) {
+      buf.append_payload(perf::Payload{std::move(chunk)});
+    } else {
+      buf.append_owned(std::move(chunk));
+    }
+  }
+  ASSERT_EQ(buf.size(), expected.size());
+
+  Bytes got;
+  bool saw_kernel_full = false;
+  while (!buf.empty()) {
+    const std::size_t wrote = buf.flush(a);
+    if (wrote == 0) {
+      saw_kernel_full = true;
+      drain(b, got);  // make room, then flush again
+    }
+  }
+  drain(b, got);
+  EXPECT_TRUE(saw_kernel_full) << "test never hit backpressure; grow the "
+                                  "write volume";
+  EXPECT_EQ(got.size(), expected.size());
+  EXPECT_EQ(got, expected);
+}
+
+TEST(GatherBuffer, GatherStreamReassemblesThroughFrameReader) {
+  // End-to-end shape of the runtime's send path: zero-copy headers plus
+  // payload chunks, flushed through a socket, reassembled by the receiving
+  // FrameReader — with a barrier frame in between, exactly like a round.
+  auto [a, b] = make_socket_pair();
+  GatherBuffer buf;
+
+  const perf::Payload msg{Bytes(150, 0x5C)};
+  Bytes header;
+  append_data_frame_header(header, 3, msg.size());
+  buf.append(header.data(), header.size());
+  buf.append_payload(msg);
+
+  Bytes barrier;
+  append_wire_frame(barrier, Frame{FrameKind::kBarrier, 3, {}});
+  buf.append(barrier.data(), barrier.size());
+
+  while (!buf.empty()) {
+    ASSERT_GT(buf.flush(a), 0u);
+  }
+
+  Bytes raw;
+  drain(b, raw);
+  FrameReader reader;
+  reader.feed(raw.data(), raw.size());
+
+  const auto first = reader.next_body();
+  ASSERT_TRUE(first.has_value());
+  const auto data = decode_frame_body(*first);
+  ASSERT_TRUE(data.has_value());
+  EXPECT_EQ(data->kind, FrameKind::kData);
+  EXPECT_EQ(data->round, 3u);
+  EXPECT_EQ(data->payload, msg.bytes());
+
+  const auto second = reader.next_body();
+  ASSERT_TRUE(second.has_value());
+  const auto ctrl = decode_frame_body(*second);
+  ASSERT_TRUE(ctrl.has_value());
+  EXPECT_EQ(ctrl->kind, FrameKind::kBarrier);
+  EXPECT_EQ(ctrl->round, 3u);
+  EXPECT_FALSE(reader.next_body().has_value());
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+}  // namespace
+}  // namespace treeaa::net

@@ -8,6 +8,7 @@
 #include <map>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "sim/engine.h"
 
 namespace treeaa::net {
@@ -81,6 +82,52 @@ TEST(NetRunner, CleanMeshMatchesEngineDelivery) {
       << "every link also carries one barrier per round";
   EXPECT_EQ(totals.dropped + totals.stale_discarded + totals.decode_errors,
             0u);
+}
+
+TEST(NetRunner, CleanDeployMakesZeroPayloadCopies) {
+  // The zero-copy acceptance gate: on a fault-free mesh no payload byte is
+  // ever copied on the send path — frames go header + refcounted payload
+  // straight to sendmsg. A regression that reintroduces a copy shows up
+  // here as a nonzero counter, not as a silent slowdown.
+  const std::size_t n = 4;
+  const Round rounds = 5;
+  NetRunner runner(n, NetOptions{});
+  for (PartyId p = 0; p < n; ++p) {
+    runner.set_process(p, std::make_unique<ChatterProcess>());
+  }
+  runner.run(rounds);
+  EXPECT_GT(runner.totals().frames_sent, 0u);
+  EXPECT_EQ(runner.totals().payload_copies, 0u);
+  obs::Registry registry;
+  runner.fill_registry(registry);
+  EXPECT_EQ(registry.counter("net_payload_copies").value(), 0u);
+}
+
+TEST(NetRunner, CorruptLinksStillDetachSharedBroadcasts) {
+  // The one legitimate send-path copy: a corrupting link must detach its
+  // private copy of a broadcast payload before flipping bits, so every
+  // other link still transmits the pristine bytes. The counter prices
+  // exactly those detaches and nothing else.
+  const std::size_t n = 4;
+  const Round rounds = 8;
+  NetOptions options;
+  options.faults = FaultPlan::parse("corrupt=0.5");
+  options.seed = 5;
+  NetRunner runner(n, options);
+  for (PartyId p = 0; p < n; ++p) {
+    runner.set_process(p, std::make_unique<ChatterProcess>());
+  }
+  runner.run(rounds);
+  const LinkStats totals = runner.totals();
+  EXPECT_GT(totals.corrupted, 0u);
+  EXPECT_GT(totals.payload_copies, 0u);
+  // Never more copies than corruptions — a sole-owner corrupt flips in
+  // place for free.
+  EXPECT_LE(totals.payload_copies, totals.corrupted);
+  obs::Registry registry;
+  runner.fill_registry(registry);
+  EXPECT_EQ(registry.counter("net_payload_copies").value(),
+            totals.payload_copies);
 }
 
 TEST(NetRunner, FaultCountersAreSeedDeterministic) {

@@ -103,6 +103,96 @@ TEST(WorkerPool, LeaseCacheReusesPools) {
   EXPECT_EQ(again.get(), first) << "returned pool should be recycled";
 }
 
+TEST(WorkerPool, LaneOnCallerMapsLanesCongruentToZero) {
+  WorkerPool pool(6, 3);
+  if (pool.workers() == 3) {
+    // Lanes 0 and 3 run on the dispatching thread; the rest on workers.
+    EXPECT_TRUE(pool.lane_on_caller(0));
+    EXPECT_FALSE(pool.lane_on_caller(1));
+    EXPECT_FALSE(pool.lane_on_caller(2));
+    EXPECT_TRUE(pool.lane_on_caller(3));
+  }
+  // A single-worker pool runs every lane on the caller.
+  WorkerPool serial(4, 1);
+  for (std::size_t lane = 0; lane < 4; ++lane) {
+    EXPECT_TRUE(serial.lane_on_caller(lane));
+  }
+}
+
+TEST(WorkerPool, LaneDoneIsSetForEveryLaneAfterRun) {
+  WorkerPool pool(4, 2);
+  pool.run(4, [](std::size_t, std::size_t, std::size_t) {});
+  for (std::size_t lane = 0; lane < 4; ++lane) {
+    EXPECT_TRUE(pool.lane_done(lane)) << "lane " << lane;
+  }
+  // Flags reset at the next dispatch and set again, even when lanes throw.
+  try {
+    pool.run(4, [](std::size_t lane, std::size_t, std::size_t) {
+      if (lane == 2) throw std::runtime_error("boom");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error&) {
+  }
+  for (std::size_t lane = 0; lane < 4; ++lane) {
+    EXPECT_TRUE(pool.lane_done(lane)) << "lane " << lane;
+  }
+}
+
+TEST(WorkerPool, StreamingRunCallsIdleHookAndFinishesAfterAllLanes) {
+  WorkerPool pool(4, 2);
+  std::size_t idle_calls = 0;
+  bool all_done_at_last_idle = false;
+  pool.run(
+      8, [](std::size_t, std::size_t, std::size_t) {},
+      [&] {
+        ++idle_calls;
+        all_done_at_last_idle = pool.lane_done(0) && pool.lane_done(1) &&
+                                pool.lane_done(2) && pool.lane_done(3);
+      });
+  // Called at least once more after every lane reported done, so a
+  // streaming drain always sees the final state.
+  EXPECT_GE(idle_calls, 1u);
+  EXPECT_TRUE(all_done_at_last_idle);
+}
+
+TEST(WorkerPool, StreamingRunStillRethrowsAfterIdleHook) {
+  WorkerPool pool(2, 2);
+  bool idled = false;
+  try {
+    pool.run(
+        2,
+        [](std::size_t lane, std::size_t, std::size_t) {
+          if (lane == 1) throw std::runtime_error("streaming lane");
+        },
+        [&] { idled = true; });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "streaming lane");
+  }
+  EXPECT_TRUE(idled);
+}
+
+TEST(WorkerPool, LeaseCacheMatchesPinConfiguration) {
+  // Flipping --pin-threads must not hand back a pool built under the other
+  // setting: a mis-pinned pool would silently ignore the flag.
+  const bool before = WorkerPool::pin_threads();
+  WorkerPool* unpinned = nullptr;
+  {
+    const WorkerPool::Lease lease = WorkerPool::lease(5);
+    ASSERT_NE(lease.get(), nullptr);
+    EXPECT_FALSE(lease.get()->pinned());
+    unpinned = lease.get();
+  }
+  WorkerPool::set_pin_threads(true);
+  {
+    const WorkerPool::Lease lease = WorkerPool::lease(5);
+    ASSERT_NE(lease.get(), nullptr);
+    EXPECT_TRUE(lease.get()->pinned());
+    EXPECT_NE(lease.get(), unpinned);
+  }
+  WorkerPool::set_pin_threads(before);
+}
+
 // Back-to-back dispatches through the generation/done handshake, with
 // forced multi-threading so a single-core host still exercises the
 // concurrent path (this is the test the CI TSAN job leans on).

@@ -1,0 +1,162 @@
+// perf/simd.h: the active dispatch must agree with the scalar reference
+// implementations bit for bit on every primitive — f64 little-endian
+// store/load, bulk copies at every size and alignment, finiteness scans
+// with specials at every position, and the LEB128 varint codec including
+// its rejection of truncated and non-canonical encodings.
+#include "perf/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace treeaa::perf::simd {
+namespace {
+
+const std::vector<double>& special_values() {
+  static const std::vector<double> values = {
+      0.0,
+      -0.0,
+      1.0,
+      -1.0,
+      3.141592653589793,
+      1e308,
+      -1e308,
+      5e-324,  // smallest denormal
+      std::numeric_limits<double>::min(),
+      std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::signaling_NaN(),
+  };
+  return values;
+}
+
+TEST(Simd, DispatchNameIsSet) {
+  EXPECT_NE(kDispatch, nullptr);
+  EXPECT_GT(std::strlen(kDispatch), 0u);
+}
+
+TEST(Simd, StoreLoadF64MatchesScalarBitForBit) {
+  for (const double v : special_values()) {
+    std::uint8_t active[8], reference[8];
+    store_f64_le(active, v);
+    scalar::store_f64_le(reference, v);
+    EXPECT_EQ(std::memcmp(active, reference, 8), 0);
+
+    const double back = load_f64_le(active);
+    const double scalar_back = scalar::load_f64_le(reference);
+    std::uint64_t bits_back = 0, bits_scalar = 0;
+    std::memcpy(&bits_back, &back, 8);
+    std::memcpy(&bits_scalar, &scalar_back, 8);
+    EXPECT_EQ(bits_back, bits_scalar);
+  }
+  // The format golden: IEEE-754 1.0, little-endian.
+  std::uint8_t one[8];
+  store_f64_le(one, 1.0);
+  const std::uint8_t expected[8] = {0, 0, 0, 0, 0, 0, 0xF0, 0x3F};
+  EXPECT_EQ(std::memcmp(one, expected, 8), 0);
+}
+
+TEST(Simd, CopyBytesMatchesMemcpyAtEverySizeAndOffset) {
+  std::vector<std::uint8_t> src(300);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<std::uint8_t>(i * 37 + 11);
+  }
+  // Sizes straddle every vector-width boundary (16/32) and the tails;
+  // offsets shift the source across alignments.
+  for (std::size_t len = 0; len <= 130; ++len) {
+    for (const std::size_t offset : {std::size_t{0}, std::size_t{1},
+                                     std::size_t{7}, std::size_t{15}}) {
+      std::vector<std::uint8_t> dst(len + 2, 0xEE);
+      std::vector<std::uint8_t> expect(len + 2, 0xEE);
+      copy_bytes(dst.data() + 1, src.data() + offset, len);
+      if (len > 0) std::memcpy(expect.data() + 1, src.data() + offset, len);
+      EXPECT_EQ(dst, expect) << "len=" << len << " offset=" << offset;
+    }
+  }
+}
+
+TEST(Simd, AllFiniteMatchesScalarWithSpecialsAtEveryPosition) {
+  for (std::size_t len = 0; len <= 33; ++len) {
+    std::vector<double> values(len, 0.5);
+    EXPECT_EQ(all_finite_f64(values.data(), len),
+              scalar::all_finite_f64(values.data(), len));
+    EXPECT_TRUE(all_finite_f64(values.data(), len));
+    for (std::size_t pos = 0; pos < len; ++pos) {
+      for (const double bad : {std::numeric_limits<double>::infinity(),
+                               -std::numeric_limits<double>::infinity(),
+                               std::numeric_limits<double>::quiet_NaN()}) {
+        values[pos] = bad;
+        EXPECT_FALSE(all_finite_f64(values.data(), len))
+            << "len=" << len << " pos=" << pos;
+        EXPECT_EQ(all_finite_f64(values.data(), len),
+                  scalar::all_finite_f64(values.data(), len));
+        values[pos] = 0.5;
+      }
+      // Denormals and huge-but-finite values must pass.
+      values[pos] = 5e-324;
+      EXPECT_TRUE(all_finite_f64(values.data(), len));
+      values[pos] = std::numeric_limits<double>::max();
+      EXPECT_TRUE(all_finite_f64(values.data(), len));
+      values[pos] = 0.5;
+    }
+  }
+}
+
+TEST(Simd, VarintRoundTripsBoundaryValues) {
+  const std::vector<std::uint64_t> values = {
+      0,       1,         127,        128,       16383,
+      16384,   2097151,   2097152,    268435455, 268435456,
+      1u << 31, std::uint64_t{1} << 42, std::uint64_t{1} << 63,
+      std::numeric_limits<std::uint64_t>::max()};
+  for (const std::uint64_t v : values) {
+    std::uint8_t buf[10];
+    std::uint8_t* end = write_varint(buf, v);
+    EXPECT_EQ(static_cast<std::size_t>(end - buf), varint_len(v));
+    std::uint64_t back = 0;
+    const std::uint8_t* p = buf;
+    ASSERT_TRUE(read_varint(p, end, back)) << v;
+    EXPECT_EQ(back, v);
+    EXPECT_EQ(p, end);
+  }
+}
+
+TEST(Simd, VarintRejectsTruncatedAndNonCanonical) {
+  // Truncated: every strict prefix of a multi-byte encoding fails.
+  std::uint8_t buf[10];
+  const std::uint8_t* enc_end =
+      write_varint(buf, std::numeric_limits<std::uint64_t>::max());
+  for (const std::uint8_t* cut = buf; cut != enc_end; ++cut) {
+    std::uint64_t out = 0;
+    const std::uint8_t* p = buf;
+    EXPECT_FALSE(read_varint(p, cut, out));
+  }
+  // Over-long: ten continuation bytes never terminate within the limit.
+  std::uint8_t overlong[11];
+  std::memset(overlong, 0x80, sizeof(overlong));
+  std::uint64_t out = 0;
+  const std::uint8_t* p = overlong;
+  EXPECT_FALSE(read_varint(p, overlong + sizeof(overlong), out));
+  // Non-canonical final byte: the tenth byte may only contribute one bit.
+  std::uint8_t high[10];
+  std::memset(high, 0x80, 9);
+  high[9] = 0x02;  // shifts a bit past position 63
+  p = high;
+  EXPECT_FALSE(read_varint(p, high + 10, out));
+  // The canonical max encoding (final byte 0x01) is accepted.
+  std::uint8_t max_enc[10];
+  std::memset(max_enc, 0xFF, 9);
+  max_enc[9] = 0x01;
+  p = max_enc;
+  ASSERT_TRUE(read_varint(p, max_enc + 10, out));
+  EXPECT_EQ(out, std::numeric_limits<std::uint64_t>::max());
+}
+
+}  // namespace
+}  // namespace treeaa::perf::simd

@@ -1,0 +1,146 @@
+// SpscRing: the lock-free lane-handoff primitive. Covers capacity
+// rounding, full/empty boundaries, FIFO order across many wraparounds,
+// move-only elements, real producer/consumer contention, and the
+// WorkerPool streaming-drain integration on a forced multi-worker pool
+// (the shape the TSan CI job forces via TREEAA_FORCE_WORKERS even on a
+// single-core host).
+#include "perf/spsc.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "perf/parallel.h"
+
+namespace treeaa::perf {
+namespace {
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwoMinusOne) {
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 1u);
+  EXPECT_EQ(SpscRing<int>(5).capacity(), 7u);
+  EXPECT_EQ(SpscRing<int>(8).capacity(), 7u);
+  EXPECT_EQ(SpscRing<int>(9).capacity(), 15u);
+}
+
+TEST(SpscRing, FullAndEmptyBoundaries) {
+  SpscRing<int> ring(4);  // rounds to 4 slots: capacity 3
+  int out = 0;
+  EXPECT_FALSE(ring.try_pop(out));
+  EXPECT_TRUE(ring.empty_consumer());
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(ring.try_push(int(i)));
+  EXPECT_FALSE(ring.try_push(99));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.try_pop(out));
+  EXPECT_TRUE(ring.empty_consumer());
+}
+
+TEST(SpscRing, FifoOrderAcrossManyWraparounds) {
+  SpscRing<int> ring(8);  // capacity 7, so 1000 items wrap well over 100x
+  int next_pop = 0;
+  for (int i = 0; i < 1000; ++i) {
+    ring.push(int(i));
+    // Drain only every third iteration so the cursors cross the wrap
+    // boundary at varying occupancy.
+    if (i % 3 != 0) continue;
+    int out = -1;
+    while (ring.try_pop(out)) EXPECT_EQ(out, next_pop++);
+  }
+  int out = -1;
+  while (ring.try_pop(out)) EXPECT_EQ(out, next_pop++);
+  EXPECT_EQ(next_pop, 1000);
+}
+
+TEST(SpscRing, MoveOnlyElements) {
+  SpscRing<std::unique_ptr<int>> ring(4);
+  EXPECT_TRUE(ring.try_push(std::make_unique<int>(7)));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 7);
+  EXPECT_FALSE(ring.try_pop(out));
+}
+
+TEST(SpscRing, ProducerConsumerContention) {
+  // A dedicated producer thread against the test thread consuming: the
+  // tiny ring forces constant full/empty transitions, so the cached-cursor
+  // refresh paths and the blocking push all run under real contention.
+  constexpr int kItems = 200000;
+  SpscRing<int> ring(64);
+  std::thread producer([&ring] {
+    for (int i = 0; i < kItems; ++i) ring.push(int(i));
+  });
+  int expected = 0;
+  while (expected < kItems) {
+    int out = -1;
+    if (ring.try_pop(out)) {
+      ASSERT_EQ(out, expected);
+      ++expected;
+    } else {
+      cpu_relax();
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty_consumer());
+}
+
+TEST(SpscRing, StreamingDrainWithForcedMultiWorkerPool) {
+  // The engine's streaming handoff in miniature: a 4-lane pool on 4 real
+  // workers (forced, so the test is meaningful on any host), tiny rings so
+  // producers block on full rings and depend on the concurrent drain for
+  // progress, and an in-lane-order drain cursor. The drained sequence must
+  // equal the serial iteration order exactly.
+  WorkerPool pool(4, 4);
+  ASSERT_EQ(pool.workers(), 4u);
+  constexpr std::size_t kCount = 4096;
+  const std::size_t lanes = pool.lanes();
+  std::vector<std::unique_ptr<SpscRing<std::size_t>>> rings(lanes);
+  std::vector<std::vector<std::size_t>> staging(lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    if (!pool.lane_on_caller(lane)) {
+      rings[lane] = std::make_unique<SpscRing<std::size_t>>(16);
+    }
+  }
+  std::vector<std::size_t> drained;
+  std::size_t cursor = 0;
+  const auto drain = [&] {
+    while (cursor < lanes) {
+      if (rings[cursor] == nullptr) {
+        if (!pool.lane_done(cursor)) return;
+        drained.insert(drained.end(), staging[cursor].begin(),
+                       staging[cursor].end());
+      } else {
+        // Load done before draining: anything pushed before the flag went
+        // up is visible, so an empty ring with done set is truly finished.
+        const bool done = pool.lane_done(cursor);
+        std::size_t v = 0;
+        while (rings[cursor]->try_pop(v)) drained.push_back(v);
+        if (!done) return;
+      }
+      ++cursor;
+    }
+  };
+  pool.run(
+      kCount,
+      [&](std::size_t lane, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          if (rings[lane] != nullptr) {
+            rings[lane]->push(std::size_t{i});
+          } else {
+            staging[lane].push_back(i);
+          }
+        }
+      },
+      drain);
+  ASSERT_EQ(drained.size(), kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(drained[i], i) << "at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace treeaa::perf

@@ -63,6 +63,26 @@ bool parse_common_flag(const std::vector<std::string>& args, std::size_t& i,
     flags.quiet = true;
     return true;
   }
+  if (set.bench_gate && (arg == "--out" || arg == "--metrics")) {
+    flags.out_path = next_value(args, i, fail);
+    return true;
+  }
+  if (set.bench_gate && arg == "--check-against") {
+    flags.check_against = next_value(args, i, fail);
+    return true;
+  }
+  if (set.bench_gate && arg == "--max-regression") {
+    flags.max_regression_pct = std::stod(next_value(args, i, fail));
+    return true;
+  }
+  if (set.bench_gate && arg == "--reps-scale") {
+    flags.reps_scale = std::stod(next_value(args, i, fail));
+    return true;
+  }
+  if (set.pin_threads && arg == "--pin-threads") {
+    flags.pin_threads = true;
+    return true;
+  }
   return false;
 }
 
@@ -81,6 +101,11 @@ std::string common_flags_usage(const CommonFlagSet& set) {
   if (set.spans) add("[--spans <file|->]");
   if (set.timings) add("[--timings]");
   if (set.quiet) add("[--quiet]");
+  if (set.bench_gate) {
+    add("[--out <file|->] [--check-against <baseline.json>]");
+    add("[--max-regression <pct>] [--reps-scale <x>]");
+  }
+  if (set.pin_threads) add("[--pin-threads]");
   return out;
 }
 

@@ -34,6 +34,13 @@ struct CommonFlagSet {
   bool spans = false;        // --spans <file|->
   bool timings = false;      // --timings
   bool quiet = false;        // --quiet
+  /// The perf-gate vocabulary shared by the pinned benchmarks:
+  /// --out (alias --metrics), --check-against, --max-regression,
+  /// --reps-scale. Mutually exclusive with `metrics` (both claim --metrics).
+  bool bench_gate = false;
+  /// --pin-threads: pin perf::WorkerPool workers to CPUs (see
+  /// WorkerPool::set_pin_threads). The caller applies flags.pin_threads.
+  bool pin_threads = false;
 };
 
 /// Parsed values, defaulted exactly as the tools always defaulted them.
@@ -51,6 +58,11 @@ struct CommonFlags {
   std::string spans_path;
   bool timings = false;
   bool quiet = false;
+  std::string out_path;            // --out / --metrics (bench_gate)
+  std::string check_against;       // --check-against <baseline.json>
+  double max_regression_pct = 25;  // --max-regression <pct>
+  double reps_scale = 1.0;         // --reps-scale <x>
+  bool pin_threads = false;        // --pin-threads
 };
 
 /// The tool's usage() — prints and exits, never returns.
